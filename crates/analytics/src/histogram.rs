@@ -1,0 +1,131 @@
+//! Equal-width histograms and the PLoD histogram-error metric.
+
+/// Equal-width bin boundaries over the data range: `nbins + 1` edges
+/// from min to max.
+///
+/// # Panics
+/// Panics on empty data or `nbins == 0`.
+pub fn equal_width_bounds(data: &[f64], nbins: usize) -> Vec<f64> {
+    assert!(!data.is_empty() && nbins > 0);
+    let mut min = f64::MAX;
+    let mut max = f64::MIN;
+    for &v in data {
+        min = min.min(v);
+        max = max.max(v);
+    }
+    if min == max {
+        max = min + 1.0;
+    }
+    (0..=nbins)
+        .map(|i| min + (max - min) * i as f64 / nbins as f64)
+        .collect()
+}
+
+/// Bin index of a value given boundaries (values outside the range are
+/// clamped into the first/last bin, as when bounds from the original
+/// data are applied to truncated data).
+fn bin_of(v: f64, bounds: &[f64]) -> usize {
+    let nbins = bounds.len() - 1;
+    if v < bounds[0] {
+        return 0;
+    }
+    // Binary search for the right edge.
+    let mut lo = 0usize;
+    let mut hi = nbins;
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if v >= bounds[mid] {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo.min(nbins - 1)
+}
+
+/// Count points per bin.
+pub fn histogram_counts(data: &[f64], bounds: &[f64]) -> Vec<u64> {
+    assert!(bounds.len() >= 2);
+    let mut counts = vec![0u64; bounds.len() - 1];
+    for &v in data {
+        counts[bin_of(v, bounds)] += 1;
+    }
+    counts
+}
+
+/// Paper Table VI metric: build equal-width bounds on `original`, apply
+/// them to both arrays, and return the fraction of points that land in
+/// a different bin.
+pub fn histogram_error_rate(original: &[f64], approx: &[f64], nbins: usize) -> f64 {
+    assert_eq!(original.len(), approx.len());
+    if original.is_empty() {
+        return 0.0;
+    }
+    let bounds = equal_width_bounds(original, nbins);
+    let moved = original
+        .iter()
+        .zip(approx)
+        .filter(|(a, b)| bin_of(**a, &bounds) != bin_of(**b, &bounds))
+        .count();
+    moved as f64 / original.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_cover_range() {
+        let data = [1.0, 5.0, 9.0];
+        let b = equal_width_bounds(&data, 4);
+        assert_eq!(b.len(), 5);
+        assert_eq!(b[0], 1.0);
+        assert_eq!(b[4], 9.0);
+        assert!((b[2] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_sum_to_n() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64).sqrt()).collect();
+        let bounds = equal_width_bounds(&data, 17);
+        let counts = histogram_counts(&data, &bounds);
+        assert_eq!(counts.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn max_value_lands_in_last_bin() {
+        let data = [0.0, 10.0];
+        let bounds = equal_width_bounds(&data, 5);
+        assert_eq!(bin_of(10.0, &bounds), 4);
+        assert_eq!(bin_of(0.0, &bounds), 0);
+        // Out-of-range values clamp.
+        assert_eq!(bin_of(-5.0, &bounds), 0);
+        assert_eq!(bin_of(15.0, &bounds), 4);
+    }
+
+    #[test]
+    fn identical_data_has_zero_error() {
+        let data: Vec<f64> = (0..500).map(|i| (i as f64).sin()).collect();
+        assert_eq!(histogram_error_rate(&data, &data, 32), 0.0);
+    }
+
+    #[test]
+    fn perturbation_error_grows_with_noise() {
+        let data: Vec<f64> = (0..5000).map(|i| i as f64 / 50.0).collect();
+        let small: Vec<f64> = data.iter().map(|v| v + 0.001).collect();
+        let large: Vec<f64> = data.iter().map(|v| v + 1.0).collect();
+        let e_small = histogram_error_rate(&data, &small, 100);
+        let e_large = histogram_error_rate(&data, &large, 100);
+        assert!(e_small < e_large);
+        assert!(e_small < 0.01, "e_small {e_small}");
+        assert!(e_large > 0.5, "e_large {e_large}");
+    }
+
+    #[test]
+    fn constant_data_does_not_panic() {
+        let data = vec![3.0; 10];
+        let bounds = equal_width_bounds(&data, 4);
+        let counts = histogram_counts(&data, &bounds);
+        assert_eq!(counts.iter().sum::<u64>(), 10);
+    }
+}

@@ -1,0 +1,218 @@
+//! K-means clustering (Lloyd's algorithm) and the PLoD
+//! misclassification metric.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a K-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster centroids, `k * dim` row-major.
+    pub centroids: Vec<f64>,
+    /// Cluster label per point.
+    pub labels: Vec<u32>,
+    /// Iterations actually executed (stops early on convergence).
+    pub iterations: u32,
+}
+
+/// Run Lloyd's algorithm on `points` (`n * dim` row-major).
+///
+/// Initial centroids are `k` points sampled with a seeded RNG, so two
+/// runs with the same seed on *similar* data start identically — that
+/// is how the paper compares clusterings of original vs PLoD data.
+///
+/// # Panics
+/// Panics when `k == 0`, `dim == 0`, or there are fewer points than
+/// clusters.
+pub fn kmeans(points: &[f64], dim: usize, k: usize, max_iters: u32, seed: u64) -> KMeansResult {
+    assert!(dim > 0 && k > 0);
+    assert_eq!(points.len() % dim, 0);
+    let n = points.len() / dim;
+    assert!(n >= k, "need at least k points");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Sample k distinct point indices for initial centroids.
+    let mut chosen: Vec<usize> = Vec::with_capacity(k);
+    while chosen.len() < k {
+        let idx = rng.random_range(0..n);
+        if !chosen.contains(&idx) {
+            chosen.push(idx);
+        }
+    }
+    let mut centroids: Vec<f64> = chosen
+        .iter()
+        .flat_map(|&i| points[i * dim..(i + 1) * dim].iter().copied())
+        .collect();
+
+    let mut labels = vec![0u32; n];
+    let mut iterations = 0u32;
+    for _ in 0..max_iters {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for i in 0..n {
+            let p = &points[i * dim..(i + 1) * dim];
+            let mut best = 0usize;
+            let mut best_d = f64::MAX;
+            for c in 0..k {
+                let q = &centroids[c * dim..(c + 1) * dim];
+                let d: f64 = p.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if labels[i] != best as u32 {
+                labels[i] = best as u32;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0u64; k];
+        for i in 0..n {
+            let c = labels[i] as usize;
+            counts[c] += 1;
+            for d in 0..dim {
+                sums[c * dim + d] += points[i * dim + d];
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for d in 0..dim {
+                    centroids[c * dim + d] = sums[c * dim + d] / counts[c] as f64;
+                }
+            }
+            // Empty clusters keep their previous centroid.
+        }
+        if !changed {
+            break;
+        }
+    }
+    KMeansResult { centroids, labels, iterations }
+}
+
+/// Fraction of points labelled differently by two clusterings, after
+/// greedily matching cluster ids via the confusion matrix (label ids
+/// are arbitrary, so a direct comparison would over-count).
+pub fn misclassification_rate(a: &[u32], b: &[u32], k: usize) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.is_empty() {
+        return 0.0;
+    }
+    // Confusion matrix.
+    let mut conf = vec![0u64; k * k];
+    for (&x, &y) in a.iter().zip(b) {
+        conf[x as usize * k + y as usize] += 1;
+    }
+    // Greedy matching: repeatedly take the largest remaining cell.
+    let mut used_a = vec![false; k];
+    let mut used_b = vec![false; k];
+    let mut agree = 0u64;
+    for _ in 0..k {
+        let mut best = 0u64;
+        let mut best_cell = None;
+        for i in 0..k {
+            if used_a[i] {
+                continue;
+            }
+            for j in 0..k {
+                if used_b[j] {
+                    continue;
+                }
+                if conf[i * k + j] >= best {
+                    best = conf[i * k + j];
+                    best_cell = Some((i, j));
+                }
+            }
+        }
+        if let Some((i, j)) = best_cell {
+            used_a[i] = true;
+            used_b[j] = true;
+            agree += best;
+        }
+    }
+    1.0 - agree as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n_per: usize, centers: &[(f64, f64)], spread: f64, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut pts = Vec::new();
+        for &(cx, cy) in centers {
+            for _ in 0..n_per {
+                pts.push(cx + rng.random_range(-spread..spread));
+                pts.push(cy + rng.random_range(-spread..spread));
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn separable_blobs_are_recovered() {
+        let pts = blobs(100, &[(0.0, 0.0), (10.0, 10.0), (-10.0, 8.0)], 1.0, 1);
+        let res = kmeans(&pts, 2, 3, 100, 42);
+        // Each blob must be pure: all 100 points share one label.
+        for blob in 0..3 {
+            let labels = &res.labels[blob * 100..(blob + 1) * 100];
+            assert!(labels.iter().all(|&l| l == labels[0]), "blob {blob} split");
+        }
+    }
+
+    #[test]
+    fn converges_early() {
+        let pts = blobs(50, &[(0.0, 0.0), (100.0, 0.0)], 0.5, 2);
+        let res = kmeans(&pts, 2, 2, 1000, 7);
+        assert!(res.iterations < 50, "iterations {}", res.iterations);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let pts = blobs(50, &[(0.0, 0.0), (5.0, 5.0)], 1.5, 3);
+        let a = kmeans(&pts, 2, 2, 100, 9);
+        let b = kmeans(&pts, 2, 2, 100, 9);
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn one_dimensional_clustering() {
+        let mut pts: Vec<f64> = (0..50).map(|i| i as f64 * 0.01).collect();
+        pts.extend((0..50).map(|i| 100.0 + i as f64 * 0.01));
+        let res = kmeans(&pts, 1, 2, 100, 5);
+        assert_ne!(res.labels[0], res.labels[99]);
+    }
+
+    #[test]
+    fn misclassification_identical_is_zero() {
+        let labels = vec![0u32, 1, 2, 0, 1, 2];
+        assert_eq!(misclassification_rate(&labels, &labels, 3), 0.0);
+    }
+
+    #[test]
+    fn misclassification_handles_permuted_labels() {
+        // Same partition, renamed clusters: still zero error.
+        let a = vec![0u32, 0, 1, 1, 2, 2];
+        let b = vec![2u32, 2, 0, 0, 1, 1];
+        assert_eq!(misclassification_rate(&a, &b, 3), 0.0);
+    }
+
+    #[test]
+    fn misclassification_counts_moves() {
+        let a = vec![0u32, 0, 0, 0, 1, 1, 1, 1];
+        let b = vec![0u32, 0, 0, 1, 1, 1, 1, 1];
+        assert!((misclassification_rate(&a, &b, 2) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_perturbation_rarely_changes_clustering() {
+        let pts = blobs(200, &[(0.0, 0.0), (10.0, 10.0)], 2.0, 11);
+        let noisy: Vec<f64> = pts.iter().map(|v| v + 1e-6).collect();
+        let a = kmeans(&pts, 2, 2, 100, 13);
+        let b = kmeans(&noisy, 2, 2, 100, 13);
+        let err = misclassification_rate(&a.labels, &b.labels, 2);
+        assert!(err < 0.01, "err {err}");
+    }
+}

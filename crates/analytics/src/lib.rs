@@ -1,0 +1,29 @@
+//! Analysis kernels used by the MLOC evaluation.
+//!
+//! Table VI of the paper measures how much precision-based level of
+//! detail (PLoD) truncation perturbs two downstream analyses:
+//! equal-width *histogram construction* and *K-means clustering*. This
+//! crate implements both, plus the summary statistics used for the
+//! "mean value analysis" error figures quoted in §III-B.3.
+
+//! # Example
+//!
+//! ```
+//! use mloc_analytics::{histogram_error_rate, kmeans, misclassification_rate};
+//!
+//! let original: Vec<f64> = (0..1000).map(|i| i as f64).collect();
+//! let perturbed: Vec<f64> = original.iter().map(|v| v + 0.4).collect();
+//! assert!(histogram_error_rate(&original, &perturbed, 50) < 0.05);
+//!
+//! let a = kmeans(&original, 1, 2, 50, 1);
+//! let b = kmeans(&perturbed, 1, 2, 50, 1);
+//! assert!(misclassification_rate(&a.labels, &b.labels, 2) < 0.01);
+//! ```
+
+pub mod histogram;
+pub mod kmeans;
+pub mod stats;
+
+pub use histogram::{equal_width_bounds, histogram_counts, histogram_error_rate};
+pub use kmeans::{kmeans, misclassification_rate, KMeansResult};
+pub use stats::{max_relative_error, mean, mean_relative_error, variance};

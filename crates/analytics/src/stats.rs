@@ -1,0 +1,81 @@
+//! Summary statistics and relative-error metrics for PLoD evaluation.
+
+/// Arithmetic mean (0 for empty input).
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        0.0
+    } else {
+        data.iter().sum::<f64>() / data.len() as f64
+    }
+}
+
+/// Population variance (0 for empty input).
+pub fn variance(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / data.len() as f64
+}
+
+/// Point-wise relative error `|a-b| / max(|a|, floor)`.
+fn rel_err(a: f64, b: f64, floor: f64) -> f64 {
+    (a - b).abs() / a.abs().max(floor)
+}
+
+/// Maximum point-wise relative error between two equal-length arrays.
+/// `floor` guards division for near-zero reference values.
+pub fn max_relative_error(reference: &[f64], approx: &[f64], floor: f64) -> f64 {
+    assert_eq!(reference.len(), approx.len());
+    reference
+        .iter()
+        .zip(approx)
+        .map(|(&a, &b)| rel_err(a, b, floor))
+        .fold(0.0, f64::max)
+}
+
+/// Mean point-wise relative error between two equal-length arrays.
+pub fn mean_relative_error(reference: &[f64], approx: &[f64], floor: f64) -> f64 {
+    assert_eq!(reference.len(), approx.len());
+    if reference.is_empty() {
+        return 0.0;
+    }
+    let sum: f64 = reference
+        .iter()
+        .zip(approx)
+        .map(|(&a, &b)| rel_err(a, b, floor))
+        .sum();
+    sum / reference.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0, 6.0]), 4.0);
+        assert_eq!(variance(&[5.0, 5.0, 5.0]), 0.0);
+        assert!((variance(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_errors() {
+        let a = [100.0, 200.0, 0.0];
+        let b = [101.0, 200.0, 0.001];
+        let max = max_relative_error(&a, &b, 1.0);
+        assert!((max - 0.01).abs() < 1e-12, "max {max}");
+        let m = mean_relative_error(&a, &b, 1.0);
+        assert!(m > 0.0 && m < 0.01);
+        assert_eq!(max_relative_error(&a, &a, 1.0), 0.0);
+    }
+
+    #[test]
+    fn floor_guards_small_references() {
+        let a = [1e-30];
+        let b = [2e-30];
+        // Without the floor this would be 1.0; the floor damps it.
+        assert!(max_relative_error(&a, &b, 1e-6) < 1e-20);
+    }
+}

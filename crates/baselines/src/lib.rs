@@ -1,0 +1,102 @@
+//! Comparator engines for the MLOC evaluation.
+//!
+//! The paper compares MLOC against three systems (§IV-A.2); all three
+//! are re-implemented here at the fidelity the comparison depends on:
+//!
+//! * [`seqscan`] — naive sequential scan over a row-major raw file:
+//!   value queries read only the contiguous row segments intersecting
+//!   the region; region (value-constrained) queries scan everything.
+//! * [`fastbit`] — FastBit-style binned bitmap index: 100 value bins,
+//!   one WAH-compressed bitmap per bin over global positions. The
+//!   index is large (≳ the data) and — as the paper observes — must be
+//!   loaded from disk in full before each query; boundary-bin
+//!   candidates are checked against the raw data.
+//! * [`scidb`] — SciDB-style chunked array store: chunks with overlap
+//!   replication along boundaries, per-chunk access with a modeled
+//!   per-chunk query-processing overhead (calibrated from the paper's
+//!   Table II; see `DESIGN.md`), full-scan execution for value
+//!   constraints.
+//!
+//! All engines implement [`QueryEngine`]: they answer with exact
+//! results, measured CPU seconds, any modeled engine overhead, and the
+//! per-rank I/O traces which the caller prices with the PFS simulator.
+
+//! # Example
+//!
+//! ```
+//! use mloc_baselines::{QueryEngine, SeqScan};
+//! use mloc_pfs::{CostModel, MemBackend};
+//!
+//! let values: Vec<f64> = (0..256).map(|i| i as f64).collect();
+//! let be = MemBackend::new();
+//! let scan = SeqScan::build(&be, "demo", &values, vec![16, 16]).unwrap();
+//! let answer = scan.region_query(10.0, 20.0).unwrap();
+//! assert_eq!(answer.positions.len(), 10);
+//! assert!(answer.response_s(&CostModel::lens_2012()) > 0.0);
+//! ```
+
+pub mod fastbit;
+pub mod runs;
+pub mod scidb;
+pub mod seqscan;
+
+pub use fastbit::FastBit;
+pub use scidb::SciDb;
+pub use seqscan::SeqScan;
+
+use mloc::array::Region;
+use mloc::MlocError;
+use mloc_pfs::{simulate_reads, CostModel, ReadOp};
+
+/// A baseline engine's answer to one query.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// Matching global (row-major) positions, sorted.
+    pub positions: Vec<u64>,
+    /// Values aligned with positions (value queries only).
+    pub values: Option<Vec<f64>>,
+    /// Measured CPU seconds (scan/filter/bitmap work).
+    pub cpu_s: f64,
+    /// Modeled engine overhead seconds (e.g. SciDB per-chunk cost).
+    pub overhead_s: f64,
+    /// Per-rank I/O traces, priced by the PFS simulator.
+    pub traces: Vec<Vec<ReadOp>>,
+}
+
+impl Answer {
+    /// Simulated response time under a cost model: slowest-rank I/O
+    /// plus CPU plus modeled overhead.
+    pub fn response_s(&self, model: &CostModel) -> f64 {
+        simulate_reads(&self.traces, model).elapsed() + self.cpu_s + self.overhead_s
+    }
+
+    /// Simulated I/O seconds alone.
+    pub fn io_s(&self, model: &CostModel) -> f64 {
+        simulate_reads(&self.traces, model).elapsed()
+    }
+
+    /// Total bytes this answer read.
+    pub fn bytes_read(&self) -> u64 {
+        self.traces.iter().flatten().map(|op| op.len).sum()
+    }
+}
+
+/// Common query interface of the comparator engines.
+pub trait QueryEngine {
+    /// Engine name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Bytes of stored data (Table I "Data size").
+    fn data_bytes(&self) -> u64;
+
+    /// Bytes of stored index (Table I "Index size"; 0 when none).
+    fn index_bytes(&self) -> u64;
+
+    /// Value-constrained region query: positions with value in
+    /// `[lo, hi)`.
+    fn region_query(&self, lo: f64, hi: f64) -> Result<Answer, MlocError>;
+
+    /// Spatially-constrained value query: positions and values inside
+    /// the region.
+    fn value_query(&self, region: &Region) -> Result<Answer, MlocError>;
+}

@@ -1,0 +1,66 @@
+//! Value-binning kernels, plus the equal-frequency vs equal-width
+//! load-balance ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mloc::binning::BinSpec;
+use mloc_datagen::gts_like_2d;
+use std::hint::black_box;
+
+fn bench_bound_computation(c: &mut Criterion) {
+    let values = gts_like_2d(256, 256, 13).into_values();
+    let mut g = c.benchmark_group("binning_bounds");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(values.len() as u64));
+    g.bench_function("equal_frequency_100", |b| {
+        b.iter(|| black_box(BinSpec::equal_frequency(&values, 100)))
+    });
+    g.bench_function("equal_width_100", |b| {
+        b.iter(|| black_box(BinSpec::equal_width(&values, 100)))
+    });
+    g.finish();
+}
+
+fn bench_assignment(c: &mut Criterion) {
+    let values = gts_like_2d(256, 256, 13).into_values();
+    let spec = BinSpec::equal_frequency(&values, 100);
+    let mut g = c.benchmark_group("binning_assign");
+    g.throughput(Throughput::Elements(values.len() as u64));
+    g.bench_function("bin_of_all_points", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for &v in &values {
+                acc = acc.wrapping_add(spec.bin_of(v));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn bench_balance_ablation(c: &mut Criterion) {
+    // Load-balance quality (max/min bin occupancy): the design reason
+    // for equal-frequency binning (§III-B.1).
+    let values = gts_like_2d(256, 256, 13).into_values();
+    let mut g = c.benchmark_group("binning_balance_ablation");
+    g.sample_size(10);
+    for (name, spec) in [
+        ("equal_frequency", BinSpec::equal_frequency(&values, 100)),
+        ("equal_width", BinSpec::equal_width(&values, 100)),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                let mut counts = vec![0u64; spec.num_bins()];
+                for &v in &values {
+                    counts[spec.bin_of(v)] += 1;
+                }
+                let max = counts.iter().max().copied().unwrap_or(0);
+                let min = counts.iter().min().copied().unwrap_or(0);
+                black_box((max, min))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bound_computation, bench_assignment, bench_balance_ablation);
+criterion_main!(benches);

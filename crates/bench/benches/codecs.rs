@@ -1,0 +1,56 @@
+//! Compression/decompression throughput of every codec on
+//! scientific-like data (the paper's §III-B.4 pluggable-codec level).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mloc_compress::CodecKind;
+use mloc_datagen::gts_like_2d;
+use std::hint::black_box;
+
+fn sample_values() -> Vec<f64> {
+    gts_like_2d(256, 256, 9).into_values()
+}
+
+fn bench_float_codecs(c: &mut Criterion) {
+    let values = sample_values();
+    let bytes = (values.len() * 8) as u64;
+    let mut g = c.benchmark_group("float_codecs");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(bytes));
+    for kind in [
+        CodecKind::Deflate,
+        CodecKind::Isobar,
+        CodecKind::Fpc,
+        CodecKind::Isabela { error_bound: 0.001 },
+    ] {
+        let codec = kind.float_codec();
+        g.bench_with_input(BenchmarkId::new("compress", kind.name()), &values, |b, v| {
+            b.iter(|| black_box(codec.compress_f64(v)))
+        });
+        let compressed = codec.compress_f64(&values);
+        g.bench_with_input(
+            BenchmarkId::new("decompress", kind.name()),
+            &compressed,
+            |b, cdata| b.iter(|| black_box(codec.decompress_f64(cdata).unwrap())),
+        );
+    }
+    g.finish();
+}
+
+fn bench_byte_columns(c: &mut Criterion) {
+    // The MLOC-COL hot path: DEFLATE over a PLoD byte column.
+    let values = sample_values();
+    let parts = mloc::plod::split(&values);
+    let codec = CodecKind::Deflate.byte_codec();
+    let mut g = c.benchmark_group("byte_column_deflate");
+    g.sample_size(10);
+    for (i, part) in parts.iter().enumerate().take(3) {
+        g.throughput(Throughput::Bytes(part.len() as u64));
+        g.bench_with_input(BenchmarkId::new("compress_part", i), part, |b, p| {
+            b.iter(|| black_box(codec.compress(p)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_float_codecs, bench_byte_columns);
+criterion_main!(benches);

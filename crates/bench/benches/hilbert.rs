@@ -1,0 +1,72 @@
+//! Space-filling-curve kernels, plus the chunk-ordering ablation:
+//! how many contiguous runs (≈ seeks) a query box costs under
+//! Hilbert, Z-order and row-major chunk layouts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mloc_hilbert::grid::{contiguous_runs, CurveKind, GridOrder};
+use mloc_hilbert::{coords_to_index, index_to_coords};
+use std::hint::black_box;
+
+fn bench_mapping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hilbert_mapping");
+    g.bench_function("coords_to_index_2d_o16", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(12_345) & 0xFFFF;
+            black_box(coords_to_index(&[i, i ^ 0x5A5A], 16))
+        })
+    });
+    g.bench_function("index_to_coords_2d_o16", |b| {
+        let mut h = 0u64;
+        b.iter(|| {
+            h = h.wrapping_add(987_654_321) & 0xFFFF_FFFF;
+            black_box(index_to_coords(h, 2, 16))
+        })
+    });
+    g.bench_function("coords_to_index_3d_o10", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(7_777) & 0x3FF;
+            black_box(coords_to_index(&[i, i ^ 0x155, (i >> 1) & 0x3FF], 10))
+        })
+    });
+    g.finish();
+}
+
+fn bench_grid_order_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("grid_order_build");
+    for kind in [CurveKind::Hilbert, CurveKind::ZOrder, CurveKind::RowMajor] {
+        g.bench_with_input(BenchmarkId::new("64x64", kind.name()), &kind, |b, &kind| {
+            b.iter(|| black_box(GridOrder::new(&[64, 64], kind)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_ordering_ablation(c: &mut Criterion) {
+    // Not a speed benchmark: measures the layout-quality metric (runs
+    // per query box) and reports it via criterion's throughput stats.
+    let mut g = c.benchmark_group("ordering_runs_ablation");
+    for kind in [CurveKind::Hilbert, CurveKind::ZOrder, CurveKind::RowMajor] {
+        let order = GridOrder::new(&[32, 32], kind);
+        g.bench_with_input(BenchmarkId::new("8x8_boxes", kind.name()), &order, |b, order| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for (r0, c0) in [(0usize, 0usize), (8, 8), (3, 17), (20, 5), (12, 24)] {
+                    let mut ranks = Vec::with_capacity(64);
+                    for i in r0..r0 + 8 {
+                        for j in c0..c0 + 8 {
+                            ranks.push(order.rank_of_coords(&[i, j]));
+                        }
+                    }
+                    total += contiguous_runs(ranks);
+                }
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mapping, bench_grid_order_build, bench_ordering_ablation);
+criterion_main!(benches);

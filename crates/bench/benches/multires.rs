@@ -1,0 +1,68 @@
+//! Multi-resolution kernels and the subset-placement ablation:
+//! hierarchical (subset-based) chunk placement vs plain Hilbert order
+//! for coarse-level sampling queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mloc::exec::ParallelExecutor;
+use mloc::prelude::*;
+use mloc::query::multires::subset_value_query;
+use mloc_datagen::gts_like_2d;
+use mloc_pfs::{CostModel, MemBackend};
+use std::hint::black_box;
+
+fn build(be: &MemBackend, subset_levels: u32) -> MlocStore<'_> {
+    let field = gts_like_2d(256, 256, 77);
+    let config = MlocConfig::builder(vec![256, 256])
+        .chunk_shape(vec![32, 32])
+        .num_bins(16)
+        .subset_levels(subset_levels)
+        .build();
+    let var = format!("v{subset_levels}");
+    build_variable(be, "mr", &var, field.values(), &config).unwrap();
+    MlocStore::open(be, "mr", &var).unwrap()
+}
+
+fn bench_subset_placement_ablation(c: &mut Criterion) {
+    let be = MemBackend::new();
+    let plain = build(&be, 0);
+    let hier = build(&be, 3);
+    let exec = ParallelExecutor::serial();
+
+    let mut g = c.benchmark_group("subset_placement_ablation");
+    g.sample_size(10);
+    for (name, store) in [("plain_hilbert", &plain), ("hierarchical", &hier)] {
+        for level in [0usize, 1] {
+            g.bench_with_input(
+                BenchmarkId::new(name, format!("level{level}")),
+                store,
+                |b, store| {
+                    b.iter(|| {
+                        black_box(subset_value_query(store, 3, level, &exec).unwrap())
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_plod_query_levels(c: &mut Criterion) {
+    let be = MemBackend::new();
+    let store = build(&be, 0);
+    let exec = ParallelExecutor::new(4, CostModel::default());
+    let region = Region::new(vec![(32, 160), (64, 192)]);
+
+    let mut g = c.benchmark_group("plod_query_levels");
+    g.sample_size(10);
+    for level in [1u8, 2, 4, 7] {
+        let q = Query::values_in(region.clone())
+            .with_plod(PlodLevel::new(level).unwrap());
+        g.bench_with_input(BenchmarkId::new("value_window", level), &q, |b, q| {
+            b.iter(|| black_box(exec.execute(&store, q).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_subset_placement_ablation, bench_plod_query_levels);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! PLoD byte-split/assemble kernels and the dummy-fill design-choice
+//! ablation (midpoint 0x7F/0xFF vs zero fill, §III-D.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mloc::config::PlodLevel;
+use mloc::plod;
+use mloc_datagen::gts_like_2d;
+use std::hint::black_box;
+
+fn bench_split_assemble(c: &mut Criterion) {
+    let values = gts_like_2d(256, 256, 31).into_values();
+    let mut g = c.benchmark_group("plod");
+    g.throughput(Throughput::Bytes((values.len() * 8) as u64));
+    g.bench_function("split", |b| b.iter(|| black_box(plod::split(&values))));
+
+    let parts = plod::split(&values);
+    let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+    for level in [1u8, 2, 4, 7] {
+        let lvl = PlodLevel::new(level).unwrap();
+        g.bench_with_input(BenchmarkId::new("assemble", level), &lvl, |b, &lvl| {
+            b.iter(|| black_box(plod::assemble(&refs[..lvl.num_parts()], lvl)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_fill_ablation(c: &mut Criterion) {
+    // Quality metric: summed relative error of midpoint vs zero fill
+    // at the 3-byte level. Midpoint halves the error — the reason the
+    // paper fills 0x7F/0xFF instead of zeros.
+    let values = gts_like_2d(128, 128, 37).into_values();
+    let parts = plod::split(&values);
+    let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+    let lvl = PlodLevel::new(2).unwrap();
+    let mut g = c.benchmark_group("plod_fill_ablation");
+    g.bench_function("midpoint_fill", |b| {
+        b.iter(|| {
+            let approx = plod::assemble(&refs[..2], lvl);
+            let err: f64 = values
+                .iter()
+                .zip(&approx)
+                .map(|(a, b)| ((a - b) / a).abs())
+                .sum();
+            black_box(err)
+        })
+    });
+    g.bench_function("zero_fill", |b| {
+        b.iter(|| {
+            let approx = plod::assemble_zero_fill(&refs[..2], lvl);
+            let err: f64 = values
+                .iter()
+                .zip(&approx)
+                .map(|(a, b)| ((a - b) / a).abs())
+                .sum();
+            black_box(err)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_split_assemble, bench_fill_ablation);
+criterion_main!(benches);

@@ -1,0 +1,118 @@
+//! End-to-end query latency on a resident dataset, including the
+//! aligned-bin fast-path ablation and the column-order vs round-robin
+//! assignment ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mloc::exec::ParallelExecutor;
+use mloc::prelude::*;
+use mloc_datagen::gts_like_2d;
+use mloc_pfs::{CostModel, MemBackend};
+use mloc_runtime::{column_order, distinct_groups_per_rank, round_robin};
+use std::hint::black_box;
+
+fn build(be: &MemBackend) -> Vec<f64> {
+    let field = gts_like_2d(512, 512, 19);
+    let config = MlocConfig::builder(vec![512, 512])
+        .chunk_shape(vec![64, 64])
+        .num_bins(32)
+        .build();
+    build_variable(be, "q", "v", field.values(), &config).unwrap();
+    field.into_values()
+}
+
+fn bench_query_latency(c: &mut Criterion) {
+    let be = MemBackend::new();
+    let values = build(&be);
+    let store = MlocStore::open(&be, "q", "v").unwrap();
+    let mut sorted = values;
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p40 = sorted[sorted.len() * 40 / 100];
+    let p50 = sorted[sorted.len() / 2];
+
+    let mut g = c.benchmark_group("query_latency");
+    g.sample_size(20);
+    g.bench_function("region_10pct", |b| {
+        b.iter(|| black_box(store.query_serial(&Query::region(p40, p50)).unwrap()))
+    });
+    g.bench_function("value_window", |b| {
+        let q = Query::values_in(Region::new(vec![(64, 192), (128, 256)]));
+        b.iter(|| black_box(store.query_serial(&q).unwrap()))
+    });
+    g.bench_function("value_window_plod2", |b| {
+        let q = Query::values_in(Region::new(vec![(64, 192), (128, 256)]))
+            .with_plod(PlodLevel::new(2).unwrap());
+        b.iter(|| black_box(store.query_serial(&q).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_aligned_fast_path(c: &mut Criterion) {
+    // Ablation: a wide VC where most bins are aligned (index-only)
+    // versus the same-size answer forced through value retrieval.
+    let be = MemBackend::new();
+    let values = build(&be);
+    let store = MlocStore::open(&be, "q", "v").unwrap();
+    let mut sorted = values;
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let lo = sorted[sorted.len() / 4];
+    let hi = sorted[sorted.len() * 3 / 4];
+
+    let mut g = c.benchmark_group("aligned_bin_fast_path");
+    g.sample_size(10);
+    g.bench_function("positions_only_uses_index", |b| {
+        b.iter(|| black_box(store.query_serial(&Query::region(lo, hi)).unwrap()))
+    });
+    g.bench_function("values_forced_decompression", |b| {
+        b.iter(|| black_box(store.query_serial(&Query::values_where(lo, hi)).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_assignment_ablation(c: &mut Criterion) {
+    // Column order vs round robin: bin files touched per rank (the
+    // paper's I/O-contention argument for column order, §III-D).
+    let groups: Vec<usize> = (0..3200usize)
+        .map(|i| (i.wrapping_mul(2654435761) >> 12) % 100)
+        .collect();
+    let mut g = c.benchmark_group("assignment_ablation");
+    for nranks in [8usize, 32] {
+        g.bench_with_input(BenchmarkId::new("column_order", nranks), &nranks, |b, &n| {
+            b.iter(|| {
+                let a = column_order(&groups, n);
+                black_box(distinct_groups_per_rank(&a, &groups))
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("round_robin", nranks), &nranks, |b, &n| {
+            b.iter(|| {
+                let a = round_robin(&groups, n);
+                black_box(distinct_groups_per_rank(&a, &groups))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_execution(c: &mut Criterion) {
+    let be = MemBackend::new();
+    build(&be);
+    let store = MlocStore::open(&be, "q", "v").unwrap();
+    let q = Query::values_in(Region::new(vec![(0, 256), (0, 256)]));
+    let mut g = c.benchmark_group("parallel_execution");
+    g.sample_size(10);
+    for ranks in [1usize, 4, 16] {
+        let exec = ParallelExecutor::new(ranks, CostModel::default());
+        g.bench_with_input(BenchmarkId::new("value_quarter", ranks), &exec, |b, exec| {
+            b.iter(|| black_box(exec.execute(&store, &q).unwrap()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_query_latency,
+    bench_aligned_fast_path,
+    bench_assignment_ablation,
+    bench_parallel_execution
+);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! WAH bitmap kernels: construction, logical ops, iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mloc_bitmap::{and, or, WahBitmap};
+use std::hint::black_box;
+
+fn sparse_positions(n: u64, every: u64) -> Vec<u64> {
+    (0..n).step_by(every as usize).collect()
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wah_construction");
+    let n = 1_000_000u64;
+    for density in [1000u64, 100, 10] {
+        let pos = sparse_positions(n, density);
+        g.throughput(Throughput::Elements(pos.len() as u64));
+        g.bench_with_input(
+            BenchmarkId::new("from_sorted_positions", format!("1/{density}")),
+            &pos,
+            |b, pos| b.iter(|| black_box(WahBitmap::from_sorted_positions(n, pos))),
+        );
+    }
+    g.finish();
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wah_ops");
+    let n = 1_000_000u64;
+    let a = WahBitmap::from_sorted_positions(n, &sparse_positions(n, 37));
+    let bmp = WahBitmap::from_sorted_positions(n, &sparse_positions(n, 41));
+    g.bench_function("and_1M", |b| b.iter(|| black_box(and(&a, &bmp))));
+    g.bench_function("or_1M", |b| b.iter(|| black_box(or(&a, &bmp))));
+    g.bench_function("count_ones_1M", |b| b.iter(|| black_box(a.count_ones())));
+    g.bench_function("iter_ones_1M", |b| {
+        b.iter(|| black_box(a.iter_ones().sum::<u64>()))
+    });
+    g.finish();
+}
+
+fn bench_serialization(c: &mut Criterion) {
+    let n = 1_000_000u64;
+    let a = WahBitmap::from_sorted_positions(n, &sparse_positions(n, 53));
+    let bytes = a.to_bytes();
+    let mut g = c.benchmark_group("wah_serde");
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("to_bytes", |b| b.iter(|| black_box(a.to_bytes())));
+    g.bench_function("from_bytes", |b| {
+        b.iter(|| black_box(WahBitmap::from_bytes(&bytes).unwrap()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_construction, bench_ops, bench_serialization);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Figure 6 — component breakdown (I/O, decompression, reconstruction)
+//! of value-retrieval access at 0.1 % selectivity on the large S3D
+//! dataset, for the MLOC variants and sequential scan.
+//!
+//! Paper shape: Seq. Scan is all I/O; MLOC variants trade I/O for
+//! decompression; MLOC-ISA has the least I/O but the most
+//! decompression (B-spline reconstruction).
+
+use mloc::config::PlodLevel;
+use mloc::exec::ParallelExecutor;
+use mloc_bench::compare::{build_systems, Lineup};
+use mloc_bench::report::{note, title, Table};
+use mloc_bench::scenario::DatasetSpec;
+use mloc_bench::workload::Workload;
+use mloc_bench::HarnessArgs;
+use mloc_pfs::{CostModel, MemBackend};
+
+fn main() {
+    let mut args = HarnessArgs::parse();
+    args.large = true;
+    let spec = DatasetSpec::s3d(true);
+    eprintln!("[fig6] building systems for {} ...", spec.name);
+    let field = spec.generate();
+    let be = MemBackend::new();
+    let systems = build_systems(&be, &spec, &field, Lineup::MlocAndScan);
+
+    // The paper's 0.1% on 512 GB still moves ~gigabytes per query, so
+    // its I/O component is volume-dominated. At our reduced scale the
+    // same selectivity is seek-dominated; we therefore show the paper
+    // setting *and* a volume-dominated setting (10%) where the codec
+    // differences (ISA reads least, decompresses most) are visible.
+    let model = CostModel::default();
+    let exec = ParallelExecutor::new(args.ranks, model);
+    for selectivity in [0.001f64, 0.10] {
+        title(&format!(
+            "Fig. 6: component times (s) for value retrieval, {}% selectivity, S3D",
+            selectivity * 100.0
+        ));
+        let mut table =
+            Table::new(&["system", "io", "decompress", "reconstruct", "total"]);
+        for (variant, store) in &systems.mloc {
+            let mut w =
+                Workload::new(field.values(), spec.shape.clone(), args.queries, args.seed);
+            let m = w.mloc_value(store, &exec, selectivity, PlodLevel::FULL);
+            table.row_seconds(
+                variant.name(),
+                &[m.io_s, m.decompress_s, m.reconstruct_s, m.component_sum()],
+            );
+        }
+        {
+            let mut w =
+                Workload::new(field.values(), spec.shape.clone(), args.queries, args.seed);
+            let b = w.baseline_value(&systems.seq, &model, selectivity);
+            table.row_seconds("Seq. Scan", &[b.io_s, 0.0, b.cpu_s, b.response_s]);
+        }
+        table.print();
+    }
+
+    println!();
+    println!("paper Fig. 6 shape (512 GB S3D, 0.1%):");
+    println!("  Seq. Scan : tallest bar, entirely I/O");
+    println!("  MLOC-COL  : I/O-dominant, small decompression");
+    println!("  MLOC-ISO  : less I/O than COL, moderate decompression");
+    println!("  MLOC-ISA  : least I/O, largest decompression share");
+    note(&format!("{} queries per cell, {} ranks", args.queries, args.ranks));
+}

@@ -1,0 +1,195 @@
+//! Building the full system line-up for one dataset and running
+//! query-type comparisons across all of them.
+
+use crate::scenario::{build_mloc, open_mloc, DatasetSpec, Variant, FASTBIT_PRECISION_BINS};
+use crate::workload::{BaselineAvg, Workload};
+use mloc::config::{LevelOrder, PlodLevel};
+use mloc::exec::ParallelExecutor;
+use mloc::metrics::QueryMetrics;
+use mloc::store::MlocStore;
+use mloc_baselines::{FastBit, SciDb, SeqScan};
+use mloc_datagen::Field;
+use mloc_pfs::{CostModel, MemBackend};
+
+/// Which comparators to build next to the MLOC variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lineup {
+    /// MLOC variants + sequential scan only (the 512 GB experiments).
+    MlocAndScan,
+    /// Everything, including FastBit and SciDB (the 8 GB experiments).
+    Full,
+}
+
+/// All systems built over one generated dataset.
+pub struct Systems<'a> {
+    /// The dataset spec used.
+    pub spec: DatasetSpec,
+    /// The three MLOC variants, opened for querying.
+    pub mloc: Vec<(Variant, MlocStore<'a>)>,
+    /// Sequential-scan baseline.
+    pub seq: SeqScan<'a>,
+    /// FastBit comparator (Full line-up only).
+    pub fastbit: Option<FastBit<'a>>,
+    /// SciDB comparator (Full line-up only).
+    pub scidb: Option<SciDb<'a>>,
+}
+
+/// Generate the dataset and build every system on `backend`.
+pub fn build_systems<'a>(
+    backend: &'a MemBackend,
+    spec: &DatasetSpec,
+    field: &Field,
+    lineup: Lineup,
+) -> Systems<'a> {
+    let mut mloc = Vec::new();
+    for variant in Variant::ALL {
+        build_mloc(backend, spec, field.values(), variant, LevelOrder::Vms);
+        mloc.push((variant, open_mloc(backend, spec, variant)));
+    }
+    let seq = SeqScan::build(backend, spec.name, field.values(), spec.shape.clone())
+        .expect("seqscan build");
+    let (fastbit, scidb) = if lineup == Lineup::Full {
+        let fb = FastBit::build(
+            backend,
+            spec.name,
+            field.values(),
+            spec.shape.clone(),
+            FASTBIT_PRECISION_BINS,
+        )
+        .expect("fastbit build");
+        let db = SciDb::build(
+            backend,
+            spec.name,
+            field.values(),
+            spec.shape.clone(),
+            spec.chunk.clone(),
+            (spec.chunk[0] / 40).max(1),
+        )
+        .expect("scidb build");
+        (Some(fb), Some(db))
+    } else {
+        (None, None)
+    };
+    Systems { spec: spec.clone(), mloc, seq, fastbit, scidb }
+}
+
+/// One measured cell: a response time plus its components.
+#[derive(Debug, Clone, Default)]
+pub struct Cell {
+    /// Mean response seconds.
+    pub response_s: f64,
+    /// Mean simulated I/O seconds.
+    pub io_s: f64,
+    /// Mean CPU seconds (decompress + reconstruct, or scan).
+    pub cpu_s: f64,
+}
+
+impl From<&QueryMetrics> for Cell {
+    fn from(m: &QueryMetrics) -> Cell {
+        Cell {
+            response_s: m.response_s,
+            io_s: m.io_s,
+            cpu_s: m.decompress_s + m.reconstruct_s,
+        }
+    }
+}
+
+impl From<&BaselineAvg> for Cell {
+    fn from(b: &BaselineAvg) -> Cell {
+        Cell {
+            response_s: b.response_s,
+            io_s: b.io_s,
+            cpu_s: b.cpu_s + b.overhead_s,
+        }
+    }
+}
+
+/// Run region queries (VC, positions out) at the given selectivities
+/// across every system; returns rows of `(system name, cells)`.
+pub fn region_comparison(
+    systems: &Systems<'_>,
+    field: &Field,
+    selectivities: &[f64],
+    queries: usize,
+    ranks: usize,
+    seed: u64,
+) -> Vec<(String, Vec<Cell>)> {
+    let model = CostModel::default();
+    let exec = ParallelExecutor::new(ranks, model);
+    let mut rows = Vec::new();
+
+    for (variant, store) in &systems.mloc {
+        let mut cells = Vec::new();
+        for &sel in selectivities {
+            let mut w =
+                Workload::new(field.values(), systems.spec.shape.clone(), queries, seed);
+            let m = w.mloc_region(store, &exec, sel);
+            cells.push(Cell::from(&m));
+        }
+        rows.push((variant.name().to_string(), cells));
+    }
+
+    let mut baseline = |name: &str, engine: &dyn mloc_baselines::QueryEngine| {
+        let mut cells = Vec::new();
+        for &sel in selectivities {
+            let mut w =
+                Workload::new(field.values(), systems.spec.shape.clone(), queries, seed);
+            let b = w.baseline_region(engine, &model, sel);
+            cells.push(Cell::from(&b));
+        }
+        rows.push((name.to_string(), cells));
+    };
+    baseline("Seq. Scan", &systems.seq);
+    if let Some(fb) = &systems.fastbit {
+        baseline("FastBit", fb);
+    }
+    if let Some(db) = &systems.scidb {
+        baseline("SciDB", db);
+    }
+    rows
+}
+
+/// Run value queries (SC, values out) at the given selectivities
+/// across every system.
+pub fn value_comparison(
+    systems: &Systems<'_>,
+    field: &Field,
+    selectivities: &[f64],
+    queries: usize,
+    ranks: usize,
+    seed: u64,
+) -> Vec<(String, Vec<Cell>)> {
+    let model = CostModel::default();
+    let exec = ParallelExecutor::new(ranks, model);
+    let mut rows = Vec::new();
+
+    for (variant, store) in &systems.mloc {
+        let mut cells = Vec::new();
+        for &sel in selectivities {
+            let mut w =
+                Workload::new(field.values(), systems.spec.shape.clone(), queries, seed);
+            let m = w.mloc_value(store, &exec, sel, PlodLevel::FULL);
+            cells.push(Cell::from(&m));
+        }
+        rows.push((variant.name().to_string(), cells));
+    }
+
+    let mut baseline = |name: &str, engine: &dyn mloc_baselines::QueryEngine| {
+        let mut cells = Vec::new();
+        for &sel in selectivities {
+            let mut w =
+                Workload::new(field.values(), systems.spec.shape.clone(), queries, seed);
+            let b = w.baseline_value(engine, &model, sel);
+            cells.push(Cell::from(&b));
+        }
+        rows.push((name.to_string(), cells));
+    };
+    baseline("Seq. Scan", &systems.seq);
+    if let Some(fb) = &systems.fastbit {
+        baseline("FastBit", fb);
+    }
+    if let Some(db) = &systems.scidb {
+        baseline("SciDB", db);
+    }
+    rows
+}

@@ -1,0 +1,238 @@
+//! Dataset specifications and system builders for the experiments.
+
+use mloc::build::{build_variable, BuildReport};
+use mloc::config::{LevelOrder, MlocConfig};
+use mloc::store::MlocStore;
+use mloc_compress::CodecKind;
+use mloc_datagen::{gts_like_2d, s3d_like_3d, Field};
+use mloc_pfs::StorageBackend;
+
+/// ISABELA error bound used for MLOC-ISA (0.1 %, the usual ISABELA
+/// setting in the paper's related work).
+pub const ISA_ERROR_BOUND: f64 = 0.001;
+
+/// FastBit's precision binning yields far finer bins than MLOC's 100
+/// equal-frequency bins; the many sparse bitmaps are what make its
+/// index heavyweight (paper Table I).
+pub const FASTBIT_PRECISION_BINS: usize = 1000;
+
+/// A dataset scenario: name, geometry, binning.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Dataset name ("GTS" / "S3D").
+    pub name: &'static str,
+    /// Domain shape.
+    pub shape: Vec<usize>,
+    /// Chunk shape (paper: 2048² for GTS, 128³ for S3D).
+    pub chunk: Vec<usize>,
+    /// Equal-frequency bins (paper: 100).
+    pub num_bins: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// GTS-like 2-D dataset. Paper: 8 GB = 32,768², 512 GB = 262,144²,
+    /// chunks 2,048². Scaled: small = 2,048² (32 MiB, 64 chunks),
+    /// large = 4,096² (128 MiB, 64 chunks).
+    pub fn gts(large: bool) -> DatasetSpec {
+        if large {
+            DatasetSpec {
+                name: "GTS",
+                shape: vec![4096, 4096],
+                chunk: vec![512, 512],
+                num_bins: 100,
+                seed: 11,
+            }
+        } else {
+            DatasetSpec {
+                name: "GTS",
+                shape: vec![2048, 2048],
+                chunk: vec![256, 256],
+                num_bins: 100,
+                seed: 11,
+            }
+        }
+    }
+
+    /// S3D-like 3-D dataset. Paper: 8 GB = 1,024³, 512 GB = 4,096³,
+    /// chunks 128³. Scaled: small = 160³ (31 MiB, 64 chunks), large =
+    /// 256³ (128 MiB, 64 chunks).
+    pub fn s3d(large: bool) -> DatasetSpec {
+        if large {
+            DatasetSpec {
+                name: "S3D",
+                shape: vec![256, 256, 256],
+                chunk: vec![64, 64, 64],
+                num_bins: 100,
+                seed: 23,
+            }
+        } else {
+            DatasetSpec {
+                name: "S3D",
+                shape: vec![160, 160, 160],
+                chunk: vec![40, 40, 40],
+                num_bins: 100,
+                seed: 23,
+            }
+        }
+    }
+
+    /// Number of points.
+    pub fn num_points(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Raw bytes.
+    pub fn raw_bytes(&self) -> u64 {
+        self.num_points() as u64 * 8
+    }
+
+    /// Generate the field. Large scales follow the paper's protocol:
+    /// a snapshot is generated and *replicated* to the target size
+    /// ("we replicate the dataset to 512 GB", §IV-A.1).
+    pub fn generate(&self) -> Field {
+        let rep = 2usize; // replication factor per dimension at large scale
+        let large = self.shape.iter().all(|&e| e % rep == 0)
+            && self.num_points() >= 16 << 20;
+        let gen_shape: Vec<usize> = if large {
+            self.shape.iter().map(|&e| e / rep).collect()
+        } else {
+            self.shape.clone()
+        };
+        let base = match gen_shape.len() {
+            2 => gts_like_2d(gen_shape[0], gen_shape[1], self.seed),
+            3 => s3d_like_3d(gen_shape[0], gen_shape[1], gen_shape[2], self.seed),
+            d => panic!("unsupported dimensionality {d}"),
+        };
+        if large {
+            base.replicate(&vec![rep; gen_shape.len()])
+        } else {
+            base
+        }
+    }
+}
+
+/// The three MLOC configurations the paper evaluates (§IV-A.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// V-M-S order, PLoD byte columns compressed with the
+    /// DEFLATE-style codec ("Zlib").
+    Col,
+    /// ISOBAR lossless FP compression, whole-value units.
+    Iso,
+    /// ISABELA lossy FP compression, whole-value units.
+    Isa,
+}
+
+impl Variant {
+    /// All three variants.
+    pub const ALL: [Variant; 3] = [Variant::Col, Variant::Iso, Variant::Isa];
+
+    /// Report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::Col => "MLOC-COL",
+            Variant::Iso => "MLOC-ISO",
+            Variant::Isa => "MLOC-ISA",
+        }
+    }
+
+    /// Variable name used on storage.
+    pub fn var(self) -> &'static str {
+        match self {
+            Variant::Col => "col",
+            Variant::Iso => "iso",
+            Variant::Isa => "isa",
+        }
+    }
+
+    /// Build configuration for a dataset spec.
+    pub fn config(self, spec: &DatasetSpec, order: LevelOrder) -> MlocConfig {
+        let builder = MlocConfig::builder(spec.shape.clone())
+            .chunk_shape(spec.chunk.clone())
+            .num_bins(spec.num_bins)
+            .level_order(order);
+        match self {
+            Variant::Col => builder.codec(CodecKind::Deflate).build(),
+            Variant::Iso => builder.codec(CodecKind::Isobar).build(),
+            Variant::Isa => builder
+                .codec(CodecKind::Isabela { error_bound: ISA_ERROR_BOUND })
+                .build(),
+        }
+    }
+}
+
+/// Build one MLOC variant of a dataset and return its report.
+pub fn build_mloc(
+    backend: &dyn StorageBackend,
+    spec: &DatasetSpec,
+    values: &[f64],
+    variant: Variant,
+    order: LevelOrder,
+) -> BuildReport {
+    let config = variant.config(spec, order);
+    build_variable(backend, spec.name, variant.var(), values, &config)
+        .expect("MLOC build failed")
+}
+
+/// Open a previously built MLOC variant.
+pub fn open_mloc<'a>(
+    backend: &'a dyn StorageBackend,
+    spec: &DatasetSpec,
+    variant: Variant,
+) -> MlocStore<'a> {
+    MlocStore::open(backend, spec.name, variant.var()).expect("MLOC open failed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mloc_pfs::MemBackend;
+
+    #[test]
+    fn specs_are_consistent() {
+        for spec in [
+            DatasetSpec::gts(false),
+            DatasetSpec::gts(true),
+            DatasetSpec::s3d(false),
+            DatasetSpec::s3d(true),
+        ] {
+            assert_eq!(spec.shape.len(), spec.chunk.len());
+            for (s, c) in spec.shape.iter().zip(&spec.chunk) {
+                assert_eq!(s % c, 0, "{}: chunks must tile the domain", spec.name);
+            }
+        }
+    }
+
+    #[test]
+    fn variant_configs_differ_only_where_expected() {
+        let spec = DatasetSpec::gts(false);
+        let col = Variant::Col.config(&spec, LevelOrder::Vms);
+        let iso = Variant::Iso.config(&spec, LevelOrder::Vms);
+        let isa = Variant::Isa.config(&spec, LevelOrder::Vms);
+        assert!(col.plod && !iso.plod && !isa.plod);
+        assert_eq!(col.num_bins, iso.num_bins);
+        assert!(isa.codec.is_lossy());
+    }
+
+    #[test]
+    fn tiny_end_to_end_build_and_open() {
+        let spec = DatasetSpec {
+            name: "tiny",
+            shape: vec![64, 64],
+            chunk: vec![16, 16],
+            num_bins: 8,
+            seed: 1,
+        };
+        let field = spec.generate();
+        let be = MemBackend::new();
+        for variant in Variant::ALL {
+            let report =
+                build_mloc(&be, &spec, field.values(), variant, LevelOrder::Vms);
+            assert_eq!(report.raw_bytes, spec.raw_bytes());
+            let store = open_mloc(&be, &spec, variant);
+            assert_eq!(store.total_points(), spec.num_points() as u64);
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Query workloads: identical random query sequences across systems,
+//! averaged metrics (paper protocol: "the average results of 100
+//! random queries", §IV-A).
+
+use mloc::array::Region;
+use mloc::config::PlodLevel;
+use mloc::exec::ParallelExecutor;
+use mloc::metrics::QueryMetrics;
+use mloc::query::Query;
+use mloc::store::MlocStore;
+use mloc_baselines::QueryEngine;
+use mloc_datagen::QueryGen;
+use mloc_pfs::CostModel;
+
+/// Averaged baseline-engine response decomposition.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineAvg {
+    /// Mean response time (simulated I/O + measured CPU + modeled
+    /// engine overhead).
+    pub response_s: f64,
+    /// Mean simulated I/O seconds.
+    pub io_s: f64,
+    /// Mean measured CPU seconds.
+    pub cpu_s: f64,
+    /// Mean modeled overhead seconds.
+    pub overhead_s: f64,
+    /// Mean bytes read.
+    pub bytes_read: u64,
+    /// Mean result cardinality (sanity cross-check between systems).
+    pub mean_hits: f64,
+}
+
+/// A reproducible workload over one dataset.
+pub struct Workload {
+    gen: QueryGen,
+    shape: Vec<usize>,
+    queries: usize,
+}
+
+impl Workload {
+    /// Create a workload from a strided sample of the dataset values.
+    pub fn new(values: &[f64], shape: Vec<usize>, queries: usize, seed: u64) -> Self {
+        let stride = (values.len() / (1 << 16)).max(1);
+        let sample: Vec<f64> = values.iter().step_by(stride).copied().collect();
+        Workload { gen: QueryGen::new(sample, shape.clone(), seed), shape, queries }
+    }
+
+    /// The value constraints of this workload at a selectivity.
+    fn value_constraints(&mut self, selectivity: f64) -> Vec<(f64, f64)> {
+        (0..self.queries).map(|_| self.gen.value_constraint(selectivity)).collect()
+    }
+
+    /// The regions of this workload at a selectivity.
+    fn regions(&mut self, selectivity: f64) -> Vec<Region> {
+        (0..self.queries)
+            .map(|_| Region::new(self.gen.region(selectivity)))
+            .collect()
+    }
+
+    /// Domain shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Run region queries (VC, positions out) on an MLOC store.
+    pub fn mloc_region(
+        &mut self,
+        store: &MlocStore<'_>,
+        exec: &ParallelExecutor,
+        selectivity: f64,
+    ) -> QueryMetrics {
+        let mut acc = QueryMetrics::default();
+        for (lo, hi) in self.value_constraints(selectivity) {
+            let (_, m) = exec
+                .execute(store, &Query::region(lo, hi))
+                .expect("region query failed");
+            acc.accumulate(&m);
+        }
+        acc.scale(self.queries);
+        acc
+    }
+
+    /// Run value queries (SC, values out) on an MLOC store, at an
+    /// optional PLoD level.
+    pub fn mloc_value(
+        &mut self,
+        store: &MlocStore<'_>,
+        exec: &ParallelExecutor,
+        selectivity: f64,
+        plod: PlodLevel,
+    ) -> QueryMetrics {
+        let mut acc = QueryMetrics::default();
+        for region in self.regions(selectivity) {
+            let (_, m) = exec
+                .execute(store, &Query::values_in(region).with_plod(plod))
+                .expect("value query failed");
+            acc.accumulate(&m);
+        }
+        acc.scale(self.queries);
+        acc
+    }
+
+    /// Run region queries on a baseline engine.
+    pub fn baseline_region(
+        &mut self,
+        engine: &dyn QueryEngine,
+        model: &CostModel,
+        selectivity: f64,
+    ) -> BaselineAvg {
+        let constraints = self.value_constraints(selectivity);
+        let mut avg = BaselineAvg::default();
+        for (lo, hi) in &constraints {
+            let ans = engine.region_query(*lo, *hi).expect("baseline region query");
+            avg.io_s += ans.io_s(model);
+            avg.cpu_s += ans.cpu_s;
+            avg.overhead_s += ans.overhead_s;
+            avg.bytes_read += ans.bytes_read();
+            avg.mean_hits += ans.positions.len() as f64;
+        }
+        finish_avg(avg, self.queries)
+    }
+
+    /// Run value queries on a baseline engine.
+    pub fn baseline_value(
+        &mut self,
+        engine: &dyn QueryEngine,
+        model: &CostModel,
+        selectivity: f64,
+    ) -> BaselineAvg {
+        let regions = self.regions(selectivity);
+        let mut avg = BaselineAvg::default();
+        for region in &regions {
+            let ans = engine.value_query(region).expect("baseline value query");
+            avg.io_s += ans.io_s(model);
+            avg.cpu_s += ans.cpu_s;
+            avg.overhead_s += ans.overhead_s;
+            avg.bytes_read += ans.bytes_read();
+            avg.mean_hits += ans.positions.len() as f64;
+        }
+        finish_avg(avg, self.queries)
+    }
+}
+
+fn finish_avg(mut avg: BaselineAvg, queries: usize) -> BaselineAvg {
+    let q = queries.max(1) as f64;
+    avg.io_s /= q;
+    avg.cpu_s /= q;
+    avg.overhead_s /= q;
+    avg.bytes_read = (avg.bytes_read as f64 / q) as u64;
+    avg.mean_hits /= q;
+    avg.response_s = avg.io_s + avg.cpu_s + avg.overhead_s;
+    avg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{build_mloc, open_mloc, DatasetSpec, Variant};
+    use mloc::config::LevelOrder;
+    use mloc_baselines::SeqScan;
+    use mloc_pfs::MemBackend;
+
+    #[test]
+    fn same_seed_same_queries_across_systems() {
+        let spec = DatasetSpec {
+            name: "w",
+            shape: vec![64, 64],
+            chunk: vec![16, 16],
+            num_bins: 8,
+            seed: 5,
+        };
+        let field = spec.generate();
+        let be = MemBackend::new();
+        build_mloc(&be, &spec, field.values(), Variant::Col, LevelOrder::Vms);
+        let store = open_mloc(&be, &spec, Variant::Col);
+        let scan = SeqScan::build(&be, "w", field.values(), spec.shape.clone()).unwrap();
+
+        let exec = ParallelExecutor::serial();
+        let model = CostModel::default();
+        let mut w1 = Workload::new(field.values(), spec.shape.clone(), 5, 7);
+        let mloc_m = w1.mloc_region(&store, &exec, 0.05);
+
+        let mut w2 = Workload::new(field.values(), spec.shape.clone(), 5, 7);
+        let base = w2.baseline_region(&scan, &model, 0.05);
+
+        // Same query sequence ⇒ both systems saw identical hit counts,
+        // and MLOC read far fewer bytes.
+        assert!(base.mean_hits > 0.0);
+        assert!(mloc_m.bytes_read < base.bytes_read);
+    }
+
+    #[test]
+    fn mloc_and_seqscan_agree_on_answers() {
+        let spec = DatasetSpec {
+            name: "w2",
+            shape: vec![32, 32],
+            chunk: vec![8, 8],
+            num_bins: 4,
+            seed: 9,
+        };
+        let field = spec.generate();
+        let be = MemBackend::new();
+        build_mloc(&be, &spec, field.values(), Variant::Iso, LevelOrder::Vms);
+        let store = open_mloc(&be, &spec, Variant::Iso);
+        let scan = SeqScan::build(&be, "w2", field.values(), spec.shape.clone()).unwrap();
+
+        let mut gen = QueryGen::new(field.values().to_vec(), spec.shape.clone(), 3);
+        for _ in 0..5 {
+            let (lo, hi) = gen.value_constraint(0.1);
+            let a = store.query_serial(&Query::region(lo, hi)).unwrap();
+            let b = scan.region_query(lo, hi).unwrap();
+            assert_eq!(a.positions(), &b.positions[..]);
+
+            let region = Region::new(gen.region(0.05));
+            let av = store.query_serial(&Query::values_in(region.clone())).unwrap();
+            let bv = scan.value_query(&region).unwrap();
+            assert_eq!(av.positions(), &bv.positions[..]);
+            assert_eq!(av.values().unwrap(), &bv.values.unwrap()[..]);
+        }
+    }
+}

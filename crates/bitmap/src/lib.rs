@@ -1,0 +1,32 @@
+//! Word-Aligned Hybrid (WAH) compressed bitmaps.
+//!
+//! This is the bitmap substrate used twice in the MLOC reproduction:
+//!
+//! * MLOC itself represents the per-bin, per-chunk positional indices as
+//!   compressed bitmaps ("light-weight and high-performance bitmap
+//!   indexing", paper §III-D.4), and synchronizes region-query results
+//!   between ranks as bitmaps.
+//! * The FastBit comparator (`mloc-baselines`) builds its binned bitmap
+//!   index from these bitmaps.
+//!
+//! The encoding is classic WAH over 32-bit words: a *literal* word
+//! (MSB 0) carries 31 data bits; a *fill* word (MSB 1) carries a fill
+//! bit and a 30-bit count of 31-bit groups.
+
+//! # Example
+//!
+//! ```
+//! use mloc_bitmap::{and, WahBitmap};
+//!
+//! let a = WahBitmap::from_sorted_positions(1_000_000, &[3, 500_000]);
+//! let b = WahBitmap::ones(1_000_000);
+//! assert_eq!(and(&a, &b).to_positions(), vec![3, 500_000]);
+//! // A million-bit sparse bitmap stays tiny.
+//! assert!(a.size_in_bytes() < 64);
+//! ```
+
+pub mod ops;
+pub mod wah;
+
+pub use ops::{and, andnot, or, or_many};
+pub use wah::{WahBitmap, WahBuilder};

@@ -1,0 +1,546 @@
+//! The WAH bitmap representation, builder, iteration and serialization.
+
+/// Number of data bits per WAH group (31 for 32-bit words).
+pub const GROUP_BITS: u64 = 31;
+const LITERAL_MASK: u32 = 0x7FFF_FFFF;
+const FILL_FLAG: u32 = 0x8000_0000;
+const FILL_BIT: u32 = 0x4000_0000;
+const FILL_COUNT_MASK: u32 = 0x3FFF_FFFF;
+/// Maximum group count representable by one fill word.
+const MAX_FILL_GROUPS: u32 = FILL_COUNT_MASK;
+
+const MAGIC: u32 = 0x4841_574D; // "MWAH"
+
+/// A WAH-compressed bitmap of fixed logical length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WahBitmap {
+    words: Vec<u32>,
+    num_bits: u64,
+}
+
+impl WahBitmap {
+    /// An all-zero bitmap of `num_bits` bits.
+    pub fn zeros(num_bits: u64) -> Self {
+        let mut b = WahBuilder::new();
+        b.append_run(false, num_bits);
+        b.finish()
+    }
+
+    /// An all-one bitmap of `num_bits` bits.
+    pub fn ones(num_bits: u64) -> Self {
+        let mut b = WahBuilder::new();
+        b.append_run(true, num_bits);
+        b.finish()
+    }
+
+    /// Build from a slice of booleans.
+    pub fn from_bools(bits: &[bool]) -> Self {
+        let mut b = WahBuilder::new();
+        for &bit in bits {
+            b.push(bit);
+        }
+        b.finish()
+    }
+
+    /// Build a bitmap of `num_bits` bits with exactly the given
+    /// positions set. `positions` must be strictly increasing.
+    ///
+    /// # Panics
+    /// Panics if positions are out of range or not strictly increasing.
+    pub fn from_sorted_positions(num_bits: u64, positions: &[u64]) -> Self {
+        let mut b = WahBuilder::new();
+        let mut cursor = 0u64;
+        for &p in positions {
+            assert!(p >= cursor, "positions must be strictly increasing");
+            assert!(p < num_bits, "position {p} out of range {num_bits}");
+            b.append_run(false, p - cursor);
+            b.push(true);
+            cursor = p + 1;
+        }
+        b.append_run(false, num_bits - cursor);
+        b.finish()
+    }
+
+    /// Logical number of bits.
+    pub fn len(&self) -> u64 {
+        self.num_bits
+    }
+
+    /// True when the bitmap has zero logical bits.
+    pub fn is_empty(&self) -> bool {
+        self.num_bits == 0
+    }
+
+    /// Compressed size in bytes (words only, excluding the length field).
+    pub fn size_in_bytes(&self) -> usize {
+        self.words.len() * 4 + 8
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u64 {
+        let mut total = 0u64;
+        let mut bit_cursor = 0u64;
+        for run in self.runs() {
+            match run {
+                Run::Fill { bit, groups } => {
+                    let nbits = (groups as u64 * GROUP_BITS).min(self.num_bits - bit_cursor);
+                    if bit {
+                        total += nbits;
+                    }
+                    bit_cursor += nbits;
+                }
+                Run::Literal(w) => {
+                    let nbits = GROUP_BITS.min(self.num_bits - bit_cursor);
+                    let mask = if nbits == GROUP_BITS {
+                        LITERAL_MASK
+                    } else {
+                        (1u32 << nbits) - 1
+                    };
+                    total += u64::from((w & mask).count_ones());
+                    bit_cursor += nbits;
+                }
+            }
+        }
+        total
+    }
+
+    /// Test a single bit. O(words) — intended for tests, not hot paths.
+    pub fn get(&self, pos: u64) -> bool {
+        assert!(pos < self.num_bits, "bit {pos} out of range");
+        let mut bit_cursor = 0u64;
+        for run in self.runs() {
+            match run {
+                Run::Fill { bit, groups } => {
+                    let nbits = groups as u64 * GROUP_BITS;
+                    if pos < bit_cursor + nbits {
+                        return bit;
+                    }
+                    bit_cursor += nbits;
+                }
+                Run::Literal(w) => {
+                    if pos < bit_cursor + GROUP_BITS {
+                        return (w >> (pos - bit_cursor)) & 1 == 1;
+                    }
+                    bit_cursor += GROUP_BITS;
+                }
+            }
+        }
+        false
+    }
+
+    /// Iterate positions of set bits in increasing order.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter {
+            bitmap: self,
+            word_idx: 0,
+            bit_cursor: 0,
+            pending_fill_groups: 0,
+            pending_fill_bit: false,
+            literal: 0,
+            literal_base: 0,
+            literal_active: false,
+        }
+    }
+
+    /// Collect set-bit positions into a vector.
+    pub fn to_positions(&self) -> Vec<u64> {
+        self.iter_ones().collect()
+    }
+
+    /// Raw word stream (for size accounting and tests).
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    pub(crate) fn runs(&self) -> RunIter<'_> {
+        RunIter { words: &self.words, idx: 0 }
+    }
+
+    /// Override the logical length (used by group-aligned operations to
+    /// restore the unpadded length). Must not exceed the padded length.
+    pub(crate) fn set_len(&mut self, num_bits: u64) {
+        debug_assert!(num_bits <= self.num_bits);
+        self.num_bits = num_bits;
+    }
+
+    /// Serialize to a little-endian byte stream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.words.len() * 4);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&self.num_bits.to_le_bytes());
+        out.extend_from_slice(&(self.words.len() as u32).to_le_bytes());
+        for w in &self.words {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize from [`Self::to_bytes`] output.
+    ///
+    /// Returns the bitmap and the number of bytes consumed.
+    pub fn from_bytes(data: &[u8]) -> Result<(Self, usize), BitmapError> {
+        if data.len() < 16 {
+            return Err(BitmapError::Truncated);
+        }
+        let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(BitmapError::BadMagic(magic));
+        }
+        let num_bits = u64::from_le_bytes(data[4..12].try_into().unwrap());
+        let nwords = u32::from_le_bytes(data[12..16].try_into().unwrap()) as usize;
+        let need = 16 + nwords.saturating_mul(4);
+        if data.len() < need {
+            return Err(BitmapError::Truncated);
+        }
+        let mut words = Vec::with_capacity(nwords);
+        for i in 0..nwords {
+            let off = 16 + i * 4;
+            words.push(u32::from_le_bytes(data[off..off + 4].try_into().unwrap()));
+        }
+        Ok((WahBitmap { words, num_bits }, need))
+    }
+}
+
+/// Errors from bitmap deserialization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BitmapError {
+    /// Input ended before the encoded length.
+    Truncated,
+    /// Magic number mismatch.
+    BadMagic(u32),
+}
+
+impl std::fmt::Display for BitmapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BitmapError::Truncated => write!(f, "bitmap byte stream truncated"),
+            BitmapError::BadMagic(m) => write!(f, "bad bitmap magic {m:#x}"),
+        }
+    }
+}
+
+impl std::error::Error for BitmapError {}
+
+/// A decoded WAH run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Run {
+    /// `groups` repetitions of an all-`bit` 31-bit group.
+    Fill { bit: bool, groups: u32 },
+    /// One 31-bit literal group (bit 0 = first position).
+    Literal(u32),
+}
+
+pub(crate) struct RunIter<'a> {
+    words: &'a [u32],
+    idx: usize,
+}
+
+impl Iterator for RunIter<'_> {
+    type Item = Run;
+
+    fn next(&mut self) -> Option<Run> {
+        let w = *self.words.get(self.idx)?;
+        self.idx += 1;
+        if w & FILL_FLAG != 0 {
+            Some(Run::Fill { bit: w & FILL_BIT != 0, groups: w & FILL_COUNT_MASK })
+        } else {
+            Some(Run::Literal(w))
+        }
+    }
+}
+
+/// Iterator over set-bit positions.
+pub struct OnesIter<'a> {
+    bitmap: &'a WahBitmap,
+    word_idx: usize,
+    bit_cursor: u64,
+    pending_fill_groups: u32,
+    pending_fill_bit: bool,
+    literal: u32,
+    literal_base: u64,
+    literal_active: bool,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            if self.literal_active {
+                if self.literal != 0 {
+                    let tz = self.literal.trailing_zeros() as u64;
+                    self.literal &= self.literal - 1;
+                    let pos = self.literal_base + tz;
+                    if pos < self.bitmap.num_bits {
+                        return Some(pos);
+                    }
+                    continue;
+                }
+                self.literal_active = false;
+            }
+            if self.pending_fill_groups > 0 {
+                // Fills of ones are expanded group by group through the
+                // literal path; fills of zeros are skipped wholesale.
+                if self.pending_fill_bit {
+                    self.literal = LITERAL_MASK;
+                    self.literal_base = self.bit_cursor;
+                    self.literal_active = true;
+                    self.pending_fill_groups -= 1;
+                    self.bit_cursor += GROUP_BITS;
+                    continue;
+                } else {
+                    self.bit_cursor += self.pending_fill_groups as u64 * GROUP_BITS;
+                    self.pending_fill_groups = 0;
+                }
+            }
+            let w = *self.bitmap.words.get(self.word_idx)?;
+            self.word_idx += 1;
+            if w & FILL_FLAG != 0 {
+                self.pending_fill_bit = w & FILL_BIT != 0;
+                self.pending_fill_groups = w & FILL_COUNT_MASK;
+            } else {
+                self.literal = w;
+                self.literal_base = self.bit_cursor;
+                self.literal_active = true;
+                self.bit_cursor += GROUP_BITS;
+            }
+        }
+    }
+}
+
+/// Incremental WAH bitmap builder.
+#[derive(Debug, Default)]
+pub struct WahBuilder {
+    words: Vec<u32>,
+    /// Bits accumulated into the current (incomplete) group.
+    active: u32,
+    active_bits: u32,
+    num_bits: u64,
+}
+
+impl WahBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, bit: bool) {
+        if bit {
+            self.active |= 1 << self.active_bits;
+        }
+        self.active_bits += 1;
+        self.num_bits += 1;
+        if u64::from(self.active_bits) == GROUP_BITS {
+            self.flush_group();
+        }
+    }
+
+    /// Append `count` copies of `bit`.
+    pub fn append_run(&mut self, bit: bool, mut count: u64) {
+        // Fill the current partial group first.
+        while self.active_bits != 0 && count > 0 {
+            self.push(bit);
+            count -= 1;
+        }
+        // Emit whole groups as fills.
+        let groups = count / GROUP_BITS;
+        if groups > 0 {
+            self.emit_fill(bit, groups);
+            self.num_bits += groups * GROUP_BITS;
+            count -= groups * GROUP_BITS;
+        }
+        // Remainder goes into the new partial group.
+        for _ in 0..count {
+            self.push(bit);
+        }
+    }
+
+    fn flush_group(&mut self) {
+        let g = self.active & LITERAL_MASK;
+        self.active = 0;
+        self.active_bits = 0;
+        if g == 0 {
+            self.emit_fill(false, 1);
+        } else if g == LITERAL_MASK {
+            self.emit_fill(true, 1);
+        } else {
+            self.words.push(g);
+        }
+    }
+
+    fn emit_fill(&mut self, bit: bool, mut groups: u64) {
+        // Merge with a preceding fill of the same kind when possible.
+        if let Some(&last) = self.words.last() {
+            if last & FILL_FLAG != 0 && (last & FILL_BIT != 0) == bit {
+                let existing = u64::from(last & FILL_COUNT_MASK);
+                let merged = existing + groups;
+                if merged <= u64::from(MAX_FILL_GROUPS) {
+                    let w = FILL_FLAG
+                        | if bit { FILL_BIT } else { 0 }
+                        | (merged as u32 & FILL_COUNT_MASK);
+                    *self.words.last_mut().unwrap() = w;
+                    return;
+                }
+                // Top up the existing fill, emit the rest below.
+                let room = u64::from(MAX_FILL_GROUPS) - existing;
+                let w = FILL_FLAG | if bit { FILL_BIT } else { 0 } | MAX_FILL_GROUPS;
+                *self.words.last_mut().unwrap() = w;
+                groups -= room;
+            }
+        }
+        while groups > 0 {
+            let take = groups.min(u64::from(MAX_FILL_GROUPS));
+            self.words
+                .push(FILL_FLAG | if bit { FILL_BIT } else { 0 } | (take as u32));
+            groups -= take;
+        }
+    }
+
+    /// Append a whole 31-bit group at once. Only valid when the builder
+    /// is group-aligned (no partial bits pending).
+    ///
+    /// # Panics
+    /// Panics if bits have been pushed since the last group boundary.
+    pub fn push_group(&mut self, group: u32) {
+        assert_eq!(self.active_bits, 0, "push_group requires group alignment");
+        let g = group & LITERAL_MASK;
+        self.num_bits += GROUP_BITS;
+        if g == 0 {
+            self.emit_fill(false, 1);
+        } else if g == LITERAL_MASK {
+            self.emit_fill(true, 1);
+        } else {
+            self.words.push(g);
+        }
+    }
+
+    /// Finish building; a trailing partial group is stored as a literal.
+    pub fn finish(mut self) -> WahBitmap {
+        if self.active_bits > 0 {
+            // Store the partial group as a literal (padding bits zero).
+            self.words.push(self.active & LITERAL_MASK);
+            self.active = 0;
+            self.active_bits = 0;
+        }
+        WahBitmap { words: self.words, num_bits: self.num_bits }
+    }
+
+    /// Bits appended so far.
+    pub fn len(&self) -> u64 {
+        self.num_bits
+    }
+
+    /// True when no bits have been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.num_bits == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_bitmap() {
+        let b = WahBuilder::new().finish();
+        assert_eq!(b.len(), 0);
+        assert_eq!(b.count_ones(), 0);
+        assert!(b.to_positions().is_empty());
+    }
+
+    #[test]
+    fn from_bools_roundtrip() {
+        let bits: Vec<bool> = (0..200).map(|i| i % 7 == 0).collect();
+        let b = WahBitmap::from_bools(&bits);
+        assert_eq!(b.len(), 200);
+        for (i, &bit) in bits.iter().enumerate() {
+            assert_eq!(b.get(i as u64), bit, "bit {i}");
+        }
+        let ones: Vec<u64> = b.to_positions();
+        let expect: Vec<u64> = (0..200).filter(|i| i % 7 == 0).collect();
+        assert_eq!(ones, expect);
+    }
+
+    #[test]
+    fn long_zero_run_compresses() {
+        let b = WahBitmap::from_sorted_positions(1_000_000, &[0, 999_999]);
+        assert!(b.size_in_bytes() < 64, "size {}", b.size_in_bytes());
+        assert_eq!(b.count_ones(), 2);
+        assert_eq!(b.to_positions(), vec![0, 999_999]);
+    }
+
+    #[test]
+    fn long_one_run_compresses() {
+        let b = WahBitmap::ones(1_000_000);
+        assert!(b.size_in_bytes() < 64);
+        assert_eq!(b.count_ones(), 1_000_000);
+        assert!(b.get(0) && b.get(999_999));
+    }
+
+    #[test]
+    fn padding_bits_are_not_ones() {
+        // 33 bits = one full group + 2 bits: padding must not count.
+        let b = WahBitmap::ones(33);
+        assert_eq!(b.count_ones(), 33);
+        assert_eq!(b.to_positions().len(), 33);
+    }
+
+    #[test]
+    fn from_sorted_positions_matches_bools() {
+        let pos = [3u64, 31, 32, 62, 63, 64, 100];
+        let a = WahBitmap::from_sorted_positions(128, &pos);
+        let bits: Vec<bool> = (0..128u64).map(|i| pos.contains(&i)).collect();
+        let b = WahBitmap::from_bools(&bits);
+        assert_eq!(a.to_positions(), b.to_positions());
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let b = WahBitmap::from_sorted_positions(10_000, &[5, 93, 94, 95, 9_999]);
+        let bytes = b.to_bytes();
+        let (b2, consumed) = WahBitmap::from_bytes(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn serialization_rejects_garbage() {
+        assert_eq!(WahBitmap::from_bytes(&[1, 2, 3]), Err(BitmapError::Truncated));
+        let mut bytes = WahBitmap::ones(10).to_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(WahBitmap::from_bytes(&bytes), Err(BitmapError::BadMagic(_))));
+    }
+
+    #[test]
+    fn append_run_mixed() {
+        let mut b = WahBuilder::new();
+        b.append_run(false, 10);
+        b.append_run(true, 50);
+        b.append_run(false, 3);
+        b.push(true);
+        let bm = b.finish();
+        assert_eq!(bm.len(), 64);
+        assert_eq!(bm.count_ones(), 51);
+        assert!(!bm.get(9));
+        assert!(bm.get(10));
+        assert!(bm.get(59));
+        assert!(!bm.get(62));
+        assert!(bm.get(63));
+    }
+
+    #[test]
+    fn giant_fill_merging() {
+        // Force multiple merge paths in emit_fill.
+        let mut b = WahBuilder::new();
+        for _ in 0..10 {
+            b.append_run(false, 31 * 1000);
+        }
+        let bm = b.finish();
+        assert_eq!(bm.len(), 31 * 10_000);
+        assert_eq!(bm.count_ones(), 0);
+        // All merged into a single fill word.
+        assert_eq!(bm.words().len(), 1);
+    }
+}

@@ -1,0 +1,78 @@
+//! Property-based tests: WAH bitmaps behave exactly like plain bit
+//! vectors under construction, query, serialization, and logical ops.
+
+use mloc_bitmap::{and, andnot, or, or_many, WahBitmap};
+use proptest::prelude::*;
+
+fn positions(bits: &[bool]) -> Vec<u64> {
+    bits.iter()
+        .enumerate()
+        .filter_map(|(i, &b)| b.then_some(i as u64))
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn construction_matches_naive(bits in proptest::collection::vec(any::<bool>(), 0..400)) {
+        let bm = WahBitmap::from_bools(&bits);
+        prop_assert_eq!(bm.len(), bits.len() as u64);
+        prop_assert_eq!(bm.to_positions(), positions(&bits));
+        prop_assert_eq!(bm.count_ones(), positions(&bits).len() as u64);
+    }
+
+    #[test]
+    fn sorted_positions_equals_bools(bits in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let pos = positions(&bits);
+        let a = WahBitmap::from_sorted_positions(bits.len() as u64, &pos);
+        let b = WahBitmap::from_bools(&bits);
+        prop_assert_eq!(a.to_positions(), b.to_positions());
+    }
+
+    #[test]
+    fn serde_roundtrip(bits in proptest::collection::vec(any::<bool>(), 0..300)) {
+        let bm = WahBitmap::from_bools(&bits);
+        let (back, n) = WahBitmap::from_bytes(&bm.to_bytes()).unwrap();
+        prop_assert_eq!(n, bm.to_bytes().len());
+        prop_assert_eq!(back, bm);
+    }
+
+    #[test]
+    fn ops_match_naive(
+        a in proptest::collection::vec(any::<bool>(), 100),
+        b in proptest::collection::vec(any::<bool>(), 100),
+    ) {
+        let ba = WahBitmap::from_bools(&a);
+        let bb = WahBitmap::from_bools(&b);
+        let want_and: Vec<u64> = (0..100).filter(|&i| a[i] && b[i]).map(|i| i as u64).collect();
+        let want_or: Vec<u64> = (0..100).filter(|&i| a[i] || b[i]).map(|i| i as u64).collect();
+        let want_nd: Vec<u64> = (0..100).filter(|&i| a[i] && !b[i]).map(|i| i as u64).collect();
+        prop_assert_eq!(and(&ba, &bb).to_positions(), want_and);
+        prop_assert_eq!(or(&ba, &bb).to_positions(), want_or);
+        prop_assert_eq!(andnot(&ba, &bb).to_positions(), want_nd);
+    }
+
+    #[test]
+    fn or_many_matches_fold(
+        maps in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 64), 0..6)
+    ) {
+        let bms: Vec<WahBitmap> = maps.iter().map(|m| WahBitmap::from_bools(m)).collect();
+        let got = or_many(&bms, 64);
+        let mut want = vec![false; 64];
+        for m in &maps {
+            for (w, &b) in want.iter_mut().zip(m) {
+                *w |= b;
+            }
+        }
+        prop_assert_eq!(got.to_positions(), positions(&want));
+    }
+
+    #[test]
+    fn sparse_bitmaps_stay_small(n_ones in 0usize..20) {
+        let n = 1_000_000u64;
+        let pos: Vec<u64> = (0..n_ones as u64).map(|i| i * 40_000).collect();
+        let bm = WahBitmap::from_sorted_positions(n, &pos);
+        // Each set bit costs at most ~3 words plus constant overhead.
+        prop_assert!(bm.size_in_bytes() <= 24 + n_ones * 12);
+        prop_assert_eq!(bm.to_positions(), pos);
+    }
+}

@@ -1,0 +1,161 @@
+//! Minimal flag parsing for the `mloc` CLI (no external crates).
+
+use std::collections::BTreeMap;
+
+/// Parsed invocation: a subcommand plus `--key value` flags.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// The subcommand (first positional argument).
+    pub command: String,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (excluding argv[0]).
+    pub fn parse(mut argv: impl Iterator<Item = String>) -> Result<Args, String> {
+        let command = argv.next().ok_or_else(usage)?;
+        let mut flags = BTreeMap::new();
+        while let Some(a) = argv.next() {
+            let key = a
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got {a:?}"))?;
+            let value = argv.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            if flags.insert(key.to_string(), value).is_some() {
+                return Err(format!("--{key} given twice"));
+            }
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// A required flag.
+    pub fn required(&self, key: &str) -> Result<&str, String> {
+        self.flags
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing required flag --{key}"))
+    }
+
+    /// An optional flag.
+    pub fn optional(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// An optional flag parsed to a type.
+    pub fn optional_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.flags.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+}
+
+/// Parse a comma-separated list of positive integers ("256,256").
+pub fn parse_dims(s: &str) -> Result<Vec<usize>, String> {
+    let dims: Result<Vec<usize>, _> = s.split(',').map(|p| p.trim().parse()).collect();
+    let dims = dims.map_err(|_| format!("cannot parse dimensions {s:?}"))?;
+    if dims.is_empty() || dims.contains(&0) {
+        return Err(format!("dimensions must be positive: {s:?}"));
+    }
+    Ok(dims)
+}
+
+/// Parse a region "a:b,c:d,…" into per-dimension half-open ranges.
+pub fn parse_region(s: &str) -> Result<Vec<(usize, usize)>, String> {
+    s.split(',')
+        .map(|part| {
+            let (a, b) = part
+                .split_once(':')
+                .ok_or_else(|| format!("range {part:?} must be start:end"))?;
+            let a: usize = a.trim().parse().map_err(|_| format!("bad start {a:?}"))?;
+            let b: usize = b.trim().parse().map_err(|_| format!("bad end {b:?}"))?;
+            if a >= b {
+                return Err(format!("empty range {part:?}"));
+            }
+            Ok((a, b))
+        })
+        .collect()
+}
+
+/// Parse a value constraint "lo:hi".
+pub fn parse_vc(s: &str) -> Result<(f64, f64), String> {
+    let (a, b) = s
+        .split_once(':')
+        .ok_or_else(|| format!("value constraint {s:?} must be lo:hi"))?;
+    let lo: f64 = a.trim().parse().map_err(|_| format!("bad lo {a:?}"))?;
+    let hi: f64 = b.trim().parse().map_err(|_| format!("bad hi {b:?}"))?;
+    if !(lo < hi) {
+        return Err(format!("empty value constraint {s:?}"));
+    }
+    Ok((lo, hi))
+}
+
+/// The usage string (also the error for a missing subcommand).
+pub fn usage() -> String {
+    "\
+mloc — build, inspect and query MLOC datasets
+
+USAGE:
+  mloc create    --dir DIR --name DS --shape N,N[,N] [--chunk N,N[,N]]
+                 [--bins B] [--codec raw|deflate|isobar|fpc|isabela:EPS]
+                 [--order vms|vsm] [--multires LEVELS]
+  mloc import    --dir DIR --name DS --var NAME
+                 (--raw FILE | --synthetic gts|s3d [--seed S])
+  mloc info      --dir DIR --name DS
+  mloc query     --dir DIR --name DS --var NAME [--vc LO:HI]
+                 [--sc A:B,C:D[,E:F]] [--plod 1..7] [--values true]
+                 [--ranks R] [--limit K]
+  mloc variables --dir DIR --name DS
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(v: &[&str]) -> Result<Args, String> {
+        Args::parse(v.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = args(&["query", "--dir", "/tmp/x", "--vc", "1:2"]).unwrap();
+        assert_eq!(a.command, "query");
+        assert_eq!(a.required("dir").unwrap(), "/tmp/x");
+        assert_eq!(a.optional("vc"), Some("1:2"));
+        assert_eq!(a.optional("nope"), None);
+        assert!(a.required("name").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_flags() {
+        assert!(args(&[]).is_err());
+        assert!(args(&["info", "dir"]).is_err());
+        assert!(args(&["info", "--dir"]).is_err());
+        assert!(args(&["info", "--dir", "a", "--dir", "b"]).is_err());
+    }
+
+    #[test]
+    fn dims_region_vc() {
+        assert_eq!(parse_dims("256, 256").unwrap(), vec![256, 256]);
+        assert!(parse_dims("0,4").is_err());
+        assert!(parse_dims("a,b").is_err());
+        assert_eq!(parse_region("0:4,2:8").unwrap(), vec![(0, 4), (2, 8)]);
+        assert!(parse_region("4:4").is_err());
+        assert!(parse_region("4").is_err());
+        assert_eq!(parse_vc("-1.5:2.5").unwrap(), (-1.5, 2.5));
+        assert!(parse_vc("2:1").is_err());
+    }
+
+    #[test]
+    fn optional_parsed_types() {
+        let a = args(&["q", "--ranks", "8", "--bad", "x"]).unwrap();
+        assert_eq!(a.optional_parsed::<usize>("ranks").unwrap(), Some(8));
+        assert!(a.optional_parsed::<usize>("bad").is_err());
+        assert_eq!(a.optional_parsed::<usize>("missing").unwrap(), None);
+    }
+}

@@ -1,0 +1,302 @@
+//! Command implementations for the `mloc` CLI.
+
+use crate::args::{parse_dims, parse_region, parse_vc, usage, Args};
+use mloc::dataset::Dataset;
+use mloc::exec::ParallelExecutor;
+use mloc::prelude::*;
+use mloc_compress::CodecKind;
+use mloc_pfs::{CostModel, DirBackend};
+
+/// Dispatch a parsed invocation.
+pub fn dispatch(args: &Args) -> Result<(), String> {
+    match args.command.as_str() {
+        "create" => create(args),
+        "import" => import(args),
+        "info" => info(args),
+        "variables" => variables(args),
+        "query" => query(args),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{}", usage())),
+    }
+}
+
+fn backend(args: &Args) -> Result<DirBackend, String> {
+    let dir = args.required("dir")?;
+    DirBackend::new(dir).map_err(|e| format!("cannot open {dir}: {e}"))
+}
+
+fn parse_codec(s: &str) -> Result<CodecKind, String> {
+    if let Some(eps) = s.strip_prefix("isabela:") {
+        let eps: f64 = eps.parse().map_err(|_| format!("bad isabela bound {eps:?}"))?;
+        if !(eps > 0.0 && eps.is_finite()) {
+            return Err("isabela bound must be positive".into());
+        }
+        return Ok(CodecKind::Isabela { error_bound: eps });
+    }
+    match s {
+        "raw" => Ok(CodecKind::Raw),
+        "deflate" => Ok(CodecKind::Deflate),
+        "isobar" => Ok(CodecKind::Isobar),
+        "fpc" => Ok(CodecKind::Fpc),
+        "isabela" => Ok(CodecKind::Isabela { error_bound: 0.001 }),
+        other => Err(format!("unknown codec {other:?}")),
+    }
+}
+
+fn create(args: &Args) -> Result<(), String> {
+    let be = backend(args)?;
+    let name = args.required("name")?;
+    let shape = parse_dims(args.required("shape")?)?;
+
+    let mut builder = MlocConfig::builder(shape.clone());
+    if let Some(chunk) = args.optional("chunk") {
+        builder = builder.chunk_shape(parse_dims(chunk)?);
+    }
+    if let Some(bins) = args.optional_parsed::<usize>("bins")? {
+        builder = builder.num_bins(bins);
+    }
+    if let Some(codec) = args.optional("codec") {
+        builder = builder.codec(parse_codec(codec)?);
+    }
+    if let Some(levels) = args.optional_parsed::<u32>("multires")? {
+        builder = builder.subset_levels(levels);
+    }
+    if let Some(order) = args.optional("order") {
+        builder = builder.level_order(match order {
+            "vms" => LevelOrder::Vms,
+            "vsm" => LevelOrder::Vsm,
+            other => return Err(format!("unknown order {other:?} (vms|vsm)")),
+        });
+    }
+    let config = builder.build();
+    Dataset::create(&be, name, config.clone()).map_err(|e| e.to_string())?;
+    println!(
+        "created dataset {name}: shape {:?}, chunks {:?}, {} bins, codec {}, order {}",
+        config.shape,
+        config.chunk_shape,
+        config.num_bins,
+        config.codec.name(),
+        config.level_order.name()
+    );
+    Ok(())
+}
+
+fn load_values(args: &Args, shape: &[usize]) -> Result<Vec<f64>, String> {
+    let n: usize = shape.iter().product();
+    if let Some(path) = args.optional("raw") {
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        if bytes.len() != n * 8 {
+            return Err(format!(
+                "{path}: expected {} bytes ({n} little-endian f64), got {}",
+                n * 8,
+                bytes.len()
+            ));
+        }
+        return Ok(bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            .collect());
+    }
+    let seed = args.optional_parsed::<u64>("seed")?.unwrap_or(42);
+    match args.optional("synthetic") {
+        Some("gts") => {
+            if shape.len() != 2 {
+                return Err("synthetic gts needs a 2-D dataset".into());
+            }
+            Ok(mloc_datagen::gts_like_2d(shape[0], shape[1], seed).into_values())
+        }
+        Some("s3d") => {
+            if shape.len() != 3 {
+                return Err("synthetic s3d needs a 3-D dataset".into());
+            }
+            Ok(mloc_datagen::s3d_like_3d(shape[0], shape[1], shape[2], seed).into_values())
+        }
+        Some(other) => Err(format!("unknown synthetic source {other:?} (gts|s3d)")),
+        None => Err("import needs --raw FILE or --synthetic gts|s3d".into()),
+    }
+}
+
+fn import(args: &Args) -> Result<(), String> {
+    let be = backend(args)?;
+    let ds = Dataset::open(&be, args.required("name")?).map_err(|e| e.to_string())?;
+    let var = args.required("var")?;
+    let values = load_values(args, &ds.config().shape)?;
+    let report = ds.add_variable(var, &values).map_err(|e| e.to_string())?;
+    println!(
+        "imported {var}: {} raw -> {} data + {} index bytes ({:.0}% of raw) in {:.2}s",
+        report.raw_bytes,
+        report.data_bytes,
+        report.index_bytes,
+        report.total_ratio() * 100.0,
+        report.build_seconds
+    );
+    Ok(())
+}
+
+fn info(args: &Args) -> Result<(), String> {
+    let be = backend(args)?;
+    let ds = Dataset::open(&be, args.required("name")?).map_err(|e| e.to_string())?;
+    let c = ds.config();
+    println!("dataset : {}", ds.name());
+    println!("shape   : {:?}", c.shape);
+    println!("chunks  : {:?} ({} per variable)", c.chunk_shape, {
+        let g = mloc::ChunkGrid::new(c.shape.clone(), c.chunk_shape.clone());
+        g.num_chunks()
+    });
+    println!("bins    : {}", c.num_bins);
+    println!("codec   : {}", c.codec.name());
+    println!("order   : {}", c.level_order.name());
+    println!("plod    : {}", if c.plod { "byte columns" } else { "whole values" });
+    println!("stored  : {} bytes", ds.stored_bytes());
+    let vars = ds.variables().map_err(|e| e.to_string())?;
+    println!("variables ({}):", vars.len());
+    for v in vars {
+        println!("  {v}");
+    }
+    Ok(())
+}
+
+fn variables(args: &Args) -> Result<(), String> {
+    let be = backend(args)?;
+    let ds = Dataset::open(&be, args.required("name")?).map_err(|e| e.to_string())?;
+    for v in ds.variables().map_err(|e| e.to_string())? {
+        println!("{v}");
+    }
+    Ok(())
+}
+
+fn query(args: &Args) -> Result<(), String> {
+    let be = backend(args)?;
+    let ds = Dataset::open(&be, args.required("name")?).map_err(|e| e.to_string())?;
+    let store = ds.store(args.required("var")?).map_err(|e| e.to_string())?;
+
+    let vc = args.optional("vc").map(parse_vc).transpose()?;
+    let sc = args
+        .optional("sc")
+        .map(parse_region)
+        .transpose()?
+        .map(Region::new);
+    if vc.is_none() && sc.is_none() {
+        return Err("query needs --vc and/or --sc".into());
+    }
+    let wants_values = args.optional("values").is_some_and(|v| v == "true");
+    let plod = match args.optional_parsed::<u8>("plod")? {
+        Some(l) => PlodLevel::new(l).map_err(|e| e.to_string())?,
+        None => PlodLevel::FULL,
+    };
+    let output = if wants_values { QueryOutput::Values } else { QueryOutput::Positions };
+    let q = Query::new(vc, sc, plod, output);
+
+    let ranks = args.optional_parsed::<usize>("ranks")?.unwrap_or(1);
+    let exec = ParallelExecutor::new(ranks, CostModel::default());
+    let (res, m) = exec.execute(&store, &q).map_err(|e| e.to_string())?;
+
+    let limit = args.optional_parsed::<usize>("limit")?.unwrap_or(20);
+    println!(
+        "{} matches | bins {} (aligned {}), chunks {} | sim io {:.3}s, \
+         decompress {:.3}s, reconstruct {:.3}s | {} bytes read",
+        res.len(),
+        m.bins_touched,
+        m.aligned_bins,
+        m.chunks_touched,
+        m.io_s,
+        m.decompress_s,
+        m.reconstruct_s,
+        m.bytes_read
+    );
+    let grid = store.grid();
+    for (i, &p) in res.positions().iter().take(limit).enumerate() {
+        let coords = grid.delinearize(p);
+        match res.values() {
+            Some(vals) => println!("  {coords:?} = {}", vals[i]),
+            None => println!("  {coords:?}"),
+        }
+    }
+    if res.len() > limit {
+        println!("  ... ({} more; raise --limit to see them)", res.len() - limit);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(v: &[&str]) -> Result<(), String> {
+        dispatch(&Args::parse(v.iter().map(|s| s.to_string())).unwrap())
+    }
+
+    fn tmpdir(tag: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("mloc-cli-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn full_cli_lifecycle() {
+        let dir = tmpdir("life");
+        run(&["create", "--dir", &dir, "--name", "ds", "--shape", "64,64",
+              "--chunk", "16,16", "--bins", "8", "--codec", "deflate"]).unwrap();
+        run(&["import", "--dir", &dir, "--name", "ds", "--var", "t",
+              "--synthetic", "gts", "--seed", "3"]).unwrap();
+        run(&["info", "--dir", &dir, "--name", "ds"]).unwrap();
+        run(&["variables", "--dir", &dir, "--name", "ds"]).unwrap();
+        run(&["query", "--dir", &dir, "--name", "ds", "--var", "t",
+              "--vc", "0:1000", "--limit", "2"]).unwrap();
+        run(&["query", "--dir", &dir, "--name", "ds", "--var", "t",
+              "--sc", "0:8,0:8", "--values", "true", "--plod", "2"]).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn import_from_raw_file() {
+        let dir = tmpdir("raw");
+        run(&["create", "--dir", &dir, "--name", "ds", "--shape", "8,8",
+              "--chunk", "4,4", "--bins", "2"]).unwrap();
+        let raw: Vec<u8> = (0..64).flat_map(|i| (i as f64).to_le_bytes()).collect();
+        let raw_path = format!("{dir}/input.bin");
+        std::fs::write(&raw_path, &raw).unwrap();
+        run(&["import", "--dir", &dir, "--name", "ds", "--var", "v",
+              "--raw", &raw_path]).unwrap();
+        run(&["query", "--dir", &dir, "--name", "ds", "--var", "v",
+              "--vc", "10:20"]).unwrap();
+        // Wrong size raw file.
+        std::fs::write(&raw_path, &raw[..100]).unwrap();
+        assert!(run(&["import", "--dir", &dir, "--name", "ds", "--var", "w",
+                      "--raw", &raw_path]).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let dir = tmpdir("err");
+        assert!(run(&["info", "--dir", &dir, "--name", "ghost"]).is_err());
+        assert!(run(&["bogus", "--dir", &dir]).is_err());
+        run(&["create", "--dir", &dir, "--name", "ds", "--shape", "8,8"]).unwrap();
+        // Duplicate create.
+        assert!(run(&["create", "--dir", &dir, "--name", "ds", "--shape", "8,8"]).is_err());
+        // Query without constraints.
+        assert!(run(&["query", "--dir", &dir, "--name", "ds", "--var", "x"]).is_err());
+        // Bad codec / order.
+        assert!(run(&["create", "--dir", &dir, "--name", "d2", "--shape", "8,8",
+                      "--codec", "zstd"]).is_err());
+        assert!(run(&["create", "--dir", &dir, "--name", "d3", "--shape", "8,8",
+                      "--order", "svm"]).is_err());
+        // Synthetic dimensionality mismatch.
+        assert!(run(&["import", "--dir", &dir, "--name", "ds", "--var", "v",
+                      "--synthetic", "s3d"]).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn parse_codec_variants() {
+        assert_eq!(parse_codec("raw").unwrap().name(), "raw");
+        assert_eq!(parse_codec("isabela:0.01").unwrap().name(), "isabela");
+        assert!(parse_codec("isabela:-1").is_err());
+        assert!(parse_codec("isabela:x").is_err());
+        assert!(parse_codec("lz4").is_err());
+    }
+}

@@ -1,0 +1,26 @@
+//! `mloc` — command-line front end for MLOC datasets stored in a
+//! directory. See `args::usage()` for the command reference.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let argv = std::env::args().skip(1);
+    let exit = match Args::parse(argv) {
+        Ok(a) => match commands::dispatch(&a) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+        Err(e) => {
+            eprintln!("{}", args::usage());
+            eprintln!("error: {e}");
+            2
+        }
+    };
+    std::process::exit(exit);
+}

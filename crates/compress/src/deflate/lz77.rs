@@ -1,0 +1,219 @@
+//! Greedy LZ77 match finder with hash chains (DEFLATE-style).
+
+/// Minimum match length worth encoding.
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length (matches DEFLATE's 258).
+pub const MAX_MATCH: usize = 258;
+/// Maximum back-reference distance (32 KiB window).
+pub const MAX_DIST: usize = 32 * 1024;
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+/// How many chain links to follow before giving up.
+const MAX_CHAIN: usize = 64;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A single literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes back.
+    Match {
+        /// Match length in `MIN_MATCH..=MAX_MATCH`.
+        len: u16,
+        /// Distance in `1..=MAX_DIST`.
+        dist: u16,
+    },
+}
+
+#[inline]
+fn hash3(data: &[u8], pos: usize) -> usize {
+    let v = u32::from(data[pos])
+        | (u32::from(data[pos + 1]) << 8)
+        | (u32::from(data[pos + 2]) << 16);
+    ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
+}
+
+/// Tokenize `data` with greedy hash-chain matching (with one-byte lazy
+/// evaluation, as in zlib's default strategy).
+pub fn tokenize(data: &[u8]) -> Vec<Token> {
+    let n = data.len();
+    let mut tokens = Vec::with_capacity(n / 2 + 16);
+    if n < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+
+    // head[h] = most recent position with hash h (+1; 0 = none).
+    let mut head = vec![0u32; HASH_SIZE];
+    // prev[i & (MAX_DIST-1)] = previous position in the chain (+1).
+    let mut prev = vec![0u32; MAX_DIST];
+
+    let insert = |head: &mut [u32], prev: &mut [u32], pos: usize| {
+        let h = hash3(data, pos);
+        prev[pos & (MAX_DIST - 1)] = head[h];
+        head[h] = pos as u32 + 1;
+    };
+
+    let find_match = |head: &[u32], prev: &[u32], pos: usize| -> Option<(usize, usize)> {
+        let max_len = (n - pos).min(MAX_MATCH);
+        if max_len < MIN_MATCH {
+            return None;
+        }
+        let mut best_len = MIN_MATCH - 1;
+        let mut best_dist = 0usize;
+        let mut cand = head[hash3(data, pos)];
+        let mut chain = MAX_CHAIN;
+        while cand != 0 && chain > 0 {
+            let cpos = cand as usize - 1;
+            if pos - cpos > MAX_DIST {
+                break;
+            }
+            if cpos < pos {
+                // Quick reject on the byte past the current best.
+                if pos + best_len < n && data[cpos + best_len] == data[pos + best_len] {
+                    let mut l = 0usize;
+                    while l < max_len && data[cpos + l] == data[pos + l] {
+                        l += 1;
+                    }
+                    if l > best_len {
+                        best_len = l;
+                        best_dist = pos - cpos;
+                        if l == max_len {
+                            break;
+                        }
+                    }
+                }
+            }
+            cand = prev[cpos & (MAX_DIST - 1)];
+            chain -= 1;
+        }
+        (best_len >= MIN_MATCH).then_some((best_len, best_dist))
+    };
+
+    let mut pos = 0usize;
+    while pos < n {
+        if pos + MIN_MATCH > n {
+            tokens.push(Token::Literal(data[pos]));
+            pos += 1;
+            continue;
+        }
+        match find_match(&head, &prev, pos) {
+            Some((len, dist)) => {
+                // Lazy matching: if the next position has a strictly
+                // longer match, emit a literal instead.
+                let lazy = if pos + 1 + MIN_MATCH <= n {
+                    insert(&mut head, &mut prev, pos);
+                    let next = find_match(&head, &prev, pos + 1);
+                    matches!(next, Some((nlen, _)) if nlen > len)
+                } else {
+                    insert(&mut head, &mut prev, pos);
+                    false
+                };
+                if lazy {
+                    tokens.push(Token::Literal(data[pos]));
+                    pos += 1;
+                } else {
+                    tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+                    // Insert hash entries for the skipped positions.
+                    let end = (pos + len).min(n.saturating_sub(MIN_MATCH - 1));
+                    for p in pos + 1..end {
+                        insert(&mut head, &mut prev, p);
+                    }
+                    pos += len;
+                }
+            }
+            None => {
+                insert(&mut head, &mut prev, pos);
+                tokens.push(Token::Literal(data[pos]));
+                pos += 1;
+            }
+        }
+    }
+    tokens
+}
+
+/// Expand tokens back into bytes (used by tests; the decoder inlines
+/// this during bitstream decoding).
+pub fn expand(tokens: &[Token]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let start = out.len() - dist as usize;
+                for i in 0..len as usize {
+                    let b = out[start + i];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple() {
+        let data = b"abcabcabcabcabcabc".to_vec();
+        let tokens = tokenize(&data);
+        assert_eq!(expand(&tokens), data);
+        assert!(
+            tokens.iter().any(|t| matches!(t, Token::Match { .. })),
+            "repetitive data should produce matches"
+        );
+    }
+
+    #[test]
+    fn roundtrip_empty_and_tiny() {
+        for data in [&b""[..], b"a", b"ab", b"abc"] {
+            let tokens = tokenize(data);
+            assert_eq!(expand(&tokens), data);
+        }
+    }
+
+    #[test]
+    fn roundtrip_random() {
+        // Pseudo-random bytes: few matches, but must stay correct.
+        let mut x = 0x12345678u32;
+        let data: Vec<u8> = (0..10_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x & 0xFF) as u8
+            })
+            .collect();
+        assert_eq!(expand(&tokenize(&data)), data);
+    }
+
+    #[test]
+    fn roundtrip_runs() {
+        let data = vec![7u8; 100_000];
+        let tokens = tokenize(&data);
+        assert_eq!(expand(&tokens), data);
+        // A long run should compress into very few tokens.
+        assert!(tokens.len() < 1000, "got {} tokens", tokens.len());
+    }
+
+    #[test]
+    fn overlapping_match_expansion() {
+        // "aaaa..." relies on overlapping copies (dist 1, len > 1).
+        let data = b"aaaaaaaaaaaaaaaaaaaaaaa".to_vec();
+        assert_eq!(expand(&tokenize(&data)), data);
+    }
+
+    #[test]
+    fn match_constraints_hold() {
+        let data: Vec<u8> = (0..50_000).map(|i| (i % 251) as u8).collect();
+        for t in tokenize(&data) {
+            if let Token::Match { len, dist } = t {
+                assert!((MIN_MATCH..=MAX_MATCH).contains(&(len as usize)));
+                assert!((1..=MAX_DIST).contains(&(dist as usize)));
+            }
+        }
+    }
+}

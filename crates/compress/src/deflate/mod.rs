@@ -1,0 +1,440 @@
+//! A DEFLATE-style byte codec: LZ77 + canonical Huffman coding.
+//!
+//! The container format ("MDF1") is our own, but the machinery is the
+//! same as zlib's: hash-chain LZ77 with a 32 KiB window, length/distance
+//! symbol alphabets with extra bits (RFC 1951's tables), per-block
+//! canonical Huffman codes, and a stored-block fallback when entropy
+//! coding does not pay off.
+
+pub mod huffman;
+pub mod lz77;
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::{Codec, CodecError};
+use huffman::{code_lengths, Decoder, Encoder, MAX_CODE_LEN};
+use lz77::Token;
+
+const MAGIC: u32 = 0x3146_444D; // "MDF1"
+/// Independent-block size: bounds memory and enables random access at
+/// a coarser granularity if needed.
+const BLOCK_SIZE: usize = 128 * 1024;
+
+/// Adler-32 checksum (the integrity check zlib uses). Protects against
+/// corrupt streams that would otherwise decode to plausible garbage.
+pub fn adler32(data: &[u8]) -> u32 {
+    const MOD: u32 = 65_521;
+    let mut a: u32 = 1;
+    let mut b: u32 = 0;
+    // Process in chunks small enough that the sums cannot overflow.
+    for chunk in data.chunks(5_552) {
+        for &byte in chunk {
+            a += u32::from(byte);
+            b += a;
+        }
+        a %= MOD;
+        b %= MOD;
+    }
+    (b << 16) | a
+}
+
+/// End-of-block symbol in the literal/length alphabet.
+const EOB: usize = 256;
+/// Literal/length alphabet size: 256 literals + EOB + 29 length codes.
+const NUM_LITLEN: usize = 286;
+/// Distance alphabet size.
+const NUM_DIST: usize = 30;
+
+/// `(extra_bits, base)` per length code 257..=285 (RFC 1951).
+const LENGTH_CODES: [(u32, u16); 29] = [
+    (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 9), (0, 10),
+    (1, 11), (1, 13), (1, 15), (1, 17), (2, 19), (2, 23), (2, 27), (2, 31),
+    (3, 35), (3, 43), (3, 51), (3, 59), (4, 67), (4, 83), (4, 99), (4, 115),
+    (5, 131), (5, 163), (5, 195), (5, 227), (0, 258),
+];
+
+/// `(extra_bits, base)` per distance code 0..=29 (RFC 1951).
+const DIST_CODES: [(u32, u16); 30] = [
+    (0, 1), (0, 2), (0, 3), (0, 4), (1, 5), (1, 7), (2, 9), (2, 13),
+    (3, 17), (3, 25), (4, 33), (4, 49), (5, 65), (5, 97), (6, 129), (6, 193),
+    (7, 257), (7, 385), (8, 513), (8, 769), (9, 1025), (9, 1537),
+    (10, 2049), (10, 3073), (11, 4097), (11, 6145), (12, 8193), (12, 12289),
+    (13, 16385), (13, 24577),
+];
+
+fn length_symbol(len: u16) -> (usize, u32, u32) {
+    debug_assert!((3..=258).contains(&len));
+    // Find the last code whose base <= len.
+    let mut idx = LENGTH_CODES.len() - 1;
+    for (i, &(_, base)) in LENGTH_CODES.iter().enumerate() {
+        if base > len {
+            idx = i - 1;
+            break;
+        }
+    }
+    let (extra, base) = LENGTH_CODES[idx];
+    (257 + idx, extra, u32::from(len - base))
+}
+
+fn dist_symbol(dist: u16) -> (usize, u32, u32) {
+    debug_assert!(dist >= 1);
+    let mut idx = DIST_CODES.len() - 1;
+    for (i, &(_, base)) in DIST_CODES.iter().enumerate() {
+        if base > dist {
+            idx = i - 1;
+            break;
+        }
+    }
+    let (extra, base) = DIST_CODES[idx];
+    (idx, extra, u32::from(dist - base))
+}
+
+/// The DEFLATE-style codec. Stateless; `Default` gives the standard
+/// configuration.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Deflate;
+
+impl Deflate {
+    fn compress_block(&self, block: &[u8], out: &mut Vec<u8>) {
+        let tokens = lz77::tokenize(block);
+
+        // Gather symbol frequencies.
+        let mut lit_freq = vec![0u64; NUM_LITLEN];
+        let mut dist_freq = vec![0u64; NUM_DIST];
+        lit_freq[EOB] = 1;
+        for &t in &tokens {
+            match t {
+                Token::Literal(b) => lit_freq[b as usize] += 1,
+                Token::Match { len, dist } => {
+                    lit_freq[length_symbol(len).0] += 1;
+                    dist_freq[dist_symbol(dist).0] += 1;
+                }
+            }
+        }
+        let lit_lens = code_lengths(&lit_freq, MAX_CODE_LEN);
+        let dist_lens = code_lengths(&dist_freq, MAX_CODE_LEN);
+        let lit_enc = Encoder::from_lengths(&lit_lens);
+        let dist_enc = Encoder::from_lengths(&dist_lens);
+
+        // Estimate the compressed size; fall back to a stored block if
+        // Huffman coding does not pay off.
+        let mut bits = 0u64;
+        for &t in &tokens {
+            match t {
+                Token::Literal(b) => bits += u64::from(lit_enc.len_of(b as usize)),
+                Token::Match { len, dist } => {
+                    let (ls, le, _) = length_symbol(len);
+                    let (ds, de, _) = dist_symbol(dist);
+                    bits += u64::from(lit_enc.len_of(ls)) + u64::from(le);
+                    bits += u64::from(dist_enc.len_of(ds)) + u64::from(de);
+                }
+            }
+        }
+        let table_bytes = (NUM_LITLEN + NUM_DIST).div_ceil(2);
+        let huff_bytes = (bits as usize).div_ceil(8) + table_bytes + 8;
+        if huff_bytes >= block.len() {
+            out.push(0); // stored
+            out.extend_from_slice(&(block.len() as u32).to_le_bytes());
+            out.extend_from_slice(block);
+            return;
+        }
+
+        out.push(1); // huffman
+        out.extend_from_slice(&(block.len() as u32).to_le_bytes());
+        // Code-length tables: packed nibbles, litlen then dist.
+        let mut nibbles = Vec::with_capacity(NUM_LITLEN + NUM_DIST);
+        nibbles.extend_from_slice(&lit_lens);
+        nibbles.extend_from_slice(&dist_lens);
+        for pair in nibbles.chunks(2) {
+            let lo = pair[0];
+            let hi = pair.get(1).copied().unwrap_or(0);
+            out.push(lo | (hi << 4));
+        }
+
+        let mut w = BitWriter::new();
+        for &t in &tokens {
+            match t {
+                Token::Literal(b) => lit_enc.write(&mut w, b as usize),
+                Token::Match { len, dist } => {
+                    let (ls, le, lx) = length_symbol(len);
+                    lit_enc.write(&mut w, ls);
+                    if le > 0 {
+                        w.write_bits(lx, le);
+                    }
+                    let (ds, de, dx) = dist_symbol(dist);
+                    dist_enc.write(&mut w, ds);
+                    if de > 0 {
+                        w.write_bits(dx, de);
+                    }
+                }
+            }
+        }
+        lit_enc.write(&mut w, EOB);
+        let payload = w.finish();
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(&payload);
+    }
+
+    fn decompress_block(
+        data: &[u8],
+        pos: &mut usize,
+        out: &mut Vec<u8>,
+    ) -> Result<(), CodecError> {
+        let need = |p: usize, n: usize| {
+            if p + n > data.len() {
+                Err(CodecError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+        need(*pos, 5)?;
+        let kind = data[*pos];
+        let orig_len =
+            u32::from_le_bytes(data[*pos + 1..*pos + 5].try_into().unwrap()) as usize;
+        *pos += 5;
+        match kind {
+            0 => {
+                need(*pos, orig_len)?;
+                out.extend_from_slice(&data[*pos..*pos + orig_len]);
+                *pos += orig_len;
+                Ok(())
+            }
+            1 => {
+                let table_bytes = (NUM_LITLEN + NUM_DIST).div_ceil(2);
+                need(*pos, table_bytes)?;
+                let mut lens = Vec::with_capacity(NUM_LITLEN + NUM_DIST);
+                for &b in &data[*pos..*pos + table_bytes] {
+                    lens.push(b & 0xF);
+                    lens.push(b >> 4);
+                }
+                lens.truncate(NUM_LITLEN + NUM_DIST);
+                *pos += table_bytes;
+                let lit_dec = Decoder::from_lengths(&lens[..NUM_LITLEN])?;
+                let dist_dec = Decoder::from_lengths(&lens[NUM_LITLEN..])?;
+
+                need(*pos, 4)?;
+                let payload_len =
+                    u32::from_le_bytes(data[*pos..*pos + 4].try_into().unwrap()) as usize;
+                *pos += 4;
+                need(*pos, payload_len)?;
+                let payload = &data[*pos..*pos + payload_len];
+                *pos += payload_len;
+
+                let block_start = out.len();
+                let mut r = BitReader::new(payload);
+                loop {
+                    let sym = lit_dec.read(&mut r)?;
+                    match sym {
+                        0..=255 => out.push(sym as u8),
+                        256 => break,
+                        257..=285 => {
+                            let (extra, base) = LENGTH_CODES[sym - 257];
+                            let len = base as usize + r.read_bits(extra)? as usize;
+                            let dsym = dist_dec.read(&mut r)?;
+                            if dsym >= NUM_DIST {
+                                return Err(CodecError::Corrupt("bad distance symbol"));
+                            }
+                            let (dextra, dbase) = DIST_CODES[dsym];
+                            let dist = dbase as usize + r.read_bits(dextra)? as usize;
+                            if dist > out.len() - block_start {
+                                return Err(CodecError::Corrupt(
+                                    "distance reaches before block start",
+                                ));
+                            }
+                            let start = out.len() - dist;
+                            for i in 0..len {
+                                let b = out[start + i];
+                                out.push(b);
+                            }
+                        }
+                        _ => return Err(CodecError::Corrupt("bad literal/length symbol")),
+                    }
+                }
+                if out.len() - block_start != orig_len {
+                    return Err(CodecError::LengthMismatch {
+                        expected: orig_len,
+                        actual: out.len() - block_start,
+                    });
+                }
+                Ok(())
+            }
+            _ => Err(CodecError::Corrupt("unknown block type")),
+        }
+    }
+}
+
+impl Codec for Deflate {
+    fn name(&self) -> &'static str {
+        "deflate"
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 64);
+        out.extend_from_slice(&MAGIC.to_le_bytes());
+        out.extend_from_slice(&(input.len() as u64).to_le_bytes());
+        out.extend_from_slice(&adler32(input).to_le_bytes());
+        for block in input.chunks(BLOCK_SIZE) {
+            self.compress_block(block, &mut out);
+        }
+        out
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        if input.len() < 16 {
+            return Err(CodecError::Truncated);
+        }
+        if u32::from_le_bytes(input[0..4].try_into().unwrap()) != MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let total = u64::from_le_bytes(input[4..12].try_into().unwrap()) as usize;
+        let checksum = u32::from_le_bytes(input[12..16].try_into().unwrap());
+        // `total` is untrusted: pre-reserve only a bounded amount.
+        let mut out = Vec::with_capacity(total.min(16 << 20));
+        let mut pos = 16usize;
+        while out.len() < total {
+            Self::decompress_block(input, &mut pos, &mut out)?;
+        }
+        if out.len() != total {
+            return Err(CodecError::LengthMismatch { expected: total, actual: out.len() });
+        }
+        if adler32(&out) != checksum {
+            return Err(CodecError::Corrupt("checksum mismatch"));
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> usize {
+        let c = Deflate.compress(data);
+        assert_eq!(Deflate.decompress(&c).unwrap(), data, "roundtrip failed");
+        c.len()
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(roundtrip(b"") <= 16);
+    }
+
+    #[test]
+    fn adler32_known_values() {
+        // Reference values from the zlib specification.
+        assert_eq!(adler32(b""), 1);
+        assert_eq!(adler32(b"Wikipedia"), 0x11E6_0398);
+        // Long inputs exercise the modular-reduction chunking.
+        let long = vec![0xABu8; 1_000_000];
+        assert_eq!(adler32(&long), adler32(&long));
+    }
+
+    #[test]
+    fn bitflips_are_detected() {
+        let data = b"scientific data is precious and must not rot ".repeat(200);
+        let c = Deflate.compress(&data);
+        // Flip one bit in every region of the stream: header, tables,
+        // payload. Every case must error, never return wrong bytes.
+        for pos in [16usize, 30, c.len() / 2, c.len() - 2] {
+            let mut bad = c.clone();
+            bad[pos] ^= 0x04;
+            match Deflate.decompress(&bad) {
+                Err(_) => {}
+                Ok(out) => assert_eq!(out, data, "undetected corruption at {pos}"),
+            }
+        }
+        // Corrupting the stored checksum itself must error.
+        let mut bad = c.clone();
+        bad[13] ^= 0xFF;
+        assert!(Deflate.decompress(&bad).is_err());
+    }
+
+    #[test]
+    fn small_inputs() {
+        roundtrip(b"a");
+        roundtrip(b"hello, world");
+        roundtrip(&[0u8; 3]);
+    }
+
+    #[test]
+    fn compresses_text() {
+        let data = b"the quick brown fox jumps over the lazy dog. ".repeat(500);
+        let size = roundtrip(&data);
+        assert!(size < data.len() / 5, "ratio too poor: {size} vs {}", data.len());
+    }
+
+    #[test]
+    fn compresses_runs() {
+        let data = vec![42u8; 1_000_000];
+        let size = roundtrip(&data);
+        assert!(size < 5_000, "run compression too poor: {size}");
+    }
+
+    #[test]
+    fn random_data_falls_back_to_stored() {
+        let mut x = 0x243F_6A88u32;
+        let data: Vec<u8> = (0..200_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                (x >> 8) as u8
+            })
+            .collect();
+        let size = roundtrip(&data);
+        // Incompressible data must not blow up: stored fallback bounds
+        // overhead to the per-block header.
+        assert!(size <= data.len() + 16 + 5 * 2, "size {size}");
+    }
+
+    #[test]
+    fn multi_block_input() {
+        let data: Vec<u8> = (0..400_000).map(|i| ((i / 100) % 251) as u8).collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut c = Deflate.compress(b"hello");
+        c[0] ^= 0x5A;
+        assert_eq!(Deflate.decompress(&c), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let c = Deflate.compress(&b"some compressible data ".repeat(100));
+        for cut in [4, 12, 15, c.len() - 1] {
+            assert!(Deflate.decompress(&c[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn length_symbol_table_is_consistent() {
+        for len in 3..=258u16 {
+            let (sym, extra, extra_val) = length_symbol(len);
+            assert!((257..=285).contains(&sym));
+            let (e, base) = LENGTH_CODES[sym - 257];
+            assert_eq!(e, extra);
+            assert_eq!(u32::from(len) - u32::from(base), extra_val);
+            assert!(extra_val < (1 << e.max(1)));
+        }
+    }
+
+    #[test]
+    fn dist_symbol_table_is_consistent() {
+        for dist in 1..=32768u32 {
+            let (sym, extra, extra_val) = dist_symbol(dist as u16);
+            if dist > u16::MAX as u32 {
+                continue;
+            }
+            assert!(sym < 30);
+            let (e, base) = DIST_CODES[sym];
+            assert_eq!(e, extra);
+            assert_eq!(dist - u32::from(base), extra_val);
+            if e > 0 {
+                assert!(extra_val < (1 << e));
+            } else {
+                assert_eq!(extra_val, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Cubic B-spline least-squares fitting of monotone (sorted) windows.
+//!
+//! ISABELA's core insight is that *sorting* a window of turbulent data
+//! produces a smooth monotone curve that a low-order B-spline fits with
+//! very few coefficients. This module provides the clamped uniform
+//! cubic B-spline basis (Cox–de Boor recursion, NURBS-book algorithms)
+//! and a dense normal-equations least-squares fit.
+
+/// Spline degree (cubic).
+pub const DEGREE: usize = 3;
+
+/// A fitted clamped uniform cubic B-spline over `x ∈ [0, n-1]`.
+#[derive(Debug, Clone)]
+pub struct BSpline {
+    coeffs: Vec<f64>,
+    /// Number of samples the spline was fitted over.
+    n: usize,
+}
+
+/// Clamped uniform knot value for knot index `i` with `k` control
+/// points, normalized to `[0, 1]`.
+fn knot(i: usize, k: usize) -> f64 {
+    // Knot vector length is k + DEGREE + 1; first/last DEGREE+1 knots
+    // are clamped.
+    if i <= DEGREE {
+        0.0
+    } else if i >= k {
+        1.0
+    } else {
+        (i - DEGREE) as f64 / (k - DEGREE) as f64
+    }
+}
+
+/// Find the knot span index for parameter `u` (NURBS book A2.1).
+fn find_span(u: f64, k: usize) -> usize {
+    if u >= 1.0 {
+        return k - 1;
+    }
+    // Spans run from DEGREE to k-1.
+    let mut lo = DEGREE;
+    let mut hi = k - 1;
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if knot(mid, k) <= u {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+/// Evaluate the DEGREE+1 nonzero basis functions at `u` for the given
+/// span (NURBS book A2.2). Returns `[N_{span-DEGREE}, ..., N_{span}]`.
+fn basis_funs(span: usize, u: f64, k: usize) -> [f64; DEGREE + 1] {
+    let mut n = [0.0f64; DEGREE + 1];
+    let mut left = [0.0f64; DEGREE + 1];
+    let mut right = [0.0f64; DEGREE + 1];
+    n[0] = 1.0;
+    for j in 1..=DEGREE {
+        left[j] = u - knot(span + 1 - j, k);
+        right[j] = knot(span + j, k) - u;
+        let mut saved = 0.0;
+        for r in 0..j {
+            let denom = right[r + 1] + left[j - r];
+            let temp = if denom.abs() < f64::EPSILON { 0.0 } else { n[r] / denom };
+            n[r] = saved + right[r + 1] * temp;
+            saved = left[j - r] * temp;
+        }
+        n[j] = saved;
+    }
+    n
+}
+
+impl BSpline {
+    /// Least-squares fit of a cubic B-spline with `num_coeffs` control
+    /// points to the samples `y` at positions `x_i = i`.
+    ///
+    /// # Panics
+    /// Panics when `y.len() < num_coeffs` or `num_coeffs < DEGREE + 1`.
+    pub fn fit(y: &[f64], num_coeffs: usize) -> BSpline {
+        let n = y.len();
+        let k = num_coeffs;
+        assert!(k > DEGREE, "need at least {} coefficients", DEGREE + 1);
+        assert!(n >= k, "need at least as many samples as coefficients");
+
+        // Normal equations: (AᵀA) c = Aᵀy, with A sparse (4 per row).
+        let mut ata = vec![0.0f64; k * k];
+        let mut aty = vec![0.0f64; k];
+        let denom = (n - 1).max(1) as f64;
+        for (i, &yi) in y.iter().enumerate() {
+            let u = i as f64 / denom;
+            let span = find_span(u, k);
+            let basis = basis_funs(span, u, k);
+            let first = span - DEGREE;
+            for (a, &ba) in basis.iter().enumerate() {
+                aty[first + a] += ba * yi;
+                for (b, &bb) in basis.iter().enumerate() {
+                    ata[(first + a) * k + (first + b)] += ba * bb;
+                }
+            }
+        }
+        // Tiny ridge keeps the system well-posed when samples cluster.
+        let trace: f64 = (0..k).map(|i| ata[i * k + i]).sum();
+        let ridge = trace.max(1.0) * 1e-12;
+        for i in 0..k {
+            ata[i * k + i] += ridge;
+        }
+
+        let coeffs = solve_dense(&mut ata, &mut aty, k);
+        BSpline { coeffs, n }
+    }
+
+    /// Construct from previously stored coefficients.
+    pub fn from_coeffs(coeffs: Vec<f64>, n: usize) -> BSpline {
+        assert!(coeffs.len() > DEGREE);
+        BSpline { coeffs, n }
+    }
+
+    /// The control-point coefficients.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Evaluate the spline at sample position `i` (`0 <= i < n`).
+    pub fn eval(&self, i: usize) -> f64 {
+        let k = self.coeffs.len();
+        let u = i as f64 / (self.n - 1).max(1) as f64;
+        let span = find_span(u, k);
+        let basis = basis_funs(span, u, k);
+        let first = span - DEGREE;
+        basis
+            .iter()
+            .enumerate()
+            .map(|(j, &b)| b * self.coeffs[first + j])
+            .sum()
+    }
+
+    /// Evaluate at all sample positions.
+    pub fn eval_all(&self) -> Vec<f64> {
+        (0..self.n).map(|i| self.eval(i)).collect()
+    }
+}
+
+/// Solve `A x = b` for dense symmetric positive-definite-ish `A`
+/// (k×k, row-major) by Gaussian elimination with partial pivoting.
+fn solve_dense(a: &mut [f64], b: &mut [f64], k: usize) -> Vec<f64> {
+    for col in 0..k {
+        // Pivot.
+        let mut piv = col;
+        for row in col + 1..k {
+            if a[row * k + col].abs() > a[piv * k + col].abs() {
+                piv = row;
+            }
+        }
+        if piv != col {
+            for j in 0..k {
+                a.swap(col * k + j, piv * k + j);
+            }
+            b.swap(col, piv);
+        }
+        let d = a[col * k + col];
+        if d.abs() < 1e-300 {
+            continue; // singular direction; ridge keeps this harmless
+        }
+        for row in col + 1..k {
+            let f = a[row * k + col] / d;
+            if f == 0.0 {
+                continue;
+            }
+            for j in col..k {
+                a[row * k + j] -= f * a[col * k + j];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0f64; k];
+    for col in (0..k).rev() {
+        let mut s = b[col];
+        for j in col + 1..k {
+            s -= a[col * k + j] * x[j];
+        }
+        let d = a[col * k + col];
+        x[col] = if d.abs() < 1e-300 { 0.0 } else { s / d };
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basis_partition_of_unity() {
+        let k = 12;
+        for i in 0..=100 {
+            let u = i as f64 / 100.0;
+            let span = find_span(u, k);
+            let basis = basis_funs(span, u, k);
+            let sum: f64 = basis.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "u={u}: sum={sum}");
+            assert!(basis.iter().all(|&b| b >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn find_span_brackets_u() {
+        let k = 10;
+        for i in 0..=50 {
+            let u = i as f64 / 50.0;
+            let span = find_span(u, k);
+            assert!((DEGREE..k).contains(&span));
+            assert!(knot(span, k) <= u + 1e-15);
+            if u < 1.0 {
+                assert!(u < knot(span + 1, k) + 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn fits_linear_exactly() {
+        let y: Vec<f64> = (0..100).map(|i| 2.0 * i as f64 + 5.0).collect();
+        let s = BSpline::fit(&y, 8);
+        for (i, &yi) in y.iter().enumerate() {
+            assert!((s.eval(i) - yi).abs() < 1e-6, "i={i}: {} vs {yi}", s.eval(i));
+        }
+    }
+
+    #[test]
+    fn fits_cubic_exactly() {
+        let y: Vec<f64> = (0..200)
+            .map(|i| {
+                let x = i as f64 / 10.0;
+                0.5 * x * x * x - 2.0 * x * x + x - 7.0
+            })
+            .collect();
+        let s = BSpline::fit(&y, 16);
+        for (i, &yi) in y.iter().enumerate() {
+            let rel = (s.eval(i) - yi).abs() / yi.abs().max(1.0);
+            assert!(rel < 1e-6, "i={i}: {} vs {yi}", s.eval(i));
+        }
+    }
+
+    #[test]
+    fn fits_sorted_random_data_well() {
+        let mut x = 0x1234_5678_9ABC_DEF0u64;
+        let mut y: Vec<f64> = (0..1024)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 1_000_000) as f64 / 1000.0
+            })
+            .collect();
+        y.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let s = BSpline::fit(&y, 32);
+        let approx = s.eval_all();
+        let range = y[1023] - y[0];
+        let max_err = y
+            .iter()
+            .zip(&approx)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        // Sorted uniform data is near-linear: the fit should be tight.
+        assert!(max_err < range * 0.02, "max_err {max_err} range {range}");
+    }
+
+    #[test]
+    fn minimal_sizes() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let s = BSpline::fit(&y, 4);
+        for (i, &yi) in y.iter().enumerate() {
+            assert!((s.eval(i) - yi).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn coeff_roundtrip() {
+        let y: Vec<f64> = (0..50).map(|i| (i as f64).sqrt()).collect();
+        let s = BSpline::fit(&y, 10);
+        let s2 = BSpline::from_coeffs(s.coeffs().to_vec(), 50);
+        for i in 0..50 {
+            assert_eq!(s.eval(i).to_bits(), s2.eval(i).to_bits());
+        }
+    }
+}

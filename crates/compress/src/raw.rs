@@ -1,0 +1,34 @@
+//! Identity codec: stores bytes unchanged (sequential-scan baseline).
+
+use crate::{Codec, CodecError};
+
+/// The identity codec.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RawCodec;
+
+impl Codec for RawCodec {
+    fn name(&self) -> &'static str {
+        "raw"
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        input.to_vec()
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        Ok(input.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity() {
+        let data = b"anything at all".to_vec();
+        let c = RawCodec.compress(&data);
+        assert_eq!(c, data);
+        assert_eq!(RawCodec.decompress(&c).unwrap(), data);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests: every lossless codec roundtrips arbitrary
+//! inputs bit-exactly; ISABELA always honours its error bound.
+
+use mloc_compress::{Codec, CodecKind, Deflate, FloatCodec, Fpc, Isabela, Isobar};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn deflate_roundtrips_bytes(data in proptest::collection::vec(any::<u8>(), 0..5000)) {
+        let c = Deflate.compress(&data);
+        prop_assert_eq!(Deflate.decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn deflate_roundtrips_structured(seed in any::<u8>(), n in 0usize..4000) {
+        // Repetitive data with varying periods exercises the LZ paths.
+        let data: Vec<u8> = (0..n).map(|i| ((i / (1 + seed as usize % 17)) % 251) as u8).collect();
+        let c = Deflate.compress(&data);
+        prop_assert_eq!(Deflate.decompress(&c).unwrap(), data);
+    }
+
+    #[test]
+    fn fpc_roundtrips_floats(data in proptest::collection::vec(any::<f64>(), 0..2000)) {
+        let c = Fpc.compress_f64(&data);
+        let d = Fpc.decompress_f64(&c).unwrap();
+        prop_assert_eq!(d.len(), data.len());
+        for (a, b) in data.iter().zip(&d) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn isobar_roundtrips_floats(data in proptest::collection::vec(any::<f64>(), 0..2000)) {
+        let codec = Isobar::default();
+        let c = codec.compress_f64(&data);
+        let d = codec.decompress_f64(&c).unwrap();
+        prop_assert_eq!(d.len(), data.len());
+        for (a, b) in data.iter().zip(&d) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn isabela_honours_error_bound(
+        data in proptest::collection::vec(-1e6f64..1e6, 0..3000),
+        eps_exp in 1u32..5,
+    ) {
+        let eps = 10f64.powi(-(eps_exp as i32));
+        let codec = Isabela::new(eps);
+        let c = codec.compress_f64(&data);
+        let d = codec.decompress_f64(&c).unwrap();
+        prop_assert_eq!(d.len(), data.len());
+        let max_abs = data.iter().fold(0.0f64, |m, v| m.max(v.abs()));
+        let floor = (max_abs * 1e-12).max(1e-300);
+        for (a, b) in data.iter().zip(&d) {
+            let tol = eps * a.abs().max(floor) * (1.0 + 1e-9);
+            prop_assert!((a - b).abs() <= tol, "|{} - {}| > {}", a, b, tol);
+        }
+    }
+
+    #[test]
+    fn byte_codec_adapters_roundtrip(values in proptest::collection::vec(any::<f64>(), 0..500)) {
+        // Every lossless CodecKind must roundtrip through the byte-codec API.
+        let bytes = mloc_compress::f64s_to_bytes(&values);
+        for kind in [CodecKind::Raw, CodecKind::Deflate, CodecKind::Isobar, CodecKind::Fpc] {
+            let codec = kind.byte_codec();
+            let c = codec.compress(&bytes);
+            prop_assert_eq!(&codec.decompress(&c).unwrap(), &bytes, "codec {}", kind.name());
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Equal-frequency value binning (the V level).
+//!
+//! Paper §III-B.1: points are placed into bins by value so that range
+//! queries touch only the relevant bins; bounds are chosen by *equal
+//! frequency* over a sample "to prevent load imbalance" and then
+//! applied to the whole dataset. A bin is *aligned* with a value
+//! constraint when its bounds lie fully inside the constraint — such
+//! bins are answered from the index alone, without touching data.
+
+use crate::{MlocError, Result};
+
+/// Value-bin boundaries: `bounds.len() == num_bins + 1`, non-decreasing.
+/// Bin `k` notionally covers `[bounds[k], bounds[k+1])`; assignment
+/// clamps out-of-range values into the first/last bin (bounds come
+/// from a sample, the data may exceed them).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinSpec {
+    bounds: Vec<f64>,
+}
+
+impl BinSpec {
+    /// Equal-frequency bounds from a sample of the data.
+    ///
+    /// # Panics
+    /// Panics on an empty sample or zero bins.
+    pub fn equal_frequency(sample: &[f64], num_bins: usize) -> Self {
+        assert!(!sample.is_empty() && num_bins > 0);
+        let mut sorted: Vec<f64> = sample.iter().copied().filter(|v| !v.is_nan()).collect();
+        assert!(!sorted.is_empty(), "sample contains only NaNs");
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len();
+        let mut bounds = Vec::with_capacity(num_bins + 1);
+        for k in 0..=num_bins {
+            let idx = (k * (n - 1)) / num_bins;
+            bounds.push(sorted[idx]);
+        }
+        // Enforce strict monotonicity where duplicates collapse bins;
+        // duplicate bounds make those bins empty, which is harmless but
+        // we keep the invariant non-decreasing.
+        for i in 1..bounds.len() {
+            if bounds[i] < bounds[i - 1] {
+                bounds[i] = bounds[i - 1];
+            }
+        }
+        BinSpec { bounds }
+    }
+
+    /// Equal-width bounds over the sample range (ablation baseline for
+    /// the load-balance design choice).
+    pub fn equal_width(sample: &[f64], num_bins: usize) -> Self {
+        assert!(!sample.is_empty() && num_bins > 0);
+        let mut min = f64::MAX;
+        let mut max = f64::MIN;
+        for &v in sample {
+            if v.is_nan() {
+                continue;
+            }
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if min > max {
+            panic!("sample contains only NaNs");
+        }
+        if min == max {
+            max = min + 1.0;
+        }
+        let bounds = (0..=num_bins)
+            .map(|k| min + (max - min) * k as f64 / num_bins as f64)
+            .collect();
+        BinSpec { bounds }
+    }
+
+    /// Rebuild from stored bounds.
+    pub fn from_bounds(bounds: Vec<f64>) -> Result<Self> {
+        if bounds.len() < 2 {
+            return Err(MlocError::Corrupt("need at least two bin bounds"));
+        }
+        if bounds.windows(2).any(|w| w[0] > w[1]) || bounds.iter().any(|b| b.is_nan()) {
+            return Err(MlocError::Corrupt("bin bounds not monotonic"));
+        }
+        Ok(BinSpec { bounds })
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bounds.len() - 1
+    }
+
+    /// The boundary array (`num_bins + 1` values).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Nominal value range `[lo, hi)` of bin `k` (from the sample; the
+    /// first/last bin also absorb out-of-range values).
+    pub fn bin_range(&self, k: usize) -> (f64, f64) {
+        (self.bounds[k], self.bounds[k + 1])
+    }
+
+    /// Bin index of a value (clamped into `0..num_bins`). NaNs go to
+    /// the last bin.
+    pub fn bin_of(&self, v: f64) -> usize {
+        let nbins = self.num_bins();
+        if v.is_nan() {
+            return nbins - 1;
+        }
+        if v < self.bounds[0] {
+            return 0;
+        }
+        if v >= self.bounds[nbins] {
+            return nbins - 1;
+        }
+        // Rightmost k with bounds[k] <= v.
+        let mut lo = 0usize;
+        let mut hi = nbins;
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.bounds[mid] <= v {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// Bins overlapping a value constraint `[lo, hi)`: the candidate
+    /// set a query must consider.
+    pub fn candidate_bins(&self, lo: f64, hi: f64) -> Vec<usize> {
+        if hi <= lo {
+            return Vec::new();
+        }
+        let nbins = self.num_bins();
+        let first = self.bin_of(lo);
+        let mut last = self.bin_of(hi);
+        // `hi` is exclusive: if it coincides with a lower bound, the
+        // bin starting at `hi` is not touched.
+        if last > 0 && (hi <= self.bounds[last] || hi <= self.bounds[0]) {
+            last -= 1;
+        }
+        // Out-of-range constraints still clamp to valid bins.
+        (first..=last.min(nbins - 1)).collect()
+    }
+
+    /// Whether bin `k` is *aligned* with `[lo, hi)`: its value range is
+    /// entirely inside the constraint, so membership needs no value
+    /// reconstruction. The first/last bins are never aligned (they
+    /// absorb out-of-sample values with unknown extrema).
+    pub fn is_aligned(&self, k: usize, lo: f64, hi: f64) -> bool {
+        if k == 0 || k + 1 == self.num_bins() {
+            return false;
+        }
+        let (blo, bhi) = self.bin_range(k);
+        lo <= blo && bhi <= hi
+    }
+
+    /// Split candidate bins into (aligned, misaligned) for `[lo, hi)`.
+    pub fn split_candidates(&self, lo: f64, hi: f64) -> (Vec<usize>, Vec<usize>) {
+        let mut aligned = Vec::new();
+        let mut misaligned = Vec::new();
+        for k in self.candidate_bins(lo, hi) {
+            if self.is_aligned(k, lo, hi) {
+                aligned.push(k);
+            } else {
+                misaligned.push(k);
+            }
+        }
+        (aligned, misaligned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_sample(n: usize) -> Vec<f64> {
+        (0..n).map(|i| i as f64).collect()
+    }
+
+    #[test]
+    fn equal_frequency_balances_counts() {
+        // Skewed data: squares.
+        let sample: Vec<f64> = (0..10_000).map(|i| (i as f64).powi(2)).collect();
+        let spec = BinSpec::equal_frequency(&sample, 10);
+        let mut counts = vec![0usize; 10];
+        for &v in &sample {
+            counts[spec.bin_of(v)] += 1;
+        }
+        let (min, max) = (
+            counts.iter().min().copied().unwrap(),
+            counts.iter().max().copied().unwrap(),
+        );
+        assert!(
+            max <= min * 2 + 10,
+            "equal-frequency bins unbalanced: {counts:?}"
+        );
+        // Equal-width on the same data is wildly unbalanced.
+        let ew = BinSpec::equal_width(&sample, 10);
+        let mut wcounts = [0usize; 10];
+        for &v in &sample {
+            wcounts[ew.bin_of(v)] += 1;
+        }
+        assert!(wcounts.iter().max().unwrap() > &(wcounts.iter().min().unwrap() * 5));
+    }
+
+    #[test]
+    fn bin_of_is_consistent_with_bounds() {
+        let spec = BinSpec::equal_frequency(&uniform_sample(1000), 10);
+        for k in 0..10 {
+            let (lo, hi) = spec.bin_range(k);
+            if lo < hi {
+                assert_eq!(spec.bin_of(lo), k, "lower bound of bin {k}");
+                let mid = lo + (hi - lo) / 2.0;
+                assert_eq!(spec.bin_of(mid), k, "midpoint of bin {k}");
+            }
+        }
+        // Out-of-range values clamp.
+        assert_eq!(spec.bin_of(-1e9), 0);
+        assert_eq!(spec.bin_of(1e9), 9);
+        assert_eq!(spec.bin_of(f64::NAN), 9);
+    }
+
+    #[test]
+    fn candidate_bins_cover_constraint() {
+        let spec = BinSpec::equal_frequency(&uniform_sample(1000), 10);
+        let cands = spec.candidate_bins(150.0, 450.0);
+        // Every value in [150, 450) must fall in a candidate bin.
+        for v in 150..450 {
+            assert!(
+                cands.contains(&spec.bin_of(v as f64)),
+                "value {v} outside candidates {cands:?}"
+            );
+        }
+        // A one-bin constraint touches few bins.
+        let tight = spec.candidate_bins(210.0, 220.0);
+        assert!(tight.len() <= 2, "{tight:?}");
+    }
+
+    #[test]
+    fn exclusive_upper_bound() {
+        let spec = BinSpec::from_bounds(vec![0.0, 10.0, 20.0, 30.0]).unwrap();
+        // hi exactly at a bin's lower bound excludes that bin.
+        assert_eq!(spec.candidate_bins(0.0, 10.0), vec![0]);
+        assert_eq!(spec.candidate_bins(0.0, 10.5), vec![0, 1]);
+        assert_eq!(spec.candidate_bins(5.0, 5.0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn alignment_rules() {
+        let spec = BinSpec::from_bounds(vec![0.0, 10.0, 20.0, 30.0, 40.0]).unwrap();
+        // Bin 1 = [10, 20): aligned within [10, 25).
+        assert!(spec.is_aligned(1, 10.0, 25.0));
+        assert!(!spec.is_aligned(1, 12.0, 25.0), "partial overlap");
+        // Edge bins never aligned (they absorb out-of-sample values).
+        assert!(!spec.is_aligned(0, -100.0, 100.0));
+        assert!(!spec.is_aligned(3, -100.0, 100.0));
+
+        let (aligned, misaligned) = spec.split_candidates(10.0, 35.0);
+        assert_eq!(aligned, vec![1, 2]);
+        assert_eq!(misaligned, vec![3]);
+    }
+
+    #[test]
+    fn from_bounds_validation() {
+        assert!(BinSpec::from_bounds(vec![1.0]).is_err());
+        assert!(BinSpec::from_bounds(vec![2.0, 1.0]).is_err());
+        assert!(BinSpec::from_bounds(vec![0.0, f64::NAN]).is_err());
+        assert!(BinSpec::from_bounds(vec![0.0, 0.0, 1.0]).is_ok());
+    }
+
+    #[test]
+    fn duplicate_heavy_sample() {
+        // 90% of the sample is one value: many bounds collapse.
+        let mut sample = vec![5.0; 900];
+        sample.extend((0..100).map(|i| i as f64));
+        let spec = BinSpec::equal_frequency(&sample, 10);
+        assert_eq!(spec.num_bins(), 10);
+        // Assignment still works and is stable.
+        let k = spec.bin_of(5.0);
+        assert!(k < 10);
+        for &v in &sample {
+            let _ = spec.bin_of(v);
+        }
+    }
+}

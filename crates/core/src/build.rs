@@ -1,0 +1,457 @@
+//! The write path: reorganize a raw variable into the MLOC layout.
+//!
+//! Figure 1's pipeline, bottom of §III-B.5: the dataset is divided into
+//! the smallest units (the bytes of the values of one chunk within one
+//! bin within one byte group) and those units are arranged by the
+//! configured level priority — bins become files (V is outermost), and
+//! inside each bin file units are ordered part-major (V-M-S) or
+//! chunk-major (V-S-M), with chunks following the space-filling curve.
+//!
+//! Two entry points:
+//!
+//! * [`build_variable`] — one-shot build from a resident row-major
+//!   array.
+//! * [`StreamingBuilder`] — the *in-situ* pipeline (§I contribution 4):
+//!   chunks are pushed one at a time, in any order, as a running
+//!   simulation or staging service emits them; bin bounds come from a
+//!   sample (the paper computes them "from partial dataset"), and the
+//!   final layout is written on [`StreamingBuilder::finish`].
+
+use crate::array::ChunkGrid;
+use crate::binning::BinSpec;
+use crate::config::MlocConfig;
+use crate::index::{BinIndexBuilder, UnitLoc};
+use crate::store::VariableMeta;
+use crate::{fileorg, plod, MlocError, Result};
+use mloc_bitmap::WahBitmap;
+use mloc_compress::{Codec, FloatCodec};
+use mloc_hilbert::GridOrder;
+use mloc_pfs::StorageBackend;
+use std::time::Instant;
+
+/// Maximum number of values sampled for computing bin bounds (the
+/// paper computes bounds "from partial dataset" and applies them to
+/// the whole).
+const BIN_SAMPLE: usize = 1 << 16;
+
+/// Sizes and statistics of a completed build.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuildReport {
+    /// Compressed data bytes across all bin data files.
+    pub data_bytes: u64,
+    /// Index bytes across all bin index files.
+    pub index_bytes: u64,
+    /// Metadata bytes.
+    pub meta_bytes: u64,
+    /// Raw (uncompressed) size of the variable.
+    pub raw_bytes: u64,
+    /// Wall-clock build time in seconds.
+    pub build_seconds: f64,
+    /// Points per bin (load-balance diagnostic).
+    pub per_bin_points: Vec<u64>,
+}
+
+impl BuildReport {
+    /// data + index, as reported in the paper's Table I.
+    pub fn total_bytes(&self) -> u64 {
+        self.data_bytes + self.index_bytes + self.meta_bytes
+    }
+
+    /// `total / raw` (1.0 = same as raw).
+    pub fn total_ratio(&self) -> f64 {
+        self.total_bytes() as f64 / self.raw_bytes as f64
+    }
+}
+
+/// One chunk's contribution to one bin, before layout.
+struct PendingUnit {
+    rank: usize,
+    bitmap: WahBitmap,
+    /// Compressed bytes per part.
+    parts: Vec<Vec<u8>>,
+}
+
+/// Incremental (in-situ) builder: push chunks as they are produced.
+pub struct StreamingBuilder<'a> {
+    backend: &'a dyn StorageBackend,
+    dataset: String,
+    var: String,
+    config: MlocConfig,
+    grid: ChunkGrid,
+    order: GridOrder,
+    spec: BinSpec,
+    byte_codec: Box<dyn Codec>,
+    float_codec: Box<dyn FloatCodec>,
+    pending: Vec<Vec<PendingUnit>>,
+    per_bin_points: Vec<u64>,
+    pushed: Vec<bool>,
+    pushed_count: usize,
+    start: Instant,
+}
+
+impl<'a> StreamingBuilder<'a> {
+    /// Start a build. `sample` is any representative subset of the
+    /// values; equal-frequency bin bounds are derived from it and then
+    /// applied to every pushed chunk.
+    pub fn new(
+        backend: &'a dyn StorageBackend,
+        dataset: &str,
+        var: &str,
+        config: &MlocConfig,
+        sample: &[f64],
+    ) -> Result<StreamingBuilder<'a>> {
+        config.validate()?;
+        if sample.is_empty() {
+            return Err(MlocError::Invalid("empty binning sample".into()));
+        }
+        let grid = ChunkGrid::new(config.shape.clone(), config.chunk_shape.clone());
+        let order = config.chunk_order(&grid);
+        let spec = BinSpec::equal_frequency(sample, config.num_bins);
+        Ok(StreamingBuilder {
+            backend,
+            dataset: dataset.to_string(),
+            var: var.to_string(),
+            byte_codec: config.codec.byte_codec(),
+            float_codec: config.codec.float_codec(),
+            pending: (0..config.num_bins).map(|_| Vec::new()).collect(),
+            per_bin_points: vec![0u64; config.num_bins],
+            pushed: vec![false; grid.num_chunks()],
+            pushed_count: 0,
+            start: Instant::now(),
+            config: config.clone(),
+            grid,
+            order,
+            spec,
+        })
+    }
+
+    /// The bin specification in force.
+    pub fn bins(&self) -> &BinSpec {
+        &self.spec
+    }
+
+    /// The chunk geometry.
+    pub fn grid(&self) -> &ChunkGrid {
+        &self.grid
+    }
+
+    /// Number of chunks pushed so far.
+    pub fn chunks_pushed(&self) -> usize {
+        self.pushed_count
+    }
+
+    /// Push one chunk's values (chunk-local row-major order over the
+    /// chunk's clamped region). Chunks may arrive in any order; each
+    /// must be pushed exactly once.
+    pub fn push_chunk(&mut self, chunk_id: usize, values: &[f64]) -> Result<()> {
+        if chunk_id >= self.grid.num_chunks() {
+            return Err(MlocError::Invalid(format!("chunk {chunk_id} out of range")));
+        }
+        if self.pushed[chunk_id] {
+            return Err(MlocError::Invalid(format!("chunk {chunk_id} pushed twice")));
+        }
+        let chunk_points = self.grid.chunk_points(chunk_id);
+        if values.len() != chunk_points {
+            return Err(MlocError::Invalid(format!(
+                "chunk {chunk_id}: expected {chunk_points} values, got {}",
+                values.len()
+            )));
+        }
+        self.pushed[chunk_id] = true;
+        self.pushed_count += 1;
+        let rank = self.order.rank_of(chunk_id);
+
+        // Partition the chunk's points by bin.
+        let num_bins = self.config.num_bins;
+        let mut bin_locals: Vec<Vec<u64>> = vec![Vec::new(); num_bins];
+        let mut bin_values: Vec<Vec<f64>> = vec![Vec::new(); num_bins];
+        for (local, &v) in values.iter().enumerate() {
+            let bin = self.spec.bin_of(v);
+            bin_locals[bin].push(local as u64);
+            bin_values[bin].push(v);
+        }
+
+        for bin in 0..num_bins {
+            if bin_locals[bin].is_empty() {
+                continue;
+            }
+            self.per_bin_points[bin] += bin_locals[bin].len() as u64;
+            let bitmap =
+                WahBitmap::from_sorted_positions(chunk_points as u64, &bin_locals[bin]);
+            let parts: Vec<Vec<u8>> = if self.config.plod {
+                plod::split(&bin_values[bin])
+                    .iter()
+                    .map(|part| self.byte_codec.compress(part))
+                    .collect()
+            } else {
+                vec![self.float_codec.compress_f64(&bin_values[bin])]
+            };
+            self.pending[bin].push(PendingUnit { rank, bitmap, parts });
+        }
+        Ok(())
+    }
+
+    /// Finish: lay out every bin's units by the level order and write
+    /// the data, index, and metadata files.
+    ///
+    /// Fails unless every chunk has been pushed.
+    pub fn finish(self) -> Result<BuildReport> {
+        if self.pushed_count != self.grid.num_chunks() {
+            return Err(MlocError::Invalid(format!(
+                "{} of {} chunks pushed",
+                self.pushed_count,
+                self.grid.num_chunks()
+            )));
+        }
+        let num_chunks = self.grid.num_chunks();
+        let num_parts = self.config.num_parts();
+        let mut data_bytes = 0u64;
+        let mut index_bytes = 0u64;
+
+        for bin in 0..self.config.num_bins {
+            // Chunks may have arrived out of order: physical layout is
+            // always curve-rank order.
+            let mut units = self.pending[bin].iter().collect::<Vec<_>>();
+            units.sort_by_key(|u| u.rank);
+
+            let mut data = Vec::new();
+            let mut locs: Vec<Vec<UnitLoc>> =
+                units.iter().map(|_| vec![UnitLoc::default(); num_parts]).collect();
+            #[allow(clippy::needless_range_loop)] // locs is indexed by (unit, part)
+            match self.config.level_order {
+                crate::config::LevelOrder::Vms => {
+                    // Part-major: all chunks' part 0, then part 1, …
+                    for p in 0..num_parts {
+                        for (i, u) in units.iter().enumerate() {
+                            locs[i][p] = UnitLoc {
+                                offset: data.len() as u64,
+                                clen: u.parts[p].len() as u32,
+                            };
+                            data.extend_from_slice(&u.parts[p]);
+                        }
+                    }
+                }
+                crate::config::LevelOrder::Vsm => {
+                    // Chunk-major: each chunk's parts together.
+                    for (i, u) in units.iter().enumerate() {
+                        for p in 0..num_parts {
+                            locs[i][p] = UnitLoc {
+                                offset: data.len() as u64,
+                                clen: u.parts[p].len() as u32,
+                            };
+                            data.extend_from_slice(&u.parts[p]);
+                        }
+                    }
+                }
+            }
+
+            let mut index = BinIndexBuilder::new(bin as u32, num_chunks, num_parts);
+            for (i, u) in units.iter().enumerate() {
+                index.set_chunk(u.rank, &u.bitmap, locs[i].clone());
+            }
+            let index_data = index.finish();
+
+            let data_name = fileorg::data_file(&self.dataset, &self.var, bin);
+            let index_name = fileorg::index_file(&self.dataset, &self.var, bin);
+            self.backend.create(&data_name)?;
+            self.backend.append(&data_name, &data)?;
+            self.backend.create(&index_name)?;
+            self.backend.append(&index_name, &index_data)?;
+            data_bytes += data.len() as u64;
+            index_bytes += index_data.len() as u64;
+        }
+
+        let total_points = self.grid.num_points() as u64;
+        let meta = VariableMeta {
+            var: self.var.clone(),
+            config: self.config.clone(),
+            bin_bounds: self.spec.bounds().to_vec(),
+            total_points,
+        };
+        let meta_data = meta.encode();
+        let meta_name = fileorg::meta_file(&self.dataset, &self.var);
+        self.backend.create(&meta_name)?;
+        self.backend.append(&meta_name, &meta_data)?;
+
+        Ok(BuildReport {
+            data_bytes,
+            index_bytes,
+            meta_bytes: meta_data.len() as u64,
+            raw_bytes: total_points * 8,
+            build_seconds: self.start.elapsed().as_secs_f64(),
+            per_bin_points: self.per_bin_points,
+        })
+    }
+}
+
+/// Build the MLOC layout for `values` (row-major over `config.shape`)
+/// and write it to `backend` under `dataset/var`.
+pub fn build_variable(
+    backend: &dyn StorageBackend,
+    dataset: &str,
+    var: &str,
+    values: &[f64],
+    config: &MlocConfig,
+) -> Result<BuildReport> {
+    config.validate()?;
+    let grid = ChunkGrid::new(config.shape.clone(), config.chunk_shape.clone());
+    assert_eq!(
+        values.len(),
+        grid.num_points(),
+        "value count does not match the configured shape"
+    );
+
+    // Bin bounds from a strided sample (paper §IV-A).
+    let stride = (values.len() / BIN_SAMPLE).max(1);
+    let sample: Vec<f64> = values.iter().step_by(stride).copied().collect();
+
+    let mut builder = StreamingBuilder::new(backend, dataset, var, config, &sample)?;
+    let mut chunk_values = Vec::new();
+    for chunk in 0..grid.num_chunks() {
+        chunk_values.clear();
+        chunk_values
+            .extend(grid.chunk_linear_indices(chunk).iter().map(|&l| values[l as usize]));
+        builder.push_chunk(chunk, &chunk_values)?;
+    }
+    builder.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{LevelOrder, MlocConfig};
+    use mloc_compress::CodecKind;
+    use mloc_pfs::MemBackend;
+
+    fn toy_values(n: usize) -> Vec<f64> {
+        (0..n).map(|i| (i as f64 * 0.7).sin() * 100.0 + i as f64 * 0.01).collect()
+    }
+
+    fn toy_config() -> MlocConfig {
+        MlocConfig::builder(vec![32, 32])
+            .chunk_shape(vec![8, 8])
+            .num_bins(8)
+            .build()
+    }
+
+    #[test]
+    fn build_writes_all_files() {
+        let be = MemBackend::new();
+        let report =
+            build_variable(&be, "ds", "t", &toy_values(1024), &toy_config()).unwrap();
+        assert_eq!(report.raw_bytes, 8192);
+        assert_eq!(report.per_bin_points.iter().sum::<u64>(), 1024);
+        // 8 bins × (data + index) + meta.
+        assert_eq!(be.list().len(), 17);
+        assert!(report.data_bytes > 0 && report.index_bytes > 0);
+        assert!(be.exists("ds/t/bin0000.dat"));
+        assert!(be.exists("ds/t/bin0007.idx"));
+        assert!(be.exists("ds/t/meta"));
+    }
+
+    #[test]
+    fn equal_frequency_bins_are_balanced() {
+        let be = MemBackend::new();
+        let report =
+            build_variable(&be, "ds", "t", &toy_values(1024), &toy_config()).unwrap();
+        let max = *report.per_bin_points.iter().max().unwrap();
+        let min = *report.per_bin_points.iter().min().unwrap();
+        assert!(max < min * 2 + 64, "bins unbalanced: {:?}", report.per_bin_points);
+    }
+
+    #[test]
+    fn vms_and_vsm_store_same_bytes() {
+        let values = toy_values(1024);
+        let be1 = MemBackend::new();
+        let be2 = MemBackend::new();
+        let c1 = toy_config();
+        let mut c2 = toy_config();
+        c2.level_order = LevelOrder::Vsm;
+        let r1 = build_variable(&be1, "ds", "t", &values, &c1).unwrap();
+        let r2 = build_variable(&be2, "ds", "t", &values, &c2).unwrap();
+        // Same units, different order: byte totals match exactly.
+        assert_eq!(r1.data_bytes, r2.data_bytes);
+        assert_eq!(r1.index_bytes, r2.index_bytes);
+        // But the files differ (layout moved).
+        assert_ne!(
+            be1.read("ds/t/bin0000.dat", 0, be1.len("ds/t/bin0000.dat").unwrap()).unwrap(),
+            be2.read("ds/t/bin0000.dat", 0, be2.len("ds/t/bin0000.dat").unwrap()).unwrap()
+        );
+    }
+
+    #[test]
+    fn float_codec_build() {
+        let be = MemBackend::new();
+        let mut config = toy_config();
+        config.codec = CodecKind::Isabela { error_bound: 0.001 };
+        config.plod = false;
+        let report = build_variable(&be, "ds", "t", &toy_values(1024), &config).unwrap();
+        assert!(report.data_bytes > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_value_count_panics() {
+        let be = MemBackend::new();
+        let _ = build_variable(&be, "ds", "t", &toy_values(100), &toy_config());
+    }
+
+    // ---- streaming (in-situ) builder ----
+
+    fn chunk_values(values: &[f64], grid: &ChunkGrid, chunk: usize) -> Vec<f64> {
+        grid.chunk_linear_indices(chunk)
+            .iter()
+            .map(|&l| values[l as usize])
+            .collect()
+    }
+
+    #[test]
+    fn streaming_build_matches_one_shot_bytewise() {
+        let values = toy_values(1024);
+        let config = toy_config();
+        let grid = ChunkGrid::new(config.shape.clone(), config.chunk_shape.clone());
+
+        let be1 = MemBackend::new();
+        build_variable(&be1, "ds", "t", &values, &config).unwrap();
+
+        // Same sample ⇒ same bin bounds ⇒ identical files, even though
+        // chunks arrive in reverse order.
+        let stride = (values.len() / BIN_SAMPLE).max(1);
+        let sample: Vec<f64> = values.iter().step_by(stride).copied().collect();
+        let be2 = MemBackend::new();
+        let mut b = StreamingBuilder::new(&be2, "ds", "t", &config, &sample).unwrap();
+        for chunk in (0..grid.num_chunks()).rev() {
+            b.push_chunk(chunk, &chunk_values(&values, &grid, chunk)).unwrap();
+        }
+        assert_eq!(b.chunks_pushed(), grid.num_chunks());
+        b.finish().unwrap();
+
+        for f in be1.list() {
+            let a = be1.read(&f, 0, be1.len(&f).unwrap()).unwrap();
+            let c = be2.read(&f, 0, be2.len(&f).unwrap()).unwrap();
+            assert_eq!(a, c, "file {f} differs between one-shot and streaming");
+        }
+    }
+
+    #[test]
+    fn streaming_rejects_misuse() {
+        let config = toy_config();
+        let values = toy_values(1024);
+        let grid = ChunkGrid::new(config.shape.clone(), config.chunk_shape.clone());
+        let be = MemBackend::new();
+        let mut b = StreamingBuilder::new(&be, "ds", "t", &config, &values).unwrap();
+
+        // Wrong size.
+        assert!(b.push_chunk(0, &values[..5]).is_err());
+        // Out of range.
+        assert!(b.push_chunk(999, &chunk_values(&values, &grid, 0)).is_err());
+        // Double push.
+        b.push_chunk(0, &chunk_values(&values, &grid, 0)).unwrap();
+        assert!(b.push_chunk(0, &chunk_values(&values, &grid, 0)).is_err());
+        // Finish with missing chunks.
+        assert!(b.finish().is_err());
+
+        // Empty sample.
+        assert!(StreamingBuilder::new(&be, "ds", "u", &config, &[]).is_err());
+    }
+}

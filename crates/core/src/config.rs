@@ -1,0 +1,350 @@
+//! Dataset configuration: bins, chunks, level order, codec, PLoD.
+
+use crate::fileorg;
+use crate::{MlocError, Result};
+use mloc_compress::CodecKind;
+use mloc_hilbert::CurveKind;
+
+/// Nesting order of the layout levels inside each bin file.
+///
+/// The value level (V) is always outermost — bins *are* the files
+/// (§III-C subfiling) — so the orderings the paper evaluates differ in
+/// whether byte groups (M) or Hilbert-ordered chunks (S) come next
+/// (Table VII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LevelOrder {
+    /// V → M → S: byte groups outermost within a bin; each byte group
+    /// stores its chunks in Hilbert order. Optimizes PLoD-prefix reads
+    /// (the paper's default, Figure 2).
+    Vms,
+    /// V → S → M: Hilbert-ordered chunks outermost; each chunk stores
+    /// its byte groups together. Optimizes full-precision reads.
+    Vsm,
+}
+
+impl LevelOrder {
+    /// Stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LevelOrder::Vms => "V-M-S",
+            LevelOrder::Vsm => "V-S-M",
+        }
+    }
+
+    pub(crate) fn to_tag(self) -> u8 {
+        match self {
+            LevelOrder::Vms => 0,
+            LevelOrder::Vsm => 1,
+        }
+    }
+
+    pub(crate) fn from_tag(tag: u8) -> Result<Self> {
+        match tag {
+            0 => Ok(LevelOrder::Vms),
+            1 => Ok(LevelOrder::Vsm),
+            _ => Err(MlocError::Corrupt("unknown level order")),
+        }
+    }
+}
+
+/// Precision-based level of detail: how many byte groups of each
+/// double to fetch (paper §III-B.3, Figure 3).
+///
+/// Level `L` fetches `L + 1` bytes: group 0 holds the first two bytes
+/// (sign, exponent, leading mantissa), groups 1..=6 one byte each.
+/// Level 7 is full precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct PlodLevel(u8);
+
+impl PlodLevel {
+    /// Full precision (all 8 bytes).
+    pub const FULL: PlodLevel = PlodLevel(7);
+
+    /// Level in `1..=7`.
+    pub fn new(level: u8) -> Result<Self> {
+        if (1..=7).contains(&level) {
+            Ok(PlodLevel(level))
+        } else {
+            Err(MlocError::Invalid(format!("PLoD level {level} not in 1..=7")))
+        }
+    }
+
+    /// The level number.
+    pub fn level(self) -> u8 {
+        self.0
+    }
+
+    /// Number of byte groups fetched (level 1 → 1 group, …).
+    pub fn num_parts(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Number of bytes of each double fetched.
+    pub fn num_bytes(self) -> usize {
+        self.0 as usize + 1
+    }
+
+    /// Whether this is full precision.
+    pub fn is_full(self) -> bool {
+        self.0 == 7
+    }
+}
+
+/// Total number of PLoD byte groups.
+pub const NUM_PARTS: usize = 7;
+
+/// Full configuration of an MLOC variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlocConfig {
+    /// Domain shape (row-major extents).
+    pub shape: Vec<usize>,
+    /// Chunk shape (clamped at domain edges).
+    pub chunk_shape: Vec<usize>,
+    /// Number of equal-frequency value bins.
+    pub num_bins: usize,
+    /// Level nesting order inside bin files.
+    pub level_order: LevelOrder,
+    /// Compression codec.
+    pub codec: CodecKind,
+    /// Whether values are split into PLoD byte groups. `true` for
+    /// MLOC-COL (byte-column storage); `false` stores whole doubles
+    /// per unit (MLOC-ISO / MLOC-ISA).
+    pub plod: bool,
+    /// Space-filling curve ordering chunks on disk.
+    pub curve: CurveKind,
+    /// Subset-based multi-resolution placement: when non-zero, chunks
+    /// are grouped into this many resolution levels (coarse lattice
+    /// first, curve order within a level) so a file prefix holds a
+    /// uniform sample of the domain (paper §III-B.3, Figure 1).
+    /// Zero = plain curve order.
+    pub subset_levels: u32,
+    /// PFS stripe size the layout should align to.
+    pub stripe_size: u64,
+}
+
+impl MlocConfig {
+    /// Start building a configuration for a domain shape.
+    pub fn builder(shape: Vec<usize>) -> ConfigBuilder {
+        ConfigBuilder::new(shape)
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> Result<()> {
+        if self.shape.is_empty() || self.shape.contains(&0) {
+            return Err(MlocError::Invalid("empty shape".into()));
+        }
+        if self.chunk_shape.len() != self.shape.len() {
+            return Err(MlocError::Invalid("chunk dimensionality mismatch".into()));
+        }
+        if self.chunk_shape.contains(&0) {
+            return Err(MlocError::Invalid("zero chunk extent".into()));
+        }
+        if self.num_bins == 0 {
+            return Err(MlocError::Invalid("need at least one bin".into()));
+        }
+        if self.plod && self.codec.is_lossy() {
+            return Err(MlocError::Invalid(
+                "PLoD byte columns require a byte-exact codec".into(),
+            ));
+        }
+        if self.subset_levels > 16 {
+            return Err(MlocError::Invalid(
+                "more than 16 resolution levels is never useful".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The on-disk chunk ordering this configuration implies.
+    pub fn chunk_order(&self, grid: &crate::array::ChunkGrid) -> mloc_hilbert::GridOrder {
+        if self.subset_levels > 0 {
+            mloc_hilbert::GridOrder::hierarchical(
+                grid.grid_extents(),
+                self.subset_levels,
+                self.curve,
+            )
+        } else {
+            mloc_hilbert::GridOrder::new(grid.grid_extents(), self.curve)
+        }
+    }
+
+    /// Number of byte groups per unit under this configuration.
+    pub fn num_parts(&self) -> usize {
+        if self.plod {
+            NUM_PARTS
+        } else {
+            1
+        }
+    }
+}
+
+/// Builder for [`MlocConfig`].
+#[derive(Debug, Clone)]
+pub struct ConfigBuilder {
+    shape: Vec<usize>,
+    chunk_shape: Option<Vec<usize>>,
+    num_bins: usize,
+    level_order: LevelOrder,
+    codec: CodecKind,
+    plod: Option<bool>,
+    curve: CurveKind,
+    subset_levels: u32,
+    stripe_size: u64,
+}
+
+impl ConfigBuilder {
+    fn new(shape: Vec<usize>) -> Self {
+        ConfigBuilder {
+            shape,
+            chunk_shape: None,
+            num_bins: 100,
+            level_order: LevelOrder::Vms,
+            codec: CodecKind::Deflate,
+            plod: None,
+            curve: CurveKind::Hilbert,
+            subset_levels: 0,
+            stripe_size: 1 << 20,
+        }
+    }
+
+    /// Set the chunk shape explicitly (otherwise derived from the
+    /// stripe size, §III-C).
+    pub fn chunk_shape(mut self, chunk_shape: Vec<usize>) -> Self {
+        self.chunk_shape = Some(chunk_shape);
+        self
+    }
+
+    /// Number of equal-frequency bins (paper default: 100).
+    pub fn num_bins(mut self, num_bins: usize) -> Self {
+        self.num_bins = num_bins;
+        self
+    }
+
+    /// Level nesting order.
+    pub fn level_order(mut self, order: LevelOrder) -> Self {
+        self.level_order = order;
+        self
+    }
+
+    /// Compression codec. Lossy / float codecs disable PLoD byte
+    /// columns unless overridden.
+    pub fn codec(mut self, codec: CodecKind) -> Self {
+        self.codec = codec;
+        self
+    }
+
+    /// Force PLoD byte-column storage on or off.
+    pub fn plod(mut self, plod: bool) -> Self {
+        self.plod = Some(plod);
+        self
+    }
+
+    /// Space-filling curve for the spatial level.
+    pub fn curve(mut self, curve: CurveKind) -> Self {
+        self.curve = curve;
+        self
+    }
+
+    /// Enable subset-based multi-resolution placement with this many
+    /// resolution levels (0 disables it).
+    pub fn subset_levels(mut self, levels: u32) -> Self {
+        self.subset_levels = levels;
+        self
+    }
+
+    /// PFS stripe size for layout alignment.
+    pub fn stripe_size(mut self, stripe_size: u64) -> Self {
+        self.stripe_size = stripe_size;
+        self
+    }
+
+    /// Finish, deriving defaults: chunk shape from the stripe size and
+    /// PLoD from the codec (byte codecs → PLoD columns).
+    ///
+    /// # Panics
+    /// Panics when the resulting configuration is invalid.
+    pub fn build(self) -> MlocConfig {
+        let plod = self.plod.unwrap_or(matches!(
+            self.codec,
+            CodecKind::Deflate | CodecKind::Raw
+        ));
+        let chunk_shape = self.chunk_shape.unwrap_or_else(|| {
+            fileorg::advise_chunk_shape(&self.shape, self.stripe_size)
+        });
+        let config = MlocConfig {
+            shape: self.shape,
+            chunk_shape,
+            num_bins: self.num_bins,
+            level_order: self.level_order,
+            codec: self.codec,
+            plod,
+            curve: self.curve,
+            subset_levels: self.subset_levels,
+            stripe_size: self.stripe_size,
+        };
+        config.validate().expect("invalid configuration");
+        config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plod_levels() {
+        assert!(PlodLevel::new(0).is_err());
+        assert!(PlodLevel::new(8).is_err());
+        let l2 = PlodLevel::new(2).unwrap();
+        assert_eq!(l2.num_bytes(), 3);
+        assert_eq!(l2.num_parts(), 2);
+        assert!(!l2.is_full());
+        assert!(PlodLevel::FULL.is_full());
+        assert_eq!(PlodLevel::FULL.num_bytes(), 8);
+    }
+
+    #[test]
+    fn builder_defaults() {
+        let c = MlocConfig::builder(vec![64, 64]).build();
+        assert_eq!(c.num_bins, 100);
+        assert_eq!(c.level_order, LevelOrder::Vms);
+        assert!(c.plod, "deflate default implies byte columns");
+        assert_eq!(c.num_parts(), NUM_PARTS);
+        assert_eq!(c.chunk_shape.len(), 2);
+    }
+
+    #[test]
+    fn float_codecs_disable_plod() {
+        let c = MlocConfig::builder(vec![64, 64])
+            .codec(CodecKind::Isobar)
+            .build();
+        assert!(!c.plod);
+        assert_eq!(c.num_parts(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn lossy_codec_with_plod_rejected() {
+        MlocConfig::builder(vec![64, 64])
+            .codec(CodecKind::Isabela { error_bound: 0.01 })
+            .plod(true)
+            .build();
+    }
+
+    #[test]
+    fn validation_catches_mismatch() {
+        let mut c = MlocConfig::builder(vec![8, 8]).chunk_shape(vec![4, 4]).build();
+        c.chunk_shape = vec![4];
+        assert!(c.validate().is_err());
+        c.chunk_shape = vec![4, 0];
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn level_order_tags_roundtrip() {
+        for o in [LevelOrder::Vms, LevelOrder::Vsm] {
+            assert_eq!(LevelOrder::from_tag(o.to_tag()).unwrap(), o);
+        }
+        assert!(LevelOrder::from_tag(9).is_err());
+    }
+}

@@ -1,0 +1,452 @@
+//! Multi-variable, multi-timestep dataset management.
+//!
+//! The paper's data model (§II) is *multi-variate spatio-temporal*:
+//! simulations emit several variables per time step over one grid, and
+//! queries combine them ("temperature within New York where humidity
+//! is above 90 %"). This module provides the catalog layer above the
+//! single-variable build/query machinery:
+//!
+//! * [`Dataset`] — a named collection of variables sharing one domain
+//!   shape and chunking (so cross-variable position bitmaps line up);
+//! * time steps are modelled as variable generations
+//!   (`var@t` naming), matching the paper's practice of aggregating
+//!   time steps into the spatial grid when needed.
+
+use crate::array::Region;
+use crate::build::{build_variable, BuildReport, StreamingBuilder};
+use crate::config::{MlocConfig, PlodLevel};
+use crate::exec::ParallelExecutor;
+use crate::query::multivar::{select_then_fetch, MultiVarResult};
+use crate::store::MlocStore;
+use crate::wire::{Reader, Writer};
+use crate::{fileorg, MlocError, Result};
+use mloc_compress::CodecKind;
+use mloc_hilbert::CurveKind;
+use mloc_pfs::StorageBackend;
+
+const CATALOG_MAGIC: &[u8] = b"MCAT1\n";
+
+fn encode_config(config: &MlocConfig) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.usize_vec(&config.shape);
+    w.usize_vec(&config.chunk_shape);
+    w.u32(config.num_bins as u32);
+    w.u8(config.level_order.to_tag());
+    let (tag, param) = config.codec.to_tag();
+    w.u8(tag);
+    w.f64(param);
+    w.u8(u8::from(config.plod));
+    w.u8(match config.curve {
+        CurveKind::Hilbert => 0,
+        CurveKind::ZOrder => 1,
+        CurveKind::RowMajor => 2,
+    });
+    w.u32(config.subset_levels);
+    w.u64(config.stripe_size);
+    let body = w.finish();
+    let mut out = Vec::with_capacity(4 + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+fn decode_config(data: &[u8]) -> Result<(MlocConfig, usize)> {
+    if data.len() < 4 {
+        return Err(MlocError::Corrupt("catalog truncated"));
+    }
+    let body_len = u32::from_le_bytes(data[0..4].try_into().unwrap()) as usize;
+    if data.len() < 4 + body_len {
+        return Err(MlocError::Corrupt("catalog truncated"));
+    }
+    let mut r = Reader::new(&data[4..4 + body_len]);
+    let shape = r.usize_vec()?;
+    let chunk_shape = r.usize_vec()?;
+    let num_bins = r.u32()? as usize;
+    let level_order = crate::config::LevelOrder::from_tag(r.u8()?)?;
+    let tag = r.u8()?;
+    let param = r.f64()?;
+    let codec = CodecKind::from_tag(tag, param)?;
+    let plod = r.u8()? != 0;
+    let curve = match r.u8()? {
+        0 => CurveKind::Hilbert,
+        1 => CurveKind::ZOrder,
+        2 => CurveKind::RowMajor,
+        _ => return Err(MlocError::Corrupt("bad curve tag")),
+    };
+    let subset_levels = r.u32()?;
+    let stripe_size = r.u64()?;
+    let config = MlocConfig {
+        shape,
+        chunk_shape,
+        num_bins,
+        level_order,
+        codec,
+        plod,
+        curve,
+        subset_levels,
+        stripe_size,
+    };
+    config.validate()?;
+    Ok((config, 4 + body_len))
+}
+
+/// A dataset: one domain geometry, many variables (optionally over
+/// time steps), one storage backend.
+pub struct Dataset<'a> {
+    backend: &'a dyn StorageBackend,
+    name: String,
+    config: MlocConfig,
+}
+
+impl<'a> Dataset<'a> {
+    /// Create a new dataset with the given per-variable configuration.
+    /// The configuration (shape, chunking, bins, order, codec) applies
+    /// to every variable so their layouts stay position-compatible.
+    pub fn create(
+        backend: &'a dyn StorageBackend,
+        name: &str,
+        config: MlocConfig,
+    ) -> Result<Dataset<'a>> {
+        config.validate()?;
+        let catalog = Self::catalog_file(name);
+        if backend.exists(&catalog) {
+            return Err(MlocError::Invalid(format!("dataset {name} already exists")));
+        }
+        backend.create(&catalog)?;
+        backend.append(&catalog, CATALOG_MAGIC)?;
+        backend.append(&catalog, &encode_config(&config))?;
+        Ok(Dataset { backend, name: name.to_string(), config })
+    }
+
+    /// Open an existing dataset: the configuration is stored in the
+    /// catalog, so empty datasets open fine.
+    pub fn open(backend: &'a dyn StorageBackend, name: &str) -> Result<Dataset<'a>> {
+        let (config, _) = Self::read_header(backend, name)?;
+        Ok(Dataset { backend, name: name.to_string(), config })
+    }
+
+    fn read_header(
+        backend: &dyn StorageBackend,
+        name: &str,
+    ) -> Result<(MlocConfig, usize)> {
+        let file = Self::catalog_file(name);
+        let len = backend.len(&file)?;
+        let raw = backend.read(&file, 0, len)?;
+        if !raw.starts_with(CATALOG_MAGIC) {
+            return Err(MlocError::Corrupt("bad catalog magic"));
+        }
+        let (config, used) = decode_config(&raw[CATALOG_MAGIC.len()..])?;
+        Ok((config, CATALOG_MAGIC.len() + used))
+    }
+
+    fn catalog_file(name: &str) -> String {
+        format!("{name}/catalog")
+    }
+
+    fn read_catalog(backend: &dyn StorageBackend, name: &str) -> Result<Vec<String>> {
+        let (_, header_len) = Self::read_header(backend, name)?;
+        let file = Self::catalog_file(name);
+        let len = backend.len(&file)?;
+        let raw = backend.read(&file, 0, len)?;
+        let body = std::str::from_utf8(&raw[header_len..])
+            .map_err(|_| MlocError::Corrupt("catalog not utf-8"))?;
+        Ok(body.lines().filter(|l| !l.is_empty()).map(str::to_string).collect())
+    }
+
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shared per-variable configuration.
+    pub fn config(&self) -> &MlocConfig {
+        &self.config
+    }
+
+    /// Variables currently in the catalog (sorted by insertion).
+    pub fn variables(&self) -> Result<Vec<String>> {
+        Self::read_catalog(self.backend, &self.name)
+    }
+
+    /// Whether a variable exists.
+    pub fn has_variable(&self, var: &str) -> bool {
+        self.backend.exists(&fileorg::meta_file(&self.name, var))
+    }
+
+    /// Build and register a variable from row-major values.
+    pub fn add_variable(&self, var: &str, values: &[f64]) -> Result<BuildReport> {
+        Self::validate_var_name(var)?;
+        if self.has_variable(var) {
+            return Err(MlocError::Invalid(format!("variable {var} already exists")));
+        }
+        let report = build_variable(self.backend, &self.name, var, values, &self.config)?;
+        self.backend
+            .append(&Self::catalog_file(&self.name), format!("{var}\n").as_bytes())?;
+        Ok(report)
+    }
+
+    /// Build and register one time step of a variable (stored as
+    /// `var@t`).
+    pub fn add_timestep(&self, var: &str, step: u32, values: &[f64]) -> Result<BuildReport> {
+        self.add_variable(&Self::timestep_name(var, step), values)
+    }
+
+    /// Start an *in-situ* build of a variable: chunks are pushed as a
+    /// simulation emits them and the variable is registered in the
+    /// catalog when the stream finishes.
+    pub fn stream_variable(
+        &self,
+        var: &str,
+        sample: &[f64],
+    ) -> Result<DatasetStream<'a>> {
+        Self::validate_var_name(var)?;
+        if self.has_variable(var) {
+            return Err(MlocError::Invalid(format!("variable {var} already exists")));
+        }
+        let builder =
+            StreamingBuilder::new(self.backend, &self.name, var, &self.config, sample)?;
+        Ok(DatasetStream {
+            builder,
+            backend: self.backend,
+            catalog: Self::catalog_file(&self.name),
+            var: var.to_string(),
+        })
+    }
+
+    /// Start an in-situ build of one time step (`var@t`).
+    pub fn stream_timestep(
+        &self,
+        var: &str,
+        step: u32,
+        sample: &[f64],
+    ) -> Result<DatasetStream<'a>> {
+        self.stream_variable(&Self::timestep_name(var, step), sample)
+    }
+
+    /// The storage name of a variable at a time step.
+    pub fn timestep_name(var: &str, step: u32) -> String {
+        format!("{var}@{step}")
+    }
+
+    /// Time steps recorded for a variable, sorted ascending.
+    pub fn timesteps(&self, var: &str) -> Result<Vec<u32>> {
+        let prefix = format!("{var}@");
+        let mut steps: Vec<u32> = self
+            .variables()?
+            .iter()
+            .filter_map(|v| v.strip_prefix(&prefix).and_then(|s| s.parse().ok()))
+            .collect();
+        steps.sort_unstable();
+        Ok(steps)
+    }
+
+    /// Open a variable for querying.
+    pub fn store(&self, var: &str) -> Result<MlocStore<'a>> {
+        MlocStore::open(self.backend, &self.name, var)
+    }
+
+    /// Open a variable at a time step.
+    pub fn store_at(&self, var: &str, step: u32) -> Result<MlocStore<'a>> {
+        self.store(&Self::timestep_name(var, step))
+    }
+
+    /// Cross-variable query: select positions on `selector_var` with a
+    /// value constraint (optionally inside a region) and fetch
+    /// `fetch_var`'s values there (paper §III-D.4).
+    pub fn select_then_fetch(
+        &self,
+        selector_var: &str,
+        fetch_var: &str,
+        vc: (f64, f64),
+        sc: Option<Region>,
+        plod: PlodLevel,
+        exec: &ParallelExecutor,
+    ) -> Result<MultiVarResult> {
+        let selector = self.store(selector_var)?;
+        let fetch = self.store(fetch_var)?;
+        select_then_fetch(&selector, &fetch, vc, sc, plod, exec)
+    }
+
+    /// Total stored bytes across the dataset's files.
+    pub fn stored_bytes(&self) -> u64 {
+        let prefix = format!("{}/", self.name);
+        self.backend
+            .list()
+            .iter()
+            .filter(|f| f.starts_with(&prefix))
+            .map(|f| self.backend.len(f).unwrap_or(0))
+            .sum()
+    }
+
+    fn validate_var_name(var: &str) -> Result<()> {
+        if var.is_empty()
+            || !var
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '@' || c == '-')
+        {
+            return Err(MlocError::Invalid(format!(
+                "variable name {var:?} must be non-empty [A-Za-z0-9_@-]"
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// An in-flight in-situ build over a dataset: a [`StreamingBuilder`]
+/// that registers the variable in the catalog on completion.
+pub struct DatasetStream<'a> {
+    builder: StreamingBuilder<'a>,
+    backend: &'a dyn StorageBackend,
+    catalog: String,
+    var: String,
+}
+
+impl DatasetStream<'_> {
+    /// Push one chunk (see [`StreamingBuilder::push_chunk`]).
+    pub fn push_chunk(&mut self, chunk_id: usize, values: &[f64]) -> Result<()> {
+        self.builder.push_chunk(chunk_id, values)
+    }
+
+    /// Number of chunks pushed so far.
+    pub fn chunks_pushed(&self) -> usize {
+        self.builder.chunks_pushed()
+    }
+
+    /// The chunk geometry of the stream.
+    pub fn grid(&self) -> &crate::array::ChunkGrid {
+        self.builder.grid()
+    }
+
+    /// Finish the layout and register the variable.
+    pub fn finish(self) -> Result<BuildReport> {
+        let report = self.builder.finish()?;
+        self.backend
+            .append(&self.catalog, format!("{}\n", self.var).as_bytes())?;
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::Query;
+    use mloc_pfs::MemBackend;
+
+    fn config() -> MlocConfig {
+        MlocConfig::builder(vec![32, 32])
+            .chunk_shape(vec![8, 8])
+            .num_bins(8)
+            .build()
+    }
+
+    fn values(seed: u64) -> Vec<f64> {
+        (0..1024).map(|i| ((i as u64 * 31 + seed * 977) % 701) as f64).collect()
+    }
+
+    #[test]
+    fn create_add_open_roundtrip() {
+        let be = MemBackend::new();
+        let ds = Dataset::create(&be, "sim", config()).unwrap();
+        ds.add_variable("temp", &values(1)).unwrap();
+        ds.add_variable("pressure", &values(2)).unwrap();
+        assert_eq!(ds.variables().unwrap(), vec!["temp", "pressure"]);
+        assert!(ds.has_variable("temp"));
+        assert!(!ds.has_variable("humidity"));
+
+        let reopened = Dataset::open(&be, "sim").unwrap();
+        assert_eq!(reopened.config(), ds.config());
+        assert_eq!(reopened.variables().unwrap().len(), 2);
+        assert!(reopened.stored_bytes() > 0);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let be = MemBackend::new();
+        let ds = Dataset::create(&be, "sim", config()).unwrap();
+        ds.add_variable("temp", &values(1)).unwrap();
+        assert!(ds.add_variable("temp", &values(1)).is_err());
+        assert!(Dataset::create(&be, "sim", config()).is_err());
+        assert!(ds.add_variable("bad name", &values(1)).is_err());
+        assert!(ds.add_variable("", &values(1)).is_err());
+    }
+
+    #[test]
+    fn timesteps_sorted_and_queryable() {
+        let be = MemBackend::new();
+        let ds = Dataset::create(&be, "sim", config()).unwrap();
+        for step in [3u32, 1, 2] {
+            ds.add_timestep("temp", step, &values(step as u64)).unwrap();
+        }
+        assert_eq!(ds.timesteps("temp").unwrap(), vec![1, 2, 3]);
+        let store = ds.store_at("temp", 2).unwrap();
+        let res = store.query_serial(&Query::region(0.0, 100.0)).unwrap();
+        let want = values(2).iter().filter(|&&v| v < 100.0).count();
+        assert_eq!(res.len(), want);
+    }
+
+    #[test]
+    fn cross_variable_query_through_dataset() {
+        let be = MemBackend::new();
+        let ds = Dataset::create(&be, "sim", config()).unwrap();
+        let temp = values(5);
+        let humid = values(9);
+        ds.add_variable("temp", &temp).unwrap();
+        ds.add_variable("humid", &humid).unwrap();
+        let out = ds
+            .select_then_fetch(
+                "temp",
+                "humid",
+                (600.0, f64::MAX),
+                None,
+                PlodLevel::FULL,
+                &ParallelExecutor::serial(),
+            )
+            .unwrap();
+        let want: Vec<(u64, f64)> = temp
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t >= 600.0)
+            .map(|(i, _)| (i as u64, humid[i]))
+            .collect();
+        assert!(!want.is_empty());
+        assert_eq!(
+            out.result.positions(),
+            want.iter().map(|&(p, _)| p).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            out.result.values().unwrap(),
+            want.iter().map(|&(_, v)| v).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn streamed_variable_registers_on_finish() {
+        let be = MemBackend::new();
+        let ds = Dataset::create(&be, "sim", config()).unwrap();
+        let vals = values(3);
+        let mut stream = ds.stream_variable("temp", &vals).unwrap();
+        assert!(!ds.has_variable("temp"));
+        let grid = stream.grid().clone();
+        for chunk in 0..grid.num_chunks() {
+            let cv: Vec<f64> = grid
+                .chunk_linear_indices(chunk)
+                .iter()
+                .map(|&l| vals[l as usize])
+                .collect();
+            stream.push_chunk(chunk, &cv).unwrap();
+        }
+        stream.finish().unwrap();
+        assert!(ds.has_variable("temp"));
+        assert_eq!(ds.variables().unwrap(), vec!["temp"]);
+        // Queries see the streamed data.
+        let store = ds.store("temp").unwrap();
+        let res = store.query_serial(&Query::values_where(f64::MIN, f64::MAX)).unwrap();
+        assert_eq!(res.len(), vals.len());
+    }
+
+    #[test]
+    fn open_missing_dataset_fails() {
+        let be = MemBackend::new();
+        assert!(Dataset::open(&be, "nope").is_err());
+    }
+}

@@ -1,0 +1,78 @@
+//! File organization on the parallel file system (paper §III-C).
+//!
+//! MLOC stores each bin's compressed data and its index in *separate
+//! files* ("subfiling"): files are large enough to amortize metadata
+//! costs yet small enough to manage, reads are lock-free because query
+//! files are read-only, and chunk sizes are advised so the smallest
+//! accessed unit stays within one PFS stripe.
+
+/// Name of the per-variable metadata file.
+pub fn meta_file(dataset: &str, var: &str) -> String {
+    format!("{dataset}/{var}/meta")
+}
+
+/// Name of the data file of one bin.
+pub fn data_file(dataset: &str, var: &str, bin: usize) -> String {
+    format!("{dataset}/{var}/bin{bin:04}.dat")
+}
+
+/// Name of the index file of one bin.
+pub fn index_file(dataset: &str, var: &str, bin: usize) -> String {
+    format!("{dataset}/{var}/bin{bin:04}.idx")
+}
+
+/// Advise a chunk shape for a domain so that, with ~100 bins and the
+/// PLoD split, the smallest accessed unit (one chunk's bytes within
+/// one bin within one byte group) stays below one stripe while chunks
+/// remain large enough to stream efficiently.
+///
+/// Targets ~32 stripes of raw data per chunk, with power-of-two sides
+/// clamped to the domain (the paper uses 2048² for its 2-D dataset and
+/// 128³ for its 3-D dataset at 1 MiB stripes, which this reproduces).
+pub fn advise_chunk_shape(shape: &[usize], stripe_size: u64) -> Vec<usize> {
+    assert!(!shape.is_empty());
+    let dims = shape.len() as f64;
+    let target_points = (stripe_size.max(1) * 32 / 8) as f64;
+    let side = target_points.powf(1.0 / dims);
+    // Round down to a power of two, at least 1.
+    let pow2 = 1usize << (side.max(1.0).log2().floor() as u32);
+    shape.iter().map(|&e| pow2.min(e).max(1)).collect()
+}
+
+/// Number of subfiles a dataset will create (bins × {data, index} plus
+/// the metadata file) — used by capacity planning in reports.
+pub fn num_files(num_bins: usize) -> usize {
+    num_bins * 2 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(meta_file("ds", "temp"), "ds/temp/meta");
+        assert_eq!(data_file("ds", "temp", 3), "ds/temp/bin0003.dat");
+        assert_eq!(index_file("ds", "temp", 42), "ds/temp/bin0042.idx");
+    }
+
+    #[test]
+    fn advice_matches_paper_scales() {
+        // 2-D at 1 MiB stripes → 2048 per side.
+        assert_eq!(advise_chunk_shape(&[262_144, 262_144], 1 << 20), vec![2048, 2048]);
+        // 3-D at 1 MiB stripes → 128..256 per side (paper used 128³).
+        let c3 = advise_chunk_shape(&[4096, 4096, 4096], 1 << 20);
+        assert!(c3.iter().all(|&s| s == 128 || s == 256), "{c3:?}");
+    }
+
+    #[test]
+    fn advice_clamps_to_domain() {
+        assert_eq!(advise_chunk_shape(&[100, 20], 1 << 20), vec![100, 20]);
+        assert_eq!(advise_chunk_shape(&[1], 1 << 20), vec![1]);
+    }
+
+    #[test]
+    fn file_count() {
+        assert_eq!(num_files(100), 201);
+    }
+}

@@ -1,0 +1,275 @@
+//! Per-bin index files: chunk directory, positional bitmaps, and the
+//! compressed-unit locator.
+//!
+//! Each bin has one index file next to its data file (Figure 4). The
+//! index holds, per chunk (in curve-rank order):
+//!
+//! * the number of the bin's points inside that chunk,
+//! * the chunk-local *positions* of those points as a WAH bitmap — the
+//!   "light-weight index" that lets region queries answer aligned bins
+//!   without touching data, and
+//! * the data-file location of each compressed unit (one per PLoD byte
+//!   group, or a single unit when PLoD is off).
+//!
+//! The header + directory is fixed-size given the chunk count, so a
+//! query reads it with a single sequential read and then fetches only
+//! the bitmaps/units of the chunks it needs.
+
+use crate::wire::{Reader, Writer};
+use crate::{MlocError, Result};
+use mloc_bitmap::WahBitmap;
+
+const MAGIC: u32 = 0x5844_494D; // "MIDX"
+const VERSION: u8 = 1;
+
+/// Location of one compressed unit in the bin's data file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UnitLoc {
+    /// Byte offset within the data file.
+    pub offset: u64,
+    /// Compressed length in bytes (0 = empty unit).
+    pub clen: u32,
+}
+
+/// Directory entry of one chunk within one bin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkEntry {
+    /// Number of the bin's points inside this chunk.
+    pub count: u32,
+    /// Byte offset of the positional bitmap in the bitmap section.
+    pub bitmap_off: u64,
+    /// Encoded bitmap length (0 when the chunk has no points here).
+    pub bitmap_len: u32,
+    /// Per-part unit locations.
+    pub units: Vec<UnitLoc>,
+}
+
+/// The parsed header + directory of a bin index file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinIndex {
+    /// Bin id.
+    pub bin: u32,
+    /// Directory entries indexed by *curve rank*.
+    pub chunks: Vec<ChunkEntry>,
+    /// Number of PLoD parts per unit.
+    pub num_parts: usize,
+    /// Size of the header + directory region in bytes (bitmaps follow).
+    pub header_bytes: u64,
+}
+
+/// Size in bytes of the serialized header + directory for a given
+/// geometry — queries use this to issue an exact-size first read.
+pub fn header_size(num_chunks: usize, num_parts: usize) -> u64 {
+    // magic(4) version(1) bin(4) num_chunks(4) num_parts(1)
+    14 + num_chunks as u64 * entry_size(num_parts)
+}
+
+fn entry_size(num_parts: usize) -> u64 {
+    // count(4) bitmap_off(8) bitmap_len(4) + parts * (offset(8) clen(4))
+    16 + num_parts as u64 * 12
+}
+
+impl BinIndex {
+    /// Serialize header + directory (bitmap bytes are appended by the
+    /// builder).
+    pub fn encode_header(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(MAGIC);
+        w.u8(VERSION);
+        w.u32(self.bin);
+        w.u32(self.chunks.len() as u32);
+        w.u8(self.num_parts as u8);
+        for e in &self.chunks {
+            w.u32(e.count);
+            w.u64(e.bitmap_off);
+            w.u32(e.bitmap_len);
+            debug_assert_eq!(e.units.len(), self.num_parts);
+            for u in &e.units {
+                w.u64(u.offset);
+                w.u32(u.clen);
+            }
+        }
+        debug_assert_eq!(
+            w.len() as u64,
+            header_size(self.chunks.len(), self.num_parts)
+        );
+        w.finish()
+    }
+
+    /// Parse a header + directory previously encoded with
+    /// [`Self::encode_header`].
+    pub fn decode_header(data: &[u8]) -> Result<BinIndex> {
+        let mut r = Reader::new(data);
+        if r.u32()? != MAGIC {
+            return Err(MlocError::Corrupt("bad index magic"));
+        }
+        if r.u8()? != VERSION {
+            return Err(MlocError::Corrupt("unsupported index version"));
+        }
+        let bin = r.u32()?;
+        let num_chunks = r.u32()? as usize;
+        let num_parts = r.u8()? as usize;
+        if num_parts == 0 || num_parts > 16 {
+            return Err(MlocError::Corrupt("bad part count"));
+        }
+        // The directory must fit in the supplied buffer; reject a
+        // corrupted chunk count before allocating for it.
+        if header_size(num_chunks, num_parts) > data.len() as u64 {
+            return Err(MlocError::Corrupt("header truncated"));
+        }
+        let mut chunks = Vec::with_capacity(num_chunks);
+        for _ in 0..num_chunks {
+            let count = r.u32()?;
+            let bitmap_off = r.u64()?;
+            let bitmap_len = r.u32()?;
+            let mut units = Vec::with_capacity(num_parts);
+            for _ in 0..num_parts {
+                units.push(UnitLoc { offset: r.u64()?, clen: r.u32()? });
+            }
+            chunks.push(ChunkEntry { count, bitmap_off, bitmap_len, units });
+        }
+        Ok(BinIndex {
+            bin,
+            chunks,
+            num_parts,
+            header_bytes: header_size(num_chunks, num_parts),
+        })
+    }
+
+    /// Absolute file offset of a chunk's bitmap (bitmaps follow the
+    /// header + directory).
+    pub fn bitmap_file_offset(&self, rank: usize) -> u64 {
+        self.header_bytes + self.chunks[rank].bitmap_off
+    }
+
+    /// Total points recorded in this bin.
+    pub fn total_points(&self) -> u64 {
+        self.chunks.iter().map(|e| u64::from(e.count)).sum()
+    }
+}
+
+/// Incremental builder for one bin's index file contents.
+#[derive(Debug)]
+pub struct BinIndexBuilder {
+    bin: u32,
+    num_parts: usize,
+    chunks: Vec<ChunkEntry>,
+    bitmaps: Vec<u8>,
+}
+
+impl BinIndexBuilder {
+    /// Start building for a bin over `num_chunks` chunks.
+    pub fn new(bin: u32, num_chunks: usize, num_parts: usize) -> Self {
+        let empty = ChunkEntry {
+            count: 0,
+            bitmap_off: 0,
+            bitmap_len: 0,
+            units: vec![UnitLoc::default(); num_parts],
+        };
+        BinIndexBuilder {
+            bin,
+            num_parts,
+            chunks: vec![empty; num_chunks],
+            bitmaps: Vec::new(),
+        }
+    }
+
+    /// Record a chunk's positional bitmap and unit locations.
+    ///
+    /// # Panics
+    /// Panics when called twice for the same rank or with a unit count
+    /// mismatch.
+    pub fn set_chunk(&mut self, rank: usize, bitmap: &WahBitmap, units: Vec<UnitLoc>) {
+        assert_eq!(units.len(), self.num_parts, "unit count mismatch");
+        let e = &mut self.chunks[rank];
+        assert_eq!(e.count, 0, "chunk rank {rank} set twice");
+        let encoded = bitmap.to_bytes();
+        e.count = bitmap.count_ones() as u32;
+        e.bitmap_off = self.bitmaps.len() as u64;
+        e.bitmap_len = encoded.len() as u32;
+        e.units = units;
+        self.bitmaps.extend_from_slice(&encoded);
+    }
+
+    /// Finish: returns the full index file contents.
+    pub fn finish(self) -> Vec<u8> {
+        let index = BinIndex {
+            bin: self.bin,
+            num_parts: self.num_parts,
+            header_bytes: header_size(self.chunks.len(), self.num_parts),
+            chunks: self.chunks,
+        };
+        let mut out = index.encode_header();
+        out.extend_from_slice(&self.bitmaps);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_roundtrip() {
+        let mut b = BinIndexBuilder::new(5, 4, 3);
+        let bm1 = WahBitmap::from_sorted_positions(100, &[1, 5, 99]);
+        let bm2 = WahBitmap::from_sorted_positions(50, &[0]);
+        b.set_chunk(
+            1,
+            &bm1,
+            vec![
+                UnitLoc { offset: 0, clen: 10 },
+                UnitLoc { offset: 10, clen: 20 },
+                UnitLoc { offset: 30, clen: 5 },
+            ],
+        );
+        b.set_chunk(3, &bm2, vec![UnitLoc::default(); 3]);
+        let bytes = b.finish();
+
+        let hdr_len = header_size(4, 3) as usize;
+        let idx = BinIndex::decode_header(&bytes[..hdr_len]).unwrap();
+        assert_eq!(idx.bin, 5);
+        assert_eq!(idx.chunks.len(), 4);
+        assert_eq!(idx.num_parts, 3);
+        assert_eq!(idx.chunks[1].count, 3);
+        assert_eq!(idx.chunks[3].count, 1);
+        assert_eq!(idx.chunks[0].count, 0);
+        assert_eq!(idx.total_points(), 4);
+        assert_eq!(idx.chunks[1].units[1], UnitLoc { offset: 10, clen: 20 });
+
+        // Bitmaps decode from their recorded offsets.
+        let e = &idx.chunks[1];
+        let start = idx.bitmap_file_offset(1) as usize;
+        let (bm, _) =
+            WahBitmap::from_bytes(&bytes[start..start + e.bitmap_len as usize]).unwrap();
+        assert_eq!(bm.to_positions(), vec![1, 5, 99]);
+    }
+
+    #[test]
+    fn header_size_is_exact() {
+        let b = BinIndexBuilder::new(0, 7, 7);
+        let bytes = b.finish();
+        assert_eq!(bytes.len() as u64, header_size(7, 7));
+    }
+
+    #[test]
+    fn rejects_corrupt_headers() {
+        let bytes = BinIndexBuilder::new(0, 2, 1).finish();
+        assert!(BinIndex::decode_header(&bytes[..5]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] ^= 1;
+        assert!(BinIndex::decode_header(&bad).is_err());
+        let mut bad2 = bytes;
+        bad2[4] = 99; // version
+        assert!(BinIndex::decode_header(&bad2).is_err());
+    }
+
+    #[test]
+    #[should_panic]
+    fn setting_chunk_twice_panics() {
+        let mut b = BinIndexBuilder::new(0, 2, 1);
+        let bm = WahBitmap::from_sorted_positions(10, &[0]);
+        b.set_chunk(0, &bm, vec![UnitLoc::default()]);
+        b.set_chunk(0, &bm, vec![UnitLoc::default()]);
+    }
+}

@@ -1,0 +1,136 @@
+//! MLOC: a multi-level layout optimization framework for compressed
+//! scientific data exploration with heterogeneous access patterns.
+//!
+//! This crate reproduces the system of Gong et al. (ICPP 2012). A
+//! dataset of double-precision points over a multi-dimensional grid is
+//! reorganized through a pipeline of *layout levels*, each optimizing
+//! one access pattern:
+//!
+//! * **V — value binning** ([`binning`]): points are placed into
+//!   equal-frequency value bins; one data file + one index file per bin
+//!   ("subfiling", §III-C). Region queries with value constraints read
+//!   only the relevant bins, and *aligned* bins are answered from the
+//!   index alone.
+//! * **S — spatial chunking** ([`array`], `mloc-hilbert`): the domain
+//!   is chunked and chunks are laid out in Hilbert order, so spatially
+//!   constrained queries read contiguous extents.
+//! * **M — multi-resolution** ([`plod`]): each double is split into 7
+//!   byte-groups (2+1+1+1+1+1+1); storing same-position bytes together
+//!   lets a query fetch only a precision prefix (PLoD). Subset-based
+//!   multi-resolution via hierarchical Hilbert ordering is also
+//!   supported.
+//! * **C — compression** (`mloc-compress`): every storage unit is
+//!   compressed with a pluggable codec (DEFLATE-style byte columns for
+//!   MLOC-COL, ISOBAR for MLOC-ISO, ISABELA for MLOC-ISA).
+//!
+//! The nesting order of the levels inside each bin file is configurable
+//! ([`config::LevelOrder`]: V-M-S or V-S-M, Table VII). Queries run
+//! serially or over the MPI-like runtime with column-order block
+//! assignment (§III-D), and every query reports its I/O /
+//! decompression / reconstruction component times (Fig. 6).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mloc::prelude::*;
+//! use mloc_pfs::MemBackend;
+//!
+//! // An 8x8 toy field.
+//! let values: Vec<f64> = (0..64).map(|i| i as f64).collect();
+//! let backend = MemBackend::new();
+//! let config = MlocConfig::builder(vec![8, 8])
+//!     .chunk_shape(vec![4, 4])
+//!     .num_bins(4)
+//!     .build();
+//! build_variable(&backend, "demo", "temp", &values, &config).unwrap();
+//!
+//! let store = MlocStore::open(&backend, "demo", "temp").unwrap();
+//! // Region query: where is the value in [10, 20)?
+//! let query = Query::region(10.0, 20.0);
+//! let result = store.query_serial(&query).unwrap();
+//! assert_eq!(result.positions().len(), 10);
+//! ```
+
+pub mod array;
+pub mod binning;
+pub mod build;
+pub mod config;
+pub mod dataset;
+pub mod exec;
+pub mod fileorg;
+pub mod index;
+pub mod metrics;
+pub mod plod;
+pub mod query;
+pub mod store;
+mod wire;
+
+pub use array::{ChunkGrid, Region};
+pub use binning::BinSpec;
+pub use build::{build_variable, BuildReport, StreamingBuilder};
+pub use config::{ConfigBuilder, LevelOrder, MlocConfig, PlodLevel};
+pub use dataset::Dataset;
+pub use exec::ParallelExecutor;
+pub use metrics::QueryMetrics;
+pub use query::{Query, QueryOutput, QueryResult};
+pub use store::MlocStore;
+
+/// Convenient glob import for typical users.
+pub mod prelude {
+    pub use crate::array::Region;
+    pub use crate::build::build_variable;
+    pub use crate::config::{LevelOrder, MlocConfig, PlodLevel};
+    pub use crate::exec::ParallelExecutor;
+    pub use crate::query::{Query, QueryOutput, QueryResult};
+    pub use crate::store::MlocStore;
+}
+
+/// Errors from building or querying MLOC datasets.
+#[derive(Debug)]
+pub enum MlocError {
+    /// Storage failure.
+    Pfs(mloc_pfs::PfsError),
+    /// Compressed-stream failure.
+    Codec(mloc_compress::CodecError),
+    /// Bitmap decode failure.
+    Bitmap(mloc_bitmap::wah::BitmapError),
+    /// Structurally invalid metadata or index.
+    Corrupt(&'static str),
+    /// Invalid user input (query or configuration).
+    Invalid(String),
+}
+
+impl std::fmt::Display for MlocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MlocError::Pfs(e) => write!(f, "storage error: {e}"),
+            MlocError::Codec(e) => write!(f, "codec error: {e}"),
+            MlocError::Bitmap(e) => write!(f, "bitmap error: {e}"),
+            MlocError::Corrupt(why) => write!(f, "corrupt dataset: {why}"),
+            MlocError::Invalid(why) => write!(f, "invalid request: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for MlocError {}
+
+impl From<mloc_pfs::PfsError> for MlocError {
+    fn from(e: mloc_pfs::PfsError) -> Self {
+        MlocError::Pfs(e)
+    }
+}
+
+impl From<mloc_compress::CodecError> for MlocError {
+    fn from(e: mloc_compress::CodecError) -> Self {
+        MlocError::Codec(e)
+    }
+}
+
+impl From<mloc_bitmap::wah::BitmapError> for MlocError {
+    fn from(e: mloc_bitmap::wah::BitmapError) -> Self {
+        MlocError::Bitmap(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MlocError>;

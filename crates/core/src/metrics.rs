@@ -1,0 +1,112 @@
+//! Query performance metrics, decomposed as in the paper's Fig. 6:
+//! I/O (simulated PFS time), decompression, and reconstruction
+//! (filtering + assembling results).
+
+/// Per-query metrics. Component times are critical-path values (the
+/// slowest rank); per-rank detail is kept for scalability plots.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct QueryMetrics {
+    /// Simulated I/O seconds (max over ranks).
+    pub io_s: f64,
+    /// Measured decompression seconds (max over ranks).
+    pub decompress_s: f64,
+    /// Measured reconstruction/filtering seconds (max over ranks).
+    pub reconstruct_s: f64,
+    /// Response time: max over ranks of that rank's io + cpu.
+    pub response_s: f64,
+    /// Total bytes read (index + data).
+    pub bytes_read: u64,
+    /// Bytes read from index files.
+    pub index_bytes: u64,
+    /// Bytes read from data files.
+    pub data_bytes: u64,
+    /// Seeks paid in the simulated PFS.
+    pub seeks: u64,
+    /// Bins touched by the query.
+    pub bins_touched: usize,
+    /// Bins answered from the index alone.
+    pub aligned_bins: usize,
+    /// Chunks touched by the query.
+    pub chunks_touched: usize,
+    /// Ranks used.
+    pub nranks: usize,
+    /// Per-rank simulated I/O seconds.
+    pub per_rank_io: Vec<f64>,
+    /// Per-rank measured CPU seconds (decompress + reconstruct).
+    pub per_rank_cpu: Vec<f64>,
+}
+
+impl QueryMetrics {
+    /// Sum of the component critical paths — a pessimistic response
+    /// estimate used when components are reported separately.
+    pub fn component_sum(&self) -> f64 {
+        self.io_s + self.decompress_s + self.reconstruct_s
+    }
+
+    /// Merge another query's metrics into an accumulating average
+    /// (used by the experiment harness to average over 100 queries).
+    pub fn accumulate(&mut self, other: &QueryMetrics) {
+        self.io_s += other.io_s;
+        self.decompress_s += other.decompress_s;
+        self.reconstruct_s += other.reconstruct_s;
+        self.response_s += other.response_s;
+        self.bytes_read += other.bytes_read;
+        self.index_bytes += other.index_bytes;
+        self.data_bytes += other.data_bytes;
+        self.seeks += other.seeks;
+        self.bins_touched += other.bins_touched;
+        self.aligned_bins += other.aligned_bins;
+        self.chunks_touched += other.chunks_touched;
+        self.nranks = other.nranks;
+    }
+
+    /// Divide accumulated sums by a query count.
+    pub fn scale(&mut self, queries: usize) {
+        let q = queries.max(1) as f64;
+        self.io_s /= q;
+        self.decompress_s /= q;
+        self.reconstruct_s /= q;
+        self.response_s /= q;
+        self.bytes_read = (self.bytes_read as f64 / q) as u64;
+        self.index_bytes = (self.index_bytes as f64 / q) as u64;
+        self.data_bytes = (self.data_bytes as f64 / q) as u64;
+        self.seeks = (self.seeks as f64 / q) as u64;
+        self.bins_touched = (self.bins_touched as f64 / q).round() as usize;
+        self.aligned_bins = (self.aligned_bins as f64 / q).round() as usize;
+        self.chunks_touched = (self.chunks_touched as f64 / q).round() as usize;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_and_scale() {
+        let mut acc = QueryMetrics::default();
+        for _ in 0..4 {
+            acc.accumulate(&QueryMetrics {
+                io_s: 2.0,
+                decompress_s: 1.0,
+                reconstruct_s: 0.5,
+                response_s: 3.5,
+                bytes_read: 100,
+                index_bytes: 40,
+                data_bytes: 60,
+                seeks: 8,
+                bins_touched: 3,
+                aligned_bins: 1,
+                chunks_touched: 5,
+                nranks: 2,
+                ..Default::default()
+            });
+        }
+        acc.scale(4);
+        assert_eq!(acc.io_s, 2.0);
+        assert_eq!(acc.response_s, 3.5);
+        assert_eq!(acc.bytes_read, 100);
+        assert_eq!(acc.bins_touched, 3);
+        assert_eq!(acc.nranks, 2);
+        assert_eq!(acc.component_sum(), 3.5);
+    }
+}

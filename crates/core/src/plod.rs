@@ -1,0 +1,240 @@
+//! Precision-based Level of Detail (PLoD): byte-group decomposition of
+//! doubles.
+//!
+//! Paper §III-B.3 / Figure 3: each IEEE-754 double is split into seven
+//! parts — the first holds the two most significant bytes (sign, the
+//! full exponent and the leading mantissa bits), the remaining six one
+//! byte each. Bytes at the same position across all values are stored
+//! contiguously, so fetching the first `L` parts reconstructs every
+//! value at reduced precision. Missing bytes are filled with `0x7F`
+//! (first) and `0xFF` (rest) rather than zeros: zeros would always
+//! underestimate the magnitude, while the midpoint fill halves the
+//! expected error.
+
+use crate::config::{PlodLevel, NUM_PARTS};
+
+/// Byte width of each PLoD part (most significant first).
+pub const PART_BYTES: [usize; NUM_PARTS] = [2, 1, 1, 1, 1, 1, 1];
+
+/// Byte offset of each part within the big-endian representation.
+const PART_OFFSETS: [usize; NUM_PARTS] = [0, 2, 3, 4, 5, 6, 7];
+
+/// Split values into the seven PLoD byte-group buffers.
+///
+/// Part `p` of value `i` lives at `parts[p][i * PART_BYTES[p]..]`, in
+/// big-endian (most-significant-first) byte order.
+pub fn split(values: &[f64]) -> Vec<Vec<u8>> {
+    let n = values.len();
+    let mut parts: Vec<Vec<u8>> = PART_BYTES
+        .iter()
+        .map(|&w| Vec::with_capacity(n * w))
+        .collect();
+    for &v in values {
+        let be = v.to_be_bytes();
+        for (p, part) in parts.iter_mut().enumerate() {
+            let off = PART_OFFSETS[p];
+            part.extend_from_slice(&be[off..off + PART_BYTES[p]]);
+        }
+    }
+    parts
+}
+
+/// Reassemble values from the first `level.num_parts()` byte-group
+/// buffers; missing bytes get the midpoint fill.
+///
+/// # Panics
+/// Panics if fewer buffers than the level requires are supplied or
+/// their lengths disagree.
+pub fn assemble(parts: &[&[u8]], level: PlodLevel) -> Vec<f64> {
+    let used = level.num_parts();
+    assert!(parts.len() >= used, "need {used} parts, got {}", parts.len());
+    let n = parts[0].len() / PART_BYTES[0];
+    for p in 0..used {
+        assert_eq!(parts[p].len(), n * PART_BYTES[p], "part {p} length mismatch");
+    }
+
+    let filled_bytes = level.num_bytes();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut be = [0u8; 8];
+        // Midpoint fill for the missing tail: first dummy byte 0x7F,
+        // the rest 0xFF (≈ the middle of the truncated range).
+        if filled_bytes < 8 {
+            be[filled_bytes] = 0x7F;
+            for b in be.iter_mut().skip(filled_bytes + 1) {
+                *b = 0xFF;
+            }
+        }
+        for p in 0..used {
+            let w = PART_BYTES[p];
+            be[PART_OFFSETS[p]..PART_OFFSETS[p] + w]
+                .copy_from_slice(&parts[p][i * w..(i + 1) * w]);
+        }
+        out.push(f64::from_be_bytes(be));
+    }
+    out
+}
+
+/// Reassemble with zero fill instead of midpoint fill — kept only for
+/// the design-choice ablation (the paper explicitly rejects zero fill).
+pub fn assemble_zero_fill(parts: &[&[u8]], level: PlodLevel) -> Vec<f64> {
+    let used = level.num_parts();
+    assert!(parts.len() >= used);
+    let n = parts[0].len() / PART_BYTES[0];
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut be = [0u8; 8];
+        for p in 0..used {
+            let w = PART_BYTES[p];
+            be[PART_OFFSETS[p]..PART_OFFSETS[p] + w]
+                .copy_from_slice(&parts[p][i * w..(i + 1) * w]);
+        }
+        out.push(f64::from_be_bytes(be));
+    }
+    out
+}
+
+/// Upper bound on the relative reconstruction error of a PLoD level
+/// for normal doubles: half the weight of the first missing mantissa
+/// bit (midpoint fill).
+pub fn relative_error_bound(level: PlodLevel) -> f64 {
+    if level.is_full() {
+        return 0.0;
+    }
+    // Bytes kept: 2 + (level-1) ⇒ mantissa bits kept: 4 + 8*(level-1).
+    let mantissa_bits = 4 + 8 * (level.level() as i32 - 1);
+    // Midpoint fill keeps the error within half of the truncated range,
+    // relative to the implicit leading 1.
+    2f64.powi(-mantissa_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PlodLevel;
+
+    fn sample_values() -> Vec<f64> {
+        vec![
+            0.0,
+            1.0,
+            -1.0,
+            3.141592653589793,
+            -2.718281828459045e10,
+            6.02214076e23,
+            -1.602176634e-19,
+            1234.5678,
+        ]
+    }
+
+    #[test]
+    fn full_precision_roundtrip() {
+        let values = sample_values();
+        let parts = split(&values);
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        let back = assemble(&refs, PlodLevel::FULL);
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn part_sizes() {
+        let values = sample_values();
+        let parts = split(&values);
+        assert_eq!(parts.len(), NUM_PARTS);
+        assert_eq!(parts[0].len(), values.len() * 2);
+        for part in parts.iter().skip(1) {
+            assert_eq!(part.len(), values.len());
+        }
+        // Total bytes = 8 per value.
+        let total: usize = parts.iter().map(Vec::len).sum();
+        assert_eq!(total, values.len() * 8);
+    }
+
+    #[test]
+    fn error_shrinks_with_level() {
+        let values: Vec<f64> = (1..1000).map(|i| (i as f64).sqrt() * 100.0).collect();
+        let parts = split(&values);
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        let mut prev_err = f64::MAX;
+        for level in 1..=7u8 {
+            let lvl = PlodLevel::new(level).unwrap();
+            let approx = assemble(&refs[..lvl.num_parts()], lvl);
+            let err = values
+                .iter()
+                .zip(&approx)
+                .map(|(a, b)| ((a - b) / a).abs())
+                .fold(0.0f64, f64::max);
+            assert!(err <= prev_err, "level {level}: {err} > {prev_err}");
+            assert!(
+                err <= relative_error_bound(lvl) * (1.0 + 1e-12),
+                "level {level}: err {err} exceeds bound {}",
+                relative_error_bound(lvl)
+            );
+            prev_err = err;
+        }
+    }
+
+    #[test]
+    fn three_bytes_is_paper_accurate() {
+        // Paper: PLoD level 2 (3 bytes) has max relative error ~0.008%.
+        let values: Vec<f64> = (1..100_000).map(|i| 300.0 + (i as f64) * 0.017).collect();
+        let parts = split(&values);
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        let lvl = PlodLevel::new(2).unwrap();
+        let approx = assemble(&refs[..2], lvl);
+        let max_rel = values
+            .iter()
+            .zip(&approx)
+            .map(|(a, b)| ((a - b) / a).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_rel < 2.5e-4, "max_rel {max_rel}");
+        // Mean-value analysis error far below the point-wise bound.
+        let mean_orig: f64 = values.iter().sum::<f64>() / values.len() as f64;
+        let mean_plod: f64 = approx.iter().sum::<f64>() / approx.len() as f64;
+        assert!(((mean_orig - mean_plod) / mean_orig).abs() < 1e-4);
+    }
+
+    #[test]
+    fn midpoint_fill_beats_zero_fill() {
+        let values: Vec<f64> = (1..5000).map(|i| (i as f64) * 0.37 + 11.1).collect();
+        let parts = split(&values);
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        let lvl = PlodLevel::new(2).unwrap();
+        let mid = assemble(&refs[..2], lvl);
+        let zero = assemble_zero_fill(&refs[..2], lvl);
+        let err = |approx: &[f64]| {
+            values
+                .iter()
+                .zip(approx)
+                .map(|(a, b)| ((a - b) / a).abs())
+                .sum::<f64>()
+        };
+        let (e_mid, e_zero) = (err(&mid), err(&zero));
+        assert!(
+            e_mid < e_zero / 1.5,
+            "midpoint {e_mid} not clearly better than zero {e_zero}"
+        );
+        // Zero fill always underestimates the magnitude.
+        assert!(values.iter().zip(&zero).all(|(a, b)| b.abs() <= a.abs()));
+    }
+
+    #[test]
+    fn negative_values_keep_sign() {
+        let values: Vec<f64> = (1..100).map(|i| -(i as f64) * 2.5).collect();
+        let parts = split(&values);
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        for level in 1..=7u8 {
+            let lvl = PlodLevel::new(level).unwrap();
+            let approx = assemble(&refs[..lvl.num_parts()], lvl);
+            assert!(approx.iter().all(|&v| v < 0.0), "level {level} lost signs");
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let parts = split(&[]);
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        assert!(assemble(&refs, PlodLevel::FULL).is_empty());
+    }
+}

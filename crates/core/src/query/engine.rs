@@ -1,0 +1,323 @@
+//! Per-rank query execution: index reads, coalesced data reads,
+//! decompression, and result reconstruction.
+
+use crate::index::{header_size, BinIndex};
+use crate::plod;
+use crate::query::plan::WorkUnit;
+use crate::query::Query;
+use crate::store::MlocStore;
+use crate::{MlocError, Result};
+use mloc_bitmap::WahBitmap;
+use mloc_pfs::RankIo;
+use std::time::Instant;
+
+/// Reads closer together than this are merged into one request —
+/// mirroring what a real PFS client's readahead would do anyway.
+const COALESCE_GAP: u64 = 4096;
+
+/// One rank's partial result plus its CPU component times.
+#[derive(Debug, Default)]
+pub struct RankOutput {
+    /// Matching global positions.
+    pub positions: Vec<u64>,
+    /// Values aligned with positions (empty for position-only output).
+    pub values: Vec<f64>,
+    /// Seconds spent in codec decompression.
+    pub decompress_s: f64,
+    /// Seconds spent assembling/filtering results.
+    pub reconstruct_s: f64,
+    /// Bytes read from index files.
+    pub index_bytes: u64,
+    /// Bytes read from data files.
+    pub data_bytes: u64,
+}
+
+/// Coalesce `(offset, len)` wants into merged extents, read each once,
+/// and return each want's bytes.
+pub(crate) fn coalesced_read(
+    io: &mut RankIo<'_>,
+    file: &str,
+    wants: &[(u64, u32)],
+) -> Result<Vec<Vec<u8>>> {
+    let mut order: Vec<usize> = (0..wants.len()).collect();
+    order.sort_by_key(|&i| wants[i].0);
+    let mut out = vec![Vec::new(); wants.len()];
+
+    let mut run: Vec<usize> = Vec::new();
+    let mut run_start = 0u64;
+    let mut run_end = 0u64;
+    let flush =
+        |io: &mut RankIo<'_>, run: &mut Vec<usize>, start: u64, end: u64, out: &mut Vec<Vec<u8>>| -> Result<()> {
+            if run.is_empty() {
+                return Ok(());
+            }
+            let buf = io.read(file, start, end - start)?;
+            for &i in run.iter() {
+                let (off, len) = wants[i];
+                let s = (off - start) as usize;
+                out[i] = buf[s..s + len as usize].to_vec();
+            }
+            run.clear();
+            Ok(())
+        };
+
+    for &i in &order {
+        let (off, len) = wants[i];
+        if len == 0 {
+            continue;
+        }
+        if run.is_empty() {
+            run_start = off;
+            run_end = off + u64::from(len);
+        } else if off <= run_end + COALESCE_GAP {
+            run_end = run_end.max(off + u64::from(len));
+        } else {
+            flush(io, &mut run, run_start, run_end, &mut out)?;
+            run_start = off;
+            run_end = off + u64::from(len);
+        }
+        run.push(i);
+    }
+    flush(io, &mut run, run_start, run_end, &mut out)?;
+    Ok(out)
+}
+
+/// Decompose a chunk-local offset into global coordinates without
+/// allocating (scratch holds the result).
+#[inline]
+fn local_to_coords_into(
+    ranges: &[(usize, usize)],
+    mut local: u64,
+    scratch: &mut [usize],
+) {
+    for d in (0..ranges.len()).rev() {
+        let (s, e) = ranges[d];
+        let extent = (e - s) as u64;
+        scratch[d] = s + (local % extent) as usize;
+        local /= extent;
+    }
+}
+
+/// Process this rank's work units, reading through `io`.
+///
+/// Units must be grouped by bin and ordered by chunk rank within a bin
+/// (the plan and the column-order assignment both preserve this).
+/// `position_filter`, when set, keeps only the listed global positions
+/// (used by multi-variable retrieval, §III-D.4).
+pub fn process_units(
+    store: &MlocStore<'_>,
+    query: &Query,
+    units: &[WorkUnit],
+    io: &mut RankIo<'_>,
+    position_filter: Option<&std::collections::HashSet<u64>>,
+) -> Result<RankOutput> {
+    let mut out = RankOutput::default();
+    let config = store.config();
+    let grid = store.grid();
+    let order = store.order();
+    let num_chunks = grid.num_chunks();
+    let num_parts = config.num_parts();
+    let parts_used = if config.plod { query.plod.num_parts() } else { 1 };
+    let byte_codec = config.codec.byte_codec();
+    let float_codec = config.codec.float_codec();
+    let wants_values = query.wants_values();
+
+    let mut coords = vec![0usize; grid.dims()];
+
+    let mut i = 0usize;
+    while i < units.len() {
+        let bin = units[i].bin;
+        let mut j = i;
+        while j < units.len() && units[j].bin == bin {
+            j += 1;
+        }
+        let group = &units[i..j];
+        i = j;
+
+        // Index header + directory: one sequential read.
+        let idx_file = store.index_file(bin);
+        let hdr_len = header_size(num_chunks, num_parts);
+        let hdr = io.read(&idx_file, 0, hdr_len)?;
+        out.index_bytes += hdr_len;
+        let index = BinIndex::decode_header(&hdr)?;
+
+        // Positional bitmaps for this rank's chunks.
+        let bitmap_wants: Vec<(u64, u32)> = group
+            .iter()
+            .map(|u| {
+                let e = &index.chunks[u.chunk_rank];
+                (index.bitmap_file_offset(u.chunk_rank), e.bitmap_len)
+            })
+            .collect();
+        let bitmap_bytes = coalesced_read(io, &idx_file, &bitmap_wants)?;
+        out.index_bytes += bitmap_wants.iter().map(|&(_, l)| u64::from(l)).sum::<u64>();
+
+        // Data units (only for units that need data).
+        let data_file = store.data_file(bin);
+        let mut data_wants: Vec<(u64, u32)> = Vec::new();
+        let mut data_slot: Vec<usize> = Vec::new(); // unit idx in group
+        for (gi, u) in group.iter().enumerate() {
+            if !u.needs_data || index.chunks[u.chunk_rank].count == 0 {
+                continue;
+            }
+            for p in 0..parts_used {
+                let loc = index.chunks[u.chunk_rank].units[p];
+                data_wants.push((loc.offset, loc.clen));
+                data_slot.push(gi);
+            }
+        }
+        let data_bytes = coalesced_read(io, &data_file, &data_wants)?;
+        out.data_bytes += data_wants.iter().map(|&(_, l)| u64::from(l)).sum::<u64>();
+
+        // Decompress all fetched units (timed).
+        let t = Instant::now();
+        // decompressed[gi] = per-part byte buffers (plod) or raw f64s.
+        let mut parts_of: Vec<Vec<Vec<u8>>> = vec![Vec::new(); group.len()];
+        let mut floats_of: Vec<Vec<f64>> = vec![Vec::new(); group.len()];
+        for (k, buf) in data_bytes.iter().enumerate() {
+            let gi = data_slot[k];
+            let count = index.chunks[group[gi].chunk_rank].count as usize;
+            if config.plod {
+                let p = parts_of[gi].len();
+                let decomp = byte_codec.decompress(buf)?;
+                if decomp.len() != count * plod::PART_BYTES[p] {
+                    return Err(MlocError::Corrupt("unit length mismatch"));
+                }
+                parts_of[gi].push(decomp);
+            } else {
+                let decomp = float_codec.decompress_f64(buf)?;
+                if decomp.len() != count {
+                    return Err(MlocError::Corrupt("unit length mismatch"));
+                }
+                floats_of[gi] = decomp;
+            }
+        }
+        out.decompress_s += t.elapsed().as_secs_f64();
+
+        // Reconstruct: decode bitmaps, assemble values, filter, map to
+        // global positions (timed).
+        let t = Instant::now();
+        for (gi, u) in group.iter().enumerate() {
+            let entry = &index.chunks[u.chunk_rank];
+            if entry.count == 0 {
+                continue;
+            }
+            let (bitmap, _) = WahBitmap::from_bytes(&bitmap_bytes[gi])?;
+            let chunk_id = order.cell_at(u.chunk_rank);
+            let chunk_region = grid.chunk_region(chunk_id);
+            let ranges = chunk_region.ranges();
+            // A corrupted bitmap must not index past the decoded
+            // values or outside the chunk.
+            if bitmap.len() != chunk_region.num_points() as u64
+                || bitmap.count_ones() != u64::from(entry.count)
+            {
+                return Err(MlocError::Corrupt("index bitmap inconsistent"));
+            }
+
+            let values: Option<Vec<f64>> = if u.needs_data {
+                if config.plod {
+                    let refs: Vec<&[u8]> =
+                        parts_of[gi].iter().map(|p| p.as_slice()).collect();
+                    Some(plod::assemble(&refs, query.plod))
+                } else {
+                    Some(std::mem::take(&mut floats_of[gi]))
+                }
+            } else {
+                None
+            };
+
+            let (vc_lo, vc_hi) = query.vc.unwrap_or((f64::MIN, f64::MAX));
+            for (pos_idx, local) in bitmap.iter_ones().enumerate() {
+                if let (true, Some(vals)) = (u.value_filter, values.as_ref()) {
+                    let v = vals[pos_idx];
+                    if !(v >= vc_lo && v < vc_hi) {
+                        continue;
+                    }
+                }
+                local_to_coords_into(ranges, local, &mut coords);
+                if u.spatial_filter {
+                    if let Some(region) = &query.sc {
+                        if !region.contains(&coords) {
+                            continue;
+                        }
+                    }
+                }
+                let global = grid.linearize(&coords);
+                if let Some(filter) = position_filter {
+                    if !filter.contains(&global) {
+                        continue;
+                    }
+                }
+                out.positions.push(global);
+                if wants_values {
+                    out.values
+                        .push(values.as_ref().expect("values required")[pos_idx]);
+                }
+            }
+        }
+        out.reconstruct_s += t.elapsed().as_secs_f64();
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mloc_pfs::{MemBackend, StorageBackend};
+
+    #[test]
+    fn coalesced_read_merges_and_slices() {
+        let be = MemBackend::new();
+        let data: Vec<u8> = (0..200u8).collect();
+        be.append("f", &data).unwrap();
+        let mut io = RankIo::new(&be);
+        // Three wants: two adjacent (merge), one far (but within gap).
+        let wants = vec![(10u64, 5u32), (15, 5), (100, 10), (0, 0)];
+        let got = coalesced_read(&mut io, "f", &wants).unwrap();
+        assert_eq!(got[0], (10..15).collect::<Vec<u8>>());
+        assert_eq!(got[1], (15..20).collect::<Vec<u8>>());
+        assert_eq!(got[2], (100..110).collect::<Vec<u8>>());
+        assert!(got[3].is_empty());
+        // All within COALESCE_GAP: a single physical read.
+        assert_eq!(io.trace().len(), 1);
+    }
+
+    #[test]
+    fn coalesced_read_respects_large_gaps() {
+        let be = MemBackend::new();
+        be.append("f", &vec![7u8; 100_000]).unwrap();
+        let mut io = RankIo::new(&be);
+        let wants = vec![(0u64, 10u32), (50_000, 10)];
+        let got = coalesced_read(&mut io, "f", &wants).unwrap();
+        assert_eq!(got[0].len(), 10);
+        assert_eq!(got[1].len(), 10);
+        assert_eq!(io.trace().len(), 2, "distant reads must not merge");
+    }
+
+    #[test]
+    fn coalesced_read_unsorted_input() {
+        let be = MemBackend::new();
+        let data: Vec<u8> = (0..100u8).collect();
+        be.append("f", &data).unwrap();
+        let mut io = RankIo::new(&be);
+        let wants = vec![(90u64, 5u32), (0, 5), (40, 5)];
+        let got = coalesced_read(&mut io, "f", &wants).unwrap();
+        assert_eq!(got[0], (90..95).collect::<Vec<u8>>());
+        assert_eq!(got[1], (0..5).collect::<Vec<u8>>());
+        assert_eq!(got[2], (40..45).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn local_to_coords_matches_grid() {
+        use crate::array::ChunkGrid;
+        let grid = ChunkGrid::new(vec![10, 7], vec![4, 3]);
+        let mut scratch = vec![0usize; 2];
+        for chunk in 0..grid.num_chunks() {
+            let ranges = grid.chunk_region(chunk).ranges().to_vec();
+            for local in 0..grid.chunk_points(chunk) {
+                local_to_coords_into(&ranges, local as u64, &mut scratch);
+                assert_eq!(scratch, grid.local_to_coords(chunk, local));
+            }
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! Query types and execution.
+//!
+//! MLOC serves the paper's access-pattern taxonomy (§II):
+//!
+//! * value-constrained **region queries** → [`Query::region`]
+//!   (positions out, values never reconstructed for aligned bins);
+//! * spatial-constrained **value queries** → [`Query::values_in`];
+//! * combined constraints → [`Query::new`] with both set;
+//! * **multi-variable** queries → [`multivar::select_then_fetch`];
+//! * **multi-resolution** access → [`Query::with_plod`] (precision
+//!   based) and [`multires::subset_chunks`] (subset based).
+
+pub mod engine;
+pub mod multires;
+pub mod multivar;
+pub mod plan;
+
+use crate::array::Region;
+use crate::config::PlodLevel;
+use mloc_bitmap::WahBitmap;
+
+/// What a query returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOutput {
+    /// Only the matching positions (region-only access, §III-D.1).
+    Positions,
+    /// Positions and reconstructed values (value-retrieval, §III-D.2).
+    Values,
+}
+
+/// A declarative query over one variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Value constraint `[lo, hi)`.
+    pub vc: Option<(f64, f64)>,
+    /// Spatial constraint.
+    pub sc: Option<Region>,
+    /// Precision level for value reconstruction.
+    pub plod: PlodLevel,
+    /// Output kind.
+    pub output: QueryOutput,
+}
+
+impl Query {
+    /// General constructor.
+    pub fn new(
+        vc: Option<(f64, f64)>,
+        sc: Option<Region>,
+        plod: PlodLevel,
+        output: QueryOutput,
+    ) -> Self {
+        Query { vc, sc, plod, output }
+    }
+
+    /// Region query: positions whose value lies in `[lo, hi)`.
+    pub fn region(lo: f64, hi: f64) -> Self {
+        Query {
+            vc: Some((lo, hi)),
+            sc: None,
+            plod: PlodLevel::FULL,
+            output: QueryOutput::Positions,
+        }
+    }
+
+    /// Value query: values of all points inside a region.
+    pub fn values_in(region: Region) -> Self {
+        Query {
+            vc: None,
+            sc: Some(region),
+            plod: PlodLevel::FULL,
+            output: QueryOutput::Values,
+        }
+    }
+
+    /// Value query with a value constraint (values in `[lo, hi)`).
+    pub fn values_where(lo: f64, hi: f64) -> Self {
+        Query {
+            vc: Some((lo, hi)),
+            sc: None,
+            plod: PlodLevel::FULL,
+            output: QueryOutput::Values,
+        }
+    }
+
+    /// Restrict an existing query to a spatial region.
+    pub fn with_region(mut self, region: Region) -> Self {
+        self.sc = Some(region);
+        self
+    }
+
+    /// Set the PLoD precision level.
+    pub fn with_plod(mut self, plod: PlodLevel) -> Self {
+        self.plod = plod;
+        self
+    }
+
+    /// Whether values must be reconstructed.
+    pub fn wants_values(&self) -> bool {
+        self.output == QueryOutput::Values
+    }
+}
+
+/// Result of a query: matching positions (global row-major indices),
+/// and their values when requested. Entries are sorted by position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    positions: Vec<u64>,
+    values: Option<Vec<f64>>,
+}
+
+impl QueryResult {
+    /// Assemble from unsorted parts (sorts by position, keeping values
+    /// aligned).
+    pub fn from_parts(mut positions: Vec<u64>, values: Option<Vec<f64>>) -> Self {
+        match values {
+            Some(vals) => {
+                assert_eq!(vals.len(), positions.len());
+                let mut pairs: Vec<(u64, f64)> =
+                    positions.into_iter().zip(vals).collect();
+                pairs.sort_unstable_by_key(|&(p, _)| p);
+                let (positions, values): (Vec<u64>, Vec<f64>) = pairs.into_iter().unzip();
+                QueryResult { positions, values: Some(values) }
+            }
+            None => {
+                positions.sort_unstable();
+                QueryResult { positions, values: None }
+            }
+        }
+    }
+
+    /// Matching positions, sorted ascending.
+    pub fn positions(&self) -> &[u64] {
+        &self.positions
+    }
+
+    /// Values aligned with [`Self::positions`] (None for region-only
+    /// queries).
+    pub fn values(&self) -> Option<&[f64]> {
+        self.values.as_deref()
+    }
+
+    /// Number of matches.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether nothing matched.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The positions as a global bitmap of `total_points` bits — the
+    /// representation MLOC uses to hand region-query output to a
+    /// follow-up multi-variable retrieval.
+    pub fn to_bitmap(&self, total_points: u64) -> WahBitmap {
+        WahBitmap::from_sorted_positions(total_points, &self.positions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let q = Query::region(1.0, 2.0);
+        assert_eq!(q.output, QueryOutput::Positions);
+        assert!(!q.wants_values());
+        let q = Query::values_in(Region::new(vec![(0, 4)]));
+        assert!(q.wants_values());
+        assert!(q.vc.is_none());
+        let q = Query::values_where(0.0, 1.0)
+            .with_region(Region::new(vec![(0, 2)]))
+            .with_plod(PlodLevel::new(2).unwrap());
+        assert!(q.vc.is_some() && q.sc.is_some());
+        assert_eq!(q.plod.num_bytes(), 3);
+    }
+
+    #[test]
+    fn result_sorts_pairs() {
+        let r = QueryResult::from_parts(vec![5, 1, 3], Some(vec![50.0, 10.0, 30.0]));
+        assert_eq!(r.positions(), &[1, 3, 5]);
+        assert_eq!(r.values().unwrap(), &[10.0, 30.0, 50.0]);
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn result_bitmap() {
+        let r = QueryResult::from_parts(vec![9, 2], None);
+        let bm = r.to_bitmap(16);
+        assert_eq!(bm.to_positions(), vec![2, 9]);
+        assert_eq!(bm.len(), 16);
+    }
+}

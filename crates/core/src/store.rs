@@ -1,0 +1,244 @@
+//! Opening a built variable: metadata and the query-time view.
+
+use crate::array::ChunkGrid;
+use crate::binning::BinSpec;
+use crate::config::{LevelOrder, MlocConfig};
+use crate::exec::ParallelExecutor;
+use crate::metrics::QueryMetrics;
+use crate::query::{Query, QueryResult};
+use crate::wire::{Reader, Writer};
+use crate::{MlocError, Result};
+use mloc_compress::CodecKind;
+use mloc_hilbert::{CurveKind, GridOrder};
+use mloc_pfs::StorageBackend;
+
+const MAGIC: u32 = 0x5445_4D4D; // "MMET"
+const VERSION: u8 = 2;
+
+fn curve_tag(c: CurveKind) -> u8 {
+    match c {
+        CurveKind::Hilbert => 0,
+        CurveKind::ZOrder => 1,
+        CurveKind::RowMajor => 2,
+    }
+}
+
+fn curve_from_tag(tag: u8) -> Result<CurveKind> {
+    match tag {
+        0 => Ok(CurveKind::Hilbert),
+        1 => Ok(CurveKind::ZOrder),
+        2 => Ok(CurveKind::RowMajor),
+        _ => Err(MlocError::Corrupt("unknown curve kind")),
+    }
+}
+
+/// Serialized per-variable metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariableMeta {
+    /// Variable name.
+    pub var: String,
+    /// Build configuration.
+    pub config: MlocConfig,
+    /// Equal-frequency bin boundaries.
+    pub bin_bounds: Vec<f64>,
+    /// Total number of points.
+    pub total_points: u64,
+}
+
+impl VariableMeta {
+    /// Serialize to the meta-file byte format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.u32(MAGIC);
+        w.u8(VERSION);
+        w.string(&self.var);
+        w.usize_vec(&self.config.shape);
+        w.usize_vec(&self.config.chunk_shape);
+        w.u32(self.config.num_bins as u32);
+        w.u8(self.config.level_order.to_tag());
+        let (codec_tag, codec_param) = self.config.codec.to_tag();
+        w.u8(codec_tag);
+        w.f64(codec_param);
+        w.u8(u8::from(self.config.plod));
+        w.u8(curve_tag(self.config.curve));
+        w.u32(self.config.subset_levels);
+        w.u64(self.config.stripe_size);
+        w.f64_vec(&self.bin_bounds);
+        w.u64(self.total_points);
+        w.finish()
+    }
+
+    /// Parse bytes produced by [`Self::encode`].
+    pub fn decode(data: &[u8]) -> Result<VariableMeta> {
+        let mut r = Reader::new(data);
+        if r.u32()? != MAGIC {
+            return Err(MlocError::Corrupt("bad meta magic"));
+        }
+        if r.u8()? != VERSION {
+            return Err(MlocError::Corrupt("unsupported meta version"));
+        }
+        let var = r.string()?;
+        let shape = r.usize_vec()?;
+        let chunk_shape = r.usize_vec()?;
+        let num_bins = r.u32()? as usize;
+        let level_order = LevelOrder::from_tag(r.u8()?)?;
+        let codec_tag = r.u8()?;
+        let codec_param = r.f64()?;
+        let codec = CodecKind::from_tag(codec_tag, codec_param)?;
+        let plod = r.u8()? != 0;
+        let curve = curve_from_tag(r.u8()?)?;
+        let subset_levels = r.u32()?;
+        let stripe_size = r.u64()?;
+        let bin_bounds = r.f64_vec()?;
+        let total_points = r.u64()?;
+        let config = MlocConfig {
+            shape,
+            chunk_shape,
+            num_bins,
+            level_order,
+            codec,
+            plod,
+            curve,
+            subset_levels,
+            stripe_size,
+        };
+        config.validate()?;
+        if bin_bounds.len() != num_bins + 1 {
+            return Err(MlocError::Corrupt("bin bound count mismatch"));
+        }
+        Ok(VariableMeta { var, config, bin_bounds, total_points })
+    }
+}
+
+/// A built MLOC variable, opened for querying.
+pub struct MlocStore<'a> {
+    backend: &'a dyn StorageBackend,
+    dataset: String,
+    meta: VariableMeta,
+    grid: ChunkGrid,
+    order: GridOrder,
+    spec: BinSpec,
+}
+
+impl<'a> MlocStore<'a> {
+    /// Open `dataset/var` from a backend by reading its metadata.
+    pub fn open(
+        backend: &'a dyn StorageBackend,
+        dataset: &str,
+        var: &str,
+    ) -> Result<MlocStore<'a>> {
+        let meta_name = crate::fileorg::meta_file(dataset, var);
+        let len = backend.len(&meta_name)?;
+        let raw = backend.read(&meta_name, 0, len)?;
+        let meta = VariableMeta::decode(&raw)?;
+        let grid = ChunkGrid::new(meta.config.shape.clone(), meta.config.chunk_shape.clone());
+        let order = meta.config.chunk_order(&grid);
+        let spec = BinSpec::from_bounds(meta.bin_bounds.clone())?;
+        Ok(MlocStore {
+            backend,
+            dataset: dataset.to_string(),
+            meta,
+            grid,
+            order,
+            spec,
+        })
+    }
+
+    /// The storage backend.
+    pub fn backend(&self) -> &'a dyn StorageBackend {
+        self.backend
+    }
+
+    /// Dataset name.
+    pub fn dataset(&self) -> &str {
+        &self.dataset
+    }
+
+    /// Variable name.
+    pub fn var(&self) -> &str {
+        &self.meta.var
+    }
+
+    /// Build configuration.
+    pub fn config(&self) -> &MlocConfig {
+        &self.meta.config
+    }
+
+    /// Total number of points.
+    pub fn total_points(&self) -> u64 {
+        self.meta.total_points
+    }
+
+    /// Chunk geometry.
+    pub fn grid(&self) -> &ChunkGrid {
+        &self.grid
+    }
+
+    /// Chunk curve ordering.
+    pub fn order(&self) -> &GridOrder {
+        &self.order
+    }
+
+    /// Value-bin specification.
+    pub fn bins(&self) -> &BinSpec {
+        &self.spec
+    }
+
+    /// Data file name of a bin.
+    pub fn data_file(&self, bin: usize) -> String {
+        crate::fileorg::data_file(&self.dataset, self.var(), bin)
+    }
+
+    /// Index file name of a bin.
+    pub fn index_file(&self, bin: usize) -> String {
+        crate::fileorg::index_file(&self.dataset, self.var(), bin)
+    }
+
+    /// Run a query on a single rank with the default cost model and
+    /// return just the result.
+    pub fn query_serial(&self, query: &Query) -> Result<QueryResult> {
+        Ok(self.query_with_metrics(query)?.0)
+    }
+
+    /// Run a query on a single rank and return result plus metrics.
+    pub fn query_with_metrics(&self, query: &Query) -> Result<(QueryResult, QueryMetrics)> {
+        ParallelExecutor::serial().execute(self, query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_roundtrip() {
+        let config = MlocConfig::builder(vec![64, 32])
+            .chunk_shape(vec![16, 16])
+            .num_bins(10)
+            .build();
+        let meta = VariableMeta {
+            var: "temperature".into(),
+            config,
+            bin_bounds: (0..=10).map(|i| i as f64 * 3.5).collect(),
+            total_points: 2048,
+        };
+        let decoded = VariableMeta::decode(&meta.encode()).unwrap();
+        assert_eq!(decoded, meta);
+    }
+
+    #[test]
+    fn meta_rejects_corruption() {
+        let config = MlocConfig::builder(vec![8, 8]).chunk_shape(vec![4, 4]).num_bins(2).build();
+        let meta = VariableMeta {
+            var: "v".into(),
+            config,
+            bin_bounds: vec![0.0, 1.0, 2.0],
+            total_points: 64,
+        };
+        let bytes = meta.encode();
+        assert!(VariableMeta::decode(&bytes[..10]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] ^= 1;
+        assert!(VariableMeta::decode(&bad).is_err());
+    }
+}

@@ -1,0 +1,184 @@
+//! Little-endian binary serialization helpers for on-disk headers.
+
+use crate::MlocError;
+
+/// Append primitives to a byte buffer.
+///
+/// Some accessors are kept for format evolution even when currently
+/// unused outside tests.
+#[allow(dead_code)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+#[allow(dead_code)]
+impl Writer {
+    pub fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) {
+        self.u32(v.len() as u32);
+        self.bytes(v.as_bytes());
+    }
+
+    /// Length-prefixed `usize` vector (stored as u64).
+    pub fn usize_vec(&mut self, v: &[usize]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.u64(x as u64);
+        }
+    }
+
+    /// Length-prefixed `f64` vector.
+    pub fn f64_vec(&mut self, v: &[f64]) {
+        self.u32(v.len() as u32);
+        for &x in v {
+            self.f64(x);
+        }
+    }
+
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// Sequential reader over a byte slice.
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+#[allow(dead_code)]
+impl<'a> Reader<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], MlocError> {
+        if self.pos + n > self.data.len() {
+            return Err(MlocError::Corrupt("header truncated"));
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    pub fn u8(&mut self) -> Result<u8, MlocError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn u16(&mut self) -> Result<u16, MlocError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    pub fn u32(&mut self) -> Result<u32, MlocError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn u64(&mut self) -> Result<u64, MlocError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn f64(&mut self) -> Result<f64, MlocError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], MlocError> {
+        self.take(n)
+    }
+
+    pub fn string(&mut self) -> Result<String, MlocError> {
+        let n = self.u32()? as usize;
+        let raw = self.take(n)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| MlocError::Corrupt("bad utf-8"))
+    }
+
+    pub fn usize_vec(&mut self) -> Result<Vec<usize>, MlocError> {
+        let n = self.u32()? as usize;
+        (0..n).map(|_| self.u64().map(|v| v as usize)).collect()
+    }
+
+    pub fn f64_vec(&mut self) -> Result<Vec<f64>, MlocError> {
+        let n = self.u32()? as usize;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    /// Remaining unread bytes.
+    pub fn remaining(&self) -> &'a [u8] {
+        &self.data[self.pos..]
+    }
+
+    /// Current read position.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_everything() {
+        let mut w = Writer::new();
+        w.u8(7);
+        w.u16(300);
+        w.u32(70_000);
+        w.u64(1 << 40);
+        w.f64(-2.5);
+        w.string("hello");
+        w.usize_vec(&[1, 2, 3]);
+        w.f64_vec(&[0.5, 1.5]);
+        let buf = w.finish();
+
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u16().unwrap(), 300);
+        assert_eq!(r.u32().unwrap(), 70_000);
+        assert_eq!(r.u64().unwrap(), 1 << 40);
+        assert_eq!(r.f64().unwrap(), -2.5);
+        assert_eq!(r.string().unwrap(), "hello");
+        assert_eq!(r.usize_vec().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.f64_vec().unwrap(), vec![0.5, 1.5]);
+        assert!(r.remaining().is_empty());
+    }
+
+    #[test]
+    fn truncation_is_an_error() {
+        let mut w = Writer::new();
+        w.u64(1);
+        let buf = w.finish();
+        let mut r = Reader::new(&buf[..4]);
+        assert!(r.u64().is_err());
+    }
+}

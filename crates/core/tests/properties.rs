@@ -1,0 +1,164 @@
+//! Property-based tests on the core invariant: any MLOC layout
+//! (random geometry, bins, codec, order) answers any query exactly as
+//! a naive scan does.
+
+use mloc::prelude::*;
+use mloc::query::plan::make_plan;
+use mloc_compress::CodecKind;
+use mloc_pfs::MemBackend;
+use proptest::prelude::*;
+
+/// A small random dataset + geometry.
+#[derive(Debug, Clone)]
+struct Case {
+    shape: Vec<usize>,
+    chunk: Vec<usize>,
+    num_bins: usize,
+    values: Vec<f64>,
+    codec: CodecKind,
+    order: LevelOrder,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (
+        2usize..=3,                      // dims
+        proptest::bool::ANY,             // order
+        0usize..3,                       // codec pick (lossless only)
+        2usize..=8,                      // bins
+        any::<u64>(),                    // value seed
+    )
+        .prop_flat_map(|(dims, vsm, codec_pick, num_bins, seed)| {
+            let dim_st = proptest::collection::vec((4usize..=12, 2usize..=5), dims);
+            dim_st.prop_map(move |dim_specs| {
+                let shape: Vec<usize> = dim_specs.iter().map(|&(s, _)| s).collect();
+                let chunk: Vec<usize> =
+                    dim_specs.iter().map(|&(s, c)| c.min(s)).collect();
+                let n: usize = shape.iter().product();
+                // Deterministic pseudo-random values from the seed.
+                let mut x = seed | 1;
+                let values: Vec<f64> = (0..n)
+                    .map(|_| {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        ((x % 10_000) as f64 - 5_000.0) * 0.37
+                    })
+                    .collect();
+                let codec = [CodecKind::Raw, CodecKind::Deflate, CodecKind::Fpc]
+                    [codec_pick % 3];
+                Case {
+                    shape,
+                    chunk,
+                    num_bins,
+                    values,
+                    codec,
+                    order: if vsm { LevelOrder::Vsm } else { LevelOrder::Vms },
+                }
+            })
+        })
+}
+
+fn build_case<'a>(be: &'a MemBackend, case: &Case) -> MlocStore<'a> {
+    let config = MlocConfig::builder(case.shape.clone())
+        .chunk_shape(case.chunk.clone())
+        .num_bins(case.num_bins)
+        .codec(case.codec)
+        .level_order(case.order)
+        .build();
+    build_variable(be, "p", "v", &case.values, &config).unwrap();
+    MlocStore::open(be, "p", "v").unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn region_queries_match_naive(case in case_strategy(), qlo in 0.0f64..1.0, qw in 0.0f64..0.5) {
+        let be = MemBackend::new();
+        let store = build_case(&be, &case);
+        let mut sorted = case.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lo = sorted[((sorted.len() - 1) as f64 * qlo) as usize];
+        let hi = sorted[(((sorted.len() - 1) as f64 * (qlo + qw)).min((sorted.len() - 1) as f64)) as usize];
+        let res = store.query_serial(&Query::region(lo, hi)).unwrap();
+        let want: Vec<u64> = case.values.iter().enumerate()
+            .filter(|(_, &v)| v >= lo && v < hi)
+            .map(|(i, _)| i as u64).collect();
+        prop_assert_eq!(res.positions(), &want[..]);
+    }
+
+    #[test]
+    fn value_queries_match_naive(case in case_strategy(), fracs in proptest::collection::vec((0.0f64..1.0, 0.01f64..1.0), 3)) {
+        let be = MemBackend::new();
+        let store = build_case(&be, &case);
+        // A random sub-region per dimension.
+        let ranges: Vec<(usize, usize)> = case.shape.iter().zip(&fracs).map(|(&e, &(a, w))| {
+            let start = ((e - 1) as f64 * a) as usize;
+            let len = ((e as f64 * w) as usize).max(1);
+            (start, (start + len).min(e))
+        }).collect();
+        let region = Region::new(ranges.clone());
+        let res = store.query_serial(&Query::values_in(region.clone())).unwrap();
+
+        let grid = store.grid();
+        let mut want: Vec<(u64, f64)> = Vec::new();
+        for lin in 0..case.values.len() as u64 {
+            let coords = grid.delinearize(lin);
+            if region.contains(&coords) {
+                want.push((lin, case.values[lin as usize]));
+            }
+        }
+        prop_assert_eq!(res.len(), want.len());
+        for ((&p, &v), (wp, wv)) in res.positions().iter().zip(res.values().unwrap()).zip(want) {
+            prop_assert_eq!(p, wp);
+            prop_assert_eq!(v.to_bits(), wv.to_bits());
+        }
+    }
+
+    #[test]
+    fn combined_queries_match_naive(case in case_strategy()) {
+        let be = MemBackend::new();
+        let store = build_case(&be, &case);
+        let mut sorted = case.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lo = sorted[sorted.len() / 5];
+        let hi = sorted[sorted.len() * 4 / 5];
+        let half: Vec<(usize, usize)> =
+            case.shape.iter().map(|&e| (0, e.div_ceil(2))).collect();
+        let region = Region::new(half);
+        let q = Query::values_where(lo, hi).with_region(region.clone());
+        let res = store.query_serial(&q).unwrap();
+
+        let grid = store.grid();
+        let want: Vec<u64> = (0..case.values.len() as u64).filter(|&lin| {
+            let v = case.values[lin as usize];
+            v >= lo && v < hi && region.contains(&grid.delinearize(lin))
+        }).collect();
+        prop_assert_eq!(res.positions(), &want[..]);
+    }
+
+    #[test]
+    fn parallel_execution_is_rank_invariant(case in case_strategy(), nranks in 1usize..7) {
+        let be = MemBackend::new();
+        let store = build_case(&be, &case);
+        let q = Query::values_where(-1e9, 1e9);
+        let serial = store.query_serial(&q).unwrap();
+        let exec = mloc::exec::ParallelExecutor::new(nranks, mloc_pfs::CostModel::default());
+        let (par, _) = exec.execute(&store, &q).unwrap();
+        prop_assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn plan_covers_every_candidate(case in case_strategy()) {
+        let be = MemBackend::new();
+        let store = build_case(&be, &case);
+        let q = Query::region(-1e9, 1e9);
+        let plan = make_plan(&store, &q).unwrap();
+        // Every (candidate bin, candidate chunk) pair appears once.
+        let mut seen = std::collections::HashSet::new();
+        for u in &plan.units {
+            prop_assert!(seen.insert((u.bin, u.chunk_rank)), "duplicate unit");
+        }
+        prop_assert_eq!(plan.units.len(), plan.bins_touched * plan.chunks_touched);
+    }
+}

@@ -1,0 +1,315 @@
+//! Multi-octave smooth random fields ("GTS-like" and "S3D-like").
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dense row-major multi-dimensional array of doubles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    shape: Vec<usize>,
+    data: Vec<f64>,
+}
+
+impl Field {
+    /// Wrap raw data with a shape.
+    ///
+    /// # Panics
+    /// Panics when the shape does not match the data length.
+    pub fn new(shape: Vec<usize>, data: Vec<f64>) -> Self {
+        let n: usize = shape.iter().product();
+        assert_eq!(n, data.len(), "shape/data mismatch");
+        Field { shape, data }
+    }
+
+    /// Per-dimension extents.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the field has zero points.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Row-major values.
+    pub fn values(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consume into the value vector.
+    pub fn into_values(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Value at row-major coordinates.
+    pub fn get(&self, coords: &[usize]) -> f64 {
+        self.data[self.linearize(coords)]
+    }
+
+    /// Row-major linear index of coordinates.
+    pub fn linearize(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.shape.len());
+        let mut lin = 0usize;
+        for (d, &c) in coords.iter().enumerate() {
+            assert!(c < self.shape[d], "coordinate out of range");
+            lin = lin * self.shape[d] + c;
+        }
+        lin
+    }
+
+    /// Tile the field `factors[d]` times along each dimension — the
+    /// paper's replication protocol for scaling datasets up.
+    pub fn replicate(&self, factors: &[usize]) -> Field {
+        assert_eq!(factors.len(), self.shape.len());
+        assert!(factors.iter().all(|&f| f >= 1));
+        let new_shape: Vec<usize> =
+            self.shape.iter().zip(factors).map(|(s, f)| s * f).collect();
+        let n: usize = new_shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        let dims = new_shape.len();
+        let mut coords = vec![0usize; dims];
+        for _ in 0..n {
+            let src: Vec<usize> =
+                coords.iter().zip(&self.shape).map(|(&c, &s)| c % s).collect();
+            data.push(self.get(&src));
+            for d in (0..dims).rev() {
+                coords[d] += 1;
+                if coords[d] < new_shape[d] {
+                    break;
+                }
+                coords[d] = 0;
+            }
+        }
+        Field::new(new_shape, data)
+    }
+}
+
+/// Smooth value-noise lattice for one octave.
+struct Lattice {
+    dims: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl Lattice {
+    fn new(dims: Vec<usize>, rng: &mut StdRng) -> Self {
+        let n: usize = dims.iter().product();
+        let values = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        Lattice { dims, values }
+    }
+
+    fn at(&self, coords: &[usize]) -> f64 {
+        let mut lin = 0usize;
+        for (d, &c) in coords.iter().enumerate() {
+            lin = lin * self.dims[d] + c.min(self.dims[d] - 1);
+        }
+        self.values[lin]
+    }
+
+    /// Multilinear interpolation at fractional position `pos` (units of
+    /// lattice cells).
+    fn sample(&self, pos: &[f64]) -> f64 {
+        let dims = pos.len();
+        let base: Vec<usize> = pos.iter().map(|&p| p.floor() as usize).collect();
+        let frac: Vec<f64> =
+            pos.iter().zip(&base).map(|(&p, &b)| p - b as f64).collect();
+        // Smoothstep for C1 continuity.
+        let w: Vec<f64> = frac.iter().map(|&t| t * t * (3.0 - 2.0 * t)).collect();
+
+        let corners = 1usize << dims;
+        let mut acc = 0.0;
+        let mut corner_coords = vec![0usize; dims];
+        for corner in 0..corners {
+            let mut weight = 1.0;
+            for d in 0..dims {
+                let hi = (corner >> d) & 1 == 1;
+                corner_coords[d] = base[d] + usize::from(hi);
+                weight *= if hi { w[d] } else { 1.0 - w[d] };
+            }
+            acc += weight * self.at(&corner_coords);
+        }
+        acc
+    }
+}
+
+/// Generate a multi-octave smooth field over `shape`, with `octaves`
+/// frequency doublings starting from `base_cells` lattice cells per
+/// dimension.
+fn multi_octave(shape: &[usize], seed: u64, octaves: u32, base_cells: usize) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let dims = shape.len();
+    let n: usize = shape.iter().product();
+
+    let mut octs = Vec::new();
+    let mut cells = base_cells;
+    let mut amp = 1.0f64;
+    for _ in 0..octaves {
+        let lat_dims: Vec<usize> = vec![cells + 2; dims];
+        octs.push((Lattice::new(lat_dims, &mut rng), cells, amp));
+        cells *= 2;
+        amp *= 0.55;
+    }
+
+    let mut out = Vec::with_capacity(n);
+    let mut coords = vec![0usize; dims];
+    let mut pos = vec![0.0f64; dims];
+    for _ in 0..n {
+        let mut v = 0.0;
+        for (lat, cells, amp) in &octs {
+            for d in 0..dims {
+                pos[d] = coords[d] as f64 / shape[d].max(1) as f64 * *cells as f64;
+            }
+            v += amp * lat.sample(&pos);
+        }
+        out.push(v);
+        for d in (0..dims).rev() {
+            coords[d] += 1;
+            if coords[d] < shape[d] {
+                break;
+            }
+            coords[d] = 0;
+        }
+    }
+    out
+}
+
+/// A 2-D "GTS-like" field: smooth multi-scale potential fluctuations,
+/// scaled into a physically plausible range.
+pub fn gts_like_2d(rows: usize, cols: usize, seed: u64) -> Field {
+    let mut data = multi_octave(&[rows, cols], seed, 5, 4);
+    // Shift/scale into a positive "potential" range with a tail.
+    for v in &mut data {
+        *v = 1e3 * (*v + 0.2 * (*v * 3.0).exp());
+    }
+    Field::new(vec![rows, cols], data)
+}
+
+/// A 3-D "S3D-like" field: combustion-like positive scalar (e.g.
+/// temperature) with exponential hot spots.
+pub fn s3d_like_3d(nx: usize, ny: usize, nz: usize, seed: u64) -> Field {
+    let mut data = multi_octave(&[nx, ny, nz], seed, 4, 3);
+    for v in &mut data {
+        // 300 K ambient plus exponential "flame" tail up to ~2500 K.
+        *v = 300.0 + 550.0 * (*v + 1.2).max(0.0).powi(2);
+    }
+    Field::new(vec![nx, ny, nz], data)
+}
+
+/// Three correlated S3D-like velocity components ("vu", "vv", "vw"),
+/// as used in the paper's PLoD accuracy experiment (Table VI).
+pub fn s3d_variables(nx: usize, ny: usize, nz: usize, seed: u64) -> [Field; 3] {
+    let base = multi_octave(&[nx, ny, nz], seed, 4, 3);
+    let make = |component_seed: u64, scale: f64| {
+        let pert = multi_octave(&[nx, ny, nz], component_seed, 3, 6);
+        let data: Vec<f64> = base
+            .iter()
+            .zip(&pert)
+            .map(|(b, p)| scale * (b * 0.8 + p * 0.5))
+            .collect();
+        Field::new(vec![nx, ny, nz], data)
+    };
+    [
+        make(seed.wrapping_add(101), 120.0),
+        make(seed.wrapping_add(202), 95.0),
+        make(seed.wrapping_add(303), 95.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = gts_like_2d(32, 48, 7);
+        let b = gts_like_2d(32, 48, 7);
+        let c = gts_like_2d(32, 48, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shapes_and_indexing() {
+        let f = s3d_like_3d(4, 5, 6, 1);
+        assert_eq!(f.shape(), &[4, 5, 6]);
+        assert_eq!(f.len(), 120);
+        assert_eq!(f.get(&[0, 0, 0]), f.values()[0]);
+        assert_eq!(f.get(&[3, 4, 5]), f.values()[119]);
+        assert_eq!(f.linearize(&[1, 2, 3]), 30 + 2 * 6 + 3);
+    }
+
+    #[test]
+    fn fields_are_spatially_smooth() {
+        // Neighbouring values must be far more similar than random
+        // pairs — the property Hilbert layout exploits.
+        let f = gts_like_2d(64, 64, 42);
+        let vals = f.values();
+        let mut neigh = 0.0;
+        let mut pairs = 0.0;
+        let mut count = 0usize;
+        for r in 0..64 {
+            for c in 0..63 {
+                neigh += (f.get(&[r, c]) - f.get(&[r, c + 1])).abs();
+                let far = vals[(r * 31 + c * 17) % vals.len()];
+                pairs += (f.get(&[r, c]) - far).abs();
+                count += 1;
+            }
+        }
+        assert!(
+            neigh / count as f64 * 3.0 < pairs / count as f64,
+            "field not smooth: neigh {} vs random {}",
+            neigh / count as f64,
+            pairs / count as f64
+        );
+    }
+
+    #[test]
+    fn s3d_is_physical() {
+        let f = s3d_like_3d(16, 16, 16, 5);
+        assert!(f.values().iter().all(|&v| (250.0..6000.0).contains(&v)));
+        // Value spread exists (bins are non-trivial).
+        let min = f.values().iter().cloned().fold(f64::MAX, f64::min);
+        let max = f.values().iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max > min + 100.0);
+    }
+
+    #[test]
+    fn replicate_tiles() {
+        let f = Field::new(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0]);
+        let r = f.replicate(&[2, 3]);
+        assert_eq!(r.shape(), &[4, 6]);
+        assert_eq!(r.get(&[0, 0]), 1.0);
+        assert_eq!(r.get(&[2, 0]), 1.0);
+        assert_eq!(r.get(&[3, 5]), 4.0);
+        assert_eq!(r.get(&[1, 4]), 3.0);
+        assert_eq!(r.len(), 24);
+    }
+
+    #[test]
+    fn variables_are_correlated_but_distinct() {
+        let [vu, vv, vw] = s3d_variables(8, 8, 8, 3);
+        assert_ne!(vu.values(), vv.values());
+        assert_ne!(vv.values(), vw.values());
+        // Correlation through the shared base: same-sign tendency.
+        let corr = |a: &Field, b: &Field| {
+            let (ma, mb) = (
+                a.values().iter().sum::<f64>() / a.len() as f64,
+                b.values().iter().sum::<f64>() / b.len() as f64,
+            );
+            let mut num = 0.0;
+            let mut da = 0.0;
+            let mut db = 0.0;
+            for (x, y) in a.values().iter().zip(b.values()) {
+                num += (x - ma) * (y - mb);
+                da += (x - ma).powi(2);
+                db += (y - mb).powi(2);
+            }
+            num / (da * db).sqrt()
+        };
+        assert!(corr(&vu, &vv) > 0.5, "corr {}", corr(&vu, &vv));
+    }
+}

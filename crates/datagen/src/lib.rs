@@ -1,0 +1,36 @@
+//! Synthetic scientific datasets and query workloads.
+//!
+//! The paper evaluates on GTS (2-D, plasma turbulence) and S3D (3-D,
+//! combustion) snapshots, replicated up to 512 GB, and queries them
+//! with *random* value and spatial constraints of controlled
+//! selectivity (§IV-A). Those datasets are not available, so this
+//! crate generates fields with the two statistical properties the
+//! experiments actually depend on:
+//!
+//! * a smooth, multi-scale spatial structure (so Hilbert-ordered chunks
+//!   and equal-frequency bins behave as they do on turbulence data), and
+//! * a heavy-tailed value distribution (so value bins are non-trivial).
+//!
+//! [`queries`] generates the paper's workloads: value constraints with
+//! a target selectivity (drawn between random quantiles) and spatial
+//! constraints covering a target fraction of the domain.
+
+//! # Example
+//!
+//! ```
+//! use mloc_datagen::{gts_like_2d, QueryGen};
+//!
+//! let field = gts_like_2d(64, 64, 42);
+//! assert_eq!(field.len(), 4096);
+//!
+//! // Reproducible query workload with ~5% value selectivity.
+//! let mut gen = QueryGen::new(field.values().to_vec(), vec![64, 64], 7);
+//! let (lo, hi) = gen.value_constraint(0.05);
+//! assert!(lo < hi);
+//! ```
+
+pub mod field;
+pub mod queries;
+
+pub use field::{gts_like_2d, s3d_like_3d, s3d_variables, Field};
+pub use queries::{region_with_selectivity, value_constraint_with_selectivity, QueryGen};

@@ -1,0 +1,165 @@
+//! Random query workloads with controlled selectivity.
+//!
+//! Paper §IV-A: "Random value and spatial constraints with certain
+//! selectivity are generated for queries, and in all sets of
+//! experiments we report the average results of 100 random queries."
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draw a value constraint `[lo, hi)` covering approximately
+/// `selectivity` of the points, by picking a random quantile window
+/// over a sorted sample of the data.
+pub fn value_constraint_with_selectivity(
+    sorted_sample: &[f64],
+    selectivity: f64,
+    rng: &mut StdRng,
+) -> (f64, f64) {
+    assert!(!sorted_sample.is_empty());
+    assert!((0.0..=1.0).contains(&selectivity));
+    let n = sorted_sample.len();
+    let width = ((n as f64 * selectivity).round() as usize).clamp(1, n);
+    let start = if n > width { rng.random_range(0..=n - width) } else { 0 };
+    let lo = sorted_sample[start];
+    let hi = if start + width < n {
+        sorted_sample[start + width]
+    } else {
+        // Slightly above the max so the top value is included.
+        sorted_sample[n - 1] * (1.0 + 1e-12) + 1e-300
+    };
+    (lo, hi)
+}
+
+/// Draw a hyper-rectangular region covering approximately
+/// `selectivity` of the domain: each side is `selectivity^(1/d)` of its
+/// extent, placed uniformly at random. Returns per-dimension
+/// `(start, end)` half-open ranges.
+pub fn region_with_selectivity(
+    shape: &[usize],
+    selectivity: f64,
+    rng: &mut StdRng,
+) -> Vec<(usize, usize)> {
+    assert!(!shape.is_empty());
+    assert!((0.0..=1.0).contains(&selectivity));
+    let frac = selectivity.powf(1.0 / shape.len() as f64);
+    shape
+        .iter()
+        .map(|&extent| {
+            let side = ((extent as f64 * frac).round() as usize).clamp(1, extent);
+            let start =
+                if extent > side { rng.random_range(0..=extent - side) } else { 0 };
+            (start, start + side)
+        })
+        .collect()
+}
+
+/// A seeded generator for reproducible query workloads.
+#[derive(Debug)]
+pub struct QueryGen {
+    rng: StdRng,
+    sorted_sample: Vec<f64>,
+    shape: Vec<usize>,
+}
+
+impl QueryGen {
+    /// Build a generator over a dataset's value sample and shape.
+    pub fn new(mut value_sample: Vec<f64>, shape: Vec<usize>, seed: u64) -> Self {
+        assert!(!value_sample.is_empty());
+        value_sample.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        QueryGen { rng: StdRng::seed_from_u64(seed), sorted_sample: value_sample, shape }
+    }
+
+    /// Next random value constraint with the given selectivity.
+    pub fn value_constraint(&mut self, selectivity: f64) -> (f64, f64) {
+        value_constraint_with_selectivity(&self.sorted_sample, selectivity, &mut self.rng)
+    }
+
+    /// Next random spatial region with the given selectivity.
+    pub fn region(&mut self, selectivity: f64) -> Vec<(usize, usize)> {
+        region_with_selectivity(&self.shape, selectivity, &mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn value_constraint_hits_target_selectivity() {
+        let sample: Vec<f64> = (0..10_000).map(|i| i as f64).collect();
+        let mut r = rng(1);
+        for sel in [0.01, 0.1, 0.5] {
+            let mut total = 0usize;
+            for _ in 0..50 {
+                let (lo, hi) = value_constraint_with_selectivity(&sample, sel, &mut r);
+                total += sample.iter().filter(|&&v| v >= lo && v < hi).count();
+            }
+            let got = total as f64 / (50.0 * sample.len() as f64);
+            assert!(
+                (got - sel).abs() < sel * 0.1 + 0.001,
+                "sel {sel}: got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn region_hits_target_selectivity() {
+        let shape = [256usize, 256];
+        let mut r = rng(2);
+        for sel in [0.001, 0.01, 0.1] {
+            let mut total = 0usize;
+            for _ in 0..50 {
+                let region = region_with_selectivity(&shape, sel, &mut r);
+                total += region.iter().map(|(s, e)| e - s).product::<usize>();
+            }
+            let got = total as f64 / (50.0 * 65536.0);
+            assert!(
+                (got - sel).abs() < sel * 0.2 + 1e-4,
+                "sel {sel}: got {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn regions_stay_in_bounds() {
+        let shape = [17usize, 5, 129];
+        let mut r = rng(3);
+        for _ in 0..200 {
+            let region = region_with_selectivity(&shape, 0.05, &mut r);
+            for ((s, e), &extent) in region.iter().zip(&shape) {
+                assert!(s < e && *e <= extent);
+            }
+        }
+    }
+
+    #[test]
+    fn extreme_selectivities() {
+        let sample: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let mut r = rng(4);
+        // Selectivity 1.0 covers everything.
+        let (lo, hi) = value_constraint_with_selectivity(&sample, 1.0, &mut r);
+        assert!(sample.iter().all(|&v| v >= lo && v < hi));
+        let region = region_with_selectivity(&[10, 10], 1.0, &mut r);
+        assert_eq!(region, vec![(0, 10), (0, 10)]);
+        // Tiny selectivity still returns at least one element/cell.
+        let (lo, hi) = value_constraint_with_selectivity(&sample, 0.0, &mut r);
+        assert!(hi > lo);
+        let region = region_with_selectivity(&[10, 10], 0.0, &mut r);
+        assert!(region.iter().all(|(s, e)| e - s == 1));
+    }
+
+    #[test]
+    fn querygen_is_deterministic() {
+        let sample: Vec<f64> = (0..1000).map(|i| (i as f64).sin()).collect();
+        let mut a = QueryGen::new(sample.clone(), vec![100, 10], 9);
+        let mut b = QueryGen::new(sample, vec![100, 10], 9);
+        for _ in 0..10 {
+            assert_eq!(a.value_constraint(0.05), b.value_constraint(0.05));
+            assert_eq!(a.region(0.01), b.region(0.01));
+        }
+    }
+}

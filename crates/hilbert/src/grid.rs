@@ -1,0 +1,298 @@
+//! Curve orderings over rectangular chunk grids.
+//!
+//! MLOC's chunk grids are rectangular and rarely power-of-two sided.
+//! [`GridOrder`] embeds the grid in the smallest covering hypercube,
+//! ranks the cells that actually exist, and exposes a bijection between
+//! row-major cell ids and curve ranks. Only the grid's own cells are
+//! materialized, so memory is `O(#chunks)`, not `O(2^(dims*order))`.
+
+use crate::{hilbert, zorder};
+
+/// Which space-filling curve to order chunks by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CurveKind {
+    /// Hilbert curve (MLOC default; strongest locality).
+    Hilbert,
+    /// Morton / Z-order curve (ablation baseline).
+    ZOrder,
+    /// Row-major order (no reordering at all; ablation baseline).
+    RowMajor,
+}
+
+impl CurveKind {
+    /// Stable textual name, used in reports and file headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            CurveKind::Hilbert => "hilbert",
+            CurveKind::ZOrder => "zorder",
+            CurveKind::RowMajor => "rowmajor",
+        }
+    }
+}
+
+/// A total order over the cells of a rectangular grid, following a
+/// space-filling curve.
+#[derive(Debug, Clone)]
+pub struct GridOrder {
+    extents: Vec<usize>,
+    /// `rank_of[cell_id] = position of the cell along the curve`.
+    rank_of: Vec<u32>,
+    /// `cell_at[rank] = row-major cell id`.
+    cell_at: Vec<u32>,
+    kind: CurveKind,
+}
+
+impl GridOrder {
+    /// Build the ordering for a grid with the given per-dimension
+    /// extents (number of chunks along each axis).
+    ///
+    /// # Panics
+    /// Panics if the grid is empty or has more than `u32::MAX` cells.
+    pub fn new(extents: &[usize], kind: CurveKind) -> Self {
+        assert!(!extents.is_empty(), "grid must have at least one dimension");
+        assert!(extents.iter().all(|&e| e > 0), "grid extents must be positive");
+        let n: usize = extents.iter().product();
+        assert!(n > 0 && n <= u32::MAX as usize, "grid too large");
+
+        let dims = extents.len();
+        let order = hilbert::order_for_extents(extents);
+
+        // Key every existing cell by its curve index, then sort.
+        let mut keyed: Vec<(u64, u32)> = Vec::with_capacity(n);
+        let mut coords = vec![0u32; dims];
+        for cell in 0..n as u32 {
+            let key = match kind {
+                CurveKind::Hilbert => hilbert::coords_to_index(&coords, order),
+                CurveKind::ZOrder => zorder::morton_encode(&coords, order),
+                CurveKind::RowMajor => cell as u64,
+            };
+            keyed.push((key, cell));
+            // Advance row-major coordinates (last axis fastest).
+            for d in (0..dims).rev() {
+                coords[d] += 1;
+                if (coords[d] as usize) < extents[d] {
+                    break;
+                }
+                coords[d] = 0;
+            }
+        }
+        keyed.sort_unstable();
+
+        let mut rank_of = vec![0u32; n];
+        let mut cell_at = vec![0u32; n];
+        for (rank, &(_, cell)) in keyed.iter().enumerate() {
+            rank_of[cell as usize] = rank as u32;
+            cell_at[rank] = cell;
+        }
+        GridOrder { extents: extents.to_vec(), rank_of, cell_at, kind }
+    }
+
+    /// Build a *hierarchical* ordering: cells are grouped by
+    /// resolution level (coarse lattice first), with curve order
+    /// inside each level. This is the subset-based multi-resolution
+    /// placement of MLOC's Figure 1 — a prefix of the file holds a
+    /// uniformly spaced sample of the domain.
+    pub fn hierarchical(extents: &[usize], num_levels: u32, kind: CurveKind) -> Self {
+        let h = crate::hierarchy::HierarchicalOrder::new(extents, num_levels, kind);
+        let n: usize = extents.iter().product();
+        let mut rank_of = vec![0u32; n];
+        let mut cell_at = vec![0u32; n];
+        let mut rank = 0u32;
+        for level in 0..h.num_levels() {
+            for &cell in h.level(level) {
+                rank_of[cell as usize] = rank;
+                cell_at[rank as usize] = cell;
+                rank += 1;
+            }
+        }
+        GridOrder { extents: extents.to_vec(), rank_of, cell_at, kind }
+    }
+
+    /// Number of cells in the grid.
+    pub fn len(&self) -> usize {
+        self.cell_at.len()
+    }
+
+    /// True when the grid has no cells (never happens for valid grids).
+    pub fn is_empty(&self) -> bool {
+        self.cell_at.is_empty()
+    }
+
+    /// The curve used to build this ordering.
+    pub fn kind(&self) -> CurveKind {
+        self.kind
+    }
+
+    /// Grid extents this ordering was built for.
+    pub fn extents(&self) -> &[usize] {
+        &self.extents
+    }
+
+    /// Curve rank of a row-major cell id.
+    pub fn rank_of(&self, cell: usize) -> usize {
+        self.rank_of[cell] as usize
+    }
+
+    /// Row-major cell id at a curve rank.
+    pub fn cell_at(&self, rank: usize) -> usize {
+        self.cell_at[rank] as usize
+    }
+
+    /// Curve rank of a cell given by its grid coordinates.
+    pub fn rank_of_coords(&self, coords: &[usize]) -> usize {
+        self.rank_of(self.linearize(coords))
+    }
+
+    /// Row-major linear id of grid coordinates.
+    pub fn linearize(&self, coords: &[usize]) -> usize {
+        assert_eq!(coords.len(), self.extents.len());
+        let mut lin = 0usize;
+        for (d, &c) in coords.iter().enumerate() {
+            assert!(c < self.extents[d], "grid coordinate out of range");
+            lin = lin * self.extents[d] + c;
+        }
+        lin
+    }
+
+    /// Grid coordinates of a row-major linear id.
+    pub fn delinearize(&self, mut cell: usize) -> Vec<usize> {
+        let mut coords = vec![0usize; self.extents.len()];
+        for d in (0..self.extents.len()).rev() {
+            coords[d] = cell % self.extents[d];
+            cell /= self.extents[d];
+        }
+        coords
+    }
+
+    /// Iterate cells in curve order (row-major cell ids).
+    pub fn iter_curve(&self) -> impl Iterator<Item = usize> + '_ {
+        self.cell_at.iter().map(|&c| c as usize)
+    }
+}
+
+/// Count the number of *contiguous runs* a set of curve ranks forms.
+///
+/// This is the seek count a query incurs when fetching those cells from
+/// a file laid out in curve order — the quantity the Hilbert layout
+/// minimizes. Used by tests and the ordering ablation bench.
+pub fn contiguous_runs(mut ranks: Vec<usize>) -> usize {
+    if ranks.is_empty() {
+        return 0;
+    }
+    ranks.sort_unstable();
+    ranks.dedup();
+    let mut runs = 1;
+    for w in ranks.windows(2) {
+        if w[1] != w[0] + 1 {
+            runs += 1;
+        }
+    }
+    runs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bijection_rect_grid() {
+        for kind in [CurveKind::Hilbert, CurveKind::ZOrder, CurveKind::RowMajor] {
+            let g = GridOrder::new(&[5, 3], kind);
+            assert_eq!(g.len(), 15);
+            let mut seen = [false; 15];
+            for rank in 0..15 {
+                let cell = g.cell_at(rank);
+                assert!(!seen[cell]);
+                seen[cell] = true;
+                assert_eq!(g.rank_of(cell), rank);
+            }
+        }
+    }
+
+    #[test]
+    fn rowmajor_is_identity() {
+        let g = GridOrder::new(&[4, 4], CurveKind::RowMajor);
+        for cell in 0..16 {
+            assert_eq!(g.rank_of(cell), cell);
+        }
+    }
+
+    #[test]
+    fn linearize_roundtrip() {
+        let g = GridOrder::new(&[3, 4, 5], CurveKind::Hilbert);
+        for cell in 0..60 {
+            let c = g.delinearize(cell);
+            assert_eq!(g.linearize(&c), cell);
+        }
+    }
+
+    #[test]
+    fn hilbert_beats_rowmajor_on_square_subregions() {
+        // A square sub-region of a 2-D grid should form fewer runs under
+        // Hilbert order than under row-major order: this is the locality
+        // property MLOC's spatial level relies on.
+        let ext = [32usize, 32];
+        let h = GridOrder::new(&ext, CurveKind::Hilbert);
+        let r = GridOrder::new(&ext, CurveKind::RowMajor);
+        let mut h_runs = 0usize;
+        let mut r_runs = 0usize;
+        for (r0, c0) in [(0usize, 0usize), (8, 8), (3, 17), (20, 5)] {
+            let mut hr = Vec::new();
+            let mut rr = Vec::new();
+            for i in r0..r0 + 8 {
+                for j in c0..c0 + 8 {
+                    hr.push(h.rank_of_coords(&[i, j]));
+                    rr.push(r.rank_of_coords(&[i, j]));
+                }
+            }
+            h_runs += contiguous_runs(hr);
+            r_runs += contiguous_runs(rr);
+        }
+        assert!(
+            h_runs < r_runs,
+            "hilbert runs {h_runs} not fewer than row-major runs {r_runs}"
+        );
+    }
+
+    #[test]
+    fn contiguous_runs_counts() {
+        assert_eq!(contiguous_runs(vec![]), 0);
+        assert_eq!(contiguous_runs(vec![3]), 1);
+        assert_eq!(contiguous_runs(vec![1, 2, 3]), 1);
+        assert_eq!(contiguous_runs(vec![3, 1, 2]), 1);
+        assert_eq!(contiguous_runs(vec![1, 3, 5]), 3);
+        assert_eq!(contiguous_runs(vec![1, 1, 2, 9]), 2);
+    }
+
+    #[test]
+    fn hierarchical_order_puts_coarse_lattice_first() {
+        let g = GridOrder::hierarchical(&[8, 8], 4, CurveKind::Hilbert);
+        // It is a permutation.
+        let mut cells: Vec<usize> = g.iter_curve().collect();
+        cells.sort_unstable();
+        assert_eq!(cells, (0..64).collect::<Vec<_>>());
+        // The first 4 ranks are the stride-4 lattice (levels 0+1).
+        for rank in 0..4 {
+            let cell = g.cell_at(rank);
+            let coords = g.delinearize(cell);
+            assert!(
+                coords.iter().all(|&c| c % 4 == 0),
+                "rank {rank} -> {coords:?} off the coarse lattice"
+            );
+        }
+        // Prefix of 16 = the stride-2 lattice.
+        for rank in 0..16 {
+            let coords = g.delinearize(g.cell_at(rank));
+            assert!(coords.iter().all(|&c| c % 2 == 0));
+        }
+    }
+
+    #[test]
+    fn one_dimensional_grid() {
+        let g = GridOrder::new(&[7], CurveKind::Hilbert);
+        // In 1-D, Hilbert order is the identity.
+        for cell in 0..7 {
+            assert_eq!(g.rank_of(cell), cell);
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! N-dimensional Hilbert curve via Skilling's transpose algorithm.
+//!
+//! Reference: John Skilling, "Programming the Hilbert curve",
+//! AIP Conference Proceedings 707, 381 (2004).
+//!
+//! The curve is defined on a hypercube of side `2^order` in `dims`
+//! dimensions. Indices are `u64`, so `dims * order` must be at most 64.
+//! MLOC's chunk grids comfortably fit this bound (e.g. a 262,144-chunk
+//! grid per dimension in 2-D uses 36 index bits).
+
+/// Maximum total index bits supported (`dims * order`).
+pub const MAX_INDEX_BITS: u32 = 64;
+
+fn check(dims: usize, order: u32) {
+    assert!(dims >= 1, "hilbert: dims must be >= 1");
+    assert!((1..=32).contains(&order), "hilbert: order must be in 1..=32");
+    assert!(
+        dims as u32 * order <= MAX_INDEX_BITS,
+        "hilbert: dims * order = {} exceeds {MAX_INDEX_BITS} index bits",
+        dims as u32 * order
+    );
+}
+
+/// Convert axis coordinates into the "transpose" representation of the
+/// Hilbert index, in place. After the call, `x` holds the index bits in
+/// transposed (bit-interleaved-by-row) form.
+fn axes_to_transpose(x: &mut [u32], order: u32) {
+    let n = x.len();
+    let m = 1u32 << (order - 1);
+
+    // Inverse undo.
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..n {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert low bits of x[0]
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+
+    // Gray encode.
+    for i in 1..n {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u32;
+    let mut q = m;
+    while q > 1 {
+        if x[n - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for v in x.iter_mut() {
+        *v ^= t;
+    }
+}
+
+/// Inverse of [`axes_to_transpose`].
+fn transpose_to_axes(x: &mut [u32], order: u32) {
+    let n = x.len();
+    let m = 2u32 << (order - 1);
+
+    // Gray decode by H ^ (H/2).
+    let t = x[n - 1] >> 1;
+    for i in (1..n).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+
+    // Undo excess work.
+    let mut q = 2u32;
+    while q != m {
+        let p = q - 1;
+        for i in (0..n).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+}
+
+/// Pack a transposed representation into a scalar Hilbert index.
+///
+/// Bit `order-1-q` of every axis (axis 0 most significant within a
+/// round) forms consecutive index bits, most significant round first.
+fn transpose_to_index(x: &[u32], order: u32) -> u64 {
+    let mut h: u64 = 0;
+    for q in (0..order).rev() {
+        for &xi in x {
+            h = (h << 1) | u64::from((xi >> q) & 1);
+        }
+    }
+    h
+}
+
+/// Unpack a scalar Hilbert index into transposed representation.
+fn index_to_transpose(h: u64, dims: usize, order: u32) -> Vec<u32> {
+    let mut x = vec![0u32; dims];
+    let total = dims as u32 * order;
+    for b in 0..total {
+        let bit = (h >> (total - 1 - b)) & 1;
+        let q = order - 1 - b / dims as u32;
+        let i = (b % dims as u32) as usize;
+        x[i] |= (bit as u32) << q;
+    }
+    x
+}
+
+/// Map axis coordinates to the Hilbert index on a `2^order`-sided
+/// hypercube in `coords.len()` dimensions.
+///
+/// # Panics
+/// Panics if any coordinate does not fit in `order` bits, or if
+/// `dims * order > 64`.
+pub fn coords_to_index(coords: &[u32], order: u32) -> u64 {
+    check(coords.len(), order);
+    for &c in coords {
+        assert!(
+            order == 32 || c < (1u32 << order),
+            "hilbert: coordinate {c} out of range for order {order}"
+        );
+    }
+    let mut x = coords.to_vec();
+    axes_to_transpose(&mut x, order);
+    transpose_to_index(&x, order)
+}
+
+/// Map a Hilbert index back to axis coordinates (inverse of
+/// [`coords_to_index`]).
+pub fn index_to_coords(index: u64, dims: usize, order: u32) -> Vec<u32> {
+    check(dims, order);
+    let mut x = index_to_transpose(index, dims, order);
+    transpose_to_axes(&mut x, order);
+    x
+}
+
+/// The smallest curve order whose hypercube covers a grid with the
+/// given per-dimension extents.
+pub fn order_for_extents(extents: &[usize]) -> u32 {
+    let max = extents.iter().copied().max().unwrap_or(1).max(1);
+    let mut order = 0u32;
+    while (1usize << order) < max {
+        order += 1;
+    }
+    order.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_2d_order1() {
+        for h in 0..4u64 {
+            let c = index_to_coords(h, 2, 1);
+            assert_eq!(coords_to_index(&c, 1), h);
+        }
+    }
+
+    #[test]
+    fn curve_2d_order1_is_u_shape() {
+        // The canonical first-order 2-D Hilbert curve visits a "U".
+        let pts: Vec<Vec<u32>> = (0..4).map(|h| index_to_coords(h, 2, 1)).collect();
+        // Consecutive points differ by exactly one step in one dimension.
+        for w in pts.windows(2) {
+            let d: u32 = w[0]
+                .iter()
+                .zip(&w[1])
+                .map(|(a, b)| a.abs_diff(*b))
+                .sum();
+            assert_eq!(d, 1, "non-adjacent consecutive points {:?}", pts);
+        }
+    }
+
+    #[test]
+    fn adjacency_2d_order4() {
+        let order = 4;
+        let n = 1u64 << (2 * order);
+        let mut prev = index_to_coords(0, 2, order);
+        for h in 1..n {
+            let cur = index_to_coords(h, 2, order);
+            let d: u32 = prev.iter().zip(&cur).map(|(a, b)| a.abs_diff(*b)).sum();
+            assert_eq!(d, 1, "curve broke adjacency at index {h}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn adjacency_3d_order3() {
+        let order = 3;
+        let n = 1u64 << (3 * order);
+        let mut prev = index_to_coords(0, 3, order);
+        for h in 1..n {
+            let cur = index_to_coords(h, 3, order);
+            let d: u32 = prev.iter().zip(&cur).map(|(a, b)| a.abs_diff(*b)).sum();
+            assert_eq!(d, 1, "curve broke adjacency at index {h}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn bijection_2d_order3() {
+        let order = 3;
+        let n = 1u64 << (2 * order);
+        let mut seen = vec![false; n as usize];
+        for h in 0..n {
+            let c = index_to_coords(h, 2, order);
+            let lin = (c[0] as u64) * (1 << order) + c[1] as u64;
+            assert!(!seen[lin as usize], "coordinate visited twice");
+            seen[lin as usize] = true;
+            assert_eq!(coords_to_index(&c, order), h);
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn roundtrip_4d() {
+        let order = 3;
+        for h in (0..(1u64 << (4 * order))).step_by(97) {
+            let c = index_to_coords(h, 4, order);
+            assert_eq!(coords_to_index(&c, order), h);
+        }
+    }
+
+    #[test]
+    fn order_for_extents_works() {
+        assert_eq!(order_for_extents(&[1]), 1);
+        assert_eq!(order_for_extents(&[2, 2]), 1);
+        assert_eq!(order_for_extents(&[3, 2]), 2);
+        assert_eq!(order_for_extents(&[128, 128, 128]), 7);
+        assert_eq!(order_for_extents(&[129, 1]), 8);
+    }
+
+    #[test]
+    #[should_panic]
+    fn coordinate_out_of_range_panics() {
+        coords_to_index(&[4, 0], 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_many_index_bits_panics() {
+        coords_to_index(&[0; 5], 20);
+    }
+
+    #[test]
+    fn roundtrip_1d_is_identity() {
+        for h in 0..32u64 {
+            let c = index_to_coords(h, 1, 5);
+            assert_eq!(c[0] as u64, h);
+            assert_eq!(coords_to_index(&c, 5), h);
+        }
+    }
+}

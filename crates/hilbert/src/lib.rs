@@ -1,0 +1,41 @@
+//! Space-filling curves for MLOC.
+//!
+//! This crate provides the spatial-locality substrate used by the MLOC
+//! layout framework (Gong et al., ICPP 2012):
+//!
+//! * [`hilbert`] — an n-dimensional Hilbert curve (Skilling's transpose
+//!   algorithm), used to order data chunks on disk so that
+//!   spatially-constrained accesses touch contiguous file extents.
+//! * [`zorder`] — a Morton/Z-order curve, kept as an ablation baseline
+//!   for the chunk-ordering design choice.
+//! * [`grid`] — curve orderings over *rectangular* (non-power-of-two,
+//!   non-square) chunk grids, which is what the storage layer actually
+//!   consumes.
+//! * [`hierarchy`] — the hierarchical Hilbert ordering used for
+//!   subset-based multi-resolution access (paper §III-B.3).
+
+//! # Example
+//!
+//! ```
+//! use mloc_hilbert::{coords_to_index, index_to_coords};
+//! use mloc_hilbert::grid::{CurveKind, GridOrder};
+//!
+//! // Point mapping on a 2^4-sided square.
+//! let h = coords_to_index(&[5, 10], 4);
+//! assert_eq!(index_to_coords(h, 2, 4), vec![5, 10]);
+//!
+//! // Order the chunks of a 6x4 grid along the Hilbert curve.
+//! let order = GridOrder::new(&[6, 4], CurveKind::Hilbert);
+//! let first_chunk = order.cell_at(0);
+//! assert_eq!(order.rank_of(first_chunk), 0);
+//! ```
+
+pub mod grid;
+pub mod hierarchy;
+pub mod hilbert;
+pub mod zorder;
+
+pub use grid::{CurveKind, GridOrder};
+pub use hierarchy::HierarchicalOrder;
+pub use hilbert::{coords_to_index, index_to_coords};
+pub use zorder::{morton_decode, morton_encode};

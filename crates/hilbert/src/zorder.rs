@@ -1,0 +1,78 @@
+//! Morton (Z-order) curve, used as an ablation baseline against the
+//! Hilbert ordering in MLOC's spatial-layout level.
+
+/// Interleave the bits of `coords` into a Morton code.
+///
+/// Bit `q` of axis `i` lands at index bit `q * dims + (dims - 1 - i)`,
+/// i.e. axis 0 is the most significant within each bit round, matching
+/// the convention of [`crate::hilbert::coords_to_index`].
+///
+/// # Panics
+/// Panics if `coords.len() * order > 64` or a coordinate overflows.
+pub fn morton_encode(coords: &[u32], order: u32) -> u64 {
+    let dims = coords.len();
+    assert!(dims >= 1 && dims as u32 * order <= 64);
+    let mut code = 0u64;
+    for q in (0..order).rev() {
+        for &c in coords {
+            assert!(order == 32 || c < (1u32 << order), "coordinate out of range");
+            code = (code << 1) | u64::from((c >> q) & 1);
+        }
+    }
+    code
+}
+
+/// Inverse of [`morton_encode`].
+pub fn morton_decode(code: u64, dims: usize, order: u32) -> Vec<u32> {
+    assert!(dims >= 1 && dims as u32 * order <= 64);
+    let mut coords = vec![0u32; dims];
+    let total = dims as u32 * order;
+    for b in 0..total {
+        let bit = (code >> (total - 1 - b)) & 1;
+        let q = order - 1 - b / dims as u32;
+        coords[(b % dims as u32) as usize] |= (bit as u32) << q;
+    }
+    coords
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_2d() {
+        for code in 0..256u64 {
+            let c = morton_decode(code, 2, 4);
+            assert_eq!(morton_encode(&c, 4), code);
+        }
+    }
+
+    #[test]
+    fn roundtrip_3d() {
+        for code in 0..512u64 {
+            let c = morton_decode(code, 3, 3);
+            assert_eq!(morton_encode(&c, 3), code);
+        }
+    }
+
+    #[test]
+    fn known_values_2d() {
+        // Axis 0 is the "row" (more significant).
+        assert_eq!(morton_encode(&[0, 0], 1), 0);
+        assert_eq!(morton_encode(&[0, 1], 1), 1);
+        assert_eq!(morton_encode(&[1, 0], 1), 2);
+        assert_eq!(morton_encode(&[1, 1], 1), 3);
+    }
+
+    #[test]
+    fn bijection_3d() {
+        let mut seen = [false; 64];
+        for code in 0..64u64 {
+            let c = morton_decode(code, 3, 2);
+            let lin = ((c[0] * 4 + c[1]) * 4 + c[2]) as usize;
+            assert!(!seen[lin]);
+            seen[lin] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -1,0 +1,57 @@
+//! Property-based tests for the space-filling-curve substrate.
+
+use mloc_hilbert::grid::{contiguous_runs, CurveKind, GridOrder};
+use mloc_hilbert::{coords_to_index, index_to_coords, morton_decode, morton_encode};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn hilbert_roundtrip_2d(h in 0u64..(1 << 16)) {
+        let c = index_to_coords(h, 2, 8);
+        prop_assert_eq!(coords_to_index(&c, 8), h);
+    }
+
+    #[test]
+    fn hilbert_roundtrip_3d(h in 0u64..(1 << 15)) {
+        let c = index_to_coords(h, 3, 5);
+        prop_assert_eq!(coords_to_index(&c, 5), h);
+    }
+
+    #[test]
+    fn hilbert_adjacent_indices_are_adjacent_cells(h in 0u64..((1 << 16) - 1)) {
+        let a = index_to_coords(h, 2, 8);
+        let b = index_to_coords(h + 1, 2, 8);
+        let dist: u32 = a.iter().zip(&b).map(|(x, y)| x.abs_diff(*y)).sum();
+        prop_assert_eq!(dist, 1);
+    }
+
+    #[test]
+    fn morton_roundtrip(code in 0u64..(1 << 18)) {
+        let c = morton_decode(code, 3, 6);
+        prop_assert_eq!(morton_encode(&c, 6), code);
+    }
+
+    #[test]
+    fn grid_order_is_permutation(rows in 1usize..20, cols in 1usize..20) {
+        for kind in [CurveKind::Hilbert, CurveKind::ZOrder, CurveKind::RowMajor] {
+            let g = GridOrder::new(&[rows, cols], kind);
+            let mut cells: Vec<usize> = g.iter_curve().collect();
+            cells.sort_unstable();
+            let expect: Vec<usize> = (0..rows * cols).collect();
+            prop_assert_eq!(cells, expect);
+        }
+    }
+
+    #[test]
+    fn runs_never_exceed_cell_count(ranks in proptest::collection::vec(0usize..1000, 0..200)) {
+        let n = {
+            let mut r = ranks.clone();
+            r.sort_unstable();
+            r.dedup();
+            r.len()
+        };
+        let runs = contiguous_runs(ranks);
+        prop_assert!(runs <= n);
+        prop_assert!((n == 0) == (runs == 0));
+    }
+}

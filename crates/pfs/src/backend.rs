@@ -1,0 +1,111 @@
+//! The storage backend trait and the per-rank tracing I/O handle.
+
+use crate::PfsError;
+
+/// A flat namespace of byte files, shared by all ranks.
+///
+/// MLOC only ever appends while building and reads while querying, so
+/// the interface is deliberately minimal. Implementations must be
+/// thread-safe: the MPI-like runtime drives one thread per rank.
+pub trait StorageBackend: Send + Sync {
+    /// Create (or truncate) a file.
+    fn create(&self, name: &str) -> Result<(), PfsError>;
+
+    /// Append bytes to a file, returning the offset they landed at.
+    /// Creates the file when it does not exist.
+    fn append(&self, name: &str, data: &[u8]) -> Result<u64, PfsError>;
+
+    /// Read `len` bytes at `offset`.
+    fn read(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>, PfsError>;
+
+    /// Size of a file in bytes.
+    fn len(&self, name: &str) -> Result<u64, PfsError>;
+
+    /// Whether a file exists.
+    fn exists(&self, name: &str) -> bool;
+
+    /// Names of all files, sorted (for inventory/size reports).
+    fn list(&self) -> Vec<String>;
+
+    /// Total bytes stored across all files.
+    fn total_bytes(&self) -> u64 {
+        self.list().iter().map(|f| self.len(f).unwrap_or(0)).sum()
+    }
+}
+
+/// One logical read operation, as recorded in a rank's I/O trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadOp {
+    /// File name.
+    pub file: String,
+    /// Byte offset of the read.
+    pub offset: u64,
+    /// Length of the read in bytes.
+    pub len: u64,
+}
+
+/// Per-rank I/O handle: serves reads from the backend while recording
+/// the [`ReadOp`] trace that the simulator later prices.
+pub struct RankIo<'a> {
+    backend: &'a dyn StorageBackend,
+    trace: Vec<ReadOp>,
+}
+
+impl<'a> RankIo<'a> {
+    /// New handle over a backend.
+    pub fn new(backend: &'a dyn StorageBackend) -> Self {
+        RankIo { backend, trace: Vec::new() }
+    }
+
+    /// Read and record one extent.
+    pub fn read(&mut self, file: &str, offset: u64, len: u64) -> Result<Vec<u8>, PfsError> {
+        self.trace.push(ReadOp { file: file.to_string(), offset, len });
+        self.backend.read(file, offset, len)
+    }
+
+    /// Read a whole file and record it as one sequential extent.
+    pub fn read_all(&mut self, file: &str) -> Result<Vec<u8>, PfsError> {
+        let len = self.backend.len(file)?;
+        self.read(file, 0, len)
+    }
+
+    /// The backend this handle reads from.
+    pub fn backend(&self) -> &'a dyn StorageBackend {
+        self.backend
+    }
+
+    /// Bytes read so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.trace.iter().map(|op| op.len).sum()
+    }
+
+    /// Consume the handle and return the recorded trace.
+    pub fn into_trace(self) -> Vec<ReadOp> {
+        self.trace
+    }
+
+    /// Borrow the recorded trace.
+    pub fn trace(&self) -> &[ReadOp] {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemBackend;
+
+    #[test]
+    fn rank_io_records_trace() {
+        let be = MemBackend::new();
+        be.append("f", &[1, 2, 3, 4, 5]).unwrap();
+        let mut io = RankIo::new(&be);
+        assert_eq!(io.read("f", 1, 3).unwrap(), vec![2, 3, 4]);
+        assert_eq!(io.read_all("f").unwrap(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(io.bytes_read(), 8);
+        let trace = io.into_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0], ReadOp { file: "f".into(), offset: 1, len: 3 });
+        assert_eq!(trace[1], ReadOp { file: "f".into(), offset: 0, len: 5 });
+    }
+}

@@ -1,0 +1,93 @@
+//! Storage substrate for MLOC: backends plus a simulated parallel
+//! file system.
+//!
+//! The paper evaluates on the Lens cluster's Lustre file system with
+//! 2012-era spinning disks; query response times are dominated by
+//! seeks, transferred bytes, and contention between processes on a
+//! fixed set of Object Storage Targets (OSTs). We do not have that
+//! hardware, so this crate substitutes it with:
+//!
+//! * [`MemBackend`] / [`DirBackend`] — real byte storage (in memory or
+//!   in a local directory) for contents;
+//! * [`RankIo`] — a per-rank I/O handle that records every read as a
+//!   [`ReadOp`] trace while serving bytes from the backend;
+//! * [`sim`] — a discrete-event simulator that replays the traces of
+//!   all ranks against a [`CostModel`] (striping, per-OST seek cost and
+//!   sequential bandwidth, FIFO contention) and charges each rank its
+//!   simulated I/O seconds.
+//!
+//! Because the simulator holds no cache state between queries, every
+//! query pays full disk costs — matching the paper's protocol of
+//! clearing the system file cache between rounds.
+
+//! # Example
+//!
+//! ```
+//! use mloc_pfs::{simulate_reads, CostModel, MemBackend, RankIo, StorageBackend};
+//!
+//! let be = MemBackend::new();
+//! be.append("data.bin", &[0u8; 4096]).unwrap();
+//!
+//! // A rank reads through a tracing handle …
+//! let mut io = RankIo::new(&be);
+//! io.read("data.bin", 0, 1024).unwrap();
+//! io.read("data.bin", 2048, 1024).unwrap();
+//!
+//! // … and the simulator prices the trace on 2012 hardware.
+//! let report = simulate_reads(&[io.into_trace()], &CostModel::lens_2012());
+//! assert!(report.elapsed() > 0.0);
+//! assert_eq!(report.total_bytes, 2048);
+//! ```
+
+pub mod backend;
+pub mod cost;
+pub mod localdir;
+pub mod mem;
+pub mod sim;
+
+pub use backend::{RankIo, ReadOp, StorageBackend};
+pub use cost::CostModel;
+pub use localdir::DirBackend;
+pub use mem::MemBackend;
+pub use sim::{simulate_reads, SimReport};
+
+/// Errors from storage backends.
+#[derive(Debug)]
+pub enum PfsError {
+    /// The named file does not exist.
+    NotFound(String),
+    /// Read past the end of a file.
+    OutOfBounds {
+        /// File being read.
+        file: String,
+        /// Requested offset.
+        offset: u64,
+        /// Requested length.
+        len: u64,
+        /// Actual file size.
+        size: u64,
+    },
+    /// Underlying OS error (directory backend only).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for PfsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PfsError::NotFound(name) => write!(f, "file not found: {name}"),
+            PfsError::OutOfBounds { file, offset, len, size } => write!(
+                f,
+                "read [{offset}, {offset}+{len}) past end of {file} (size {size})"
+            ),
+            PfsError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PfsError {}
+
+impl From<std::io::Error> for PfsError {
+    fn from(e: std::io::Error) -> Self {
+        PfsError::Io(e)
+    }
+}

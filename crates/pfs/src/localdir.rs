@@ -1,0 +1,138 @@
+//! Local-directory storage backend: real files on the host filesystem.
+//!
+//! Used by examples and integration tests to demonstrate that the MLOC
+//! on-disk formats are genuinely persistent; experiment timing always
+//! comes from the simulator, not from the host disk.
+
+use crate::backend::StorageBackend;
+use crate::PfsError;
+use parking_lot::Mutex;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Stores each logical file as `<root>/<escaped name>`.
+#[derive(Debug)]
+pub struct DirBackend {
+    root: PathBuf,
+    // Serializes append operations; reads are lock-free.
+    write_lock: Mutex<()>,
+}
+
+impl DirBackend {
+    /// Open (creating if needed) a backend rooted at `root`.
+    pub fn new(root: impl AsRef<Path>) -> Result<Self, PfsError> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        Ok(DirBackend { root, write_lock: Mutex::new(()) })
+    }
+
+    /// Root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_of(&self, name: &str) -> PathBuf {
+        // Logical names may contain '/'; escape to keep a flat dir.
+        self.root.join(name.replace('/', "__"))
+    }
+}
+
+impl StorageBackend for DirBackend {
+    fn create(&self, name: &str) -> Result<(), PfsError> {
+        let _g = self.write_lock.lock();
+        fs::File::create(self.path_of(name))?;
+        Ok(())
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> Result<u64, PfsError> {
+        let _g = self.write_lock.lock();
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path_of(name))?;
+        let offset = f.seek(SeekFrom::End(0))?;
+        f.write_all(data)?;
+        Ok(offset)
+    }
+
+    fn read(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>, PfsError> {
+        let path = self.path_of(name);
+        let mut f = fs::File::open(&path)
+            .map_err(|_| PfsError::NotFound(name.to_string()))?;
+        let size = f.metadata()?.len();
+        if offset.checked_add(len).is_none_or(|e| e > size) {
+            return Err(PfsError::OutOfBounds {
+                file: name.to_string(),
+                offset,
+                len,
+                size,
+            });
+        }
+        f.seek(SeekFrom::Start(offset))?;
+        let mut buf = vec![0u8; len as usize];
+        f.read_exact(&mut buf)?;
+        Ok(buf)
+    }
+
+    fn len(&self, name: &str) -> Result<u64, PfsError> {
+        fs::metadata(self.path_of(name))
+            .map(|m| m.len())
+            .map_err(|_| PfsError::NotFound(name.to_string()))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.path_of(name).exists()
+    }
+
+    fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = fs::read_dir(&self.root)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .filter(|e| e.path().is_file())
+                    .filter_map(|e| e.file_name().into_string().ok())
+                    .map(|n| n.replace("__", "/"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mloc-pfs-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_on_disk() {
+        let root = tmpdir("rt");
+        let be = DirBackend::new(&root).unwrap();
+        assert_eq!(be.append("bins/bin0.dat", &[1, 2, 3]).unwrap(), 0);
+        assert_eq!(be.append("bins/bin0.dat", &[4]).unwrap(), 3);
+        assert_eq!(be.read("bins/bin0.dat", 1, 2).unwrap(), vec![2, 3]);
+        assert_eq!(be.len("bins/bin0.dat").unwrap(), 4);
+        assert!(be.exists("bins/bin0.dat"));
+        assert_eq!(be.list(), vec!["bins/bin0.dat".to_string()]);
+        assert!(matches!(be.read("bins/bin0.dat", 3, 2), Err(PfsError::OutOfBounds { .. })));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let root = tmpdir("missing");
+        let be = DirBackend::new(&root).unwrap();
+        assert!(matches!(be.read("ghost", 0, 1), Err(PfsError::NotFound(_))));
+        assert!(matches!(be.len("ghost"), Err(PfsError::NotFound(_))));
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

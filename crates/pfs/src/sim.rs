@@ -1,0 +1,355 @@
+//! Discrete-event replay of I/O traces against the cost model.
+//!
+//! Every rank's recorded [`ReadOp`]s are replayed in order. A read is
+//! split at stripe boundaries into per-OST segments; all segments of
+//! one op are issued concurrently (Lustre clients fetch stripes in
+//! parallel), each OST serves its queue FIFO, and a segment pays a
+//! seek when it does not continue exactly where that OST's head left
+//! off. The rank's clock advances to the completion of the slowest
+//! segment, which yields both single-stream behaviour (seeks + bytes /
+//! aggregate bandwidth) and the contention plateau the paper observes
+//! when many processes share a fixed set of OSTs (Fig. 7).
+
+use crate::backend::ReadOp;
+use crate::cost::CostModel;
+use std::collections::HashSet;
+
+/// Result of simulating one parallel I/O phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Simulated I/O seconds per rank (completion of its last op).
+    pub per_rank_seconds: Vec<f64>,
+    /// Total bytes transferred across all ranks.
+    pub total_bytes: u64,
+    /// Number of seeks paid across all OSTs.
+    pub total_seeks: u64,
+    /// Number of file opens charged.
+    pub total_opens: u64,
+}
+
+impl SimReport {
+    /// Wall-clock of the I/O phase: the slowest rank.
+    pub fn elapsed(&self) -> f64 {
+        self.per_rank_seconds.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean per-rank I/O time.
+    pub fn mean(&self) -> f64 {
+        if self.per_rank_seconds.is_empty() {
+            0.0
+        } else {
+            self.per_rank_seconds.iter().sum::<f64>() / self.per_rank_seconds.len() as f64
+        }
+    }
+
+    /// Aggregate throughput in bytes/second over the phase.
+    pub fn throughput(&self) -> f64 {
+        let e = self.elapsed();
+        if e > 0.0 {
+            self.total_bytes as f64 / e
+        } else {
+            0.0
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+struct OstState {
+    free_at: f64,
+    last_file: u64,
+    last_end: u64,
+    touched: bool,
+}
+
+/// Replay `traces` (one op list per rank) against `model`.
+pub fn simulate_reads(traces: &[Vec<ReadOp>], model: &CostModel) -> SimReport {
+    let nranks = traces.len();
+    let mut clocks = vec![0.0f64; nranks];
+    let mut osts = vec![
+        OstState { free_at: 0.0, last_file: 0, last_end: 0, touched: false };
+        model.num_osts
+    ];
+    let mut opened: HashSet<(usize, u64)> = HashSet::new();
+
+    let mut total_bytes = 0u64;
+    let mut total_seeks = 0u64;
+    let mut total_opens = 0u64;
+    let window = model.client_parallelism.max(1);
+
+    // Per-rank cursor state. Segments are the event granularity: the
+    // global loop always serves the segment with the earliest issue
+    // time, so concurrent ranks interleave correctly on the OSTs.
+    struct Cursor {
+        op_idx: usize,
+        seg_off: u64,
+        op_start: f64,
+        op_completion: f64,
+        inflight: std::collections::VecDeque<f64>,
+    }
+    let mut cursors: Vec<Cursor> = (0..nranks)
+        .map(|_| Cursor {
+            op_idx: 0,
+            seg_off: 0,
+            op_start: 0.0,
+            op_completion: 0.0,
+            inflight: std::collections::VecDeque::with_capacity(window),
+        })
+        .collect();
+
+    // Advance a cursor past zero-length ops and op boundaries; charge
+    // open costs at op start. Returns the issue time of the rank's
+    // next segment, or None when the trace is exhausted.
+    let prepare = |r: usize,
+                   cur: &mut Cursor,
+                   clocks: &mut [f64],
+                   opened: &mut HashSet<(usize, u64)>,
+                   total_opens: &mut u64|
+     -> Option<f64> {
+        loop {
+            let op = traces[r].get(cur.op_idx)?;
+            if cur.seg_off == 0 {
+                // Starting a new op: it begins when the previous op's
+                // segments have all completed.
+                if op.len == 0 {
+                    cur.op_idx += 1;
+                    continue;
+                }
+                let mut start = clocks[r];
+                let fh = CostModel::file_hash(&op.file);
+                if opened.insert((r, fh)) {
+                    start += model.open_s;
+                    *total_opens += 1;
+                }
+                cur.op_start = start;
+                cur.op_completion = start;
+                cur.seg_off = op.offset;
+                cur.inflight.clear();
+            }
+            if cur.seg_off >= op.offset + op.len {
+                // Op finished: its completion gates the next op.
+                clocks[r] = cur.op_completion;
+                cur.op_idx += 1;
+                cur.seg_off = 0;
+                continue;
+            }
+            let issue = if cur.inflight.len() >= window {
+                cur.inflight.front().copied().unwrap().max(cur.op_start)
+            } else {
+                cur.op_start
+            };
+            return Some(issue);
+        }
+    };
+
+    loop {
+        // Pick the rank whose next segment issues earliest.
+        let mut pick: Option<(usize, f64)> = None;
+        for r in 0..nranks {
+            let (head, tail) = cursors.split_at_mut(r);
+            let _ = head;
+            let cur = &mut tail[0];
+            if let Some(issue) = prepare(r, cur, &mut clocks, &mut opened, &mut total_opens)
+            {
+                if pick.is_none_or(|(_, best)| issue < best) {
+                    pick = Some((r, issue));
+                }
+            }
+        }
+        let Some((r, issue)) = pick else { break };
+        let cur = &mut cursors[r];
+        let op = &traces[r][cur.op_idx];
+        let fh = CostModel::file_hash(&op.file);
+
+        // Serve one stripe segment.
+        let off = cur.seg_off;
+        let end = op.offset + op.len;
+        let stripe_end = (off / model.stripe_size + 1) * model.stripe_size;
+        let seg_end = stripe_end.min(end);
+        let seg_len = seg_end - off;
+        let ost = model.ost_of(&op.file, off);
+        let st = &mut osts[ost];
+
+        // Physical position on the OST: it stores every `num_osts`-th
+        // stripe of the file contiguously.
+        let phys = (off / model.stripe_size / model.num_osts as u64) * model.stripe_size
+            + off % model.stripe_size;
+
+        let begin = st.free_at.max(issue);
+        let sequential = st.touched && st.last_file == fh && st.last_end == phys;
+        let mut cost = seg_len as f64 / model.ost_bw;
+        if !sequential {
+            cost += model.seek_s;
+            total_seeks += 1;
+        }
+        st.free_at = begin + cost;
+        st.last_file = fh;
+        st.last_end = phys + seg_len;
+        st.touched = true;
+
+        if cur.inflight.len() >= window {
+            cur.inflight.pop_front();
+        }
+        cur.inflight.push_back(st.free_at);
+        cur.op_completion = cur.op_completion.max(st.free_at);
+        cur.seg_off = seg_end;
+        total_bytes += seg_len;
+    }
+
+    SimReport {
+        per_rank_seconds: clocks,
+        total_bytes,
+        total_seeks,
+        total_opens,
+    }
+}
+
+/// Simulate a single rank's trace.
+pub fn simulate_single(trace: &[ReadOp], model: &CostModel) -> f64 {
+    simulate_reads(std::slice::from_ref(&trace.to_vec()), model).elapsed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op(file: &str, offset: u64, len: u64) -> ReadOp {
+        ReadOp { file: file.to_string(), offset, len }
+    }
+
+    fn model() -> CostModel {
+        CostModel::lens_2012()
+    }
+
+    #[test]
+    fn empty_trace() {
+        let rep = simulate_reads(&[vec![]], &model());
+        assert_eq!(rep.elapsed(), 0.0);
+        assert_eq!(rep.total_bytes, 0);
+    }
+
+    #[test]
+    fn single_scan_is_limited_by_client_parallelism() {
+        let m = model();
+        let size = 1u64 << 30; // 1 GiB
+        let rep = simulate_reads(&[vec![op("big", 0, size)]], &m);
+        // A single client streams at client_parallelism × OST bandwidth
+        // (the paper's sequential scan: ~420 MB/s on Lens), far below
+        // the aggregate.
+        let ideal = size as f64 / (m.ost_bw * m.client_parallelism as f64);
+        let t = rep.elapsed();
+        assert!(t > ideal * 0.9, "t={t} vs single-client ideal={ideal}");
+        assert!(t < ideal * 1.5 + 0.5, "t={t} too far above ideal={ideal}");
+        assert!(t > size as f64 / m.aggregate_bw() * 2.0, "t={t} too close to aggregate");
+        assert_eq!(rep.total_seeks, m.num_osts as u64);
+        assert_eq!(rep.total_opens, 1);
+    }
+
+    #[test]
+    fn many_ranks_reach_aggregate_bandwidth() {
+        // Enough concurrent clients saturate all OSTs.
+        let m = model();
+        let total = 1u64 << 30;
+        let nranks = 16u64;
+        let share = total / nranks;
+        let traces: Vec<Vec<ReadOp>> = (0..nranks)
+            .map(|r| vec![op(&format!("f{r}"), 0, share)])
+            .collect();
+        let t = simulate_reads(&traces, &m).elapsed();
+        // Aggregate transfer plus the interleave-seek floor.
+        let ideal = total as f64 / m.aggregate_bw();
+        assert!(t < ideal * 4.0, "t={t} vs aggregate ideal={ideal}");
+        // Far faster than a single client could go.
+        let single = total as f64 / (m.ost_bw * m.client_parallelism as f64);
+        assert!(t < single * 0.6, "t={t} vs single-client {single}");
+    }
+
+    #[test]
+    fn scattered_reads_pay_seeks() {
+        let m = model();
+        // 100 random 4-KiB reads spread megabytes apart: seek-bound.
+        let trace: Vec<ReadOp> =
+            (0..100).map(|i| op("f", i * 16 * (1 << 20), 4096)).collect();
+        let t = simulate_reads(&[trace], &m).elapsed();
+        assert!(t >= 100.0 * m.seek_s, "t={t}");
+    }
+
+    #[test]
+    fn sequential_chunks_do_not_pay_seeks() {
+        let m = model();
+        // Contiguous 1 MiB reads stripe across OSTs; after each OST's
+        // first touch, accesses continue where it left off.
+        let trace: Vec<ReadOp> =
+            (0..64).map(|i| op("f", i * (1 << 20), 1 << 20)).collect();
+        let rep = simulate_reads(&[trace], &m);
+        assert_eq!(rep.total_seeks, m.num_osts as u64);
+    }
+
+    #[test]
+    fn contention_slows_shared_reads() {
+        let m = model();
+        let size = 256u64 << 20;
+        let solo = simulate_reads(&[vec![op("f", 0, size)]], &m).elapsed();
+        // Two ranks scanning the same extent: same OSTs serve twice the
+        // bytes and interleaved positions also cost seeks.
+        let duo = simulate_reads(
+            &[vec![op("f", 0, size)], vec![op("f", 0, size)]],
+            &m,
+        )
+        .elapsed();
+        assert!(duo > solo * 1.6, "duo={duo} solo={solo}");
+    }
+
+    #[test]
+    fn io_plateaus_with_more_ranks() {
+        // Fixed total work divided over more ranks: elapsed I/O stops
+        // improving once OSTs saturate — the Fig. 7 plateau.
+        let m = model();
+        let total = 1u64 << 30;
+        let time_with = |nranks: u64| {
+            let share = total / nranks;
+            let traces: Vec<Vec<ReadOp>> = (0..nranks)
+                .map(|r| vec![op(&format!("bin{r}"), 0, share)])
+                .collect();
+            simulate_reads(&traces, &m).elapsed()
+        };
+        let t8 = time_with(8);
+        let t32 = time_with(32);
+        let t128 = time_with(128);
+        assert!(t32 <= t8 * 1.1, "t32={t32} t8={t8}");
+        // Diminishing returns: 128 ranks gain little over 32.
+        assert!(t128 > t32 * 0.5, "t128={t128} t32={t32}");
+    }
+
+    #[test]
+    fn different_files_parallelize() {
+        let m = model();
+        let size = 64u64 << 20;
+        // Two ranks on two different files mostly use disjoint OST
+        // phases; way faster than double the single time.
+        let solo = simulate_reads(&[vec![op("a", 0, size)]], &m).elapsed();
+        let duo = simulate_reads(
+            &[vec![op("a", 0, size)], vec![op("b", 0, size)]],
+            &m,
+        )
+        .elapsed();
+        assert!(duo < solo * 2.2, "duo={duo} solo={solo}");
+    }
+
+    #[test]
+    fn zero_len_ops_are_free() {
+        let rep = simulate_reads(&[vec![op("f", 0, 0)]], &model());
+        assert_eq!(rep.elapsed(), 0.0);
+        assert_eq!(rep.total_opens, 0);
+    }
+
+    #[test]
+    fn throughput_and_mean() {
+        let m = model();
+        let rep = simulate_reads(
+            &[vec![op("f", 0, 1 << 20)], vec![op("g", 0, 1 << 20)]],
+            &m,
+        );
+        assert!(rep.throughput() > 0.0);
+        assert!(rep.mean() <= rep.elapsed());
+    }
+}

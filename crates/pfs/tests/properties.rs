@@ -1,0 +1,98 @@
+//! Property-based tests for the PFS simulator: causality, monotonicity
+//! and conservation invariants that must hold for any trace.
+
+use mloc_pfs::{simulate_reads, CostModel, ReadOp};
+use proptest::prelude::*;
+
+fn op_strategy() -> impl Strategy<Value = ReadOp> {
+    (0u8..4, 0u64..(1 << 26), 1u64..(1 << 22)).prop_map(|(f, offset, len)| ReadOp {
+        file: format!("f{f}"),
+        offset,
+        len,
+    })
+}
+
+fn trace_strategy() -> impl Strategy<Value = Vec<Vec<ReadOp>>> {
+    proptest::collection::vec(proptest::collection::vec(op_strategy(), 0..6), 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn simulation_is_deterministic(traces in trace_strategy()) {
+        let m = CostModel::lens_2012();
+        let a = simulate_reads(&traces, &m);
+        let b = simulate_reads(&traces, &m);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn conservation_of_bytes(traces in trace_strategy()) {
+        let m = CostModel::lens_2012();
+        let rep = simulate_reads(&traces, &m);
+        let want: u64 = traces.iter().flatten().map(|o| o.len).sum();
+        prop_assert_eq!(rep.total_bytes, want);
+    }
+
+    #[test]
+    fn time_is_bounded_below_by_physics(traces in trace_strategy()) {
+        // No rank can finish faster than its own bytes at full
+        // aggregate bandwidth, and the phase cannot beat the total
+        // bytes over aggregate bandwidth.
+        let m = CostModel::lens_2012();
+        let rep = simulate_reads(&traces, &m);
+        for (r, trace) in traces.iter().enumerate() {
+            let bytes: u64 = trace.iter().map(|o| o.len).sum();
+            if bytes > 0 {
+                let lower = bytes as f64 / m.aggregate_bw();
+                prop_assert!(
+                    rep.per_rank_seconds[r] >= lower,
+                    "rank {} took {} < physical bound {}",
+                    r, rep.per_rank_seconds[r], lower
+                );
+            }
+        }
+        let total: u64 = traces.iter().flatten().map(|o| o.len).sum();
+        prop_assert!(rep.elapsed() >= total as f64 / m.aggregate_bw());
+    }
+
+    #[test]
+    fn adding_work_never_speeds_up_the_phase(traces in trace_strategy(), extra in op_strategy()) {
+        let m = CostModel::lens_2012();
+        let before = simulate_reads(&traces, &m).elapsed();
+        let mut more = traces.clone();
+        more[0].push(extra);
+        let after = simulate_reads(&more, &m).elapsed();
+        prop_assert!(after + 1e-12 >= before, "after {after} < before {before}");
+    }
+
+    #[test]
+    fn seeks_and_opens_are_sane(traces in trace_strategy()) {
+        let m = CostModel::lens_2012();
+        let rep = simulate_reads(&traces, &m);
+        let nonempty_ops = traces.iter().flatten().filter(|o| o.len > 0).count() as u64;
+        // At most one open per (rank, file) pair.
+        let mut pairs = std::collections::HashSet::new();
+        for (r, t) in traces.iter().enumerate() {
+            for o in t.iter().filter(|o| o.len > 0) {
+                pairs.insert((r, o.file.clone()));
+            }
+        }
+        prop_assert!(rep.total_opens <= pairs.len() as u64);
+        // Seeks are bounded by the number of stripe segments.
+        let segments: u64 = traces
+            .iter()
+            .flatten()
+            .map(|o| {
+                if o.len == 0 {
+                    0
+                } else {
+                    (o.offset + o.len).div_ceil(m.stripe_size) - o.offset / m.stripe_size
+                }
+            })
+            .sum();
+        prop_assert!(rep.total_seeks <= segments);
+        prop_assert!(nonempty_ops == 0 || rep.total_seeks >= 1);
+    }
+}

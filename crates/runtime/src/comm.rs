@@ -1,0 +1,244 @@
+//! The SPMD launcher and per-rank communicator.
+
+use std::any::Any;
+use std::sync::{Arc, Barrier, Mutex};
+
+type Slot = Mutex<Option<Box<dyn Any + Send>>>;
+
+struct Shared {
+    barrier: Barrier,
+    slots: Vec<Slot>,
+}
+
+/// Per-rank communicator handle. Collectives must be called by *every*
+/// rank of the [`spmd`] region, in the same order (as with MPI).
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    shared: Arc<Shared>,
+}
+
+impl Comm {
+    /// This rank's id in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Whether this rank is the root (rank 0).
+    pub fn is_root(&self) -> bool {
+        self.rank == 0
+    }
+
+    /// Synchronize all ranks.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// Gather one value from every rank at the root. Returns
+    /// `Some(values)` (indexed by rank) at the root, `None` elsewhere.
+    pub fn gather<T: Send + 'static>(&self, value: T) -> Option<Vec<T>> {
+        *self.shared.slots[self.rank].lock().unwrap() = Some(Box::new(value));
+        self.barrier();
+        let result = if self.is_root() {
+            Some(
+                self.shared
+                    .slots
+                    .iter()
+                    .map(|s| {
+                        *s.lock()
+                            .unwrap()
+                            .take()
+                            .expect("rank missing from gather")
+                            .downcast::<T>()
+                            .expect("gather type mismatch")
+                    })
+                    .collect(),
+            )
+        } else {
+            None
+        };
+        // Second barrier so slots are reusable by the next collective.
+        self.barrier();
+        result
+    }
+
+    /// Gather one value from every rank at *every* rank.
+    pub fn all_gather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+        *self.shared.slots[self.rank].lock().unwrap() = Some(Box::new(value));
+        self.barrier();
+        let result: Vec<T> = self
+            .shared
+            .slots
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap()
+                    .as_ref()
+                    .expect("rank missing from all_gather")
+                    .downcast_ref::<T>()
+                    .expect("all_gather type mismatch")
+                    .clone()
+            })
+            .collect();
+        self.barrier();
+        // Clear own slot after everyone has read.
+        self.shared.slots[self.rank].lock().unwrap().take();
+        self.barrier();
+        result
+    }
+
+    /// Broadcast the root's value to all ranks. Non-root ranks pass
+    /// `None`; every rank returns the root's value.
+    pub fn broadcast<T: Clone + Send + 'static>(&self, value: Option<T>) -> T {
+        if self.is_root() {
+            let v = value.expect("root must supply a value to broadcast");
+            *self.shared.slots[0].lock().unwrap() = Some(Box::new(v));
+        }
+        self.barrier();
+        let result = self.shared.slots[0]
+            .lock()
+            .unwrap()
+            .as_ref()
+            .expect("broadcast slot empty")
+            .downcast_ref::<T>()
+            .expect("broadcast type mismatch")
+            .clone();
+        self.barrier();
+        if self.is_root() {
+            self.shared.slots[0].lock().unwrap().take();
+        }
+        self.barrier();
+        result
+    }
+
+    /// Reduce values from all ranks with `f` (must be associative and
+    /// commutative); every rank receives the result.
+    pub fn all_reduce<T, F>(&self, value: T, f: F) -> T
+    where
+        T: Clone + Send + 'static,
+        F: Fn(T, T) -> T,
+    {
+        let mut all = self.all_gather(value).into_iter();
+        let first = all.next().expect("all_reduce with zero ranks");
+        all.fold(first, f)
+    }
+}
+
+/// Run `f` on `nranks` ranks (one thread each) and return the per-rank
+/// results, indexed by rank.
+///
+/// # Panics
+/// Panics if `nranks == 0` or any rank panics.
+pub fn spmd<T, F>(nranks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Comm) -> T + Sync,
+{
+    assert!(nranks > 0, "need at least one rank");
+    let shared = Arc::new(Shared {
+        barrier: Barrier::new(nranks),
+        slots: (0..nranks).map(|_| Mutex::new(None)).collect(),
+    });
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nranks)
+            .map(|rank| {
+                let comm = Comm { rank, size: nranks, shared: Arc::clone(&shared) };
+                let f = &f;
+                scope.spawn(move || f(&comm))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("rank panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_distinct() {
+        let mut ranks = spmd(8, |c| c.rank());
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gather_collects_in_rank_order() {
+        let results = spmd(6, |c| c.gather(c.rank() * 10));
+        for (rank, r) in results.iter().enumerate() {
+            if rank == 0 {
+                assert_eq!(r.as_ref().unwrap(), &vec![0, 10, 20, 30, 40, 50]);
+            } else {
+                assert!(r.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn all_gather_everywhere() {
+        let results = spmd(5, |c| c.all_gather(format!("r{}", c.rank())));
+        for r in results {
+            assert_eq!(r, vec!["r0", "r1", "r2", "r3", "r4"]);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_root() {
+        let results = spmd(7, |c| {
+            let v = if c.is_root() { Some(vec![1u8, 2, 3]) } else { None };
+            c.broadcast(v)
+        });
+        for r in results {
+            assert_eq!(r, vec![1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_sums() {
+        let results = spmd(9, |c| c.all_reduce(c.rank() as u64 + 1, |a, b| a + b));
+        for r in results {
+            assert_eq!(r, 45);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_deadlock() {
+        let results = spmd(4, |c| {
+            let mut acc = 0usize;
+            for round in 0..50 {
+                acc += c.all_reduce(c.rank() + round, |a, b| a + b);
+                c.barrier();
+            }
+            acc
+        });
+        assert!(results.iter().all(|&r| r == results[0]));
+    }
+
+    #[test]
+    fn single_rank_works() {
+        let results = spmd(1, |c| {
+            assert_eq!(c.size(), 1);
+            c.all_gather(42).into_iter().sum::<i32>()
+        });
+        assert_eq!(results, vec![42]);
+    }
+
+    #[test]
+    fn mixed_collectives_in_sequence() {
+        let results = spmd(3, |c| {
+            let sum = c.all_reduce(1usize, |a, b| a + b);
+            let all = c.all_gather(c.rank());
+            
+            c.broadcast(if c.is_root() { Some(sum + all.len()) } else { None })
+        });
+        assert_eq!(results, vec![6, 6, 6]);
+    }
+}

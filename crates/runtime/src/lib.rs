@@ -1,0 +1,33 @@
+//! MPI-like SPMD runtime over OS threads.
+//!
+//! The paper handles parallel data access with MPI and MPI-IO (§III-D):
+//! each process fetches and processes a subset of blocks, then the root
+//! gathers results. Thin MPI bindings are unavailable here, so this
+//! crate substitutes a rank-per-thread runtime with the same collective
+//! surface: [`spmd`] launches `n` ranks, each receiving a [`Comm`] with
+//! `barrier`, `broadcast`, `gather`, `all_gather`, and `all_reduce`.
+//!
+//! [`assign`] implements the paper's *column-order* block assignment:
+//! equal block counts per rank, with blocks of the same bin packed onto
+//! the same rank so each process opens the fewest bin files.
+
+//! # Example
+//!
+//! ```
+//! use mloc_runtime::{column_order, spmd};
+//!
+//! // Four ranks sum their ids with an MPI-style all-reduce.
+//! let sums = spmd(4, |comm| comm.all_reduce(comm.rank(), |a, b| a + b));
+//! assert_eq!(sums, vec![6, 6, 6, 6]);
+//!
+//! // Column-order assignment keeps each rank inside few bins.
+//! let bins = vec![0, 0, 1, 1, 2, 2];
+//! let a = column_order(&bins, 3);
+//! assert!(a.per_rank.iter().all(|units| units.len() == 2));
+//! ```
+
+pub mod assign;
+pub mod comm;
+
+pub use assign::{column_order, distinct_groups_per_rank, round_robin, Assignment};
+pub use comm::{spmd, Comm};

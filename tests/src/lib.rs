@@ -1,0 +1,2 @@
+//! Integration-test package for the MLOC workspace. The tests live in
+//! `tests/tests/`; this library is intentionally empty.

@@ -1,0 +1,92 @@
+//! Cross-system equivalence: MLOC and every comparator engine answer
+//! identical random workloads with identical results.
+
+use mloc::prelude::*;
+use mloc_baselines::{FastBit, QueryEngine, SciDb, SeqScan};
+use mloc_datagen::{s3d_like_3d, QueryGen};
+use mloc_pfs::MemBackend;
+
+#[test]
+fn all_engines_agree_on_random_workloads() {
+    let shape = vec![48, 48, 48];
+    let field = s3d_like_3d(48, 48, 48, 77);
+    let values = field.values();
+    let be = MemBackend::new();
+
+    let config = MlocConfig::builder(shape.clone())
+        .chunk_shape(vec![16, 16, 16])
+        .num_bins(12)
+        .build();
+    build_variable(&be, "xs", "v", values, &config).unwrap();
+    let store = MlocStore::open(&be, "xs", "v").unwrap();
+
+    let scan = SeqScan::build(&be, "xs", values, shape.clone()).unwrap();
+    let fb = FastBit::build(&be, "xs", values, shape.clone(), 64).unwrap();
+    let db = SciDb::build(&be, "xs", values, shape.clone(), vec![16, 16, 16], 1)
+        .unwrap()
+        .with_chunk_overhead(0.0);
+
+    let mut gen = QueryGen::new(values.to_vec(), shape.clone(), 5);
+    for i in 0..8 {
+        // Region (VC) queries.
+        let (lo, hi) = gen.value_constraint(0.05 + 0.02 * i as f64);
+        let m = store.query_serial(&Query::region(lo, hi)).unwrap();
+        let s = scan.region_query(lo, hi).unwrap();
+        let f = fb.region_query(lo, hi).unwrap();
+        let d = db.region_query(lo, hi).unwrap();
+        assert_eq!(m.positions(), &s.positions[..], "query {i}: mloc vs scan");
+        assert_eq!(s.positions, f.positions, "query {i}: scan vs fastbit");
+        assert_eq!(s.positions, d.positions, "query {i}: scan vs scidb");
+
+        // Value (SC) queries.
+        let region = Region::new(gen.region(0.02 + 0.01 * i as f64));
+        let m = store.query_serial(&Query::values_in(region.clone())).unwrap();
+        let s = scan.value_query(&region).unwrap();
+        let f = fb.value_query(&region).unwrap();
+        let d = db.value_query(&region).unwrap();
+        assert_eq!(m.positions(), &s.positions[..], "query {i}: positions");
+        assert_eq!(m.values().unwrap(), &s.values.unwrap()[..], "query {i}: values");
+        assert_eq!(s.positions, f.positions);
+        assert_eq!(s.positions, d.positions);
+        assert_eq!(f.values.unwrap(), d.values.unwrap());
+    }
+}
+
+#[test]
+fn combined_constraints_agree_with_naive() {
+    let shape = vec![64, 64];
+    let field = mloc_datagen::gts_like_2d(64, 64, 5);
+    let values = field.values();
+    let be = MemBackend::new();
+    let config = MlocConfig::builder(shape.clone())
+        .chunk_shape(vec![16, 16])
+        .num_bins(8)
+        .build();
+    build_variable(&be, "cc", "v", values, &config).unwrap();
+    let store = MlocStore::open(&be, "cc", "v").unwrap();
+
+    let mut gen = QueryGen::new(values.to_vec(), shape.clone(), 9);
+    for _ in 0..10 {
+        let (lo, hi) = gen.value_constraint(0.3);
+        let region = Region::new(gen.region(0.2));
+        let q = Query::values_where(lo, hi).with_region(region.clone());
+        let res = store.query_serial(&q).unwrap();
+
+        let mut want: Vec<(u64, f64)> = Vec::new();
+        for r in region.ranges()[0].0..region.ranges()[0].1 {
+            for c in region.ranges()[1].0..region.ranges()[1].1 {
+                let lin = (r * 64 + c) as u64;
+                let v = values[lin as usize];
+                if v >= lo && v < hi {
+                    want.push((lin, v));
+                }
+            }
+        }
+        want.sort_unstable_by_key(|&(p, _)| p);
+        assert_eq!(res.positions(), want.iter().map(|&(p, _)| p).collect::<Vec<_>>());
+        assert_eq!(
+            res.values().unwrap(),
+            want.iter().map(|&(_, v)| v).collect::<Vec<_>>()
+        );
+    }
+}

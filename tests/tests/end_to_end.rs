@@ -1,0 +1,152 @@
+//! End-to-end: build on real files, reopen, query, and cross-check
+//! against a naive scan — for every codec variant and level order.
+
+use mloc::prelude::*;
+use mloc_compress::CodecKind;
+use mloc_datagen::gts_like_2d;
+use mloc_pfs::{DirBackend, MemBackend, StorageBackend};
+
+fn naive_region(values: &[f64], lo: f64, hi: f64) -> Vec<u64> {
+    values
+        .iter()
+        .enumerate()
+        .filter(|(_, &v)| v >= lo && v < hi)
+        .map(|(i, _)| i as u64)
+        .collect()
+}
+
+fn check_variant(backend: &dyn StorageBackend, codec: CodecKind, order: LevelOrder) {
+    let field = gts_like_2d(128, 128, 42);
+    let values = field.values();
+    let config = MlocConfig::builder(vec![128, 128])
+        .chunk_shape(vec![32, 32])
+        .num_bins(16)
+        .codec(codec)
+        .level_order(order)
+        .build();
+    let var = format!("{}_{}", codec.name(), order.name());
+    build_variable(backend, "e2e", &var, values, &config).unwrap();
+    let store = MlocStore::open(backend, "e2e", &var).unwrap();
+
+    // Region query equivalence (lossless codecs answer exactly; the
+    // lossy codec classifies within its error bound, checked below).
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let lo = sorted[sorted.len() / 4];
+    let hi = sorted[sorted.len() / 2];
+    let res = store.query_serial(&Query::region(lo, hi)).unwrap();
+    if !codec.is_lossy() {
+        assert_eq!(res.positions(), naive_region(values, lo, hi), "{var} region");
+    } else {
+        // Lossy codec: membership can flip only for values within the
+        // error bound of a constraint edge.
+        let eps = 0.001;
+        let naive: std::collections::HashSet<u64> =
+            naive_region(values, lo, hi).into_iter().collect();
+        let got: std::collections::HashSet<u64> =
+            res.positions().iter().copied().collect();
+        for p in naive.symmetric_difference(&got) {
+            let v = values[*p as usize];
+            let near_edge = ((v - lo).abs() <= eps * v.abs().max(1.0))
+                || ((v - hi).abs() <= eps * v.abs().max(1.0));
+            assert!(near_edge, "{var}: point {p} (value {v}) flipped far from edges");
+        }
+    }
+
+    // Value query equivalence within codec tolerance.
+    let region = Region::new(vec![(10, 90), (20, 100)]);
+    let res = store.query_serial(&Query::values_in(region)).unwrap();
+    assert_eq!(res.len(), 80 * 80, "{var} value count");
+    for (&p, &v) in res.positions().iter().zip(res.values().unwrap()) {
+        let exact = values[p as usize];
+        if codec.is_lossy() {
+            let tol = 0.001 * exact.abs().max(1e-6) * (1.0 + 1e-6);
+            assert!((v - exact).abs() <= tol, "{var}: {v} vs {exact}");
+        } else {
+            assert_eq!(v.to_bits(), exact.to_bits(), "{var}: {v} vs {exact}");
+        }
+    }
+}
+
+#[test]
+fn all_codecs_and_orders_on_memory_backend() {
+    let be = MemBackend::new();
+    for codec in [
+        CodecKind::Raw,
+        CodecKind::Deflate,
+        CodecKind::Isobar,
+        CodecKind::Fpc,
+        CodecKind::Isabela { error_bound: 0.001 },
+    ] {
+        for order in [LevelOrder::Vms, LevelOrder::Vsm] {
+            check_variant(&be, codec, order);
+        }
+    }
+}
+
+#[test]
+fn deflate_variant_on_real_files() {
+    let root = std::env::temp_dir().join(format!("mloc-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let be = DirBackend::new(&root).unwrap();
+    check_variant(&be, CodecKind::Deflate, LevelOrder::Vms);
+    // Files genuinely exist on disk.
+    assert!(be.list().iter().any(|f| f.ends_with(".dat")));
+    assert!(be.list().iter().any(|f| f.ends_with(".idx")));
+    assert!(be.list().iter().any(|f| f.ends_with("meta")));
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn reopening_gives_identical_answers() {
+    let be = MemBackend::new();
+    let field = gts_like_2d(64, 64, 3);
+    let config = MlocConfig::builder(vec![64, 64])
+        .chunk_shape(vec![16, 16])
+        .num_bins(8)
+        .build();
+    build_variable(&be, "ds", "v", field.values(), &config).unwrap();
+    let q = Query::values_where(0.0, 1e6);
+    let first = MlocStore::open(&be, "ds", "v").unwrap().query_serial(&q).unwrap();
+    let second = MlocStore::open(&be, "ds", "v").unwrap().query_serial(&q).unwrap();
+    assert_eq!(first, second);
+}
+
+#[test]
+fn corrupted_metadata_is_rejected() {
+    let be = MemBackend::new();
+    let field = gts_like_2d(64, 64, 3);
+    let config = MlocConfig::builder(vec![64, 64])
+        .chunk_shape(vec![16, 16])
+        .num_bins(8)
+        .build();
+    build_variable(&be, "ds", "v", field.values(), &config).unwrap();
+
+    // Truncate the meta file.
+    let meta = be.read("ds/v/meta", 0, 10).unwrap();
+    be.create("ds/v/meta").unwrap();
+    be.append("ds/v/meta", &meta).unwrap();
+    assert!(MlocStore::open(&be, "ds", "v").is_err());
+}
+
+#[test]
+fn corrupted_index_is_detected_at_query_time() {
+    let be = MemBackend::new();
+    let field = gts_like_2d(64, 64, 3);
+    let config = MlocConfig::builder(vec![64, 64])
+        .chunk_shape(vec![16, 16])
+        .num_bins(4)
+        .build();
+    build_variable(&be, "ds", "v", field.values(), &config).unwrap();
+
+    // Flip the magic of one bin's index.
+    let idx = be.read("ds/v/bin0001.idx", 0, be.len("ds/v/bin0001.idx").unwrap()).unwrap();
+    let mut bad = idx.clone();
+    bad[0] ^= 0xFF;
+    be.create("ds/v/bin0001.idx").unwrap();
+    be.append("ds/v/bin0001.idx", &bad).unwrap();
+
+    let store = MlocStore::open(&be, "ds", "v").unwrap();
+    // A query touching every bin must surface the corruption.
+    assert!(store.query_serial(&Query::values_where(f64::MIN, f64::MAX)).is_err());
+}
