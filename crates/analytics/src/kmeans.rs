@@ -89,7 +89,11 @@ pub fn kmeans(points: &[f64], dim: usize, k: usize, max_iters: u32, seed: u64) -
             break;
         }
     }
-    KMeansResult { centroids, labels, iterations }
+    KMeansResult {
+        centroids,
+        labels,
+        iterations,
+    }
 }
 
 /// Fraction of points labelled differently by two clusterings, after

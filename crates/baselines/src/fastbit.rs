@@ -145,7 +145,10 @@ impl<'a> FastBit<'a> {
     fn load_index(&self, io: &mut RankIo<'_>) -> Result<Vec<WahBitmap>> {
         let raw = io.read_all(&self.index_file)?;
         let num_bins = u32::from_le_bytes(
-            raw.get(0..4).ok_or(MlocError::Corrupt("index truncated"))?.try_into().unwrap(),
+            raw.get(0..4)
+                .ok_or(MlocError::Corrupt("index truncated"))?
+                .try_into()
+                .unwrap(),
         ) as usize;
         let mut pos = 5 + (num_bins + 1) * 8;
         let mut maps = Vec::with_capacity(num_bins);
@@ -158,7 +161,8 @@ impl<'a> FastBit<'a> {
             ) as usize;
             pos += 8;
             let (bm, used) = WahBitmap::from_bytes(
-                raw.get(pos..pos + len).ok_or(MlocError::Corrupt("index truncated"))?,
+                raw.get(pos..pos + len)
+                    .ok_or(MlocError::Corrupt("index truncated"))?,
             )?;
             debug_assert_eq!(used, len);
             pos += len;
@@ -183,11 +187,7 @@ impl<'a> FastBit<'a> {
 
     /// Read raw values at sorted candidate positions, coalescing
     /// nearby candidates into single reads.
-    fn read_values_at(
-        &self,
-        io: &mut RankIo<'_>,
-        positions: &[u64],
-    ) -> Result<Vec<f64>> {
+    fn read_values_at(&self, io: &mut RankIo<'_>, positions: &[u64]) -> Result<Vec<f64>> {
         let runs: Vec<(u64, u64)> = positions.iter().map(|&p| (p, 1)).collect();
         let extents = crate::runs::coalesce_runs(&runs, crate::runs::READAHEAD_GAP_BYTES);
         let mut out = Vec::with_capacity(positions.len());
@@ -234,8 +234,7 @@ impl QueryEngine for FastBit<'_> {
                 }
             }
             (BitmapEncoding::Equality, Some(_), Some(_)) => {
-                let covered: Vec<WahBitmap> =
-                    aligned.iter().map(|&k| maps[k].clone()).collect();
+                let covered: Vec<WahBitmap> = aligned.iter().map(|&k| maps[k].clone()).collect();
                 or_many(&covered, self.total_points)
             }
             _ => WahBitmap::zeros(self.total_points),
@@ -273,9 +272,7 @@ impl QueryEngine for FastBit<'_> {
     }
 
     fn value_query(&self, region: &Region) -> Result<Answer> {
-        if region.dims() != self.shape.len()
-            || !Region::full(&self.shape).contains_region(region)
-        {
+        if region.dims() != self.shape.len() || !Region::full(&self.shape).contains_region(region) {
             return Err(MlocError::Invalid("region out of domain".into()));
         }
         // FastBit is a value index: spatially-constrained queries still
@@ -323,8 +320,8 @@ mod tests {
 
     fn fixture(be: &MemBackend, encoding: BitmapEncoding) -> (Vec<f64>, FastBit<'_>) {
         let values: Vec<f64> = (0..2048).map(|i| ((i * 31) % 503) as f64).collect();
-        let fb = FastBit::build_with_encoding(be, "t", &values, vec![64, 32], 16, encoding)
-            .unwrap();
+        let fb =
+            FastBit::build_with_encoding(be, "t", &values, vec![64, 32], 16, encoding).unwrap();
         (values, fb)
     }
 
@@ -367,8 +364,16 @@ mod tests {
         let (values, eq) = fixture(&be1, BitmapEncoding::Equality);
         let (_, rg) = fixture(&be2, BitmapEncoding::Range);
         let raw = values.len() as u64 * 8;
-        assert!(eq.index_bytes() * 8 > raw, "eq idx {} raw {raw}", eq.index_bytes());
-        assert!(rg.index_bytes() * 8 > raw, "rg idx {} raw {raw}", rg.index_bytes());
+        assert!(
+            eq.index_bytes() * 8 > raw,
+            "eq idx {} raw {raw}",
+            eq.index_bytes()
+        );
+        assert!(
+            rg.index_bytes() * 8 > raw,
+            "rg idx {} raw {raw}",
+            rg.index_bytes()
+        );
     }
 
     #[test]

@@ -95,9 +95,7 @@ impl<'a> SciDb<'a> {
             core.ranges()
                 .iter()
                 .zip(grid.shape())
-                .map(|(&(s, e), &extent)| {
-                    (s.saturating_sub(overlap), (e + overlap).min(extent))
-                })
+                .map(|(&(s, e), &extent)| (s.saturating_sub(overlap), (e + overlap).min(extent)))
                 .collect(),
         )
     }
@@ -158,14 +156,21 @@ impl<'a> SciDb<'a> {
             let (off, len) = self.chunk_locs[chunk];
             let buf = io.read(&self.file, off, len)?;
             let t = Instant::now();
-            self.scan_chunk(chunk, &buf, vc, sc, want_values, &mut positions, &mut values);
+            self.scan_chunk(
+                chunk,
+                &buf,
+                vc,
+                sc,
+                want_values,
+                &mut positions,
+                &mut values,
+            );
             cpu_s += t.elapsed().as_secs_f64();
         }
         let t = Instant::now();
         let mut pairs_sorted = positions;
         let values = if want_values {
-            let mut pairs: Vec<(u64, f64)> =
-                pairs_sorted.drain(..).zip(values).collect();
+            let mut pairs: Vec<(u64, f64)> = pairs_sorted.drain(..).zip(values).collect();
             pairs.sort_unstable_by_key(|&(p, _)| p);
             let (p, v): (Vec<u64>, Vec<f64>) = pairs.into_iter().unzip();
             pairs_sorted = p;
@@ -261,7 +266,11 @@ mod tests {
         let be = MemBackend::new();
         let (values, db) = fixture(&be);
         let raw = values.len() as u64 * 8;
-        assert!(db.data_bytes() > raw, "stored {} raw {raw}", db.data_bytes());
+        assert!(
+            db.data_bytes() > raw,
+            "stored {} raw {raw}",
+            db.data_bytes()
+        );
         // 8x8 chunks with 1-cell halo: up to (10/8)^2 ≈ 1.56x.
         assert!(db.data_bytes() < raw * 8 / 5);
     }

@@ -35,7 +35,12 @@ impl<'a> SeqScan<'a> {
             }
             backend.append(&file, &buf)?;
         }
-        Ok(SeqScan { backend, file, shape, total_points: n as u64 })
+        Ok(SeqScan {
+            backend,
+            file,
+            shape,
+            total_points: n as u64,
+        })
     }
 
     /// Open a previously built raw file.
@@ -50,9 +55,13 @@ impl<'a> SeqScan<'a> {
         if bytes != n * 8 {
             return Err(MlocError::Corrupt("raw file size mismatch"));
         }
-        Ok(SeqScan { backend, file, shape, total_points: n })
+        Ok(SeqScan {
+            backend,
+            file,
+            shape,
+            total_points: n,
+        })
     }
-
 }
 
 fn decode_values(buf: &[u8]) -> Vec<f64> {
@@ -107,9 +116,7 @@ impl QueryEngine for SeqScan<'_> {
     }
 
     fn value_query(&self, region: &Region) -> Result<Answer> {
-        if region.dims() != self.shape.len()
-            || !Region::full(&self.shape).contains_region(region)
-        {
+        if region.dims() != self.shape.len() || !Region::full(&self.shape).contains_region(region) {
             return Err(MlocError::Invalid("region out of domain".into()));
         }
         let mut io = RankIo::new(self.backend);
@@ -214,6 +221,8 @@ mod tests {
     fn rejects_out_of_domain() {
         let be = MemBackend::new();
         let (_, scan) = fixture(&be);
-        assert!(scan.value_query(&Region::new(vec![(0, 40), (0, 32)])).is_err());
+        assert!(scan
+            .value_query(&Region::new(vec![(0, 40), (0, 32)]))
+            .is_err());
     }
 }

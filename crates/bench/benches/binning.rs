@@ -62,5 +62,10 @@ fn bench_balance_ablation(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_bound_computation, bench_assignment, bench_balance_ablation);
+criterion_group!(
+    benches,
+    bench_bound_computation,
+    bench_assignment,
+    bench_balance_ablation
+);
 criterion_main!(benches);

@@ -23,9 +23,11 @@ fn bench_float_codecs(c: &mut Criterion) {
         CodecKind::Isabela { error_bound: 0.001 },
     ] {
         let codec = kind.float_codec();
-        g.bench_with_input(BenchmarkId::new("compress", kind.name()), &values, |b, v| {
-            b.iter(|| black_box(codec.compress_f64(v)))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("compress", kind.name()),
+            &values,
+            |b, v| b.iter(|| black_box(codec.compress_f64(v))),
+        );
         let compressed = codec.compress_f64(&values);
         g.bench_with_input(
             BenchmarkId::new("decompress", kind.name()),

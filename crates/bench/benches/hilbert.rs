@@ -49,24 +49,33 @@ fn bench_ordering_ablation(c: &mut Criterion) {
     let mut g = c.benchmark_group("ordering_runs_ablation");
     for kind in [CurveKind::Hilbert, CurveKind::ZOrder, CurveKind::RowMajor] {
         let order = GridOrder::new(&[32, 32], kind);
-        g.bench_with_input(BenchmarkId::new("8x8_boxes", kind.name()), &order, |b, order| {
-            b.iter(|| {
-                let mut total = 0usize;
-                for (r0, c0) in [(0usize, 0usize), (8, 8), (3, 17), (20, 5), (12, 24)] {
-                    let mut ranks = Vec::with_capacity(64);
-                    for i in r0..r0 + 8 {
-                        for j in c0..c0 + 8 {
-                            ranks.push(order.rank_of_coords(&[i, j]));
+        g.bench_with_input(
+            BenchmarkId::new("8x8_boxes", kind.name()),
+            &order,
+            |b, order| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for (r0, c0) in [(0usize, 0usize), (8, 8), (3, 17), (20, 5), (12, 24)] {
+                        let mut ranks = Vec::with_capacity(64);
+                        for i in r0..r0 + 8 {
+                            for j in c0..c0 + 8 {
+                                ranks.push(order.rank_of_coords(&[i, j]));
+                            }
                         }
+                        total += contiguous_runs(ranks);
                     }
-                    total += contiguous_runs(ranks);
-                }
-                black_box(total)
-            })
-        });
+                    black_box(total)
+                })
+            },
+        );
     }
     g.finish();
 }
 
-criterion_group!(benches, bench_mapping, bench_grid_order_build, bench_ordering_ablation);
+criterion_group!(
+    benches,
+    bench_mapping,
+    bench_grid_order_build,
+    bench_ordering_ablation
+);
 criterion_main!(benches);

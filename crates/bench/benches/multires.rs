@@ -36,9 +36,7 @@ fn bench_subset_placement_ablation(c: &mut Criterion) {
                 BenchmarkId::new(name, format!("level{level}")),
                 store,
                 |b, store| {
-                    b.iter(|| {
-                        black_box(subset_value_query(store, 3, level, &exec).unwrap())
-                    })
+                    b.iter(|| black_box(subset_value_query(store, 3, level, &exec).unwrap()))
                 },
             );
         }
@@ -55,8 +53,7 @@ fn bench_plod_query_levels(c: &mut Criterion) {
     let mut g = c.benchmark_group("plod_query_levels");
     g.sample_size(10);
     for level in [1u8, 2, 4, 7] {
-        let q = Query::values_in(region.clone())
-            .with_plod(PlodLevel::new(level).unwrap());
+        let q = Query::values_in(region.clone()).with_plod(PlodLevel::new(level).unwrap());
         g.bench_with_input(BenchmarkId::new("value_window", level), &q, |b, q| {
             b.iter(|| black_box(exec.execute(&store, q).unwrap()))
         });
@@ -64,5 +61,9 @@ fn bench_plod_query_levels(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_subset_placement_ablation, bench_plod_query_levels);
+criterion_group!(
+    benches,
+    bench_subset_placement_ablation,
+    bench_plod_query_levels
+);
 criterion_main!(benches);

@@ -76,12 +76,16 @@ fn bench_assignment_ablation(c: &mut Criterion) {
         .collect();
     let mut g = c.benchmark_group("assignment_ablation");
     for nranks in [8usize, 32] {
-        g.bench_with_input(BenchmarkId::new("column_order", nranks), &nranks, |b, &n| {
-            b.iter(|| {
-                let a = column_order(&groups, n);
-                black_box(distinct_groups_per_rank(&a, &groups))
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("column_order", nranks),
+            &nranks,
+            |b, &n| {
+                b.iter(|| {
+                    let a = column_order(&groups, n);
+                    black_box(distinct_groups_per_rank(&a, &groups))
+                })
+            },
+        );
         g.bench_with_input(BenchmarkId::new("round_robin", nranks), &nranks, |b, &n| {
             b.iter(|| {
                 let a = round_robin(&groups, n);
@@ -101,9 +105,11 @@ fn bench_parallel_execution(c: &mut Criterion) {
     g.sample_size(10);
     for ranks in [1usize, 4, 16] {
         let exec = ParallelExecutor::new(ranks, CostModel::default());
-        g.bench_with_input(BenchmarkId::new("value_quarter", ranks), &exec, |b, exec| {
-            b.iter(|| black_box(exec.execute(&store, &q).unwrap()))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("value_quarter", ranks),
+            &exec,
+            |b, exec| b.iter(|| black_box(exec.execute(&store, &q).unwrap())),
+        );
     }
     g.finish();
 }

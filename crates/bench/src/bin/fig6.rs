@@ -36,11 +36,9 @@ fn main() {
             "Fig. 6: component times (s) for value retrieval, {}% selectivity, S3D",
             selectivity * 100.0
         ));
-        let mut table =
-            Table::new(&["system", "io", "decompress", "reconstruct", "total"]);
+        let mut table = Table::new(&["system", "io", "decompress", "reconstruct", "total"]);
         for (variant, store) in &systems.mloc {
-            let mut w =
-                Workload::new(field.values(), spec.shape.clone(), args.queries, args.seed);
+            let mut w = Workload::new(field.values(), spec.shape.clone(), args.queries, args.seed);
             let m = w.mloc_value(store, &exec, selectivity, PlodLevel::FULL);
             table.row_seconds(
                 variant.name(),
@@ -48,8 +46,7 @@ fn main() {
             );
         }
         {
-            let mut w =
-                Workload::new(field.values(), spec.shape.clone(), args.queries, args.seed);
+            let mut w = Workload::new(field.values(), spec.shape.clone(), args.queries, args.seed);
             let b = w.baseline_value(&systems.seq, &model, selectivity);
             table.row_seconds("Seq. Scan", &[b.io_s, 0.0, b.cpu_s, b.response_s]);
         }
@@ -62,5 +59,8 @@ fn main() {
     println!("  MLOC-COL  : I/O-dominant, small decompression");
     println!("  MLOC-ISO  : less I/O than COL, moderate decompression");
     println!("  MLOC-ISA  : least I/O, largest decompression share");
-    note(&format!("{} queries per cell, {} ranks", args.queries, args.ranks));
+    note(&format!(
+        "{} queries per cell, {} ranks",
+        args.queries, args.ranks
+    ));
 }

@@ -23,7 +23,13 @@ fn main() {
         eprintln!("[fig7] building MLOC-COL for {} ...", spec.name);
         let field = spec.generate();
         let be = MemBackend::new();
-        build_mloc(&be, &spec, field.values(), Variant::Col, mloc::config::LevelOrder::Vms);
+        build_mloc(
+            &be,
+            &spec,
+            field.values(),
+            Variant::Col,
+            mloc::config::LevelOrder::Vms,
+        );
         let store = open_mloc(&be, &spec, Variant::Col);
 
         title(&format!(
@@ -41,8 +47,7 @@ fn main() {
         for ranks in [8usize, 16, 32, 64, 128] {
             eprintln!("[fig7] {} ranks ...", ranks);
             let exec = ParallelExecutor::new(ranks, CostModel::default());
-            let mut w =
-                Workload::new(field.values(), spec.shape.clone(), args.queries, args.seed);
+            let mut w = Workload::new(field.values(), spec.shape.clone(), args.queries, args.seed);
             let m = w.mloc_value(&store, &exec, selectivity, PlodLevel::FULL);
             let gbps = m.bytes_read as f64 / m.response_s.max(1e-9) / 1e9;
             table.row(

@@ -23,7 +23,13 @@ fn main() {
         eprintln!("[fig8] building MLOC-COL for {} ...", spec.name);
         let field = spec.generate();
         let be = MemBackend::new();
-        build_mloc(&be, &spec, field.values(), Variant::Col, mloc::config::LevelOrder::Vms);
+        build_mloc(
+            &be,
+            &spec,
+            field.values(),
+            Variant::Col,
+            mloc::config::LevelOrder::Vms,
+        );
         let store = open_mloc(&be, &spec, Variant::Col);
 
         title(&format!(
@@ -46,8 +52,7 @@ fn main() {
             ("full", PlodLevel::FULL),
         ] {
             eprintln!("[fig8] {} ...", label);
-            let mut w =
-                Workload::new(field.values(), spec.shape.clone(), args.queries, args.seed);
+            let mut w = Workload::new(field.values(), spec.shape.clone(), args.queries, args.seed);
             let m = w.mloc_value(&store, &exec, selectivity, level);
             table.row(
                 label,
@@ -66,5 +71,8 @@ fn main() {
     println!();
     println!("paper Fig. 8 shape (512 GB): response grows with the byte budget,");
     println!("driven almost entirely by the I/O component; reconstruction flat.");
-    note(&format!("{} queries per cell, {} ranks", args.queries, args.ranks));
+    note(&format!(
+        "{} queries per cell, {} ranks",
+        args.queries, args.ranks
+    ));
 }

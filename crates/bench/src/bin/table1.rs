@@ -28,9 +28,11 @@ fn main() {
     let mut table = Table::new(&["system", "data", "index", "total", "total/raw", "paper t/r"]);
 
     let paper_ratio = |t: f64| format!("{t:.2}");
-    for (variant, paper) in
-        [(Variant::Col, 8.1 / 8.0), (Variant::Iso, 8.5 / 8.0), (Variant::Isa, 3.2 / 8.0)]
-    {
+    for (variant, paper) in [
+        (Variant::Col, 8.1 / 8.0),
+        (Variant::Iso, 8.5 / 8.0),
+        (Variant::Isa, 3.2 / 8.0),
+    ] {
         let report = build_mloc(&be, &spec, field.values(), variant, LevelOrder::Vms);
         table.row(
             variant.name(),
@@ -56,15 +58,24 @@ fn main() {
         ],
     );
 
-    let fb = FastBit::build(&be, "gts", field.values(), spec.shape.clone(), FASTBIT_PRECISION_BINS)
-        .unwrap();
+    let fb = FastBit::build(
+        &be,
+        "gts",
+        field.values(),
+        spec.shape.clone(),
+        FASTBIT_PRECISION_BINS,
+    )
+    .unwrap();
     table.row(
         "FastBit",
         vec![
             fmt_bytes(fb.data_bytes()),
             fmt_bytes(fb.index_bytes()),
             fmt_bytes(fb.data_bytes() + fb.index_bytes()),
-            format!("{:.2}", (fb.data_bytes() + fb.index_bytes()) as f64 / raw as f64),
+            format!(
+                "{:.2}",
+                (fb.data_bytes() + fb.index_bytes()) as f64 / raw as f64
+            ),
             paper_ratio(18.0 / 8.0),
         ],
     );

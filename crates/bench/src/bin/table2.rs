@@ -27,9 +27,10 @@ fn main() {
     let mut table = Table::new(&["system", "1% GTS", "10% GTS", "1% S3D", "10% S3D"]);
     let mut measured: Vec<(String, Vec<f64>)> = Vec::new();
 
-    for (col_base, spec) in
-        [(0usize, DatasetSpec::gts(args.large)), (2usize, DatasetSpec::s3d(args.large))]
-    {
+    for (col_base, spec) in [
+        (0usize, DatasetSpec::gts(args.large)),
+        (2usize, DatasetSpec::s3d(args.large)),
+    ] {
         eprintln!("[table2] building systems for {} ...", spec.name);
         let field = spec.generate();
         let be = MemBackend::new();

@@ -25,13 +25,13 @@ fn main() {
     ];
 
     title("Table III: value query response time (s), SC selectivity 0.1% / 1%");
-    let mut table =
-        Table::new(&["system", "0.1% GTS", "1% GTS", "0.1% S3D", "1% S3D"]);
+    let mut table = Table::new(&["system", "0.1% GTS", "1% GTS", "0.1% S3D", "1% S3D"]);
     let mut measured: Vec<(String, Vec<f64>)> = Vec::new();
 
-    for (col_base, spec) in
-        [(0usize, DatasetSpec::gts(args.large)), (2usize, DatasetSpec::s3d(args.large))]
-    {
+    for (col_base, spec) in [
+        (0usize, DatasetSpec::gts(args.large)),
+        (2usize, DatasetSpec::s3d(args.large)),
+    ] {
         eprintln!("[table3] building systems for {} ...", spec.name);
         let field = spec.generate();
         let be = MemBackend::new();

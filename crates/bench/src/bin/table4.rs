@@ -26,9 +26,10 @@ fn main() {
     let mut table = Table::new(&["system", "1% GTS", "10% GTS", "1% S3D", "10% S3D"]);
     let mut measured: Vec<(String, Vec<f64>)> = Vec::new();
 
-    for (col_base, spec) in
-        [(0usize, DatasetSpec::gts(true)), (2usize, DatasetSpec::s3d(true))]
-    {
+    for (col_base, spec) in [
+        (0usize, DatasetSpec::gts(true)),
+        (2usize, DatasetSpec::s3d(true)),
+    ] {
         eprintln!("[table4] building systems for {} ...", spec.name);
         let field = spec.generate();
         let be = MemBackend::new();
@@ -68,7 +69,10 @@ fn main() {
         p.row_seconds(name, vals);
     }
     p.print();
-    note(&format!("{} queries per cell, {} ranks", args.queries, args.ranks));
+    note(&format!(
+        "{} queries per cell, {} ranks",
+        args.queries, args.ranks
+    ));
     note("expected shape: MLOC beats Seq. Scan by a widening factor at scale;");
     note("the factor grows with dataset size (ours is 128 MiB vs paper 512 GB)");
 }

@@ -24,13 +24,13 @@ fn main() {
     ];
 
     title("Table V: value query response time (s) at the large scale, 0.1% / 1%");
-    let mut table =
-        Table::new(&["system", "0.1% GTS", "1% GTS", "0.1% S3D", "1% S3D"]);
+    let mut table = Table::new(&["system", "0.1% GTS", "1% GTS", "0.1% S3D", "1% S3D"]);
     let mut measured: Vec<(String, Vec<f64>)> = Vec::new();
 
-    for (col_base, spec) in
-        [(0usize, DatasetSpec::gts(true)), (2usize, DatasetSpec::s3d(true))]
-    {
+    for (col_base, spec) in [
+        (0usize, DatasetSpec::gts(true)),
+        (2usize, DatasetSpec::s3d(true)),
+    ] {
         eprintln!("[table5] building systems for {} ...", spec.name);
         let field = spec.generate();
         let be = MemBackend::new();
@@ -70,7 +70,10 @@ fn main() {
         p.row_seconds(name, vals);
     }
     p.print();
-    note(&format!("{} queries per cell, {} ranks", args.queries, args.ranks));
+    note(&format!(
+        "{} queries per cell, {} ranks",
+        args.queries, args.ranks
+    ));
     note("expected shape: ISA wins at 0.1% (least I/O) but loses its lead at");
     note("larger selectivity as B-spline reconstruction cost grows");
 }

@@ -81,9 +81,33 @@ fn main() {
     println!();
     println!("paper Table VI (percent):");
     let mut p = Table::new(&["bytes", "hist vu %", "hist vv %", "hist vw %", "kmeans %"]);
-    p.row("2", vec!["8.241".into(), "1.83".into(), "1.834".into(), "4.290".into()]);
-    p.row("3", vec!["0.029".into(), "0.0065".into(), "0.0083".into(), "0.017".into()]);
-    p.row("4", vec!["0.00016".into(), "0.000045".into(), "0.000035".into(), "0.000066".into()]);
+    p.row(
+        "2",
+        vec![
+            "8.241".into(),
+            "1.83".into(),
+            "1.834".into(),
+            "4.290".into(),
+        ],
+    );
+    p.row(
+        "3",
+        vec![
+            "0.029".into(),
+            "0.0065".into(),
+            "0.0083".into(),
+            "0.017".into(),
+        ],
+    );
+    p.row(
+        "4",
+        vec![
+            "0.00016".into(),
+            "0.000045".into(),
+            "0.000035".into(),
+            "0.000066".into(),
+        ],
+    );
     p.print();
     note("expected shape: errors drop ~2-3 orders of magnitude per extra byte;");
     note("2 bytes noticeably wrong, 3 bytes already small, 4 bytes negligible");

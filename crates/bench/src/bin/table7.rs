@@ -29,9 +29,10 @@ fn main() {
     let mut table = Table::new(&["order", "3-byte PLoD", "full precision"]);
 
     let exec = ParallelExecutor::new(args.ranks, CostModel::default());
-    for (order, label) in
-        [(LevelOrder::Vms, "V-M-S order"), (LevelOrder::Vsm, "V-S-M order")]
-    {
+    for (order, label) in [
+        (LevelOrder::Vms, "V-M-S order"),
+        (LevelOrder::Vsm, "V-S-M order"),
+    ] {
         eprintln!("[table7] building MLOC-COL with {label} ...");
         let be = MemBackend::new();
         build_mloc(&be, &spec, field.values(), Variant::Col, order);
@@ -51,7 +52,10 @@ fn main() {
     p.row_seconds("V-M-S order", &[19.45, 39.34]);
     p.row_seconds("V-S-M order", &[23.70, 35.47]);
     p.print();
-    note(&format!("{} queries per cell, {} ranks", args.queries, args.ranks));
+    note(&format!(
+        "{} queries per cell, {} ranks",
+        args.queries, args.ranks
+    ));
     note("expected shape: V-M-S faster for the byte-prefix access, V-S-M");
     note("faster for full precision, with modest differences both ways");
 }

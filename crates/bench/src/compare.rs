@@ -70,7 +70,13 @@ pub fn build_systems<'a>(
     } else {
         (None, None)
     };
-    Systems { spec: spec.clone(), mloc, seq, fastbit, scidb }
+    Systems {
+        spec: spec.clone(),
+        mloc,
+        seq,
+        fastbit,
+        scidb,
+    }
 }
 
 /// One measured cell: a response time plus its components.
@@ -121,8 +127,7 @@ pub fn region_comparison(
     for (variant, store) in &systems.mloc {
         let mut cells = Vec::new();
         for &sel in selectivities {
-            let mut w =
-                Workload::new(field.values(), systems.spec.shape.clone(), queries, seed);
+            let mut w = Workload::new(field.values(), systems.spec.shape.clone(), queries, seed);
             let m = w.mloc_region(store, &exec, sel);
             cells.push(Cell::from(&m));
         }
@@ -132,8 +137,7 @@ pub fn region_comparison(
     let mut baseline = |name: &str, engine: &dyn mloc_baselines::QueryEngine| {
         let mut cells = Vec::new();
         for &sel in selectivities {
-            let mut w =
-                Workload::new(field.values(), systems.spec.shape.clone(), queries, seed);
+            let mut w = Workload::new(field.values(), systems.spec.shape.clone(), queries, seed);
             let b = w.baseline_region(engine, &model, sel);
             cells.push(Cell::from(&b));
         }
@@ -166,8 +170,7 @@ pub fn value_comparison(
     for (variant, store) in &systems.mloc {
         let mut cells = Vec::new();
         for &sel in selectivities {
-            let mut w =
-                Workload::new(field.values(), systems.spec.shape.clone(), queries, seed);
+            let mut w = Workload::new(field.values(), systems.spec.shape.clone(), queries, seed);
             let m = w.mloc_value(store, &exec, sel, PlodLevel::FULL);
             cells.push(Cell::from(&m));
         }
@@ -177,8 +180,7 @@ pub fn value_comparison(
     let mut baseline = |name: &str, engine: &dyn mloc_baselines::QueryEngine| {
         let mut cells = Vec::new();
         for &sel in selectivities {
-            let mut w =
-                Workload::new(field.values(), systems.spec.shape.clone(), queries, seed);
+            let mut w = Workload::new(field.values(), systems.spec.shape.clone(), queries, seed);
             let b = w.baseline_value(engine, &model, sel);
             cells.push(Cell::from(&b));
         }

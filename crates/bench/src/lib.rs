@@ -37,7 +37,12 @@ pub struct HarnessArgs {
 
 impl Default for HarnessArgs {
     fn default() -> Self {
-        HarnessArgs { large: false, queries: 10, ranks: 8, seed: 42 }
+        HarnessArgs {
+            large: false,
+            queries: 10,
+            ranks: 8,
+            seed: 42,
+        }
     }
 }
 
@@ -58,12 +63,14 @@ impl HarnessArgs {
                     };
                 }
                 "--queries" => {
-                    args.queries =
-                        it.next().expect("--queries needs N").parse().expect("bad N");
+                    args.queries = it
+                        .next()
+                        .expect("--queries needs N")
+                        .parse()
+                        .expect("bad N");
                 }
                 "--ranks" => {
-                    args.ranks =
-                        it.next().expect("--ranks needs N").parse().expect("bad N");
+                    args.ranks = it.next().expect("--ranks needs N").parse().expect("bad N");
                 }
                 "--seed" => {
                     args.seed = it.next().expect("--seed needs N").parse().expect("bad N");

@@ -93,8 +93,7 @@ impl DatasetSpec {
     /// ("we replicate the dataset to 512 GB", §IV-A.1).
     pub fn generate(&self) -> Field {
         let rep = 2usize; // replication factor per dimension at large scale
-        let large = self.shape.iter().all(|&e| e % rep == 0)
-            && self.num_points() >= 16 << 20;
+        let large = self.shape.iter().all(|&e| e % rep == 0) && self.num_points() >= 16 << 20;
         let gen_shape: Vec<usize> = if large {
             self.shape.iter().map(|&e| e / rep).collect()
         } else {
@@ -157,7 +156,9 @@ impl Variant {
             Variant::Col => builder.codec(CodecKind::Deflate).build(),
             Variant::Iso => builder.codec(CodecKind::Isobar).build(),
             Variant::Isa => builder
-                .codec(CodecKind::Isabela { error_bound: ISA_ERROR_BOUND })
+                .codec(CodecKind::Isabela {
+                    error_bound: ISA_ERROR_BOUND,
+                })
                 .build(),
         }
     }
@@ -172,8 +173,7 @@ pub fn build_mloc(
     order: LevelOrder,
 ) -> BuildReport {
     let config = variant.config(spec, order);
-    build_variable(backend, spec.name, variant.var(), values, &config)
-        .expect("MLOC build failed")
+    build_variable(backend, spec.name, variant.var(), values, &config).expect("MLOC build failed")
 }
 
 /// Open a previously built MLOC variant.
@@ -228,8 +228,7 @@ mod tests {
         let field = spec.generate();
         let be = MemBackend::new();
         for variant in Variant::ALL {
-            let report =
-                build_mloc(&be, &spec, field.values(), variant, LevelOrder::Vms);
+            let report = build_mloc(&be, &spec, field.values(), variant, LevelOrder::Vms);
             assert_eq!(report.raw_bytes, spec.raw_bytes());
             let store = open_mloc(&be, &spec, variant);
             assert_eq!(store.total_points(), spec.num_points() as u64);

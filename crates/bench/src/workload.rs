@@ -42,12 +42,18 @@ impl Workload {
     pub fn new(values: &[f64], shape: Vec<usize>, queries: usize, seed: u64) -> Self {
         let stride = (values.len() / (1 << 16)).max(1);
         let sample: Vec<f64> = values.iter().step_by(stride).copied().collect();
-        Workload { gen: QueryGen::new(sample, shape.clone(), seed), shape, queries }
+        Workload {
+            gen: QueryGen::new(sample, shape.clone(), seed),
+            shape,
+            queries,
+        }
     }
 
     /// The value constraints of this workload at a selectivity.
     fn value_constraints(&mut self, selectivity: f64) -> Vec<(f64, f64)> {
-        (0..self.queries).map(|_| self.gen.value_constraint(selectivity)).collect()
+        (0..self.queries)
+            .map(|_| self.gen.value_constraint(selectivity))
+            .collect()
     }
 
     /// The regions of this workload at a selectivity.
@@ -110,7 +116,9 @@ impl Workload {
         let constraints = self.value_constraints(selectivity);
         let mut avg = BaselineAvg::default();
         for (lo, hi) in &constraints {
-            let ans = engine.region_query(*lo, *hi).expect("baseline region query");
+            let ans = engine
+                .region_query(*lo, *hi)
+                .expect("baseline region query");
             avg.io_s += ans.io_s(model);
             avg.cpu_s += ans.cpu_s;
             avg.overhead_s += ans.overhead_s;
@@ -212,7 +220,9 @@ mod tests {
             assert_eq!(a.positions(), &b.positions[..]);
 
             let region = Region::new(gen.region(0.05));
-            let av = store.query_serial(&Query::values_in(region.clone())).unwrap();
+            let av = store
+                .query_serial(&Query::values_in(region.clone()))
+                .unwrap();
             let bv = scan.value_query(&region).unwrap();
             assert_eq!(av.positions(), &bv.positions[..]);
             assert_eq!(av.values().unwrap(), &bv.values.unwrap()[..]);

@@ -19,13 +19,19 @@ struct SpanCursor<I: Iterator<Item = Run>> {
 
 impl<I: Iterator<Item = Run>> SpanCursor<I> {
     fn new(runs: I) -> Self {
-        SpanCursor { runs, pending: None }
+        SpanCursor {
+            runs,
+            pending: None,
+        }
     }
 
     fn peek(&mut self) -> Option<Span> {
         if self.pending.is_none() {
             self.pending = self.runs.next().map(|r| match r {
-                Run::Fill { bit, groups } => Span::Fill { bit, groups: groups as u64 },
+                Run::Fill { bit, groups } => Span::Fill {
+                    bit,
+                    groups: groups as u64,
+                },
                 Run::Literal(w) => Span::Literal(w),
             });
         }
@@ -38,7 +44,10 @@ impl<I: Iterator<Item = Run>> SpanCursor<I> {
             Some(Span::Fill { bit, groups: g }) => {
                 debug_assert!(groups <= g);
                 if g > groups {
-                    self.pending = Some(Span::Fill { bit, groups: g - groups });
+                    self.pending = Some(Span::Fill {
+                        bit,
+                        groups: g - groups,
+                    });
                 }
             }
             Some(Span::Literal(_)) => debug_assert_eq!(groups, 1),
@@ -73,7 +82,16 @@ fn binary_op(a: &WahBitmap, b: &WahBitmap, f: impl Fn(u32, u32) -> u32) -> WahBi
             _ => panic!("bitmap group streams diverge"),
         };
         match (sa, sb) {
-            (Span::Fill { bit: b1, groups: g1 }, Span::Fill { bit: b2, groups: g2 }) => {
+            (
+                Span::Fill {
+                    bit: b1,
+                    groups: g1,
+                },
+                Span::Fill {
+                    bit: b2,
+                    groups: g2,
+                },
+            ) => {
                 let take = g1.min(g2);
                 let w = f(fill_word(b1), fill_word(b2)) & LITERAL_MASK;
                 if w == 0 {
@@ -136,7 +154,10 @@ pub fn or_many(maps: &[WahBitmap], num_bits: u64) -> WahBitmap {
         1 => maps[0].clone(),
         _ => {
             let mid = maps.len() / 2;
-            or(&or_many(&maps[..mid], num_bits), &or_many(&maps[mid..], num_bits))
+            or(
+                &or_many(&maps[..mid], num_bits),
+                &or_many(&maps[mid..], num_bits),
+            )
         }
     }
 }
@@ -163,18 +184,21 @@ mod tests {
         let (va, vb) = (naive(n, &pa), naive(n, &pb));
 
         let got_and = and(&a, &b).to_positions();
-        let want_and: Vec<u64> =
-            (0..n).filter(|&i| va[i as usize] && vb[i as usize]).collect();
+        let want_and: Vec<u64> = (0..n)
+            .filter(|&i| va[i as usize] && vb[i as usize])
+            .collect();
         assert_eq!(got_and, want_and);
 
         let got_or = or(&a, &b).to_positions();
-        let want_or: Vec<u64> =
-            (0..n).filter(|&i| va[i as usize] || vb[i as usize]).collect();
+        let want_or: Vec<u64> = (0..n)
+            .filter(|&i| va[i as usize] || vb[i as usize])
+            .collect();
         assert_eq!(got_or, want_or);
 
         let got_nd = andnot(&a, &b).to_positions();
-        let want_nd: Vec<u64> =
-            (0..n).filter(|&i| va[i as usize] && !vb[i as usize]).collect();
+        let want_nd: Vec<u64> = (0..n)
+            .filter(|&i| va[i as usize] && !vb[i as usize])
+            .collect();
         assert_eq!(got_nd, want_nd);
     }
 

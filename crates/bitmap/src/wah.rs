@@ -153,7 +153,10 @@ impl WahBitmap {
     }
 
     pub(crate) fn runs(&self) -> RunIter<'_> {
-        RunIter { words: &self.words, idx: 0 }
+        RunIter {
+            words: &self.words,
+            idx: 0,
+        }
     }
 
     /// Override the logical length (used by group-aligned operations to
@@ -242,7 +245,10 @@ impl Iterator for RunIter<'_> {
         let w = *self.words.get(self.idx)?;
         self.idx += 1;
         if w & FILL_FLAG != 0 {
-            Some(Run::Fill { bit: w & FILL_BIT != 0, groups: w & FILL_COUNT_MASK })
+            Some(Run::Fill {
+                bit: w & FILL_BIT != 0,
+                groups: w & FILL_COUNT_MASK,
+            })
         } else {
             Some(Run::Literal(w))
         }
@@ -423,7 +429,10 @@ impl WahBuilder {
             self.active = 0;
             self.active_bits = 0;
         }
-        WahBitmap { words: self.words, num_bits: self.num_bits }
+        WahBitmap {
+            words: self.words,
+            num_bits: self.num_bits,
+        }
     }
 
     /// Bits appended so far.
@@ -507,10 +516,16 @@ mod tests {
 
     #[test]
     fn serialization_rejects_garbage() {
-        assert_eq!(WahBitmap::from_bytes(&[1, 2, 3]), Err(BitmapError::Truncated));
+        assert_eq!(
+            WahBitmap::from_bytes(&[1, 2, 3]),
+            Err(BitmapError::Truncated)
+        );
         let mut bytes = WahBitmap::ones(10).to_bytes();
         bytes[0] ^= 0xFF;
-        assert!(matches!(WahBitmap::from_bytes(&bytes), Err(BitmapError::BadMagic(_))));
+        assert!(matches!(
+            WahBitmap::from_bytes(&bytes),
+            Err(BitmapError::BadMagic(_))
+        ));
     }
 
     #[test]

@@ -19,7 +19,9 @@ impl Args {
             let key = a
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got {a:?}"))?;
-            let value = argv.next().ok_or_else(|| format!("--{key} needs a value"))?;
+            let value = argv
+                .next()
+                .ok_or_else(|| format!("--{key} needs a value"))?;
             if flags.insert(key.to_string(), value).is_some() {
                 return Err(format!("--{key} given twice"));
             }
@@ -50,7 +52,6 @@ impl Args {
                 .map_err(|_| format!("--{key}: cannot parse {v:?}")),
         }
     }
-
 }
 
 /// Parse a comma-separated list of positive integers ("256,256").
@@ -87,7 +88,8 @@ pub fn parse_vc(s: &str) -> Result<(f64, f64), String> {
         .ok_or_else(|| format!("value constraint {s:?} must be lo:hi"))?;
     let lo: f64 = a.trim().parse().map_err(|_| format!("bad lo {a:?}"))?;
     let hi: f64 = b.trim().parse().map_err(|_| format!("bad hi {b:?}"))?;
-    if !(lo < hi) {
+    // NaN on either side must be rejected, hence partial_cmp.
+    if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) {
         return Err(format!("empty value constraint {s:?}"));
     }
     Ok((lo, hi))
@@ -107,7 +109,7 @@ USAGE:
   mloc info      --dir DIR --name DS
   mloc query     --dir DIR --name DS --var NAME [--vc LO:HI]
                  [--sc A:B,C:D[,E:F]] [--plod 1..7] [--values true]
-                 [--ranks R] [--limit K]
+                 [--ranks R] [--limit K] [--cache-mb MB] [--repeat N]
   mloc variables --dir DIR --name DS
 "
     .to_string()

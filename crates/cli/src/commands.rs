@@ -30,7 +30,9 @@ fn backend(args: &Args) -> Result<DirBackend, String> {
 
 fn parse_codec(s: &str) -> Result<CodecKind, String> {
     if let Some(eps) = s.strip_prefix("isabela:") {
-        let eps: f64 = eps.parse().map_err(|_| format!("bad isabela bound {eps:?}"))?;
+        let eps: f64 = eps
+            .parse()
+            .map_err(|_| format!("bad isabela bound {eps:?}"))?;
         if !(eps > 0.0 && eps.is_finite()) {
             return Err("isabela bound must be positive".into());
         }
@@ -149,7 +151,14 @@ fn info(args: &Args) -> Result<(), String> {
     println!("bins    : {}", c.num_bins);
     println!("codec   : {}", c.codec.name());
     println!("order   : {}", c.level_order.name());
-    println!("plod    : {}", if c.plod { "byte columns" } else { "whole values" });
+    println!(
+        "plod    : {}",
+        if c.plod {
+            "byte columns"
+        } else {
+            "whole values"
+        }
+    );
     println!("stored  : {} bytes", ds.stored_bytes());
     let vars = ds.variables().map_err(|e| e.to_string())?;
     println!("variables ({}):", vars.len());
@@ -171,7 +180,11 @@ fn variables(args: &Args) -> Result<(), String> {
 fn query(args: &Args) -> Result<(), String> {
     let be = backend(args)?;
     let ds = Dataset::open(&be, args.required("name")?).map_err(|e| e.to_string())?;
-    let store = ds.store(args.required("var")?).map_err(|e| e.to_string())?;
+    let mut store = ds.store(args.required("var")?).map_err(|e| e.to_string())?;
+    let cache = args
+        .optional_parsed::<u64>("cache-mb")?
+        .map(|mb| std::sync::Arc::new(BlockCache::with_budget_mb(mb)));
+    store.set_cache(cache.clone());
 
     let vc = args.optional("vc").map(parse_vc).transpose()?;
     let sc = args
@@ -187,26 +200,51 @@ fn query(args: &Args) -> Result<(), String> {
         Some(l) => PlodLevel::new(l).map_err(|e| e.to_string())?,
         None => PlodLevel::FULL,
     };
-    let output = if wants_values { QueryOutput::Values } else { QueryOutput::Positions };
+    let output = if wants_values {
+        QueryOutput::Values
+    } else {
+        QueryOutput::Positions
+    };
     let q = Query::new(vc, sc, plod, output);
 
     let ranks = args.optional_parsed::<usize>("ranks")?.unwrap_or(1);
     let exec = ParallelExecutor::new(ranks, CostModel::default());
-    let (res, m) = exec.execute(&store, &q).map_err(|e| e.to_string())?;
+    // --repeat replays the query; with --cache-mb the later passes are
+    // warm and show the cache's effect on io/decompress time.
+    let repeat = args.optional_parsed::<usize>("repeat")?.unwrap_or(1).max(1);
+    let mut last = None;
+    for pass in 0..repeat {
+        let (res, m) = exec.execute(&store, &q).map_err(|e| e.to_string())?;
+        let cache_note = if cache.is_some() {
+            format!(
+                " | cache {} hits / {} misses, {} bytes saved",
+                m.cache_hits, m.cache_misses, m.bytes_saved
+            )
+        } else {
+            String::new()
+        };
+        let pass_note = if repeat > 1 {
+            format!("pass {}/{repeat}: ", pass + 1)
+        } else {
+            String::new()
+        };
+        println!(
+            "{pass_note}{} matches | bins {} (aligned {}), chunks {} | sim io {:.3}s, \
+             decompress {:.3}s, reconstruct {:.3}s | {} bytes read{cache_note}",
+            res.len(),
+            m.bins_touched,
+            m.aligned_bins,
+            m.chunks_touched,
+            m.io_s,
+            m.decompress_s,
+            m.reconstruct_s,
+            m.bytes_read
+        );
+        last = Some(res);
+    }
+    let res = last.expect("repeat >= 1");
 
     let limit = args.optional_parsed::<usize>("limit")?.unwrap_or(20);
-    println!(
-        "{} matches | bins {} (aligned {}), chunks {} | sim io {:.3}s, \
-         decompress {:.3}s, reconstruct {:.3}s | {} bytes read",
-        res.len(),
-        m.bins_touched,
-        m.aligned_bins,
-        m.chunks_touched,
-        m.io_s,
-        m.decompress_s,
-        m.reconstruct_s,
-        m.bytes_read
-    );
     let grid = store.grid();
     for (i, &p) in res.positions().iter().take(limit).enumerate() {
         let coords = grid.delinearize(p);
@@ -216,7 +254,10 @@ fn query(args: &Args) -> Result<(), String> {
         }
     }
     if res.len() > limit {
-        println!("  ... ({} more; raise --limit to see them)", res.len() - limit);
+        println!(
+            "  ... ({} more; raise --limit to see them)",
+            res.len() - limit
+        );
     }
     Ok(())
 }
@@ -238,35 +279,81 @@ mod tests {
     #[test]
     fn full_cli_lifecycle() {
         let dir = tmpdir("life");
-        run(&["create", "--dir", &dir, "--name", "ds", "--shape", "64,64",
-              "--chunk", "16,16", "--bins", "8", "--codec", "deflate"]).unwrap();
-        run(&["import", "--dir", &dir, "--name", "ds", "--var", "t",
-              "--synthetic", "gts", "--seed", "3"]).unwrap();
+        run(&[
+            "create", "--dir", &dir, "--name", "ds", "--shape", "64,64", "--chunk", "16,16",
+            "--bins", "8", "--codec", "deflate",
+        ])
+        .unwrap();
+        run(&[
+            "import",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--var",
+            "t",
+            "--synthetic",
+            "gts",
+            "--seed",
+            "3",
+        ])
+        .unwrap();
         run(&["info", "--dir", &dir, "--name", "ds"]).unwrap();
         run(&["variables", "--dir", &dir, "--name", "ds"]).unwrap();
-        run(&["query", "--dir", &dir, "--name", "ds", "--var", "t",
-              "--vc", "0:1000", "--limit", "2"]).unwrap();
-        run(&["query", "--dir", &dir, "--name", "ds", "--var", "t",
-              "--sc", "0:8,0:8", "--values", "true", "--plod", "2"]).unwrap();
+        run(&[
+            "query", "--dir", &dir, "--name", "ds", "--var", "t", "--vc", "0:1000", "--limit", "2",
+        ])
+        .unwrap();
+        run(&[
+            "query", "--dir", &dir, "--name", "ds", "--var", "t", "--sc", "0:8,0:8", "--values",
+            "true", "--plod", "2",
+        ])
+        .unwrap();
+        // Cached replay: second pass is warm.
+        run(&[
+            "query",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--var",
+            "t",
+            "--vc",
+            "0:1000",
+            "--cache-mb",
+            "64",
+            "--repeat",
+            "3",
+        ])
+        .unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
     fn import_from_raw_file() {
         let dir = tmpdir("raw");
-        run(&["create", "--dir", &dir, "--name", "ds", "--shape", "8,8",
-              "--chunk", "4,4", "--bins", "2"]).unwrap();
+        run(&[
+            "create", "--dir", &dir, "--name", "ds", "--shape", "8,8", "--chunk", "4,4", "--bins",
+            "2",
+        ])
+        .unwrap();
         let raw: Vec<u8> = (0..64).flat_map(|i| (i as f64).to_le_bytes()).collect();
         let raw_path = format!("{dir}/input.bin");
         std::fs::write(&raw_path, &raw).unwrap();
-        run(&["import", "--dir", &dir, "--name", "ds", "--var", "v",
-              "--raw", &raw_path]).unwrap();
-        run(&["query", "--dir", &dir, "--name", "ds", "--var", "v",
-              "--vc", "10:20"]).unwrap();
+        run(&[
+            "import", "--dir", &dir, "--name", "ds", "--var", "v", "--raw", &raw_path,
+        ])
+        .unwrap();
+        run(&[
+            "query", "--dir", &dir, "--name", "ds", "--var", "v", "--vc", "10:20",
+        ])
+        .unwrap();
         // Wrong size raw file.
         std::fs::write(&raw_path, &raw[..100]).unwrap();
-        assert!(run(&["import", "--dir", &dir, "--name", "ds", "--var", "w",
-                      "--raw", &raw_path]).is_err());
+        assert!(
+            run(&["import", "--dir", &dir, "--name", "ds", "--var", "w", "--raw", &raw_path])
+                .is_err()
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -281,13 +368,27 @@ mod tests {
         // Query without constraints.
         assert!(run(&["query", "--dir", &dir, "--name", "ds", "--var", "x"]).is_err());
         // Bad codec / order.
-        assert!(run(&["create", "--dir", &dir, "--name", "d2", "--shape", "8,8",
-                      "--codec", "zstd"]).is_err());
-        assert!(run(&["create", "--dir", &dir, "--name", "d3", "--shape", "8,8",
-                      "--order", "svm"]).is_err());
+        assert!(run(&[
+            "create", "--dir", &dir, "--name", "d2", "--shape", "8,8", "--codec", "zstd"
+        ])
+        .is_err());
+        assert!(run(&[
+            "create", "--dir", &dir, "--name", "d3", "--shape", "8,8", "--order", "svm"
+        ])
+        .is_err());
         // Synthetic dimensionality mismatch.
-        assert!(run(&["import", "--dir", &dir, "--name", "ds", "--var", "v",
-                      "--synthetic", "s3d"]).is_err());
+        assert!(run(&[
+            "import",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--var",
+            "v",
+            "--synthetic",
+            "s3d"
+        ])
+        .is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -69,7 +69,12 @@ pub struct BitReader<'a> {
 impl<'a> BitReader<'a> {
     /// New reader over `data`.
     pub fn new(data: &'a [u8]) -> Self {
-        BitReader { data, pos: 0, bit_buf: 0, bit_count: 0 }
+        BitReader {
+            data,
+            pos: 0,
+            bit_buf: 0,
+            bit_count: 0,
+        }
     }
 
     #[inline]
@@ -91,7 +96,11 @@ impl<'a> BitReader<'a> {
                 return Err(CodecError::Truncated);
             }
         }
-        let mask = if count == 32 { u32::MAX } else { (1u32 << count) - 1 };
+        let mask = if count == 32 {
+            u32::MAX
+        } else {
+            (1u32 << count) - 1
+        };
         let v = (self.bit_buf as u32) & mask;
         self.bit_buf >>= count;
         self.bit_count -= count;
@@ -115,7 +124,11 @@ impl<'a> BitReader<'a> {
                 return None;
             }
         }
-        let mask = if count == 32 { u32::MAX } else { (1u32 << count) - 1 };
+        let mask = if count == 32 {
+            u32::MAX
+        } else {
+            (1u32 << count) - 1
+        };
         Some((self.bit_buf as u32) & mask)
     }
 

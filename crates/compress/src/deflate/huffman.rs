@@ -243,7 +243,10 @@ mod tests {
         }
         let lens = code_lengths(&freqs, 8);
         assert!(lens.iter().all(|&l| l as u32 <= 8));
-        let kraft: f64 = lens.iter().map(|&l| if l > 0 { 2f64.powi(-(l as i32)) } else { 0.0 }).sum();
+        let kraft: f64 = lens
+            .iter()
+            .map(|&l| if l > 0 { 2f64.powi(-(l as i32)) } else { 0.0 })
+            .sum();
         assert!(kraft <= 1.0 + 1e-12);
     }
 

@@ -28,9 +28,8 @@ pub enum Token {
 
 #[inline]
 fn hash3(data: &[u8], pos: usize) -> usize {
-    let v = u32::from(data[pos])
-        | (u32::from(data[pos + 1]) << 8)
-        | (u32::from(data[pos + 2]) << 16);
+    let v =
+        u32::from(data[pos]) | (u32::from(data[pos + 1]) << 8) | (u32::from(data[pos + 2]) << 16);
     ((v.wrapping_mul(0x9E37_79B1)) >> (32 - HASH_BITS)) as usize
 }
 
@@ -114,7 +113,10 @@ pub fn tokenize(data: &[u8]) -> Vec<Token> {
                     tokens.push(Token::Literal(data[pos]));
                     pos += 1;
                 } else {
-                    tokens.push(Token::Match { len: len as u16, dist: dist as u16 });
+                    tokens.push(Token::Match {
+                        len: len as u16,
+                        dist: dist as u16,
+                    });
                     // Insert hash entries for the skipped positions.
                     let end = (pos + len).min(n.saturating_sub(MIN_MATCH - 1));
                     for p in pos + 1..end {

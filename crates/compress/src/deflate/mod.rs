@@ -46,19 +46,69 @@ const NUM_DIST: usize = 30;
 
 /// `(extra_bits, base)` per length code 257..=285 (RFC 1951).
 const LENGTH_CODES: [(u32, u16); 29] = [
-    (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 9), (0, 10),
-    (1, 11), (1, 13), (1, 15), (1, 17), (2, 19), (2, 23), (2, 27), (2, 31),
-    (3, 35), (3, 43), (3, 51), (3, 59), (4, 67), (4, 83), (4, 99), (4, 115),
-    (5, 131), (5, 163), (5, 195), (5, 227), (0, 258),
+    (0, 3),
+    (0, 4),
+    (0, 5),
+    (0, 6),
+    (0, 7),
+    (0, 8),
+    (0, 9),
+    (0, 10),
+    (1, 11),
+    (1, 13),
+    (1, 15),
+    (1, 17),
+    (2, 19),
+    (2, 23),
+    (2, 27),
+    (2, 31),
+    (3, 35),
+    (3, 43),
+    (3, 51),
+    (3, 59),
+    (4, 67),
+    (4, 83),
+    (4, 99),
+    (4, 115),
+    (5, 131),
+    (5, 163),
+    (5, 195),
+    (5, 227),
+    (0, 258),
 ];
 
 /// `(extra_bits, base)` per distance code 0..=29 (RFC 1951).
 const DIST_CODES: [(u32, u16); 30] = [
-    (0, 1), (0, 2), (0, 3), (0, 4), (1, 5), (1, 7), (2, 9), (2, 13),
-    (3, 17), (3, 25), (4, 33), (4, 49), (5, 65), (5, 97), (6, 129), (6, 193),
-    (7, 257), (7, 385), (8, 513), (8, 769), (9, 1025), (9, 1537),
-    (10, 2049), (10, 3073), (11, 4097), (11, 6145), (12, 8193), (12, 12289),
-    (13, 16385), (13, 24577),
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (0, 4),
+    (1, 5),
+    (1, 7),
+    (2, 9),
+    (2, 13),
+    (3, 17),
+    (3, 25),
+    (4, 33),
+    (4, 49),
+    (5, 65),
+    (5, 97),
+    (6, 129),
+    (6, 193),
+    (7, 257),
+    (7, 385),
+    (8, 513),
+    (8, 769),
+    (9, 1025),
+    (9, 1537),
+    (10, 2049),
+    (10, 3073),
+    (11, 4097),
+    (11, 6145),
+    (12, 8193),
+    (12, 12289),
+    (13, 16385),
+    (13, 24577),
 ];
 
 fn length_symbol(len: u16) -> (usize, u32, u32) {
@@ -174,11 +224,7 @@ impl Deflate {
         out.extend_from_slice(&payload);
     }
 
-    fn decompress_block(
-        data: &[u8],
-        pos: &mut usize,
-        out: &mut Vec<u8>,
-    ) -> Result<(), CodecError> {
+    fn decompress_block(data: &[u8], pos: &mut usize, out: &mut Vec<u8>) -> Result<(), CodecError> {
         let need = |p: usize, n: usize| {
             if p + n > data.len() {
                 Err(CodecError::Truncated)
@@ -188,8 +234,7 @@ impl Deflate {
         };
         need(*pos, 5)?;
         let kind = data[*pos];
-        let orig_len =
-            u32::from_le_bytes(data[*pos + 1..*pos + 5].try_into().unwrap()) as usize;
+        let orig_len = u32::from_le_bytes(data[*pos + 1..*pos + 5].try_into().unwrap()) as usize;
         *pos += 5;
         match kind {
             0 => {
@@ -294,7 +339,10 @@ impl Codec for Deflate {
             Self::decompress_block(input, &mut pos, &mut out)?;
         }
         if out.len() != total {
-            return Err(CodecError::LengthMismatch { expected: total, actual: out.len() });
+            return Err(CodecError::LengthMismatch {
+                expected: total,
+                actual: out.len(),
+            });
         }
         if adler32(&out) != checksum {
             return Err(CodecError::Corrupt("checksum mismatch"));
@@ -359,7 +407,11 @@ mod tests {
     fn compresses_text() {
         let data = b"the quick brown fox jumps over the lazy dog. ".repeat(500);
         let size = roundtrip(&data);
-        assert!(size < data.len() / 5, "ratio too poor: {size} vs {}", data.len());
+        assert!(
+            size < data.len() / 5,
+            "ratio too poor: {size} vs {}",
+            data.len()
+        );
     }
 
     #[test]

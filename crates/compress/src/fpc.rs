@@ -41,19 +41,21 @@ impl Predictors {
     /// Current predictions `(fcm, dfcm)`.
     #[inline]
     fn predict(&self) -> (u64, u64) {
-        (self.fcm[self.fcm_hash], self.dfcm[self.dfcm_hash].wrapping_add(self.last))
+        (
+            self.fcm[self.fcm_hash],
+            self.dfcm[self.dfcm_hash].wrapping_add(self.last),
+        )
     }
 
     /// Update both predictor tables with the true value.
     #[inline]
     fn update(&mut self, bits: u64) {
         self.fcm[self.fcm_hash] = bits;
-        self.fcm_hash = (((self.fcm_hash << 6) as u64) ^ (bits >> 48)) as usize
-            & (TABLE_SIZE - 1);
+        self.fcm_hash = (((self.fcm_hash << 6) as u64) ^ (bits >> 48)) as usize & (TABLE_SIZE - 1);
         let delta = bits.wrapping_sub(self.last);
         self.dfcm[self.dfcm_hash] = delta;
-        self.dfcm_hash = (((self.dfcm_hash << 2) as u64) ^ (delta >> 40)) as usize
-            & (TABLE_SIZE - 1);
+        self.dfcm_hash =
+            (((self.dfcm_hash << 2) as u64) ^ (delta >> 40)) as usize & (TABLE_SIZE - 1);
         self.last = bits;
     }
 }
@@ -155,7 +157,11 @@ impl FloatCodec for Fpc {
         let mut pred = Predictors::new();
         for i in 0..n {
             let code_pair = codes[i / 2];
-            let code = if i % 2 == 0 { code_pair & 0xF } else { code_pair >> 4 };
+            let code = if i % 2 == 0 {
+                code_pair & 0xF
+            } else {
+                code_pair >> 4
+            };
             let sel = (code >> 3) & 1;
             let lzb = code_to_lzb(u32::from(code & 0x7));
             let keep = 8 - lzb as usize;
@@ -197,7 +203,14 @@ mod tests {
 
     #[test]
     fn exact_on_specials() {
-        roundtrip(&[0.0, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::MAX, f64::MIN_POSITIVE]);
+        roundtrip(&[
+            0.0,
+            -0.0,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MAX,
+            f64::MIN_POSITIVE,
+        ]);
         // NaN needs bit-level comparison, done in roundtrip().
         roundtrip(&[f64::NAN, 1.0, f64::NAN]);
     }
@@ -215,7 +228,7 @@ mod tests {
 
     #[test]
     fn constant_series_compresses_well() {
-        let data = vec![3.14159; 10_000];
+        let data = vec![std::f64::consts::PI; 10_000];
         let size = roundtrip(&data);
         // Constant data: predictor hits, ~0.5 bytes/value + header.
         assert!(size < 10_000, "size {size}");

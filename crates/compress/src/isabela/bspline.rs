@@ -63,7 +63,11 @@ fn basis_funs(span: usize, u: f64, k: usize) -> [f64; DEGREE + 1] {
         let mut saved = 0.0;
         for r in 0..j {
             let denom = right[r + 1] + left[j - r];
-            let temp = if denom.abs() < f64::EPSILON { 0.0 } else { n[r] / denom };
+            let temp = if denom.abs() < f64::EPSILON {
+                0.0
+            } else {
+                n[r] / denom
+            };
             n[r] = saved + right[r + 1] * temp;
             saved = left[j - r] * temp;
         }
@@ -222,7 +226,11 @@ mod tests {
         let y: Vec<f64> = (0..100).map(|i| 2.0 * i as f64 + 5.0).collect();
         let s = BSpline::fit(&y, 8);
         for (i, &yi) in y.iter().enumerate() {
-            assert!((s.eval(i) - yi).abs() < 1e-6, "i={i}: {} vs {yi}", s.eval(i));
+            assert!(
+                (s.eval(i) - yi).abs() < 1e-6,
+                "i={i}: {} vs {yi}",
+                s.eval(i)
+            );
         }
     }
 

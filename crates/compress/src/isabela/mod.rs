@@ -45,7 +45,11 @@ impl Isabela {
             error_bound.is_finite() && error_bound > 0.0,
             "error bound must be positive"
         );
-        Isabela { error_bound, window: WINDOW, coeffs: COEFFS }
+        Isabela {
+            error_bound,
+            window: WINDOW,
+            coeffs: COEFFS,
+        }
     }
 
     /// Override the window geometry.
@@ -215,9 +219,7 @@ impl Isabela {
 
         // Sort: perm[sorted_pos] = original index.
         let mut perm: Vec<u32> = (0..n as u32).collect();
-        perm.sort_by(|&a, &b| {
-            win[a as usize].partial_cmp(&win[b as usize]).unwrap()
-        });
+        perm.sort_by(|&a, &b| win[a as usize].partial_cmp(&win[b as usize]).unwrap());
         let sorted: Vec<f64> = perm.iter().map(|&i| win[i as usize]).collect();
 
         let spline = BSpline::fit(&sorted, self.coeffs);
@@ -299,13 +301,14 @@ impl Isabela {
                 need(*pos, 12)?;
                 let stored_n =
                     u16::from_le_bytes(data[*pos..*pos + 2].try_into().unwrap()) as usize;
-                let k =
-                    u16::from_le_bytes(data[*pos + 2..*pos + 4].try_into().unwrap()) as usize;
-                let floor =
-                    f64::from_le_bytes(data[*pos + 4..*pos + 12].try_into().unwrap());
+                let k = u16::from_le_bytes(data[*pos + 2..*pos + 4].try_into().unwrap()) as usize;
+                let floor = f64::from_le_bytes(data[*pos + 4..*pos + 12].try_into().unwrap());
                 *pos += 12;
                 if stored_n != n {
-                    return Err(CodecError::LengthMismatch { expected: n, actual: stored_n });
+                    return Err(CodecError::LengthMismatch {
+                        expected: n,
+                        actual: stored_n,
+                    });
                 }
                 if k < 4 || k > n {
                     return Err(CodecError::Corrupt("bad coefficient count"));
@@ -325,8 +328,7 @@ impl Isabela {
                 }
 
                 need(*pos, 4)?;
-                let qlen =
-                    u32::from_le_bytes(data[*pos..*pos + 4].try_into().unwrap()) as usize;
+                let qlen = u32::from_le_bytes(data[*pos..*pos + 4].try_into().unwrap()) as usize;
                 *pos += 4;
                 need(*pos, qlen)?;
                 let qdata = &data[*pos..*pos + qlen];
@@ -343,15 +345,12 @@ impl Isabela {
                 }
 
                 need(*pos, 4)?;
-                let nesc =
-                    u32::from_le_bytes(data[*pos..*pos + 4].try_into().unwrap()) as usize;
+                let nesc = u32::from_le_bytes(data[*pos..*pos + 4].try_into().unwrap()) as usize;
                 *pos += 4;
                 need(*pos, nesc * 12)?;
                 for _ in 0..nesc {
-                    let i = u32::from_le_bytes(data[*pos..*pos + 4].try_into().unwrap())
-                        as usize;
-                    let v =
-                        f64::from_le_bytes(data[*pos + 4..*pos + 12].try_into().unwrap());
+                    let i = u32::from_le_bytes(data[*pos..*pos + 4].try_into().unwrap()) as usize;
+                    let v = f64::from_le_bytes(data[*pos + 4..*pos + 12].try_into().unwrap());
                     *pos += 12;
                     if i >= n {
                         return Err(CodecError::Corrupt("escape index out of range"));
@@ -447,7 +446,13 @@ mod tests {
     #[test]
     fn zeros_and_negatives() {
         let data: Vec<f64> = (0..2048)
-            .map(|i| if i % 5 == 0 { 0.0 } else { -((i % 100) as f64) * 0.5 })
+            .map(|i| {
+                if i % 5 == 0 {
+                    0.0
+                } else {
+                    -((i % 100) as f64) * 0.5
+                }
+            })
             .collect();
         check_bound(&data, 0.001);
     }

@@ -29,7 +29,9 @@ pub struct Isobar {
 
 impl Default for Isobar {
     fn default() -> Self {
-        Isobar { threshold: ENTROPY_THRESHOLD }
+        Isobar {
+            threshold: ENTROPY_THRESHOLD,
+        }
     }
 }
 
@@ -119,8 +121,7 @@ impl FloatCodec for Isobar {
                 return Err(CodecError::Truncated);
             }
             let flag = input[pos];
-            let len =
-                u64::from_le_bytes(input[pos + 1..pos + 9].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(input[pos + 1..pos + 9].try_into().unwrap()) as usize;
             pos += 9;
             if pos + len > input.len() {
                 return Err(CodecError::Truncated);
@@ -133,7 +134,10 @@ impl FloatCodec for Isobar {
                 _ => return Err(CodecError::Corrupt("bad column flag")),
             };
             if col.len() != n {
-                return Err(CodecError::LengthMismatch { expected: n, actual: col.len() });
+                return Err(CodecError::LengthMismatch {
+                    expected: n,
+                    actual: col.len(),
+                });
             }
             columns.push(col);
         }
@@ -185,7 +189,9 @@ mod tests {
     fn smooth_data_compresses() {
         // Smooth fields have near-constant exponent bytes: the upper
         // columns compress, the mantissa tail stays raw.
-        let data: Vec<f64> = (0..50_000).map(|i| 100.0 + (i as f64 * 1e-4).sin()).collect();
+        let data: Vec<f64> = (0..50_000)
+            .map(|i| 100.0 + (i as f64 * 1e-4).sin())
+            .collect();
         let size = roundtrip(&data);
         assert!(
             size < data.len() * 8 * 8 / 10,

@@ -183,9 +183,7 @@ impl CodecKind {
             CodecKind::Raw => Box::new(RawCodec),
             CodecKind::Deflate => Box::new(Deflate),
             CodecKind::Isobar => Box::new(FloatAsByte(Isobar::default())),
-            CodecKind::Isabela { error_bound } => {
-                Box::new(FloatAsByte(Isabela::new(error_bound)))
-            }
+            CodecKind::Isabela { error_bound } => Box::new(FloatAsByte(Isabela::new(error_bound))),
             CodecKind::Fpc => Box::new(FloatAsByte(Fpc)),
         }
     }
@@ -236,8 +234,7 @@ impl<C: FloatCodec> Codec for FloatAsByte<C> {
     }
 
     fn compress(&self, input: &[u8]) -> Vec<u8> {
-        let values = bytes_to_f64s(input)
-            .expect("float codec requires an 8-byte-aligned stream");
+        let values = bytes_to_f64s(input).expect("float codec requires an 8-byte-aligned stream");
         self.0.compress_f64(&values)
     }
 

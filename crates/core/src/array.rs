@@ -114,7 +114,11 @@ impl ChunkGrid {
             .zip(&chunk_shape)
             .map(|(&s, &c)| s.div_ceil(c))
             .collect();
-        ChunkGrid { shape, chunk_shape, grid }
+        ChunkGrid {
+            shape,
+            chunk_shape,
+            grid,
+        }
     }
 
     /// Domain shape.
@@ -386,8 +390,9 @@ mod tests {
             }
         }
         // Every point appears exactly once across chunks.
-        let mut all: Vec<u64> =
-            (0..g.num_chunks()).flat_map(|c| g.chunk_linear_indices(c)).collect();
+        let mut all: Vec<u64> = (0..g.num_chunks())
+            .flat_map(|c| g.chunk_linear_indices(c))
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..36u64).collect::<Vec<_>>());
     }

@@ -176,8 +176,7 @@ impl<'a> StreamingBuilder<'a> {
                 continue;
             }
             self.per_bin_points[bin] += bin_locals[bin].len() as u64;
-            let bitmap =
-                WahBitmap::from_sorted_positions(chunk_points as u64, &bin_locals[bin]);
+            let bitmap = WahBitmap::from_sorted_positions(chunk_points as u64, &bin_locals[bin]);
             let parts: Vec<Vec<u8>> = if self.config.plod {
                 plod::split(&bin_values[bin])
                     .iter()
@@ -186,7 +185,11 @@ impl<'a> StreamingBuilder<'a> {
             } else {
                 vec![self.float_codec.compress_f64(&bin_values[bin])]
             };
-            self.pending[bin].push(PendingUnit { rank, bitmap, parts });
+            self.pending[bin].push(PendingUnit {
+                rank,
+                bitmap,
+                parts,
+            });
         }
         Ok(())
     }
@@ -215,8 +218,10 @@ impl<'a> StreamingBuilder<'a> {
             units.sort_by_key(|u| u.rank);
 
             let mut data = Vec::new();
-            let mut locs: Vec<Vec<UnitLoc>> =
-                units.iter().map(|_| vec![UnitLoc::default(); num_parts]).collect();
+            let mut locs: Vec<Vec<UnitLoc>> = units
+                .iter()
+                .map(|_| vec![UnitLoc::default(); num_parts])
+                .collect();
             #[allow(clippy::needless_range_loop)] // locs is indexed by (unit, part)
             match self.config.level_order {
                 crate::config::LevelOrder::Vms => {
@@ -309,8 +314,11 @@ pub fn build_variable(
     let mut chunk_values = Vec::new();
     for chunk in 0..grid.num_chunks() {
         chunk_values.clear();
-        chunk_values
-            .extend(grid.chunk_linear_indices(chunk).iter().map(|&l| values[l as usize]));
+        chunk_values.extend(
+            grid.chunk_linear_indices(chunk)
+                .iter()
+                .map(|&l| values[l as usize]),
+        );
         builder.push_chunk(chunk, &chunk_values)?;
     }
     builder.finish()
@@ -324,7 +332,9 @@ mod tests {
     use mloc_pfs::MemBackend;
 
     fn toy_values(n: usize) -> Vec<f64> {
-        (0..n).map(|i| (i as f64 * 0.7).sin() * 100.0 + i as f64 * 0.01).collect()
+        (0..n)
+            .map(|i| (i as f64 * 0.7).sin() * 100.0 + i as f64 * 0.01)
+            .collect()
     }
 
     fn toy_config() -> MlocConfig {
@@ -337,8 +347,7 @@ mod tests {
     #[test]
     fn build_writes_all_files() {
         let be = MemBackend::new();
-        let report =
-            build_variable(&be, "ds", "t", &toy_values(1024), &toy_config()).unwrap();
+        let report = build_variable(&be, "ds", "t", &toy_values(1024), &toy_config()).unwrap();
         assert_eq!(report.raw_bytes, 8192);
         assert_eq!(report.per_bin_points.iter().sum::<u64>(), 1024);
         // 8 bins × (data + index) + meta.
@@ -352,11 +361,14 @@ mod tests {
     #[test]
     fn equal_frequency_bins_are_balanced() {
         let be = MemBackend::new();
-        let report =
-            build_variable(&be, "ds", "t", &toy_values(1024), &toy_config()).unwrap();
+        let report = build_variable(&be, "ds", "t", &toy_values(1024), &toy_config()).unwrap();
         let max = *report.per_bin_points.iter().max().unwrap();
         let min = *report.per_bin_points.iter().min().unwrap();
-        assert!(max < min * 2 + 64, "bins unbalanced: {:?}", report.per_bin_points);
+        assert!(
+            max < min * 2 + 64,
+            "bins unbalanced: {:?}",
+            report.per_bin_points
+        );
     }
 
     #[test]
@@ -374,8 +386,10 @@ mod tests {
         assert_eq!(r1.index_bytes, r2.index_bytes);
         // But the files differ (layout moved).
         assert_ne!(
-            be1.read("ds/t/bin0000.dat", 0, be1.len("ds/t/bin0000.dat").unwrap()).unwrap(),
-            be2.read("ds/t/bin0000.dat", 0, be2.len("ds/t/bin0000.dat").unwrap()).unwrap()
+            be1.read("ds/t/bin0000.dat", 0, be1.len("ds/t/bin0000.dat").unwrap())
+                .unwrap(),
+            be2.read("ds/t/bin0000.dat", 0, be2.len("ds/t/bin0000.dat").unwrap())
+                .unwrap()
         );
     }
 
@@ -421,7 +435,8 @@ mod tests {
         let be2 = MemBackend::new();
         let mut b = StreamingBuilder::new(&be2, "ds", "t", &config, &sample).unwrap();
         for chunk in (0..grid.num_chunks()).rev() {
-            b.push_chunk(chunk, &chunk_values(&values, &grid, chunk)).unwrap();
+            b.push_chunk(chunk, &chunk_values(&values, &grid, chunk))
+                .unwrap();
         }
         assert_eq!(b.chunks_pushed(), grid.num_chunks());
         b.finish().unwrap();

@@ -65,7 +65,9 @@ impl PlodLevel {
         if (1..=7).contains(&level) {
             Ok(PlodLevel(level))
         } else {
-            Err(MlocError::Invalid(format!("PLoD level {level} not in 1..=7")))
+            Err(MlocError::Invalid(format!(
+                "PLoD level {level} not in 1..=7"
+            )))
         }
     }
 
@@ -264,13 +266,12 @@ impl ConfigBuilder {
     /// # Panics
     /// Panics when the resulting configuration is invalid.
     pub fn build(self) -> MlocConfig {
-        let plod = self.plod.unwrap_or(matches!(
-            self.codec,
-            CodecKind::Deflate | CodecKind::Raw
-        ));
-        let chunk_shape = self.chunk_shape.unwrap_or_else(|| {
-            fileorg::advise_chunk_shape(&self.shape, self.stripe_size)
-        });
+        let plod = self
+            .plod
+            .unwrap_or(matches!(self.codec, CodecKind::Deflate | CodecKind::Raw));
+        let chunk_shape = self
+            .chunk_shape
+            .unwrap_or_else(|| fileorg::advise_chunk_shape(&self.shape, self.stripe_size));
         let config = MlocConfig {
             shape: self.shape,
             chunk_shape,
@@ -333,7 +334,9 @@ mod tests {
 
     #[test]
     fn validation_catches_mismatch() {
-        let mut c = MlocConfig::builder(vec![8, 8]).chunk_shape(vec![4, 4]).build();
+        let mut c = MlocConfig::builder(vec![8, 8])
+            .chunk_shape(vec![4, 4])
+            .build();
         c.chunk_shape = vec![4];
         assert!(c.validate().is_err());
         c.chunk_shape = vec![4, 0];

@@ -115,20 +115,25 @@ impl<'a> Dataset<'a> {
         backend.create(&catalog)?;
         backend.append(&catalog, CATALOG_MAGIC)?;
         backend.append(&catalog, &encode_config(&config))?;
-        Ok(Dataset { backend, name: name.to_string(), config })
+        Ok(Dataset {
+            backend,
+            name: name.to_string(),
+            config,
+        })
     }
 
     /// Open an existing dataset: the configuration is stored in the
     /// catalog, so empty datasets open fine.
     pub fn open(backend: &'a dyn StorageBackend, name: &str) -> Result<Dataset<'a>> {
         let (config, _) = Self::read_header(backend, name)?;
-        Ok(Dataset { backend, name: name.to_string(), config })
+        Ok(Dataset {
+            backend,
+            name: name.to_string(),
+            config,
+        })
     }
 
-    fn read_header(
-        backend: &dyn StorageBackend,
-        name: &str,
-    ) -> Result<(MlocConfig, usize)> {
+    fn read_header(backend: &dyn StorageBackend, name: &str) -> Result<(MlocConfig, usize)> {
         let file = Self::catalog_file(name);
         let len = backend.len(&file)?;
         let raw = backend.read(&file, 0, len)?;
@@ -150,7 +155,11 @@ impl<'a> Dataset<'a> {
         let raw = backend.read(&file, 0, len)?;
         let body = std::str::from_utf8(&raw[header_len..])
             .map_err(|_| MlocError::Corrupt("catalog not utf-8"))?;
-        Ok(body.lines().filter(|l| !l.is_empty()).map(str::to_string).collect())
+        Ok(body
+            .lines()
+            .filter(|l| !l.is_empty())
+            .map(str::to_string)
+            .collect())
     }
 
     /// Dataset name.
@@ -180,8 +189,10 @@ impl<'a> Dataset<'a> {
             return Err(MlocError::Invalid(format!("variable {var} already exists")));
         }
         let report = build_variable(self.backend, &self.name, var, values, &self.config)?;
-        self.backend
-            .append(&Self::catalog_file(&self.name), format!("{var}\n").as_bytes())?;
+        self.backend.append(
+            &Self::catalog_file(&self.name),
+            format!("{var}\n").as_bytes(),
+        )?;
         Ok(report)
     }
 
@@ -194,17 +205,12 @@ impl<'a> Dataset<'a> {
     /// Start an *in-situ* build of a variable: chunks are pushed as a
     /// simulation emits them and the variable is registered in the
     /// catalog when the stream finishes.
-    pub fn stream_variable(
-        &self,
-        var: &str,
-        sample: &[f64],
-    ) -> Result<DatasetStream<'a>> {
+    pub fn stream_variable(&self, var: &str, sample: &[f64]) -> Result<DatasetStream<'a>> {
         Self::validate_var_name(var)?;
         if self.has_variable(var) {
             return Err(MlocError::Invalid(format!("variable {var} already exists")));
         }
-        let builder =
-            StreamingBuilder::new(self.backend, &self.name, var, &self.config, sample)?;
+        let builder = StreamingBuilder::new(self.backend, &self.name, var, &self.config, sample)?;
         Ok(DatasetStream {
             builder,
             backend: self.backend,
@@ -340,7 +346,9 @@ mod tests {
     }
 
     fn values(seed: u64) -> Vec<f64> {
-        (0..1024).map(|i| ((i as u64 * 31 + seed * 977) % 701) as f64).collect()
+        (0..1024)
+            .map(|i| ((i as u64 * 31 + seed * 977) % 701) as f64)
+            .collect()
     }
 
     #[test]
@@ -440,7 +448,9 @@ mod tests {
         assert_eq!(ds.variables().unwrap(), vec!["temp"]);
         // Queries see the streamed data.
         let store = ds.store("temp").unwrap();
-        let res = store.query_serial(&Query::values_where(f64::MIN, f64::MAX)).unwrap();
+        let res = store
+            .query_serial(&Query::values_where(f64::MIN, f64::MAX))
+            .unwrap();
         assert_eq!(res.len(), vals.len());
     }
 

@@ -39,13 +39,21 @@ pub struct ParallelExecutor {
 impl ParallelExecutor {
     /// Single-rank executor with the default (Lens-like) cost model.
     pub fn serial() -> Self {
-        ParallelExecutor { nranks: 1, cost_model: CostModel::default(), threaded: false }
+        ParallelExecutor {
+            nranks: 1,
+            cost_model: CostModel::default(),
+            threaded: false,
+        }
     }
 
     /// Executor with an explicit rank count and cost model.
     pub fn new(nranks: usize, cost_model: CostModel) -> Self {
         assert!(nranks > 0);
-        ParallelExecutor { nranks, cost_model, threaded: false }
+        ParallelExecutor {
+            nranks,
+            cost_model,
+            threaded: false,
+        }
     }
 
     /// Run ranks concurrently on the thread-backed runtime instead of
@@ -134,13 +142,15 @@ impl ParallelExecutor {
             metrics.response_s = metrics.response_s.max(io + cpu);
             metrics.index_bytes += out.index_bytes;
             metrics.data_bytes += out.data_bytes;
+            metrics.cache_hits += out.cache_hits;
+            metrics.cache_misses += out.cache_misses;
+            metrics.bytes_saved += out.bytes_saved;
             positions.extend(out.positions);
             values.extend(out.values);
         }
         metrics.bytes_read = metrics.index_bytes + metrics.data_bytes;
 
-        let result =
-            QueryResult::from_parts(positions, query.wants_values().then_some(values));
+        let result = QueryResult::from_parts(positions, query.wants_values().then_some(values));
         Ok((result, metrics))
     }
 }
@@ -155,8 +165,7 @@ mod tests {
 
     fn fixture(be: &MemBackend) -> (Vec<f64>, MlocStore<'_>) {
         // Deterministic but non-trivial values over a 64x64 grid.
-        let values: Vec<f64> =
-            (0..4096).map(|i| ((i * 37) % 4096) as f64 * 0.25).collect();
+        let values: Vec<f64> = (0..4096).map(|i| ((i * 37) % 4096) as f64 * 0.25).collect();
         let config = MlocConfig::builder(vec![64, 64])
             .chunk_shape(vec![16, 16])
             .num_bins(10)
@@ -179,7 +188,12 @@ mod tests {
     fn region_query_matches_naive_scan() {
         let be = MemBackend::new();
         let (values, store) = fixture(&be);
-        for (lo, hi) in [(10.0, 50.0), (0.0, 1024.0), (900.0, 901.0), (2000.0, 1000.0)] {
+        for (lo, hi) in [
+            (10.0, 50.0),
+            (0.0, 1024.0),
+            (900.0, 901.0),
+            (2000.0, 1000.0),
+        ] {
             let q = Query::region(lo, hi);
             let (res, metrics) = store.query_with_metrics(&q).unwrap();
             assert_eq!(
@@ -211,7 +225,10 @@ mod tests {
         }
         want.sort_unstable_by_key(|&(p, _)| p);
         assert_eq!(res.len(), want.len());
-        assert_eq!(res.positions(), want.iter().map(|&(p, _)| p).collect::<Vec<_>>());
+        assert_eq!(
+            res.positions(),
+            want.iter().map(|&(p, _)| p).collect::<Vec<_>>()
+        );
         assert_eq!(
             res.values().unwrap(),
             want.iter().map(|&(_, v)| v).collect::<Vec<_>>()

@@ -59,7 +59,10 @@ mod tests {
     #[test]
     fn advice_matches_paper_scales() {
         // 2-D at 1 MiB stripes → 2048 per side.
-        assert_eq!(advise_chunk_shape(&[262_144, 262_144], 1 << 20), vec![2048, 2048]);
+        assert_eq!(
+            advise_chunk_shape(&[262_144, 262_144], 1 << 20),
+            vec![2048, 2048]
+        );
         // 3-D at 1 MiB stripes → 128..256 per side (paper used 128³).
         let c3 = advise_chunk_shape(&[4096, 4096, 4096], 1 << 20);
         assert!(c3.iter().all(|&s| s == 128 || s == 256), "{c3:?}");

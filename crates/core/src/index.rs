@@ -124,9 +124,17 @@ impl BinIndex {
             let bitmap_len = r.u32()?;
             let mut units = Vec::with_capacity(num_parts);
             for _ in 0..num_parts {
-                units.push(UnitLoc { offset: r.u64()?, clen: r.u32()? });
+                units.push(UnitLoc {
+                    offset: r.u64()?,
+                    clen: r.u32()?,
+                });
             }
-            chunks.push(ChunkEntry { count, bitmap_off, bitmap_len, units });
+            chunks.push(ChunkEntry {
+                count,
+                bitmap_off,
+                bitmap_len,
+                units,
+            });
         }
         Ok(BinIndex {
             bin,
@@ -218,9 +226,18 @@ mod tests {
             1,
             &bm1,
             vec![
-                UnitLoc { offset: 0, clen: 10 },
-                UnitLoc { offset: 10, clen: 20 },
-                UnitLoc { offset: 30, clen: 5 },
+                UnitLoc {
+                    offset: 0,
+                    clen: 10,
+                },
+                UnitLoc {
+                    offset: 10,
+                    clen: 20,
+                },
+                UnitLoc {
+                    offset: 30,
+                    clen: 5,
+                },
             ],
         );
         b.set_chunk(3, &bm2, vec![UnitLoc::default(); 3]);
@@ -235,13 +252,18 @@ mod tests {
         assert_eq!(idx.chunks[3].count, 1);
         assert_eq!(idx.chunks[0].count, 0);
         assert_eq!(idx.total_points(), 4);
-        assert_eq!(idx.chunks[1].units[1], UnitLoc { offset: 10, clen: 20 });
+        assert_eq!(
+            idx.chunks[1].units[1],
+            UnitLoc {
+                offset: 10,
+                clen: 20
+            }
+        );
 
         // Bitmaps decode from their recorded offsets.
         let e = &idx.chunks[1];
         let start = idx.bitmap_file_offset(1) as usize;
-        let (bm, _) =
-            WahBitmap::from_bytes(&bytes[start..start + e.bitmap_len as usize]).unwrap();
+        let (bm, _) = WahBitmap::from_bytes(&bytes[start..start + e.bitmap_len as usize]).unwrap();
         assert_eq!(bm.to_positions(), vec![1, 5, 99]);
     }
 

@@ -54,6 +54,7 @@
 pub mod array;
 pub mod binning;
 pub mod build;
+pub mod cache;
 pub mod config;
 pub mod dataset;
 pub mod exec;
@@ -68,6 +69,7 @@ mod wire;
 pub use array::{ChunkGrid, Region};
 pub use binning::BinSpec;
 pub use build::{build_variable, BuildReport, StreamingBuilder};
+pub use cache::{BlockCache, CacheStats};
 pub use config::{ConfigBuilder, LevelOrder, MlocConfig, PlodLevel};
 pub use dataset::Dataset;
 pub use exec::ParallelExecutor;
@@ -79,6 +81,7 @@ pub use store::MlocStore;
 pub mod prelude {
     pub use crate::array::Region;
     pub use crate::build::build_variable;
+    pub use crate::cache::{BlockCache, CacheStats};
     pub use crate::config::{LevelOrder, MlocConfig, PlodLevel};
     pub use crate::exec::ParallelExecutor;
     pub use crate::query::{Query, QueryOutput, QueryResult};

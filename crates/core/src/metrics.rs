@@ -30,6 +30,14 @@ pub struct QueryMetrics {
     pub chunks_touched: usize,
     /// Ranks used.
     pub nranks: usize,
+    /// Block-cache hits across all ranks (0 without a cache).
+    pub cache_hits: u64,
+    /// Block-cache misses across all ranks (0 without a cache).
+    pub cache_misses: u64,
+    /// Compressed bytes the cache kept off the PFS. These extents stay
+    /// visible in the trace (flagged cached) but are excluded from
+    /// `bytes_read` and cost nothing in the simulator.
+    pub bytes_saved: u64,
     /// Per-rank simulated I/O seconds.
     pub per_rank_io: Vec<f64>,
     /// Per-rank measured CPU seconds (decompress + reconstruct).
@@ -58,6 +66,9 @@ impl QueryMetrics {
         self.aligned_bins += other.aligned_bins;
         self.chunks_touched += other.chunks_touched;
         self.nranks = other.nranks;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.bytes_saved += other.bytes_saved;
     }
 
     /// Divide accumulated sums by a query count.
@@ -74,6 +85,9 @@ impl QueryMetrics {
         self.bins_touched = (self.bins_touched as f64 / q).round() as usize;
         self.aligned_bins = (self.aligned_bins as f64 / q).round() as usize;
         self.chunks_touched = (self.chunks_touched as f64 / q).round() as usize;
+        self.cache_hits = (self.cache_hits as f64 / q) as u64;
+        self.cache_misses = (self.cache_misses as f64 / q) as u64;
+        self.bytes_saved = (self.bytes_saved as f64 / q) as u64;
     }
 }
 

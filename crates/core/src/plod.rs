@@ -47,10 +47,18 @@ pub fn split(values: &[f64]) -> Vec<Vec<u8>> {
 /// their lengths disagree.
 pub fn assemble(parts: &[&[u8]], level: PlodLevel) -> Vec<f64> {
     let used = level.num_parts();
-    assert!(parts.len() >= used, "need {used} parts, got {}", parts.len());
+    assert!(
+        parts.len() >= used,
+        "need {used} parts, got {}",
+        parts.len()
+    );
     let n = parts[0].len() / PART_BYTES[0];
     for p in 0..used {
-        assert_eq!(parts[p].len(), n * PART_BYTES[p], "part {p} length mismatch");
+        assert_eq!(
+            parts[p].len(),
+            n * PART_BYTES[p],
+            "part {p} length mismatch"
+        );
     }
 
     let filled_bytes = level.num_bytes();
@@ -67,8 +75,7 @@ pub fn assemble(parts: &[&[u8]], level: PlodLevel) -> Vec<f64> {
         }
         for p in 0..used {
             let w = PART_BYTES[p];
-            be[PART_OFFSETS[p]..PART_OFFSETS[p] + w]
-                .copy_from_slice(&parts[p][i * w..(i + 1) * w]);
+            be[PART_OFFSETS[p]..PART_OFFSETS[p] + w].copy_from_slice(&parts[p][i * w..(i + 1) * w]);
         }
         out.push(f64::from_be_bytes(be));
     }
@@ -86,8 +93,7 @@ pub fn assemble_zero_fill(parts: &[&[u8]], level: PlodLevel) -> Vec<f64> {
         let mut be = [0u8; 8];
         for p in 0..used {
             let w = PART_BYTES[p];
-            be[PART_OFFSETS[p]..PART_OFFSETS[p] + w]
-                .copy_from_slice(&parts[p][i * w..(i + 1) * w]);
+            be[PART_OFFSETS[p]..PART_OFFSETS[p] + w].copy_from_slice(&parts[p][i * w..(i + 1) * w]);
         }
         out.push(f64::from_be_bytes(be));
     }
@@ -118,7 +124,7 @@ mod tests {
             0.0,
             1.0,
             -1.0,
-            3.141592653589793,
+            std::f64::consts::PI,
             -2.718281828459045e10,
             6.02214076e23,
             -1.602176634e-19,

@@ -49,7 +49,12 @@ impl Query {
         plod: PlodLevel,
         output: QueryOutput,
     ) -> Self {
-        Query { vc, sc, plod, output }
+        Query {
+            vc,
+            sc,
+            plod,
+            output,
+        }
     }
 
     /// Region query: positions whose value lies in `[lo, hi)`.
@@ -115,15 +120,20 @@ impl QueryResult {
         match values {
             Some(vals) => {
                 assert_eq!(vals.len(), positions.len());
-                let mut pairs: Vec<(u64, f64)> =
-                    positions.into_iter().zip(vals).collect();
+                let mut pairs: Vec<(u64, f64)> = positions.into_iter().zip(vals).collect();
                 pairs.sort_unstable_by_key(|&(p, _)| p);
                 let (positions, values): (Vec<u64>, Vec<f64>) = pairs.into_iter().unzip();
-                QueryResult { positions, values: Some(values) }
+                QueryResult {
+                    positions,
+                    values: Some(values),
+                }
             }
             None => {
                 positions.sort_unstable();
-                QueryResult { positions, values: None }
+                QueryResult {
+                    positions,
+                    values: None,
+                }
             }
         }
     }

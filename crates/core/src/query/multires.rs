@@ -111,8 +111,7 @@ mod tests {
         let (full, m_full) =
             plod_value_query(&store, region.clone(), PlodLevel::FULL, &exec).unwrap();
         let (lvl2, m2) =
-            plod_value_query(&store, region.clone(), PlodLevel::new(2).unwrap(), &exec)
-                .unwrap();
+            plod_value_query(&store, region.clone(), PlodLevel::new(2).unwrap(), &exec).unwrap();
 
         // Same points, fewer bytes, bounded error.
         assert_eq!(full.positions(), lvl2.positions());

@@ -77,17 +77,25 @@ pub fn select_then_fetch(
         plod,
         output: QueryOutput::Values,
     };
-    let (result, fetch_metrics) =
-        exec.execute_plan(fetch, &fetch_query, &plan, Some(&filter))?;
+    let (result, fetch_metrics) = exec.execute_plan(fetch, &fetch_query, &plan, Some(&filter))?;
 
-    Ok(MultiVarResult { result, select_metrics, fetch_metrics })
+    Ok(MultiVarResult {
+        result,
+        select_metrics,
+        fetch_metrics,
+    })
 }
 
 /// Build the retrieval plan for a set of selected global positions:
 /// all bins, but only the chunks that contain selections.
 fn fetch_plan(store: &MlocStore<'_>, positions: &HashSet<u64>) -> Result<Plan> {
     if positions.is_empty() {
-        return Ok(Plan { units: Vec::new(), bins_touched: 0, aligned_bins: 0, chunks_touched: 0 });
+        return Ok(Plan {
+            units: Vec::new(),
+            bins_touched: 0,
+            aligned_bins: 0,
+            chunks_touched: 0,
+        });
     }
     let grid: &ChunkGrid = store.grid();
     let order = store.order();
@@ -167,7 +175,10 @@ mod tests {
             .map(|(i, _)| (i as u64, humid[i]))
             .collect();
         assert!(!want.is_empty());
-        assert_eq!(out.result.positions(), want.iter().map(|&(p, _)| p).collect::<Vec<_>>());
+        assert_eq!(
+            out.result.positions(),
+            want.iter().map(|&(p, _)| p).collect::<Vec<_>>()
+        );
         assert_eq!(
             out.result.values().unwrap(),
             want.iter().map(|&(_, v)| v).collect::<Vec<_>>()

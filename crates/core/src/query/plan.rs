@@ -1,9 +1,23 @@
 //! Query planning: candidate bins, candidate chunks, work units.
 
 use crate::array::Region;
+use crate::config::MlocConfig;
 use crate::query::{Query, QueryOutput};
 use crate::store::MlocStore;
 use crate::{MlocError, Result};
+
+/// Number of storage units (PLoD byte-group parts, or one whole-value
+/// block) a data-bearing work unit touches per chunk. This is also the
+/// granularity of the decompressed-block cache: a PLoD query at level
+/// `k` reads parts `0..k`, so overlapping precision levels share their
+/// common prefix parts.
+pub fn parts_used(config: &MlocConfig, query: &Query) -> usize {
+    if config.plod {
+        query.plod.num_parts()
+    } else {
+        1
+    }
+}
 
 /// One (bin, chunk) unit of query work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,8 +112,7 @@ pub fn make_plan(store: &MlocStore<'_>, query: &Query) -> Result<Plan> {
     };
 
     let wants_values = query.output == QueryOutput::Values;
-    let mut units =
-        Vec::with_capacity(bins.len() * chunk_info.len());
+    let mut units = Vec::with_capacity(bins.len() * chunk_info.len());
     for (&bin, &aligned) in bins.iter().zip(&aligned_flags) {
         // Aligned bins in region-only queries are index-only — the
         // paper's fast path (§III-D.1).
@@ -152,10 +165,7 @@ mod tests {
         assert!(plan.aligned_bins >= 2, "aligned {}", plan.aligned_bins);
         assert_eq!(plan.chunks_touched, 16);
         // Aligned units are index-only.
-        assert!(plan
-            .units
-            .iter()
-            .any(|u| !u.needs_data && !u.value_filter));
+        assert!(plan.units.iter().any(|u| !u.needs_data && !u.value_filter));
         // Boundary bins still need data + filtering.
         assert!(plan.units.iter().any(|u| u.needs_data && u.value_filter));
     }
@@ -198,6 +208,25 @@ mod tests {
         // NaN constraint.
         let q = Query::region(f64::NAN, 1.0);
         assert!(make_plan(&store, &q).is_err());
+    }
+
+    #[test]
+    fn parts_used_tracks_plod_level() {
+        let plod_cfg = MlocConfig::builder(vec![64, 64])
+            .chunk_shape(vec![16, 16])
+            .plod(true)
+            .build();
+        let flat_cfg = MlocConfig::builder(vec![64, 64])
+            .chunk_shape(vec![16, 16])
+            .plod(false)
+            .build();
+        let full = Query::values_where(0.0, 1.0);
+        let coarse =
+            Query::values_where(0.0, 1.0).with_plod(crate::config::PlodLevel::new(2).unwrap());
+        assert_eq!(parts_used(&plod_cfg, &full), crate::config::NUM_PARTS);
+        assert_eq!(parts_used(&plod_cfg, &coarse), 2);
+        // Whole-value layouts always read exactly one block per chunk.
+        assert_eq!(parts_used(&flat_cfg, &full), 1);
     }
 
     #[test]

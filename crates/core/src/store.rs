@@ -2,6 +2,7 @@
 
 use crate::array::ChunkGrid;
 use crate::binning::BinSpec;
+use crate::cache::BlockCache;
 use crate::config::{LevelOrder, MlocConfig};
 use crate::exec::ParallelExecutor;
 use crate::metrics::QueryMetrics;
@@ -11,6 +12,7 @@ use crate::{MlocError, Result};
 use mloc_compress::CodecKind;
 use mloc_hilbert::{CurveKind, GridOrder};
 use mloc_pfs::StorageBackend;
+use std::sync::Arc;
 
 const MAGIC: u32 = 0x5445_4D4D; // "MMET"
 const VERSION: u8 = 2;
@@ -106,7 +108,12 @@ impl VariableMeta {
         if bin_bounds.len() != num_bins + 1 {
             return Err(MlocError::Corrupt("bin bound count mismatch"));
         }
-        Ok(VariableMeta { var, config, bin_bounds, total_points })
+        Ok(VariableMeta {
+            var,
+            config,
+            bin_bounds,
+            total_points,
+        })
     }
 }
 
@@ -118,6 +125,8 @@ pub struct MlocStore<'a> {
     grid: ChunkGrid,
     order: GridOrder,
     spec: BinSpec,
+    cache: Option<Arc<BlockCache>>,
+    cache_scope: Arc<str>,
 }
 
 impl<'a> MlocStore<'a> {
@@ -134,6 +143,7 @@ impl<'a> MlocStore<'a> {
         let grid = ChunkGrid::new(meta.config.shape.clone(), meta.config.chunk_shape.clone());
         let order = meta.config.chunk_order(&grid);
         let spec = BinSpec::from_bounds(meta.bin_bounds.clone())?;
+        let cache_scope = Arc::from(format!("{dataset}/{}", meta.var).as_str());
         Ok(MlocStore {
             backend,
             dataset: dataset.to_string(),
@@ -141,7 +151,34 @@ impl<'a> MlocStore<'a> {
             grid,
             order,
             spec,
+            cache: None,
+            cache_scope,
         })
+    }
+
+    /// Attach a decompressed-block cache ([`crate::cache`]). Queries
+    /// through this store probe it before the backend; blocks under the
+    /// same cache can be shared across stores, variables and threads.
+    /// A built variable is immutable, so cached blocks never go stale —
+    /// rebuilding under the same `dataset/var` names needs a new cache.
+    pub fn with_cache(mut self, cache: Arc<BlockCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Attach or detach the block cache in place.
+    pub fn set_cache(&mut self, cache: Option<Arc<BlockCache>>) {
+        self.cache = cache;
+    }
+
+    /// The attached block cache, if any.
+    pub fn cache(&self) -> Option<&Arc<BlockCache>> {
+        self.cache.as_ref()
+    }
+
+    /// The `dataset/var` scope string cache keys carry.
+    pub fn cache_scope(&self) -> &Arc<str> {
+        &self.cache_scope
     }
 
     /// The storage backend.
@@ -228,7 +265,10 @@ mod tests {
 
     #[test]
     fn meta_rejects_corruption() {
-        let config = MlocConfig::builder(vec![8, 8]).chunk_shape(vec![4, 4]).num_bins(2).build();
+        let config = MlocConfig::builder(vec![8, 8])
+            .chunk_shape(vec![4, 4])
+            .num_bins(2)
+            .build();
         let meta = VariableMeta {
             var: "v".into(),
             config,

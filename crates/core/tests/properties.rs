@@ -21,18 +21,17 @@ struct Case {
 
 fn case_strategy() -> impl Strategy<Value = Case> {
     (
-        2usize..=3,                      // dims
-        proptest::bool::ANY,             // order
-        0usize..3,                       // codec pick (lossless only)
-        2usize..=8,                      // bins
-        any::<u64>(),                    // value seed
+        2usize..=3,          // dims
+        proptest::bool::ANY, // order
+        0usize..3,           // codec pick (lossless only)
+        2usize..=8,          // bins
+        any::<u64>(),        // value seed
     )
         .prop_flat_map(|(dims, vsm, codec_pick, num_bins, seed)| {
             let dim_st = proptest::collection::vec((4usize..=12, 2usize..=5), dims);
             dim_st.prop_map(move |dim_specs| {
                 let shape: Vec<usize> = dim_specs.iter().map(|&(s, _)| s).collect();
-                let chunk: Vec<usize> =
-                    dim_specs.iter().map(|&(s, c)| c.min(s)).collect();
+                let chunk: Vec<usize> = dim_specs.iter().map(|&(s, c)| c.min(s)).collect();
                 let n: usize = shape.iter().product();
                 // Deterministic pseudo-random values from the seed.
                 let mut x = seed | 1;
@@ -44,15 +43,18 @@ fn case_strategy() -> impl Strategy<Value = Case> {
                         ((x % 10_000) as f64 - 5_000.0) * 0.37
                     })
                     .collect();
-                let codec = [CodecKind::Raw, CodecKind::Deflate, CodecKind::Fpc]
-                    [codec_pick % 3];
+                let codec = [CodecKind::Raw, CodecKind::Deflate, CodecKind::Fpc][codec_pick % 3];
                 Case {
                     shape,
                     chunk,
                     num_bins,
                     values,
                     codec,
-                    order: if vsm { LevelOrder::Vsm } else { LevelOrder::Vms },
+                    order: if vsm {
+                        LevelOrder::Vsm
+                    } else {
+                        LevelOrder::Vms
+                    },
                 }
             })
         })
@@ -146,6 +148,68 @@ proptest! {
         let exec = mloc::exec::ParallelExecutor::new(nranks, mloc_pfs::CostModel::default());
         let (par, _) = exec.execute(&store, &q).unwrap();
         prop_assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn plod_reassembly_preserves_prefix_and_fills_midpoint(
+        values in proptest::collection::vec(any::<f64>(), 1..64),
+        level in 1u8..=7,
+    ) {
+        // any::<f64>() covers NaNs, infinities and subnormals: the
+        // byte-group transform must be oblivious to float semantics.
+        let parts = mloc::plod::split(&values);
+        let lvl = PlodLevel::new(level).unwrap();
+        let refs: Vec<&[u8]> = parts[..lvl.num_parts()].iter().map(|p| p.as_slice()).collect();
+        let back = mloc::plod::assemble(&refs, lvl);
+        prop_assert_eq!(back.len(), values.len());
+        let filled = lvl.num_bytes();
+        for (v, r) in values.iter().zip(&back) {
+            let vb = v.to_be_bytes();
+            let rb = r.to_be_bytes();
+            // Kept bytes are the exact big-endian prefix of the original
+            // (level 7 ⇒ all 8 bytes ⇒ bitwise roundtrip, NaNs included).
+            prop_assert_eq!(&rb[..filled], &vb[..filled]);
+            // Missing tail gets the midpoint fill: 0x7F then 0xFF.
+            if filled < 8 {
+                prop_assert_eq!(rb[filled], 0x7F);
+                for &b in &rb[filled + 1..] {
+                    prop_assert_eq!(b, 0xFF);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equal_frequency_bins_partition_the_values(
+        sample in proptest::collection::vec(-1e12f64..1e12, 1..200),
+        num_bins in 1usize..12,
+    ) {
+        let spec = mloc::BinSpec::equal_frequency(&sample, num_bins);
+        let bounds = spec.bounds();
+        prop_assert_eq!(bounds.len(), num_bins + 1);
+        // Bounds are monotone non-decreasing (duplicates collapse bins).
+        for w in bounds.windows(2) {
+            prop_assert!(w[0] <= w[1], "bounds not monotone: {} > {}", w[0], w[1]);
+        }
+        for &v in &sample {
+            let k = spec.bin_of(v);
+            prop_assert!(k < num_bins);
+            if v < bounds[0] {
+                prop_assert_eq!(k, 0, "below-range value must clamp to bin 0");
+            } else if v >= bounds[num_bins] {
+                prop_assert_eq!(k, num_bins - 1, "above-range value must clamp to last bin");
+            } else {
+                // In-range: v lies in exactly one bin's [lo, hi), and
+                // bin_of returns that bin.
+                let members: Vec<usize> = (0..num_bins)
+                    .filter(|&b| {
+                        let (lo, hi) = spec.bin_range(b);
+                        lo <= v && v < hi
+                    })
+                    .collect();
+                prop_assert_eq!(&members[..], &[k][..], "value {} not in exactly one bin", v);
+            }
+        }
     }
 
     #[test]

@@ -67,15 +67,17 @@ impl Field {
     pub fn replicate(&self, factors: &[usize]) -> Field {
         assert_eq!(factors.len(), self.shape.len());
         assert!(factors.iter().all(|&f| f >= 1));
-        let new_shape: Vec<usize> =
-            self.shape.iter().zip(factors).map(|(s, f)| s * f).collect();
+        let new_shape: Vec<usize> = self.shape.iter().zip(factors).map(|(s, f)| s * f).collect();
         let n: usize = new_shape.iter().product();
         let mut data = Vec::with_capacity(n);
         let dims = new_shape.len();
         let mut coords = vec![0usize; dims];
         for _ in 0..n {
-            let src: Vec<usize> =
-                coords.iter().zip(&self.shape).map(|(&c, &s)| c % s).collect();
+            let src: Vec<usize> = coords
+                .iter()
+                .zip(&self.shape)
+                .map(|(&c, &s)| c % s)
+                .collect();
             data.push(self.get(&src));
             for d in (0..dims).rev() {
                 coords[d] += 1;
@@ -115,8 +117,7 @@ impl Lattice {
     fn sample(&self, pos: &[f64]) -> f64 {
         let dims = pos.len();
         let base: Vec<usize> = pos.iter().map(|&p| p.floor() as usize).collect();
-        let frac: Vec<f64> =
-            pos.iter().zip(&base).map(|(&p, &b)| p - b as f64).collect();
+        let frac: Vec<f64> = pos.iter().zip(&base).map(|(&p, &b)| p - b as f64).collect();
         // Smoothstep for C1 continuity.
         let w: Vec<f64> = frac.iter().map(|&t| t * t * (3.0 - 2.0 * t)).collect();
 

@@ -19,7 +19,11 @@ pub fn value_constraint_with_selectivity(
     assert!((0.0..=1.0).contains(&selectivity));
     let n = sorted_sample.len();
     let width = ((n as f64 * selectivity).round() as usize).clamp(1, n);
-    let start = if n > width { rng.random_range(0..=n - width) } else { 0 };
+    let start = if n > width {
+        rng.random_range(0..=n - width)
+    } else {
+        0
+    };
     let lo = sorted_sample[start];
     let hi = if start + width < n {
         sorted_sample[start + width]
@@ -46,8 +50,11 @@ pub fn region_with_selectivity(
         .iter()
         .map(|&extent| {
             let side = ((extent as f64 * frac).round() as usize).clamp(1, extent);
-            let start =
-                if extent > side { rng.random_range(0..=extent - side) } else { 0 };
+            let start = if extent > side {
+                rng.random_range(0..=extent - side)
+            } else {
+                0
+            };
             (start, start + side)
         })
         .collect()
@@ -66,7 +73,11 @@ impl QueryGen {
     pub fn new(mut value_sample: Vec<f64>, shape: Vec<usize>, seed: u64) -> Self {
         assert!(!value_sample.is_empty());
         value_sample.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        QueryGen { rng: StdRng::seed_from_u64(seed), sorted_sample: value_sample, shape }
+        QueryGen {
+            rng: StdRng::seed_from_u64(seed),
+            sorted_sample: value_sample,
+            shape,
+        }
     }
 
     /// Next random value constraint with the given selectivity.
@@ -117,10 +128,7 @@ mod tests {
                 total += region.iter().map(|(s, e)| e - s).product::<usize>();
             }
             let got = total as f64 / (50.0 * 65536.0);
-            assert!(
-                (got - sel).abs() < sel * 0.2 + 1e-4,
-                "sel {sel}: got {got}"
-            );
+            assert!((got - sel).abs() < sel * 0.2 + 1e-4, "sel {sel}: got {got}");
         }
     }
 

@@ -50,7 +50,10 @@ impl GridOrder {
     /// Panics if the grid is empty or has more than `u32::MAX` cells.
     pub fn new(extents: &[usize], kind: CurveKind) -> Self {
         assert!(!extents.is_empty(), "grid must have at least one dimension");
-        assert!(extents.iter().all(|&e| e > 0), "grid extents must be positive");
+        assert!(
+            extents.iter().all(|&e| e > 0),
+            "grid extents must be positive"
+        );
         let n: usize = extents.iter().product();
         assert!(n > 0 && n <= u32::MAX as usize, "grid too large");
 
@@ -84,7 +87,12 @@ impl GridOrder {
             rank_of[cell as usize] = rank as u32;
             cell_at[rank] = cell;
         }
-        GridOrder { extents: extents.to_vec(), rank_of, cell_at, kind }
+        GridOrder {
+            extents: extents.to_vec(),
+            rank_of,
+            cell_at,
+            kind,
+        }
     }
 
     /// Build a *hierarchical* ordering: cells are grouped by
@@ -105,7 +113,12 @@ impl GridOrder {
                 rank += 1;
             }
         }
-        GridOrder { extents: extents.to_vec(), rank_of, cell_at, kind }
+        GridOrder {
+            extents: extents.to_vec(),
+            rank_of,
+            cell_at,
+            kind,
+        }
     }
 
     /// Number of cells in the grid.

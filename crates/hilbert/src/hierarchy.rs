@@ -41,7 +41,10 @@ impl HierarchicalOrder {
             let level = cell_level(&coords, max_level);
             levels[level as usize].push(cell as u32);
         }
-        HierarchicalOrder { levels, extents: extents.to_vec() }
+        HierarchicalOrder {
+            levels,
+            extents: extents.to_vec(),
+        }
     }
 
     /// Number of resolution levels.
@@ -120,7 +123,10 @@ mod tests {
         let g = GridOrder::new(&[8, 8], CurveKind::RowMajor);
         for cell in cells {
             let c = g.delinearize(cell);
-            assert!(c[0].is_multiple_of(4) && c[1].is_multiple_of(4), "cell {c:?} off-lattice");
+            assert!(
+                c[0].is_multiple_of(4) && c[1].is_multiple_of(4),
+                "cell {c:?} off-lattice"
+            );
         }
     }
 

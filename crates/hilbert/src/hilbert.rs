@@ -13,7 +13,10 @@ pub const MAX_INDEX_BITS: u32 = 64;
 
 fn check(dims: usize, order: u32) {
     assert!(dims >= 1, "hilbert: dims must be >= 1");
-    assert!((1..=32).contains(&order), "hilbert: order must be in 1..=32");
+    assert!(
+        (1..=32).contains(&order),
+        "hilbert: order must be in 1..=32"
+    );
     assert!(
         dims as u32 * order <= MAX_INDEX_BITS,
         "hilbert: dims * order = {} exceeds {MAX_INDEX_BITS} index bits",
@@ -174,11 +177,7 @@ mod tests {
         let pts: Vec<Vec<u32>> = (0..4).map(|h| index_to_coords(h, 2, 1)).collect();
         // Consecutive points differ by exactly one step in one dimension.
         for w in pts.windows(2) {
-            let d: u32 = w[0]
-                .iter()
-                .zip(&w[1])
-                .map(|(a, b)| a.abs_diff(*b))
-                .sum();
+            let d: u32 = w[0].iter().zip(&w[1]).map(|(a, b)| a.abs_diff(*b)).sum();
             assert_eq!(d, 1, "non-adjacent consecutive points {:?}", pts);
         }
     }

@@ -15,7 +15,10 @@ pub fn morton_encode(coords: &[u32], order: u32) -> u64 {
     let mut code = 0u64;
     for q in (0..order).rev() {
         for &c in coords {
-            assert!(order == 32 || c < (1u32 << order), "coordinate out of range");
+            assert!(
+                order == 32 || c < (1u32 << order),
+                "coordinate out of range"
+            );
             code = (code << 1) | u64::from((c >> q) & 1);
         }
     }

@@ -42,6 +42,23 @@ pub struct ReadOp {
     pub offset: u64,
     /// Length of the read in bytes.
     pub len: u64,
+    /// Whether the bytes were served from a cache above the PFS. The
+    /// access still appears in the trace (the query *logically* needed
+    /// the extent), but the simulator charges it nothing: no seek, no
+    /// transfer, no open.
+    pub cached: bool,
+}
+
+impl ReadOp {
+    /// An uncached read op.
+    pub fn new(file: impl Into<String>, offset: u64, len: u64) -> Self {
+        ReadOp {
+            file: file.into(),
+            offset,
+            len,
+            cached: false,
+        }
+    }
 }
 
 /// Per-rank I/O handle: serves reads from the backend while recording
@@ -54,13 +71,29 @@ pub struct RankIo<'a> {
 impl<'a> RankIo<'a> {
     /// New handle over a backend.
     pub fn new(backend: &'a dyn StorageBackend) -> Self {
-        RankIo { backend, trace: Vec::new() }
+        RankIo {
+            backend,
+            trace: Vec::new(),
+        }
     }
 
     /// Read and record one extent.
     pub fn read(&mut self, file: &str, offset: u64, len: u64) -> Result<Vec<u8>, PfsError> {
-        self.trace.push(ReadOp { file: file.to_string(), offset, len });
+        self.trace.push(ReadOp::new(file, offset, len));
         self.backend.read(file, offset, len)
+    }
+
+    /// Record an extent that a cache satisfied without touching the
+    /// backend. It shows up in the trace (flagged [`ReadOp::cached`])
+    /// so access patterns stay analyzable, but costs nothing in the
+    /// simulator and is excluded from [`Self::bytes_read`].
+    pub fn record_cached(&mut self, file: &str, offset: u64, len: u64) {
+        self.trace.push(ReadOp {
+            file: file.to_string(),
+            offset,
+            len,
+            cached: true,
+        });
     }
 
     /// Read a whole file and record it as one sequential extent.
@@ -74,9 +107,14 @@ impl<'a> RankIo<'a> {
         self.backend
     }
 
-    /// Bytes read so far.
+    /// Bytes actually read from the backend so far (cache-served
+    /// extents excluded).
     pub fn bytes_read(&self) -> u64 {
-        self.trace.iter().map(|op| op.len).sum()
+        self.trace
+            .iter()
+            .filter(|op| !op.cached)
+            .map(|op| op.len)
+            .sum()
     }
 
     /// Consume the handle and return the recorded trace.
@@ -105,7 +143,22 @@ mod tests {
         assert_eq!(io.bytes_read(), 8);
         let trace = io.into_trace();
         assert_eq!(trace.len(), 2);
-        assert_eq!(trace[0], ReadOp { file: "f".into(), offset: 1, len: 3 });
-        assert_eq!(trace[1], ReadOp { file: "f".into(), offset: 0, len: 5 });
+        assert_eq!(trace[0], ReadOp::new("f", 1, 3));
+        assert_eq!(trace[1], ReadOp::new("f", 0, 5));
+    }
+
+    #[test]
+    fn cached_records_are_traced_but_not_counted() {
+        let be = MemBackend::new();
+        be.append("f", &[0u8; 64]).unwrap();
+        let mut io = RankIo::new(&be);
+        io.read("f", 0, 16).unwrap();
+        io.record_cached("f", 16, 32);
+        assert_eq!(io.bytes_read(), 16);
+        let trace = io.into_trace();
+        assert_eq!(trace.len(), 2);
+        assert!(!trace[0].cached);
+        assert!(trace[1].cached);
+        assert_eq!(trace[1].len, 32);
     }
 }

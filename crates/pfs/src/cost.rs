@@ -84,7 +84,10 @@ mod tests {
         let m = CostModel::lens_2012();
         let first = m.ost_of("f", 0);
         for s in 0..64u64 {
-            assert_eq!(m.ost_of("f", s * m.stripe_size), (first + s as usize) % m.num_osts);
+            assert_eq!(
+                m.ost_of("f", s * m.stripe_size),
+                (first + s as usize) % m.num_osts
+            );
             // Offsets within one stripe map to the same OST.
             assert_eq!(
                 m.ost_of("f", s * m.stripe_size),
@@ -96,8 +99,9 @@ mod tests {
     #[test]
     fn different_files_spread_over_osts() {
         let m = CostModel::lens_2012();
-        let starts: std::collections::HashSet<usize> =
-            (0..64).map(|i| m.ost_of(&format!("bin{i}.dat"), 0)).collect();
+        let starts: std::collections::HashSet<usize> = (0..64)
+            .map(|i| m.ost_of(&format!("bin{i}.dat"), 0))
+            .collect();
         assert!(starts.len() > m.num_osts / 2, "starting OSTs too clustered");
     }
 

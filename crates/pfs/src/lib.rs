@@ -75,7 +75,12 @@ impl std::fmt::Display for PfsError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PfsError::NotFound(name) => write!(f, "file not found: {name}"),
-            PfsError::OutOfBounds { file, offset, len, size } => write!(
+            PfsError::OutOfBounds {
+                file,
+                offset,
+                len,
+                size,
+            } => write!(
                 f,
                 "read [{offset}, {offset}+{len}) past end of {file} (size {size})"
             ),

@@ -24,7 +24,10 @@ impl DirBackend {
     pub fn new(root: impl AsRef<Path>) -> Result<Self, PfsError> {
         let root = root.as_ref().to_path_buf();
         fs::create_dir_all(&root)?;
-        Ok(DirBackend { root, write_lock: Mutex::new(()) })
+        Ok(DirBackend {
+            root,
+            write_lock: Mutex::new(()),
+        })
     }
 
     /// Root directory.
@@ -58,8 +61,7 @@ impl StorageBackend for DirBackend {
 
     fn read(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>, PfsError> {
         let path = self.path_of(name);
-        let mut f = fs::File::open(&path)
-            .map_err(|_| PfsError::NotFound(name.to_string()))?;
+        let mut f = fs::File::open(&path).map_err(|_| PfsError::NotFound(name.to_string()))?;
         let size = f.metadata()?.len();
         if offset.checked_add(len).is_none_or(|e| e > size) {
             return Err(PfsError::OutOfBounds {
@@ -105,10 +107,7 @@ mod tests {
     use super::*;
 
     fn tmpdir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "mloc-pfs-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("mloc-pfs-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -123,7 +122,10 @@ mod tests {
         assert_eq!(be.len("bins/bin0.dat").unwrap(), 4);
         assert!(be.exists("bins/bin0.dat"));
         assert_eq!(be.list(), vec!["bins/bin0.dat".to_string()]);
-        assert!(matches!(be.read("bins/bin0.dat", 3, 2), Err(PfsError::OutOfBounds { .. })));
+        assert!(matches!(
+            be.read("bins/bin0.dat", 3, 2),
+            Err(PfsError::OutOfBounds { .. })
+        ));
         fs::remove_dir_all(&root).unwrap();
     }
 

@@ -95,8 +95,14 @@ mod tests {
     fn out_of_bounds_read_fails() {
         let be = MemBackend::new();
         be.append("a", &[0; 4]).unwrap();
-        assert!(matches!(be.read("a", 2, 3), Err(PfsError::OutOfBounds { .. })));
-        assert!(matches!(be.read("a", u64::MAX, 1), Err(PfsError::OutOfBounds { .. })));
+        assert!(matches!(
+            be.read("a", 2, 3),
+            Err(PfsError::OutOfBounds { .. })
+        ));
+        assert!(matches!(
+            be.read("a", u64::MAX, 1),
+            Err(PfsError::OutOfBounds { .. })
+        ));
         assert!(matches!(be.read("nope", 0, 1), Err(PfsError::NotFound(_))));
     }
 

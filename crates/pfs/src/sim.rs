@@ -66,7 +66,12 @@ pub fn simulate_reads(traces: &[Vec<ReadOp>], model: &CostModel) -> SimReport {
     let nranks = traces.len();
     let mut clocks = vec![0.0f64; nranks];
     let mut osts = vec![
-        OstState { free_at: 0.0, last_file: 0, last_end: 0, touched: false };
+        OstState {
+            free_at: 0.0,
+            last_file: 0,
+            last_end: 0,
+            touched: false
+        };
         model.num_osts
     ];
     let mut opened: HashSet<(usize, u64)> = HashSet::new();
@@ -109,8 +114,9 @@ pub fn simulate_reads(traces: &[Vec<ReadOp>], model: &CostModel) -> SimReport {
             let op = traces[r].get(cur.op_idx)?;
             if cur.seg_off == 0 {
                 // Starting a new op: it begins when the previous op's
-                // segments have all completed.
-                if op.len == 0 {
+                // segments have all completed. Cache-served extents
+                // never reach the disks — free, like zero-length ops.
+                if op.len == 0 || op.cached {
                     cur.op_idx += 1;
                     continue;
                 }
@@ -148,8 +154,7 @@ pub fn simulate_reads(traces: &[Vec<ReadOp>], model: &CostModel) -> SimReport {
             let (head, tail) = cursors.split_at_mut(r);
             let _ = head;
             let cur = &mut tail[0];
-            if let Some(issue) = prepare(r, cur, &mut clocks, &mut opened, &mut total_opens)
-            {
+            if let Some(issue) = prepare(r, cur, &mut clocks, &mut opened, &mut total_opens) {
                 if pick.is_none_or(|(_, best)| issue < best) {
                     pick = Some((r, issue));
                 }
@@ -213,7 +218,7 @@ mod tests {
     use super::*;
 
     fn op(file: &str, offset: u64, len: u64) -> ReadOp {
-        ReadOp { file: file.to_string(), offset, len }
+        ReadOp::new(file, offset, len)
     }
 
     fn model() -> CostModel {
@@ -239,7 +244,10 @@ mod tests {
         let t = rep.elapsed();
         assert!(t > ideal * 0.9, "t={t} vs single-client ideal={ideal}");
         assert!(t < ideal * 1.5 + 0.5, "t={t} too far above ideal={ideal}");
-        assert!(t > size as f64 / m.aggregate_bw() * 2.0, "t={t} too close to aggregate");
+        assert!(
+            t > size as f64 / m.aggregate_bw() * 2.0,
+            "t={t} too close to aggregate"
+        );
         assert_eq!(rep.total_seeks, m.num_osts as u64);
         assert_eq!(rep.total_opens, 1);
     }
@@ -267,8 +275,9 @@ mod tests {
     fn scattered_reads_pay_seeks() {
         let m = model();
         // 100 random 4-KiB reads spread megabytes apart: seek-bound.
-        let trace: Vec<ReadOp> =
-            (0..100).map(|i| op("f", i * 16 * (1 << 20), 4096)).collect();
+        let trace: Vec<ReadOp> = (0..100)
+            .map(|i| op("f", i * 16 * (1 << 20), 4096))
+            .collect();
         let t = simulate_reads(&[trace], &m).elapsed();
         assert!(t >= 100.0 * m.seek_s, "t={t}");
     }
@@ -278,8 +287,7 @@ mod tests {
         let m = model();
         // Contiguous 1 MiB reads stripe across OSTs; after each OST's
         // first touch, accesses continue where it left off.
-        let trace: Vec<ReadOp> =
-            (0..64).map(|i| op("f", i * (1 << 20), 1 << 20)).collect();
+        let trace: Vec<ReadOp> = (0..64).map(|i| op("f", i * (1 << 20), 1 << 20)).collect();
         let rep = simulate_reads(&[trace], &m);
         assert_eq!(rep.total_seeks, m.num_osts as u64);
     }
@@ -291,11 +299,7 @@ mod tests {
         let solo = simulate_reads(&[vec![op("f", 0, size)]], &m).elapsed();
         // Two ranks scanning the same extent: same OSTs serve twice the
         // bytes and interleaved positions also cost seeks.
-        let duo = simulate_reads(
-            &[vec![op("f", 0, size)], vec![op("f", 0, size)]],
-            &m,
-        )
-        .elapsed();
+        let duo = simulate_reads(&[vec![op("f", 0, size)], vec![op("f", 0, size)]], &m).elapsed();
         assert!(duo > solo * 1.6, "duo={duo} solo={solo}");
     }
 
@@ -327,12 +331,27 @@ mod tests {
         // Two ranks on two different files mostly use disjoint OST
         // phases; way faster than double the single time.
         let solo = simulate_reads(&[vec![op("a", 0, size)]], &m).elapsed();
-        let duo = simulate_reads(
-            &[vec![op("a", 0, size)], vec![op("b", 0, size)]],
-            &m,
-        )
-        .elapsed();
+        let duo = simulate_reads(&[vec![op("a", 0, size)], vec![op("b", 0, size)]], &m).elapsed();
         assert!(duo < solo * 2.2, "duo={duo} solo={solo}");
+    }
+
+    #[test]
+    fn cached_ops_are_free() {
+        let m = model();
+        let mut cached = op("f", 0, 256 << 20);
+        cached.cached = true;
+        let rep = simulate_reads(&[vec![cached]], &m);
+        assert_eq!(rep.elapsed(), 0.0);
+        assert_eq!(rep.total_bytes, 0);
+        assert_eq!(rep.total_seeks, 0);
+        assert_eq!(rep.total_opens, 0);
+        // Mixed trace: only the uncached op is charged.
+        let mut warm = op("f", 0, 1 << 20);
+        warm.cached = true;
+        let mixed = simulate_reads(&[vec![warm, op("f", 1 << 20, 1 << 20)]], &m);
+        let cold_only = simulate_reads(&[vec![op("f", 1 << 20, 1 << 20)]], &m);
+        assert_eq!(mixed.per_rank_seconds, cold_only.per_rank_seconds);
+        assert_eq!(mixed.total_bytes, 1 << 20);
     }
 
     #[test]
@@ -345,10 +364,7 @@ mod tests {
     #[test]
     fn throughput_and_mean() {
         let m = model();
-        let rep = simulate_reads(
-            &[vec![op("f", 0, 1 << 20)], vec![op("g", 0, 1 << 20)]],
-            &m,
-        );
+        let rep = simulate_reads(&[vec![op("f", 0, 1 << 20)], vec![op("g", 0, 1 << 20)]], &m);
         assert!(rep.throughput() > 0.0);
         assert!(rep.mean() <= rep.elapsed());
     }

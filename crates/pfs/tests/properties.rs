@@ -5,11 +5,8 @@ use mloc_pfs::{simulate_reads, CostModel, ReadOp};
 use proptest::prelude::*;
 
 fn op_strategy() -> impl Strategy<Value = ReadOp> {
-    (0u8..4, 0u64..(1 << 26), 1u64..(1 << 22)).prop_map(|(f, offset, len)| ReadOp {
-        file: format!("f{f}"),
-        offset,
-        len,
-    })
+    (0u8..4, 0u64..(1 << 26), 1u64..(1 << 22))
+        .prop_map(|(f, offset, len)| ReadOp::new(format!("f{f}"), offset, len))
 }
 
 fn trace_strategy() -> impl Strategy<Value = Vec<Vec<ReadOp>>> {

@@ -147,7 +147,11 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..nranks)
             .map(|rank| {
-                let comm = Comm { rank, size: nranks, shared: Arc::clone(&shared) };
+                let comm = Comm {
+                    rank,
+                    size: nranks,
+                    shared: Arc::clone(&shared),
+                };
                 let f = &f;
                 scope.spawn(move || f(&comm))
             })
@@ -193,7 +197,11 @@ mod tests {
     #[test]
     fn broadcast_from_root() {
         let results = spmd(7, |c| {
-            let v = if c.is_root() { Some(vec![1u8, 2, 3]) } else { None };
+            let v = if c.is_root() {
+                Some(vec![1u8, 2, 3])
+            } else {
+                None
+            };
             c.broadcast(v)
         });
         for r in results {
@@ -236,8 +244,12 @@ mod tests {
         let results = spmd(3, |c| {
             let sum = c.all_reduce(1usize, |a, b| a + b);
             let all = c.all_gather(c.rank());
-            
-            c.broadcast(if c.is_root() { Some(sum + all.len()) } else { None })
+
+            c.broadcast(if c.is_root() {
+                Some(sum + all.len())
+            } else {
+                None
+            })
         });
         assert_eq!(results, vec![6, 6, 6]);
     }

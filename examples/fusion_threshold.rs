@@ -27,7 +27,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .num_bins(100)
         .level_order(LevelOrder::Vms)
         .build();
-    build_variable(&backend, "gts", "temperature", temperature.values(), &config)?;
+    build_variable(
+        &backend,
+        "gts",
+        "temperature",
+        temperature.values(),
+        &config,
+    )?;
     build_variable(&backend, "gts", "density", density.values(), &config)?;
     let temp = MlocStore::open(&backend, "gts", "temperature")?;
     let dens = MlocStore::open(&backend, "gts", "density")?;
@@ -65,8 +71,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         PlodLevel::FULL,
         &exec,
     )?;
-    let mean_density: f64 = out.result.values().unwrap().iter().sum::<f64>()
-        / out.result.len().max(1) as f64;
+    let mean_density: f64 =
+        out.result.values().unwrap().iter().sum::<f64>() / out.result.len().max(1) as f64;
     println!(
         "density at hot cells: {} values fetched from {} chunks, mean {:.2}, \
          two-step response {:.3}s",

@@ -31,8 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // Bin bounds come from a small sample of the first chunks the
         // stager sees — the paper computes them "from partial dataset".
-        let sample: Vec<f64> =
-            field.values().iter().step_by(97).copied().collect();
+        let sample: Vec<f64> = field.values().iter().step_by(97).copied().collect();
         let mut stream = ds.stream_timestep("potential", step, &sample)?;
 
         // Chunks arrive in whatever order the simulation's domain

@@ -40,12 +40,18 @@ fn all_engines_agree_on_random_workloads() {
 
         // Value (SC) queries.
         let region = Region::new(gen.region(0.02 + 0.01 * i as f64));
-        let m = store.query_serial(&Query::values_in(region.clone())).unwrap();
+        let m = store
+            .query_serial(&Query::values_in(region.clone()))
+            .unwrap();
         let s = scan.value_query(&region).unwrap();
         let f = fb.value_query(&region).unwrap();
         let d = db.value_query(&region).unwrap();
         assert_eq!(m.positions(), &s.positions[..], "query {i}: positions");
-        assert_eq!(m.values().unwrap(), &s.values.unwrap()[..], "query {i}: values");
+        assert_eq!(
+            m.values().unwrap(),
+            &s.values.unwrap()[..],
+            "query {i}: values"
+        );
         assert_eq!(s.positions, f.positions);
         assert_eq!(s.positions, d.positions);
         assert_eq!(f.values.unwrap(), d.values.unwrap());
@@ -83,7 +89,10 @@ fn combined_constraints_agree_with_naive() {
             }
         }
         want.sort_unstable_by_key(|&(p, _)| p);
-        assert_eq!(res.positions(), want.iter().map(|&(p, _)| p).collect::<Vec<_>>());
+        assert_eq!(
+            res.positions(),
+            want.iter().map(|&(p, _)| p).collect::<Vec<_>>()
+        );
         assert_eq!(
             res.values().unwrap(),
             want.iter().map(|&(_, v)| v).collect::<Vec<_>>()

@@ -1,0 +1,165 @@
+//! Differential tests for the execution modes: serial, threaded,
+//! cached, and cached+threaded must answer byte-identically — to each
+//! other and to the sequential-scan baseline. Lossless layouts are
+//! exact; ISABELA values stay within the configured error bound.
+
+use mloc::exec::ParallelExecutor;
+use mloc::prelude::*;
+use mloc_baselines::{QueryEngine, SeqScan};
+use mloc_compress::CodecKind;
+use mloc_datagen::{gts_like_2d, QueryGen};
+use mloc_pfs::{CostModel, MemBackend};
+use std::sync::Arc;
+
+const SHAPE: [usize; 2] = [96, 96];
+
+fn build(be: &MemBackend, codec: CodecKind) -> Vec<f64> {
+    let field = gts_like_2d(SHAPE[0], SHAPE[1], 41);
+    let config = MlocConfig::builder(SHAPE.to_vec())
+        .chunk_shape(vec![24, 24])
+        .num_bins(10)
+        .codec(codec)
+        .build();
+    build_variable(be, "diff", "v", field.values(), &config).unwrap();
+    field.into_values()
+}
+
+/// A mixed workload: VC, SC and combined queries with overlap, so the
+/// cached modes see both cold and warm blocks.
+fn workload(values: &[f64]) -> Vec<Query> {
+    let mut gen = QueryGen::new(values.to_vec(), SHAPE.to_vec(), 11);
+    let mut queries = Vec::new();
+    for i in 0..4 {
+        let (lo, hi) = gen.value_constraint(0.08 + 0.03 * i as f64);
+        queries.push(Query::region(lo, hi));
+        queries.push(Query::values_where(lo, hi));
+        let region = Region::new(gen.region(0.1));
+        queries.push(Query::values_in(region.clone()));
+        queries.push(Query::values_where(lo, hi).with_region(region));
+    }
+    queries
+}
+
+fn bitwise_eq(a: &QueryResult, b: &QueryResult, ctx: &str) {
+    assert_eq!(a.positions(), b.positions(), "{ctx}: positions");
+    match (a.values(), b.values()) {
+        (None, None) => {}
+        (Some(av), Some(bv)) => {
+            assert_eq!(av.len(), bv.len(), "{ctx}: value count");
+            for (x, y) in av.iter().zip(bv) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: value bits");
+            }
+        }
+        _ => panic!("{ctx}: one side has values, the other does not"),
+    }
+}
+
+#[test]
+fn cached_and_threaded_modes_are_byte_identical() {
+    let be = MemBackend::new();
+    let values = build(&be, CodecKind::Deflate);
+    let plain = MlocStore::open(&be, "diff", "v").unwrap();
+    let cached = MlocStore::open(&be, "diff", "v")
+        .unwrap()
+        .with_cache(Arc::new(BlockCache::with_budget_mb(64)));
+
+    let threaded = ParallelExecutor::new(4, CostModel::default()).threaded(true);
+    for (i, q) in workload(&values).iter().enumerate() {
+        let reference = plain.query_serial(q).unwrap();
+        // Threaded, no cache.
+        let (t, _) = threaded.execute(&plain, q).unwrap();
+        bitwise_eq(&t, &reference, &format!("query {i}: threaded"));
+        // Serial with cache: cold pass then warm pass.
+        let (c1, _) = cached.query_with_metrics(q).unwrap();
+        bitwise_eq(&c1, &reference, &format!("query {i}: cached cold"));
+        let (c2, m2) = cached.query_with_metrics(q).unwrap();
+        bitwise_eq(&c2, &reference, &format!("query {i}: cached warm"));
+        assert!(m2.cache_hits > 0, "query {i}: warm pass had no hits");
+        // Threaded with cache (warm by now).
+        let (tc, _) = threaded.execute(&cached, q).unwrap();
+        bitwise_eq(&tc, &reference, &format!("query {i}: cached threaded"));
+    }
+}
+
+#[test]
+fn lossless_modes_match_seqscan_exactly() {
+    for codec in [CodecKind::Raw, CodecKind::Deflate, CodecKind::Fpc] {
+        let be = MemBackend::new();
+        let values = build(&be, codec);
+        let scan = SeqScan::build(&be, "diff", &values, SHAPE.to_vec()).unwrap();
+        let cached = MlocStore::open(&be, "diff", "v")
+            .unwrap()
+            .with_cache(Arc::new(BlockCache::with_budget_mb(64)));
+        for pass in 0..2 {
+            // Same queries both passes: pass 1 is served from cache.
+            let mut gen = QueryGen::new(values.clone(), SHAPE.to_vec(), 9);
+            for i in 0..4 {
+                let (lo, hi) = gen.value_constraint(0.1 + 0.04 * i as f64);
+                let m = cached.query_serial(&Query::region(lo, hi)).unwrap();
+                let s = scan.region_query(lo, hi).unwrap();
+                assert_eq!(
+                    m.positions(),
+                    &s.positions[..],
+                    "{codec:?} pass {pass} query {i}: region positions"
+                );
+                let region = Region::new(gen.region(0.08));
+                let m = cached
+                    .query_serial(&Query::values_in(region.clone()))
+                    .unwrap();
+                let s = scan.value_query(&region).unwrap();
+                assert_eq!(m.positions(), &s.positions[..]);
+                let sv = s.values.unwrap();
+                let mv = m.values().unwrap();
+                for (x, y) in mv.iter().zip(&sv) {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{codec:?} pass {pass} query {i}: lossless value drift"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn isabela_cached_values_stay_within_bound() {
+    let bound = 0.01;
+    let be = MemBackend::new();
+    let values = build(&be, CodecKind::Isabela { error_bound: bound });
+    let scan = SeqScan::build(&be, "diff", &values, SHAPE.to_vec()).unwrap();
+    let plain = MlocStore::open(&be, "diff", "v").unwrap();
+    let cached = MlocStore::open(&be, "diff", "v")
+        .unwrap()
+        .with_cache(Arc::new(BlockCache::with_budget_mb(64)));
+
+    let mut gen = QueryGen::new(values.clone(), SHAPE.to_vec(), 17);
+    for i in 0..4 {
+        // SC-only value retrieval: positions are exact even under a
+        // lossy codec; values carry the codec's relative error.
+        let region = Region::new(gen.region(0.1));
+        let q = Query::values_in(region.clone());
+        let reference = plain.query_serial(&q).unwrap();
+        let truth = scan.value_query(&region).unwrap();
+        assert_eq!(
+            reference.positions(),
+            &truth.positions[..],
+            "query {i}: positions"
+        );
+        let tv = truth.values.unwrap();
+        for (x, y) in reference.values().unwrap().iter().zip(&tv) {
+            let tol = bound * y.abs().max(1e-300);
+            assert!(
+                (x - y).abs() <= tol * 1.0000001,
+                "query {i}: |{x} - {y}| exceeds isabela bound {bound}"
+            );
+        }
+        // The cache must reproduce the *decompressed* (lossy) values
+        // bit-for-bit, cold and warm.
+        let (c1, _) = cached.query_with_metrics(&q).unwrap();
+        bitwise_eq(&c1, &reference, &format!("query {i}: isabela cold"));
+        let (c2, m2) = cached.query_with_metrics(&q).unwrap();
+        bitwise_eq(&c2, &reference, &format!("query {i}: isabela warm"));
+        assert!(m2.cache_hits > 0);
+    }
+}

@@ -36,20 +36,26 @@ fn check_variant(backend: &dyn StorageBackend, codec: CodecKind, order: LevelOrd
     let hi = sorted[sorted.len() / 2];
     let res = store.query_serial(&Query::region(lo, hi)).unwrap();
     if !codec.is_lossy() {
-        assert_eq!(res.positions(), naive_region(values, lo, hi), "{var} region");
+        assert_eq!(
+            res.positions(),
+            naive_region(values, lo, hi),
+            "{var} region"
+        );
     } else {
         // Lossy codec: membership can flip only for values within the
         // error bound of a constraint edge.
         let eps = 0.001;
         let naive: std::collections::HashSet<u64> =
             naive_region(values, lo, hi).into_iter().collect();
-        let got: std::collections::HashSet<u64> =
-            res.positions().iter().copied().collect();
+        let got: std::collections::HashSet<u64> = res.positions().iter().copied().collect();
         for p in naive.symmetric_difference(&got) {
             let v = values[*p as usize];
             let near_edge = ((v - lo).abs() <= eps * v.abs().max(1.0))
                 || ((v - hi).abs() <= eps * v.abs().max(1.0));
-            assert!(near_edge, "{var}: point {p} (value {v}) flipped far from edges");
+            assert!(
+                near_edge,
+                "{var}: point {p} (value {v}) flipped far from edges"
+            );
         }
     }
 
@@ -107,8 +113,14 @@ fn reopening_gives_identical_answers() {
         .build();
     build_variable(&be, "ds", "v", field.values(), &config).unwrap();
     let q = Query::values_where(0.0, 1e6);
-    let first = MlocStore::open(&be, "ds", "v").unwrap().query_serial(&q).unwrap();
-    let second = MlocStore::open(&be, "ds", "v").unwrap().query_serial(&q).unwrap();
+    let first = MlocStore::open(&be, "ds", "v")
+        .unwrap()
+        .query_serial(&q)
+        .unwrap();
+    let second = MlocStore::open(&be, "ds", "v")
+        .unwrap()
+        .query_serial(&q)
+        .unwrap();
     assert_eq!(first, second);
 }
 
@@ -140,7 +152,9 @@ fn corrupted_index_is_detected_at_query_time() {
     build_variable(&be, "ds", "v", field.values(), &config).unwrap();
 
     // Flip the magic of one bin's index.
-    let idx = be.read("ds/v/bin0001.idx", 0, be.len("ds/v/bin0001.idx").unwrap()).unwrap();
+    let idx = be
+        .read("ds/v/bin0001.idx", 0, be.len("ds/v/bin0001.idx").unwrap())
+        .unwrap();
     let mut bad = idx.clone();
     bad[0] ^= 0xFF;
     be.create("ds/v/bin0001.idx").unwrap();
@@ -148,5 +162,7 @@ fn corrupted_index_is_detected_at_query_time() {
 
     let store = MlocStore::open(&be, "ds", "v").unwrap();
     // A query touching every bin must surface the corruption.
-    assert!(store.query_serial(&Query::values_where(f64::MIN, f64::MAX)).is_err());
+    assert!(store
+        .query_serial(&Query::values_where(f64::MIN, f64::MAX))
+        .is_err());
 }

@@ -69,8 +69,7 @@ fn multivariable_select_then_fetch_end_to_end() {
     for nranks in [1usize, 4] {
         let exec = ParallelExecutor::new(nranks, CostModel::default());
         let out =
-            select_then_fetch(&st, &sh, (thresh, f64::MAX), None, PlodLevel::FULL, &exec)
-                .unwrap();
+            select_then_fetch(&st, &sh, (thresh, f64::MAX), None, PlodLevel::FULL, &exec).unwrap();
         let want: Vec<(u64, f64)> = temp
             .iter()
             .enumerate()
@@ -114,7 +113,12 @@ fn multivariable_with_spatial_constraint() {
         .map(|(i, _)| i as u64)
         .collect();
     assert_eq!(out.result.positions(), want);
-    for (&p, &v) in out.result.positions().iter().zip(out.result.values().unwrap()) {
+    for (&p, &v) in out
+        .result
+        .positions()
+        .iter()
+        .zip(out.result.values().unwrap())
+    {
         assert_eq!(v, humid[p as usize]);
     }
 }
@@ -130,9 +134,13 @@ fn plod_and_subset_multires_end_to_end() {
     let mut last_err = f64::MAX;
     let mut last_bytes = 0u64;
     for level in [1u8, 3, 7] {
-        let (res, m) =
-            plod_value_query(&store, region.clone(), PlodLevel::new(level).unwrap(), &exec)
-                .unwrap();
+        let (res, m) = plod_value_query(
+            &store,
+            region.clone(),
+            PlodLevel::new(level).unwrap(),
+            &exec,
+        )
+        .unwrap();
         let err = res
             .positions()
             .iter()
