@@ -1,0 +1,66 @@
+//! Build-throughput: the parallel write path against the serial one.
+//!
+//! One 64×64×32 S3D-like volume is built repeatedly with 1, 2, and
+//! all-core worker pools. The interesting comparison is wall time per
+//! build — the layout is byte-identical for every thread count (the
+//! differential tests prove that; here it is spot-checked once outside
+//! the timed loops).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mloc::prelude::*;
+use mloc_datagen::s3d_like_3d;
+use mloc_pfs::{MemBackend, StorageBackend};
+use std::hint::black_box;
+
+const SHAPE: [usize; 3] = [64, 64, 32];
+
+fn config(threads: usize) -> MlocConfig {
+    MlocConfig::builder(SHAPE.to_vec())
+        .chunk_shape(vec![16, 16, 16])
+        .num_bins(16)
+        .build_threads(threads)
+        .build()
+}
+
+fn build_files(values: &[f64], threads: usize) -> Vec<(String, Vec<u8>)> {
+    let be = MemBackend::new();
+    build_variable(&be, "bw", "v", values, &config(threads)).unwrap();
+    be.list()
+        .into_iter()
+        .map(|f| {
+            let len = be.len(&f).unwrap();
+            let bytes = be.read(&f, 0, len).unwrap();
+            (f, bytes)
+        })
+        .collect()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let values = s3d_like_3d(SHAPE[0], SHAPE[1], SHAPE[2], 11).into_values();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    // Determinism spot check, outside the timed loops.
+    assert_eq!(
+        build_files(&values, 1),
+        build_files(&values, cores.max(2)),
+        "thread count changed the layout bytes"
+    );
+
+    let mut g = c.benchmark_group("build_write_path");
+    g.sample_size(10);
+    let mut counts = vec![1usize, 2, cores];
+    counts.sort_unstable();
+    counts.dedup();
+    for threads in counts {
+        g.bench_function(format!("threads{threads}"), |b| {
+            b.iter(|| {
+                let be = MemBackend::new();
+                black_box(build_variable(&be, "bw", "v", &values, &config(threads)).unwrap())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

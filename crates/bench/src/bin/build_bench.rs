@@ -1,0 +1,122 @@
+//! Build-throughput driver: times the parallel write path against the
+//! serial one on a ≥ 64³ volume and emits `BENCH_build.json`.
+//!
+//! The pipeline stages measured are the ones `BuildReport` breaks out:
+//! encode (per-chunk bin partition → WAH bitmap → PLoD split → codec),
+//! layout (per-bin unit ordering + index assembly), and write (per-bin
+//! file writes). Before timing, the driver proves the speedup is free:
+//! 1-, 2-, and 8-thread builds of the same volume must be
+//! byte-identical.
+//!
+//! Run with: `cargo run --release -p mloc-bench --bin build_bench`
+//! (`--scale large` for a 96³ volume).
+
+use mloc::build::BuildReport;
+use mloc::prelude::*;
+use mloc_bench::report::{fmt_bytes, note, title, Table};
+use mloc_bench::HarnessArgs;
+use mloc_datagen::s3d_like_3d;
+use mloc_pfs::{MemBackend, StorageBackend};
+
+fn config(dims: &[usize], threads: usize) -> MlocConfig {
+    MlocConfig::builder(dims.to_vec())
+        .chunk_shape(vec![16, 16, 16])
+        .num_bins(16)
+        .build_threads(threads)
+        .build()
+}
+
+fn build(values: &[f64], dims: &[usize], threads: usize) -> (BuildReport, MemBackend) {
+    let be = MemBackend::new();
+    let report = build_variable(&be, "bench", "v", values, &config(dims, threads)).unwrap();
+    (report, be)
+}
+
+fn files(be: &MemBackend) -> Vec<(String, Vec<u8>)> {
+    be.list()
+        .into_iter()
+        .map(|f| {
+            let len = be.len(&f).unwrap();
+            let bytes = be.read(&f, 0, len).unwrap();
+            (f, bytes)
+        })
+        .collect()
+}
+
+fn stage_row(r: &BuildReport) -> Vec<f64> {
+    vec![
+        r.encode_seconds,
+        r.layout_seconds,
+        r.write_seconds,
+        r.build_seconds,
+    ]
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let dims = if args.large {
+        vec![96, 96, 96]
+    } else {
+        vec![64, 64, 64]
+    };
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let values = s3d_like_3d(dims[0], dims[1], dims[2], args.seed).into_values();
+
+    title(&format!(
+        "Build throughput: {:?} volume ({}), {cores} cores",
+        dims,
+        fmt_bytes(values.len() as u64 * 8)
+    ));
+
+    // Determinism first: the speedup must not buy different bytes.
+    let (_, be1) = build(&values, &dims, 1);
+    let reference = files(&be1);
+    for threads in [2usize, 8] {
+        let (_, be) = build(&values, &dims, threads);
+        assert_eq!(
+            reference,
+            files(&be),
+            "{threads}-thread build produced different bytes than serial"
+        );
+    }
+    note("1/2/8-thread builds byte-identical");
+
+    // At least two workers even on a single-core box, so the pooled
+    // code path (not just its serial fast path) is what gets timed.
+    let pool_threads = cores.max(2);
+    let (serial, _) = build(&values, &dims, 1);
+    let (parallel, _) = build(&values, &dims, pool_threads);
+
+    let mut table = Table::new(&["pipeline", "encode", "layout", "write", "total"]);
+    table.row_seconds("serial (1 thread)", &stage_row(&serial));
+    table.row_seconds(
+        &format!("pool ({pool_threads} threads)"),
+        &stage_row(&parallel),
+    );
+    table.print();
+
+    let encode_ratio = serial.encode_seconds / parallel.encode_seconds.max(1e-9);
+    let total_ratio = serial.build_seconds / parallel.build_seconds.max(1e-9);
+    note(&format!(
+        "encode speedup {encode_ratio:.2}x, end-to-end {total_ratio:.2}x"
+    ));
+
+    let json = format!(
+        "{{\n  \"bench\": \"build\",\n  \"shape\": {dims:?},\n  \"raw_bytes\": {},\n  \
+         \"threads\": {pool_threads},\n  \"serial\": {},\n  \"parallel\": {},\n  \
+         \"encode_speedup\": {encode_ratio:.4},\n  \"total_speedup\": {total_ratio:.4},\n  \
+         \"byte_identical_1_2_8\": true\n}}\n",
+        values.len() * 8,
+        stages_json(&serial),
+        stages_json(&parallel),
+    );
+    std::fs::write("BENCH_build.json", &json).expect("cannot write BENCH_build.json");
+    note("wrote BENCH_build.json");
+}
+
+fn stages_json(r: &BuildReport) -> String {
+    format!(
+        "{{ \"encode_s\": {:.4}, \"layout_s\": {:.4}, \"write_s\": {:.4}, \"total_s\": {:.4} }}",
+        r.encode_seconds, r.layout_seconds, r.write_seconds, r.build_seconds
+    )
+}

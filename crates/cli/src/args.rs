@@ -106,6 +106,8 @@ USAGE:
                  [--order vms|vsm] [--multires LEVELS]
   mloc import    --dir DIR --name DS --var NAME
                  (--raw FILE | --synthetic gts|s3d [--seed S])
+                 [--build-threads N]   (0 = one per core; output is
+                                        byte-identical for any N)
   mloc info      --dir DIR --name DS
   mloc query     --dir DIR --name DS --var NAME [--vc LO:HI]
                  [--sc A:B,C:D[,E:F]] [--plod 1..7] [--values true]

@@ -123,7 +123,10 @@ fn load_values(args: &Args, shape: &[usize]) -> Result<Vec<f64>, String> {
 
 fn import(args: &Args) -> Result<(), String> {
     let be = backend(args)?;
-    let ds = Dataset::open(&be, args.required("name")?).map_err(|e| e.to_string())?;
+    let mut ds = Dataset::open(&be, args.required("name")?).map_err(|e| e.to_string())?;
+    if let Some(threads) = args.optional_parsed::<usize>("build-threads")? {
+        ds.set_build_threads(threads);
+    }
     let var = args.required("var")?;
     let values = load_values(args, &ds.config().shape)?;
     let report = ds.add_variable(var, &values).map_err(|e| e.to_string())?;
@@ -134,6 +137,13 @@ fn import(args: &Args) -> Result<(), String> {
         report.index_bytes,
         report.total_ratio() * 100.0,
         report.build_seconds
+    );
+    println!(
+        "  stages ({} threads): encode {:.2}s, layout {:.2}s, write {:.2}s",
+        ds.config().effective_build_threads(),
+        report.encode_seconds,
+        report.layout_seconds,
+        report.write_seconds
     );
     Ok(())
 }

@@ -15,6 +15,7 @@ use crate::deflate::Deflate;
 use crate::{Codec, CodecError, FloatCodec};
 
 const MAGIC: u32 = 0x4F53_494D; // "MISO"
+const BYTE_MAGIC: u32 = 0x4253_494D; // "MISB"
 
 /// Entropy threshold (bits/byte) above which a byte column is
 /// considered incompressible and stored raw. DEFLATE needs a margin
@@ -61,6 +62,48 @@ pub fn byte_entropy(data: &[u8]) -> f64 {
             -p * p.log2()
         })
         .sum()
+}
+
+/// ISOBAR applied to a single byte stream (one PLoD byte column):
+/// entropy-test the stream and either DEFLATE it or store it raw. This
+/// is the codec MLOC pairs with PLoD — each byte group is already a
+/// homogeneous column, so the per-column compressibility test is
+/// exactly the published preconditioner with one column.
+impl Codec for Isobar {
+    fn name(&self) -> &'static str {
+        "isobar"
+    }
+
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 16);
+        out.extend_from_slice(&BYTE_MAGIC.to_le_bytes());
+        if byte_entropy(input) <= self.threshold {
+            let payload = Deflate.compress(input);
+            if payload.len() < input.len() {
+                out.push(1);
+                out.extend_from_slice(&payload);
+                return out;
+            }
+        }
+        out.push(0);
+        out.extend_from_slice(input);
+        out
+    }
+
+    fn decompress(&self, input: &[u8]) -> Result<Vec<u8>, CodecError> {
+        if input.len() < 5 {
+            return Err(CodecError::Truncated);
+        }
+        if u32::from_le_bytes(input[0..4].try_into().unwrap()) != BYTE_MAGIC {
+            return Err(CodecError::BadMagic);
+        }
+        let payload = &input[5..];
+        match input[4] {
+            0 => Ok(payload.to_vec()),
+            1 => Deflate.decompress(payload),
+            _ => Err(CodecError::Corrupt("bad stream flag")),
+        }
+    }
 }
 
 impl FloatCodec for Isobar {
@@ -223,6 +266,45 @@ mod tests {
         let data = vec![42.0f64; 200_000];
         let size = roundtrip(&data);
         assert!(size < data.len() * 8 / 100, "size {size}");
+    }
+
+    #[test]
+    fn byte_stream_roundtrips_any_length() {
+        // PLoD byte columns are one byte per value — never 8-aligned.
+        let codec: &dyn Codec = &Isobar::default();
+        for len in [0usize, 1, 7, 9, 1000, 4097] {
+            let data: Vec<u8> = (0..len).map(|i| (i % 7) as u8).collect();
+            assert_eq!(codec.decompress(&codec.compress(&data)).unwrap(), data);
+        }
+        // Incompressible stream: stored raw with a 5-byte header.
+        let mut x = 0x12345678u64;
+        let noise: Vec<u8> = (0..4096)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        let c = codec.compress(&noise);
+        assert_eq!(c.len(), noise.len() + 5);
+        assert_eq!(codec.decompress(&c).unwrap(), noise);
+        // Compressible stream: beats raw.
+        let flat = vec![3u8; 4096];
+        assert!(codec.compress(&flat).len() < flat.len() / 10);
+    }
+
+    #[test]
+    fn byte_stream_rejects_corruption() {
+        let codec: &dyn Codec = &Isobar::default();
+        let c = codec.compress(&[1, 2, 3]);
+        assert!(codec.decompress(&c[..4]).is_err());
+        let mut bad_magic = c.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(codec.decompress(&bad_magic).is_err());
+        let mut bad_flag = c;
+        bad_flag[4] = 9;
+        assert!(codec.decompress(&bad_flag).is_err());
     }
 
     #[test]

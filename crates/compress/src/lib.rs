@@ -174,7 +174,9 @@ impl CodecKind {
 
     /// Instantiate the byte-stream codec for this kind.
     ///
-    /// Float-only codecs compress the little-endian byte image of the
+    /// ISOBAR is natively byte-level (it entropy-routes any byte
+    /// stream), so it serves byte columns directly. The remaining
+    /// float-only codecs compress the little-endian byte image of the
     /// values via the [`FloatCodec`] adapter, so every kind can serve
     /// byte streams (MLOC compresses byte *columns* with byte codecs
     /// and whole-value streams with float codecs).
@@ -182,7 +184,7 @@ impl CodecKind {
         match self {
             CodecKind::Raw => Box::new(RawCodec),
             CodecKind::Deflate => Box::new(Deflate),
-            CodecKind::Isobar => Box::new(FloatAsByte(Isobar::default())),
+            CodecKind::Isobar => Box::new(Isobar::default()),
             CodecKind::Isabela { error_bound } => Box::new(FloatAsByte(Isabela::new(error_bound))),
             CodecKind::Fpc => Box::new(FloatAsByte(Fpc)),
         }

@@ -27,7 +27,10 @@ impl BinSpec {
         assert!(!sample.is_empty() && num_bins > 0);
         let mut sorted: Vec<f64> = sample.iter().copied().filter(|v| !v.is_nan()).collect();
         assert!(!sorted.is_empty(), "sample contains only NaNs");
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // NaNs are already filtered out, so total_cmp agrees with the
+        // numeric order; unstable sort avoids the stable sort's
+        // allocation and partial_cmp's per-comparison unwrap.
+        sorted.sort_unstable_by(f64::total_cmp);
         let n = sorted.len();
         let mut bounds = Vec::with_capacity(num_bins + 1);
         for k in 0..=num_bins {

@@ -16,6 +16,28 @@
 //!   simulation or staging service emits them; bin bounds come from a
 //!   sample (the paper computes them "from partial dataset"), and the
 //!   final layout is written on [`StreamingBuilder::finish`].
+//!
+//! # Parallelism
+//!
+//! Both entry points fan the hot stages across a scoped worker pool
+//! ([`mloc_runtime::parallel_map`], sized by
+//! [`MlocConfig::build_threads`]) in three pipeline stages:
+//!
+//! 1. **encode** — per-chunk bin partition → WAH bitmap → PLoD split →
+//!    per-part codec compression. Chunks are independent, so
+//!    [`build_variable`] encodes all of them concurrently and
+//!    [`StreamingBuilder::push_chunks`] does the same for each batch a
+//!    simulation flushes.
+//! 2. **layout** — per-bin unit ordering (V-M-S / V-S-M) plus index
+//!    assembly, one worker per bin.
+//! 3. **write** — per-bin data/index file writes, one worker per bin
+//!    (bins are separate files, so writes never interleave).
+//!
+//! Output is *byte-identical for any thread count*: encoding is a pure
+//! function of a chunk's values, encoded chunks are merged back in
+//! curve-rank order before layout, and `parallel_map` returns results
+//! in input order. [`BuildReport`] exposes the per-stage wall times so
+//! the speedup is observable.
 
 use crate::array::ChunkGrid;
 use crate::binning::BinSpec;
@@ -27,6 +49,7 @@ use mloc_bitmap::WahBitmap;
 use mloc_compress::{Codec, FloatCodec};
 use mloc_hilbert::GridOrder;
 use mloc_pfs::StorageBackend;
+use mloc_runtime::parallel_map;
 use std::time::Instant;
 
 /// Maximum number of values sampled for computing bin bounds (the
@@ -45,8 +68,15 @@ pub struct BuildReport {
     pub meta_bytes: u64,
     /// Raw (uncompressed) size of the variable.
     pub raw_bytes: u64,
-    /// Wall-clock build time in seconds.
+    /// Wall-clock build time in seconds (first push to finish).
     pub build_seconds: f64,
+    /// Wall-clock seconds spent encoding chunks (bin partition, WAH
+    /// bitmaps, PLoD split, codec compression), summed over pushes.
+    pub encode_seconds: f64,
+    /// Wall-clock seconds of the per-bin layout + index stage.
+    pub layout_seconds: f64,
+    /// Wall-clock seconds of the per-bin file-write stage.
+    pub write_seconds: f64,
     /// Points per bin (load-balance diagnostic).
     pub per_bin_points: Vec<u64>,
 }
@@ -71,6 +101,60 @@ struct PendingUnit {
     parts: Vec<Vec<u8>>,
 }
 
+/// One chunk's encoded contribution to one bin (no rank yet: encoding
+/// is independent of where the chunk lands on the curve).
+struct EncodedUnit {
+    bin: usize,
+    count: u64,
+    bitmap: WahBitmap,
+    parts: Vec<Vec<u8>>,
+}
+
+/// Encode one chunk: partition its points by bin, build each bin's
+/// positional bitmap, and compress each unit (PLoD byte columns or the
+/// whole-value stream). Pure — identical input produces identical
+/// bytes, which is what makes the parallel fan-out deterministic.
+fn encode_chunk(
+    values: &[f64],
+    spec: &BinSpec,
+    num_bins: usize,
+    use_plod: bool,
+    byte_codec: &dyn Codec,
+    float_codec: &dyn FloatCodec,
+) -> Vec<EncodedUnit> {
+    let chunk_points = values.len();
+    let mut bin_locals: Vec<Vec<u64>> = vec![Vec::new(); num_bins];
+    let mut bin_values: Vec<Vec<f64>> = vec![Vec::new(); num_bins];
+    for (local, &v) in values.iter().enumerate() {
+        let bin = spec.bin_of(v);
+        bin_locals[bin].push(local as u64);
+        bin_values[bin].push(v);
+    }
+
+    let mut units = Vec::new();
+    for bin in 0..num_bins {
+        if bin_locals[bin].is_empty() {
+            continue;
+        }
+        let bitmap = WahBitmap::from_sorted_positions(chunk_points as u64, &bin_locals[bin]);
+        let parts: Vec<Vec<u8>> = if use_plod {
+            plod::split(&bin_values[bin])
+                .iter()
+                .map(|part| byte_codec.compress(part))
+                .collect()
+        } else {
+            vec![float_codec.compress_f64(&bin_values[bin])]
+        };
+        units.push(EncodedUnit {
+            bin,
+            count: bin_locals[bin].len() as u64,
+            bitmap,
+            parts,
+        });
+    }
+    units
+}
+
 /// Incremental (in-situ) builder: push chunks as they are produced.
 pub struct StreamingBuilder<'a> {
     backend: &'a dyn StorageBackend,
@@ -86,6 +170,7 @@ pub struct StreamingBuilder<'a> {
     per_bin_points: Vec<u64>,
     pushed: Vec<bool>,
     pushed_count: usize,
+    encode_seconds: f64,
     start: Instant,
 }
 
@@ -117,6 +202,7 @@ impl<'a> StreamingBuilder<'a> {
             per_bin_points: vec![0u64; config.num_bins],
             pushed: vec![false; grid.num_chunks()],
             pushed_count: 0,
+            encode_seconds: 0.0,
             start: Instant::now(),
             config: config.clone(),
             grid,
@@ -140,10 +226,9 @@ impl<'a> StreamingBuilder<'a> {
         self.pushed_count
     }
 
-    /// Push one chunk's values (chunk-local row-major order over the
-    /// chunk's clamped region). Chunks may arrive in any order; each
-    /// must be pushed exactly once.
-    pub fn push_chunk(&mut self, chunk_id: usize, values: &[f64]) -> Result<()> {
+    /// Reject out-of-range, duplicate, or wrong-sized pushes without
+    /// mutating any state (so a failed push leaves the builder usable).
+    fn validate_push(&self, chunk_id: usize, value_count: usize) -> Result<()> {
         if chunk_id >= self.grid.num_chunks() {
             return Err(MlocError::Invalid(format!("chunk {chunk_id} out of range")));
         }
@@ -151,54 +236,97 @@ impl<'a> StreamingBuilder<'a> {
             return Err(MlocError::Invalid(format!("chunk {chunk_id} pushed twice")));
         }
         let chunk_points = self.grid.chunk_points(chunk_id);
-        if values.len() != chunk_points {
+        if value_count != chunk_points {
             return Err(MlocError::Invalid(format!(
-                "chunk {chunk_id}: expected {chunk_points} values, got {}",
-                values.len()
+                "chunk {chunk_id}: expected {chunk_points} values, got {value_count}"
             )));
         }
+        Ok(())
+    }
+
+    /// File an encoded chunk under its curve rank. Callers must have
+    /// validated the push first.
+    fn ingest(&mut self, chunk_id: usize, units: Vec<EncodedUnit>) {
+        debug_assert!(!self.pushed[chunk_id]);
         self.pushed[chunk_id] = true;
         self.pushed_count += 1;
         let rank = self.order.rank_of(chunk_id);
-
-        // Partition the chunk's points by bin.
-        let num_bins = self.config.num_bins;
-        let mut bin_locals: Vec<Vec<u64>> = vec![Vec::new(); num_bins];
-        let mut bin_values: Vec<Vec<f64>> = vec![Vec::new(); num_bins];
-        for (local, &v) in values.iter().enumerate() {
-            let bin = self.spec.bin_of(v);
-            bin_locals[bin].push(local as u64);
-            bin_values[bin].push(v);
-        }
-
-        for bin in 0..num_bins {
-            if bin_locals[bin].is_empty() {
-                continue;
-            }
-            self.per_bin_points[bin] += bin_locals[bin].len() as u64;
-            let bitmap = WahBitmap::from_sorted_positions(chunk_points as u64, &bin_locals[bin]);
-            let parts: Vec<Vec<u8>> = if self.config.plod {
-                plod::split(&bin_values[bin])
-                    .iter()
-                    .map(|part| self.byte_codec.compress(part))
-                    .collect()
-            } else {
-                vec![self.float_codec.compress_f64(&bin_values[bin])]
-            };
-            self.pending[bin].push(PendingUnit {
+        for u in units {
+            self.per_bin_points[u.bin] += u.count;
+            self.pending[u.bin].push(PendingUnit {
                 rank,
-                bitmap,
-                parts,
+                bitmap: u.bitmap,
+                parts: u.parts,
             });
+        }
+    }
+
+    /// Push one chunk's values (chunk-local row-major order over the
+    /// chunk's clamped region). Chunks may arrive in any order; each
+    /// must be pushed exactly once.
+    pub fn push_chunk(&mut self, chunk_id: usize, values: &[f64]) -> Result<()> {
+        self.validate_push(chunk_id, values.len())?;
+        let t = Instant::now();
+        let units = encode_chunk(
+            values,
+            &self.spec,
+            self.config.num_bins,
+            self.config.plod,
+            &*self.byte_codec,
+            &*self.float_codec,
+        );
+        self.encode_seconds += t.elapsed().as_secs_f64();
+        self.ingest(chunk_id, units);
+        Ok(())
+    }
+
+    /// Push a batch of chunks, encoding them across the worker pool.
+    /// This is the in-situ fast path: a staging service hands over the
+    /// wave of chunks a simulation just flushed and all of them are
+    /// partitioned, bitmapped, and compressed concurrently. The whole
+    /// batch is validated before any chunk is filed, so an invalid
+    /// batch leaves the builder untouched.
+    pub fn push_chunks(&mut self, batch: Vec<(usize, Vec<f64>)>) -> Result<()> {
+        let mut seen = std::collections::HashSet::new();
+        for (chunk_id, values) in &batch {
+            self.validate_push(*chunk_id, values.len())?;
+            if !seen.insert(*chunk_id) {
+                return Err(MlocError::Invalid(format!(
+                    "chunk {chunk_id} appears twice in batch"
+                )));
+            }
+        }
+        let t = Instant::now();
+        let encoded = {
+            let spec = &self.spec;
+            let num_bins = self.config.num_bins;
+            let use_plod = self.config.plod;
+            let byte_codec: &dyn Codec = &*self.byte_codec;
+            let float_codec: &dyn FloatCodec = &*self.float_codec;
+            parallel_map(
+                self.config.effective_build_threads(),
+                batch,
+                |_, (chunk_id, values)| {
+                    (
+                        chunk_id,
+                        encode_chunk(&values, spec, num_bins, use_plod, byte_codec, float_codec),
+                    )
+                },
+            )
+        };
+        self.encode_seconds += t.elapsed().as_secs_f64();
+        for (chunk_id, units) in encoded {
+            self.ingest(chunk_id, units);
         }
         Ok(())
     }
 
     /// Finish: lay out every bin's units by the level order and write
-    /// the data, index, and metadata files.
+    /// the data, index, and metadata files. Layout and writes fan out
+    /// across the worker pool, one bin per task.
     ///
     /// Fails unless every chunk has been pushed.
-    pub fn finish(self) -> Result<BuildReport> {
+    pub fn finish(mut self) -> Result<BuildReport> {
         if self.pushed_count != self.grid.num_chunks() {
             return Err(MlocError::Invalid(format!(
                 "{} of {} chunks pushed",
@@ -208,63 +336,84 @@ impl<'a> StreamingBuilder<'a> {
         }
         let num_chunks = self.grid.num_chunks();
         let num_parts = self.config.num_parts();
+        let threads = self.config.effective_build_threads();
+        let level_order = self.config.level_order;
+
+        // Stage 1 — layout: order each bin's units and assemble its
+        // data image and index. Bins are independent; within a bin the
+        // physical layout is always curve-rank order, no matter how
+        // chunks arrived.
+        let t_layout = Instant::now();
+        let pending = std::mem::take(&mut self.pending);
+        let assembled: Vec<(Vec<u8>, Vec<u8>)> =
+            parallel_map(threads, pending, |bin, mut units| {
+                units.sort_unstable_by_key(|u| u.rank);
+
+                let mut data = Vec::new();
+                let mut locs: Vec<Vec<UnitLoc>> = units
+                    .iter()
+                    .map(|_| vec![UnitLoc::default(); num_parts])
+                    .collect();
+                #[allow(clippy::needless_range_loop)] // locs is indexed by (unit, part)
+                match level_order {
+                    crate::config::LevelOrder::Vms => {
+                        // Part-major: all chunks' part 0, then part 1, …
+                        for p in 0..num_parts {
+                            for (i, u) in units.iter().enumerate() {
+                                locs[i][p] = UnitLoc {
+                                    offset: data.len() as u64,
+                                    clen: u.parts[p].len() as u32,
+                                };
+                                data.extend_from_slice(&u.parts[p]);
+                            }
+                        }
+                    }
+                    crate::config::LevelOrder::Vsm => {
+                        // Chunk-major: each chunk's parts together.
+                        for (i, u) in units.iter().enumerate() {
+                            for p in 0..num_parts {
+                                locs[i][p] = UnitLoc {
+                                    offset: data.len() as u64,
+                                    clen: u.parts[p].len() as u32,
+                                };
+                                data.extend_from_slice(&u.parts[p]);
+                            }
+                        }
+                    }
+                }
+
+                let mut index = BinIndexBuilder::new(bin as u32, num_chunks, num_parts);
+                for (i, u) in units.iter().enumerate() {
+                    index.set_chunk(u.rank, &u.bitmap, &locs[i]);
+                }
+                (data, index.finish())
+            });
+        let layout_seconds = t_layout.elapsed().as_secs_f64();
+
+        // Stage 2 — write: every bin owns its two files, so the writes
+        // are independent and fan out too.
+        let t_write = Instant::now();
+        let backend = self.backend;
+        let dataset = &self.dataset;
+        let var = &self.var;
+        let written: Vec<Result<(u64, u64)>> =
+            parallel_map(threads, assembled, |bin, (data, index_data)| {
+                let data_name = fileorg::data_file(dataset, var, bin);
+                let index_name = fileorg::index_file(dataset, var, bin);
+                backend.create(&data_name)?;
+                backend.append(&data_name, &data)?;
+                backend.create(&index_name)?;
+                backend.append(&index_name, &index_data)?;
+                Ok((data.len() as u64, index_data.len() as u64))
+            });
         let mut data_bytes = 0u64;
         let mut index_bytes = 0u64;
-
-        for bin in 0..self.config.num_bins {
-            // Chunks may have arrived out of order: physical layout is
-            // always curve-rank order.
-            let mut units = self.pending[bin].iter().collect::<Vec<_>>();
-            units.sort_by_key(|u| u.rank);
-
-            let mut data = Vec::new();
-            let mut locs: Vec<Vec<UnitLoc>> = units
-                .iter()
-                .map(|_| vec![UnitLoc::default(); num_parts])
-                .collect();
-            #[allow(clippy::needless_range_loop)] // locs is indexed by (unit, part)
-            match self.config.level_order {
-                crate::config::LevelOrder::Vms => {
-                    // Part-major: all chunks' part 0, then part 1, …
-                    for p in 0..num_parts {
-                        for (i, u) in units.iter().enumerate() {
-                            locs[i][p] = UnitLoc {
-                                offset: data.len() as u64,
-                                clen: u.parts[p].len() as u32,
-                            };
-                            data.extend_from_slice(&u.parts[p]);
-                        }
-                    }
-                }
-                crate::config::LevelOrder::Vsm => {
-                    // Chunk-major: each chunk's parts together.
-                    for (i, u) in units.iter().enumerate() {
-                        for p in 0..num_parts {
-                            locs[i][p] = UnitLoc {
-                                offset: data.len() as u64,
-                                clen: u.parts[p].len() as u32,
-                            };
-                            data.extend_from_slice(&u.parts[p]);
-                        }
-                    }
-                }
-            }
-
-            let mut index = BinIndexBuilder::new(bin as u32, num_chunks, num_parts);
-            for (i, u) in units.iter().enumerate() {
-                index.set_chunk(u.rank, &u.bitmap, locs[i].clone());
-            }
-            let index_data = index.finish();
-
-            let data_name = fileorg::data_file(&self.dataset, &self.var, bin);
-            let index_name = fileorg::index_file(&self.dataset, &self.var, bin);
-            self.backend.create(&data_name)?;
-            self.backend.append(&data_name, &data)?;
-            self.backend.create(&index_name)?;
-            self.backend.append(&index_name, &index_data)?;
-            data_bytes += data.len() as u64;
-            index_bytes += index_data.len() as u64;
+        for w in written {
+            let (d, i) = w?;
+            data_bytes += d;
+            index_bytes += i;
         }
+        let write_seconds = t_write.elapsed().as_secs_f64();
 
         let total_points = self.grid.num_points() as u64;
         let meta = VariableMeta {
@@ -284,13 +433,19 @@ impl<'a> StreamingBuilder<'a> {
             meta_bytes: meta_data.len() as u64,
             raw_bytes: total_points * 8,
             build_seconds: self.start.elapsed().as_secs_f64(),
+            encode_seconds: self.encode_seconds,
+            layout_seconds,
+            write_seconds,
             per_bin_points: self.per_bin_points,
         })
     }
 }
 
 /// Build the MLOC layout for `values` (row-major over `config.shape`)
-/// and write it to `backend` under `dataset/var`.
+/// and write it to `backend` under `dataset/var`. Chunk encoding fans
+/// out across [`MlocConfig::build_threads`] workers, each reading its
+/// chunk straight out of `values`; the result is byte-identical to a
+/// serial build.
 pub fn build_variable(
     backend: &dyn StorageBackend,
     dataset: &str,
@@ -311,15 +466,34 @@ pub fn build_variable(
     let sample: Vec<f64> = values.iter().step_by(stride).copied().collect();
 
     let mut builder = StreamingBuilder::new(backend, dataset, var, config, &sample)?;
-    let mut chunk_values = Vec::new();
-    for chunk in 0..grid.num_chunks() {
-        chunk_values.clear();
-        chunk_values.extend(
-            grid.chunk_linear_indices(chunk)
-                .iter()
-                .map(|&l| values[l as usize]),
-        );
-        builder.push_chunk(chunk, &chunk_values)?;
+    let t = Instant::now();
+    let encoded = {
+        let spec = &builder.spec;
+        let byte_codec: &dyn Codec = &*builder.byte_codec;
+        let float_codec: &dyn FloatCodec = &*builder.float_codec;
+        parallel_map(
+            config.effective_build_threads(),
+            (0..grid.num_chunks()).collect(),
+            |_, chunk| {
+                let chunk_values: Vec<f64> = grid
+                    .chunk_linear_indices(chunk)
+                    .iter()
+                    .map(|&l| values[l as usize])
+                    .collect();
+                encode_chunk(
+                    &chunk_values,
+                    spec,
+                    config.num_bins,
+                    config.plod,
+                    byte_codec,
+                    float_codec,
+                )
+            },
+        )
+    };
+    builder.encode_seconds += t.elapsed().as_secs_f64();
+    for (chunk, units) in encoded.into_iter().enumerate() {
+        builder.ingest(chunk, units);
     }
     builder.finish()
 }
@@ -356,6 +530,18 @@ mod tests {
         assert!(be.exists("ds/t/bin0000.dat"));
         assert!(be.exists("ds/t/bin0007.idx"));
         assert!(be.exists("ds/t/meta"));
+    }
+
+    #[test]
+    fn report_breaks_down_stage_times() {
+        let be = MemBackend::new();
+        let report = build_variable(&be, "ds", "t", &toy_values(1024), &toy_config()).unwrap();
+        assert!(report.encode_seconds > 0.0, "encode stage untimed");
+        assert!(report.layout_seconds > 0.0, "layout stage untimed");
+        assert!(report.write_seconds > 0.0, "write stage untimed");
+        // Stage walls never exceed the total build wall.
+        assert!(report.encode_seconds <= report.build_seconds);
+        assert!(report.layout_seconds + report.write_seconds <= report.build_seconds);
     }
 
     #[test]
@@ -446,6 +632,64 @@ mod tests {
             let c = be2.read(&f, 0, be2.len(&f).unwrap()).unwrap();
             assert_eq!(a, c, "file {f} differs between one-shot and streaming");
         }
+    }
+
+    #[test]
+    fn batched_push_matches_chunkwise_push_bytewise() {
+        let values = toy_values(1024);
+        let config = toy_config();
+        let grid = ChunkGrid::new(config.shape.clone(), config.chunk_shape.clone());
+        let sample: Vec<f64> = values.clone();
+
+        let be1 = MemBackend::new();
+        let mut one = StreamingBuilder::new(&be1, "ds", "t", &config, &sample).unwrap();
+        for chunk in 0..grid.num_chunks() {
+            one.push_chunk(chunk, &chunk_values(&values, &grid, chunk))
+                .unwrap();
+        }
+        one.finish().unwrap();
+
+        // The whole wave in one batch, shuffled.
+        let be2 = MemBackend::new();
+        let mut batched = StreamingBuilder::new(&be2, "ds", "t", &config, &sample).unwrap();
+        let mut wave: Vec<(usize, Vec<f64>)> = (0..grid.num_chunks())
+            .map(|c| (c, chunk_values(&values, &grid, c)))
+            .collect();
+        wave.reverse();
+        batched.push_chunks(wave).unwrap();
+        batched.finish().unwrap();
+
+        for f in be1.list() {
+            let a = be1.read(&f, 0, be1.len(&f).unwrap()).unwrap();
+            let c = be2.read(&f, 0, be2.len(&f).unwrap()).unwrap();
+            assert_eq!(a, c, "file {f} differs between chunk-wise and batched");
+        }
+    }
+
+    #[test]
+    fn batch_with_duplicate_or_invalid_chunk_is_rejected_whole() {
+        let values = toy_values(1024);
+        let config = toy_config();
+        let grid = ChunkGrid::new(config.shape.clone(), config.chunk_shape.clone());
+        let be = MemBackend::new();
+        let mut b = StreamingBuilder::new(&be, "ds", "t", &config, &values).unwrap();
+
+        let cv = chunk_values(&values, &grid, 0);
+        // Duplicate inside the batch.
+        assert!(b
+            .push_chunks(vec![(0, cv.clone()), (0, cv.clone())])
+            .is_err());
+        // Invalid id in the middle of an otherwise fine batch.
+        assert!(b
+            .push_chunks(vec![
+                (1, chunk_values(&values, &grid, 1)),
+                (999, cv.clone())
+            ])
+            .is_err());
+        // Nothing was filed: every chunk can still be pushed normally.
+        assert_eq!(b.chunks_pushed(), 0);
+        b.push_chunk(0, &cv).unwrap();
+        assert_eq!(b.chunks_pushed(), 1);
     }
 
     #[test]

@@ -96,7 +96,7 @@ impl PlodLevel {
 pub const NUM_PARTS: usize = 7;
 
 /// Full configuration of an MLOC variable.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct MlocConfig {
     /// Domain shape (row-major extents).
     pub shape: Vec<usize>,
@@ -122,6 +122,28 @@ pub struct MlocConfig {
     pub subset_levels: u32,
     /// PFS stripe size the layout should align to.
     pub stripe_size: u64,
+    /// Worker threads for the build path (chunk encode and per-bin
+    /// layout/write). `0` means one per available core. This is a
+    /// runtime execution knob: it is never persisted, and the on-disk
+    /// layout is byte-identical for every value.
+    pub build_threads: usize,
+}
+
+// `build_threads` is deliberately excluded: two configurations that
+// differ only in worker-thread count describe the same layout, and the
+// knob is not stored in catalogs or metadata.
+impl PartialEq for MlocConfig {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape == other.shape
+            && self.chunk_shape == other.chunk_shape
+            && self.num_bins == other.num_bins
+            && self.level_order == other.level_order
+            && self.codec == other.codec
+            && self.plod == other.plod
+            && self.curve == other.curve
+            && self.subset_levels == other.subset_levels
+            && self.stripe_size == other.stripe_size
+    }
 }
 
 impl MlocConfig {
@@ -178,6 +200,16 @@ impl MlocConfig {
             1
         }
     }
+
+    /// The worker-thread count the build path will actually use:
+    /// `build_threads`, or the available parallelism when it is `0`.
+    pub fn effective_build_threads(&self) -> usize {
+        if self.build_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.build_threads
+        }
+    }
 }
 
 /// Builder for [`MlocConfig`].
@@ -192,6 +224,7 @@ pub struct ConfigBuilder {
     curve: CurveKind,
     subset_levels: u32,
     stripe_size: u64,
+    build_threads: usize,
 }
 
 impl ConfigBuilder {
@@ -206,6 +239,7 @@ impl ConfigBuilder {
             curve: CurveKind::Hilbert,
             subset_levels: 0,
             stripe_size: 1 << 20,
+            build_threads: 0,
         }
     }
 
@@ -260,6 +294,13 @@ impl ConfigBuilder {
         self
     }
 
+    /// Worker threads for the build path (0 = one per core). Purely a
+    /// runtime knob: output is byte-identical for every value.
+    pub fn build_threads(mut self, threads: usize) -> Self {
+        self.build_threads = threads;
+        self
+    }
+
     /// Finish, deriving defaults: chunk shape from the stripe size and
     /// PLoD from the codec (byte codecs → PLoD columns).
     ///
@@ -282,6 +323,7 @@ impl ConfigBuilder {
             curve: self.curve,
             subset_levels: self.subset_levels,
             stripe_size: self.stripe_size,
+            build_threads: self.build_threads,
         };
         config.validate().expect("invalid configuration");
         config
@@ -341,6 +383,18 @@ mod tests {
         assert!(c.validate().is_err());
         c.chunk_shape = vec![4, 0];
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn build_threads_is_a_runtime_knob() {
+        let a = MlocConfig::builder(vec![64, 64]).build();
+        let mut b = a.clone();
+        b.build_threads = 8;
+        assert_eq!(a, b, "thread count must not change layout identity");
+        assert_eq!(b.effective_build_threads(), 8);
+        assert!(a.effective_build_threads() >= 1, "0 resolves to the cores");
+        let one = MlocConfig::builder(vec![8, 8]).build_threads(1).build();
+        assert_eq!(one.effective_build_threads(), 1);
     }
 
     #[test]

@@ -85,6 +85,7 @@ fn decode_config(data: &[u8]) -> Result<(MlocConfig, usize)> {
         curve,
         subset_levels,
         stripe_size,
+        build_threads: 0,
     };
     config.validate()?;
     Ok((config, 4 + body_len))
@@ -170,6 +171,13 @@ impl<'a> Dataset<'a> {
     /// The shared per-variable configuration.
     pub fn config(&self) -> &MlocConfig {
         &self.config
+    }
+
+    /// Set the worker-thread count subsequent builds through this
+    /// handle use (0 = one per core). A runtime knob: it is not
+    /// persisted and never changes the bytes a build produces.
+    pub fn set_build_threads(&mut self, threads: usize) {
+        self.config.build_threads = threads;
     }
 
     /// Variables currently in the catalog (sorted by insertion).
@@ -311,6 +319,12 @@ impl DatasetStream<'_> {
     /// Push one chunk (see [`StreamingBuilder::push_chunk`]).
     pub fn push_chunk(&mut self, chunk_id: usize, values: &[f64]) -> Result<()> {
         self.builder.push_chunk(chunk_id, values)
+    }
+
+    /// Push a wave of chunks, encoded across the worker pool (see
+    /// [`StreamingBuilder::push_chunks`]).
+    pub fn push_chunks(&mut self, batch: Vec<(usize, Vec<f64>)>) -> Result<()> {
+        self.builder.push_chunks(batch)
     }
 
     /// Number of chunks pushed so far.

@@ -182,12 +182,14 @@ impl BinIndexBuilder {
         }
     }
 
-    /// Record a chunk's positional bitmap and unit locations.
+    /// Record a chunk's positional bitmap and unit locations. The locs
+    /// are copied into the entry's preallocated slots, so callers keep
+    /// ownership and no per-chunk allocation happens here.
     ///
     /// # Panics
     /// Panics when called twice for the same rank or with a unit count
     /// mismatch.
-    pub fn set_chunk(&mut self, rank: usize, bitmap: &WahBitmap, units: Vec<UnitLoc>) {
+    pub fn set_chunk(&mut self, rank: usize, bitmap: &WahBitmap, units: &[UnitLoc]) {
         assert_eq!(units.len(), self.num_parts, "unit count mismatch");
         let e = &mut self.chunks[rank];
         assert_eq!(e.count, 0, "chunk rank {rank} set twice");
@@ -195,7 +197,7 @@ impl BinIndexBuilder {
         e.count = bitmap.count_ones() as u32;
         e.bitmap_off = self.bitmaps.len() as u64;
         e.bitmap_len = encoded.len() as u32;
-        e.units = units;
+        e.units.copy_from_slice(units);
         self.bitmaps.extend_from_slice(&encoded);
     }
 
@@ -225,7 +227,7 @@ mod tests {
         b.set_chunk(
             1,
             &bm1,
-            vec![
+            &[
                 UnitLoc {
                     offset: 0,
                     clen: 10,
@@ -240,7 +242,7 @@ mod tests {
                 },
             ],
         );
-        b.set_chunk(3, &bm2, vec![UnitLoc::default(); 3]);
+        b.set_chunk(3, &bm2, &[UnitLoc::default(); 3]);
         let bytes = b.finish();
 
         let hdr_len = header_size(4, 3) as usize;
@@ -291,7 +293,7 @@ mod tests {
     fn setting_chunk_twice_panics() {
         let mut b = BinIndexBuilder::new(0, 2, 1);
         let bm = WahBitmap::from_sorted_positions(10, &[0]);
-        b.set_chunk(0, &bm, vec![UnitLoc::default()]);
-        b.set_chunk(0, &bm, vec![UnitLoc::default()]);
+        b.set_chunk(0, &bm, &[UnitLoc::default()]);
+        b.set_chunk(0, &bm, &[UnitLoc::default()]);
     }
 }

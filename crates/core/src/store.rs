@@ -103,6 +103,7 @@ impl VariableMeta {
             curve,
             subset_levels,
             stripe_size,
+            build_threads: 0,
         };
         config.validate()?;
         if bin_bounds.len() != num_bins + 1 {

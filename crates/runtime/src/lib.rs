@@ -10,6 +10,11 @@
 //! [`assign`] implements the paper's *column-order* block assignment:
 //! equal block counts per rank, with blocks of the same bin packed onto
 //! the same rank so each process opens the fewest bin files.
+//!
+//! [`pool`] is the scoped worker pool behind the parallel write path:
+//! [`parallel_map`] fans independent items across a bounded work queue
+//! and returns results in input order, so output stays deterministic
+//! for any thread count.
 
 //! # Example
 //!
@@ -28,6 +33,8 @@
 
 pub mod assign;
 pub mod comm;
+pub mod pool;
 
 pub use assign::{column_order, distinct_groups_per_rank, round_robin, Assignment};
 pub use comm::{spmd, Comm};
+pub use pool::parallel_map;
