@@ -103,6 +103,15 @@ fn bench_session_replay(c: &mut Criterion) {
             black_box(replay(&store, &queries))
         })
     });
+    // Same warm replay with profiling on: the gap to `warm_cached` is
+    // the live-collector overhead on this session.
+    g.bench_function("warm_cached_profiled", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(warm_store.query_profiled(q).unwrap());
+            }
+        })
+    });
     g.finish();
 }
 

@@ -105,10 +105,11 @@ fn main() {
         "{{\n  \"bench\": \"build\",\n  \"shape\": {dims:?},\n  \"raw_bytes\": {},\n  \
          \"threads\": {pool_threads},\n  \"serial\": {},\n  \"parallel\": {},\n  \
          \"encode_speedup\": {encode_ratio:.4},\n  \"total_speedup\": {total_ratio:.4},\n  \
-         \"byte_identical_1_2_8\": true\n}}\n",
+         \"byte_identical_1_2_8\": true,\n  \"profile\": {}\n}}\n",
         values.len() * 8,
         stages_json(&serial),
         stages_json(&parallel),
+        parallel.profile.to_json(),
     );
     std::fs::write("BENCH_build.json", &json).expect("cannot write BENCH_build.json");
     note("wrote BENCH_build.json");

@@ -108,10 +108,15 @@ USAGE:
                  (--raw FILE | --synthetic gts|s3d [--seed S])
                  [--build-threads N]   (0 = one per core; output is
                                         byte-identical for any N)
+                 [--profile table|json]
   mloc info      --dir DIR --name DS
+  mloc stats     --dir DIR --name DS [--var NAME] [--json true]
+                 (per-bin storage breakdown from the on-disk files)
   mloc query     --dir DIR --name DS --var NAME [--vc LO:HI]
                  [--sc A:B,C:D[,E:F]] [--plod 1..7] [--values true]
                  [--ranks R] [--limit K] [--cache-mb MB] [--repeat N]
+                 [--profile table|json]   (span/counter profile of the
+                                           final pass)
   mloc variables --dir DIR --name DS
 "
     .to_string()

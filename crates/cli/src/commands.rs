@@ -5,7 +5,7 @@ use mloc::dataset::Dataset;
 use mloc::exec::ParallelExecutor;
 use mloc::prelude::*;
 use mloc_compress::CodecKind;
-use mloc_pfs::{CostModel, DirBackend};
+use mloc_pfs::{CostModel, DirBackend, StorageBackend};
 
 /// Dispatch a parsed invocation.
 pub fn dispatch(args: &Args) -> Result<(), String> {
@@ -14,6 +14,7 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         "import" => import(args),
         "info" => info(args),
         "variables" => variables(args),
+        "stats" => stats(args),
         "query" => query(args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -45,6 +46,31 @@ fn parse_codec(s: &str) -> Result<CodecKind, String> {
         "fpc" => Ok(CodecKind::Fpc),
         "isabela" => Ok(CodecKind::Isabela { error_bound: 0.001 }),
         other => Err(format!("unknown codec {other:?}")),
+    }
+}
+
+/// How `--profile` output should be rendered.
+#[derive(Clone, Copy, PartialEq)]
+enum ProfileMode {
+    Off,
+    Table,
+    Json,
+}
+
+fn parse_profile(args: &Args) -> Result<ProfileMode, String> {
+    match args.optional("profile") {
+        None | Some("false") => Ok(ProfileMode::Off),
+        Some("true") | Some("table") => Ok(ProfileMode::Table),
+        Some("json") => Ok(ProfileMode::Json),
+        Some(other) => Err(format!("--profile {other:?} (expected table|json)")),
+    }
+}
+
+fn print_profile(mode: ProfileMode, profile: &mloc::obs::Profile) {
+    match mode {
+        ProfileMode::Off => {}
+        ProfileMode::Table => print!("{}", profile.render()),
+        ProfileMode::Json => println!("{}", profile.to_json()),
     }
 }
 
@@ -145,6 +171,7 @@ fn import(args: &Args) -> Result<(), String> {
         report.layout_seconds,
         report.write_seconds
     );
+    print_profile(parse_profile(args)?, &report.profile);
     Ok(())
 }
 
@@ -187,6 +214,75 @@ fn variables(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Per-variable, per-bin storage breakdown from the on-disk file sizes.
+fn stats(args: &Args) -> Result<(), String> {
+    let be = backend(args)?;
+    let ds = Dataset::open(&be, args.required("name")?).map_err(|e| e.to_string())?;
+    let vars = match args.optional("var") {
+        Some(v) => vec![v.to_string()],
+        None => ds.variables().map_err(|e| e.to_string())?,
+    };
+    let json = args.optional("json").is_some_and(|v| v == "true");
+    let mut json_vars = Vec::new();
+    for var in &vars {
+        let store = ds.store(var).map_err(|e| e.to_string())?;
+        let num_bins = store.config().num_bins;
+        let bounds = store.bins().bounds().to_vec();
+        let mut rows = Vec::new();
+        let mut data_total = 0u64;
+        let mut index_total = 0u64;
+        for bin in 0..num_bins {
+            let data = be.len(&store.data_file(bin)).map_err(|e| e.to_string())?;
+            let index = be.len(&store.index_file(bin)).map_err(|e| e.to_string())?;
+            data_total += data;
+            index_total += index;
+            rows.push((bin, data, index));
+        }
+        let raw = store.total_points() * 8;
+        if json {
+            let bins: Vec<String> = rows
+                .iter()
+                .map(|(bin, data, index)| {
+                    format!(
+                        "{{\"bin\":{bin},\"lo\":{:?},\"hi\":{:?},\"data_bytes\":{data},\
+                         \"index_bytes\":{index}}}",
+                        bounds[*bin],
+                        bounds[bin + 1]
+                    )
+                })
+                .collect();
+            json_vars.push(format!(
+                "{{\"var\":{var:?},\"raw_bytes\":{raw},\"data_bytes\":{data_total},\
+                 \"index_bytes\":{index_total},\"bins\":[{}]}}",
+                bins.join(",")
+            ));
+        } else {
+            println!(
+                "{var}: {} points, {} data + {} index bytes ({:.1}% of raw)",
+                store.total_points(),
+                data_total,
+                index_total,
+                (data_total + index_total) as f64 / raw as f64 * 100.0
+            );
+            println!(
+                "  {:>4}  {:>22}  {:>12}  {:>12}",
+                "bin", "values", "data", "index"
+            );
+            for (bin, data, index) in rows {
+                println!(
+                    "  {bin:>4}  [{:>9.3}, {:>9.3})  {data:>12}  {index:>12}",
+                    bounds[bin],
+                    bounds[bin + 1]
+                );
+            }
+        }
+    }
+    if json {
+        println!("{{\"variables\":[{}]}}", json_vars.join(","));
+    }
+    Ok(())
+}
+
 fn query(args: &Args) -> Result<(), String> {
     let be = backend(args)?;
     let ds = Dataset::open(&be, args.required("name")?).map_err(|e| e.to_string())?;
@@ -219,12 +315,22 @@ fn query(args: &Args) -> Result<(), String> {
 
     let ranks = args.optional_parsed::<usize>("ranks")?.unwrap_or(1);
     let exec = ParallelExecutor::new(ranks, CostModel::default());
+    let profile_mode = parse_profile(args)?;
     // --repeat replays the query; with --cache-mb the later passes are
     // warm and show the cache's effect on io/decompress time.
     let repeat = args.optional_parsed::<usize>("repeat")?.unwrap_or(1).max(1);
     let mut last = None;
+    let mut last_profile = None;
     for pass in 0..repeat {
-        let (res, m) = exec.execute(&store, &q).map_err(|e| e.to_string())?;
+        let (res, m) = if profile_mode == ProfileMode::Off {
+            exec.execute(&store, &q).map_err(|e| e.to_string())?
+        } else {
+            let (res, m, profile) = exec
+                .execute_profiled(&store, &q)
+                .map_err(|e| e.to_string())?;
+            last_profile = Some(profile);
+            (res, m)
+        };
         let cache_note = if cache.is_some() {
             format!(
                 " | cache {} hits / {} misses, {} bytes saved",
@@ -253,7 +359,6 @@ fn query(args: &Args) -> Result<(), String> {
         last = Some(res);
     }
     let res = last.expect("repeat >= 1");
-
     let limit = args.optional_parsed::<usize>("limit")?.unwrap_or(20);
     let grid = store.grid();
     for (i, &p) in res.positions().iter().take(limit).enumerate() {
@@ -268,6 +373,11 @@ fn query(args: &Args) -> Result<(), String> {
             "  ... ({} more; raise --limit to see them)",
             res.len() - limit
         );
+    }
+    // The profile of the final pass (the warm one under --cache-mb),
+    // printed last so `--profile json` output is the tail of stdout.
+    if let Some(profile) = &last_profile {
+        print_profile(profile_mode, profile);
     }
     Ok(())
 }
@@ -336,6 +446,81 @@ mod tests {
             "3",
         ])
         .unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stats_and_profile() {
+        let dir = tmpdir("prof");
+        run(&[
+            "create", "--dir", &dir, "--name", "ds", "--shape", "32,32", "--chunk", "8,8",
+            "--bins", "4",
+        ])
+        .unwrap();
+        run(&[
+            "import",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--var",
+            "t",
+            "--synthetic",
+            "gts",
+            "--profile",
+            "table",
+        ])
+        .unwrap();
+        run(&["stats", "--dir", &dir, "--name", "ds"]).unwrap();
+        run(&[
+            "stats", "--dir", &dir, "--name", "ds", "--var", "t", "--json", "true",
+        ])
+        .unwrap();
+        assert!(run(&["stats", "--dir", &dir, "--name", "ds", "--var", "ghost"]).is_err());
+        run(&[
+            "query",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--var",
+            "t",
+            "--vc",
+            "0:1000",
+            "--profile",
+            "table",
+        ])
+        .unwrap();
+        run(&[
+            "query",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--var",
+            "t",
+            "--vc",
+            "0:1000",
+            "--ranks",
+            "4",
+            "--profile",
+            "json",
+        ])
+        .unwrap();
+        assert!(run(&[
+            "query",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--var",
+            "t",
+            "--vc",
+            "0:1000",
+            "--profile",
+            "xml",
+        ])
+        .is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

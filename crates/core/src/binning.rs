@@ -137,8 +137,10 @@ impl BinSpec {
         let first = self.bin_of(lo);
         let mut last = self.bin_of(hi);
         // `hi` is exclusive: if it coincides with a lower bound, the
-        // bin starting at `hi` is not touched.
-        if last > 0 && (hi <= self.bounds[last] || hi <= self.bounds[0]) {
+        // bin starting at `hi` is not touched. (No fully-below-range
+        // special case is needed: `bin_of` clamps such `hi` to bin 0,
+        // so `last == 0` already.)
+        if last > 0 && hi <= self.bounds[last] {
             last -= 1;
         }
         // Out-of-range constraints still clamp to valid bins.

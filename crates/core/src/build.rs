@@ -48,6 +48,7 @@ use crate::{fileorg, plod, MlocError, Result};
 use mloc_bitmap::WahBitmap;
 use mloc_compress::{Codec, FloatCodec};
 use mloc_hilbert::GridOrder;
+use mloc_obs::{Label, Profile, Registry};
 use mloc_pfs::StorageBackend;
 use mloc_runtime::parallel_map;
 use std::time::Instant;
@@ -79,6 +80,10 @@ pub struct BuildReport {
     pub write_seconds: f64,
     /// Points per bin (load-balance diagnostic).
     pub per_bin_points: Vec<u64>,
+    /// Span/counter/histogram profile of the build: the stage times as
+    /// a `build` span tree plus a per-codec compression-ratio histogram
+    /// observed per storage unit (from the encode workers).
+    pub profile: Profile,
 }
 
 impl BuildReport {
@@ -112,8 +117,10 @@ struct EncodedUnit {
 
 /// Encode one chunk: partition its points by bin, build each bin's
 /// positional bitmap, and compress each unit (PLoD byte columns or the
-/// whole-value stream). Pure — identical input produces identical
-/// bytes, which is what makes the parallel fan-out deterministic.
+/// whole-value stream). Pure but for `obs`, which only accumulates
+/// commutative statistics — identical input produces identical bytes,
+/// which is what makes the parallel fan-out deterministic.
+#[allow(clippy::too_many_arguments)] // internal helper; callers are the three build fan-outs
 fn encode_chunk(
     values: &[f64],
     spec: &BinSpec,
@@ -121,6 +128,8 @@ fn encode_chunk(
     use_plod: bool,
     byte_codec: &dyn Codec,
     float_codec: &dyn FloatCodec,
+    codec_name: &'static str,
+    obs: &Registry,
 ) -> Vec<EncodedUnit> {
     let chunk_points = values.len();
     let mut bin_locals: Vec<Vec<u64>> = vec![Vec::new(); num_bins];
@@ -145,6 +154,17 @@ fn encode_chunk(
         } else {
             vec![float_codec.compress_f64(&bin_values[bin])]
         };
+        // One ratio observation per storage unit, recorded from
+        // whichever worker encoded it. Bucket counts, min and max are
+        // order-independent, so they match under any thread count; the
+        // float `sum` may differ in its last bits with arrival order.
+        let raw = (bin_locals[bin].len() * 8) as f64;
+        let compressed: usize = parts.iter().map(Vec::len).sum();
+        obs.observe(
+            "compress.ratio",
+            Label::Name(codec_name),
+            compressed as f64 / raw,
+        );
         units.push(EncodedUnit {
             bin,
             count: bin_locals[bin].len() as u64,
@@ -172,6 +192,7 @@ pub struct StreamingBuilder<'a> {
     pushed_count: usize,
     encode_seconds: f64,
     start: Instant,
+    obs: Registry,
 }
 
 impl<'a> StreamingBuilder<'a> {
@@ -204,6 +225,7 @@ impl<'a> StreamingBuilder<'a> {
             pushed_count: 0,
             encode_seconds: 0.0,
             start: Instant::now(),
+            obs: Registry::default(),
             config: config.clone(),
             grid,
             order,
@@ -274,6 +296,8 @@ impl<'a> StreamingBuilder<'a> {
             self.config.plod,
             &*self.byte_codec,
             &*self.float_codec,
+            self.config.codec.name(),
+            &self.obs,
         );
         self.encode_seconds += t.elapsed().as_secs_f64();
         self.ingest(chunk_id, units);
@@ -303,13 +327,24 @@ impl<'a> StreamingBuilder<'a> {
             let use_plod = self.config.plod;
             let byte_codec: &dyn Codec = &*self.byte_codec;
             let float_codec: &dyn FloatCodec = &*self.float_codec;
+            let codec_name = self.config.codec.name();
+            let obs = &self.obs;
             parallel_map(
                 self.config.effective_build_threads(),
                 batch,
                 |_, (chunk_id, values)| {
                     (
                         chunk_id,
-                        encode_chunk(&values, spec, num_bins, use_plod, byte_codec, float_codec),
+                        encode_chunk(
+                            &values,
+                            spec,
+                            num_bins,
+                            use_plod,
+                            byte_codec,
+                            float_codec,
+                            codec_name,
+                            obs,
+                        ),
                     )
                 },
             )
@@ -427,16 +462,31 @@ impl<'a> StreamingBuilder<'a> {
         self.backend.create(&meta_name)?;
         self.backend.append(&meta_name, &meta_data)?;
 
+        let build_seconds = self.start.elapsed().as_secs_f64();
+        // The registry holds the encode workers' per-unit histogram
+        // observations; the stage spans mirror the report's wall-clock
+        // fields exactly so the two views always reconcile.
+        let mut profile = self.obs.finish();
+        profile.record_path(&["build"], build_seconds);
+        profile.record_path(&["build", "encode"], self.encode_seconds);
+        profile.record_path(&["build", "layout"], layout_seconds);
+        profile.record_path(&["build", "write"], write_seconds);
+        profile.add_counter("build.data.bytes", Label::None, data_bytes);
+        profile.add_counter("build.index.bytes", Label::None, index_bytes);
+        profile.add_counter("build.meta.bytes", Label::None, meta_data.len() as u64);
+        profile.add_counter("build.raw.bytes", Label::None, total_points * 8);
+
         Ok(BuildReport {
             data_bytes,
             index_bytes,
             meta_bytes: meta_data.len() as u64,
             raw_bytes: total_points * 8,
-            build_seconds: self.start.elapsed().as_secs_f64(),
+            build_seconds,
             encode_seconds: self.encode_seconds,
             layout_seconds,
             write_seconds,
             per_bin_points: self.per_bin_points,
+            profile,
         })
     }
 }
@@ -471,6 +521,8 @@ pub fn build_variable(
         let spec = &builder.spec;
         let byte_codec: &dyn Codec = &*builder.byte_codec;
         let float_codec: &dyn FloatCodec = &*builder.float_codec;
+        let codec_name = config.codec.name();
+        let obs = &builder.obs;
         parallel_map(
             config.effective_build_threads(),
             (0..grid.num_chunks()).collect(),
@@ -487,6 +539,8 @@ pub fn build_variable(
                     config.plod,
                     byte_codec,
                     float_codec,
+                    codec_name,
+                    obs,
                 )
             },
         )
@@ -542,6 +596,63 @@ mod tests {
         // Stage walls never exceed the total build wall.
         assert!(report.encode_seconds <= report.build_seconds);
         assert!(report.layout_seconds + report.write_seconds <= report.build_seconds);
+    }
+
+    #[test]
+    fn report_profile_mirrors_stages_and_ratios() {
+        let be = MemBackend::new();
+        let report = build_variable(&be, "ds", "t", &toy_values(1024), &toy_config()).unwrap();
+        let p = &report.profile;
+        // Stage spans mirror the report fields bit-for-bit.
+        assert_eq!(p.span(&["build"]).unwrap().seconds, report.build_seconds);
+        assert_eq!(
+            p.span(&["build", "encode"]).unwrap().seconds,
+            report.encode_seconds
+        );
+        assert_eq!(
+            p.span(&["build", "layout"]).unwrap().seconds,
+            report.layout_seconds
+        );
+        assert_eq!(
+            p.span(&["build", "write"]).unwrap().seconds,
+            report.write_seconds
+        );
+        assert_eq!(p.counter_total("build.data.bytes"), report.data_bytes);
+        assert_eq!(p.counter_total("build.index.bytes"), report.index_bytes);
+        assert_eq!(p.counter_total("build.meta.bytes"), report.meta_bytes);
+        // One compression-ratio observation per storage unit, under the
+        // configured codec's label.
+        let hist = p
+            .histogram("compress.ratio", Label::Name(toy_config().codec.name()))
+            .expect("ratio histogram missing");
+        assert!(hist.count() > 0);
+        assert!(hist.mean() > 0.0);
+    }
+
+    #[test]
+    fn parallel_build_profiles_share_histograms() {
+        // Bucket counts, observation count, min and max are
+        // order-independent, so they match no matter how many encode
+        // workers ran (only the float `sum` may drift in its last bits
+        // with the workers' arrival order).
+        let values = toy_values(1024);
+        let mut c1 = toy_config();
+        c1.build_threads = 1;
+        let mut c8 = toy_config();
+        c8.build_threads = 8;
+        let be1 = MemBackend::new();
+        let be8 = MemBackend::new();
+        let r1 = build_variable(&be1, "ds", "t", &values, &c1).unwrap();
+        let r8 = build_variable(&be8, "ds", "t", &values, &c8).unwrap();
+        assert_eq!(r1.profile.histograms.len(), r8.profile.histograms.len());
+        for (h1, h8) in r1.profile.histograms.iter().zip(&r8.profile.histograms) {
+            assert_eq!((h1.name, h1.label), (h8.name, h8.label));
+            assert_eq!(h1.histogram.buckets(), h8.histogram.buckets());
+            assert_eq!(h1.histogram.count(), h8.histogram.count());
+            assert_eq!(h1.histogram.min(), h8.histogram.min());
+            assert_eq!(h1.histogram.max(), h8.histogram.max());
+        }
+        assert_eq!(r1.profile.structure(), r8.profile.structure());
     }
 
     #[test]

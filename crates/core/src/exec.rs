@@ -13,9 +13,11 @@ use crate::query::plan::{make_plan, Plan, WorkUnit};
 use crate::query::{Query, QueryResult};
 use crate::store::MlocStore;
 use crate::Result;
+use mloc_obs::{Collector, Label, Profile};
 use mloc_pfs::{simulate_reads, CostModel, RankIo, ReadOp};
 use mloc_runtime::{column_order, spmd};
 use std::collections::HashSet;
+use std::time::Instant;
 
 /// Executes queries over `nranks` ranks with a PFS cost model.
 ///
@@ -83,6 +85,25 @@ impl ParallelExecutor {
         self.execute_plan(store, query, &plan, None)
     }
 
+    /// Plan and execute a query with profiling on, additionally
+    /// returning the merged per-rank [`Profile`].
+    ///
+    /// The profile's stage spans carry the *same* floats as the
+    /// returned metrics (`io`/`rank/decompress`/`rank/reconstruct`
+    /// `max_rank_seconds` equal `io_s`/`decompress_s`/`reconstruct_s`
+    /// exactly), and per-rank collectors are merged in rank order, so
+    /// replay and threaded modes yield structurally identical profiles.
+    pub fn execute_profiled(
+        &self,
+        store: &MlocStore<'_>,
+        query: &Query,
+    ) -> Result<(QueryResult, QueryMetrics, Profile)> {
+        let t = Instant::now();
+        let plan = make_plan(store, query)?;
+        let plan_s = t.elapsed().as_secs_f64();
+        self.run_plan(store, query, &plan, None, true, Some(plan_s))
+    }
+
     /// Execute a pre-built plan, optionally restricting output to a
     /// set of global positions (multi-variable retrieval).
     pub fn execute_plan(
@@ -92,19 +113,47 @@ impl ParallelExecutor {
         plan: &Plan,
         position_filter: Option<&HashSet<u64>>,
     ) -> Result<(QueryResult, QueryMetrics)> {
+        self.run_plan(store, query, plan, position_filter, false, None)
+            .map(|(result, metrics, _)| (result, metrics))
+    }
+
+    /// [`ParallelExecutor::execute_plan`] with profiling on.
+    pub fn execute_plan_profiled(
+        &self,
+        store: &MlocStore<'_>,
+        query: &Query,
+        plan: &Plan,
+        position_filter: Option<&HashSet<u64>>,
+    ) -> Result<(QueryResult, QueryMetrics, Profile)> {
+        self.run_plan(store, query, plan, position_filter, true, None)
+    }
+
+    fn run_plan(
+        &self,
+        store: &MlocStore<'_>,
+        query: &Query,
+        plan: &Plan,
+        position_filter: Option<&HashSet<u64>>,
+        profiled: bool,
+        plan_s: Option<f64>,
+    ) -> Result<(QueryResult, QueryMetrics, Profile)> {
         let unit_bins: Vec<usize> = plan.units.iter().map(|u| u.bin).collect();
         let assignment = column_order(&unit_bins, self.nranks);
+        let cache_stats_before = profiled.then(|| store.cache().map(|c| c.stats()));
 
-        let run_rank = |rank: usize| -> Result<(RankOutput, Vec<ReadOp>)> {
+        let run_rank = |rank: usize| -> Result<(RankOutput, Vec<ReadOp>, Profile)> {
             let my_units: Vec<WorkUnit> = assignment.per_rank[rank]
                 .iter()
                 .map(|&i| plan.units[i])
                 .collect();
             let mut io = RankIo::new(store.backend());
-            let out = process_units(store, query, &my_units, &mut io, position_filter)?;
-            Ok((out, io.into_trace()))
+            let mut obs = Collector::new(profiled);
+            obs.begin("rank");
+            let out = process_units(store, query, &my_units, &mut io, position_filter, &mut obs)?;
+            obs.end();
+            Ok((out, io.into_trace(), obs.finish()))
         };
-        type RankRes = Result<(RankOutput, Vec<ReadOp>)>;
+        type RankRes = Result<(RankOutput, Vec<ReadOp>, Profile)>;
         let rank_results: Vec<RankRes> = if self.threaded {
             spmd(self.nranks, |comm| run_rank(comm.rank()))
         } else {
@@ -113,10 +162,17 @@ impl ParallelExecutor {
 
         let mut outputs = Vec::with_capacity(self.nranks);
         let mut traces = Vec::with_capacity(self.nranks);
+        let mut profile = Profile::default();
+        if let Some(s) = plan_s {
+            profile.record_path(&["plan"], s);
+        }
+        // Rank order is the merge order in both executor modes — this
+        // is what makes replay and threaded profiles identical.
         for r in rank_results {
-            let (out, trace) = r?;
+            let (out, trace, rank_profile) = r?;
             outputs.push(out);
             traces.push(trace);
+            profile.merge_from(rank_profile);
         }
 
         let sim = simulate_reads(&traces, &self.cost_model);
@@ -130,6 +186,8 @@ impl ParallelExecutor {
             per_rank_io: sim.per_rank_seconds.clone(),
             ..Default::default()
         };
+        let mut gather = Collector::new(profiled);
+        gather.begin("gather");
         let mut positions = Vec::new();
         let mut values = Vec::new();
         for (rank, out) in outputs.into_iter().enumerate() {
@@ -149,9 +207,50 @@ impl ParallelExecutor {
             values.extend(out.values);
         }
         metrics.bytes_read = metrics.index_bytes + metrics.data_bytes;
+        gather.end();
+
+        if profiled {
+            // Simulated I/O is attributed per rank after the fact: the
+            // span's max-over-ranks equals `metrics.io_s` exactly.
+            profile.record_over_ranks(&["io"], &sim.per_rank_seconds);
+            let per = |f: fn(&mloc_pfs::RankIoBreakdown) -> f64| -> Vec<f64> {
+                sim.per_rank.iter().map(f).collect()
+            };
+            profile.record_over_ranks(&["io", "seek"], &per(|b| b.seek_s));
+            profile.record_over_ranks(&["io", "open"], &per(|b| b.open_s));
+            profile.record_over_ranks(&["io", "transfer"], &per(|b| b.transfer_s));
+            profile.merge_from(gather.finish());
+            profile.add_counter("io.bytes", Label::None, sim.total_bytes);
+            profile.add_counter("io.seeks", Label::None, sim.total_seeks);
+            profile.add_counter("io.opens", Label::None, sim.total_opens);
+            for (rank, b) in sim.per_rank.iter().enumerate() {
+                profile.add_counter("rank.io.bytes", Label::Index(rank as u32), b.bytes);
+            }
+            profile.add_counter("plan.units", Label::None, plan.units.len() as u64);
+            profile.add_counter("plan.bins", Label::None, plan.bins_touched as u64);
+            profile.add_counter("plan.aligned_bins", Label::None, plan.aligned_bins as u64);
+            profile.add_counter("plan.chunks", Label::None, plan.chunks_touched as u64);
+            // Shared-cache churn over the whole query (insert/evict are
+            // cache-wide, unlike the per-rank hit/miss counters).
+            if let (Some(Some(before)), Some(cache)) = (cache_stats_before, store.cache()) {
+                let after = cache.stats();
+                profile.add_counter(
+                    "cache.insertions",
+                    Label::None,
+                    after.insertions - before.insertions,
+                );
+                profile.add_counter(
+                    "cache.evictions",
+                    Label::None,
+                    after.evictions - before.evictions,
+                );
+                profile.add_counter("cache.resident_bytes", Label::None, after.resident_bytes);
+                profile.add_counter("cache.resident_blocks", Label::None, after.resident_blocks);
+            }
+        }
 
         let result = QueryResult::from_parts(positions, query.wants_values().then_some(values));
-        Ok((result, metrics))
+        Ok((result, metrics, profile))
     }
 }
 
@@ -296,8 +395,14 @@ mod tests {
         let q2 = Query::region(500.0, 505.0);
         let (_, m2) = store.query_with_metrics(&q2).unwrap();
         assert!(m2.bins_touched <= 2);
-        // Data bytes for the narrow query come only from boundary bins.
-        assert!(m2.data_bytes < metrics.data_bytes + m2.data_bytes);
+        // Data bytes for the narrow query come only from boundary bins,
+        // strictly fewer than the wide query's misaligned reads.
+        assert!(
+            m2.data_bytes < metrics.data_bytes,
+            "narrow {} vs wide {}",
+            m2.data_bytes,
+            metrics.data_bytes
+        );
     }
 
     #[test]

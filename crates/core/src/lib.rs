@@ -77,6 +77,11 @@ pub use metrics::QueryMetrics;
 pub use query::{Query, QueryOutput, QueryResult};
 pub use store::MlocStore;
 
+/// Observability re-export: span/counter/histogram profiles
+/// ([`obs::Profile`]) returned by the `*_profiled` query entry points
+/// and embedded in [`build::BuildReport`].
+pub use mloc_obs as obs;
+
 /// Convenient glob import for typical users.
 pub mod prelude {
     pub use crate::array::Region;

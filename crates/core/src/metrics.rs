@@ -69,25 +69,48 @@ impl QueryMetrics {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.bytes_saved += other.bytes_saved;
+        // Element-wise accumulation keeps per-rank scalability data
+        // through averaged runs. Rank counts can differ between queries
+        // (e.g. a mixed harness); grow to the widest seen.
+        accumulate_per_rank(&mut self.per_rank_io, &other.per_rank_io);
+        accumulate_per_rank(&mut self.per_rank_cpu, &other.per_rank_cpu);
     }
 
-    /// Divide accumulated sums by a query count.
+    /// Divide accumulated sums by a query count. Integer counters round
+    /// to nearest so small averages don't truncate to zero.
     pub fn scale(&mut self, queries: usize) {
         let q = queries.max(1) as f64;
+        let avg = |v: u64| (v as f64 / q).round() as u64;
         self.io_s /= q;
         self.decompress_s /= q;
         self.reconstruct_s /= q;
         self.response_s /= q;
-        self.bytes_read = (self.bytes_read as f64 / q) as u64;
-        self.index_bytes = (self.index_bytes as f64 / q) as u64;
-        self.data_bytes = (self.data_bytes as f64 / q) as u64;
-        self.seeks = (self.seeks as f64 / q) as u64;
+        self.bytes_read = avg(self.bytes_read);
+        self.index_bytes = avg(self.index_bytes);
+        self.data_bytes = avg(self.data_bytes);
+        self.seeks = avg(self.seeks);
         self.bins_touched = (self.bins_touched as f64 / q).round() as usize;
         self.aligned_bins = (self.aligned_bins as f64 / q).round() as usize;
         self.chunks_touched = (self.chunks_touched as f64 / q).round() as usize;
-        self.cache_hits = (self.cache_hits as f64 / q) as u64;
-        self.cache_misses = (self.cache_misses as f64 / q) as u64;
-        self.bytes_saved = (self.bytes_saved as f64 / q) as u64;
+        self.cache_hits = avg(self.cache_hits);
+        self.cache_misses = avg(self.cache_misses);
+        self.bytes_saved = avg(self.bytes_saved);
+        for v in self
+            .per_rank_io
+            .iter_mut()
+            .chain(self.per_rank_cpu.iter_mut())
+        {
+            *v /= q;
+        }
+    }
+}
+
+fn accumulate_per_rank(acc: &mut Vec<f64>, other: &[f64]) {
+    if acc.len() < other.len() {
+        acc.resize(other.len(), 0.0);
+    }
+    for (a, &o) in acc.iter_mut().zip(other.iter()) {
+        *a += o;
     }
 }
 
@@ -112,6 +135,8 @@ mod tests {
                 aligned_bins: 1,
                 chunks_touched: 5,
                 nranks: 2,
+                per_rank_io: vec![2.0, 1.0],
+                per_rank_cpu: vec![1.5, 0.5],
                 ..Default::default()
             });
         }
@@ -122,5 +147,45 @@ mod tests {
         assert_eq!(acc.bins_touched, 3);
         assert_eq!(acc.nranks, 2);
         assert_eq!(acc.component_sum(), 3.5);
+        // Per-rank vectors survive averaging element-wise.
+        assert_eq!(acc.per_rank_io, vec![2.0, 1.0]);
+        assert_eq!(acc.per_rank_cpu, vec![1.5, 0.5]);
+    }
+
+    #[test]
+    fn scale_rounds_instead_of_truncating() {
+        let mut acc = QueryMetrics::default();
+        for _ in 0..3 {
+            acc.accumulate(&QueryMetrics {
+                bytes_read: 2,
+                seeks: 2,
+                cache_hits: 1,
+                ..Default::default()
+            });
+        }
+        acc.scale(4);
+        // 6/4 = 1.5 rounds to 2 (ties away from zero); 3/4 rounds to 1.
+        // The old truncating cast reported 1 and 0.
+        assert_eq!(acc.bytes_read, 2);
+        assert_eq!(acc.seeks, 2);
+        assert_eq!(acc.cache_hits, 1);
+    }
+
+    #[test]
+    fn accumulate_grows_to_widest_rank_count() {
+        let mut acc = QueryMetrics::default();
+        acc.accumulate(&QueryMetrics {
+            per_rank_io: vec![1.0],
+            per_rank_cpu: vec![0.5],
+            ..Default::default()
+        });
+        acc.accumulate(&QueryMetrics {
+            per_rank_io: vec![1.0, 3.0],
+            per_rank_cpu: vec![0.5, 0.25],
+            ..Default::default()
+        });
+        acc.scale(2);
+        assert_eq!(acc.per_rank_io, vec![1.0, 1.5]);
+        assert_eq!(acc.per_rank_cpu, vec![0.5, 0.125]);
     }
 }

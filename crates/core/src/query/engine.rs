@@ -9,6 +9,7 @@ use crate::query::Query;
 use crate::store::MlocStore;
 use crate::{MlocError, Result};
 use mloc_bitmap::WahBitmap;
+use mloc_obs::{Collector, Label};
 use mloc_pfs::RankIo;
 use std::sync::Arc;
 use std::time::Instant;
@@ -130,12 +131,19 @@ fn local_to_coords_into(ranges: &[(usize, usize)], mut local: u64, scratch: &mut
 /// (the plan and the column-order assignment both preserve this).
 /// `position_filter`, when set, keeps only the listed global positions
 /// (used by multi-variable retrieval, §III-D.4).
+///
+/// `obs` records this rank's span/counter profile; the decompress and
+/// reconstruct spans mirror the *identical* measured floats that land
+/// in [`RankOutput`], so profiles reconcile exactly with
+/// [`crate::QueryMetrics`]. Pass [`Collector::disabled`] to skip all
+/// recording at the cost of one branch per call site.
 pub fn process_units(
     store: &MlocStore<'_>,
     query: &Query,
     units: &[WorkUnit],
     io: &mut RankIo<'_>,
     position_filter: Option<&std::collections::HashSet<u64>>,
+    obs: &mut Collector,
 ) -> Result<RankOutput> {
     let mut out = RankOutput::default();
     let config = store.config();
@@ -158,6 +166,7 @@ pub fn process_units(
     };
 
     let mut coords = vec![0usize; grid.dims()];
+    let mut cache_rejected = 0u64;
 
     let mut i = 0usize;
     while i < units.len() {
@@ -168,6 +177,10 @@ pub fn process_units(
         }
         let group = &units[i..j];
         i = j;
+
+        obs.count_labeled("bin.units", Label::Index(bin as u32), group.len() as u64);
+        let index_bytes_before = out.index_bytes;
+        obs.begin("index-read");
 
         // Index header + directory: one sequential read, cached whole.
         let idx_file = store.index_file(bin);
@@ -191,7 +204,9 @@ pub fn process_units(
                 let raw = Arc::new(io.read(&idx_file, 0, hdr_len)?);
                 out.index_bytes += hdr_len;
                 if let Some(c) = cache {
-                    c.insert(hdr_key, CachedBlock::Bytes(Arc::clone(&raw)));
+                    if !c.insert(hdr_key, CachedBlock::Bytes(Arc::clone(&raw))) {
+                        cache_rejected += 1;
+                    }
                 }
                 raw
             }
@@ -231,17 +246,26 @@ pub fn process_units(
             let gi = bitmap_slot[k_i];
             let b = Arc::new(bytes);
             if let Some(c) = cache {
-                c.insert(
+                if !c.insert(
                     key(bin, group[gi].chunk_rank, BlockPart::Bitmap),
                     CachedBlock::Bytes(Arc::clone(&b)),
-                );
+                ) {
+                    cache_rejected += 1;
+                }
             }
             bitmap_of[gi] = Some(b);
         }
+        obs.end(); // index-read
+        obs.count_labeled(
+            "bin.index.bytes",
+            Label::Index(bin as u32),
+            out.index_bytes - index_bytes_before,
+        );
 
         // Data units (only for units that need data). Cached at part
         // granularity: a PLoD level-k query reuses parts 0..k of any
         // earlier query over the same chunk, whatever its level.
+        obs.begin("data-read");
         let data_file = store.data_file(bin);
         let mut parts_of: Vec<Vec<Option<Arc<Vec<u8>>>>> = vec![Vec::new(); group.len()];
         let mut floats_of: Vec<Option<Arc<Vec<f64>>>> = vec![None; group.len()];
@@ -286,7 +310,15 @@ pub fn process_units(
             }
         }
         let data_bytes = coalesced_read(io, &data_file, &data_wants)?;
-        out.data_bytes += data_wants.iter().map(|&(_, l)| u64::from(l)).sum::<u64>();
+        let group_data_bytes = data_wants.iter().map(|&(_, l)| u64::from(l)).sum::<u64>();
+        out.data_bytes += group_data_bytes;
+        obs.end(); // data-read
+        obs.count_labeled("bin.data.bytes", Label::Index(bin as u32), group_data_bytes);
+        obs.count_labeled(
+            "decompress.units",
+            Label::Name(config.codec.name()),
+            data_bytes.len() as u64,
+        );
 
         // Decompress the fetched units (timed); cache hits above skip
         // this entirely, which is where warm-session time goes to ~0.
@@ -301,10 +333,12 @@ pub fn process_units(
                 }
                 let a = Arc::new(decomp);
                 if let Some(c) = cache {
-                    c.insert(
+                    if !c.insert(
                         key(bin, group[gi].chunk_rank, BlockPart::PlodPart(p as u8)),
                         CachedBlock::Bytes(Arc::clone(&a)),
-                    );
+                    ) {
+                        cache_rejected += 1;
+                    }
                 }
                 parts_of[gi][p] = Some(a);
             } else {
@@ -314,15 +348,21 @@ pub fn process_units(
                 }
                 let a = Arc::new(decomp);
                 if let Some(c) = cache {
-                    c.insert(
+                    if !c.insert(
                         key(bin, group[gi].chunk_rank, BlockPart::Floats),
                         CachedBlock::Floats(Arc::clone(&a)),
-                    );
+                    ) {
+                        cache_rejected += 1;
+                    }
                 }
                 floats_of[gi] = Some(a);
             }
         }
-        out.decompress_s += t.elapsed().as_secs_f64();
+        // The profile span gets the same float as the metric, so the
+        // two reports reconcile exactly, not just "within noise".
+        let decompress_dt = t.elapsed().as_secs_f64();
+        out.decompress_s += decompress_dt;
+        obs.record("decompress", decompress_dt);
 
         // Reconstruct: decode bitmaps, assemble values, filter, map to
         // global positions (timed).
@@ -394,8 +434,14 @@ pub fn process_units(
                 }
             }
         }
-        out.reconstruct_s += t.elapsed().as_secs_f64();
+        let reconstruct_dt = t.elapsed().as_secs_f64();
+        out.reconstruct_s += reconstruct_dt;
+        obs.record("reconstruct", reconstruct_dt);
     }
+    obs.count("cache.hits", out.cache_hits);
+    obs.count("cache.misses", out.cache_misses);
+    obs.count("cache.bytes_saved", out.bytes_saved);
+    obs.count("cache.rejected_inserts", cache_rejected);
     Ok(out)
 }
 

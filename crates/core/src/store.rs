@@ -242,6 +242,15 @@ impl<'a> MlocStore<'a> {
     pub fn query_with_metrics(&self, query: &Query) -> Result<(QueryResult, QueryMetrics)> {
         ParallelExecutor::serial().execute(self, query)
     }
+
+    /// Run a query on a single rank with profiling on, returning the
+    /// span/counter [`mloc_obs::Profile`] alongside result and metrics.
+    pub fn query_profiled(
+        &self,
+        query: &Query,
+    ) -> Result<(QueryResult, QueryMetrics, mloc_obs::Profile)> {
+        ParallelExecutor::serial().execute_profiled(self, query)
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,160 @@
+//! Integration tests for the query-path observability layer: replay
+//! and threaded execution must produce structurally identical profiles,
+//! and profile spans/counters must reconcile exactly with the
+//! [`QueryMetrics`] the same execution returns.
+//!
+//! These tests run WITHOUT a block cache unless stated otherwise: a
+//! shared cache makes hit/miss counts depend on which rank touches a
+//! shared block first, which is scheduling-dependent in threaded mode.
+
+use mloc::obs::Label;
+use mloc::prelude::*;
+use mloc_pfs::{CostModel, MemBackend};
+
+fn fixture(be: &MemBackend) -> MlocStore<'_> {
+    let values: Vec<f64> = (0..4096).map(|i| ((i * 53) % 4096) as f64 * 0.5).collect();
+    let config = MlocConfig::builder(vec![64, 64])
+        .chunk_shape(vec![16, 16])
+        .num_bins(8)
+        .build();
+    build_variable(be, "obs", "v", &values, &config).unwrap();
+    MlocStore::open(be, "obs", "v").unwrap()
+}
+
+#[test]
+fn replay_and_threaded_profiles_are_identical() {
+    let be = MemBackend::new();
+    let store = fixture(&be);
+    let q = Query::region(100.0, 1500.0);
+
+    let replay = ParallelExecutor::new(4, CostModel::default());
+    let threaded = ParallelExecutor::new(4, CostModel::default()).threaded(true);
+    let (res_r, m_r, p_r) = replay.execute_profiled(&store, &q).unwrap();
+    let (res_t, m_t, p_t) = threaded.execute_profiled(&store, &q).unwrap();
+
+    assert_eq!(res_r, res_t);
+    // Same span tree, same per-span counts, same counter values, same
+    // histogram buckets — only the measured floats may differ.
+    assert_eq!(p_r.structure(), p_t.structure());
+    assert_eq!(p_r.counters, p_t.counters);
+    // Byte accounting is identical too (integers, not timings).
+    assert_eq!(m_r.bytes_read, m_t.bytes_read);
+    assert_eq!(m_r.index_bytes, m_t.index_bytes);
+    assert_eq!(m_r.data_bytes, m_t.data_bytes);
+    assert_eq!(m_r.seeks, m_t.seeks);
+}
+
+#[test]
+fn profile_spans_reconcile_with_metrics_exactly() {
+    let be = MemBackend::new();
+    let store = fixture(&be);
+    let q = Query::region(0.0, 2047.0);
+    let exec = ParallelExecutor::new(3, CostModel::default());
+    let (_, m, p) = exec.execute_profiled(&store, &q).unwrap();
+
+    // The stage spans carry the very same floats as the metrics: the
+    // engine records each measured interval into both, and the I/O
+    // span is folded from the same per-rank simulator output.
+    let io = p.span(&["io"]).expect("io span");
+    assert_eq!(io.max_rank_seconds, m.io_s);
+    let dec = p.span(&["rank", "decompress"]).expect("decompress span");
+    assert_eq!(dec.max_rank_seconds, m.decompress_s);
+    let rec = p.span(&["rank", "reconstruct"]).expect("reconstruct span");
+    assert_eq!(rec.max_rank_seconds, m.reconstruct_s);
+    // Span sums equal the per-rank metric sums.
+    assert_eq!(io.seconds, m.per_rank_io.iter().sum::<f64>());
+
+    // Byte/seek counters mirror the metrics.
+    assert_eq!(p.counter("io.bytes", Label::None), m.bytes_read);
+    assert_eq!(p.counter("io.seeks", Label::None), m.seeks);
+    assert_eq!(p.counter_total("bin.index.bytes"), m.index_bytes);
+    assert_eq!(p.counter_total("bin.data.bytes"), m.data_bytes);
+    assert_eq!(p.counter("plan.bins", Label::None), m.bins_touched as u64);
+    assert_eq!(
+        p.counter("plan.chunks", Label::None),
+        m.chunks_touched as u64
+    );
+    // Per-rank byte attribution sums back to the total.
+    assert_eq!(p.counter_total("rank.io.bytes"), m.bytes_read);
+
+    // The io sub-spans are *device-service* seconds (striping lets them
+    // exceed the wall-clock `io` span; queueing lets them fall below),
+    // so they don't sum to the span — but they do follow the cost model
+    // exactly: every charged seek/open costs its model constant.
+    let model = exec.cost_model();
+    let seek_span = p.span(&["io", "seek"]).expect("seek sub-span");
+    assert!(
+        (seek_span.seconds - m.seeks as f64 * model.seek_s).abs() < 1e-9,
+        "seek service time {} != {} seeks at {}s",
+        seek_span.seconds,
+        m.seeks,
+        model.seek_s
+    );
+    let open_span = p.span(&["io", "open"]).expect("open sub-span");
+    let opens = p.counter("io.opens", Label::None);
+    assert!((open_span.seconds - opens as f64 * model.open_s).abs() < 1e-9);
+    assert!(
+        p.span(&["io", "transfer"])
+            .expect("transfer sub-span")
+            .seconds
+            > 0.0
+    );
+
+    // Plan + gather bookkeeping spans appear exactly once.
+    assert_eq!(p.span(&["plan"]).expect("plan span").count, 1);
+    assert_eq!(p.span(&["gather"]).expect("gather span").count, 1);
+    assert_eq!(p.span(&["rank"]).expect("rank span").count, 3);
+}
+
+#[test]
+fn cache_counters_match_metrics_in_serial_mode() {
+    let be = MemBackend::new();
+    let mut store = fixture(&be);
+    store.set_cache(Some(std::sync::Arc::new(BlockCache::with_budget_mb(64))));
+    let q = Query::region(200.0, 900.0);
+
+    // Cold pass fills the cache, warm pass hits it.
+    let (_, _, _) = store.query_profiled(&q).unwrap();
+    let (_, m, p) = store.query_profiled(&q).unwrap();
+
+    assert!(m.cache_hits > 0, "warm pass should hit the cache");
+    assert_eq!(p.counter("cache.hits", Label::None), m.cache_hits);
+    assert_eq!(p.counter("cache.misses", Label::None), m.cache_misses);
+    assert_eq!(p.counter("cache.bytes_saved", Label::None), m.bytes_saved);
+    // Warm pass inserts nothing new; the resident footprint is visible.
+    assert_eq!(p.counter("cache.insertions", Label::None), 0);
+    assert!(p.counter("cache.resident_bytes", Label::None) > 0);
+}
+
+#[test]
+fn per_codec_decompress_units_are_counted() {
+    let be = MemBackend::new();
+    let store = fixture(&be);
+    let q = Query::region(0.0, 2047.0);
+    let (_, _, p) = store.query_profiled(&q).unwrap();
+    assert!(p.counter("decompress.units", Label::Name("deflate")) > 0);
+    // Per-bin unit counts sum to the planned unit total.
+    assert_eq!(
+        p.counter_total("bin.units"),
+        p.counter("plan.units", Label::None)
+    );
+}
+
+#[test]
+fn profiled_and_unprofiled_executions_agree() {
+    // Profiling must be an observer: same results, same byte
+    // accounting, whether the collectors are live or no-op.
+    let be = MemBackend::new();
+    let store = fixture(&be);
+    let q = Query::region(100.0, 300.0);
+    let exec = ParallelExecutor::serial();
+    let plan = mloc::query::plan::make_plan(&store, &q).unwrap();
+    let (res_a, m_a) = exec.execute_plan(&store, &q, &plan, None).unwrap();
+    let (res_b, m_b, p) = exec.execute_plan_profiled(&store, &q, &plan, None).unwrap();
+    assert_eq!(res_a, res_b);
+    assert_eq!(m_a.bytes_read, m_b.bytes_read);
+    assert_eq!(m_a.seeks, m_b.seeks);
+    assert!(!p.is_empty());
+    // execute_plan_profiled skips planning, so no plan span exists.
+    assert!(p.span(&["plan"]).is_none());
+}

@@ -213,6 +213,57 @@ proptest! {
     }
 
     #[test]
+    fn candidate_bins_cover_the_constraint(
+        sample in proptest::collection::vec(-1e6f64..1e6, 2..200),
+        num_bins in 1usize..12,
+        // Probe constraints well past the sample range on both sides so
+        // fully-below-range and fully-above-range constraints occur.
+        a in -2e6f64..2e6,
+        b in -2e6f64..2e6,
+    ) {
+        let spec = mloc::BinSpec::equal_frequency(&sample, num_bins);
+        let (lo, hi) = (a.min(b), a.max(b));
+        if lo >= hi {
+            // a == b: degenerate draw, nothing to check.
+            return;
+        }
+        let candidates = spec.candidate_bins(lo, hi);
+        prop_assert!(!candidates.is_empty(), "non-empty [lo,hi) must touch a bin");
+        // The candidate set is a contiguous, in-range run of bins.
+        for w in candidates.windows(2) {
+            prop_assert_eq!(w[1], w[0] + 1);
+        }
+        prop_assert!(*candidates.last().unwrap() < num_bins);
+        // Every value in [lo, hi) lands in a candidate bin — whether the
+        // constraint is inside the sample range, fully below it (bin_of
+        // clamps to bin 0), or fully above it (clamps to the last bin).
+        for i in 0..=64 {
+            let v = lo + (hi - lo) * (i as f64 / 65.0);
+            if v < hi {
+                prop_assert!(
+                    candidates.contains(&spec.bin_of(v)),
+                    "value {} in [{},{}) missed candidates {:?}",
+                    v, lo, hi, &candidates
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverted_and_empty_constraints_have_no_candidates(
+        sample in proptest::collection::vec(-1e6f64..1e6, 2..100),
+        num_bins in 1usize..8,
+        a in -2e6f64..2e6,
+        b in -2e6f64..2e6,
+    ) {
+        let spec = mloc::BinSpec::equal_frequency(&sample, num_bins);
+        let (lo, hi) = (a.max(b), a.min(b)); // inverted (or equal)
+        prop_assert!(spec.candidate_bins(lo, hi).is_empty(),
+            "inverted constraint [{},{}) must yield no candidates", lo, hi);
+        prop_assert!(spec.candidate_bins(a, a).is_empty(), "empty constraint");
+    }
+
+    #[test]
     fn plan_covers_every_candidate(case in case_strategy()) {
         let be = MemBackend::new();
         let store = build_case(&be, &case);

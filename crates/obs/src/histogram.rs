@@ -1,0 +1,190 @@
+//! Fixed-bucket base-2 histograms.
+//!
+//! Buckets are powers of two so that observation is integer math on the
+//! exponent and two histograms merge by adding bucket counts — no
+//! rebinning, no allocation, deterministic under any merge order.
+
+/// Number of buckets. Bucket `i` covers `[2^(i+MIN_EXP), 2^(i+1+MIN_EXP))`;
+/// the first and last buckets also absorb under- and overflow.
+pub const NUM_BUCKETS: usize = 28;
+
+/// Exponent of the lower edge of bucket 0 (`2^-14 ≈ 6.1e-5`). With 28
+/// buckets the top edge is `2^14 = 16384`, which comfortably spans
+/// compression ratios, span seconds, and per-unit byte counts scaled
+/// to kilobytes.
+const MIN_EXP: i32 = -14;
+
+/// A fixed-size log2 histogram with count/sum/min/max summary stats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; NUM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// The bucket index a value falls into. Non-positive and non-finite
+    /// values clamp into the first bucket, huge values into the last.
+    pub fn bucket_of(value: f64) -> usize {
+        if !value.is_finite() || value <= 0.0 {
+            return 0;
+        }
+        let exp = value.log2().floor() as i64 - MIN_EXP as i64;
+        exp.clamp(0, NUM_BUCKETS as i64 - 1) as usize
+    }
+
+    /// The `[lo, hi)` value range bucket `i` nominally covers.
+    pub fn bucket_range(i: usize) -> (f64, f64) {
+        let lo = (2.0f64).powi(i as i32 + MIN_EXP);
+        (lo, lo * 2.0)
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, value: f64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Fold another histogram into this one (commutative, associative).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest observed value (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observed value (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; NUM_BUCKETS] {
+        &self.buckets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        // Bucket 0 absorbs everything at or below 2^MIN_EXP, including
+        // junk values.
+        assert_eq!(Histogram::bucket_of(0.0), 0);
+        assert_eq!(Histogram::bucket_of(-3.0), 0);
+        assert_eq!(Histogram::bucket_of(f64::NAN), 0);
+        assert_eq!(Histogram::bucket_of(f64::INFINITY), 0);
+        assert_eq!(Histogram::bucket_of(1e-30), 0);
+        // 1.0 = 2^0 sits at the lower edge of bucket -MIN_EXP.
+        assert_eq!(Histogram::bucket_of(1.0), (-MIN_EXP) as usize);
+        assert_eq!(Histogram::bucket_of(1.9), (-MIN_EXP) as usize);
+        assert_eq!(Histogram::bucket_of(2.0), (-MIN_EXP) as usize + 1);
+        // Overflow clamps to the last bucket.
+        assert_eq!(Histogram::bucket_of(1e30), NUM_BUCKETS - 1);
+        // Ranges are consistent with bucket_of for in-range values.
+        for i in 1..NUM_BUCKETS - 1 {
+            let (lo, hi) = Histogram::bucket_range(i);
+            assert_eq!(Histogram::bucket_of(lo * 1.0001), i);
+            assert_eq!(Histogram::bucket_of(hi * 0.9999), i);
+        }
+    }
+
+    #[test]
+    fn observe_and_stats() {
+        let mut h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+        for v in [0.25, 0.5, 1.0, 4.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 5.75);
+        assert_eq!(h.min(), 0.25);
+        assert_eq!(h.max(), 4.0);
+        assert_eq!(h.buckets().iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn merge_matches_combined_observation() {
+        let values = [0.1, 0.9, 3.0, 700.0, 1e-9, 1e9];
+        let mut whole = Histogram::new();
+        for v in values {
+            whole.observe(v);
+        }
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for (i, v) in values.iter().enumerate() {
+            if i % 2 == 0 {
+                a.observe(*v);
+            } else {
+                b.observe(*v);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.buckets(), whole.buckets());
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+}

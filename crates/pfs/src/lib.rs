@@ -49,7 +49,7 @@ pub use backend::{RankIo, ReadOp, StorageBackend};
 pub use cost::CostModel;
 pub use localdir::DirBackend;
 pub use mem::MemBackend;
-pub use sim::{simulate_reads, SimReport};
+pub use sim::{simulate_reads, RankIoBreakdown, SimReport};
 
 /// Errors from storage backends.
 #[derive(Debug)]

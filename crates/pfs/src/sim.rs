@@ -25,6 +25,35 @@ pub struct SimReport {
     pub total_seeks: u64,
     /// Number of file opens charged.
     pub total_opens: u64,
+    /// Per-rank cost decomposition (same length as `per_rank_seconds`).
+    pub per_rank: Vec<RankIoBreakdown>,
+}
+
+/// Where one rank's simulated I/O cost went.
+///
+/// `seek_s`/`open_s`/`transfer_s` are *device-service* seconds summed
+/// over this rank's stripe segments. Because segments of one op are
+/// served by many OSTs concurrently, their sum can exceed the rank's
+/// wall-clock `seconds` (striping parallelism) or fall below it
+/// (queueing behind other ranks) — the gap between the two is exactly
+/// the parallelism-vs-contention signal the paper's Fig. 7 plots.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RankIoBreakdown {
+    /// Wall-clock completion of this rank's last op (mirrors
+    /// `per_rank_seconds`).
+    pub seconds: f64,
+    /// Bytes transferred for this rank.
+    pub bytes: u64,
+    /// Seeks charged to segments this rank issued.
+    pub seeks: u64,
+    /// File opens charged to this rank.
+    pub opens: u64,
+    /// Device seconds spent seeking for this rank's segments.
+    pub seek_s: f64,
+    /// Seconds spent opening files.
+    pub open_s: f64,
+    /// Device seconds spent transferring this rank's bytes.
+    pub transfer_s: f64,
 }
 
 impl SimReport {
@@ -79,6 +108,7 @@ pub fn simulate_reads(traces: &[Vec<ReadOp>], model: &CostModel) -> SimReport {
     let mut total_bytes = 0u64;
     let mut total_seeks = 0u64;
     let mut total_opens = 0u64;
+    let mut per_rank = vec![RankIoBreakdown::default(); nranks];
     let window = model.client_parallelism.max(1);
 
     // Per-rank cursor state. Segments are the event granularity: the
@@ -108,7 +138,8 @@ pub fn simulate_reads(traces: &[Vec<ReadOp>], model: &CostModel) -> SimReport {
                    cur: &mut Cursor,
                    clocks: &mut [f64],
                    opened: &mut HashSet<(usize, u64)>,
-                   total_opens: &mut u64|
+                   total_opens: &mut u64,
+                   per_rank: &mut [RankIoBreakdown]|
      -> Option<f64> {
         loop {
             let op = traces[r].get(cur.op_idx)?;
@@ -125,6 +156,8 @@ pub fn simulate_reads(traces: &[Vec<ReadOp>], model: &CostModel) -> SimReport {
                 if opened.insert((r, fh)) {
                     start += model.open_s;
                     *total_opens += 1;
+                    per_rank[r].opens += 1;
+                    per_rank[r].open_s += model.open_s;
                 }
                 cur.op_start = start;
                 cur.op_completion = start;
@@ -154,7 +187,14 @@ pub fn simulate_reads(traces: &[Vec<ReadOp>], model: &CostModel) -> SimReport {
             let (head, tail) = cursors.split_at_mut(r);
             let _ = head;
             let cur = &mut tail[0];
-            if let Some(issue) = prepare(r, cur, &mut clocks, &mut opened, &mut total_opens) {
+            if let Some(issue) = prepare(
+                r,
+                cur,
+                &mut clocks,
+                &mut opened,
+                &mut total_opens,
+                &mut per_rank,
+            ) {
                 if pick.is_none_or(|(_, best)| issue < best) {
                     pick = Some((r, issue));
                 }
@@ -181,10 +221,14 @@ pub fn simulate_reads(traces: &[Vec<ReadOp>], model: &CostModel) -> SimReport {
 
         let begin = st.free_at.max(issue);
         let sequential = st.touched && st.last_file == fh && st.last_end == phys;
-        let mut cost = seg_len as f64 / model.ost_bw;
+        let transfer = seg_len as f64 / model.ost_bw;
+        let mut cost = transfer;
+        per_rank[r].transfer_s += transfer;
         if !sequential {
             cost += model.seek_s;
             total_seeks += 1;
+            per_rank[r].seeks += 1;
+            per_rank[r].seek_s += model.seek_s;
         }
         st.free_at = begin + cost;
         st.last_file = fh;
@@ -198,13 +242,18 @@ pub fn simulate_reads(traces: &[Vec<ReadOp>], model: &CostModel) -> SimReport {
         cur.op_completion = cur.op_completion.max(st.free_at);
         cur.seg_off = seg_end;
         total_bytes += seg_len;
+        per_rank[r].bytes += seg_len;
     }
 
+    for (b, &t) in per_rank.iter_mut().zip(clocks.iter()) {
+        b.seconds = t;
+    }
     SimReport {
         per_rank_seconds: clocks,
         total_bytes,
         total_seeks,
         total_opens,
+        per_rank,
     }
 }
 
@@ -359,6 +408,37 @@ mod tests {
         let rep = simulate_reads(&[vec![op("f", 0, 0)]], &model());
         assert_eq!(rep.elapsed(), 0.0);
         assert_eq!(rep.total_opens, 0);
+    }
+
+    #[test]
+    fn per_rank_breakdown_reconciles_with_totals() {
+        let m = model();
+        let traces = vec![
+            vec![op("a", 0, 8 << 20), op("a", 32 << 20, 4 << 20)],
+            vec![op("b", 0, 16 << 20)],
+            vec![], // idle rank stays all-zero
+        ];
+        let rep = simulate_reads(&traces, &m);
+        assert_eq!(rep.per_rank.len(), 3);
+        assert_eq!(
+            rep.per_rank.iter().map(|b| b.bytes).sum::<u64>(),
+            rep.total_bytes
+        );
+        assert_eq!(
+            rep.per_rank.iter().map(|b| b.seeks).sum::<u64>(),
+            rep.total_seeks
+        );
+        assert_eq!(
+            rep.per_rank.iter().map(|b| b.opens).sum::<u64>(),
+            rep.total_opens
+        );
+        for (b, &t) in rep.per_rank.iter().zip(rep.per_rank_seconds.iter()) {
+            assert_eq!(b.seconds, t);
+            assert!((b.seek_s - b.seeks as f64 * m.seek_s).abs() < 1e-12);
+            assert!((b.open_s - b.opens as f64 * m.open_s).abs() < 1e-12);
+            assert!((b.transfer_s - b.bytes as f64 / m.ost_bw).abs() < 1e-9);
+        }
+        assert_eq!(rep.per_rank[2], RankIoBreakdown::default());
     }
 
     #[test]
