@@ -20,6 +20,15 @@ fn bench_split_assemble(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("assemble", level), &lvl, |b, &lvl| {
             b.iter(|| black_box(plod::assemble(&refs[..lvl.num_parts()], lvl)))
         });
+        // The engine's hot path: assembly into a reused scratch buffer,
+        // no per-chunk allocation.
+        g.bench_with_input(BenchmarkId::new("assemble_into", level), &lvl, |b, &lvl| {
+            let mut scratch = Vec::new();
+            b.iter(|| {
+                plod::assemble_into(&refs[..lvl.num_parts()], lvl, &mut scratch);
+                black_box(scratch.len())
+            })
+        });
     }
     g.finish();
 }

@@ -34,6 +34,36 @@ fn bench_ops(c: &mut Criterion) {
     g.bench_function("iter_ones_1M", |b| {
         b.iter(|| black_box(a.iter_ones().sum::<u64>()))
     });
+    // Run iteration visits O(runs) not O(ones): on fill-heavy bitmaps
+    // it should be orders of magnitude faster than iter_ones.
+    g.bench_function("iter_runs_1M", |b| {
+        b.iter(|| {
+            black_box(
+                a.iter_runs()
+                    .filter(|&(_, _, bit)| bit)
+                    .map(|(_, len, _)| len)
+                    .sum::<u64>(),
+            )
+        })
+    });
+    // Dense case: long one-fills, where iter_ones pays per point and
+    // iter_runs pays per run.
+    let dense =
+        WahBitmap::from_sorted_positions(n, &(0..n).filter(|x| x % 1000 != 0).collect::<Vec<_>>());
+    g.bench_function("iter_ones_dense_1M", |b| {
+        b.iter(|| black_box(dense.iter_ones().sum::<u64>()))
+    });
+    g.bench_function("iter_runs_dense_1M", |b| {
+        b.iter(|| {
+            black_box(
+                dense
+                    .iter_runs()
+                    .filter(|&(_, _, bit)| bit)
+                    .map(|(start, len, _)| start + len)
+                    .sum::<u64>(),
+            )
+        })
+    });
     g.finish();
 }
 

@@ -139,11 +139,34 @@ fn main() {
 
     print!("{}", merged.render());
 
+    // Stage seconds over the measured profiled passes (summed across
+    // queries and passes, same scale as `profiled_seconds`) and the
+    // hot-path allocation proxy: bytes materialized into fresh or
+    // scratch buffers per session pass. These are the regression
+    // handles CI diffs against the committed baseline.
+    let stage = |path: &[&str]| merged.span(path).map_or(0.0, |s| s.seconds);
+    let decompress_s = stage(&["rank", "decompress"]);
+    let reconstruct_s = stage(&["rank", "reconstruct"]);
+    let copy_bytes = merged
+        .counters
+        .iter()
+        .filter(|c| c.name == "hotpath.copy_bytes")
+        .map(|c| c.value)
+        .sum::<u64>()
+        / REPS as u64;
+    note(&format!(
+        "stages x{REPS}: decompress {decompress_s:.4}s, reconstruct {reconstruct_s:.4}s, \
+         copy {copy_bytes} bytes/session"
+    ));
+
     let json = format!(
         "{{\n  \"bench\": \"query\",\n  \"shape\": {shape:?},\n  \"queries\": {},\n  \
          \"ranks\": {},\n  \"replay_threaded_identical\": true,\n  \
          \"plain_seconds\": {plain_s:.6},\n  \"profiled_seconds\": {profiled_s:.6},\n  \
-         \"overhead_pct\": {overhead_pct:.2},\n  \"profile\": {}\n}}\n",
+         \"overhead_pct\": {overhead_pct:.2},\n  \
+         \"decompress_seconds\": {decompress_s:.6},\n  \
+         \"reconstruct_seconds\": {reconstruct_s:.6},\n  \
+         \"copy_bytes_per_session\": {copy_bytes},\n  \"profile\": {}\n}}\n",
         queries.len(),
         args.ranks,
         merged.to_json(),

@@ -128,17 +128,70 @@ impl WahBitmap {
         false
     }
 
-    /// Iterate positions of set bits in increasing order.
-    pub fn iter_ones(&self) -> OnesIter<'_> {
-        OnesIter {
-            bitmap: self,
+    /// Iterate maximal `(start, len, bit)` runs of identical bits in
+    /// position order. Runs partition `[0, len())` exactly: adjacent
+    /// runs carry opposite bits, lengths sum to [`Self::len`], and the
+    /// padding bits of a trailing partial group are never reported.
+    ///
+    /// This is the bulk-processing counterpart of [`Self::iter_ones`]:
+    /// a fill of ones surfaces as one run, not as per-bit steps, so a
+    /// consumer can turn it into a single range operation.
+    pub fn iter_runs(&self) -> BitRunsIter<'_> {
+        BitRunsIter {
+            words: &self.words,
             word_idx: 0,
             bit_cursor: 0,
-            pending_fill_groups: 0,
-            pending_fill_bit: false,
+            num_bits: self.num_bits,
             literal: 0,
-            literal_base: 0,
-            literal_active: false,
+            literal_rem: 0,
+            pending: None,
+        }
+    }
+
+    /// Number of set bits in `[0, pos)`.
+    ///
+    /// # Panics
+    /// Panics if `pos` exceeds the bitmap length.
+    pub fn rank(&self, pos: u64) -> u64 {
+        assert!(pos <= self.num_bits, "rank position {pos} out of range");
+        let mut total = 0u64;
+        for (start, len, bit) in self.iter_runs() {
+            if start >= pos {
+                break;
+            }
+            if bit {
+                total += len.min(pos - start);
+            }
+        }
+        total
+    }
+
+    /// Position of the `k`-th set bit (0-indexed), or `None` when the
+    /// bitmap has `k` or fewer set bits.
+    pub fn select(&self, k: u64) -> Option<u64> {
+        let mut seen = 0u64;
+        for (start, len, bit) in self.iter_runs() {
+            if !bit {
+                continue;
+            }
+            if k < seen + len {
+                return Some(start + (k - seen));
+            }
+            seen += len;
+        }
+        None
+    }
+
+    /// Iterate positions of set bits in increasing order.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        self.as_ref().iter_ones()
+    }
+
+    /// Borrowed view of this bitmap (same queries, no ownership).
+    pub fn as_ref(&self) -> WahRef<'_> {
+        WahRef {
+            words: &self.words,
+            num_bits: self.num_bits,
         }
     }
 
@@ -255,9 +308,260 @@ impl Iterator for RunIter<'_> {
     }
 }
 
+/// Iterator over maximal same-bit runs, yielding `(start, len, bit)`.
+///
+/// Produced by [`WahBitmap::iter_runs`]. Adjacent encoded runs of the
+/// same bit (e.g. a fill followed by an all-equal literal) are merged,
+/// so consumers always see maximal runs.
+pub struct BitRunsIter<'a> {
+    words: &'a [u32],
+    word_idx: usize,
+    bit_cursor: u64,
+    num_bits: u64,
+    /// Remaining bits of a partially consumed literal word (shifted so
+    /// the next bit is bit 0).
+    literal: u32,
+    literal_rem: u32,
+    /// A decoded run awaiting merge with its successor.
+    pending: Option<(u64, u64, bool)>,
+}
+
+impl BitRunsIter<'_> {
+    /// Next raw (unmerged) run, clamped to the logical length.
+    fn next_raw(&mut self) -> Option<(u64, u64, bool)> {
+        loop {
+            if self.literal_rem > 0 {
+                let start = self.bit_cursor;
+                let bit = self.literal & 1 == 1;
+                let same = if bit {
+                    self.literal.trailing_ones()
+                } else {
+                    self.literal.trailing_zeros()
+                };
+                let take = same.min(self.literal_rem);
+                // take < 32 always (literal_rem <= 31), so the shift is
+                // in range.
+                self.literal >>= take;
+                self.literal_rem -= take;
+                self.bit_cursor += u64::from(take);
+                if start >= self.num_bits {
+                    continue; // padding bits of the trailing group
+                }
+                let len = u64::from(take).min(self.num_bits - start);
+                return Some((start, len, bit));
+            }
+            let w = *self.words.get(self.word_idx)?;
+            self.word_idx += 1;
+            if w & FILL_FLAG != 0 {
+                let bit = w & FILL_BIT != 0;
+                let nbits = u64::from(w & FILL_COUNT_MASK) * GROUP_BITS;
+                let start = self.bit_cursor;
+                self.bit_cursor += nbits;
+                if nbits == 0 || start >= self.num_bits {
+                    continue;
+                }
+                let len = nbits.min(self.num_bits - start);
+                return Some((start, len, bit));
+            }
+            self.literal = w & LITERAL_MASK;
+            self.literal_rem = GROUP_BITS as u32;
+        }
+    }
+}
+
+impl Iterator for BitRunsIter<'_> {
+    type Item = (u64, u64, bool);
+
+    fn next(&mut self) -> Option<(u64, u64, bool)> {
+        loop {
+            match self.next_raw() {
+                Some((start, len, bit)) => match self.pending {
+                    Some((ps, pl, pb)) if pb == bit && ps + pl == start => {
+                        self.pending = Some((ps, pl + len, bit));
+                    }
+                    Some(prev) => {
+                        self.pending = Some((start, len, bit));
+                        return Some(prev);
+                    }
+                    None => self.pending = Some((start, len, bit)),
+                },
+                None => return self.pending.take(),
+            }
+        }
+    }
+}
+
+/// A borrowed WAH bitmap view: the zero-allocation counterpart of
+/// [`WahBitmap`] for hot paths that decode serialized bitmaps into a
+/// reused scratch buffer instead of allocating per bitmap.
+#[derive(Debug, Clone, Copy)]
+pub struct WahRef<'a> {
+    words: &'a [u32],
+    num_bits: u64,
+}
+
+impl<'a> WahRef<'a> {
+    /// Decode [`WahBitmap::to_bytes`] output into `scratch` (cleared
+    /// and refilled, capacity reused), returning the borrowed view and
+    /// the number of bytes consumed.
+    pub fn decode_into(
+        data: &[u8],
+        scratch: &'a mut Vec<u32>,
+    ) -> Result<(WahRef<'a>, usize), BitmapError> {
+        if data.len() < 16 {
+            return Err(BitmapError::Truncated);
+        }
+        let magic = u32::from_le_bytes(data[0..4].try_into().unwrap());
+        if magic != MAGIC {
+            return Err(BitmapError::BadMagic(magic));
+        }
+        let num_bits = u64::from_le_bytes(data[4..12].try_into().unwrap());
+        let nwords = u32::from_le_bytes(data[12..16].try_into().unwrap()) as usize;
+        let need = 16 + nwords.saturating_mul(4);
+        if data.len() < need {
+            return Err(BitmapError::Truncated);
+        }
+        scratch.clear();
+        scratch.reserve(nwords);
+        scratch.extend(
+            data[16..need]
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().unwrap())),
+        );
+        Ok((
+            WahRef {
+                words: scratch,
+                num_bits,
+            },
+            need,
+        ))
+    }
+
+    /// Logical number of bits.
+    pub fn len(&self) -> u64 {
+        self.num_bits
+    }
+
+    /// True when the view has zero logical bits.
+    pub fn is_empty(&self) -> bool {
+        self.num_bits == 0
+    }
+
+    /// Number of set bits. One pass over the encoded words: a popcount
+    /// per literal, a multiply per fill — no per-word cursor tracking.
+    ///
+    /// Canonical encodings (everything [`WahBitmap::to_bytes`] emits)
+    /// keep unused tail-literal bits clear, so counting whole words is
+    /// exact. A non-canonical (corrupt) input with junk tail bits
+    /// over-counts, which only makes consistency checks against an
+    /// expected count *more* likely to reject it.
+    pub fn count_ones(&self) -> u64 {
+        let mut total = 0u64;
+        for &w in self.words {
+            if w & FILL_FLAG != 0 {
+                if w & FILL_BIT != 0 {
+                    total += u64::from(w & FILL_COUNT_MASK) * GROUP_BITS;
+                }
+            } else {
+                total += u64::from(w.count_ones());
+            }
+        }
+        total
+    }
+
+    /// Visit every run of set bits as `f(gap, ones_before, len)` in
+    /// position order, where `gap` is the number of clear bits since
+    /// the previous visited run (or the start), `ones_before` the
+    /// number of set bits strictly before the run (the rank of its
+    /// first position — exactly the index of its first value in a
+    /// densely packed value block), and `len` the run length.
+    ///
+    /// Unlike [`iter_runs`](Self::iter_runs), runs are *not*
+    /// guaranteed maximal: adjacent set runs may be reported
+    /// separately (e.g. a one fill followed by a literal starting with
+    /// ones). Dropping the merge lookahead and folding clear gaps into
+    /// the next visit makes this the cheapest way to walk a bitmap —
+    /// one closure call and one shift/`trailing_zeros` pair per set
+    /// run inside literal words, no iterator state machine. Trailing
+    /// clear bits are never reported.
+    #[inline]
+    pub fn for_each_one_run(&self, mut f: impl FnMut(u64, u64, u64)) {
+        let mut ones_before = 0u64;
+        let mut gap = 0u64;
+        let mut remaining = self.num_bits;
+        for &w in self.words {
+            if remaining == 0 {
+                break;
+            }
+            if w & FILL_FLAG != 0 {
+                let len = (u64::from(w & FILL_COUNT_MASK) * GROUP_BITS).min(remaining);
+                remaining -= len;
+                if w & FILL_BIT != 0 {
+                    f(gap, ones_before, len);
+                    gap = 0;
+                    ones_before += len;
+                } else {
+                    gap += len;
+                }
+            } else {
+                let nbits = GROUP_BITS.min(remaining);
+                remaining -= nbits;
+                // Bit 0 of the literal is the lowest position; peel
+                // alternating zero/one stretches off the low end.
+                let mut m = w & LITERAL_MASK;
+                if nbits < GROUP_BITS {
+                    m &= (1u32 << nbits) - 1;
+                }
+                let mut consumed = 0u64;
+                while m != 0 {
+                    let z = u64::from(m.trailing_zeros());
+                    m >>= z;
+                    let o = u64::from((!m).trailing_zeros());
+                    f(gap + z, ones_before, o);
+                    gap = 0;
+                    ones_before += o;
+                    m >>= o;
+                    consumed += z + o;
+                }
+                gap += nbits - consumed;
+            }
+        }
+    }
+
+    /// Iterate maximal `(start, len, bit)` runs — see
+    /// [`WahBitmap::iter_runs`].
+    pub fn iter_runs(&self) -> BitRunsIter<'a> {
+        BitRunsIter {
+            words: self.words,
+            word_idx: 0,
+            bit_cursor: 0,
+            num_bits: self.num_bits,
+            literal: 0,
+            literal_rem: 0,
+            pending: None,
+        }
+    }
+
+    /// Iterate positions of set bits in increasing order.
+    pub fn iter_ones(&self) -> OnesIter<'a> {
+        OnesIter {
+            words: self.words,
+            num_bits: self.num_bits,
+            word_idx: 0,
+            bit_cursor: 0,
+            pending_fill_groups: 0,
+            pending_fill_bit: false,
+            literal: 0,
+            literal_base: 0,
+            literal_active: false,
+        }
+    }
+}
+
 /// Iterator over set-bit positions.
 pub struct OnesIter<'a> {
-    bitmap: &'a WahBitmap,
+    words: &'a [u32],
+    num_bits: u64,
     word_idx: usize,
     bit_cursor: u64,
     pending_fill_groups: u32,
@@ -277,7 +581,7 @@ impl Iterator for OnesIter<'_> {
                     let tz = self.literal.trailing_zeros() as u64;
                     self.literal &= self.literal - 1;
                     let pos = self.literal_base + tz;
-                    if pos < self.bitmap.num_bits {
+                    if pos < self.num_bits {
                         return Some(pos);
                     }
                     continue;
@@ -299,7 +603,7 @@ impl Iterator for OnesIter<'_> {
                     self.pending_fill_groups = 0;
                 }
             }
-            let w = *self.bitmap.words.get(self.word_idx)?;
+            let w = *self.words.get(self.word_idx)?;
             self.word_idx += 1;
             if w & FILL_FLAG != 0 {
                 self.pending_fill_bit = w & FILL_BIT != 0;
@@ -543,6 +847,72 @@ mod tests {
         assert!(bm.get(59));
         assert!(!bm.get(62));
         assert!(bm.get(63));
+    }
+
+    /// Reference run decomposition straight from per-bit iteration.
+    fn naive_runs(b: &WahBitmap) -> Vec<(u64, u64, bool)> {
+        let mut out: Vec<(u64, u64, bool)> = Vec::new();
+        for pos in 0..b.len() {
+            let bit = b.get(pos);
+            match out.last_mut() {
+                Some((_, len, rb)) if *rb == bit => *len += 1,
+                _ => out.push((pos, 1, bit)),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn iter_runs_partitions_and_alternates() {
+        let cases = [
+            WahBitmap::from_sorted_positions(200, &[0, 1, 2, 50, 51, 199]),
+            WahBitmap::ones(100),
+            WahBitmap::zeros(100),
+            WahBitmap::from_sorted_positions(1_000_000, &[0, 31, 62, 999_999]),
+            WahBuilder::new().finish(),
+            WahBitmap::from_bools(&(0..97).map(|i| i % 2 == 0).collect::<Vec<_>>()),
+        ];
+        for b in &cases {
+            let runs: Vec<_> = b.iter_runs().collect();
+            assert_eq!(runs, naive_runs(b));
+            // Runs tile [0, len) and alternate bits.
+            let mut cursor = 0u64;
+            for w in runs.windows(2) {
+                assert_ne!(w[0].2, w[1].2, "adjacent runs share a bit");
+            }
+            for &(start, len, _) in &runs {
+                assert_eq!(start, cursor);
+                assert!(len > 0);
+                cursor += len;
+            }
+            assert_eq!(cursor, b.len());
+        }
+    }
+
+    #[test]
+    fn iter_runs_long_fills_are_single_runs() {
+        // ones fill + literal tail of ones must merge into one run.
+        let mut bld = WahBuilder::new();
+        bld.append_run(true, 31 * 100);
+        bld.append_run(true, 5);
+        bld.append_run(false, 7);
+        let b = bld.finish();
+        let runs: Vec<_> = b.iter_runs().collect();
+        assert_eq!(runs, vec![(0, 3105, true), (3105, 7, false)]);
+    }
+
+    #[test]
+    fn rank_select_roundtrip() {
+        let pos = [3u64, 31, 32, 62, 63, 64, 100, 9_999];
+        let b = WahBitmap::from_sorted_positions(10_000, &pos);
+        for (k, &p) in pos.iter().enumerate() {
+            assert_eq!(b.select(k as u64), Some(p));
+            assert_eq!(b.rank(p), k as u64);
+            assert_eq!(b.rank(p + 1), k as u64 + 1);
+        }
+        assert_eq!(b.select(pos.len() as u64), None);
+        assert_eq!(b.rank(0), 0);
+        assert_eq!(b.rank(b.len()), b.count_ones());
     }
 
     #[test]

@@ -67,6 +67,110 @@ proptest! {
     }
 
     #[test]
+    fn iter_runs_equals_iter_ones(bits in proptest::collection::vec(any::<bool>(), 0..500)) {
+        let bm = WahBitmap::from_bools(&bits);
+        // Expanding one-runs reproduces iter_ones exactly; run lengths
+        // tile the whole bitmap with alternating bits.
+        let mut from_runs: Vec<u64> = Vec::new();
+        let mut cursor = 0u64;
+        let mut last_bit: Option<bool> = None;
+        for (start, len, bit) in bm.iter_runs() {
+            prop_assert_eq!(start, cursor);
+            prop_assert!(len > 0);
+            prop_assert_ne!(Some(bit), last_bit, "adjacent runs share a bit");
+            if bit {
+                from_runs.extend(start..start + len);
+            }
+            cursor += len;
+            last_bit = Some(bit);
+        }
+        prop_assert_eq!(cursor, bm.len());
+        prop_assert_eq!(from_runs.len() as u64, bm.as_ref().count_ones());
+        prop_assert_eq!(from_runs, bm.iter_ones().collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn iter_runs_equals_iter_ones_with_long_fills(
+        segments in proptest::collection::vec((any::<bool>(), 1u64..5_000), 1..12)
+    ) {
+        // Long fill runs (many whole groups) plus odd-length tails that
+        // end in partial literals.
+        let mut b = mloc_bitmap::WahBuilder::new();
+        for &(bit, n) in &segments {
+            b.append_run(bit, n);
+        }
+        let bm = b.finish();
+        let mut from_runs: Vec<u64> = Vec::new();
+        let mut cursor = 0u64;
+        for (start, len, bit) in bm.iter_runs() {
+            prop_assert_eq!(start, cursor);
+            if bit {
+                from_runs.extend(start..start + len);
+            }
+            cursor += len;
+        }
+        prop_assert_eq!(cursor, bm.len());
+        prop_assert_eq!(from_runs, bm.iter_ones().collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn for_each_one_run_equals_iter_ones(bits in proptest::collection::vec(any::<bool>(), 0..500)) {
+        let bm = WahBitmap::from_bools(&bits);
+        // `(gap, ones_before, len)` visits reproduce iter_ones exactly:
+        // gaps accumulate into the next run's start, `ones_before` is
+        // the running rank, and runs are non-empty (though trailing
+        // zeros are never reported and runs need not be maximal).
+        let mut from_runs: Vec<u64> = Vec::new();
+        let mut cursor = 0u64;
+        let mut rank = 0u64;
+        bm.as_ref().for_each_one_run(|gap, ones_before, len| {
+            cursor += gap;
+            assert_eq!(ones_before, rank, "ones_before must be the running rank");
+            assert!(len > 0, "empty one-run reported");
+            from_runs.extend(cursor..cursor + len);
+            cursor += len;
+            rank += len;
+        });
+        prop_assert!(cursor <= bm.len());
+        prop_assert_eq!(rank, bm.as_ref().count_ones());
+        prop_assert_eq!(from_runs, bm.iter_ones().collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn for_each_one_run_with_long_fills(
+        segments in proptest::collection::vec((any::<bool>(), 1u64..5_000), 1..12)
+    ) {
+        let mut b = mloc_bitmap::WahBuilder::new();
+        for &(bit, n) in &segments {
+            b.append_run(bit, n);
+        }
+        let bm = b.finish();
+        let mut from_runs: Vec<u64> = Vec::new();
+        let mut cursor = 0u64;
+        bm.as_ref().for_each_one_run(|gap, _, len| {
+            cursor += gap;
+            from_runs.extend(cursor..cursor + len);
+            cursor += len;
+        });
+        prop_assert!(cursor <= bm.len());
+        prop_assert_eq!(from_runs, bm.iter_ones().collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn rank_select_match_naive(bits in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let bm = WahBitmap::from_bools(&bits);
+        let ones = positions(&bits);
+        for (k, &p) in ones.iter().enumerate() {
+            prop_assert_eq!(bm.select(k as u64), Some(p));
+        }
+        prop_assert_eq!(bm.select(ones.len() as u64), None);
+        for pos in 0..=bits.len() {
+            let want = bits[..pos].iter().filter(|&&b| b).count() as u64;
+            prop_assert_eq!(bm.rank(pos as u64), want);
+        }
+    }
+
+    #[test]
     fn sparse_bitmaps_stay_small(n_ones in 0usize..20) {
         let n = 1_000_000u64;
         let pos: Vec<u64> = (0..n_ones as u64).map(|i| i * 40_000).collect();

@@ -192,6 +192,24 @@ impl ChunkGrid {
         self.chunk_region(chunk).num_points()
     }
 
+    /// Write a chunk's clamped ranges into `out` without allocating —
+    /// the hot-path counterpart of [`Self::chunk_region`] (`out`'s
+    /// capacity is reused across calls).
+    pub fn chunk_ranges_into(&self, chunk: usize, out: &mut Vec<(usize, usize)>) {
+        let dims = self.dims();
+        out.clear();
+        out.resize(dims, (0, 0));
+        let mut id = chunk;
+        for d in (0..dims).rev() {
+            let c = id % self.grid[d];
+            id /= self.grid[d];
+            let start = c * self.chunk_shape[d];
+            let end = (start + self.chunk_shape[d]).min(self.shape[d]);
+            out[d] = (start, end);
+        }
+        debug_assert_eq!(id, 0, "chunk id out of range");
+    }
+
     /// Chunk ids (row-major) whose region intersects `region`.
     pub fn chunks_intersecting(&self, region: &Region) -> Vec<usize> {
         assert_eq!(region.dims(), self.dims());

@@ -67,17 +67,88 @@ pub struct BlockKey {
     pub part: BlockPart,
 }
 
+/// A zero-copy view of a byte range inside a shared buffer.
+///
+/// The query hot path reads coalesced extents once and hands out
+/// `ByteView`s into them instead of copying every want into its own
+/// `Vec<u8>`; cache inserts clone the view (an `Arc` bump plus two
+/// integers), never the bytes. Views of the same extent share one
+/// backing allocation, so caching every bitmap of a bin read together
+/// costs the extent once, not once per bitmap. Coalescing gaps (at
+/// most the merge threshold per join) ride along uncharged — the
+/// budget charge is the view length, see [`CachedBlock::cost`].
+#[derive(Debug, Clone)]
+pub struct ByteView {
+    buf: Arc<Vec<u8>>,
+    start: usize,
+    len: usize,
+}
+
+impl ByteView {
+    /// View of a whole shared buffer.
+    pub fn new(buf: Arc<Vec<u8>>) -> Self {
+        let len = buf.len();
+        ByteView { buf, start: 0, len }
+    }
+
+    /// View of `buf[start..start + len]`.
+    ///
+    /// # Panics
+    /// Panics when the range exceeds the buffer.
+    pub fn slice(buf: Arc<Vec<u8>>, start: usize, len: usize) -> Self {
+        assert!(start + len <= buf.len(), "byte view out of range");
+        ByteView { buf, start, len }
+    }
+
+    /// An empty view with no backing allocation of its own.
+    pub fn empty() -> Self {
+        static EMPTY: std::sync::OnceLock<Arc<Vec<u8>>> = std::sync::OnceLock::new();
+        ByteView::new(Arc::clone(EMPTY.get_or_init(|| Arc::new(Vec::new()))))
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.start..self.start + self.len]
+    }
+
+    /// Length of the view in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Deref for ByteView {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for ByteView {
+    fn from(v: Vec<u8>) -> Self {
+        ByteView::new(Arc::new(v))
+    }
+}
+
 /// A cached decompressed block.
 #[derive(Debug, Clone)]
 pub enum CachedBlock {
-    /// Raw bytes: index headers, bitmaps, PLoD parts.
-    Bytes(Arc<Vec<u8>>),
+    /// Raw bytes: index headers, bitmaps, PLoD parts. Stored as a
+    /// view so cache inserts of extent subslices copy nothing.
+    Bytes(ByteView),
     /// Decoded doubles: whole-value blocks.
     Floats(Arc<Vec<f64>>),
 }
 
 impl CachedBlock {
-    /// Budget charge of this block in bytes.
+    /// Budget charge of this block in bytes (the view length for byte
+    /// blocks — shared extent backing is charged per view, so a few
+    /// coalescing-gap bytes may ride along free).
     pub fn cost(&self) -> u64 {
         match self {
             CachedBlock::Bytes(b) => b.len() as u64,
@@ -86,7 +157,7 @@ impl CachedBlock {
     }
 
     /// The byte payload, if this is a byte block.
-    pub fn as_bytes(&self) -> Option<&Arc<Vec<u8>>> {
+    pub fn as_bytes(&self) -> Option<&ByteView> {
         match self {
             CachedBlock::Bytes(b) => Some(b),
             CachedBlock::Floats(_) => None,
@@ -375,7 +446,26 @@ mod tests {
     }
 
     fn block(n: usize) -> CachedBlock {
-        CachedBlock::Bytes(Arc::new(vec![0xAB; n]))
+        CachedBlock::Bytes(ByteView::from(vec![0xAB; n]))
+    }
+
+    #[test]
+    fn byte_views_share_backing_without_copying() {
+        let extent = Arc::new((0..100u8).collect::<Vec<u8>>());
+        let a = ByteView::slice(Arc::clone(&extent), 10, 5);
+        let b = ByteView::slice(Arc::clone(&extent), 15, 5);
+        assert_eq!(a.as_slice(), &[10, 11, 12, 13, 14]);
+        assert_eq!(&b[..], &[15, 16, 17, 18, 19]);
+        // Two views + the original: one allocation, three handles.
+        assert_eq!(Arc::strong_count(&extent), 3);
+        assert!(ByteView::empty().is_empty());
+        assert_eq!(CachedBlock::Bytes(a).cost(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn byte_view_out_of_range_panics() {
+        ByteView::slice(Arc::new(vec![0u8; 4]), 2, 3);
     }
 
     #[test]
@@ -526,7 +616,7 @@ mod tests {
                             part: BlockPart::PlodPart((i % 3) as u8),
                         };
                         if i % 2 == 0 {
-                            cache.insert(k, CachedBlock::Bytes(Arc::new(vec![0; 128])));
+                            cache.insert(k, CachedBlock::Bytes(ByteView::from(vec![0; 128])));
                         } else {
                             let _ = cache.get(&k);
                         }

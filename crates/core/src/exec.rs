@@ -16,7 +16,6 @@ use crate::Result;
 use mloc_obs::{Collector, Label, Profile};
 use mloc_pfs::{simulate_reads, CostModel, RankIo, ReadOp};
 use mloc_runtime::{column_order, spmd};
-use std::collections::HashSet;
 use std::time::Instant;
 
 /// Executes queries over `nranks` ranks with a PFS cost model.
@@ -105,13 +104,16 @@ impl ParallelExecutor {
     }
 
     /// Execute a pre-built plan, optionally restricting output to a
-    /// set of global positions (multi-variable retrieval).
+    /// set of global positions (multi-variable retrieval). The filter
+    /// must be sorted ascending and duplicate-free; the engine
+    /// intersects it with each unit's monotone position stream by
+    /// galloping rather than hashing.
     pub fn execute_plan(
         &self,
         store: &MlocStore<'_>,
         query: &Query,
         plan: &Plan,
-        position_filter: Option<&HashSet<u64>>,
+        position_filter: Option<&[u64]>,
     ) -> Result<(QueryResult, QueryMetrics)> {
         self.run_plan(store, query, plan, position_filter, false, None)
             .map(|(result, metrics, _)| (result, metrics))
@@ -123,7 +125,7 @@ impl ParallelExecutor {
         store: &MlocStore<'_>,
         query: &Query,
         plan: &Plan,
-        position_filter: Option<&HashSet<u64>>,
+        position_filter: Option<&[u64]>,
     ) -> Result<(QueryResult, QueryMetrics, Profile)> {
         self.run_plan(store, query, plan, position_filter, true, None)
     }
@@ -133,7 +135,7 @@ impl ParallelExecutor {
         store: &MlocStore<'_>,
         query: &Query,
         plan: &Plan,
-        position_filter: Option<&HashSet<u64>>,
+        position_filter: Option<&[u64]>,
         profiled: bool,
         plan_s: Option<f64>,
     ) -> Result<(QueryResult, QueryMetrics, Profile)> {
@@ -421,7 +423,7 @@ mod tests {
         let (values, store) = fixture(&be);
         let q = Query::values_in(Region::full(&[64, 64]));
         let plan = crate::query::plan::make_plan(&store, &q).unwrap();
-        let filter: HashSet<u64> = [3u64, 77, 4000].into_iter().collect();
+        let filter = [3u64, 77, 4000];
         let (res, _) = ParallelExecutor::serial()
             .execute_plan(&store, &q, &plan, Some(&filter))
             .unwrap();

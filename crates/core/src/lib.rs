@@ -69,7 +69,7 @@ mod wire;
 pub use array::{ChunkGrid, Region};
 pub use binning::BinSpec;
 pub use build::{build_variable, BuildReport, StreamingBuilder};
-pub use cache::{BlockCache, CacheStats};
+pub use cache::{BlockCache, ByteView, CacheStats};
 pub use config::{ConfigBuilder, LevelOrder, MlocConfig, PlodLevel};
 pub use dataset::Dataset;
 pub use exec::ParallelExecutor;

@@ -23,20 +23,43 @@ const PART_OFFSETS: [usize; NUM_PARTS] = [0, 2, 3, 4, 5, 6, 7];
 ///
 /// Part `p` of value `i` lives at `parts[p][i * PART_BYTES[p]..]`, in
 /// big-endian (most-significant-first) byte order.
+///
+/// The kernel writes each part contiguously in one streaming pass
+/// (output-major instead of value-major): the destination slice of a
+/// part is carved out once per part, so the inner loop is a bounds-
+/// check-free byte gather.
 pub fn split(values: &[f64]) -> Vec<Vec<u8>> {
     let n = values.len();
-    let mut parts: Vec<Vec<u8>> = PART_BYTES
-        .iter()
-        .map(|&w| Vec::with_capacity(n * w))
-        .collect();
-    for &v in values {
+    let mut parts: Vec<Vec<u8>> = PART_BYTES.iter().map(|&w| vec![0u8; n * w]).collect();
+    // Part 0: the two most significant bytes of every value.
+    for (dst, &v) in parts[0].chunks_exact_mut(2).zip(values) {
         let be = v.to_be_bytes();
-        for (p, part) in parts.iter_mut().enumerate() {
-            let off = PART_OFFSETS[p];
-            part.extend_from_slice(&be[off..off + PART_BYTES[p]]);
+        dst[0] = be[0];
+        dst[1] = be[1];
+    }
+    // Parts 1..7: one byte per value, contiguous per part.
+    for (p, part) in parts.iter_mut().enumerate().skip(1) {
+        let off = PART_OFFSETS[p];
+        for (dst, &v) in part.iter_mut().zip(values) {
+            *dst = v.to_be_bytes()[off];
         }
     }
     parts
+}
+
+/// The midpoint fill pattern for a value keeping `filled_bytes` bytes,
+/// as raw big-endian `f64` bits: first dummy byte `0x7F`, the rest
+/// `0xFF` (≈ the middle of the truncated range).
+fn fill_bits(filled_bytes: usize) -> u64 {
+    if filled_bytes >= 8 {
+        return 0;
+    }
+    let mut be = [0u8; 8];
+    be[filled_bytes] = 0x7F;
+    for b in be.iter_mut().skip(filled_bytes + 1) {
+        *b = 0xFF;
+    }
+    u64::from_be_bytes(be)
 }
 
 /// Reassemble values from the first `level.num_parts()` byte-group
@@ -46,6 +69,24 @@ pub fn split(values: &[f64]) -> Vec<Vec<u8>> {
 /// Panics if fewer buffers than the level requires are supplied or
 /// their lengths disagree.
 pub fn assemble(parts: &[&[u8]], level: PlodLevel) -> Vec<f64> {
+    let mut out = Vec::new();
+    assemble_into(parts, level, &mut out);
+    out
+}
+
+/// [`assemble`] writing into a caller-owned buffer (cleared first), so
+/// a per-chunk loop reuses one scratch allocation instead of growing a
+/// fresh `Vec<f64>` per chunk.
+///
+/// The kernel is value-major: every value's bits are built in a
+/// register from the fill pattern plus one byte per tail part, then
+/// stored exactly once. Part slices are pinned to length `n` up front
+/// so the per-value loads are bounds-check free.
+///
+/// # Panics
+/// Panics if fewer buffers than the level requires are supplied or
+/// their lengths disagree.
+pub fn assemble_into(parts: &[&[u8]], level: PlodLevel, out: &mut Vec<f64>) {
     let used = level.num_parts();
     assert!(
         parts.len() >= used,
@@ -61,25 +102,18 @@ pub fn assemble(parts: &[&[u8]], level: PlodLevel) -> Vec<f64> {
         );
     }
 
-    let filled_bytes = level.num_bytes();
-    let mut out = Vec::with_capacity(n);
+    let base = fill_bits(level.num_bytes());
+    out.clear();
+    out.reserve(n);
+    let p0 = &parts[0][..n * 2];
+    let tails = &parts[1..used];
     for i in 0..n {
-        let mut be = [0u8; 8];
-        // Midpoint fill for the missing tail: first dummy byte 0x7F,
-        // the rest 0xFF (≈ the middle of the truncated range).
-        if filled_bytes < 8 {
-            be[filled_bytes] = 0x7F;
-            for b in be.iter_mut().skip(filled_bytes + 1) {
-                *b = 0xFF;
-            }
+        let mut bits = base | (u64::from(u16::from_be_bytes([p0[2 * i], p0[2 * i + 1]])) << 48);
+        for (p, t) in tails.iter().enumerate() {
+            bits |= u64::from(t[i]) << (8 * (7 - PART_OFFSETS[p + 1]));
         }
-        for p in 0..used {
-            let w = PART_BYTES[p];
-            be[PART_OFFSETS[p]..PART_OFFSETS[p] + w].copy_from_slice(&parts[p][i * w..(i + 1) * w]);
-        }
-        out.push(f64::from_be_bytes(be));
+        out.push(f64::from_bits(bits));
     }
-    out
 }
 
 /// Reassemble with zero fill instead of midpoint fill — kept only for
@@ -234,6 +268,39 @@ mod tests {
             let lvl = PlodLevel::new(level).unwrap();
             let approx = assemble(&refs[..lvl.num_parts()], lvl);
             assert!(approx.iter().all(|&v| v < 0.0), "level {level} lost signs");
+        }
+    }
+
+    #[test]
+    fn assemble_into_reuses_scratch_across_chunks() {
+        let a: Vec<f64> = (0..2000).map(|i| (i as f64) * 1.5 - 7.0).collect();
+        let b: Vec<f64> = (0..17).map(|i| (i as f64).exp()).collect();
+        let mut scratch = Vec::new();
+        for values in [&a, &b] {
+            let parts = split(values);
+            let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+            for level in 1..=7u8 {
+                let lvl = PlodLevel::new(level).unwrap();
+                assemble_into(&refs[..lvl.num_parts()], lvl, &mut scratch);
+                assert_eq!(scratch, assemble(&refs[..lvl.num_parts()], lvl));
+                assert_eq!(scratch.len(), values.len());
+            }
+        }
+    }
+
+    #[test]
+    fn block_boundaries_are_seamless() {
+        // Lengths around power-of-two boundaries (where a blocked or
+        // vectorized kernel would switch to a tail loop) must not
+        // disturb the split/assemble roundtrip.
+        for n in [1023, 1024, 1025, 2051] {
+            let values: Vec<f64> = (0..n).map(|i| (i as f64) * 0.013 - 4.2).collect();
+            let parts = split(&values);
+            let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+            let back = assemble(&refs, PlodLevel::FULL);
+            for (x, y) in values.iter().zip(&back) {
+                assert_eq!(x.to_bits(), y.to_bits(), "n={n}");
+            }
         }
     }
 

@@ -1,14 +1,22 @@
 //! Per-rank query execution: index reads, coalesced data reads,
 //! decompression, and result reconstruction.
+//!
+//! The hot path is zero-copy and run-aware (see `DESIGN.md`, "hot-path
+//! memory discipline"): coalesced reads hand out [`ByteView`]s into
+//! shared extent buffers instead of per-want copies, the reconstruct
+//! loop consumes WAH *runs* so a fill of ones becomes one bulk range
+//! operation, and per-chunk scratch buffers (PLoD floats, coordinates)
+//! are reused across work units.
 
-use crate::cache::{BlockKey, BlockPart, CachedBlock};
+use crate::cache::{BlockKey, BlockPart, ByteView, CachedBlock};
+use crate::config::NUM_PARTS;
 use crate::index::{header_size, BinIndex};
 use crate::plod;
 use crate::query::plan::{parts_used, WorkUnit};
 use crate::query::Query;
 use crate::store::MlocStore;
 use crate::{MlocError, Result};
-use mloc_bitmap::WahBitmap;
+use mloc_bitmap::WahRef;
 use mloc_obs::{Collector, Label};
 use mloc_pfs::RankIo;
 use std::sync::Arc;
@@ -41,34 +49,21 @@ pub struct RankOutput {
     pub bytes_saved: u64,
 }
 
-/// A chunk's reconstructed values: owned when assembled on the spot
-/// (PLoD) or from a fresh decompress, shared when a cached float block
-/// was reused.
-enum BlockValues {
-    Owned(Vec<f64>),
-    Shared(Arc<Vec<f64>>),
-}
-
-impl std::ops::Deref for BlockValues {
-    type Target = [f64];
-    fn deref(&self) -> &[f64] {
-        match self {
-            BlockValues::Owned(v) => v,
-            BlockValues::Shared(v) => v,
-        }
-    }
-}
-
-/// Coalesce `(offset, len)` wants into merged extents, read each once,
-/// and return each want's bytes.
+/// Coalesce `(offset, len)` wants into merged extents, read each
+/// extent once, and return a zero-copy [`ByteView`] per want.
+///
+/// Views of the same extent share one backing buffer, so duplicate
+/// `(offset, len)` wants cost one read and zero copies, and
+/// zero-length wants resolve to the shared empty view without
+/// allocating.
 pub(crate) fn coalesced_read(
     io: &mut RankIo<'_>,
     file: &str,
     wants: &[(u64, u32)],
-) -> Result<Vec<Vec<u8>>> {
+) -> Result<Vec<ByteView>> {
     let mut order: Vec<usize> = (0..wants.len()).collect();
-    order.sort_by_key(|&i| wants[i].0);
-    let mut out = vec![Vec::new(); wants.len()];
+    order.sort_unstable_by_key(|&i| wants[i]);
+    let mut out = vec![ByteView::empty(); wants.len()];
 
     let mut run: Vec<usize> = Vec::new();
     let mut run_start = 0u64;
@@ -77,16 +72,15 @@ pub(crate) fn coalesced_read(
                  run: &mut Vec<usize>,
                  start: u64,
                  end: u64,
-                 out: &mut Vec<Vec<u8>>|
+                 out: &mut Vec<ByteView>|
      -> Result<()> {
         if run.is_empty() {
             return Ok(());
         }
-        let buf = io.read(file, start, end - start)?;
+        let buf = Arc::new(io.read(file, start, end - start)?);
         for &i in run.iter() {
             let (off, len) = wants[i];
-            let s = (off - start) as usize;
-            out[i] = buf[s..s + len as usize].to_vec();
+            out[i] = ByteView::slice(Arc::clone(&buf), (off - start) as usize, len as usize);
         }
         run.clear();
         Ok(())
@@ -125,12 +119,268 @@ fn local_to_coords_into(ranges: &[(usize, usize)], mut local: u64, scratch: &mut
     }
 }
 
+/// Sorted-slice membership with a monotone cursor: a galloping
+/// replacement for the old `HashSet<u64>` position filter. Queries
+/// must arrive in non-decreasing order (which reconstruction
+/// guarantees per work unit: chunk-local row-major order maps
+/// monotonically to global row-major positions).
+struct Gallop<'a> {
+    sorted: &'a [u64],
+    idx: usize,
+}
+
+impl<'a> Gallop<'a> {
+    fn new(sorted: &'a [u64]) -> Self {
+        Gallop { sorted, idx: 0 }
+    }
+
+    /// Advance the cursor to the first element `>= x`.
+    fn seek(&mut self, x: u64) {
+        let s = self.sorted;
+        if self.idx >= s.len() || s[self.idx] >= x {
+            return;
+        }
+        // Gallop: double the step until the window brackets x, then
+        // binary-search inside it. O(log distance) per call, O(n + m
+        // log n/m) over an intersection.
+        let mut lo = self.idx; // invariant: s[lo] < x
+        let mut step = 1usize;
+        while lo + step < s.len() && s[lo + step] < x {
+            lo += step;
+            step <<= 1;
+        }
+        let hi = (lo + step + 1).min(s.len());
+        self.idx = lo + 1 + s[lo + 1..hi].partition_point(|&v| v < x);
+    }
+
+    /// Whether `x` is in the set; advances the cursor.
+    fn contains(&mut self, x: u64) -> bool {
+        self.seek(x);
+        self.idx < self.sorted.len() && self.sorted[self.idx] == x
+    }
+
+    /// All elements in `[lo, hi)`; advances the cursor past them.
+    fn range(&mut self, lo: u64, hi: u64) -> &'a [u64] {
+        self.seek(lo);
+        let start = self.idx;
+        let end = start + self.sorted[start..].partition_point(|&v| v < hi);
+        self.idx = end;
+        &self.sorted[start..end]
+    }
+}
+
+/// Incremental chunk-local → global row-major position cursor.
+///
+/// Replaces per-point `local_to_coords` + `linearize` (a div/mod plus
+/// a multiply/add per dimension per point): the cursor starts at
+/// chunk-local offset 0 and only ever moves forward by run lengths, so
+/// a whole chunk is walked with additions and odometer carries —
+/// no division anywhere, not even per run.
+struct ChunkEmitter {
+    /// Global row-major stride per dimension (from the domain shape).
+    strides: Vec<u64>,
+    /// Current chunk's extent per dimension.
+    extents: Vec<u64>,
+    /// Odometer: chunk-local coordinates of the cursor's row.
+    c: Vec<u64>,
+    /// Global position of the cursor's row start.
+    row_base: u64,
+    /// Cursor offset within the current row.
+    in_row: u64,
+    /// Innermost (contiguous) extent: the chunk row width.
+    row_w: u64,
+    /// Chunk rows after the cursor's row.
+    rows_left: u64,
+}
+
+impl ChunkEmitter {
+    fn new(shape: &[usize]) -> Self {
+        let dims = shape.len();
+        let mut strides = vec![1u64; dims];
+        for d in (0..dims.saturating_sub(1)).rev() {
+            strides[d] = strides[d + 1] * shape[d + 1] as u64;
+        }
+        ChunkEmitter {
+            strides,
+            extents: vec![0; dims],
+            c: vec![0; dims],
+            row_base: 0,
+            in_row: 0,
+            row_w: 0,
+            rows_left: 0,
+        }
+    }
+
+    /// Point the cursor at chunk-local offset 0 of a chunk, given its
+    /// clamped region ranges.
+    fn set_chunk(&mut self, ranges: &[(usize, usize)]) {
+        debug_assert_eq!(ranges.len(), self.strides.len());
+        self.row_base = 0;
+        let mut rows = 1u64;
+        for (d, &(s, e)) in ranges.iter().enumerate() {
+            self.extents[d] = (e - s) as u64;
+            self.c[d] = 0;
+            self.row_base += s as u64 * self.strides[d];
+            rows *= self.extents[d];
+        }
+        self.in_row = 0;
+        self.row_w = *self.extents.last().expect("chunk has dimensions");
+        self.rows_left = (rows / self.row_w.max(1)).saturating_sub(1);
+    }
+
+    /// Carry the odometer into the next chunk row. Must not be called
+    /// with `rows_left == 0`.
+    #[inline]
+    fn next_row(&mut self) {
+        self.in_row = 0;
+        self.rows_left -= 1;
+        let mut d = self.extents.len() - 2;
+        loop {
+            self.c[d] += 1;
+            self.row_base += self.strides[d];
+            if self.c[d] < self.extents[d] {
+                return;
+            }
+            self.row_base -= self.extents[d] * self.strides[d];
+            self.c[d] = 0;
+            d -= 1;
+        }
+    }
+
+    /// Move the cursor forward by `n` chunk-local offsets (a run of
+    /// unset bits). A cursor landing exactly on the chunk end stays
+    /// parked past the last row's width.
+    fn advance(&mut self, n: u64) {
+        self.in_row += n;
+        while self.in_row >= self.row_w && self.rows_left > 0 {
+            self.in_row -= self.row_w;
+            let carry_over = self.in_row;
+            self.next_row();
+            self.in_row = carry_over;
+        }
+    }
+
+    /// Walk the next `len` chunk-local offsets (a run of set bits) as
+    /// contiguous row segments, calling `f(row_coords, g0, vi, take)`
+    /// for each: `row_coords` are the segment's chunk-local
+    /// coordinates (innermost entry = segment start), `g0` its first
+    /// global position, `vi` its first index into the chunk's
+    /// reconstructed values (`vi0` + offset within the run), and
+    /// `take` its point count. Consecutive global positions within a
+    /// segment map to consecutive value indices, so callers filter and
+    /// copy sub-slices instead of points. Leaves the cursor at the end
+    /// of the run.
+    fn walk_run<F>(&mut self, len: u64, vi0: u64, mut f: F)
+    where
+        F: FnMut(&[u64], u64, usize, u64),
+    {
+        let dims = self.extents.len();
+        let w = self.row_w;
+        let mut remaining = len;
+        let mut vi = vi0 as usize;
+        loop {
+            // The run covers `take` contiguous global positions of the
+            // cursor's chunk row.
+            let take = remaining.min(w - self.in_row);
+            self.c[dims - 1] = self.in_row;
+            f(&self.c, self.row_base + self.in_row, vi, take);
+            remaining -= take;
+            vi += take as usize;
+            self.in_row += take;
+            if remaining == 0 {
+                // Eagerly carry a row boundary (unless the chunk is
+                // exhausted, where the cursor parks past the last row).
+                if self.in_row == w && self.rows_left > 0 {
+                    self.next_row();
+                }
+                return;
+            }
+            self.next_row();
+        }
+    }
+}
+
+/// Deferred per-chunk gather target for units with no per-point
+/// filter.
+///
+/// Bin bitmaps over continuous data are scatter-heavy (isolated set
+/// bits), so emitting per unit pays the row-major cursor *per set
+/// bit*. Units that nothing can reject instead scatter their values
+/// into a chunk-shaped block with pure local arithmetic (one add and
+/// one store per run) and mark coverage in `mask`; after all groups,
+/// one pass per chunk walks the mask word-by-word and emits whole row
+/// segments in bulk. The mask — rather than assuming full coverage —
+/// keeps this correct when a chunk's bins are split across ranks by
+/// the column-order assignment.
+struct ChunkScatter {
+    /// Chunk-local values, ordered by local offset (empty when the
+    /// query is position-only).
+    block: Vec<f64>,
+    /// One bit per chunk-local offset: set iff some unit on this rank
+    /// covered it.
+    mask: Vec<u64>,
+    /// Whether emission must clamp to the query's spatial region
+    /// (identical for every unit of one chunk).
+    spatial: bool,
+}
+
+/// Set `len` bits of `mask` starting at bit `start`.
+#[inline]
+fn set_bits(mask: &mut [u64], start: u64, len: u64) {
+    let mut w = (start / 64) as usize;
+    let mut bit = start % 64;
+    let mut rem = len;
+    while rem > 0 {
+        let take = (64 - bit).min(rem);
+        let m = if take == 64 {
+            !0u64
+        } else {
+            ((1u64 << take) - 1) << bit
+        };
+        mask[w] |= m;
+        w += 1;
+        bit = 0;
+        rem -= take;
+    }
+}
+
+thread_local! {
+    static FORCE_GENERAL_PATH: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// Recycled `(block, mask)` buffer pairs for [`ChunkScatter`].
+    /// Invariant: every pooled buffer is all-zero, so acquiring one
+    /// skips the full-block memset — emission re-zeroes exactly the
+    /// covered ranges (cache-hot, proportional to result size) before
+    /// returning buffers here.
+    static SCATTER_POOL: std::cell::RefCell<Vec<(Vec<f64>, Vec<u64>)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Most buffers a thread's pool retains (bounds long-session memory;
+/// one block is a chunk's worth of `f64`s).
+const SCATTER_POOL_CAP: usize = 64;
+
+/// Test hook: force the per-point general reconstruct path even for
+/// units the bulk fast path could serve, so differential tests can
+/// prove the two paths identical. Thread-local; checked once per work
+/// unit, so it costs nothing measurable on the hot path.
+#[doc(hidden)]
+pub fn force_general_reconstruct(on: bool) {
+    FORCE_GENERAL_PATH.with(|f| f.set(on));
+}
+
+#[inline]
+fn use_general_path() -> bool {
+    FORCE_GENERAL_PATH.with(|f| f.get())
+}
+
 /// Process this rank's work units, reading through `io`.
 ///
 /// Units must be grouped by bin and ordered by chunk rank within a bin
 /// (the plan and the column-order assignment both preserve this).
 /// `position_filter`, when set, keeps only the listed global positions
-/// (used by multi-variable retrieval, §III-D.4).
+/// (used by multi-variable retrieval, §III-D.4); it must be sorted
+/// ascending and duplicate-free — the engine intersects it with each
+/// unit's monotone position stream by galloping, never by hashing.
 ///
 /// `obs` records this rank's span/counter profile; the decompress and
 /// reconstruct spans mirror the *identical* measured floats that land
@@ -142,7 +392,7 @@ pub fn process_units(
     query: &Query,
     units: &[WorkUnit],
     io: &mut RankIo<'_>,
-    position_filter: Option<&std::collections::HashSet<u64>>,
+    position_filter: Option<&[u64]>,
     obs: &mut Collector,
 ) -> Result<RankOutput> {
     let mut out = RankOutput::default();
@@ -155,6 +405,10 @@ pub fn process_units(
     let byte_codec = config.codec.byte_codec();
     let float_codec = config.codec.float_codec();
     let wants_values = query.wants_values();
+    debug_assert!(
+        position_filter.is_none_or(|f| f.windows(2).all(|w| w[0] < w[1])),
+        "position filter must be sorted and duplicate-free"
+    );
 
     let cache = store.cache().map(Arc::as_ref);
     let scope = store.cache_scope();
@@ -165,8 +419,23 @@ pub fn process_units(
         part,
     };
 
+    // Per-rank scratch, reused across every chunk of every bin: the
+    // coordinate decomposition buffer, the PLoD assembly target, and
+    // the incremental position emitter.
     let mut coords = vec![0usize; grid.dims()];
+    let mut scratch_values: Vec<f64> = Vec::new();
+    let mut word_scratch: Vec<u32> = Vec::new();
+    let mut range_scratch: Vec<(usize, usize)> = Vec::new();
+    let mut emitter = ChunkEmitter::new(grid.shape());
+    // Chunk-rank-keyed scatter targets for filterless units, emitted
+    // in bulk after the group loop (BTreeMap ⇒ deterministic order).
+    let mut scatter: std::collections::BTreeMap<usize, ChunkScatter> =
+        std::collections::BTreeMap::new();
     let mut cache_rejected = 0u64;
+    // Allocation proxy: bytes materialized into fresh or scratch
+    // buffers on this rank's hot path (decompress outputs + PLoD
+    // assembly). Coalesced reads and cache inserts copy nothing.
+    let mut copy_bytes = 0u64;
 
     let mut i = 0usize;
     while i < units.len() {
@@ -190,7 +459,7 @@ pub fn process_units(
             CachedBlock::Bytes(b) => Some(b),
             CachedBlock::Floats(_) => None,
         });
-        let hdr: Arc<Vec<u8>> = match cached_hdr {
+        let hdr: ByteView = match cached_hdr {
             Some(b) => {
                 io.record_cached(&idx_file, 0, hdr_len);
                 out.cache_hits += 1;
@@ -201,10 +470,10 @@ pub fn process_units(
                 if cache.is_some() {
                     out.cache_misses += 1;
                 }
-                let raw = Arc::new(io.read(&idx_file, 0, hdr_len)?);
+                let raw = ByteView::new(Arc::new(io.read(&idx_file, 0, hdr_len)?));
                 out.index_bytes += hdr_len;
                 if let Some(c) = cache {
-                    if !c.insert(hdr_key, CachedBlock::Bytes(Arc::clone(&raw))) {
+                    if !c.insert(hdr_key, CachedBlock::Bytes(raw.clone())) {
                         cache_rejected += 1;
                     }
                 }
@@ -215,8 +484,9 @@ pub fn process_units(
 
         // Positional bitmaps for this rank's chunks. Cache hits are
         // recorded in the trace (zero cost); misses are coalesced into
-        // as few physical reads as before.
-        let mut bitmap_of: Vec<Option<Arc<Vec<u8>>>> = vec![None; group.len()];
+        // as few physical reads as before, and every want becomes a
+        // view into the merged extent — no per-bitmap copy.
+        let mut bitmap_of: Vec<Option<ByteView>> = vec![None; group.len()];
         let mut bitmap_wants: Vec<(u64, u32)> = Vec::new();
         let mut bitmap_slot: Vec<usize> = Vec::new(); // unit idx in group
         for (gi, u) in group.iter().enumerate() {
@@ -240,20 +510,19 @@ pub fn process_units(
             bitmap_wants.push((off, blen));
             bitmap_slot.push(gi);
         }
-        let bitmap_bytes = coalesced_read(io, &idx_file, &bitmap_wants)?;
+        let bitmap_views = coalesced_read(io, &idx_file, &bitmap_wants)?;
         out.index_bytes += bitmap_wants.iter().map(|&(_, l)| u64::from(l)).sum::<u64>();
-        for (k_i, bytes) in bitmap_bytes.into_iter().enumerate() {
+        for (k_i, view) in bitmap_views.into_iter().enumerate() {
             let gi = bitmap_slot[k_i];
-            let b = Arc::new(bytes);
             if let Some(c) = cache {
                 if !c.insert(
                     key(bin, group[gi].chunk_rank, BlockPart::Bitmap),
-                    CachedBlock::Bytes(Arc::clone(&b)),
+                    CachedBlock::Bytes(view.clone()),
                 ) {
                     cache_rejected += 1;
                 }
             }
-            bitmap_of[gi] = Some(b);
+            bitmap_of[gi] = Some(view);
         }
         obs.end(); // index-read
         obs.count_labeled(
@@ -267,7 +536,7 @@ pub fn process_units(
         // earlier query over the same chunk, whatever its level.
         obs.begin("data-read");
         let data_file = store.data_file(bin);
-        let mut parts_of: Vec<Vec<Option<Arc<Vec<u8>>>>> = vec![Vec::new(); group.len()];
+        let mut parts_of: Vec<Vec<Option<ByteView>>> = vec![Vec::new(); group.len()];
         let mut floats_of: Vec<Option<Arc<Vec<f64>>>> = vec![None; group.len()];
         let mut data_wants: Vec<(u64, u32)> = Vec::new();
         let mut data_slot: Vec<(usize, usize)> = Vec::new(); // (unit idx, part)
@@ -309,7 +578,7 @@ pub fn process_units(
                 data_slot.push((gi, p));
             }
         }
-        let data_bytes = coalesced_read(io, &data_file, &data_wants)?;
+        let data_views = coalesced_read(io, &data_file, &data_wants)?;
         let group_data_bytes = data_wants.iter().map(|&(_, l)| u64::from(l)).sum::<u64>();
         out.data_bytes += group_data_bytes;
         obs.end(); // data-read
@@ -317,13 +586,13 @@ pub fn process_units(
         obs.count_labeled(
             "decompress.units",
             Label::Name(config.codec.name()),
-            data_bytes.len() as u64,
+            data_views.len() as u64,
         );
 
         // Decompress the fetched units (timed); cache hits above skip
         // this entirely, which is where warm-session time goes to ~0.
         let t = Instant::now();
-        for (k_i, buf) in data_bytes.iter().enumerate() {
+        for (k_i, buf) in data_views.iter().enumerate() {
             let (gi, p) = data_slot[k_i];
             let count = index.chunks[group[gi].chunk_rank].count as usize;
             if config.plod {
@@ -331,21 +600,23 @@ pub fn process_units(
                 if decomp.len() != count * plod::PART_BYTES[p] {
                     return Err(MlocError::Corrupt("unit length mismatch"));
                 }
-                let a = Arc::new(decomp);
+                copy_bytes += decomp.len() as u64;
+                let view = ByteView::from(decomp);
                 if let Some(c) = cache {
                     if !c.insert(
                         key(bin, group[gi].chunk_rank, BlockPart::PlodPart(p as u8)),
-                        CachedBlock::Bytes(Arc::clone(&a)),
+                        CachedBlock::Bytes(view.clone()),
                     ) {
                         cache_rejected += 1;
                     }
                 }
-                parts_of[gi][p] = Some(a);
+                parts_of[gi][p] = Some(view);
             } else {
                 let decomp = float_codec.decompress_f64(buf)?;
                 if decomp.len() != count {
                     return Err(MlocError::Corrupt("unit length mismatch"));
                 }
+                copy_bytes += (decomp.len() * std::mem::size_of::<f64>()) as u64;
                 let a = Arc::new(decomp);
                 if let Some(c) = cache {
                     if !c.insert(
@@ -367,81 +638,353 @@ pub fn process_units(
         // Reconstruct: decode bitmaps, assemble values, filter, map to
         // global positions (timed).
         let t = Instant::now();
+        // Upper bound on results this group can add: every set bit of
+        // every unit. Reserving once keeps the emit loop free of
+        // doubling reallocations (filters only shrink the bound).
+        let expected: usize = group
+            .iter()
+            .map(|u| index.chunks[u.chunk_rank].count as usize)
+            .sum();
+        out.positions.reserve(expected);
+        if wants_values {
+            out.values.reserve(expected);
+        }
         for (gi, u) in group.iter().enumerate() {
             let entry = &index.chunks[u.chunk_rank];
             if entry.count == 0 {
                 continue;
             }
             let bm_bytes: &[u8] = bitmap_of[gi].as_ref().map(|b| b.as_slice()).unwrap_or(&[]);
-            let (bitmap, _) = WahBitmap::from_bytes(bm_bytes)?;
+            let (bitmap, _) = WahRef::decode_into(bm_bytes, &mut word_scratch)?;
             let chunk_id = order.cell_at(u.chunk_rank);
-            let chunk_region = grid.chunk_region(chunk_id);
-            let ranges = chunk_region.ranges();
+            grid.chunk_ranges_into(chunk_id, &mut range_scratch);
+            let ranges: &[(usize, usize)] = &range_scratch;
+            let chunk_points: u64 = ranges.iter().map(|&(s, e)| (e - s) as u64).product();
             // A corrupted bitmap must not index past the decoded
             // values or outside the chunk.
-            if bitmap.len() != chunk_region.num_points() as u64
-                || bitmap.count_ones() != u64::from(entry.count)
-            {
+            if bitmap.len() != chunk_points || bitmap.count_ones() != u64::from(entry.count) {
                 return Err(MlocError::Corrupt("index bitmap inconsistent"));
             }
 
-            let values: Option<BlockValues> = if u.needs_data {
+            // Reconstructed values for this chunk: assembled into the
+            // reusable scratch (PLoD), or borrowed from the shared
+            // float block (borrowed, not taken — the block must not be
+            // freed inside the timed reconstruct loop). The invariant
+            // "output wants values ⇒ the unit carries them" is checked
+            // once per unit, not per point.
+            let vals: Option<&[f64]> = if u.needs_data {
                 if config.plod {
-                    let mut refs: Vec<&[u8]> = Vec::with_capacity(n_parts);
-                    for part in &parts_of[gi] {
-                        let part = part
+                    let mut refs: [&[u8]; NUM_PARTS] = [&[]; NUM_PARTS];
+                    for (p, part) in parts_of[gi].iter().enumerate() {
+                        refs[p] = part
                             .as_ref()
-                            .ok_or(MlocError::Corrupt("missing PLoD part"))?;
-                        refs.push(part.as_slice());
+                            .ok_or(MlocError::Corrupt("missing PLoD part"))?
+                            .as_slice();
                     }
-                    Some(BlockValues::Owned(plod::assemble(&refs, query.plod)))
+                    plod::assemble_into(&refs[..n_parts], query.plod, &mut scratch_values);
+                    copy_bytes += (scratch_values.len() * std::mem::size_of::<f64>()) as u64;
+                    Some(&scratch_values)
                 } else {
-                    let block = floats_of[gi]
-                        .take()
-                        .ok_or(MlocError::Corrupt("missing value block"))?;
-                    Some(BlockValues::Shared(block))
+                    Some(
+                        floats_of[gi]
+                            .as_deref()
+                            .map(Vec::as_slice)
+                            .ok_or(MlocError::Corrupt("missing value block"))?,
+                    )
                 }
             } else {
                 None
             };
-
-            let (vc_lo, vc_hi) = query.vc.unwrap_or((f64::MIN, f64::MAX));
-            for (pos_idx, local) in bitmap.iter_ones().enumerate() {
-                if let (true, Some(vals)) = (u.value_filter, values.as_ref()) {
-                    let v = vals[pos_idx];
-                    if !(v >= vc_lo && v < vc_hi) {
-                        continue;
-                    }
+            let out_vals: Option<&[f64]> = if wants_values {
+                match vals {
+                    Some(v) => Some(v),
+                    None => return Err(MlocError::Corrupt("value block required but absent")),
                 }
-                local_to_coords_into(ranges, local, &mut coords);
-                if u.spatial_filter {
-                    if let Some(region) = &query.sc {
-                        if !region.contains(&coords) {
+            } else {
+                None
+            };
+            let mut gallop = position_filter.map(Gallop::new);
+
+            if !use_general_path() && gallop.is_none() {
+                // Defer this unit to the per-chunk scatter: survivors
+                // are marked in a chunk-local coverage mask (values
+                // stored chunk-locally) with pure local arithmetic —
+                // no row-major cursor per set bit — and one bulk
+                // emission per chunk maps them to global positions
+                // after the group loop. Value filters reject points
+                // here (one compare per set bit); spatial clamping
+                // happens once per row at emission.
+                let e = scatter.entry(u.chunk_rank).or_insert_with(|| {
+                    let (mut block, mut mask) = SCATTER_POOL
+                        .with(|p| p.borrow_mut().pop())
+                        .unwrap_or_default();
+                    debug_assert!(block.iter().all(|&x| x == 0.0));
+                    debug_assert!(mask.iter().all(|&w| w == 0));
+                    if wants_values {
+                        block.resize(chunk_points as usize, 0.0);
+                    }
+                    mask.resize((chunk_points as usize).div_ceil(64), 0);
+                    ChunkScatter {
+                        block,
+                        mask,
+                        spatial: u.spatial_filter,
+                    }
+                });
+                let mut local = 0u64;
+                if u.value_filter {
+                    let vf = match vals {
+                        Some(v) => v,
+                        None => return Err(MlocError::Corrupt("value filter without values")),
+                    };
+                    let (vc_lo, vc_hi) = query.vc.unwrap_or((f64::MIN, f64::MAX));
+                    if wants_values {
+                        bitmap.for_each_one_run(|gap, ones_before, len| {
+                            local += gap;
+                            for k in 0..len {
+                                let v = vf[(ones_before + k) as usize];
+                                if v >= vc_lo && v < vc_hi {
+                                    let li = local + k;
+                                    e.block[li as usize] = v;
+                                    e.mask[(li / 64) as usize] |= 1u64 << (li % 64);
+                                }
+                            }
+                            local += len;
+                        });
+                    } else {
+                        bitmap.for_each_one_run(|gap, ones_before, len| {
+                            local += gap;
+                            for k in 0..len {
+                                let v = vf[(ones_before + k) as usize];
+                                if v >= vc_lo && v < vc_hi {
+                                    let li = local + k;
+                                    e.mask[(li / 64) as usize] |= 1u64 << (li % 64);
+                                }
+                            }
+                            local += len;
+                        });
+                    }
+                } else if let Some(v) = out_vals {
+                    bitmap.for_each_one_run(|gap, ones_before, len| {
+                        local += gap;
+                        if len == 1 {
+                            e.block[local as usize] = v[ones_before as usize];
+                        } else {
+                            e.block[local as usize..(local + len) as usize].copy_from_slice(
+                                &v[ones_before as usize..(ones_before + len) as usize],
+                            );
+                        }
+                        set_bits(&mut e.mask, local, len);
+                        local += len;
+                    });
+                } else {
+                    bitmap.for_each_one_run(|gap, _, len| {
+                        local += gap;
+                        set_bits(&mut e.mask, local, len);
+                        local += len;
+                    });
+                }
+                continue;
+            }
+            if use_general_path() {
+                // General path: per-point value/spatial checks. Kept
+                // close to the pre-optimization loop so the fast path
+                // can be differentially tested against it.
+                let (vc_lo, vc_hi) = query.vc.unwrap_or((f64::MIN, f64::MAX));
+                for (pos_idx, local) in bitmap.iter_ones().enumerate() {
+                    if u.value_filter {
+                        let v =
+                            vals.ok_or(MlocError::Corrupt("value filter without values"))?[pos_idx];
+                        if !(v >= vc_lo && v < vc_hi) {
                             continue;
                         }
                     }
-                }
-                let global = grid.linearize(&coords);
-                if let Some(filter) = position_filter {
-                    if !filter.contains(&global) {
-                        continue;
+                    local_to_coords_into(ranges, local, &mut coords);
+                    if u.spatial_filter {
+                        if let Some(region) = &query.sc {
+                            if !region.contains(&coords) {
+                                continue;
+                            }
+                        }
+                    }
+                    let global = grid.linearize(&coords);
+                    if let Some(filter) = gallop.as_mut() {
+                        if !filter.contains(global) {
+                            continue;
+                        }
+                    }
+                    out.positions.push(global);
+                    if let Some(v) = out_vals {
+                        out.values.push(v[pos_idx]);
                     }
                 }
-                out.positions.push(global);
-                if wants_values {
-                    out.values
-                        .push(values.as_ref().expect("values required")[pos_idx]);
-                }
+            } else if let Some(filter) = gallop.as_mut() {
+                // Position-filtered (multi-variable) path: walk each
+                // run of set bits as contiguous row segments with
+                // incremental row-major arithmetic, gallop the sorted
+                // filter over each segment, and apply the value/spatial
+                // constraints to the survivors.
+                let vf_vals: Option<&[f64]> = if u.value_filter {
+                    match vals {
+                        Some(v) => Some(v),
+                        None => return Err(MlocError::Corrupt("value filter without values")),
+                    }
+                } else {
+                    None
+                };
+                let (vc_lo, vc_hi) = query.vc.unwrap_or((f64::MIN, f64::MAX));
+                let sc_ranges: Option<&[(usize, usize)]> = if u.spatial_filter {
+                    query.sc.as_ref().map(|r| r.ranges())
+                } else {
+                    None
+                };
+                let positions = &mut out.positions;
+                let values = &mut out.values;
+                emitter.set_chunk(ranges);
+                // Outer-dimension spatial verdicts only change when
+                // the row changes; cache the last row's answer keyed
+                // by its global row base (`g0 - c[last]`).
+                let mut sc_row = u64::MAX;
+                let mut sc_row_ok = false;
+                bitmap.for_each_one_run(|gap, ones_before, len| {
+                    emitter.advance(gap);
+                    emitter.walk_run(len, ones_before, |c, mut g0, mut vi, mut take| {
+                        if let Some(sc) = sc_ranges {
+                            let last = c.len() - 1;
+                            let row_base = g0 - c[last];
+                            if row_base != sc_row {
+                                sc_row = row_base;
+                                sc_row_ok = (0..last).all(|d| {
+                                    let gc = ranges[d].0 + c[d] as usize;
+                                    gc >= sc[d].0 && gc < sc[d].1
+                                });
+                            }
+                            if !sc_row_ok {
+                                return;
+                            }
+                            // Clamp the innermost extent.
+                            let col0 = ranges[last].0 as u64 + c[last];
+                            let lo = (sc[last].0 as u64).max(col0);
+                            let hi = (sc[last].1 as u64).min(col0 + take);
+                            if lo >= hi {
+                                return;
+                            }
+                            g0 += lo - col0;
+                            vi += (lo - col0) as usize;
+                            take = hi - lo;
+                        }
+                        for &p in filter.range(g0, g0 + take) {
+                            let k = (p - g0) as usize;
+                            if let Some(vf) = vf_vals {
+                                let v = vf[vi + k];
+                                if !(v >= vc_lo && v < vc_hi) {
+                                    continue;
+                                }
+                            }
+                            positions.push(p);
+                            if let Some(v) = out_vals {
+                                values.push(v[vi + k]);
+                            }
+                        }
+                    });
+                });
+            } else {
+                debug_assert!(false, "unfiltered units take the scatter path");
             }
         }
         let reconstruct_dt = t.elapsed().as_secs_f64();
         out.reconstruct_s += reconstruct_dt;
         obs.record("reconstruct", reconstruct_dt);
     }
+    // Bulk emission of the deferred chunks: walk each coverage mask
+    // word-by-word and emit covered runs as whole row segments.
+    // Chunk-rank order is deterministic; the final QueryResult sorts
+    // by position anyway, so deferral never changes observable output.
+    if !scatter.is_empty() {
+        let t = Instant::now();
+        let sc_query: Option<&[(usize, usize)]> = query.sc.as_ref().map(|r| r.ranges());
+        for (chunk_rank, mut e) in std::mem::take(&mut scatter) {
+            let chunk_id = order.cell_at(chunk_rank);
+            grid.chunk_ranges_into(chunk_id, &mut range_scratch);
+            let ranges: &[(usize, usize)] = &range_scratch;
+            emitter.set_chunk(ranges);
+            let sc_ranges = if e.spatial { sc_query } else { None };
+            let positions = &mut out.positions;
+            let values = &mut out.values;
+            let mut sc_row = u64::MAX;
+            let mut sc_row_ok = false;
+            let mut cursor = 0u64;
+            for wi in 0..e.mask.len() {
+                let word = e.mask[wi];
+                if word == 0 {
+                    continue;
+                }
+                e.mask[wi] = 0;
+                let base = wi as u64 * 64;
+                let mut off = 0u64;
+                let mut m = word;
+                while m != 0 {
+                    let z = u64::from(m.trailing_zeros());
+                    let shifted = m >> z;
+                    let o = u64::from((!shifted).trailing_zeros());
+                    let start = base + off + z;
+                    emitter.advance(start - cursor);
+                    let block = &e.block;
+                    emitter.walk_run(o, start, |c, mut g0, mut vi, mut take| {
+                        if let Some(scr) = sc_ranges {
+                            let last = c.len() - 1;
+                            let row_base = g0 - c[last];
+                            if row_base != sc_row {
+                                sc_row = row_base;
+                                sc_row_ok = (0..last).all(|d| {
+                                    let gc = ranges[d].0 + c[d] as usize;
+                                    gc >= scr[d].0 && gc < scr[d].1
+                                });
+                            }
+                            if !sc_row_ok {
+                                return;
+                            }
+                            let col0 = ranges[last].0 as u64 + c[last];
+                            let lo = (scr[last].0 as u64).max(col0);
+                            let hi = (scr[last].1 as u64).min(col0 + take);
+                            if lo >= hi {
+                                return;
+                            }
+                            g0 += lo - col0;
+                            vi += (lo - col0) as usize;
+                            take = hi - lo;
+                        }
+                        positions.extend(g0..g0 + take);
+                        if wants_values {
+                            values.extend_from_slice(&block[vi..vi + take as usize]);
+                        }
+                    });
+                    // Restore the pool's all-zero invariant for exactly
+                    // the range this run covered (cache-hot: emission
+                    // just read it).
+                    if wants_values {
+                        e.block[start as usize..(start + o) as usize].fill(0.0);
+                    }
+                    cursor = start + o;
+                    off += z + o;
+                    m = if off >= 64 { 0 } else { shifted >> o };
+                }
+            }
+            SCATTER_POOL.with(|p| {
+                let mut p = p.borrow_mut();
+                if p.len() < SCATTER_POOL_CAP {
+                    p.push((e.block, e.mask));
+                }
+            });
+        }
+        let emit_dt = t.elapsed().as_secs_f64();
+        out.reconstruct_s += emit_dt;
+        obs.record("reconstruct", emit_dt);
+    }
     obs.count("cache.hits", out.cache_hits);
     obs.count("cache.misses", out.cache_misses);
     obs.count("cache.bytes_saved", out.bytes_saved);
     obs.count("cache.rejected_inserts", cache_rejected);
+    obs.count("hotpath.copy_bytes", copy_bytes);
     Ok(out)
 }
 
@@ -459,9 +1002,9 @@ mod tests {
         // Three wants: two adjacent (merge), one far (but within gap).
         let wants = vec![(10u64, 5u32), (15, 5), (100, 10), (0, 0)];
         let got = coalesced_read(&mut io, "f", &wants).unwrap();
-        assert_eq!(got[0], (10..15).collect::<Vec<u8>>());
-        assert_eq!(got[1], (15..20).collect::<Vec<u8>>());
-        assert_eq!(got[2], (100..110).collect::<Vec<u8>>());
+        assert_eq!(&got[0][..], &(10..15).collect::<Vec<u8>>()[..]);
+        assert_eq!(&got[1][..], &(15..20).collect::<Vec<u8>>()[..]);
+        assert_eq!(&got[2][..], &(100..110).collect::<Vec<u8>>()[..]);
         assert!(got[3].is_empty());
         // All within COALESCE_GAP: a single physical read.
         assert_eq!(io.trace().len(), 1);
@@ -487,9 +1030,30 @@ mod tests {
         let mut io = RankIo::new(&be);
         let wants = vec![(90u64, 5u32), (0, 5), (40, 5)];
         let got = coalesced_read(&mut io, "f", &wants).unwrap();
-        assert_eq!(got[0], (90..95).collect::<Vec<u8>>());
-        assert_eq!(got[1], (0..5).collect::<Vec<u8>>());
-        assert_eq!(got[2], (40..45).collect::<Vec<u8>>());
+        assert_eq!(&got[0][..], &(90..95).collect::<Vec<u8>>()[..]);
+        assert_eq!(&got[1][..], &(0..5).collect::<Vec<u8>>()[..]);
+        assert_eq!(&got[2][..], &(40..45).collect::<Vec<u8>>()[..]);
+    }
+
+    #[test]
+    fn coalesced_read_dedupes_and_skips_empties() {
+        let be = MemBackend::new();
+        let data: Vec<u8> = (0..100u8).collect();
+        be.append("f", &data).unwrap();
+        let mut io = RankIo::new(&be);
+        // Duplicate wants, interleaved zero-length wants.
+        let wants = vec![(20u64, 8u32), (0, 0), (20, 8), (30, 4), (0, 0)];
+        let got = coalesced_read(&mut io, "f", &wants).unwrap();
+        assert_eq!(&got[0][..], &(20..28).collect::<Vec<u8>>()[..]);
+        assert_eq!(&got[2][..], &(20..28).collect::<Vec<u8>>()[..]);
+        assert_eq!(&got[3][..], &(30..34).collect::<Vec<u8>>()[..]);
+        assert!(got[1].is_empty() && got[4].is_empty());
+        // Duplicates share one physical read (and one backing buffer:
+        // identical data pointers prove no copy happened).
+        assert_eq!(io.trace().len(), 1);
+        assert_eq!(got[0].as_slice().as_ptr(), got[2].as_slice().as_ptr());
+        // Both empties share the static empty backing.
+        assert_eq!(got[1].as_slice().as_ptr(), got[4].as_slice().as_ptr());
     }
 
     #[test]
@@ -504,5 +1068,92 @@ mod tests {
                 assert_eq!(scratch, grid.local_to_coords(chunk, local));
             }
         }
+    }
+
+    #[test]
+    fn chunk_emitter_matches_per_point_mapping() {
+        use crate::array::ChunkGrid;
+        for (shape, chunk_shape) in [
+            (vec![10usize, 7], vec![4usize, 3]),
+            (vec![16], vec![5]),
+            (vec![6, 5, 4], vec![4, 2, 3]),
+        ] {
+            let grid = ChunkGrid::new(shape.clone(), chunk_shape);
+            let mut emitter = ChunkEmitter::new(grid.shape());
+            let mut coords = vec![0usize; grid.dims()];
+            for chunk in 0..grid.num_chunks() {
+                let region = grid.chunk_region(chunk);
+                emitter.set_chunk(region.ranges());
+                let points = grid.chunk_points(chunk) as u64;
+                // Every (start, len) run inside the chunk.
+                for start in 0..points {
+                    for len in 1..=(points - start).min(9) {
+                        let mut got = Vec::new();
+                        emitter.set_chunk(region.ranges());
+                        emitter.advance(start);
+                        emitter.walk_run(len, 0, |_, g0, _, take| {
+                            got.extend(g0..g0 + take);
+                        });
+                        let want: Vec<u64> = (start..start + len)
+                            .map(|l| {
+                                local_to_coords_into(region.ranges(), l, &mut coords);
+                                grid.linearize(&coords)
+                            })
+                            .collect();
+                        assert_eq!(
+                            got, want,
+                            "shape {shape:?} chunk {chunk} run ({start},{len})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_emitter_copies_values_and_filters() {
+        use crate::array::ChunkGrid;
+        let grid = ChunkGrid::new(vec![8, 8], vec![4, 4]);
+        let mut emitter = ChunkEmitter::new(grid.shape());
+        let region = grid.chunk_region(3); // rows 4..8, cols 4..8
+        emitter.set_chunk(region.ranges());
+        let vals: Vec<f64> = (0..16).map(|i| i as f64 * 10.0).collect();
+        // Run covering the whole chunk, filtered to three positions.
+        let all: Vec<u64> = {
+            let mut p = Vec::new();
+            emitter.walk_run(16, 0, |_, g0, _, take| p.extend(g0..g0 + take));
+            p
+        };
+        let filter = vec![all[1], all[7], all[14]];
+        let mut gallop = Gallop::new(&filter);
+        let mut positions = Vec::new();
+        let mut values = Vec::new();
+        emitter.set_chunk(region.ranges());
+        emitter.walk_run(16, 0, |_, g0, vi, take| {
+            for &e in gallop.range(g0, g0 + take) {
+                positions.push(e);
+                values.push(vals[vi + (e - g0) as usize]);
+            }
+        });
+        assert_eq!(positions, filter);
+        assert_eq!(values, vec![10.0, 70.0, 140.0]);
+    }
+
+    #[test]
+    fn gallop_matches_linear_intersection() {
+        let sorted: Vec<u64> = (0..1000u64).filter(|x| x % 7 == 0).collect();
+        let mut g = Gallop::new(&sorted);
+        for x in 0..1000u64 {
+            // Monotone probes only.
+            if x % 3 != 0 {
+                continue;
+            }
+            assert_eq!(g.contains(x), x % 7 == 0, "x={x}");
+        }
+        let mut g = Gallop::new(&sorted);
+        assert_eq!(g.range(10, 30), &[14, 21, 28]);
+        assert_eq!(g.range(30, 36), &[35]);
+        assert_eq!(g.range(990, 2000), &[994]);
+        assert!(g.range(2000, 3000).is_empty());
     }
 }

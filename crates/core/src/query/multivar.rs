@@ -16,7 +16,6 @@ use crate::query::plan::{Plan, WorkUnit};
 use crate::query::{Query, QueryOutput, QueryResult};
 use crate::store::MlocStore;
 use crate::{MlocError, Result};
-use std::collections::HashSet;
 
 /// Result of a two-step multi-variable query.
 #[derive(Debug, Clone)]
@@ -69,15 +68,18 @@ pub fn select_then_fetch(
 
     // Step 2: value retrieval on the fetch variable, restricted to the
     // selected positions. Only chunks containing selections are read.
-    let filter: HashSet<u64> = selected.positions().iter().copied().collect();
-    let plan = fetch_plan(fetch, &filter)?;
+    // Query results are already sorted ascending and duplicate-free —
+    // exactly the shape the engine's galloping filter needs, so no
+    // hash set is built.
+    let filter: &[u64] = selected.positions();
+    let plan = fetch_plan(fetch, filter)?;
     let fetch_query = Query {
         vc: None,
         sc: None,
         plod,
         output: QueryOutput::Values,
     };
-    let (result, fetch_metrics) = exec.execute_plan(fetch, &fetch_query, &plan, Some(&filter))?;
+    let (result, fetch_metrics) = exec.execute_plan(fetch, &fetch_query, &plan, Some(filter))?;
 
     Ok(MultiVarResult {
         result,
@@ -88,7 +90,7 @@ pub fn select_then_fetch(
 
 /// Build the retrieval plan for a set of selected global positions:
 /// all bins, but only the chunks that contain selections.
-fn fetch_plan(store: &MlocStore<'_>, positions: &HashSet<u64>) -> Result<Plan> {
+fn fetch_plan(store: &MlocStore<'_>, positions: &[u64]) -> Result<Plan> {
     if positions.is_empty() {
         return Ok(Plan {
             units: Vec::new(),

@@ -264,6 +264,72 @@ proptest! {
     }
 
     #[test]
+    fn fast_reconstruct_matches_general_path(
+        case in case_strategy(),
+        qlo in 0.0f64..1.0,
+        qw in 0.0f64..0.6,
+        level in 1u8..=7,
+        with_region in proptest::bool::ANY,
+        with_filter in proptest::bool::ANY,
+    ) {
+        // The run-aware bulk reconstruct path and the per-point general
+        // path must produce bit-identical results for every query shape:
+        // value constraints, regions, reduced PLoD levels, and sorted
+        // position filters.
+        let be = MemBackend::new();
+        let store = build_case(&be, &case);
+        let mut sorted = case.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lo = sorted[((sorted.len() - 1) as f64 * qlo) as usize];
+        let hi = sorted[(((sorted.len() - 1) as f64 * (qlo + qw)).min((sorted.len() - 1) as f64)) as usize];
+        let region = with_region.then(|| {
+            Region::new(case.shape.iter().map(|&e| (0, e.div_ceil(2))).collect())
+        });
+        let queries = [
+            Query::region(lo, hi),
+            Query::values_where(lo, hi),
+            {
+                let mut q = Query::values_in(Region::full(&case.shape));
+                // Reduced levels require a byte-column layout.
+                if store.config().plod {
+                    q.plod = PlodLevel::new(level).unwrap();
+                }
+                q
+            },
+        ];
+        for base in queries {
+            let mut q = base.clone();
+            if let Some(r) = &region {
+                q.sc = Some(r.clone());
+            }
+            let plan = make_plan(&store, &q).unwrap();
+            // Every third global position, sorted and duplicate-free.
+            let filter: Option<Vec<u64>> = with_filter.then(|| {
+                (0..case.values.len() as u64).step_by(3).collect()
+            });
+            let exec = mloc::exec::ParallelExecutor::serial();
+            mloc::query::engine::force_general_reconstruct(false);
+            let fast = exec.execute_plan(&store, &q, &plan, filter.as_deref());
+            mloc::query::engine::force_general_reconstruct(true);
+            let general = exec.execute_plan(&store, &q, &plan, filter.as_deref());
+            mloc::query::engine::force_general_reconstruct(false);
+            let (fast, _) = fast.unwrap();
+            let (general, _) = general.unwrap();
+            prop_assert_eq!(fast.positions(), general.positions());
+            match (fast.values(), general.values()) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    prop_assert_eq!(a.len(), b.len());
+                    for (x, y) in a.iter().zip(b) {
+                        prop_assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+                (a, b) => prop_assert!(false, "value presence differs: {:?} vs {:?}", a.map(<[f64]>::len), b.map(<[f64]>::len)),
+            }
+        }
+    }
+
+    #[test]
     fn plan_covers_every_candidate(case in case_strategy()) {
         let be = MemBackend::new();
         let store = build_case(&be, &case);

@@ -50,6 +50,14 @@ impl Display for BenchmarkId {
     }
 }
 
+/// True when the bench binary was invoked with `--test` (criterion's
+/// smoke mode: run every benchmark once, skip timed sampling). Lets
+/// CI validate benches cheaply and fail on panics.
+fn test_mode() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| std::env::args().any(|a| a == "--test"))
+}
+
 /// Timing harness passed to benchmark closures.
 pub struct Bencher {
     samples: Vec<Duration>,
@@ -58,8 +66,12 @@ pub struct Bencher {
 
 impl Bencher {
     /// Time `f`, taking `sample_size` samples after one warm-up run.
+    /// In `--test` mode the warm-up run is the only execution.
     pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
         black_box(f());
+        if test_mode() {
+            return;
+        }
         for _ in 0..self.sample_size {
             let t = Instant::now();
             black_box(f());
@@ -77,6 +89,10 @@ impl Bencher {
 }
 
 fn report(id: &str, median: Duration, throughput: Option<Throughput>) {
+    if test_mode() {
+        println!("{id:<48} ok (test mode, 1 run)");
+        return;
+    }
     let per_iter = median.as_secs_f64();
     let rate = match throughput {
         Some(Throughput::Bytes(b)) if per_iter > 0.0 => {
