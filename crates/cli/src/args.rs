@@ -115,8 +115,21 @@ USAGE:
   mloc query     --dir DIR --name DS --var NAME [--vc LO:HI]
                  [--sc A:B,C:D[,E:F]] [--plod 1..7] [--values true]
                  [--ranks R] [--limit K] [--cache-mb MB] [--repeat N]
+                 [--retry N]          (attempts per read, incl. the
+                                       first; backoff is simulated)
+                 [--no-degrade true]  (fail instead of answering at
+                                       reduced PLoD precision when a
+                                       non-base byte group is lost)
+                 [--fault-plan FILE]  (inject deterministic storage
+                                       faults; directives: seed=N,
+                                       transient_rate=P, max_transient=N,
+                                       lose SUBSTR, flip FILE OFF MASK,
+                                       torn FILE KEEP)
                  [--profile table|json]   (span/counter profile of the
                                            final pass)
+  mloc verify    --dir DIR --name DS [--var NAME] [--json true]
+                 (recompute every extent checksum; exits nonzero and
+                  pinpoints file/offset/extent of any damage)
   mloc variables --dir DIR --name DS
 "
     .to_string()

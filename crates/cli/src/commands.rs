@@ -5,7 +5,7 @@ use mloc::dataset::Dataset;
 use mloc::exec::ParallelExecutor;
 use mloc::prelude::*;
 use mloc_compress::CodecKind;
-use mloc_pfs::{CostModel, DirBackend, StorageBackend};
+use mloc_pfs::{CostModel, DirBackend, FaultBackend, FaultPlan, RetryPolicy, StorageBackend};
 
 /// Dispatch a parsed invocation.
 pub fn dispatch(args: &Args) -> Result<(), String> {
@@ -16,6 +16,7 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         "variables" => variables(args),
         "stats" => stats(args),
         "query" => query(args),
+        "verify" => verify(args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -125,7 +126,8 @@ fn load_values(args: &Args, shape: &[usize]) -> Result<Vec<f64>, String> {
         }
         return Ok(bytes
             .chunks_exact(8)
-            .map(|c| f64::from_le_bytes(c.try_into().unwrap()))
+            // chunks_exact(8) only yields 8-byte slices.
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
             .collect());
     }
     let seed = args.optional_parsed::<u64>("seed")?.unwrap_or(42);
@@ -283,10 +285,83 @@ fn stats(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn query(args: &Args) -> Result<(), String> {
+/// Recompute every stored checksum and map the damage.
+fn verify(args: &Args) -> Result<(), String> {
     let be = backend(args)?;
-    let ds = Dataset::open(&be, args.required("name")?).map_err(|e| e.to_string())?;
-    let mut store = ds.store(args.required("var")?).map_err(|e| e.to_string())?;
+    let name = args.required("name")?;
+    let report = match args.optional("var") {
+        Some(var) => mloc::verify_variable(&be, name, var),
+        None => mloc::verify_dataset(&be, name),
+    }
+    .map_err(|e| e.to_string())?;
+    if args.optional("json").is_some_and(|v| v == "true") {
+        let damage: Vec<String> = report
+            .damage
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"file\":{:?},\"offset\":{},\"len\":{},\"what\":{:?}}}",
+                    d.file, d.offset, d.len, d.what
+                )
+            })
+            .collect();
+        println!(
+            "{{\"clean\":{},\"files_checked\":{},\"extents_checked\":{},\"damage\":[{}]}}",
+            report.is_clean(),
+            report.files_checked,
+            report.extents_checked,
+            damage.join(",")
+        );
+    } else {
+        println!("{}", report.to_string().trim_end());
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!("{} damaged extent(s) found", report.damage.len()))
+    }
+}
+
+/// Retry a metadata-open step on *transient* storage errors, per the
+/// CLI retry policy. Rank reads retry inside the executor; the catalog
+/// and meta reads that happen before any rank exists are covered here.
+fn retry_transient<T>(
+    policy: RetryPolicy,
+    mut f: impl FnMut() -> mloc::Result<T>,
+) -> Result<T, String> {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(mloc::MlocError::Pfs(e)) if e.is_transient() && policy.should_retry(attempt) => {}
+            Err(e) => return Err(e.to_string()),
+        }
+    }
+}
+
+fn query(args: &Args) -> Result<(), String> {
+    // An optional fault plan wraps the directory backend in the
+    // deterministic fault injector — the same machinery the test suite
+    // uses, exposed for demos and for exercising --retry by hand.
+    let be: Box<dyn StorageBackend> = match args.optional("fault-plan") {
+        Some(path) => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let plan = FaultPlan::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+            Box::new(FaultBackend::new(backend(args)?, plan))
+        }
+        None => Box::new(backend(args)?),
+    };
+    let be = be.as_ref();
+    let retry = args
+        .optional_parsed::<u32>("retry")?
+        .map(RetryPolicy::with_attempts)
+        .unwrap_or_default();
+    let name = args.required("name")?;
+    let var = args.required("var")?;
+    let ds = retry_transient(retry, || Dataset::open(be, name))?;
+    let mut store = retry_transient(retry, || ds.store(var))?;
     let cache = args
         .optional_parsed::<u64>("cache-mb")?
         .map(|mb| std::sync::Arc::new(BlockCache::with_budget_mb(mb)));
@@ -314,7 +389,10 @@ fn query(args: &Args) -> Result<(), String> {
     let q = Query::new(vc, sc, plod, output);
 
     let ranks = args.optional_parsed::<usize>("ranks")?.unwrap_or(1);
-    let exec = ParallelExecutor::new(ranks, CostModel::default());
+    let mut exec = ParallelExecutor::new(ranks, CostModel::default()).with_retry(retry);
+    if args.optional("no-degrade").is_some_and(|v| v == "true") {
+        exec = exec.allow_degraded(false);
+    }
     let profile_mode = parse_profile(args)?;
     // --repeat replays the query; with --cache-mb the later passes are
     // warm and show the cache's effect on io/decompress time.
@@ -344,9 +422,19 @@ fn query(args: &Args) -> Result<(), String> {
         } else {
             String::new()
         };
+        let mut fault_note = String::new();
+        if m.retries > 0 {
+            fault_note.push_str(&format!(
+                " | {} retried read(s), {:.3}s simulated backoff",
+                m.retries, m.retry_wait_s
+            ));
+        }
+        if m.degradation.is_degraded() {
+            fault_note.push_str(&format!(" | {}", m.degradation));
+        }
         println!(
             "{pass_note}{} matches | bins {} (aligned {}), chunks {} | sim io {:.3}s, \
-             decompress {:.3}s, reconstruct {:.3}s | {} bytes read{cache_note}",
+             decompress {:.3}s, reconstruct {:.3}s | {} bytes read{cache_note}{fault_note}",
             res.len(),
             m.bins_touched,
             m.aligned_bins,
@@ -584,6 +672,93 @@ mod tests {
             "s3d"
         ])
         .is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_retry_and_fault_injection() {
+        let dir = tmpdir("fault");
+        run(&[
+            "create", "--dir", &dir, "--name", "ds", "--shape", "32,32", "--chunk", "8,8",
+            "--bins", "4",
+        ])
+        .unwrap();
+        run(&[
+            "import",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--var",
+            "t",
+            "--synthetic",
+            "gts",
+        ])
+        .unwrap();
+        run(&["verify", "--dir", &dir, "--name", "ds"]).unwrap();
+        run(&[
+            "verify", "--dir", &dir, "--name", "ds", "--var", "t", "--json", "true",
+        ])
+        .unwrap();
+
+        // Heavy transient faults: retries absorb them (max_transient=2
+        // < 4 attempts), no retries means the query fails.
+        let plan = format!("{dir}/plan.txt");
+        std::fs::write(&plan, "seed=7\ntransient_rate=0.9\nmax_transient=2\n").unwrap();
+        run(&[
+            "query",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--var",
+            "t",
+            "--vc",
+            "0:1000",
+            "--fault-plan",
+            &plan,
+            "--retry",
+            "4",
+        ])
+        .unwrap();
+        assert!(run(&[
+            "query",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--var",
+            "t",
+            "--vc",
+            "0:1000",
+            "--fault-plan",
+            &plan,
+        ])
+        .is_err());
+        assert!(run(&[
+            "query",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--var",
+            "t",
+            "--vc",
+            "0:1000",
+            "--fault-plan",
+            "/nonexistent/plan",
+        ])
+        .is_err());
+
+        // Flip one stored data byte: verify exits nonzero and names
+        // the damaged file.
+        let victim = std::path::Path::new(&dir).join("ds__t__bin0001.dat");
+        let mut data = std::fs::read(&victim).unwrap();
+        let mid = data.len() / 3;
+        data[mid] ^= 0x10;
+        std::fs::write(&victim, &data).unwrap();
+        let err = run(&["verify", "--dir", &dir, "--name", "ds"]).unwrap_err();
+        assert!(err.contains("damaged"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -380,49 +380,56 @@ impl<'a> StreamingBuilder<'a> {
         // chunks arrived.
         let t_layout = Instant::now();
         let pending = std::mem::take(&mut self.pending);
-        let assembled: Vec<(Vec<u8>, Vec<u8>)> =
-            parallel_map(threads, pending, |bin, mut units| {
-                units.sort_unstable_by_key(|u| u.rank);
+        // Per bin: (data image, data extent lens, index image, index
+        // extent lens). The extent lens are the logical units a query
+        // reads, recorded here so the write stage can checksum each.
+        type BinImages = (Vec<u8>, Vec<u32>, Vec<u8>, Vec<u32>);
+        let assembled: Vec<BinImages> = parallel_map(threads, pending, |bin, mut units| {
+            units.sort_unstable_by_key(|u| u.rank);
 
-                let mut data = Vec::new();
-                let mut locs: Vec<Vec<UnitLoc>> = units
-                    .iter()
-                    .map(|_| vec![UnitLoc::default(); num_parts])
-                    .collect();
-                #[allow(clippy::needless_range_loop)] // locs is indexed by (unit, part)
-                match level_order {
-                    crate::config::LevelOrder::Vms => {
-                        // Part-major: all chunks' part 0, then part 1, …
-                        for p in 0..num_parts {
-                            for (i, u) in units.iter().enumerate() {
-                                locs[i][p] = UnitLoc {
-                                    offset: data.len() as u64,
-                                    clen: u.parts[p].len() as u32,
-                                };
-                                data.extend_from_slice(&u.parts[p]);
-                            }
-                        }
-                    }
-                    crate::config::LevelOrder::Vsm => {
-                        // Chunk-major: each chunk's parts together.
+            let mut data = Vec::new();
+            let mut data_extents: Vec<u32> = Vec::new();
+            let mut locs: Vec<Vec<UnitLoc>> = units
+                .iter()
+                .map(|_| vec![UnitLoc::default(); num_parts])
+                .collect();
+            #[allow(clippy::needless_range_loop)] // locs is indexed by (unit, part)
+            match level_order {
+                crate::config::LevelOrder::Vms => {
+                    // Part-major: all chunks' part 0, then part 1, …
+                    for p in 0..num_parts {
                         for (i, u) in units.iter().enumerate() {
-                            for p in 0..num_parts {
-                                locs[i][p] = UnitLoc {
-                                    offset: data.len() as u64,
-                                    clen: u.parts[p].len() as u32,
-                                };
-                                data.extend_from_slice(&u.parts[p]);
-                            }
+                            locs[i][p] = UnitLoc {
+                                offset: data.len() as u64,
+                                clen: u.parts[p].len() as u32,
+                            };
+                            data_extents.push(u.parts[p].len() as u32);
+                            data.extend_from_slice(&u.parts[p]);
                         }
                     }
                 }
-
-                let mut index = BinIndexBuilder::new(bin as u32, num_chunks, num_parts);
-                for (i, u) in units.iter().enumerate() {
-                    index.set_chunk(u.rank, &u.bitmap, &locs[i]);
+                crate::config::LevelOrder::Vsm => {
+                    // Chunk-major: each chunk's parts together.
+                    for (i, u) in units.iter().enumerate() {
+                        for p in 0..num_parts {
+                            locs[i][p] = UnitLoc {
+                                offset: data.len() as u64,
+                                clen: u.parts[p].len() as u32,
+                            };
+                            data_extents.push(u.parts[p].len() as u32);
+                            data.extend_from_slice(&u.parts[p]);
+                        }
+                    }
                 }
-                (data, index.finish())
-            });
+            }
+
+            let mut index = BinIndexBuilder::new(bin as u32, num_chunks, num_parts);
+            for (i, u) in units.iter().enumerate() {
+                index.set_chunk(u.rank, &u.bitmap, &locs[i]);
+            }
+            let (index_data, index_extents) = index.finish_with_extents();
+            (data, data_extents, index_data, index_extents)
+        });
         let layout_seconds = t_layout.elapsed().as_secs_f64();
 
         // Stage 2 — write: every bin owns its two files, so the writes
@@ -431,16 +438,31 @@ impl<'a> StreamingBuilder<'a> {
         let backend = self.backend;
         let dataset = &self.dataset;
         let var = &self.var;
-        let written: Vec<Result<(u64, u64)>> =
-            parallel_map(threads, assembled, |bin, (data, index_data)| {
+        let written: Vec<Result<(u64, u64)>> = parallel_map(
+            threads,
+            assembled,
+            |bin, (data, data_extents, index_data, index_extents)| {
                 let data_name = fileorg::data_file(dataset, var, bin);
                 let index_name = fileorg::index_file(dataset, var, bin);
+                // Payload first, checksum footer last: a torn write
+                // leaves no valid trailer, so partial files can never
+                // verify as complete.
+                let data_footer =
+                    crate::integrity::ExtentFooter::compute(&data, &data_extents).encode();
+                let index_footer =
+                    crate::integrity::ExtentFooter::compute(&index_data, &index_extents).encode();
                 backend.create(&data_name)?;
                 backend.append(&data_name, &data)?;
+                backend.append(&data_name, &data_footer)?;
                 backend.create(&index_name)?;
                 backend.append(&index_name, &index_data)?;
-                Ok((data.len() as u64, index_data.len() as u64))
-            });
+                backend.append(&index_name, &index_footer)?;
+                Ok((
+                    (data.len() + data_footer.len()) as u64,
+                    (index_data.len() + index_footer.len()) as u64,
+                ))
+            },
+        );
         let mut data_bytes = 0u64;
         let mut index_bytes = 0u64;
         for w in written {
@@ -457,7 +479,14 @@ impl<'a> StreamingBuilder<'a> {
             bin_bounds: self.spec.bounds().to_vec(),
             total_points,
         };
-        let meta_data = meta.encode();
+        // Meta is written last, with a single-extent checksum footer.
+        // Its valid trailer is the build's commit marker: a build that
+        // died mid-write left either no meta or a torn one, and both
+        // fail verification at open time.
+        let mut meta_data = meta.encode();
+        let meta_footer =
+            crate::integrity::ExtentFooter::compute(&meta_data, &[meta_data.len() as u32]);
+        meta_data.extend_from_slice(&meta_footer.encode());
         let meta_name = fileorg::meta_file(&self.dataset, &self.var);
         self.backend.create(&meta_name)?;
         self.backend.append(&meta_name, &meta_data)?;

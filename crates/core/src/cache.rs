@@ -52,6 +52,9 @@ pub enum BlockPart {
     Floats,
     /// One decompressed PLoD byte-group part (0 = most significant).
     PlodPart(u8),
+    /// The parsed checksum footer of one bin file (0 = index file,
+    /// 1 = data file; chunk rank is 0).
+    Footer(u8),
 }
 
 /// Cache key: one decompressed block of one built variable.
@@ -143,16 +146,20 @@ pub enum CachedBlock {
     Bytes(ByteView),
     /// Decoded doubles: whole-value blocks.
     Floats(Arc<Vec<f64>>),
+    /// A parsed per-extent checksum footer of one bin file.
+    Footer(Arc<crate::integrity::ExtentFooter>),
 }
 
 impl CachedBlock {
     /// Budget charge of this block in bytes (the view length for byte
     /// blocks — shared extent backing is charged per view, so a few
-    /// coalescing-gap bytes may ride along free).
+    /// coalescing-gap bytes may ride along free; footers are charged
+    /// their on-disk encoded size).
     pub fn cost(&self) -> u64 {
         match self {
             CachedBlock::Bytes(b) => b.len() as u64,
             CachedBlock::Floats(f) => (f.len() * std::mem::size_of::<f64>()) as u64,
+            CachedBlock::Footer(f) => f.encoded_len(),
         }
     }
 
@@ -160,7 +167,7 @@ impl CachedBlock {
     pub fn as_bytes(&self) -> Option<&ByteView> {
         match self {
             CachedBlock::Bytes(b) => Some(b),
-            CachedBlock::Floats(_) => None,
+            _ => None,
         }
     }
 
@@ -168,7 +175,15 @@ impl CachedBlock {
     pub fn as_floats(&self) -> Option<&Arc<Vec<f64>>> {
         match self {
             CachedBlock::Floats(f) => Some(f),
-            CachedBlock::Bytes(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The footer payload, if this is a footer block.
+    pub fn as_footer(&self) -> Option<&Arc<crate::integrity::ExtentFooter>> {
+        match self {
+            CachedBlock::Footer(f) => Some(f),
+            _ => None,
         }
     }
 }

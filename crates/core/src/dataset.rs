@@ -281,15 +281,31 @@ impl<'a> Dataset<'a> {
         select_then_fetch(&selector, &fetch, vc, sc, plod, exec)
     }
 
-    /// Total stored bytes across the dataset's files.
-    pub fn stored_bytes(&self) -> u64 {
+    /// Total stored bytes across the dataset's files, plus the number
+    /// of files whose size could not be read. Unreadable files are
+    /// counted as errors instead of silently sized at 0, so a faulty
+    /// backend cannot under-report storage.
+    pub fn stored_bytes_checked(&self) -> (u64, usize) {
         let prefix = format!("{}/", self.name);
-        self.backend
-            .list()
-            .iter()
-            .filter(|f| f.starts_with(&prefix))
-            .map(|f| self.backend.len(f).unwrap_or(0))
-            .sum()
+        let mut total = 0u64;
+        let mut errors = 0usize;
+        for f in self.backend.list() {
+            if !f.starts_with(&prefix) {
+                continue;
+            }
+            match self.backend.len(&f) {
+                Ok(n) => total += n,
+                Err(_) => errors += 1,
+            }
+        }
+        (total, errors)
+    }
+
+    /// Total stored bytes across the dataset's files. Files whose size
+    /// cannot be read are excluded; use [`Self::stored_bytes_checked`]
+    /// to detect that case.
+    pub fn stored_bytes(&self) -> u64 {
+        self.stored_bytes_checked().0
     }
 
     fn validate_var_name(var: &str) -> Result<()> {

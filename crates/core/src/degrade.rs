@@ -1,0 +1,149 @@
+//! Graceful PLoD degradation: what a query lost, and how precise the
+//! answer still is.
+//!
+//! PLoD splits each double into 7 byte-groups; only the first (the
+//! sign/exponent/top-mantissa group) is required to reconstruct a
+//! usable value. When a *non-base* byte-group extent is unreadable
+//! after retries, the engine can drop that part and every part after
+//! it for the affected chunk, reconstructing values at a coarser
+//! precision level instead of failing the whole query. This module
+//! carries the audit trail of that decision: which extents were lost,
+//! which chunks were affected, and the worst-case relative error bound
+//! the caller now lives under. Base-part, bitmap, index-header, and
+//! footer losses are never degradable — those fail the query loudly.
+
+use crate::config::PlodLevel;
+use crate::plod;
+
+/// One unreadable byte-group extent the engine worked around.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegradationEvent {
+    /// Value bin of the affected unit.
+    pub bin: usize,
+    /// Chunk rank (layout order) within the bin.
+    pub chunk_rank: usize,
+    /// The PLoD part (1-based would be the level; this is the 0-based
+    /// part index, always >= 1 — part 0 is never degradable) that was
+    /// lost. Parts after it are dropped too.
+    pub lost_part: usize,
+    /// Points in the chunk reconstructed at reduced precision.
+    pub points: u64,
+    /// Why the extent was unreadable (exhausted retries, checksum
+    /// mismatch, missing file, ...).
+    pub reason: String,
+}
+
+/// Aggregate degradation outcome of one query (empty = full fidelity).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DegradationReport {
+    /// Every worked-around extent loss, in discovery order.
+    pub events: Vec<DegradationEvent>,
+}
+
+impl DegradationReport {
+    /// No degradation.
+    pub fn none() -> Self {
+        DegradationReport::default()
+    }
+
+    /// Whether any unit was reconstructed at reduced precision.
+    pub fn is_degraded(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    /// Total points returned at reduced precision.
+    pub fn affected_points(&self) -> u64 {
+        self.events.iter().map(|e| e.points).sum()
+    }
+
+    /// The coarsest PLoD level any affected unit fell back to: the
+    /// minimum lost part index equals the number of parts still used.
+    /// `None` when nothing degraded.
+    pub fn effective_level(&self) -> Option<PlodLevel> {
+        let min_lost = self.events.iter().map(|e| e.lost_part).min()?;
+        // lost_part >= 1 always, so this is a valid level.
+        PlodLevel::new(min_lost as u8).ok()
+    }
+
+    /// Worst-case relative error bound over all returned values given
+    /// the degradation that occurred. `0.0` when nothing degraded.
+    pub fn error_bound(&self) -> f64 {
+        self.effective_level()
+            .map(plod::relative_error_bound)
+            .unwrap_or(0.0)
+    }
+
+    /// Fold another report's events into this one.
+    pub fn merge(&mut self, other: &DegradationReport) {
+        self.events.extend(other.events.iter().cloned());
+    }
+}
+
+impl std::fmt::Display for DegradationReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.is_degraded() {
+            return write!(f, "full fidelity");
+        }
+        write!(
+            f,
+            "degraded: {} unit(s), {} point(s) at reduced precision, \
+             worst effective level {}, relative error bound {:.3e}",
+            self.events.len(),
+            self.affected_points(),
+            self.effective_level().map(|l| l.level()).unwrap_or(0),
+            self.error_bound(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(lost_part: usize, points: u64) -> DegradationEvent {
+        DegradationEvent {
+            bin: 0,
+            chunk_rank: 3,
+            lost_part,
+            points,
+            reason: "checksum mismatch".into(),
+        }
+    }
+
+    #[test]
+    fn empty_report_is_full_fidelity() {
+        let r = DegradationReport::none();
+        assert!(!r.is_degraded());
+        assert_eq!(r.affected_points(), 0);
+        assert_eq!(r.effective_level(), None);
+        assert_eq!(r.error_bound(), 0.0);
+        assert_eq!(r.to_string(), "full fidelity");
+    }
+
+    #[test]
+    fn effective_level_is_worst_loss() {
+        let mut r = DegradationReport::none();
+        r.events.push(event(4, 100));
+        r.events.push(event(2, 50));
+        r.events.push(event(6, 10));
+        assert!(r.is_degraded());
+        assert_eq!(r.affected_points(), 160);
+        assert_eq!(r.effective_level().unwrap().level(), 2);
+        assert_eq!(
+            r.error_bound(),
+            plod::relative_error_bound(PlodLevel::new(2).unwrap())
+        );
+        assert!(r.to_string().contains("160 point(s)"));
+    }
+
+    #[test]
+    fn merge_concatenates_events() {
+        let mut a = DegradationReport::none();
+        a.events.push(event(3, 1));
+        let mut b = DegradationReport::none();
+        b.events.push(event(5, 2));
+        a.merge(&b);
+        assert_eq!(a.events.len(), 2);
+        assert_eq!(a.effective_level().unwrap().level(), 3);
+    }
+}

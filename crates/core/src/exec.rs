@@ -14,7 +14,7 @@ use crate::query::{Query, QueryResult};
 use crate::store::MlocStore;
 use crate::Result;
 use mloc_obs::{Collector, Label, Profile};
-use mloc_pfs::{simulate_reads, CostModel, RankIo, ReadOp};
+use mloc_pfs::{simulate_reads, CostModel, RankIo, ReadOp, RetryPolicy};
 use mloc_runtime::{column_order, spmd};
 use std::time::Instant;
 
@@ -35,6 +35,8 @@ pub struct ParallelExecutor {
     nranks: usize,
     cost_model: CostModel,
     threaded: bool,
+    retry: RetryPolicy,
+    allow_degraded: bool,
 }
 
 impl ParallelExecutor {
@@ -44,6 +46,8 @@ impl ParallelExecutor {
             nranks: 1,
             cost_model: CostModel::default(),
             threaded: false,
+            retry: RetryPolicy::none(),
+            allow_degraded: true,
         }
     }
 
@@ -54,6 +58,8 @@ impl ParallelExecutor {
             nranks,
             cost_model,
             threaded: false,
+            retry: RetryPolicy::none(),
+            allow_degraded: true,
         }
     }
 
@@ -61,6 +67,22 @@ impl ParallelExecutor {
     /// deterministic replay.
     pub fn threaded(mut self, threaded: bool) -> Self {
         self.threaded = threaded;
+        self
+    }
+
+    /// Retry transient storage errors per `policy` on every rank's
+    /// reads (default: no retries). Backoff time is simulated and
+    /// reported in [`QueryMetrics::retry_wait_s`], never slept.
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Whether queries may complete at reduced PLoD precision when a
+    /// non-base byte-group extent is unreadable after retries (default:
+    /// true). When disabled, any unreadable extent fails the query.
+    pub fn allow_degraded(mut self, allow: bool) -> Self {
+        self.allow_degraded = allow;
         self
     }
 
@@ -148,11 +170,21 @@ impl ParallelExecutor {
                 .iter()
                 .map(|&i| plan.units[i])
                 .collect();
-            let mut io = RankIo::new(store.backend());
+            let mut io = RankIo::with_retry(store.backend(), self.retry);
             let mut obs = Collector::new(profiled);
             obs.begin("rank");
-            let out = process_units(store, query, &my_units, &mut io, position_filter, &mut obs)?;
+            let mut out = process_units(
+                store,
+                query,
+                &my_units,
+                &mut io,
+                position_filter,
+                self.allow_degraded,
+                &mut obs,
+            )?;
             obs.end();
+            out.retries = io.retries();
+            out.retry_wait_s = io.retry_wait_s();
             Ok((out, io.into_trace(), obs.finish()))
         };
         type RankRes = Result<(RankOutput, Vec<ReadOp>, Profile)>;
@@ -205,6 +237,10 @@ impl ParallelExecutor {
             metrics.cache_hits += out.cache_hits;
             metrics.cache_misses += out.cache_misses;
             metrics.bytes_saved += out.bytes_saved;
+            metrics.retries += out.retries;
+            metrics.retry_wait_s = metrics.retry_wait_s.max(out.retry_wait_s);
+            metrics.degraded_units += out.degradation.events.len() as u64;
+            metrics.degradation.merge(&out.degradation);
             positions.extend(out.positions);
             values.extend(out.values);
         }
@@ -232,6 +268,12 @@ impl ParallelExecutor {
             profile.add_counter("plan.bins", Label::None, plan.bins_touched as u64);
             profile.add_counter("plan.aligned_bins", Label::None, plan.aligned_bins as u64);
             profile.add_counter("plan.chunks", Label::None, plan.chunks_touched as u64);
+            if metrics.retries > 0 {
+                profile.add_counter("pfs.retries", Label::None, metrics.retries);
+            }
+            if metrics.degraded_units > 0 {
+                profile.add_counter("degraded.units", Label::None, metrics.degraded_units);
+            }
             // Shared-cache churn over the whole query (insert/evict are
             // cache-wide, unlike the per-rank hit/miss counters).
             if let (Some(Some(before)), Some(cache)) = (cache_stats_before, store.cache()) {

@@ -163,6 +163,9 @@ pub struct BinIndexBuilder {
     num_parts: usize,
     chunks: Vec<ChunkEntry>,
     bitmaps: Vec<u8>,
+    /// Encoded bitmap lengths in file (append) order — the logical
+    /// extents of the bitmap section, for the checksum footer.
+    bitmap_lens: Vec<u32>,
 }
 
 impl BinIndexBuilder {
@@ -179,6 +182,7 @@ impl BinIndexBuilder {
             num_parts,
             chunks: vec![empty; num_chunks],
             bitmaps: Vec::new(),
+            bitmap_lens: Vec::new(),
         }
     }
 
@@ -198,11 +202,19 @@ impl BinIndexBuilder {
         e.bitmap_off = self.bitmaps.len() as u64;
         e.bitmap_len = encoded.len() as u32;
         e.units.copy_from_slice(units);
+        self.bitmap_lens.push(encoded.len() as u32);
         self.bitmaps.extend_from_slice(&encoded);
     }
 
     /// Finish: returns the full index file contents.
     pub fn finish(self) -> Vec<u8> {
+        self.finish_with_extents().0
+    }
+
+    /// Finish, also returning the file's logical extent lengths in
+    /// file order (header + each encoded bitmap) for the checksum
+    /// footer.
+    pub fn finish_with_extents(self) -> (Vec<u8>, Vec<u32>) {
         let index = BinIndex {
             bin: self.bin,
             num_parts: self.num_parts,
@@ -210,8 +222,11 @@ impl BinIndexBuilder {
             chunks: self.chunks,
         };
         let mut out = index.encode_header();
+        let mut extents = Vec::with_capacity(1 + self.bitmap_lens.len());
+        extents.push(out.len() as u32);
+        extents.extend_from_slice(&self.bitmap_lens);
         out.extend_from_slice(&self.bitmaps);
-        out
+        (out, extents)
     }
 }
 

@@ -57,13 +57,16 @@ pub mod build;
 pub mod cache;
 pub mod config;
 pub mod dataset;
+pub mod degrade;
 pub mod exec;
 pub mod fileorg;
 pub mod index;
+pub mod integrity;
 pub mod metrics;
 pub mod plod;
 pub mod query;
 pub mod store;
+pub mod verify;
 mod wire;
 
 pub use array::{ChunkGrid, Region};
@@ -72,10 +75,13 @@ pub use build::{build_variable, BuildReport, StreamingBuilder};
 pub use cache::{BlockCache, ByteView, CacheStats};
 pub use config::{ConfigBuilder, LevelOrder, MlocConfig, PlodLevel};
 pub use dataset::Dataset;
+pub use degrade::{DegradationEvent, DegradationReport};
 pub use exec::ParallelExecutor;
+pub use integrity::ExtentFooter;
 pub use metrics::QueryMetrics;
 pub use query::{Query, QueryOutput, QueryResult};
 pub use store::MlocStore;
+pub use verify::{verify_dataset, verify_variable, ExtentDamage, VerifyReport};
 
 /// Observability re-export: span/counter/histogram profiles
 /// ([`obs::Profile`]) returned by the `*_profiled` query entry points
@@ -88,9 +94,11 @@ pub mod prelude {
     pub use crate::build::build_variable;
     pub use crate::cache::{BlockCache, CacheStats};
     pub use crate::config::{LevelOrder, MlocConfig, PlodLevel};
+    pub use crate::degrade::{DegradationEvent, DegradationReport};
     pub use crate::exec::ParallelExecutor;
     pub use crate::query::{Query, QueryOutput, QueryResult};
     pub use crate::store::MlocStore;
+    pub use crate::verify::{verify_dataset, verify_variable, VerifyReport};
 }
 
 /// Errors from building or querying MLOC datasets.
@@ -104,8 +112,32 @@ pub enum MlocError {
     Bitmap(mloc_bitmap::wah::BitmapError),
     /// Structurally invalid metadata or index.
     Corrupt(&'static str),
+    /// A stored extent failed its checksum (or the checksum footer
+    /// itself is damaged). Carries enough context to pinpoint the
+    /// damage on disk.
+    CorruptExtent {
+        /// File containing the bad extent.
+        file: String,
+        /// Byte offset of the extent.
+        offset: u64,
+        /// Length of the extent in bytes.
+        len: u64,
+        /// What failed (checksum mismatch, torn footer, ...).
+        what: String,
+    },
     /// Invalid user input (query or configuration).
     Invalid(String),
+}
+
+impl MlocError {
+    /// Whether this error indicates damaged stored data (as opposed to
+    /// a storage-layer failure or bad user input).
+    pub fn is_corruption(&self) -> bool {
+        matches!(
+            self,
+            MlocError::Corrupt(_) | MlocError::CorruptExtent { .. } | MlocError::Bitmap(_)
+        )
+    }
 }
 
 impl std::fmt::Display for MlocError {
@@ -115,6 +147,15 @@ impl std::fmt::Display for MlocError {
             MlocError::Codec(e) => write!(f, "codec error: {e}"),
             MlocError::Bitmap(e) => write!(f, "bitmap error: {e}"),
             MlocError::Corrupt(why) => write!(f, "corrupt dataset: {why}"),
+            MlocError::CorruptExtent {
+                file,
+                offset,
+                len,
+                what,
+            } => write!(
+                f,
+                "corrupt extent [{offset}, {offset}+{len}) in {file}: {what}"
+            ),
             MlocError::Invalid(why) => write!(f, "invalid request: {why}"),
         }
     }

@@ -2,6 +2,8 @@
 //! I/O (simulated PFS time), decompression, and reconstruction
 //! (filtering + assembling results).
 
+use crate::degrade::DegradationReport;
+
 /// Per-query metrics. Component times are critical-path values (the
 /// slowest rank); per-rank detail is kept for scalability plots.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -38,6 +40,15 @@ pub struct QueryMetrics {
     /// visible in the trace (flagged cached) but are excluded from
     /// `bytes_read` and cost nothing in the simulator.
     pub bytes_saved: u64,
+    /// Transient read errors retried away across all ranks.
+    pub retries: u64,
+    /// Simulated backoff seconds (max over ranks, like `io_s`).
+    pub retry_wait_s: f64,
+    /// Compressed units answered at reduced PLoD precision because a
+    /// non-base byte-group extent stayed unreadable after retries.
+    pub degraded_units: u64,
+    /// Per-unit detail of any precision degradation.
+    pub degradation: DegradationReport,
     /// Per-rank simulated I/O seconds.
     pub per_rank_io: Vec<f64>,
     /// Per-rank measured CPU seconds (decompress + reconstruct).
@@ -69,6 +80,10 @@ impl QueryMetrics {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.bytes_saved += other.bytes_saved;
+        self.retries += other.retries;
+        self.retry_wait_s += other.retry_wait_s;
+        self.degraded_units += other.degraded_units;
+        self.degradation.merge(&other.degradation);
         // Element-wise accumulation keeps per-rank scalability data
         // through averaged runs. Rank counts can differ between queries
         // (e.g. a mixed harness); grow to the widest seen.
@@ -95,6 +110,9 @@ impl QueryMetrics {
         self.cache_hits = avg(self.cache_hits);
         self.cache_misses = avg(self.cache_misses);
         self.bytes_saved = avg(self.bytes_saved);
+        self.retries = avg(self.retries);
+        self.retry_wait_s /= q;
+        self.degraded_units = avg(self.degraded_units);
         for v in self
             .per_rank_io
             .iter_mut()

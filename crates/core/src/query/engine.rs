@@ -8,9 +8,11 @@
 //! operation, and per-chunk scratch buffers (PLoD floats, coordinates)
 //! are reused across work units.
 
-use crate::cache::{BlockKey, BlockPart, ByteView, CachedBlock};
-use crate::config::NUM_PARTS;
+use crate::cache::{BlockCache, BlockKey, BlockPart, ByteView, CachedBlock};
+use crate::config::{PlodLevel, NUM_PARTS};
+use crate::degrade::{DegradationEvent, DegradationReport};
 use crate::index::{header_size, BinIndex};
+use crate::integrity::{ExtentFooter, TRAILER_LEN};
 use crate::plod;
 use crate::query::plan::{parts_used, WorkUnit};
 use crate::query::Query;
@@ -47,23 +49,53 @@ pub struct RankOutput {
     pub cache_misses: u64,
     /// Compressed bytes served from the cache instead of the PFS.
     pub bytes_saved: u64,
+    /// Transient-read retries this rank performed (filled in by the
+    /// executor from the rank's I/O handle).
+    pub retries: u64,
+    /// Simulated backoff seconds accumulated by those retries.
+    pub retry_wait_s: f64,
+    /// Extent losses this rank worked around by reducing PLoD
+    /// precision (empty = full fidelity).
+    pub degradation: DegradationReport,
+}
+
+/// Check one read want against the file's checksum footer (no-op when
+/// verification is off).
+fn verify_view(
+    footer: Option<&ExtentFooter>,
+    file: &str,
+    off: u64,
+    view: ByteView,
+) -> Result<ByteView> {
+    if let Some(f) = footer {
+        f.verify(file, off, view.as_slice())?;
+    }
+    Ok(view)
 }
 
 /// Coalesce `(offset, len)` wants into merged extents, read each
-/// extent once, and return a zero-copy [`ByteView`] per want.
+/// extent once, and return a per-want `Result<ByteView>`.
 ///
 /// Views of the same extent share one backing buffer, so duplicate
 /// `(offset, len)` wants cost one read and zero copies, and
 /// zero-length wants resolve to the shared empty view without
 /// allocating.
-pub(crate) fn coalesced_read(
+///
+/// Failures are isolated per want: when a merged read fails, each of
+/// its wants is re-read individually so one bad extent doesn't take
+/// down its coalesced neighbors, and when `footer` is supplied every
+/// want is CRC-checked so only the extents that are actually damaged
+/// come back as [`MlocError::CorruptExtent`]. Callers decide per want
+/// whether a failure is fatal or degradable.
+pub(crate) fn coalesced_read_results(
     io: &mut RankIo<'_>,
     file: &str,
     wants: &[(u64, u32)],
-) -> Result<Vec<ByteView>> {
+    footer: Option<&ExtentFooter>,
+) -> Vec<Result<ByteView>> {
     let mut order: Vec<usize> = (0..wants.len()).collect();
     order.sort_unstable_by_key(|&i| wants[i]);
-    let mut out = vec![ByteView::empty(); wants.len()];
+    let mut out: Vec<Result<ByteView>> = (0..wants.len()).map(|_| Ok(ByteView::empty())).collect();
 
     let mut run: Vec<usize> = Vec::new();
     let mut run_start = 0u64;
@@ -72,18 +104,34 @@ pub(crate) fn coalesced_read(
                  run: &mut Vec<usize>,
                  start: u64,
                  end: u64,
-                 out: &mut Vec<ByteView>|
-     -> Result<()> {
+                 out: &mut Vec<Result<ByteView>>| {
         if run.is_empty() {
-            return Ok(());
+            return;
         }
-        let buf = Arc::new(io.read(file, start, end - start)?);
-        for &i in run.iter() {
-            let (off, len) = wants[i];
-            out[i] = ByteView::slice(Arc::clone(&buf), (off - start) as usize, len as usize);
+        match io.read(file, start, end - start) {
+            Ok(buf) => {
+                let buf = Arc::new(buf);
+                for &i in run.iter() {
+                    let (off, len) = wants[i];
+                    let view =
+                        ByteView::slice(Arc::clone(&buf), (off - start) as usize, len as usize);
+                    out[i] = verify_view(footer, file, off, view);
+                }
+            }
+            Err(_) => {
+                // The merged read failed (retries exhausted): fall back
+                // to per-want reads so only the wants overlapping the
+                // damage fail.
+                for &i in run.iter() {
+                    let (off, len) = wants[i];
+                    out[i] = match io.read(file, off, u64::from(len)) {
+                        Ok(buf) => verify_view(footer, file, off, ByteView::from(buf)),
+                        Err(e) => Err(MlocError::from(e)),
+                    };
+                }
+            }
         }
         run.clear();
-        Ok(())
     };
 
     for &i in &order {
@@ -97,14 +145,82 @@ pub(crate) fn coalesced_read(
         } else if off <= run_end + COALESCE_GAP {
             run_end = run_end.max(off + u64::from(len));
         } else {
-            flush(io, &mut run, run_start, run_end, &mut out)?;
+            flush(io, &mut run, run_start, run_end, &mut out);
             run_start = off;
             run_end = off + u64::from(len);
         }
         run.push(i);
     }
-    flush(io, &mut run, run_start, run_end, &mut out)?;
-    Ok(out)
+    flush(io, &mut run, run_start, run_end, &mut out);
+    out
+}
+
+/// Strict [`coalesced_read_results`]: the first failed want fails the
+/// whole read (used where no want is degradable).
+#[cfg(test)]
+pub(crate) fn coalesced_read(
+    io: &mut RankIo<'_>,
+    file: &str,
+    wants: &[(u64, u32)],
+) -> Result<Vec<ByteView>> {
+    coalesced_read_results(io, file, wants, None)
+        .into_iter()
+        .collect()
+}
+
+/// Load (or probe the cache for) a file's per-extent checksum footer.
+///
+/// Cold: one untraced `len()` plus two traced reads — the fixed
+/// trailer at the end of the file, then the table it locates — whose
+/// lengths sum to [`ExtentFooter::encoded_len`]. Warm: one cached
+/// trace record of that same total, so fault-free cold/warm byte
+/// accounting mirrors every other cached block. A footer that cannot
+/// be loaded or fails its own CRC is always a hard error: without it
+/// nothing in the file can be trusted.
+#[allow(clippy::too_many_arguments)] // internal helper threading rank counters
+fn load_footer(
+    io: &mut RankIo<'_>,
+    file: &str,
+    cache: Option<&BlockCache>,
+    key: BlockKey,
+    out: &mut RankOutput,
+    cache_rejected: &mut u64,
+    to_index_bytes: bool,
+) -> Result<Arc<ExtentFooter>> {
+    if let Some(c) = cache {
+        if let Some(CachedBlock::Footer(f)) = c.get(&key) {
+            io.record_cached(file, f.payload_len(), f.encoded_len());
+            out.cache_hits += 1;
+            out.bytes_saved += f.encoded_len();
+            return Ok(f);
+        }
+        out.cache_misses += 1;
+    }
+    let flen = io.backend().len(file)?;
+    if flen < TRAILER_LEN {
+        return Err(crate::integrity::corrupt_extent(
+            file,
+            0,
+            flen,
+            "file shorter than footer trailer",
+        ));
+    }
+    let trailer = io.read(file, flen - TRAILER_LEN, TRAILER_LEN)?;
+    let (payload_len, table_len) = ExtentFooter::decode_trailer(&trailer, flen, file)?;
+    let mut region = io.read(file, payload_len, table_len)?;
+    region.extend_from_slice(&trailer);
+    let footer = Arc::new(ExtentFooter::decode(&region, flen, file)?);
+    if to_index_bytes {
+        out.index_bytes += footer.encoded_len();
+    } else {
+        out.data_bytes += footer.encoded_len();
+    }
+    if let Some(c) = cache {
+        if !c.insert(key, CachedBlock::Footer(Arc::clone(&footer))) {
+            *cache_rejected += 1;
+        }
+    }
+    Ok(footer)
 }
 
 /// Decompose a chunk-local offset into global coordinates without
@@ -387,12 +503,22 @@ fn use_general_path() -> bool {
 /// in [`RankOutput`], so profiles reconcile exactly with
 /// [`crate::QueryMetrics`]. Pass [`Collector::disabled`] to skip all
 /// recording at the cost of one branch per call site.
+///
+/// Every extent read is verified against the file's checksum footer.
+/// When `allow_degraded` is set, an unreadable or corrupt *non-base*
+/// PLoD byte-group extent of a value-filterless unit is worked around:
+/// the unit is reconstructed from the parts before the loss (exact
+/// positions, values at reduced precision) and the loss is recorded in
+/// [`RankOutput::degradation`]. Index headers, bitmaps, base parts,
+/// value-filtered units, and the footers themselves always fail loudly
+/// — degrading any of those could silently change *which* points match.
 pub fn process_units(
     store: &MlocStore<'_>,
     query: &Query,
     units: &[WorkUnit],
     io: &mut RankIo<'_>,
     position_filter: Option<&[u64]>,
+    allow_degraded: bool,
     obs: &mut Collector,
 ) -> Result<RankOutput> {
     let mut out = RankOutput::default();
@@ -451,14 +577,27 @@ pub fn process_units(
         let index_bytes_before = out.index_bytes;
         obs.begin("index-read");
 
-        // Index header + directory: one sequential read, cached whole.
+        // The index file's checksum footer comes first: every extent
+        // read from the file below (header, bitmaps) is verified
+        // against it, and none of them is degradable — a damaged index
+        // fails the query loudly.
         let idx_file = store.index_file(bin);
+        let idx_footer = load_footer(
+            io,
+            &idx_file,
+            cache,
+            key(bin, 0, BlockPart::Footer(0)),
+            &mut out,
+            &mut cache_rejected,
+            true,
+        )?;
+
+        // Index header + directory: one sequential read, cached whole.
         let hdr_len = header_size(num_chunks, num_parts);
         let hdr_key = key(bin, 0, BlockPart::IndexHeader);
-        let cached_hdr = cache.and_then(|c| c.get(&hdr_key)).and_then(|b| match b {
-            CachedBlock::Bytes(b) => Some(b),
-            CachedBlock::Floats(_) => None,
-        });
+        let cached_hdr = cache
+            .and_then(|c| c.get(&hdr_key))
+            .and_then(|b| b.as_bytes().cloned());
         let hdr: ByteView = match cached_hdr {
             Some(b) => {
                 io.record_cached(&idx_file, 0, hdr_len);
@@ -471,6 +610,7 @@ pub fn process_units(
                     out.cache_misses += 1;
                 }
                 let raw = ByteView::new(Arc::new(io.read(&idx_file, 0, hdr_len)?));
+                idx_footer.verify(&idx_file, 0, &raw)?;
                 out.index_bytes += hdr_len;
                 if let Some(c) = cache {
                     if !c.insert(hdr_key, CachedBlock::Bytes(raw.clone())) {
@@ -510,7 +650,10 @@ pub fn process_units(
             bitmap_wants.push((off, blen));
             bitmap_slot.push(gi);
         }
-        let bitmap_views = coalesced_read(io, &idx_file, &bitmap_wants)?;
+        let bitmap_views: Vec<ByteView> =
+            coalesced_read_results(io, &idx_file, &bitmap_wants, Some(&idx_footer))
+                .into_iter()
+                .collect::<Result<_>>()?;
         out.index_bytes += bitmap_wants.iter().map(|&(_, l)| u64::from(l)).sum::<u64>();
         for (k_i, view) in bitmap_views.into_iter().enumerate() {
             let gi = bitmap_slot[k_i];
@@ -536,6 +679,27 @@ pub fn process_units(
         // earlier query over the same chunk, whatever its level.
         obs.begin("data-read");
         let data_file = store.data_file(bin);
+        let data_bytes_before = out.data_bytes;
+        // The data file's footer is needed iff any unit actually
+        // touches data. The condition depends only on the plan and the
+        // index — never on cache state — so cold and warm runs of the
+        // same query access it identically.
+        let group_needs_data = group
+            .iter()
+            .any(|u| u.needs_data && index.chunks[u.chunk_rank].count > 0);
+        let dat_footer: Option<Arc<ExtentFooter>> = if group_needs_data {
+            Some(load_footer(
+                io,
+                &data_file,
+                cache,
+                key(bin, 0, BlockPart::Footer(1)),
+                &mut out,
+                &mut cache_rejected,
+                false,
+            )?)
+        } else {
+            None
+        };
         let mut parts_of: Vec<Vec<Option<ByteView>>> = vec![Vec::new(); group.len()];
         let mut floats_of: Vec<Option<Arc<Vec<f64>>>> = vec![None; group.len()];
         let mut data_wants: Vec<(u64, u32)> = Vec::new();
@@ -578,21 +742,64 @@ pub fn process_units(
                 data_slot.push((gi, p));
             }
         }
-        let data_views = coalesced_read(io, &data_file, &data_wants)?;
-        let group_data_bytes = data_wants.iter().map(|&(_, l)| u64::from(l)).sum::<u64>();
-        out.data_bytes += group_data_bytes;
+        let data_results =
+            coalesced_read_results(io, &data_file, &data_wants, dat_footer.as_deref());
+
+        // Sort the per-want outcomes: successes keep their views; a
+        // failed want is fatal unless it is degradable — a non-base
+        // PLoD part of a unit with no value filter (degrading a
+        // filtered unit could silently change which points match).
+        // Track the lowest lost part per unit; everything from it on
+        // is dropped at reconstruction.
+        let mut eff_parts: Vec<usize> = vec![n_parts; group.len()];
+        let mut lost_reason: Vec<Option<String>> = vec![None; group.len()];
+        let mut data_views: Vec<Option<ByteView>> = Vec::with_capacity(data_results.len());
+        for (k_i, res) in data_results.into_iter().enumerate() {
+            let (gi, p) = data_slot[k_i];
+            match res {
+                Ok(view) => {
+                    out.data_bytes += u64::from(data_wants[k_i].1);
+                    data_views.push(Some(view));
+                }
+                Err(e) => {
+                    let degradable =
+                        allow_degraded && config.plod && p > 0 && !group[gi].value_filter;
+                    if !degradable {
+                        return Err(e);
+                    }
+                    if p < eff_parts[gi] {
+                        eff_parts[gi] = p;
+                        lost_reason[gi] = Some(e.to_string());
+                    }
+                    data_views.push(None);
+                }
+            }
+        }
+        for (gi, reason) in lost_reason.into_iter().enumerate() {
+            if let Some(reason) = reason {
+                out.degradation.events.push(DegradationEvent {
+                    bin,
+                    chunk_rank: group[gi].chunk_rank,
+                    lost_part: eff_parts[gi],
+                    points: u64::from(index.chunks[group[gi].chunk_rank].count),
+                    reason,
+                });
+            }
+        }
+        let group_data_bytes = out.data_bytes - data_bytes_before;
         obs.end(); // data-read
         obs.count_labeled("bin.data.bytes", Label::Index(bin as u32), group_data_bytes);
         obs.count_labeled(
             "decompress.units",
             Label::Name(config.codec.name()),
-            data_views.len() as u64,
+            data_views.iter().flatten().count() as u64,
         );
 
         // Decompress the fetched units (timed); cache hits above skip
         // this entirely, which is where warm-session time goes to ~0.
         let t = Instant::now();
         for (k_i, buf) in data_views.iter().enumerate() {
+            let Some(buf) = buf else { continue };
             let (gi, p) = data_slot[k_i];
             let count = index.chunks[group[gi].chunk_rank].count as usize;
             if config.plod {
@@ -674,14 +881,24 @@ pub fn process_units(
             // once per unit, not per point.
             let vals: Option<&[f64]> = if u.needs_data {
                 if config.plod {
+                    // A degraded unit assembles only the parts before
+                    // its first lost extent — same positions, coarser
+                    // values, loss already recorded above.
+                    let eff = eff_parts[gi];
+                    let level = if eff == n_parts {
+                        query.plod
+                    } else {
+                        PlodLevel::new(eff as u8)
+                            .map_err(|_| MlocError::Corrupt("degraded below base precision"))?
+                    };
                     let mut refs: [&[u8]; NUM_PARTS] = [&[]; NUM_PARTS];
-                    for (p, part) in parts_of[gi].iter().enumerate() {
+                    for (p, part) in parts_of[gi].iter().enumerate().take(eff) {
                         refs[p] = part
                             .as_ref()
                             .ok_or(MlocError::Corrupt("missing PLoD part"))?
                             .as_slice();
                     }
-                    plod::assemble_into(&refs[..n_parts], query.plod, &mut scratch_values);
+                    plod::assemble_into(&refs[..eff], level, &mut scratch_values);
                     copy_bytes += (scratch_values.len() * std::mem::size_of::<f64>()) as u64;
                     Some(&scratch_values)
                 } else {

@@ -140,7 +140,12 @@ impl<'a> MlocStore<'a> {
         let meta_name = crate::fileorg::meta_file(dataset, var);
         let len = backend.len(&meta_name)?;
         let raw = backend.read(&meta_name, 0, len)?;
-        let meta = VariableMeta::decode(&raw)?;
+        // The meta file ends with a checksum footer whose valid
+        // trailer doubles as the build's commit marker (it is written
+        // last): a torn or bit-flipped meta fails here instead of
+        // parsing garbage.
+        let payload = crate::integrity::ExtentFooter::split_verified(&raw, &meta_name)?;
+        let meta = VariableMeta::decode(payload)?;
         let grid = ChunkGrid::new(meta.config.shape.clone(), meta.config.chunk_shape.clone());
         let order = meta.config.chunk_order(&grid);
         let spec = BinSpec::from_bounds(meta.bin_bounds.clone())?;

@@ -85,12 +85,31 @@ impl<'a> Reader<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], MlocError> {
-        if self.pos + n > self.data.len() {
+        // checked_add: a hostile length near usize::MAX must not wrap
+        // past the bounds check.
+        let end = self
+            .pos
+            .checked_add(n)
+            .ok_or(MlocError::Corrupt("header truncated"))?;
+        if end > self.data.len() {
             return Err(MlocError::Corrupt("header truncated"));
         }
-        let s = &self.data[self.pos..self.pos + n];
+        let s = &self.data[self.pos..end];
         self.pos += n;
         Ok(s)
+    }
+
+    /// Bound a count of `elem_size`-byte elements against the bytes
+    /// actually left, so a corrupt length prefix fails fast instead of
+    /// driving a near-4G-iteration decode loop.
+    fn bounded_len(&self, n: usize, elem_size: usize) -> Result<usize, MlocError> {
+        let need = n
+            .checked_mul(elem_size)
+            .ok_or(MlocError::Corrupt("header truncated"))?;
+        if need > self.data.len() - self.pos {
+            return Err(MlocError::Corrupt("header truncated"));
+        }
+        Ok(n)
     }
 
     pub fn u8(&mut self) -> Result<u8, MlocError> {
@@ -125,11 +144,13 @@ impl<'a> Reader<'a> {
 
     pub fn usize_vec(&mut self) -> Result<Vec<usize>, MlocError> {
         let n = self.u32()? as usize;
+        let n = self.bounded_len(n, 8)?;
         (0..n).map(|_| self.u64().map(|v| v as usize)).collect()
     }
 
     pub fn f64_vec(&mut self) -> Result<Vec<f64>, MlocError> {
         let n = self.u32()? as usize;
+        let n = self.bounded_len(n, 8)?;
         (0..n).map(|_| self.f64()).collect()
     }
 
@@ -180,5 +201,75 @@ mod tests {
         let buf = w.finish();
         let mut r = Reader::new(&buf[..4]);
         assert!(r.u64().is_err());
+    }
+
+    #[test]
+    fn hostile_length_prefixes_error_without_wrapping() {
+        // A length prefix of u32::MAX must not overflow `pos + n` or
+        // spin a 4-billion-iteration decode loop.
+        let mut buf = u32::MAX.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 16]);
+        assert!(Reader::new(&buf).string().is_err());
+        assert!(Reader::new(&buf).usize_vec().is_err());
+        assert!(Reader::new(&buf).f64_vec().is_err());
+        assert!(Reader::new(&buf).bytes(usize::MAX).is_err());
+
+        // Large-but-not-wrapping lengths fail too.
+        let mut buf = 1_000_000u32.to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0u8; 64]);
+        assert!(Reader::new(&buf).usize_vec().is_err());
+        assert!(Reader::new(&buf).f64_vec().is_err());
+    }
+
+    mod corruption_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            // Decoding arbitrary bytes must return Ok or Err — never
+            // panic, never read out of bounds, never spin on a hostile
+            // length prefix.
+            #[test]
+            fn reader_never_panics_on_arbitrary_bytes(
+                data in proptest::collection::vec(any::<u8>(), 0..256),
+            ) {
+                let _ = Reader::new(&data).u8();
+                let _ = Reader::new(&data).u16();
+                let _ = Reader::new(&data).u32();
+                let _ = Reader::new(&data).u64();
+                let _ = Reader::new(&data).f64();
+                let _ = Reader::new(&data).string();
+                let _ = Reader::new(&data).usize_vec();
+                let _ = Reader::new(&data).f64_vec();
+                let mut r = Reader::new(&data);
+                while r.u64().is_ok() {}
+                prop_assert!(r.position() <= data.len());
+            }
+
+            // A valid header with one byte flipped and/or a truncated
+            // tail decodes to an error or to (possibly different)
+            // values — never a panic.
+            #[test]
+            fn mutated_headers_never_panic(
+                flip in any::<usize>(),
+                mask in 1u8..=255u8,
+                cut in any::<usize>(),
+            ) {
+                let mut w = Writer::new();
+                w.string("temperature");
+                w.usize_vec(&[64, 64, 32]);
+                w.f64_vec(&[0.0, 0.25, 0.5, 1.0]);
+                w.u64(1 << 33);
+                let mut buf = w.finish();
+                let pos = flip % buf.len();
+                buf[pos] ^= mask;
+                buf.truncate(cut % (buf.len() + 1));
+                let mut r = Reader::new(&buf);
+                let _ = r.string();
+                let _ = r.usize_vec();
+                let _ = r.f64_vec();
+                let _ = r.u64();
+            }
+        }
     }
 }

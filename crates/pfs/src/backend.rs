@@ -1,5 +1,6 @@
 //! The storage backend trait and the per-rank tracing I/O handle.
 
+use crate::retry::RetryPolicy;
 use crate::PfsError;
 
 /// A flat namespace of byte files, shared by all ranks.
@@ -27,9 +28,27 @@ pub trait StorageBackend: Send + Sync {
     /// Names of all files, sorted (for inventory/size reports).
     fn list(&self) -> Vec<String>;
 
-    /// Total bytes stored across all files.
+    /// Total bytes stored across all files, plus the number of files
+    /// whose size could not be read. Listed-but-unreadable files are
+    /// counted as errors instead of being silently sized at 0, so a
+    /// faulty backend cannot under-report storage.
+    fn total_bytes_checked(&self) -> (u64, usize) {
+        let mut total = 0u64;
+        let mut errors = 0usize;
+        for f in self.list() {
+            match self.len(&f) {
+                Ok(n) => total += n,
+                Err(_) => errors += 1,
+            }
+        }
+        (total, errors)
+    }
+
+    /// Total bytes stored across all files. Files whose size cannot
+    /// be read are excluded; use [`Self::total_bytes_checked`] to
+    /// detect that case.
     fn total_bytes(&self) -> u64 {
-        self.list().iter().map(|f| self.len(f).unwrap_or(0)).sum()
+        self.total_bytes_checked().0
     }
 }
 
@@ -66,21 +85,48 @@ impl ReadOp {
 pub struct RankIo<'a> {
     backend: &'a dyn StorageBackend,
     trace: Vec<ReadOp>,
+    retry: RetryPolicy,
+    retries: u64,
+    retry_wait_s: f64,
 }
 
 impl<'a> RankIo<'a> {
-    /// New handle over a backend.
+    /// New handle over a backend, with no retries.
     pub fn new(backend: &'a dyn StorageBackend) -> Self {
+        RankIo::with_retry(backend, RetryPolicy::none())
+    }
+
+    /// New handle that retries transient read errors per `policy`.
+    pub fn with_retry(backend: &'a dyn StorageBackend, policy: RetryPolicy) -> Self {
         RankIo {
             backend,
             trace: Vec::new(),
+            retry: policy,
+            retries: 0,
+            retry_wait_s: 0.0,
         }
     }
 
-    /// Read and record one extent.
+    /// Read and record one extent. Transient backend errors are
+    /// retried per the handle's [`RetryPolicy`]; the logical read is
+    /// traced once regardless of how many attempts it took (retries
+    /// are accounted separately via [`Self::retries`] and the
+    /// simulated [`Self::retry_wait_s`], never folded into the trace
+    /// the cost simulator prices).
     pub fn read(&mut self, file: &str, offset: u64, len: u64) -> Result<Vec<u8>, PfsError> {
         self.trace.push(ReadOp::new(file, offset, len));
-        self.backend.read(file, offset, len)
+        let mut attempt = 1u32;
+        loop {
+            match self.backend.read(file, offset, len) {
+                Ok(buf) => return Ok(buf),
+                Err(e) if e.is_transient() && self.retry.should_retry(attempt) => {
+                    attempt += 1;
+                    self.retries += 1;
+                    self.retry_wait_s += self.retry.backoff_s(attempt);
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Record an extent that a cache satisfied without touching the
@@ -117,6 +163,18 @@ impl<'a> RankIo<'a> {
             .sum()
     }
 
+    /// Transient-error retries performed so far.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Simulated backoff seconds accumulated by retries. Not part of
+    /// the priced I/O trace — reported separately so fault-free and
+    /// faulty runs of the same query stay byte- and cost-identical.
+    pub fn retry_wait_s(&self) -> f64 {
+        self.retry_wait_s
+    }
+
     /// Consume the handle and return the recorded trace.
     pub fn into_trace(self) -> Vec<ReadOp> {
         self.trace
@@ -145,6 +203,91 @@ mod tests {
         assert_eq!(trace.len(), 2);
         assert_eq!(trace[0], ReadOp::new("f", 1, 3));
         assert_eq!(trace[1], ReadOp::new("f", 0, 5));
+    }
+
+    #[test]
+    fn retry_recovers_transient_faults_with_one_trace_entry() {
+        use crate::fault::{FaultBackend, FaultPlan};
+        let be = MemBackend::new();
+        be.append("f", &[3u8; 1024]).unwrap();
+        let fb = FaultBackend::new(be, FaultPlan::transient(11, 1.0, 2));
+
+        // Without retries the injected error surfaces.
+        let mut io = RankIo::new(&fb);
+        assert!(io.read("f", 0, 1024).unwrap_err().is_transient());
+
+        // With a patient policy the same read succeeds, traced once.
+        fb.reset_attempts();
+        let mut io = RankIo::with_retry(&fb, RetryPolicy::with_attempts(4));
+        assert_eq!(io.read("f", 0, 1024).unwrap(), vec![3u8; 1024]);
+        assert!(io.retries() >= 1);
+        assert!(io.retry_wait_s() > 0.0);
+        assert_eq!(io.bytes_read(), 1024);
+        assert_eq!(io.trace().len(), 1, "retries must not inflate the trace");
+    }
+
+    #[test]
+    fn retry_does_not_mask_permanent_errors() {
+        let be = MemBackend::new();
+        be.append("f", &[0u8; 8]).unwrap();
+        let mut io = RankIo::with_retry(&be, RetryPolicy::with_attempts(5));
+        let err = io.read("missing", 0, 4).unwrap_err();
+        assert!(matches!(err, PfsError::NotFound(_)));
+        let err = io.read("f", 4, 100).unwrap_err();
+        assert!(matches!(err, PfsError::OutOfBounds { .. }));
+        assert_eq!(io.retries(), 0);
+    }
+
+    #[test]
+    fn total_bytes_checked_counts_unreadable_files() {
+        use crate::fault::{FaultBackend, FaultPlan};
+        let be = MemBackend::new();
+        be.append("a", &[0u8; 10]).unwrap();
+        be.append("b", &[0u8; 20]).unwrap();
+        assert_eq!(be.total_bytes_checked(), (30, 0));
+        assert_eq!(be.total_bytes(), 30);
+
+        // A backend whose len() fails for a listed file must report
+        // the error count, not silently size the file at zero.
+        struct HalfBroken(MemBackend);
+        impl StorageBackend for HalfBroken {
+            fn create(&self, name: &str) -> Result<(), PfsError> {
+                self.0.create(name)
+            }
+            fn append(&self, name: &str, data: &[u8]) -> Result<u64, PfsError> {
+                self.0.append(name, data)
+            }
+            fn read(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>, PfsError> {
+                self.0.read(name, offset, len)
+            }
+            fn len(&self, name: &str) -> Result<u64, PfsError> {
+                if name == "b" {
+                    Err(PfsError::NotFound(name.to_string()))
+                } else {
+                    self.0.len(name)
+                }
+            }
+            fn exists(&self, name: &str) -> bool {
+                self.0.exists(name)
+            }
+            fn list(&self) -> Vec<String> {
+                self.0.list()
+            }
+        }
+        let be = MemBackend::new();
+        be.append("a", &[0u8; 10]).unwrap();
+        be.append("b", &[0u8; 20]).unwrap();
+        let hb = HalfBroken(be);
+        assert_eq!(hb.total_bytes_checked(), (10, 1));
+
+        // And a lost file under FaultBackend is simply not listed.
+        let be = MemBackend::new();
+        be.append("a", &[0u8; 10]).unwrap();
+        be.append("gone", &[0u8; 99]).unwrap();
+        let mut plan = FaultPlan::none();
+        plan.lost_files.push("gone".into());
+        let fb = FaultBackend::new(be, plan);
+        assert_eq!(fb.total_bytes_checked(), (10, 0));
     }
 
     #[test]

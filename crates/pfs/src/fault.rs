@@ -1,0 +1,527 @@
+//! Deterministic fault injection for storage backends.
+//!
+//! [`FaultBackend`] wraps any [`StorageBackend`] and injects failures
+//! according to a scriptable [`FaultPlan`]:
+//!
+//! * **transient read errors** — a seeded hash of (file, offset, len)
+//!   decides whether a read fails and how many times, so the same plan
+//!   against the same access pattern always fails the same ops; a
+//!   retrying caller eventually gets the true bytes.
+//! * **permanent file loss** — files matching a pattern behave as if
+//!   an OST died: reads and `len` return [`PfsError::NotFound`].
+//! * **bit-flip corruption** — targeted bytes are XOR-masked in read
+//!   results. The stored bytes are untouched; the reader sees silent
+//!   corruption exactly as a bad disk would deliver it.
+//! * **torn appends** — the first append to a matching file persists
+//!   only a prefix and then fails, simulating a crash mid-write.
+//!
+//! Everything is deterministic given the plan (seed included), which
+//! is what makes fault-matrix differential testing possible: replaying
+//! a query under the same plan injects the same faults.
+
+use crate::backend::StorageBackend;
+use crate::PfsError;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One targeted bit-flip: XOR `mask` into the byte at absolute
+/// `offset` of any file whose name contains `file`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitFlip {
+    /// Substring the file name must contain.
+    pub file: String,
+    /// Absolute byte offset within the file.
+    pub offset: u64,
+    /// XOR mask applied to that byte (0 disables the flip).
+    pub mask: u8,
+}
+
+/// One torn append: the first append to a matching file persists only
+/// the first `keep` bytes, then the operation fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TornAppend {
+    /// Substring the file name must contain.
+    pub file: String,
+    /// Bytes of the payload that reach storage before the "crash".
+    pub keep: u64,
+}
+
+/// A scriptable, deterministic fault schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the transient-error hash.
+    pub seed: u64,
+    /// Fraction of distinct read ops that fail transiently, in [0, 1].
+    pub transient_rate: f64,
+    /// Most consecutive transient failures a single op can see before
+    /// it starts succeeding (so a sufficiently patient retrier always
+    /// wins). Must be >= 1 when `transient_rate > 0`.
+    pub max_transient: u32,
+    /// Name substrings of permanently lost files.
+    pub lost_files: Vec<String>,
+    /// Targeted read-path corruptions.
+    pub flips: Vec<BitFlip>,
+    /// Targeted write-path crashes.
+    pub torn_appends: Vec<TornAppend>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            transient_rate: 0.0,
+            max_transient: 1,
+            lost_files: Vec::new(),
+            flips: Vec::new(),
+            torn_appends: Vec::new(),
+        }
+    }
+
+    /// A transient-only plan: each distinct read op independently
+    /// fails with probability `rate`, at most `max_transient` times.
+    pub fn transient(seed: u64, rate: f64, max_transient: u32) -> Self {
+        FaultPlan {
+            seed,
+            transient_rate: rate.clamp(0.0, 1.0),
+            max_transient: max_transient.max(1),
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Parse the line-based plan format used by the CLI:
+    ///
+    /// ```text
+    /// # comment
+    /// seed = 42
+    /// transient_rate = 0.25
+    /// max_transient = 2
+    /// lose <file-substring>
+    /// flip <file-substring> <offset> <xor-mask>
+    /// torn <file-substring> <keep-bytes>
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::none();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |what: &str| format!("fault plan line {}: {what}: {line}", lineno + 1);
+            if let Some((key, value)) = line.split_once('=') {
+                let (key, value) = (key.trim(), value.trim());
+                match key {
+                    "seed" => plan.seed = value.parse().map_err(|_| err("bad seed"))?,
+                    "transient_rate" => {
+                        let rate: f64 = value.parse().map_err(|_| err("bad rate"))?;
+                        if !(0.0..=1.0).contains(&rate) {
+                            return Err(err("rate must be in [0, 1]"));
+                        }
+                        plan.transient_rate = rate;
+                    }
+                    "max_transient" => {
+                        plan.max_transient = value.parse().map_err(|_| err("bad count"))?
+                    }
+                    _ => return Err(err("unknown key")),
+                }
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            match words.next() {
+                Some("lose") => {
+                    let pat = words.next().ok_or_else(|| err("missing file"))?;
+                    plan.lost_files.push(pat.to_string());
+                }
+                Some("flip") => {
+                    let file = words.next().ok_or_else(|| err("missing file"))?;
+                    let offset = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("missing/bad offset"))?;
+                    let mask = words
+                        .next()
+                        .and_then(parse_mask)
+                        .ok_or_else(|| err("missing/bad mask"))?;
+                    plan.flips.push(BitFlip {
+                        file: file.to_string(),
+                        offset,
+                        mask,
+                    });
+                }
+                Some("torn") => {
+                    let file = words.next().ok_or_else(|| err("missing file"))?;
+                    let keep = words
+                        .next()
+                        .and_then(|w| w.parse().ok())
+                        .ok_or_else(|| err("missing/bad keep"))?;
+                    plan.torn_appends.push(TornAppend {
+                        file: file.to_string(),
+                        keep,
+                    });
+                }
+                _ => return Err(err("unknown directive")),
+            }
+            if words.next().is_some() {
+                return Err(err("trailing tokens"));
+            }
+        }
+        plan.max_transient = plan.max_transient.max(1);
+        Ok(plan)
+    }
+}
+
+fn parse_mask(w: &str) -> Option<u8> {
+    if let Some(hex) = w.strip_prefix("0x").or_else(|| w.strip_prefix("0X")) {
+        u8::from_str_radix(hex, 16).ok()
+    } else {
+        w.parse().ok()
+    }
+}
+
+/// Injection counters, for asserting that a plan actually fired.
+#[derive(Debug, Default)]
+pub struct FaultStats {
+    transient: AtomicU64,
+    flipped: AtomicU64,
+    lost_denied: AtomicU64,
+    torn: AtomicU64,
+}
+
+impl FaultStats {
+    /// Transient read errors raised so far.
+    pub fn transient_errors(&self) -> u64 {
+        self.transient.load(Ordering::Relaxed)
+    }
+
+    /// Bytes corrupted in read results so far.
+    pub fn bytes_flipped(&self) -> u64 {
+        self.flipped.load(Ordering::Relaxed)
+    }
+
+    /// Operations denied because the file is in the lost set.
+    pub fn lost_denials(&self) -> u64 {
+        self.lost_denied.load(Ordering::Relaxed)
+    }
+
+    /// Torn appends executed.
+    pub fn torn_appends(&self) -> u64 {
+        self.torn.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`StorageBackend`] wrapper that injects the faults of a
+/// [`FaultPlan`] deterministically.
+pub struct FaultBackend<B: StorageBackend> {
+    inner: B,
+    plan: FaultPlan,
+    stats: FaultStats,
+    /// attempts seen per distinct (file, offset, len) read signature.
+    attempts: Mutex<HashMap<(String, u64, u64), u32>>,
+    /// torn-append rules already fired (by index into the plan).
+    torn_fired: Mutex<Vec<bool>>,
+}
+
+impl<B: StorageBackend> FaultBackend<B> {
+    /// Wrap `inner`, injecting per `plan`.
+    pub fn new(inner: B, plan: FaultPlan) -> Self {
+        let torn_fired = vec![false; plan.torn_appends.len()];
+        FaultBackend {
+            inner,
+            plan,
+            stats: FaultStats::default(),
+            attempts: Mutex::new(HashMap::new()),
+            torn_fired: Mutex::new(torn_fired),
+        }
+    }
+
+    /// Injection counters.
+    pub fn stats(&self) -> &FaultStats {
+        &self.stats
+    }
+
+    /// The wrapped backend (e.g. to corrupt or inspect stored bytes
+    /// directly in tests).
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Forget which ops already failed, so the transient schedule
+    /// replays from scratch (useful between differential rounds).
+    pub fn reset_attempts(&self) {
+        self.attempts.lock().clear();
+    }
+
+    fn is_lost(&self, name: &str) -> bool {
+        self.plan.lost_files.iter().any(|pat| name.contains(pat))
+    }
+
+    /// How many times the op with this signature should fail before
+    /// succeeding (0 = never fails).
+    fn planned_failures(&self, file: &str, offset: u64, len: u64) -> u32 {
+        if self.plan.transient_rate <= 0.0 {
+            return 0;
+        }
+        let h = op_hash(self.plan.seed, file, offset, len);
+        let threshold = (self.plan.transient_rate * 10_000.0) as u64;
+        if h % 10_000 < threshold {
+            1 + ((h >> 32) % u64::from(self.plan.max_transient)) as u32
+        } else {
+            0
+        }
+    }
+
+    fn apply_flips(&self, name: &str, offset: u64, buf: &mut [u8]) {
+        for flip in &self.plan.flips {
+            if flip.mask == 0 || !name.contains(flip.file.as_str()) {
+                continue;
+            }
+            if flip.offset >= offset && flip.offset - offset < buf.len() as u64 {
+                buf[(flip.offset - offset) as usize] ^= flip.mask;
+                self.stats.flipped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl<B: StorageBackend> StorageBackend for FaultBackend<B> {
+    fn create(&self, name: &str) -> Result<(), PfsError> {
+        self.inner.create(name)
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> Result<u64, PfsError> {
+        let torn = {
+            let mut fired = self.torn_fired.lock();
+            self.plan
+                .torn_appends
+                .iter()
+                .position(|t| name.contains(t.file.as_str()))
+                .filter(|&i| !std::mem::replace(&mut fired[i], true))
+        };
+        if let Some(i) = torn {
+            let keep = (self.plan.torn_appends[i].keep as usize).min(data.len());
+            self.inner.append(name, &data[..keep])?;
+            self.stats.torn.fetch_add(1, Ordering::Relaxed);
+            return Err(PfsError::Io(std::io::Error::other(format!(
+                "torn append to {name}: {keep} of {} bytes persisted (injected crash)",
+                data.len()
+            ))));
+        }
+        self.inner.append(name, data)
+    }
+
+    fn read(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>, PfsError> {
+        if self.is_lost(name) {
+            self.stats.lost_denied.fetch_add(1, Ordering::Relaxed);
+            return Err(PfsError::NotFound(name.to_string()));
+        }
+        let planned = self.planned_failures(name, offset, len);
+        if planned > 0 {
+            let attempt = {
+                let mut attempts = self.attempts.lock();
+                let n = attempts.entry((name.to_string(), offset, len)).or_insert(0);
+                *n += 1;
+                *n
+            };
+            if attempt <= planned {
+                self.stats.transient.fetch_add(1, Ordering::Relaxed);
+                return Err(PfsError::Transient {
+                    file: name.to_string(),
+                    offset,
+                    attempt,
+                });
+            }
+        }
+        let mut buf = self.inner.read(name, offset, len)?;
+        self.apply_flips(name, offset, &mut buf);
+        Ok(buf)
+    }
+
+    fn len(&self, name: &str) -> Result<u64, PfsError> {
+        if self.is_lost(name) {
+            self.stats.lost_denied.fetch_add(1, Ordering::Relaxed);
+            return Err(PfsError::NotFound(name.to_string()));
+        }
+        self.inner.len(name)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        !self.is_lost(name) && self.inner.exists(name)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.inner
+            .list()
+            .into_iter()
+            .filter(|f| !self.is_lost(f))
+            .collect()
+    }
+}
+
+/// Deterministic per-op hash: FNV-1a over the file name, then a
+/// splitmix64-style finalizer mixing in seed/offset/len. Zero-dep and
+/// stable across platforms, which is all the fault schedule needs.
+fn op_hash(seed: u64, file: &str, offset: u64, len: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in file.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut z = h
+        .wrapping_add(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+        .wrapping_add(offset.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(len.wrapping_mul(0x94d0_49bb_1331_11eb));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemBackend;
+
+    fn seeded(rate: f64, max_transient: u32) -> FaultBackend<MemBackend> {
+        let be = MemBackend::new();
+        be.append("bin0.dat", &[7u8; 4096]).unwrap();
+        be.append("bin1.dat", &[9u8; 4096]).unwrap();
+        FaultBackend::new(be, FaultPlan::transient(42, rate, max_transient))
+    }
+
+    #[test]
+    fn transient_errors_are_deterministic_and_bounded() {
+        let fb = seeded(0.5, 3);
+        let mut failures_a = Vec::new();
+        for off in (0..4096).step_by(256) {
+            let mut tries = 0u32;
+            loop {
+                tries += 1;
+                match fb.read("bin0.dat", off, 64) {
+                    Ok(buf) => {
+                        assert_eq!(buf, vec![7u8; 64]);
+                        break;
+                    }
+                    Err(e) => {
+                        assert!(e.is_transient());
+                        assert!(tries <= 3, "op failed more than max_transient times");
+                    }
+                }
+            }
+            failures_a.push(tries - 1);
+        }
+        assert!(
+            failures_a.iter().any(|&n| n > 0),
+            "rate 0.5 over 16 ops injected nothing"
+        );
+        // Same plan + fresh state => identical schedule.
+        let fb2 = seeded(0.5, 3);
+        for (i, off) in (0..4096).step_by(256).enumerate() {
+            let mut tries = 0u32;
+            while fb2.read("bin0.dat", off, 64).is_err() {
+                tries += 1;
+            }
+            assert_eq!(tries, failures_a[i], "schedule not deterministic");
+        }
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let fb = seeded(0.0, 3);
+        for off in (0..4096).step_by(64) {
+            fb.read("bin0.dat", off, 64).unwrap();
+        }
+        assert_eq!(fb.stats().transient_errors(), 0);
+    }
+
+    #[test]
+    fn lost_files_vanish_everywhere() {
+        let mut plan = FaultPlan::none();
+        plan.lost_files.push("bin1".to_string());
+        let fb = FaultBackend::new(MemBackend::new(), plan);
+        fb.inner().append("bin0.dat", &[1]).unwrap();
+        fb.inner().append("bin1.dat", &[2]).unwrap();
+        assert!(fb.exists("bin0.dat"));
+        assert!(!fb.exists("bin1.dat"));
+        assert!(matches!(
+            fb.read("bin1.dat", 0, 1),
+            Err(PfsError::NotFound(_))
+        ));
+        assert!(matches!(fb.len("bin1.dat"), Err(PfsError::NotFound(_))));
+        assert_eq!(fb.list(), vec!["bin0.dat".to_string()]);
+        assert!(fb.stats().lost_denials() >= 2);
+    }
+
+    #[test]
+    fn bit_flips_corrupt_reads_not_storage() {
+        let mut plan = FaultPlan::none();
+        plan.flips.push(BitFlip {
+            file: "bin0".to_string(),
+            offset: 10,
+            mask: 0x80,
+        });
+        let fb = FaultBackend::new(MemBackend::new(), plan);
+        fb.inner().append("bin0.dat", &[0u8; 32]).unwrap();
+        let buf = fb.read("bin0.dat", 0, 32).unwrap();
+        assert_eq!(buf[10], 0x80);
+        assert_eq!(buf[9], 0);
+        // Reads that miss the offset are untouched.
+        assert_eq!(fb.read("bin0.dat", 11, 8).unwrap(), vec![0u8; 8]);
+        // Underlying bytes are clean.
+        assert_eq!(fb.inner().read("bin0.dat", 10, 1).unwrap(), vec![0]);
+        assert_eq!(fb.stats().bytes_flipped(), 1);
+    }
+
+    #[test]
+    fn torn_append_persists_prefix_then_fails_once() {
+        let mut plan = FaultPlan::none();
+        plan.torn_appends.push(TornAppend {
+            file: "meta".to_string(),
+            keep: 5,
+        });
+        let fb = FaultBackend::new(MemBackend::new(), plan);
+        let err = fb.append("ds/meta", &[1, 2, 3, 4, 5, 6, 7, 8]).unwrap_err();
+        assert!(err.to_string().contains("torn append"));
+        assert_eq!(fb.len("ds/meta").unwrap(), 5);
+        // The rule fires once; later appends succeed.
+        fb.append("ds/meta", &[9, 9]).unwrap();
+        assert_eq!(fb.len("ds/meta").unwrap(), 7);
+        assert_eq!(fb.stats().torn_appends(), 1);
+    }
+
+    #[test]
+    fn plan_parser_round_trip() {
+        let text = "
+            # schedule for CI
+            seed = 7
+            transient_rate = 0.25
+            max_transient = 2
+            lose bin3
+            flip v.dat 128 0x80
+            torn meta 10
+        ";
+        let plan = FaultPlan::parse(text).unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.transient_rate, 0.25);
+        assert_eq!(plan.max_transient, 2);
+        assert_eq!(plan.lost_files, vec!["bin3".to_string()]);
+        assert_eq!(
+            plan.flips,
+            vec![BitFlip {
+                file: "v.dat".to_string(),
+                offset: 128,
+                mask: 0x80
+            }]
+        );
+        assert_eq!(
+            plan.torn_appends,
+            vec![TornAppend {
+                file: "meta".to_string(),
+                keep: 10
+            }]
+        );
+
+        assert!(FaultPlan::parse("transient_rate = 1.5").is_err());
+        assert!(FaultPlan::parse("flip onlyfile").is_err());
+        assert!(FaultPlan::parse("bogus directive").is_err());
+    }
+}

@@ -41,14 +41,18 @@
 
 pub mod backend;
 pub mod cost;
+pub mod fault;
 pub mod localdir;
 pub mod mem;
+pub mod retry;
 pub mod sim;
 
 pub use backend::{RankIo, ReadOp, StorageBackend};
 pub use cost::CostModel;
+pub use fault::{BitFlip, FaultBackend, FaultPlan, FaultStats, TornAppend};
 pub use localdir::DirBackend;
 pub use mem::MemBackend;
+pub use retry::RetryPolicy;
 pub use sim::{simulate_reads, RankIoBreakdown, SimReport};
 
 /// Errors from storage backends.
@@ -67,8 +71,28 @@ pub enum PfsError {
         /// Actual file size.
         size: u64,
     },
+    /// Transient device error: the same read may succeed if retried.
+    /// Injected by [`FaultBackend`]; a real PFS surfaces these as EIO /
+    /// EAGAIN from a flaky OST.
+    Transient {
+        /// File being read.
+        file: String,
+        /// Requested offset.
+        offset: u64,
+        /// How many attempts the caller had made when this was raised
+        /// (1 = first try).
+        attempt: u32,
+    },
     /// Underlying OS error (directory backend only).
     Io(std::io::Error),
+}
+
+impl PfsError {
+    /// Whether retrying the same operation may succeed. Permanent
+    /// classes (missing file, out-of-bounds, OS errors) return false.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, PfsError::Transient { .. })
+    }
 }
 
 impl std::fmt::Display for PfsError {
@@ -83,6 +107,14 @@ impl std::fmt::Display for PfsError {
             } => write!(
                 f,
                 "read [{offset}, {offset}+{len}) past end of {file} (size {size})"
+            ),
+            PfsError::Transient {
+                file,
+                offset,
+                attempt,
+            } => write!(
+                f,
+                "transient read error on {file} at offset {offset} (attempt {attempt})"
             ),
             PfsError::Io(e) => write!(f, "I/O error: {e}"),
         }

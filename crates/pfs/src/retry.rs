@@ -1,0 +1,102 @@
+//! Bounded, deterministic retry with exponential backoff.
+//!
+//! Transient PFS errors (a flaky OST returning EIO, an injected
+//! [`crate::fault::FaultBackend`] fault) are worth retrying; permanent
+//! ones (missing file, out-of-bounds read) are not. [`RetryPolicy`]
+//! encodes the schedule. Backoff time is *simulated*, never slept:
+//! the query engine runs against a cost simulator, so wall-clock
+//! sleeping would only slow the tests down without changing any
+//! reported number. Callers accumulate [`RetryPolicy::backoff_s`]
+//! into their own wait-time counter instead.
+
+/// A bounded exponential-backoff retry schedule.
+///
+/// `max_attempts` counts the first try: `max_attempts == 1` means no
+/// retries at all. Backoff before attempt `k` (k = 2, 3, ...) is
+/// `base_backoff_s * multiplier^(k - 2)` seconds — deterministic, no
+/// jitter, so replayed runs report identical wait times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts allowed, including the first (>= 1).
+    pub max_attempts: u32,
+    /// Simulated wait before the first retry, in seconds.
+    pub base_backoff_s: f64,
+    /// Growth factor applied per subsequent retry.
+    pub multiplier: f64,
+}
+
+impl RetryPolicy {
+    /// No retries: one attempt, fail on the first transient error.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff_s: 0.0,
+            multiplier: 2.0,
+        }
+    }
+
+    /// `attempts` total attempts with the default 1ms/2x backoff curve.
+    pub fn with_attempts(attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: attempts.max(1),
+            base_backoff_s: 1e-3,
+            multiplier: 2.0,
+        }
+    }
+
+    /// Simulated backoff in seconds before attempt `attempt`
+    /// (1-based; attempt 1 is the initial try and waits nothing).
+    pub fn backoff_s(&self, attempt: u32) -> f64 {
+        if attempt <= 1 {
+            return 0.0;
+        }
+        self.base_backoff_s * self.multiplier.powi(attempt as i32 - 2)
+    }
+
+    /// Whether another attempt is allowed after `attempt` attempts
+    /// have already failed.
+    pub fn should_retry(&self, attempt: u32) -> bool {
+        attempt < self.max_attempts
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_means_single_attempt() {
+        let p = RetryPolicy::none();
+        assert_eq!(p.max_attempts, 1);
+        assert!(!p.should_retry(1));
+        assert_eq!(p.backoff_s(1), 0.0);
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_deterministic() {
+        let p = RetryPolicy {
+            max_attempts: 4,
+            base_backoff_s: 0.5,
+            multiplier: 2.0,
+        };
+        assert_eq!(p.backoff_s(1), 0.0);
+        assert_eq!(p.backoff_s(2), 0.5);
+        assert_eq!(p.backoff_s(3), 1.0);
+        assert_eq!(p.backoff_s(4), 2.0);
+        assert!(p.should_retry(1));
+        assert!(p.should_retry(3));
+        assert!(!p.should_retry(4));
+    }
+
+    #[test]
+    fn with_attempts_clamps_to_one() {
+        assert_eq!(RetryPolicy::with_attempts(0).max_attempts, 1);
+        assert_eq!(RetryPolicy::with_attempts(5).max_attempts, 5);
+    }
+}

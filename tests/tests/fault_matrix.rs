@@ -1,0 +1,331 @@
+//! Fault-matrix differential suite: replay the same queries under a
+//! deterministic fault schedule and prove the three robustness
+//! contracts end to end.
+//!
+//! * Transient faults + retries ⇒ results byte-identical to the
+//!   fault-free run, in serial, threaded, and cached modes.
+//! * Corruption (bit flips, lost files, torn writes) ⇒ *detected*:
+//!   the query fails with extent context, or completes gracefully
+//!   degraded with the loss reported. Never silently wrong.
+//! * `verify` pinpoints the damaged extents offline.
+
+use mloc::prelude::*;
+use mloc::{verify_variable, MlocError, MlocStore, QueryMetrics, QueryResult};
+use mloc_datagen::gts_like_2d;
+use mloc_pfs::{CostModel, FaultBackend, FaultPlan, MemBackend, RetryPolicy, StorageBackend};
+
+const DS: &str = "fm";
+const VAR: &str = "v";
+
+fn build_into(be: &impl StorageBackend) -> Vec<f64> {
+    let field = gts_like_2d(64, 64, 17);
+    let config = MlocConfig::builder(vec![64, 64])
+        .chunk_shape(vec![16, 16])
+        .num_bins(6)
+        .build();
+    build_variable(be, DS, VAR, field.values(), &config).unwrap();
+    field.into_values()
+}
+
+/// Open the store, retrying transient faults the way a patient caller
+/// would (attempt counts accumulate inside the FaultBackend, so the
+/// schedule eventually lets the read through).
+fn open_retrying<'a>(be: &'a dyn StorageBackend) -> mloc::Result<MlocStore<'a>> {
+    let mut attempts = 0;
+    loop {
+        match MlocStore::open(be, DS, VAR) {
+            Err(MlocError::Pfs(e)) if e.is_transient() && attempts < 64 => attempts += 1,
+            other => return other,
+        }
+    }
+}
+
+fn full_values_query() -> Query {
+    Query::values_where(f64::MIN, f64::MAX)
+}
+
+fn fingerprint(res: &QueryResult) -> (Vec<u64>, Vec<u64>) {
+    (
+        res.positions().to_vec(),
+        res.values()
+            .map(|vs| vs.iter().map(|v| v.to_bits()).collect())
+            .unwrap_or_default(),
+    )
+}
+
+/// Check a fault-run outcome against the baseline: identical, or
+/// degraded within the *reported* error bound. Anything else is a
+/// silent-corruption failure.
+fn assert_not_silently_wrong(
+    tag: &str,
+    baseline: &QueryResult,
+    res: &QueryResult,
+    metrics: &QueryMetrics,
+) {
+    assert_eq!(
+        res.positions(),
+        baseline.positions(),
+        "{tag}: positions drifted"
+    );
+    let bound = metrics.degradation.error_bound();
+    let base_vals = baseline.values().unwrap();
+    for (i, (&got, &want)) in res
+        .values()
+        .unwrap()
+        .iter()
+        .zip(base_vals.iter())
+        .enumerate()
+    {
+        if got.to_bits() == want.to_bits() {
+            continue;
+        }
+        assert!(
+            metrics.degradation.is_degraded(),
+            "{tag}: silent corruption at result {i}: {got} != {want}"
+        );
+        let rel = if want != 0.0 {
+            ((got - want) / want).abs()
+        } else {
+            got.abs()
+        };
+        assert!(
+            rel <= bound * (1.0 + 1e-9),
+            "{tag}: degraded value outside reported bound: {got} vs {want} (rel {rel:e}, bound {bound:e})"
+        );
+    }
+}
+
+#[test]
+fn transient_faults_with_retry_are_byte_identical() {
+    let clean = MemBackend::new();
+    build_into(&clean);
+    let clean_store = MlocStore::open(&clean, DS, VAR).unwrap();
+    let q = full_values_query();
+    let baseline = clean_store.query_serial(&q).unwrap();
+    let want = fingerprint(&baseline);
+
+    let mut saw_retries = false;
+    for seed in [1u64, 7, 23] {
+        let fb = FaultBackend::new(MemBackend::new(), FaultPlan::transient(seed, 0.4, 3));
+        build_into(&fb); // builds only append; transient faults hit reads
+        let store = open_retrying(&fb).unwrap();
+        let exec = ParallelExecutor::serial().with_retry(RetryPolicy::with_attempts(5));
+        let (res, m) = exec.execute(&store, &q).unwrap();
+        assert_eq!(fingerprint(&res), want, "seed {seed}: results drifted");
+        assert!(
+            !m.degradation.is_degraded(),
+            "seed {seed}: spurious degradation"
+        );
+        if m.retries > 0 {
+            saw_retries = true;
+            assert!(m.retry_wait_s > 0.0, "retries without simulated backoff");
+        }
+
+        // Threaded, multi-rank, cached replay under the same schedule.
+        fb.reset_attempts();
+        let cache = std::sync::Arc::new(BlockCache::with_budget_mb(64));
+        let store = open_retrying(&fb).unwrap().with_cache(cache);
+        let exec = ParallelExecutor::new(4, CostModel::default())
+            .threaded(true)
+            .with_retry(RetryPolicy::with_attempts(5));
+        for pass in 0..2 {
+            let (res, m) = exec.execute(&store, &q).unwrap();
+            assert_eq!(
+                fingerprint(&res),
+                want,
+                "seed {seed} threaded pass {pass}: results drifted"
+            );
+            assert!(!m.degradation.is_degraded());
+        }
+    }
+    assert!(saw_retries, "0.4 transient rate never triggered a retry");
+}
+
+#[test]
+fn bit_flip_matrix_is_detected_or_reported_never_silent() {
+    let clean = MemBackend::new();
+    build_into(&clean);
+    let q = full_values_query();
+    let baseline = MlocStore::open(&clean, DS, VAR)
+        .unwrap()
+        .query_serial(&q)
+        .unwrap();
+
+    let files: Vec<String> = clean
+        .list()
+        .into_iter()
+        .filter(|f| f.ends_with(".dat") || f.ends_with(".idx"))
+        .collect();
+    let (mut failed, mut degraded, mut harmless) = (0u32, 0u32, 0u32);
+    for file in &files {
+        let flen = clean.len(file).unwrap();
+        for frac in [0.05, 0.3, 0.55, 0.8, 0.97] {
+            let offset = ((flen as f64 * frac) as u64).min(flen - 1);
+            let mut plan = FaultPlan::none();
+            plan.flips.push(mloc_pfs::BitFlip {
+                file: file.clone(),
+                offset,
+                mask: 0x40,
+            });
+            let fb = FaultBackend::new(MemBackend::new(), plan);
+            build_into(&fb);
+            let tag = format!("{file}@{offset}");
+            let store = MlocStore::open(&fb, DS, VAR).unwrap();
+            match store.query_with_metrics(&q) {
+                Err(e) => {
+                    failed += 1;
+                    // Corruption must surface as corruption, with the
+                    // damaged file named.
+                    assert!(e.is_corruption(), "{tag}: wrong error class: {e}");
+                    if let MlocError::CorruptExtent { file: f, .. } = &e {
+                        assert_eq!(f, file, "{tag}: wrong file in error");
+                    }
+                }
+                Ok((res, m)) => {
+                    if m.degradation.is_degraded() {
+                        degraded += 1;
+                    } else {
+                        harmless += 1;
+                    }
+                    assert_not_silently_wrong(&tag, &baseline, &res, &m);
+                }
+            }
+        }
+    }
+    // The matrix must exercise both failure modes, not just one.
+    assert!(failed > 0, "no flip was detected as corruption");
+    assert!(degraded > 0, "no flip produced graceful degradation");
+    let _ = harmless; // flips in extents this query never reads
+}
+
+#[test]
+fn verify_pinpoints_injected_flips() {
+    let clean = MemBackend::new();
+    build_into(&clean);
+    for file in clean.list() {
+        if !(file.ends_with(".dat") || file.ends_with(".idx") || file.ends_with("meta")) {
+            continue;
+        }
+        // Flip early in the file: always inside the checksummed
+        // payload, never in the footer.
+        let offset = (clean.len(&file).unwrap() / 4).min(10);
+        let mut plan = FaultPlan::none();
+        plan.flips.push(mloc_pfs::BitFlip {
+            file: file.clone(),
+            offset,
+            mask: 0x08,
+        });
+        let fb = FaultBackend::new(MemBackend::new(), plan);
+        build_into(&fb);
+        let report = verify_variable(&fb, DS, VAR).unwrap();
+        assert!(!report.is_clean(), "{file}: flip not detected");
+        let hit = report
+            .damage
+            .iter()
+            .find(|d| d.file == file && d.offset <= offset && offset < d.offset + d.len);
+        assert!(
+            hit.is_some(),
+            "{file}: no damage entry covers offset {offset}: {report}"
+        );
+    }
+}
+
+#[test]
+fn lost_files_fail_loudly_but_index_queries_survive_data_loss() {
+    let clean = MemBackend::new();
+    let values = build_into(&clean);
+
+    // Lose one bin's data file: a values query must fail (the base
+    // byte group is gone — not degradable)...
+    let mut plan = FaultPlan::none();
+    plan.lost_files.push("bin0002.dat".to_string());
+    let fb = FaultBackend::new(MemBackend::new(), plan);
+    build_into(&fb);
+    let store = MlocStore::open(&fb, DS, VAR).unwrap();
+    assert!(store.query_serial(&full_values_query()).is_err());
+    // ...but a region query answered from the index alone still works.
+    let res = store
+        .query_serial(&Query::region(f64::MIN, f64::MAX))
+        .unwrap();
+    assert_eq!(res.len(), values.len());
+
+    // Lose an index file: everything touching that bin fails.
+    let mut plan = FaultPlan::none();
+    plan.lost_files.push("bin0001.idx".to_string());
+    let fb = FaultBackend::new(MemBackend::new(), plan);
+    build_into(&fb);
+    let store = MlocStore::open(&fb, DS, VAR).unwrap();
+    assert!(store.query_serial(&full_values_query()).is_err());
+    assert!(store
+        .query_serial(&Query::region(f64::MIN, f64::MAX))
+        .is_err());
+}
+
+#[test]
+fn torn_meta_write_is_an_incomplete_build() {
+    // Crash mid-meta-write: the footer trailer (the commit marker,
+    // written last) never lands, so the variable must refuse to open.
+    let mut plan = FaultPlan::none();
+    plan.torn_appends.push(mloc_pfs::TornAppend {
+        file: "meta".to_string(),
+        keep: 40,
+    });
+    let fb = FaultBackend::new(MemBackend::new(), plan);
+    let field = gts_like_2d(64, 64, 17);
+    let config = MlocConfig::builder(vec![64, 64])
+        .chunk_shape(vec![16, 16])
+        .num_bins(6)
+        .build();
+    // The build observes the crash...
+    assert!(build_variable(&fb, DS, VAR, field.values(), &config).is_err());
+    // ...and the torn remnant can never be mistaken for a variable.
+    match MlocStore::open(&fb, DS, VAR) {
+        Ok(_) => panic!("torn meta opened as a valid variable"),
+        Err(err) => assert!(err.is_corruption(), "torn meta opened as: {err}"),
+    }
+}
+
+#[test]
+fn base_part_corruption_carries_context_in_all_modes() {
+    // Flip the first data extent (a base byte group): every execution
+    // mode must fail with the file and offset, never panic or degrade.
+    let mut plan = FaultPlan::none();
+    plan.flips.push(mloc_pfs::BitFlip {
+        file: "bin0002.dat".to_string(),
+        offset: 4,
+        mask: 0x20,
+    });
+    let fb = FaultBackend::new(MemBackend::new(), plan);
+    build_into(&fb);
+    let q = full_values_query();
+    let cache = std::sync::Arc::new(BlockCache::with_budget_mb(64));
+    let execs = [
+        ParallelExecutor::serial(),
+        ParallelExecutor::new(4, CostModel::default()),
+        ParallelExecutor::new(4, CostModel::default()).threaded(true),
+    ];
+    for (i, exec) in execs.iter().enumerate() {
+        for cached in [false, true] {
+            let mut store = MlocStore::open(&fb, DS, VAR).unwrap();
+            if cached {
+                store.set_cache(Some(cache.clone()));
+            }
+            let err = match exec.execute(&store, &q) {
+                Ok(_) => panic!("mode {i} cached={cached}: corruption not detected"),
+                Err(e) => e,
+            };
+            match &err {
+                MlocError::CorruptExtent {
+                    file, offset, len, ..
+                } => {
+                    assert!(file.ends_with("bin0002.dat"), "mode {i}: {err}");
+                    assert!(
+                        *offset <= 4 && 4 < offset + len,
+                        "mode {i}: extent does not cover the flip: {err}"
+                    );
+                }
+                other => panic!("mode {i} cached={cached}: wrong error: {other}"),
+            }
+        }
+    }
+}
