@@ -1,0 +1,233 @@
+//! Session-service traffic bench: replays a multi-tenant workload
+//! through `mloc-serve` three ways — serial replay, concurrent without
+//! fusion, concurrent with cross-session extent fusion — asserts the
+//! answers are byte-identical, and reports session latency percentiles
+//! plus the bytes-read amplification of fusion (must be < 1.0 on this
+//! overlapping workload). Emits `BENCH_serve.json`.
+//!
+//! Run with: `cargo run --release -p mloc-bench --bin serve_bench`
+//! (`--scale large` for a 256² field, `--queries N` for more distinct
+//! queries per tenant pair, `--seed N` for the workload seed).
+
+use mloc::prelude::*;
+use mloc_bench::report::{fmt_bytes, note, title, Table};
+use mloc_bench::HarnessArgs;
+use mloc_datagen::{gts_like_2d, QueryGen};
+use mloc_pfs::MemBackend;
+use mloc_serve::{QueryServer, ServeConfig, SessionReport, SessionSpec};
+
+const DS: &str = "sb";
+const VAR: &str = "v";
+const TENANTS: [&str; 4] = ["alice", "bob", "carol", "dave"];
+
+/// Overlapping traffic: every distinct query is issued by two tenants
+/// back to back (so each admission window carries duplicate and
+/// overlapping want-lists), cycling through tenant pairs.
+fn workload(values: &[f64], shape: &[usize], seed: u64, distinct: usize) -> Vec<SessionSpec> {
+    let mut gen = QueryGen::new(values.to_vec(), shape.to_vec(), seed);
+    let mut specs = Vec::new();
+    for i in 0..distinct {
+        let (lo, hi) = gen.value_constraint(0.08 + 0.02 * (i % 5) as f64);
+        let region = Region::new(gen.region(0.15));
+        let q = match i % 4 {
+            0 => Query::region(lo, hi),
+            1 => Query::values_where(lo, hi),
+            2 => Query::values_in(region),
+            _ => Query::values_where(lo, hi).with_region(region),
+        };
+        let a = TENANTS[i % TENANTS.len()];
+        let b = TENANTS[(i + 1) % TENANTS.len()];
+        specs.push(SessionSpec::new(a, DS, VAR, q.clone()));
+        specs.push(SessionSpec::new(b, DS, VAR, q));
+    }
+    specs
+}
+
+fn config(workers: usize, window: usize, fusion: bool) -> ServeConfig {
+    ServeConfig {
+        workers,
+        window,
+        cache_mb: 0,
+        fusion,
+        ..ServeConfig::default()
+    }
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct ModeStats {
+    bytes_read: u64,
+    fused_saved: u64,
+    sim_p50: f64,
+    sim_p99: f64,
+    wall_p50: f64,
+    wall_p99: f64,
+}
+
+fn mode_stats(reports: &[SessionReport]) -> ModeStats {
+    let metrics: Vec<_> = reports
+        .iter()
+        .map(|r| r.metrics.as_ref().expect("session completed"))
+        .collect();
+    let mut sim: Vec<f64> = metrics.iter().map(|m| m.response_s).collect();
+    let mut wall: Vec<f64> = reports.iter().map(|r| r.wall_s).collect();
+    sim.sort_by(f64::total_cmp);
+    wall.sort_by(f64::total_cmp);
+    ModeStats {
+        bytes_read: metrics.iter().map(|m| m.bytes_read).sum(),
+        fused_saved: metrics.iter().map(|m| m.fused_bytes_saved).sum(),
+        sim_p50: percentile(&sim, 50.0),
+        sim_p99: percentile(&sim, 99.0),
+        wall_p50: percentile(&wall, 50.0),
+        wall_p99: percentile(&wall, 99.0),
+    }
+}
+
+fn assert_identical(reports: &[SessionReport], reference: &[QueryResult], mode: &str) {
+    for (r, want) in reports.iter().zip(reference) {
+        let got = r
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{mode}: session {} failed: {e}", r.index));
+        assert_eq!(
+            got.positions(),
+            want.positions(),
+            "{mode}: session {} positions drifted",
+            r.index
+        );
+        if let (Some(gv), Some(wv)) = (got.values(), want.values()) {
+            for (x, y) in gv.iter().zip(wv) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{mode}: session {} bits", r.index);
+            }
+        }
+    }
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let shape = if args.large {
+        vec![256, 256]
+    } else {
+        vec![128, 128]
+    };
+    let field = gts_like_2d(shape[0], shape[1], args.seed);
+    let cfg = MlocConfig::builder(shape.clone())
+        .chunk_shape(vec![32, 32])
+        .num_bins(16)
+        .build();
+    let be = MemBackend::new();
+    build_variable(&be, DS, VAR, field.values(), &cfg).unwrap();
+    let specs = workload(field.values(), &shape, args.seed, args.queries.max(8));
+
+    title(&format!(
+        "Session service: {shape:?} field, {} sessions over {} tenants",
+        specs.len(),
+        TENANTS.len()
+    ));
+
+    // Reference answers for the byte-identity gate.
+    let store = MlocStore::open(&be, DS, VAR).unwrap();
+    let reference: Vec<QueryResult> = specs
+        .iter()
+        .map(|s| store.query_serial(&s.query).unwrap())
+        .collect();
+
+    // Serial replay: one session per window, nothing shared.
+    let serial_server = QueryServer::new(&be, config(1, 1, false));
+    let serial_reports = serial_server.run(&specs);
+    assert_identical(&serial_reports, &reference, "serial");
+    let serial = mode_stats(&serial_reports);
+
+    // Concurrent, fusion off.
+    let unfused_server = QueryServer::new(&be, config(8, 16, false));
+    let unfused_reports = unfused_server.run(&specs);
+    assert_identical(&unfused_reports, &reference, "unfused");
+    let unfused = mode_stats(&unfused_reports);
+
+    // Concurrent, fusion on.
+    let fused_server = QueryServer::new(&be, config(8, 16, true));
+    let fused_reports = fused_server.run(&specs);
+    assert_identical(&fused_reports, &reference, "fused");
+    let fused = mode_stats(&fused_reports);
+    note("all three modes byte-identical to per-query serial execution");
+
+    let amplification = fused.bytes_read as f64 / unfused.bytes_read as f64;
+    assert!(
+        amplification < 1.0,
+        "fusion did not reduce PFS traffic: {} fused vs {} unfused",
+        fused.bytes_read,
+        unfused.bytes_read
+    );
+    assert_eq!(
+        fused.bytes_read + fused.fused_saved,
+        unfused.bytes_read,
+        "fused savings must account exactly for the traffic delta"
+    );
+
+    let mut t = Table::new(&[
+        "mode",
+        "bytes read",
+        "sim p50 s",
+        "sim p99 s",
+        "wall p50 ms",
+        "wall p99 ms",
+    ]);
+    for (label, s) in [
+        ("serial replay", &serial),
+        ("concurrent", &unfused),
+        ("concurrent+fusion", &fused),
+    ] {
+        t.row(
+            label,
+            vec![
+                fmt_bytes(s.bytes_read),
+                format!("{:.4}", s.sim_p50),
+                format!("{:.4}", s.sim_p99),
+                format!("{:.3}", s.wall_p50 * 1e3),
+                format!("{:.3}", s.wall_p99 * 1e3),
+            ],
+        );
+    }
+    t.print();
+    let stats = fused_server.fusion_stats().expect("fusion enabled");
+    note(&format!(
+        "amplification {amplification:.3}x vs unfused ({} saved); fuser: {} physical / {} fused reads",
+        fmt_bytes(fused.fused_saved),
+        stats.physical_reads,
+        stats.fused_reads
+    ));
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"shape\": {shape:?},\n  \"sessions\": {},\n  \
+         \"tenants\": {},\n  \"byte_identical\": true,\n  \
+         \"amplification_fused_vs_unfused\": {amplification:.6},\n  \
+         \"serial_bytes_read\": {},\n  \"unfused_bytes_read\": {},\n  \
+         \"fused_bytes_read\": {},\n  \"fused_bytes_saved\": {},\n  \
+         \"physical_reads\": {},\n  \"fused_reads\": {},\n  \
+         \"sim_latency_p50_s\": {:.6},\n  \"sim_latency_p99_s\": {:.6},\n  \
+         \"wall_latency_p50_s\": {:.6},\n  \"wall_latency_p99_s\": {:.6},\n  \
+         \"serial_sim_latency_p50_s\": {:.6},\n  \"serial_sim_latency_p99_s\": {:.6}\n}}\n",
+        specs.len(),
+        TENANTS.len(),
+        serial.bytes_read,
+        unfused.bytes_read,
+        fused.bytes_read,
+        fused.fused_saved,
+        stats.physical_reads,
+        stats.fused_reads,
+        fused.sim_p50,
+        fused.sim_p99,
+        fused.wall_p50,
+        fused.wall_p99,
+        serial.sim_p50,
+        serial.sim_p99,
+    );
+    std::fs::write("BENCH_serve.json", &json).expect("cannot write BENCH_serve.json");
+    note("wrote BENCH_serve.json");
+}

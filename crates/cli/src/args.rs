@@ -127,6 +127,17 @@ USAGE:
                                        torn FILE KEEP)
                  [--profile table|json]   (span/counter profile of the
                                            final pass)
+  mloc serve     --dir DIR --name DS --workload FILE
+                 [--workers N] [--window N] [--ranks R]
+                 [--cache-mb MB] [--fusion false] [--retry N]
+                 [--threaded true]
+                 (run a multi-session workload: FILE lines are
+                    budget TENANT bytes=N [io_s=SECONDS]
+                    session TENANT VAR [vc=LO:HI] [sc=A:B,C:D]
+                                       [plod=1..7] [values]
+                  sessions are admitted in FIFO windows; overlapping
+                  extent reads within a window are fused and read
+                  from the PFS once)
   mloc verify    --dir DIR --name DS [--var NAME] [--json true]
                  (recompute every extent checksum; exits nonzero and
                   pinpoints file/offset/extent of any damage)

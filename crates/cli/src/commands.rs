@@ -6,6 +6,7 @@ use mloc::exec::ParallelExecutor;
 use mloc::prelude::*;
 use mloc_compress::CodecKind;
 use mloc_pfs::{CostModel, DirBackend, FaultBackend, FaultPlan, RetryPolicy, StorageBackend};
+use mloc_serve::{QueryServer, ServeConfig, SessionSpec, TenantBudget};
 
 /// Dispatch a parsed invocation.
 pub fn dispatch(args: &Args) -> Result<(), String> {
@@ -16,6 +17,7 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         "variables" => variables(args),
         "stats" => stats(args),
         "query" => query(args),
+        "serve" => serve(args),
         "verify" => verify(args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
@@ -470,6 +472,192 @@ fn query(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse a `serve` workload file into budgets and session specs.
+///
+/// Line grammar (blank lines and `#` comments are skipped):
+///
+/// ```text
+/// budget TENANT bytes=N [io_s=SECONDS]
+/// session TENANT VAR [vc=LO:HI] [sc=A:B,C:D] [plod=1..7] [values]
+/// ```
+type Workload = (Vec<(String, TenantBudget)>, Vec<SessionSpec>);
+
+fn parse_workload(text: &str, dataset: &str) -> Result<Workload, String> {
+    let mut budgets = Vec::new();
+    let mut sessions = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let at = |msg: String| format!("workload line {}: {msg}", lineno + 1);
+        let mut words = line.split_whitespace();
+        match words.next() {
+            Some("budget") => {
+                let tenant = words
+                    .next()
+                    .ok_or_else(|| at("budget needs a tenant".into()))?;
+                let mut budget = TenantBudget::unlimited();
+                for w in words {
+                    if let Some(v) = w.strip_prefix("bytes=") {
+                        budget.max_bytes =
+                            Some(v.parse().map_err(|_| at(format!("bad bytes {v:?}")))?);
+                    } else if let Some(v) = w.strip_prefix("io_s=") {
+                        budget.max_io_s =
+                            Some(v.parse().map_err(|_| at(format!("bad io_s {v:?}")))?);
+                    } else {
+                        return Err(at(format!("unknown budget field {w:?}")));
+                    }
+                }
+                budgets.push((tenant.to_string(), budget));
+            }
+            Some("session") => {
+                let tenant = words
+                    .next()
+                    .ok_or_else(|| at("session needs a tenant".into()))?;
+                let var = words
+                    .next()
+                    .ok_or_else(|| at("session needs a variable".into()))?;
+                let mut vc = None;
+                let mut sc = None;
+                let mut plod = PlodLevel::FULL;
+                let mut output = QueryOutput::Positions;
+                for w in words {
+                    if let Some(v) = w.strip_prefix("vc=") {
+                        vc = Some(parse_vc(v).map_err(at)?);
+                    } else if let Some(v) = w.strip_prefix("sc=") {
+                        sc = Some(Region::new(parse_region(v).map_err(at)?));
+                    } else if let Some(v) = w.strip_prefix("plod=") {
+                        let level: u8 = v.parse().map_err(|_| at(format!("bad plod {v:?}")))?;
+                        plod = PlodLevel::new(level).map_err(|e| at(e.to_string()))?;
+                    } else if w == "values" {
+                        output = QueryOutput::Values;
+                    } else {
+                        return Err(at(format!("unknown session field {w:?}")));
+                    }
+                }
+                if vc.is_none() && sc.is_none() {
+                    return Err(at("session needs vc= and/or sc=".into()));
+                }
+                sessions.push(SessionSpec::new(
+                    tenant,
+                    dataset,
+                    var,
+                    Query::new(vc, sc, plod, output),
+                ));
+            }
+            Some(other) => return Err(at(format!("unknown directive {other:?}"))),
+            None => unreachable!("blank lines are skipped"),
+        }
+    }
+    if sessions.is_empty() {
+        return Err("workload has no session lines".into());
+    }
+    Ok((budgets, sessions))
+}
+
+/// Run a multi-session workload against one dataset: FIFO admission
+/// windows, per-tenant budgets, shared block cache, and cross-session
+/// extent fusion.
+fn serve(args: &Args) -> Result<(), String> {
+    let be = backend(args)?;
+    let name = args.required("name")?;
+    let path = args.required("workload")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (budgets, sessions) = parse_workload(&text, name)?;
+
+    let mut config = ServeConfig::default();
+    if let Some(v) = args.optional_parsed::<usize>("workers")? {
+        config.workers = v.max(1);
+    }
+    if let Some(v) = args.optional_parsed::<usize>("window")? {
+        config.window = v.max(1);
+    }
+    if let Some(v) = args.optional_parsed::<u64>("cache-mb")? {
+        config.cache_mb = v;
+    }
+    if let Some(v) = args.optional_parsed::<usize>("ranks")? {
+        config.nranks = v.max(1);
+    }
+    if let Some(v) = args.optional_parsed::<u32>("retry")? {
+        config.retry = RetryPolicy::with_attempts(v);
+    }
+    config.fusion = args.optional("fusion") != Some("false");
+    config.threaded = args.optional("threaded") == Some("true");
+
+    let mut server = QueryServer::new(&be, config);
+    for (tenant, budget) in budgets {
+        server.set_budget(&tenant, budget);
+    }
+    let reports = server.run(&sessions);
+
+    let mut failed = 0usize;
+    for r in &reports {
+        match &r.outcome {
+            Ok(res) => {
+                let m = r.metrics.as_ref().expect("metrics on success");
+                println!(
+                    "session {:>3} [{}] w{}: {} matches | {} bytes read, {} cache-saved, \
+                     {} fusion-saved | sim io {:.3}s",
+                    r.index,
+                    r.tenant,
+                    r.window,
+                    res.len(),
+                    m.bytes_read,
+                    m.bytes_saved,
+                    m.fused_bytes_saved,
+                    m.io_s
+                );
+            }
+            Err(e) if e.is_budget() => {
+                println!(
+                    "session {:>3} [{}] w{}: rejected — {e}",
+                    r.index, r.tenant, r.window
+                );
+            }
+            Err(e) => {
+                failed += 1;
+                println!(
+                    "session {:>3} [{}] w{}: FAILED — {e}",
+                    r.index, r.tenant, r.window
+                );
+            }
+        }
+    }
+
+    println!("tenants:");
+    for (tenant, u) in server.usage() {
+        println!(
+            "  {tenant}: {} ok / {} rejected / {} failed | {} logical bytes \
+             ({} read, {} cache-saved, {} fusion-saved) | sim io {:.3}s",
+            u.completed,
+            u.rejected,
+            u.failed,
+            u.logical_bytes,
+            u.bytes_read,
+            u.bytes_saved,
+            u.fused_bytes_saved,
+            u.io_s
+        );
+    }
+    if let Some(c) = server.cache_stats() {
+        println!(
+            "cache  : {} hits / {} misses, {} resident bytes",
+            c.hits, c.misses, c.resident_bytes
+        );
+    }
+    if let Some(f) = server.fusion_stats() {
+        println!(
+            "fusion : {} physical reads ({} bytes), {} fused reads ({} bytes saved)",
+            f.physical_reads, f.physical_bytes, f.fused_reads, f.fused_bytes
+        );
+    }
+    if failed > 0 {
+        return Err(format!("{failed} session(s) failed"));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -760,6 +948,99 @@ mod tests {
         let err = run(&["verify", "--dir", &dir, "--name", "ds"]).unwrap_err();
         assert!(err.contains("damaged"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn serve_runs_a_workload_file() {
+        let dir = tmpdir("serve");
+        run(&[
+            "create", "--dir", &dir, "--name", "ds", "--shape", "64,64", "--chunk", "16,16",
+            "--bins", "6",
+        ])
+        .unwrap();
+        run(&[
+            "import",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--var",
+            "t",
+            "--synthetic",
+            "gts",
+        ])
+        .unwrap();
+        let workload = format!("{dir}/traffic.txt");
+        std::fs::write(
+            &workload,
+            "# two tenants over one variable\n\
+             budget alice bytes=10000000\n\
+             session alice t vc=0:1000\n\
+             session bob t sc=0:16,0:16 values\n\
+             session alice t vc=0:1000\n\
+             session bob t vc=0:1000 plod=3\n",
+        )
+        .unwrap();
+        run(&[
+            "serve",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--workload",
+            &workload,
+            "--workers",
+            "2",
+            "--window",
+            "4",
+        ])
+        .unwrap();
+        // Fusion off still works; a broken workload is a parse error.
+        run(&[
+            "serve",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--workload",
+            &workload,
+            "--fusion",
+            "false",
+        ])
+        .unwrap();
+        std::fs::write(&workload, "session alice t\n").unwrap();
+        let err = run(&[
+            "serve",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--workload",
+            &workload,
+        ])
+        .unwrap_err();
+        assert!(err.contains("vc= and/or sc="), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn workload_parsing() {
+        let (budgets, sessions) = parse_workload(
+            "budget a bytes=100 io_s=1.5\n\nsession a v vc=0:1\n# c\nsession b v sc=0:4,0:4 values plod=2\n",
+            "ds",
+        )
+        .unwrap();
+        assert_eq!(budgets.len(), 1);
+        assert_eq!(budgets[0].0, "a");
+        assert_eq!(budgets[0].1.max_bytes, Some(100));
+        assert_eq!(budgets[0].1.max_io_s, Some(1.5));
+        assert_eq!(sessions.len(), 2);
+        assert_eq!(sessions[0].tenant, "a");
+        assert_eq!(sessions[1].dataset, "ds");
+        assert!(parse_workload("", "ds").is_err());
+        assert!(parse_workload("session a v vc=9:1\n", "ds").is_err());
+        assert!(parse_workload("warp a v vc=0:1\n", "ds").is_err());
+        assert!(parse_workload("budget a pages=3\n", "ds").is_err());
     }
 
     #[test]

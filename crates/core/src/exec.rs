@@ -237,6 +237,8 @@ impl ParallelExecutor {
             metrics.cache_hits += out.cache_hits;
             metrics.cache_misses += out.cache_misses;
             metrics.bytes_saved += out.bytes_saved;
+            metrics.fused_reads += out.fused_reads;
+            metrics.fused_bytes_saved += out.fused_bytes;
             metrics.retries += out.retries;
             metrics.retry_wait_s = metrics.retry_wait_s.max(out.retry_wait_s);
             metrics.degraded_units += out.degradation.events.len() as u64;
@@ -270,6 +272,10 @@ impl ParallelExecutor {
             profile.add_counter("plan.chunks", Label::None, plan.chunks_touched as u64);
             if metrics.retries > 0 {
                 profile.add_counter("pfs.retries", Label::None, metrics.retries);
+            }
+            if metrics.fused_reads > 0 {
+                profile.add_counter("fusion.reads", Label::None, metrics.fused_reads);
+                profile.add_counter("fusion.bytes_saved", Label::None, metrics.fused_bytes_saved);
             }
             if metrics.degraded_units > 0 {
                 profile.add_counter("degraded.units", Label::None, metrics.degraded_units);

@@ -1,0 +1,818 @@
+//! Cross-query extent fusion: one physical read serves every
+//! concurrently admitted session that wants an overlapping extent.
+//!
+//! The query engine already coalesces each rank's `(offset, len)`
+//! wants into merged runs ([`plan_runs`]) and hands out [`ByteView`]s
+//! into the shared run buffer. Fusion extends that sharing *across*
+//! sessions: an [`ExtentFuser`] keeps an admission-window table of
+//! extents that are in flight or already read, so a run that equals or
+//! is contained in another session's run is served from the same
+//! `Arc`-backed buffer instead of touching the PFS again.
+//!
+//! Three rules make this safe and deterministic (see `DESIGN.md` §13):
+//!
+//! * **Single flight.** The first session to want an extent registers
+//!   it and performs the read; concurrent sessions wanting a contained
+//!   range block on that read and share its buffer. Waiters only ever
+//!   wait on an active physical read, never on each other, so there is
+//!   no wait cycle and no deadlock.
+//! * **Window persistence.** Completed reads stay in the table for the
+//!   rest of the admission window (bounded by a byte budget), so
+//!   whether a session fuses depends on *what* was read this window,
+//!   not on thread timing. [`ExtentFuser::begin_window`] starts the
+//!   next window.
+//! * **Fail loudly, fail everyone.** A leader whose read fails
+//!   publishes the failure; every waiter (and the leader itself) falls
+//!   back to its own per-want reads, so all sessions observe the same
+//!   per-want outcome. A fused buffer is CRC-verified once per
+//!   physical read ([`ExtentFooter`]); the verification verdict is
+//!   shared only after a *success* — a failed check is re-raised for
+//!   every session that touches the extent.
+//!
+//! Like the block cache, fusion relies on built variables being
+//! immutable: two reads of the same extent always see the same bytes,
+//! so sharing buffers and verification verdicts within a window can
+//! never mask a change.
+
+use crate::cache::ByteView;
+use crate::integrity::ExtentFooter;
+use crate::{MlocError, Result};
+use mloc_pfs::RankIo;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Reads closer together than this are merged into one request —
+/// mirroring what a real PFS client's readahead would do anyway.
+pub const COALESCE_GAP: u64 = 4096;
+
+/// One merged read: the half-open byte range `[start, end)` and the
+/// indices of the wants it serves, in offset order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WantRun {
+    /// First byte of the merged extent.
+    pub start: u64,
+    /// One past the last byte of the merged extent.
+    pub end: u64,
+    /// Indices into the original want list, sorted by `(offset, len)`.
+    pub wants: Vec<usize>,
+}
+
+/// Merge `(offset, len)` wants into the minimal set of runs whose
+/// members are within `gap` bytes of the growing run end.
+///
+/// Zero-length wants are skipped (they resolve to the shared empty
+/// view without a read). Every nonzero want lands in exactly one run,
+/// runs are sorted and separated by more than `gap` bytes, and each
+/// run's bounds are exactly the min offset / max end of its members —
+/// the properties the fusion proptests pin down.
+pub fn plan_runs(wants: &[(u64, u32)], gap: u64) -> Vec<WantRun> {
+    let mut order: Vec<usize> = (0..wants.len()).filter(|&i| wants[i].1 > 0).collect();
+    order.sort_unstable_by_key(|&i| wants[i]);
+    let mut runs: Vec<WantRun> = Vec::new();
+    for i in order {
+        let (off, len) = wants[i];
+        let end = off + u64::from(len);
+        match runs.last_mut() {
+            Some(r) if off <= r.end + gap => {
+                r.end = r.end.max(end);
+                r.wants.push(i);
+            }
+            _ => runs.push(WantRun {
+                start: off,
+                end,
+                wants: vec![i],
+            }),
+        }
+    }
+    runs
+}
+
+/// How a merged run was satisfied.
+#[derive(Debug)]
+pub struct FusedExtent {
+    /// The shared buffer, or `None` when the physical read failed (the
+    /// caller falls back to per-want reads).
+    pub buf: Option<Arc<Vec<u8>>>,
+    /// File offset of `buf[0]` — the fused buffer may start before the
+    /// requested range when a containing extent served it.
+    pub base: u64,
+    /// Whether another session's physical read served this call.
+    pub fused: bool,
+}
+
+/// Counters over the fuser's lifetime (never reset by
+/// [`ExtentFuser::begin_window`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionStats {
+    /// Physical reads performed by leaders.
+    pub physical_reads: u64,
+    /// Bytes those physical reads fetched.
+    pub physical_bytes: u64,
+    /// Runs served from another session's read.
+    pub fused_reads: u64,
+    /// Bytes of requested ranges served without a physical read.
+    pub fused_bytes: u64,
+    /// Leader reads that failed (each fans out as a per-want fallback).
+    pub failed_reads: u64,
+    /// Per-want CRC checks skipped because the same extent already
+    /// verified clean this window.
+    pub verify_skips: u64,
+}
+
+/// Result of a leader's physical read, published to its waiters.
+enum FlightResult {
+    Pending,
+    Ready(Arc<Vec<u8>>),
+    Failed,
+}
+
+/// Rendezvous between one leader and its waiters.
+struct Flight {
+    result: Mutex<FlightResult>,
+    cv: Condvar,
+}
+
+impl Flight {
+    fn new() -> Arc<Flight> {
+        Arc::new(Flight {
+            result: Mutex::new(FlightResult::Pending),
+            cv: Condvar::new(),
+        })
+    }
+
+    fn publish(&self, result: FlightResult) {
+        *lock(&self.result) = result;
+        self.cv.notify_all();
+    }
+
+    /// Block until the leader publishes; `None` means its read failed.
+    fn wait(&self) -> Option<Arc<Vec<u8>>> {
+        let mut r = lock(&self.result);
+        loop {
+            match &*r {
+                FlightResult::Pending => {
+                    r = self
+                        .cv
+                        .wait(r)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                }
+                FlightResult::Ready(buf) => return Some(Arc::clone(buf)),
+                FlightResult::Failed => return None,
+            }
+        }
+    }
+}
+
+/// Publishes `Failed` if the leader unwinds before publishing, so
+/// waiters are never stranded on a leader that panicked mid-read.
+struct FlightGuard<'a> {
+    flight: &'a Flight,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.flight.publish(FlightResult::Failed);
+        }
+    }
+}
+
+enum SlotState {
+    InFlight(Arc<Flight>),
+    Done(Arc<Vec<u8>>),
+    Failed,
+}
+
+struct Extent {
+    start: u64,
+    end: u64,
+    /// Insertion order, for oldest-first eviction.
+    seq: u64,
+    state: SlotState,
+}
+
+#[derive(Default)]
+struct FuserState {
+    /// Per-file extents of the current admission window.
+    extents: HashMap<String, Vec<Extent>>,
+    /// Bytes held by `Done` extents.
+    resident: u64,
+    seq: u64,
+}
+
+/// Lock a mutex, surviving a poisoned lock (a panicking session must
+/// not take the whole server's fusion window down with it).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// The admission-window extent table shared by concurrently admitted
+/// sessions. Attach one to every [`crate::MlocStore`] of a window via
+/// [`crate::MlocStore::with_fusion`]; call [`ExtentFuser::begin_window`]
+/// between windows.
+pub struct ExtentFuser {
+    window_bytes: u64,
+    state: Mutex<FuserState>,
+    /// Extents whose CRC verified clean this window, per file.
+    verified: Mutex<HashMap<String, HashSet<(u64, u32)>>>,
+    physical_reads: AtomicU64,
+    physical_bytes: AtomicU64,
+    fused_reads: AtomicU64,
+    fused_bytes: AtomicU64,
+    failed_reads: AtomicU64,
+    verify_skips: AtomicU64,
+}
+
+impl std::fmt::Debug for ExtentFuser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExtentFuser")
+            .field("window_bytes", &self.window_bytes)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl ExtentFuser {
+    /// A fuser whose completed-read window retains up to
+    /// `window_bytes` of extent buffers (the newest extent may
+    /// transiently exceed the budget rather than being unsharable).
+    pub fn with_window_bytes(window_bytes: u64) -> Self {
+        ExtentFuser {
+            window_bytes,
+            state: Mutex::new(FuserState::default()),
+            verified: Mutex::new(HashMap::new()),
+            physical_reads: AtomicU64::new(0),
+            physical_bytes: AtomicU64::new(0),
+            fused_reads: AtomicU64::new(0),
+            fused_bytes: AtomicU64::new(0),
+            failed_reads: AtomicU64::new(0),
+            verify_skips: AtomicU64::new(0),
+        }
+    }
+
+    /// [`ExtentFuser::with_window_bytes`] in mebibytes.
+    pub fn with_window_mb(mb: u64) -> Self {
+        ExtentFuser::with_window_bytes(mb * 1024 * 1024)
+    }
+
+    /// The completed-read retention budget.
+    pub fn window_bytes(&self) -> u64 {
+        self.window_bytes
+    }
+
+    /// Start a new admission window: drop every retained extent and
+    /// every shared verification verdict. Counters are cumulative and
+    /// survive the rotation.
+    pub fn begin_window(&self) {
+        let mut st = lock(&self.state);
+        st.extents.clear();
+        st.resident = 0;
+        lock(&self.verified).clear();
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> FusionStats {
+        FusionStats {
+            physical_reads: self.physical_reads.load(Ordering::Relaxed),
+            physical_bytes: self.physical_bytes.load(Ordering::Relaxed),
+            fused_reads: self.fused_reads.load(Ordering::Relaxed),
+            fused_bytes: self.fused_bytes.load(Ordering::Relaxed),
+            failed_reads: self.failed_reads.load(Ordering::Relaxed),
+            verify_skips: self.verify_skips.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether `[off, off+len)` of `file` already CRC-verified clean
+    /// this window.
+    pub fn was_verified(&self, file: &str, off: u64, len: u32) -> bool {
+        lock(&self.verified)
+            .get(file)
+            .is_some_and(|s| s.contains(&(off, len)))
+    }
+
+    /// Record a successful CRC check so later sessions sharing the
+    /// same immutable bytes can skip it. Never called on failure: a
+    /// failed check must fail every session that reads the extent.
+    pub fn note_verified(&self, file: &str, off: u64, len: u32) {
+        lock(&self.verified)
+            .entry(file.to_string())
+            .or_default()
+            .insert((off, len));
+    }
+
+    fn count_skip(&self) {
+        self.verify_skips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Acquire `[start, end)` of `file`: fuse with an in-flight or
+    /// completed read that contains the range, or become the leader
+    /// and perform `read` (which should return `None` on failure after
+    /// its own retries). Waiters block only while a leader's physical
+    /// read is in progress.
+    pub fn read_extent<F>(&self, file: &str, start: u64, end: u64, read: F) -> FusedExtent
+    where
+        F: FnOnce() -> Option<Arc<Vec<u8>>>,
+    {
+        enum Action {
+            Wait(Arc<Flight>, u64),
+            Lead(Arc<Flight>),
+        }
+        let action = {
+            let mut st = lock(&self.state);
+            let found = st
+                .extents
+                .get(file)
+                .and_then(|v| v.iter().find(|e| e.start <= start && end <= e.end));
+            match found {
+                Some(e) => match &e.state {
+                    SlotState::Done(buf) => {
+                        self.fused_reads.fetch_add(1, Ordering::Relaxed);
+                        self.fused_bytes.fetch_add(end - start, Ordering::Relaxed);
+                        return FusedExtent {
+                            buf: Some(Arc::clone(buf)),
+                            base: e.start,
+                            fused: true,
+                        };
+                    }
+                    SlotState::Failed => {
+                        return FusedExtent {
+                            buf: None,
+                            base: start,
+                            fused: true,
+                        };
+                    }
+                    SlotState::InFlight(f) => Action::Wait(Arc::clone(f), e.start),
+                },
+                None => {
+                    let flight = Flight::new();
+                    let seq = st.seq;
+                    st.seq += 1;
+                    st.extents
+                        .entry(file.to_string())
+                        .or_default()
+                        .push(Extent {
+                            start,
+                            end,
+                            seq,
+                            state: SlotState::InFlight(Arc::clone(&flight)),
+                        });
+                    Action::Lead(flight)
+                }
+            }
+        };
+        match action {
+            Action::Wait(flight, base) => {
+                let buf = flight.wait();
+                if buf.is_some() {
+                    self.fused_reads.fetch_add(1, Ordering::Relaxed);
+                    self.fused_bytes.fetch_add(end - start, Ordering::Relaxed);
+                }
+                FusedExtent {
+                    buf,
+                    base,
+                    fused: true,
+                }
+            }
+            Action::Lead(flight) => {
+                let mut guard = FlightGuard {
+                    flight: &flight,
+                    armed: true,
+                };
+                let buf = read();
+                guard.armed = false;
+                drop(guard);
+                flight.publish(match &buf {
+                    Some(b) => FlightResult::Ready(Arc::clone(b)),
+                    None => FlightResult::Failed,
+                });
+                self.settle(file, start, end, &flight, &buf);
+                match &buf {
+                    Some(b) => {
+                        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+                        self.physical_bytes
+                            .fetch_add(b.len() as u64, Ordering::Relaxed);
+                    }
+                    None => {
+                        self.failed_reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                FusedExtent {
+                    buf,
+                    base: start,
+                    fused: false,
+                }
+            }
+        }
+    }
+
+    /// Swap the leader's in-flight slot for its outcome and evict
+    /// oldest completed extents beyond the window budget.
+    fn settle(
+        &self,
+        file: &str,
+        start: u64,
+        end: u64,
+        flight: &Arc<Flight>,
+        buf: &Option<Arc<Vec<u8>>>,
+    ) {
+        let mut st = lock(&self.state);
+        let Some(v) = st.extents.get_mut(file) else {
+            return; // window rotated underneath the read
+        };
+        let Some(e) = v.iter_mut().find(|e| {
+            e.start == start
+                && e.end == end
+                && matches!(&e.state, SlotState::InFlight(f) if Arc::ptr_eq(f, flight))
+        }) else {
+            return;
+        };
+        let new_seq = e.seq;
+        match buf {
+            Some(b) => {
+                e.state = SlotState::Done(Arc::clone(b));
+                st.resident += (end - start).max(b.len() as u64);
+            }
+            None => e.state = SlotState::Failed,
+        }
+        while st.resident > self.window_bytes {
+            // Oldest completed extent other than the one just settled.
+            let mut oldest: Option<(String, u64, u64)> = None; // file, seq, bytes
+            for (f, exts) in st.extents.iter() {
+                for e in exts {
+                    if let SlotState::Done(b) = &e.state {
+                        if e.seq != new_seq && oldest.as_ref().is_none_or(|(_, s, _)| e.seq < *s) {
+                            oldest =
+                                Some((f.clone(), e.seq, (e.end - e.start).max(b.len() as u64)));
+                        }
+                    }
+                }
+            }
+            let Some((f, seq, bytes)) = oldest else { break };
+            if let Some(exts) = st.extents.get_mut(&f) {
+                exts.retain(|e| e.seq != seq);
+                if exts.is_empty() {
+                    st.extents.remove(&f);
+                }
+            }
+            st.resident = st.resident.saturating_sub(bytes);
+        }
+    }
+}
+
+/// One want's outcome from [`coalesced_read_results`].
+#[derive(Debug)]
+pub struct WantRead {
+    /// The verified view, or the per-want failure.
+    pub res: Result<ByteView>,
+    /// Whether another session's physical read served this want (the
+    /// engine excludes fused wants from `bytes_read` and counts them
+    /// in `fused_bytes_saved` instead).
+    pub fused: bool,
+}
+
+/// Check one run-buffer want against the file's checksum footer,
+/// sharing successful verdicts through the fuser.
+fn verify_run_want(
+    footer: Option<&ExtentFooter>,
+    fuser: Option<&ExtentFuser>,
+    file: &str,
+    off: u64,
+    len: u32,
+    view: ByteView,
+) -> Result<ByteView> {
+    let Some(f) = footer else { return Ok(view) };
+    if let Some(fu) = fuser {
+        if fu.was_verified(file, off, len) {
+            fu.count_skip();
+            return Ok(view);
+        }
+    }
+    f.verify(file, off, view.as_slice())?;
+    if let Some(fu) = fuser {
+        fu.note_verified(file, off, len);
+    }
+    Ok(view)
+}
+
+/// Coalesce `(offset, len)` wants into merged extents ([`plan_runs`]),
+/// read each extent once — or fuse it with a concurrent session's read
+/// when `fuser` is supplied — and return a per-want outcome.
+///
+/// Views of the same extent share one backing buffer, so duplicate
+/// `(offset, len)` wants cost one read and zero copies, and
+/// zero-length wants resolve to the shared empty view without
+/// allocating. A fused run is recorded in the rank's trace with the
+/// `cached` flag set (the logical access stays visible; the simulator
+/// charges nothing), exactly like a block-cache hit.
+///
+/// Failures are isolated per want: when a merged read fails — locally
+/// or in the session that led it — each of its wants is re-read
+/// individually so one bad extent doesn't take down its coalesced
+/// neighbors, and when `footer` is supplied every want is CRC-checked
+/// so only the extents that are actually damaged come back as
+/// [`MlocError::CorruptExtent`]. Verification runs once per physical
+/// read: a fused want whose extent already verified clean this window
+/// skips the re-check, while a *failed* check is never shared — every
+/// session that touches a damaged extent fails on it. Callers decide
+/// per want whether a failure is fatal or degradable.
+pub fn coalesced_read_results(
+    io: &mut RankIo<'_>,
+    file: &str,
+    wants: &[(u64, u32)],
+    footer: Option<&ExtentFooter>,
+    fuser: Option<&ExtentFuser>,
+) -> Vec<WantRead> {
+    let mut out: Vec<WantRead> = wants
+        .iter()
+        .map(|_| WantRead {
+            res: Ok(ByteView::empty()),
+            fused: false,
+        })
+        .collect();
+    for run in plan_runs(wants, COALESCE_GAP) {
+        let (buf, base, fused) = match fuser {
+            Some(fu) => {
+                let r = fu.read_extent(file, run.start, run.end, || {
+                    io.read(file, run.start, run.end - run.start)
+                        .ok()
+                        .map(Arc::new)
+                });
+                if r.fused && r.buf.is_some() {
+                    io.record_cached(file, run.start, run.end - run.start);
+                }
+                (r.buf, r.base, r.fused)
+            }
+            None => (
+                io.read(file, run.start, run.end - run.start)
+                    .ok()
+                    .map(Arc::new),
+                run.start,
+                false,
+            ),
+        };
+        match buf {
+            Some(buf) => {
+                for &i in &run.wants {
+                    let (off, len) = wants[i];
+                    let view =
+                        ByteView::slice(Arc::clone(&buf), (off - base) as usize, len as usize);
+                    out[i] = WantRead {
+                        res: verify_run_want(footer, fuser, file, off, len, view),
+                        fused,
+                    };
+                }
+            }
+            None => {
+                // The merged read failed here or in the leading session
+                // (retries exhausted): fall back to per-want reads so
+                // only the wants overlapping the damage fail — and so
+                // every fused session reaches the same per-want verdict.
+                for &i in &run.wants {
+                    let (off, len) = wants[i];
+                    out[i] = WantRead {
+                        res: match io.read(file, off, u64::from(len)) {
+                            Ok(b) => match footer {
+                                Some(f) => {
+                                    let view = ByteView::from(b);
+                                    f.verify(file, off, view.as_slice()).map(|()| view)
+                                }
+                                None => Ok(ByteView::from(b)),
+                            },
+                            Err(e) => Err(MlocError::from(e)),
+                        },
+                        fused: false,
+                    };
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Strict [`coalesced_read_results`] without footer checks: the first
+/// failed want fails the whole read. This is the reference the fusion
+/// proptests compare fan-out against.
+pub fn coalesced_read(
+    io: &mut RankIo<'_>,
+    file: &str,
+    wants: &[(u64, u32)],
+    fuser: Option<&ExtentFuser>,
+) -> Result<Vec<ByteView>> {
+    coalesced_read_results(io, file, wants, None, fuser)
+        .into_iter()
+        .map(|w| w.res)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mloc_pfs::{MemBackend, StorageBackend};
+
+    #[test]
+    fn plan_runs_merges_within_gap() {
+        let wants = vec![(10u64, 5u32), (15, 5), (100, 10), (0, 0)];
+        let runs = plan_runs(&wants, COALESCE_GAP);
+        assert_eq!(runs.len(), 1, "all within one gap");
+        assert_eq!((runs[0].start, runs[0].end), (10, 110));
+        assert_eq!(runs[0].wants, vec![0, 1, 2]);
+
+        let runs = plan_runs(&[(0, 10), (50_000, 10)], COALESCE_GAP);
+        assert_eq!(runs.len(), 2, "distant reads must not merge");
+        assert_eq!((runs[1].start, runs[1].end), (50_000, 50_010));
+    }
+
+    #[test]
+    fn coalesced_read_merges_and_slices() {
+        let be = MemBackend::new();
+        let data: Vec<u8> = (0..200u8).collect();
+        be.append("f", &data).unwrap();
+        let mut io = RankIo::new(&be);
+        // Three wants: two adjacent (merge), one far (but within gap).
+        let wants = vec![(10u64, 5u32), (15, 5), (100, 10), (0, 0)];
+        let got = coalesced_read(&mut io, "f", &wants, None).unwrap();
+        assert_eq!(&got[0][..], &data[10..15]);
+        assert_eq!(&got[1][..], &data[15..20]);
+        assert_eq!(&got[2][..], &data[100..110]);
+        assert!(got[3].is_empty());
+        // All within COALESCE_GAP: a single physical read.
+        assert_eq!(io.trace().len(), 1);
+    }
+
+    #[test]
+    fn coalesced_read_respects_large_gaps() {
+        let be = MemBackend::new();
+        be.append("f", &vec![7u8; 100_000]).unwrap();
+        let mut io = RankIo::new(&be);
+        let wants = vec![(0u64, 10u32), (50_000, 10)];
+        let got = coalesced_read(&mut io, "f", &wants, None).unwrap();
+        assert_eq!(got[0].len(), 10);
+        assert_eq!(got[1].len(), 10);
+        assert_eq!(io.trace().len(), 2, "distant reads must not merge");
+    }
+
+    #[test]
+    fn coalesced_read_unsorted_input() {
+        let be = MemBackend::new();
+        let data: Vec<u8> = (0..100u8).collect();
+        be.append("f", &data).unwrap();
+        let mut io = RankIo::new(&be);
+        let wants = vec![(90u64, 5u32), (0, 5), (40, 5)];
+        let got = coalesced_read(&mut io, "f", &wants, None).unwrap();
+        assert_eq!(&got[0][..], &data[90..95]);
+        assert_eq!(&got[1][..], &data[0..5]);
+        assert_eq!(&got[2][..], &data[40..45]);
+    }
+
+    #[test]
+    fn coalesced_read_dedupes_and_skips_empties() {
+        let be = MemBackend::new();
+        let data: Vec<u8> = (0..100u8).collect();
+        be.append("f", &data).unwrap();
+        let mut io = RankIo::new(&be);
+        // Duplicate wants, interleaved zero-length wants.
+        let wants = vec![(20u64, 8u32), (0, 0), (20, 8), (30, 4), (0, 0)];
+        let got = coalesced_read(&mut io, "f", &wants, None).unwrap();
+        assert_eq!(&got[0][..], &data[20..28]);
+        assert_eq!(&got[2][..], &data[20..28]);
+        assert_eq!(&got[3][..], &data[30..34]);
+        assert!(got[1].is_empty() && got[4].is_empty());
+        // Duplicates share one physical read (and one backing buffer:
+        // identical data pointers prove no copy happened).
+        assert_eq!(io.trace().len(), 1);
+        assert_eq!(got[0].as_slice().as_ptr(), got[2].as_slice().as_ptr());
+        // Both empties share the static empty backing.
+        assert_eq!(got[1].as_slice().as_ptr(), got[4].as_slice().as_ptr());
+    }
+
+    #[test]
+    fn fuser_serves_repeat_and_contained_runs_without_rereads() {
+        let be = MemBackend::new();
+        let data: Vec<u8> = (0..=255u8).cycle().take(4096).collect();
+        be.append("f", &data).unwrap();
+        let fu = ExtentFuser::with_window_mb(4);
+
+        let mut io = RankIo::new(&be);
+        let first = fu.read_extent("f", 100, 600, || io.read("f", 100, 500).ok().map(Arc::new));
+        assert!(!first.fused);
+        assert_eq!(first.buf.as_ref().unwrap().len(), 500);
+
+        // Identical run: fused, no physical read.
+        let again = fu.read_extent("f", 100, 600, || panic!("must not re-read"));
+        assert!(again.fused);
+        assert_eq!(again.base, 100);
+
+        // Contained run: fused from the larger extent.
+        let inner = fu.read_extent("f", 200, 300, || panic!("must not re-read"));
+        assert!(inner.fused);
+        assert_eq!(inner.base, 100);
+        let buf = inner.buf.unwrap();
+        assert_eq!(&buf[(200 - 100)..(300 - 100)], &data[200..300]);
+
+        let s = fu.stats();
+        assert_eq!(s.physical_reads, 1);
+        assert_eq!(s.fused_reads, 2);
+        assert_eq!(s.fused_bytes, 500 + 100);
+
+        // A new window forgets the extent.
+        fu.begin_window();
+        let mut io = RankIo::new(&be);
+        let fresh = fu.read_extent("f", 100, 600, || io.read("f", 100, 500).ok().map(Arc::new));
+        assert!(!fresh.fused);
+        assert_eq!(fu.stats().physical_reads, 2);
+    }
+
+    #[test]
+    fn failed_leader_fans_out_failure_then_recovers_next_window() {
+        let be = MemBackend::new();
+        be.append("f", &[1, 2, 3, 4]).unwrap();
+        let fu = ExtentFuser::with_window_mb(1);
+        let r = fu.read_extent("f", 0, 4, || None);
+        assert!(r.buf.is_none() && !r.fused);
+        // Same window: the failure is remembered, peers fall back.
+        let r2 = fu.read_extent("f", 0, 4, || {
+            panic!("failed extents are not retried in-window")
+        });
+        assert!(r2.buf.is_none() && r2.fused);
+        assert_eq!(fu.stats().failed_reads, 1);
+        // Next window retries for real.
+        fu.begin_window();
+        let mut io = RankIo::new(&be);
+        let r3 = fu.read_extent("f", 0, 4, || io.read("f", 0, 4).ok().map(Arc::new));
+        assert_eq!(r3.buf.unwrap().as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn concurrent_identical_sessions_share_one_physical_read() {
+        let be = MemBackend::new();
+        let data: Vec<u8> = (0..200u8).collect();
+        be.append("f", &data).unwrap();
+        let fu = ExtentFuser::with_window_mb(4);
+        let wants = vec![(10u64, 5u32), (15, 5), (100, 10)];
+
+        let views: Vec<Vec<ByteView>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut io = RankIo::new(&be);
+                        coalesced_read(&mut io, "f", &wants, Some(&fu)).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for v in &views {
+            assert_eq!(&v[0][..], &data[10..15]);
+            assert_eq!(&v[1][..], &data[15..20]);
+            assert_eq!(&v[2][..], &data[100..110]);
+        }
+        let s = fu.stats();
+        assert_eq!(s.physical_reads, 1, "one leader per extent");
+        assert_eq!(s.fused_reads, 7);
+        // Every session's views share the leader's backing buffer.
+        let p0 = views[0][0].as_slice().as_ptr();
+        for v in &views {
+            assert_eq!(v[0].as_slice().as_ptr(), p0);
+        }
+    }
+
+    #[test]
+    fn window_budget_evicts_oldest_completed_extents() {
+        let be = MemBackend::new();
+        be.append("f", &vec![9u8; 1_000_000]).unwrap();
+        let fu = ExtentFuser::with_window_bytes(25_000);
+        let mut io = RankIo::new(&be);
+        for k in 0..4u64 {
+            let start = k * 200_000;
+            let r = fu.read_extent("f", start, start + 10_000, || {
+                io.read("f", start, 10_000).ok().map(Arc::new)
+            });
+            assert!(!r.fused, "extent {k} must be a fresh read");
+        }
+        // Extents 0 and 1 were evicted (40k read > 25k budget); 2 and 3
+        // remain fusable.
+        let r = fu.read_extent("f", 0, 10_000, || {
+            io.read("f", 0, 10_000).ok().map(Arc::new)
+        });
+        assert!(!r.fused, "oldest extent should have been evicted");
+        let r = fu.read_extent("f", 600_000, 610_000, || panic!("newest must be resident"));
+        assert!(r.fused);
+    }
+
+    #[test]
+    fn verified_verdicts_are_shared_only_on_success() {
+        let fu = ExtentFuser::with_window_mb(1);
+        assert!(!fu.was_verified("f", 0, 16));
+        fu.note_verified("f", 0, 16);
+        assert!(fu.was_verified("f", 0, 16));
+        assert!(!fu.was_verified("f", 0, 17));
+        assert!(!fu.was_verified("g", 0, 16));
+        fu.begin_window();
+        assert!(
+            !fu.was_verified("f", 0, 16),
+            "window rotation clears verdicts"
+        );
+    }
+}

@@ -60,6 +60,7 @@ pub mod dataset;
 pub mod degrade;
 pub mod exec;
 pub mod fileorg;
+pub mod fusion;
 pub mod index;
 pub mod integrity;
 pub mod metrics;
@@ -77,6 +78,7 @@ pub use config::{ConfigBuilder, LevelOrder, MlocConfig, PlodLevel};
 pub use dataset::Dataset;
 pub use degrade::{DegradationEvent, DegradationReport};
 pub use exec::ParallelExecutor;
+pub use fusion::{ExtentFuser, FusionStats};
 pub use integrity::ExtentFooter;
 pub use metrics::QueryMetrics;
 pub use query::{Query, QueryOutput, QueryResult};
@@ -96,6 +98,7 @@ pub mod prelude {
     pub use crate::config::{LevelOrder, MlocConfig, PlodLevel};
     pub use crate::degrade::{DegradationEvent, DegradationReport};
     pub use crate::exec::ParallelExecutor;
+    pub use crate::fusion::{ExtentFuser, FusionStats};
     pub use crate::query::{Query, QueryOutput, QueryResult};
     pub use crate::store::MlocStore;
     pub use crate::verify::{verify_dataset, verify_variable, VerifyReport};

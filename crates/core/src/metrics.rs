@@ -40,6 +40,15 @@ pub struct QueryMetrics {
     /// visible in the trace (flagged cached) but are excluded from
     /// `bytes_read` and cost nothing in the simulator.
     pub bytes_saved: u64,
+    /// Wants served by another session's physical read through the
+    /// extent fuser (0 without fusion).
+    pub fused_reads: u64,
+    /// Bytes those fused wants kept off the PFS. Like cache-served
+    /// bytes, they stay visible in the trace (flagged cached) but are
+    /// excluded from `bytes_read` and cost nothing in the simulator —
+    /// `bytes_read + bytes_saved + fused_bytes_saved` is a query's
+    /// logical footprint, invariant across cache and fusion state.
+    pub fused_bytes_saved: u64,
     /// Transient read errors retried away across all ranks.
     pub retries: u64,
     /// Simulated backoff seconds (max over ranks, like `io_s`).
@@ -80,6 +89,8 @@ impl QueryMetrics {
         self.cache_hits += other.cache_hits;
         self.cache_misses += other.cache_misses;
         self.bytes_saved += other.bytes_saved;
+        self.fused_reads += other.fused_reads;
+        self.fused_bytes_saved += other.fused_bytes_saved;
         self.retries += other.retries;
         self.retry_wait_s += other.retry_wait_s;
         self.degraded_units += other.degraded_units;
@@ -110,6 +121,8 @@ impl QueryMetrics {
         self.cache_hits = avg(self.cache_hits);
         self.cache_misses = avg(self.cache_misses);
         self.bytes_saved = avg(self.bytes_saved);
+        self.fused_reads = avg(self.fused_reads);
+        self.fused_bytes_saved = avg(self.fused_bytes_saved);
         self.retries = avg(self.retries);
         self.retry_wait_s /= q;
         self.degraded_units = avg(self.degraded_units);

@@ -11,6 +11,7 @@
 use crate::cache::{BlockCache, BlockKey, BlockPart, ByteView, CachedBlock};
 use crate::config::{PlodLevel, NUM_PARTS};
 use crate::degrade::{DegradationEvent, DegradationReport};
+use crate::fusion::coalesced_read_results;
 use crate::index::{header_size, BinIndex};
 use crate::integrity::{ExtentFooter, TRAILER_LEN};
 use crate::plod;
@@ -23,10 +24,6 @@ use mloc_obs::{Collector, Label};
 use mloc_pfs::RankIo;
 use std::sync::Arc;
 use std::time::Instant;
-
-/// Reads closer together than this are merged into one request —
-/// mirroring what a real PFS client's readahead would do anyway.
-const COALESCE_GAP: u64 = 4096;
 
 /// One rank's partial result plus its CPU component times.
 #[derive(Debug, Default)]
@@ -49,6 +46,12 @@ pub struct RankOutput {
     pub cache_misses: u64,
     /// Compressed bytes served from the cache instead of the PFS.
     pub bytes_saved: u64,
+    /// Wants served by another session's physical read through the
+    /// extent fuser (0 without fusion).
+    pub fused_reads: u64,
+    /// Bytes of those fused wants — kept off the PFS and excluded from
+    /// `index_bytes`/`data_bytes`, like cache-served bytes.
+    pub fused_bytes: u64,
     /// Transient-read retries this rank performed (filled in by the
     /// executor from the rank's I/O handle).
     pub retries: u64,
@@ -57,115 +60,6 @@ pub struct RankOutput {
     /// Extent losses this rank worked around by reducing PLoD
     /// precision (empty = full fidelity).
     pub degradation: DegradationReport,
-}
-
-/// Check one read want against the file's checksum footer (no-op when
-/// verification is off).
-fn verify_view(
-    footer: Option<&ExtentFooter>,
-    file: &str,
-    off: u64,
-    view: ByteView,
-) -> Result<ByteView> {
-    if let Some(f) = footer {
-        f.verify(file, off, view.as_slice())?;
-    }
-    Ok(view)
-}
-
-/// Coalesce `(offset, len)` wants into merged extents, read each
-/// extent once, and return a per-want `Result<ByteView>`.
-///
-/// Views of the same extent share one backing buffer, so duplicate
-/// `(offset, len)` wants cost one read and zero copies, and
-/// zero-length wants resolve to the shared empty view without
-/// allocating.
-///
-/// Failures are isolated per want: when a merged read fails, each of
-/// its wants is re-read individually so one bad extent doesn't take
-/// down its coalesced neighbors, and when `footer` is supplied every
-/// want is CRC-checked so only the extents that are actually damaged
-/// come back as [`MlocError::CorruptExtent`]. Callers decide per want
-/// whether a failure is fatal or degradable.
-pub(crate) fn coalesced_read_results(
-    io: &mut RankIo<'_>,
-    file: &str,
-    wants: &[(u64, u32)],
-    footer: Option<&ExtentFooter>,
-) -> Vec<Result<ByteView>> {
-    let mut order: Vec<usize> = (0..wants.len()).collect();
-    order.sort_unstable_by_key(|&i| wants[i]);
-    let mut out: Vec<Result<ByteView>> = (0..wants.len()).map(|_| Ok(ByteView::empty())).collect();
-
-    let mut run: Vec<usize> = Vec::new();
-    let mut run_start = 0u64;
-    let mut run_end = 0u64;
-    let flush = |io: &mut RankIo<'_>,
-                 run: &mut Vec<usize>,
-                 start: u64,
-                 end: u64,
-                 out: &mut Vec<Result<ByteView>>| {
-        if run.is_empty() {
-            return;
-        }
-        match io.read(file, start, end - start) {
-            Ok(buf) => {
-                let buf = Arc::new(buf);
-                for &i in run.iter() {
-                    let (off, len) = wants[i];
-                    let view =
-                        ByteView::slice(Arc::clone(&buf), (off - start) as usize, len as usize);
-                    out[i] = verify_view(footer, file, off, view);
-                }
-            }
-            Err(_) => {
-                // The merged read failed (retries exhausted): fall back
-                // to per-want reads so only the wants overlapping the
-                // damage fail.
-                for &i in run.iter() {
-                    let (off, len) = wants[i];
-                    out[i] = match io.read(file, off, u64::from(len)) {
-                        Ok(buf) => verify_view(footer, file, off, ByteView::from(buf)),
-                        Err(e) => Err(MlocError::from(e)),
-                    };
-                }
-            }
-        }
-        run.clear();
-    };
-
-    for &i in &order {
-        let (off, len) = wants[i];
-        if len == 0 {
-            continue;
-        }
-        if run.is_empty() {
-            run_start = off;
-            run_end = off + u64::from(len);
-        } else if off <= run_end + COALESCE_GAP {
-            run_end = run_end.max(off + u64::from(len));
-        } else {
-            flush(io, &mut run, run_start, run_end, &mut out);
-            run_start = off;
-            run_end = off + u64::from(len);
-        }
-        run.push(i);
-    }
-    flush(io, &mut run, run_start, run_end, &mut out);
-    out
-}
-
-/// Strict [`coalesced_read_results`]: the first failed want fails the
-/// whole read (used where no want is degradable).
-#[cfg(test)]
-pub(crate) fn coalesced_read(
-    io: &mut RankIo<'_>,
-    file: &str,
-    wants: &[(u64, u32)],
-) -> Result<Vec<ByteView>> {
-    coalesced_read_results(io, file, wants, None)
-        .into_iter()
-        .collect()
 }
 
 /// Load (or probe the cache for) a file's per-extent checksum footer.
@@ -537,6 +431,7 @@ pub fn process_units(
     );
 
     let cache = store.cache().map(Arc::as_ref);
+    let fuser = store.fuser().map(Arc::as_ref);
     let scope = store.cache_scope();
     let key = |bin: usize, chunk_rank: usize, part: BlockPart| BlockKey {
         scope: Arc::clone(scope),
@@ -650,11 +545,21 @@ pub fn process_units(
             bitmap_wants.push((off, blen));
             bitmap_slot.push(gi);
         }
-        let bitmap_views: Vec<ByteView> =
-            coalesced_read_results(io, &idx_file, &bitmap_wants, Some(&idx_footer))
+        let mut bitmap_views: Vec<ByteView> = Vec::with_capacity(bitmap_wants.len());
+        for (k_i, w) in
+            coalesced_read_results(io, &idx_file, &bitmap_wants, Some(&idx_footer), fuser)
                 .into_iter()
-                .collect::<Result<_>>()?;
-        out.index_bytes += bitmap_wants.iter().map(|&(_, l)| u64::from(l)).sum::<u64>();
+                .enumerate()
+        {
+            let view = w.res?;
+            if w.fused {
+                out.fused_reads += 1;
+                out.fused_bytes += u64::from(bitmap_wants[k_i].1);
+            } else {
+                out.index_bytes += u64::from(bitmap_wants[k_i].1);
+            }
+            bitmap_views.push(view);
+        }
         for (k_i, view) in bitmap_views.into_iter().enumerate() {
             let gi = bitmap_slot[k_i];
             if let Some(c) = cache {
@@ -743,7 +648,7 @@ pub fn process_units(
             }
         }
         let data_results =
-            coalesced_read_results(io, &data_file, &data_wants, dat_footer.as_deref());
+            coalesced_read_results(io, &data_file, &data_wants, dat_footer.as_deref(), fuser);
 
         // Sort the per-want outcomes: successes keep their views; a
         // failed want is fatal unless it is degradable — a non-base
@@ -756,9 +661,15 @@ pub fn process_units(
         let mut data_views: Vec<Option<ByteView>> = Vec::with_capacity(data_results.len());
         for (k_i, res) in data_results.into_iter().enumerate() {
             let (gi, p) = data_slot[k_i];
-            match res {
+            let was_fused = res.fused;
+            match res.res {
                 Ok(view) => {
-                    out.data_bytes += u64::from(data_wants[k_i].1);
+                    if was_fused {
+                        out.fused_reads += 1;
+                        out.fused_bytes += u64::from(data_wants[k_i].1);
+                    } else {
+                        out.data_bytes += u64::from(data_wants[k_i].1);
+                    }
                     data_views.push(Some(view));
                 }
                 Err(e) => {
@@ -1202,76 +1113,16 @@ pub fn process_units(
     obs.count("cache.bytes_saved", out.bytes_saved);
     obs.count("cache.rejected_inserts", cache_rejected);
     obs.count("hotpath.copy_bytes", copy_bytes);
+    if out.fused_reads > 0 {
+        obs.count("fusion.fused_reads", out.fused_reads);
+        obs.count("fusion.bytes_saved", out.fused_bytes);
+    }
     Ok(out)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mloc_pfs::{MemBackend, StorageBackend};
-
-    #[test]
-    fn coalesced_read_merges_and_slices() {
-        let be = MemBackend::new();
-        let data: Vec<u8> = (0..200u8).collect();
-        be.append("f", &data).unwrap();
-        let mut io = RankIo::new(&be);
-        // Three wants: two adjacent (merge), one far (but within gap).
-        let wants = vec![(10u64, 5u32), (15, 5), (100, 10), (0, 0)];
-        let got = coalesced_read(&mut io, "f", &wants).unwrap();
-        assert_eq!(&got[0][..], &(10..15).collect::<Vec<u8>>()[..]);
-        assert_eq!(&got[1][..], &(15..20).collect::<Vec<u8>>()[..]);
-        assert_eq!(&got[2][..], &(100..110).collect::<Vec<u8>>()[..]);
-        assert!(got[3].is_empty());
-        // All within COALESCE_GAP: a single physical read.
-        assert_eq!(io.trace().len(), 1);
-    }
-
-    #[test]
-    fn coalesced_read_respects_large_gaps() {
-        let be = MemBackend::new();
-        be.append("f", &vec![7u8; 100_000]).unwrap();
-        let mut io = RankIo::new(&be);
-        let wants = vec![(0u64, 10u32), (50_000, 10)];
-        let got = coalesced_read(&mut io, "f", &wants).unwrap();
-        assert_eq!(got[0].len(), 10);
-        assert_eq!(got[1].len(), 10);
-        assert_eq!(io.trace().len(), 2, "distant reads must not merge");
-    }
-
-    #[test]
-    fn coalesced_read_unsorted_input() {
-        let be = MemBackend::new();
-        let data: Vec<u8> = (0..100u8).collect();
-        be.append("f", &data).unwrap();
-        let mut io = RankIo::new(&be);
-        let wants = vec![(90u64, 5u32), (0, 5), (40, 5)];
-        let got = coalesced_read(&mut io, "f", &wants).unwrap();
-        assert_eq!(&got[0][..], &(90..95).collect::<Vec<u8>>()[..]);
-        assert_eq!(&got[1][..], &(0..5).collect::<Vec<u8>>()[..]);
-        assert_eq!(&got[2][..], &(40..45).collect::<Vec<u8>>()[..]);
-    }
-
-    #[test]
-    fn coalesced_read_dedupes_and_skips_empties() {
-        let be = MemBackend::new();
-        let data: Vec<u8> = (0..100u8).collect();
-        be.append("f", &data).unwrap();
-        let mut io = RankIo::new(&be);
-        // Duplicate wants, interleaved zero-length wants.
-        let wants = vec![(20u64, 8u32), (0, 0), (20, 8), (30, 4), (0, 0)];
-        let got = coalesced_read(&mut io, "f", &wants).unwrap();
-        assert_eq!(&got[0][..], &(20..28).collect::<Vec<u8>>()[..]);
-        assert_eq!(&got[2][..], &(20..28).collect::<Vec<u8>>()[..]);
-        assert_eq!(&got[3][..], &(30..34).collect::<Vec<u8>>()[..]);
-        assert!(got[1].is_empty() && got[4].is_empty());
-        // Duplicates share one physical read (and one backing buffer:
-        // identical data pointers prove no copy happened).
-        assert_eq!(io.trace().len(), 1);
-        assert_eq!(got[0].as_slice().as_ptr(), got[2].as_slice().as_ptr());
-        // Both empties share the static empty backing.
-        assert_eq!(got[1].as_slice().as_ptr(), got[4].as_slice().as_ptr());
-    }
 
     #[test]
     fn local_to_coords_matches_grid() {

@@ -5,6 +5,7 @@ use crate::binning::BinSpec;
 use crate::cache::BlockCache;
 use crate::config::{LevelOrder, MlocConfig};
 use crate::exec::ParallelExecutor;
+use crate::fusion::ExtentFuser;
 use crate::metrics::QueryMetrics;
 use crate::query::{Query, QueryResult};
 use crate::wire::{Reader, Writer};
@@ -128,6 +129,7 @@ pub struct MlocStore<'a> {
     spec: BinSpec,
     cache: Option<Arc<BlockCache>>,
     cache_scope: Arc<str>,
+    fuser: Option<Arc<ExtentFuser>>,
 }
 
 impl<'a> MlocStore<'a> {
@@ -159,6 +161,7 @@ impl<'a> MlocStore<'a> {
             spec,
             cache: None,
             cache_scope,
+            fuser: None,
         })
     }
 
@@ -185,6 +188,25 @@ impl<'a> MlocStore<'a> {
     /// The `dataset/var` scope string cache keys carry.
     pub fn cache_scope(&self) -> &Arc<str> {
         &self.cache_scope
+    }
+
+    /// Attach a cross-session extent fuser ([`crate::fusion`]): merged
+    /// reads through this store are shared with every other store of
+    /// the same admission window that holds the same fuser. The caller
+    /// rotates windows via [`ExtentFuser::begin_window`].
+    pub fn with_fusion(mut self, fuser: Arc<ExtentFuser>) -> Self {
+        self.fuser = Some(fuser);
+        self
+    }
+
+    /// Attach or detach the extent fuser in place.
+    pub fn set_fusion(&mut self, fuser: Option<Arc<ExtentFuser>>) {
+        self.fuser = fuser;
+    }
+
+    /// The attached extent fuser, if any.
+    pub fn fuser(&self) -> Option<&Arc<ExtentFuser>> {
+        self.fuser.as_ref()
     }
 
     /// The storage backend.

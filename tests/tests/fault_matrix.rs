@@ -13,6 +13,7 @@ use mloc::prelude::*;
 use mloc::{verify_variable, MlocError, MlocStore, QueryMetrics, QueryResult};
 use mloc_datagen::gts_like_2d;
 use mloc_pfs::{CostModel, FaultBackend, FaultPlan, MemBackend, RetryPolicy, StorageBackend};
+use mloc_serve::{QueryServer, ServeConfig, ServeError, SessionSpec};
 
 const DS: &str = "fm";
 const VAR: &str = "v";
@@ -283,6 +284,122 @@ fn torn_meta_write_is_an_incomplete_build() {
         Ok(_) => panic!("torn meta opened as a valid variable"),
         Err(err) => assert!(err.is_corruption(), "torn meta opened as: {err}"),
     }
+}
+
+/// A fused read that hits a transient fault is retried by the leading
+/// session *once on behalf of all waiters*: the summed retry count of
+/// K identical fused sessions equals the retry count of a single
+/// session running alone under the same fault schedule — and every
+/// session's answer is byte-identical to the fault-free baseline.
+#[test]
+fn fused_transient_retries_happen_once_for_all_waiters() {
+    let clean = MemBackend::new();
+    build_into(&clean);
+    let q = full_values_query();
+    let want = fingerprint(
+        &MlocStore::open(&clean, DS, VAR)
+            .unwrap()
+            .query_serial(&q)
+            .unwrap(),
+    );
+
+    let fb = FaultBackend::new(MemBackend::new(), FaultPlan::transient(7, 0.4, 3));
+    build_into(&fb);
+
+    // Reference: one session alone. The open is burned in separately
+    // (catalog/meta signatures are disjoint from the query's reads),
+    // so `m_alone.retries` counts exactly the query's own retries.
+    fb.reset_attempts();
+    open_retrying(&fb).unwrap();
+    let store = open_retrying(&fb).unwrap();
+    let exec = ParallelExecutor::serial().with_retry(RetryPolicy::with_attempts(5));
+    let (res, m_alone) = exec.execute(&store, &q).unwrap();
+    assert_eq!(fingerprint(&res), want);
+    assert!(m_alone.retries > 0, "schedule produced no retries");
+
+    // Six identical sessions across three tenants, fused, same
+    // schedule replayed from scratch. The server's own open is burned
+    // in the same way first.
+    fb.reset_attempts();
+    open_retrying(&fb).unwrap();
+    let config = ServeConfig {
+        workers: 3,
+        window: 6,
+        cache_mb: 0,
+        fusion: true,
+        retry: RetryPolicy::with_attempts(5),
+        ..ServeConfig::default()
+    };
+    let server = QueryServer::new(&fb, config);
+    let specs: Vec<SessionSpec> = (0..6)
+        .map(|i| SessionSpec::new(["a", "b", "c"][i % 3], DS, VAR, q.clone()))
+        .collect();
+    let reports = server.run(&specs);
+    let mut total_retries = 0u64;
+    for r in &reports {
+        let res = r
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("session {} failed: {e}", r.index));
+        assert_eq!(fingerprint(res), want, "session {} drifted", r.index);
+        total_retries += r.metrics.as_ref().unwrap().retries;
+    }
+    assert_eq!(
+        total_retries, m_alone.retries,
+        "retries must happen once per physical read, not once per waiter"
+    );
+    let stats = server.fusion_stats().unwrap();
+    assert!(stats.fused_reads > 0, "sessions never fused: {stats:?}");
+}
+
+/// A fused read that hits *permanent* corruption fails every waiting
+/// session with the corrupt-extent context — no session may see a
+/// silent success just because another session led the read.
+#[test]
+fn fused_corruption_fails_every_waiting_session() {
+    let mut plan = FaultPlan::none();
+    plan.flips.push(mloc_pfs::BitFlip {
+        file: "bin0002.dat".to_string(),
+        offset: 4,
+        mask: 0x20,
+    });
+    let fb = FaultBackend::new(MemBackend::new(), plan);
+    build_into(&fb);
+
+    let config = ServeConfig {
+        workers: 3,
+        window: 6,
+        cache_mb: 0,
+        fusion: true,
+        ..ServeConfig::default()
+    };
+    let server = QueryServer::new(&fb, config);
+    let q = full_values_query();
+    let specs: Vec<SessionSpec> = (0..6)
+        .map(|i| SessionSpec::new(["a", "b", "c"][i % 3], DS, VAR, q.clone()))
+        .collect();
+    let reports = server.run(&specs);
+    for r in &reports {
+        match &r.outcome {
+            Ok(_) => panic!(
+                "session {}: corruption silently succeeded through fusion",
+                r.index
+            ),
+            Err(ServeError::Query(e)) => {
+                assert!(
+                    e.is_corruption(),
+                    "session {}: wrong error class: {e}",
+                    r.index
+                );
+                if let MlocError::CorruptExtent { file, .. } = e {
+                    assert!(file.ends_with("bin0002.dat"), "session {}: {e}", r.index);
+                }
+            }
+            Err(other) => panic!("session {}: wrong failure kind: {other}", r.index),
+        }
+    }
+    let usage = server.usage();
+    assert_eq!(usage.values().map(|u| u.failed).sum::<u64>(), 6);
 }
 
 #[test]

@@ -1,0 +1,159 @@
+//! Property-based tests for the extent-fusion core: run planning over
+//! arbitrary want-lists, fan-out fidelity (a fused view is always
+//! byte-identical to a direct read of the same want), and single-flight
+//! behavior under real thread concurrency.
+
+use mloc::fusion::{coalesced_read, plan_runs, COALESCE_GAP};
+use mloc::ExtentFuser;
+use mloc_pfs::{MemBackend, RankIo, StorageBackend};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const FILE_LEN: u64 = 8192;
+
+/// Arbitrary overlapping / adjacent / disjoint / duplicate / zero-len
+/// want-lists, clamped to the file.
+fn wants_strategy() -> impl Strategy<Value = Vec<(u64, u32)>> {
+    proptest::collection::vec((0u64..FILE_LEN, 0u32..600), 0..24).prop_map(|v| {
+        v.into_iter()
+            .map(|(off, len)| (off, len.min((FILE_LEN - off) as u32)))
+            .collect()
+    })
+}
+
+fn test_file(be: &MemBackend) -> Vec<u8> {
+    let data: Vec<u8> = (0..FILE_LEN).map(|i| (i * 31 % 251) as u8).collect();
+    be.append("f", &data).unwrap();
+    data
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `plan_runs` is a partition of the nonzero wants into a minimal
+    /// set of merged reads: every nonzero want lands in exactly one
+    /// run (never dropped, never double-counted), run bounds are tight
+    /// over their members, and adjacent runs are separated by more
+    /// than the gap (otherwise they should have merged).
+    #[test]
+    fn plan_runs_partitions_wants_minimally(wants in wants_strategy(), gap in 0u64..8192) {
+        let runs = plan_runs(&wants, gap);
+        let mut seen = vec![0usize; wants.len()];
+        for r in &runs {
+            assert!(r.start < r.end, "empty run");
+            assert!(!r.wants.is_empty(), "run with no members");
+            for &w in &r.wants {
+                seen[w] += 1;
+                let (off, len) = wants[w];
+                assert!(len > 0, "zero-length want in a run");
+                assert!(
+                    r.start <= off && off + u64::from(len) <= r.end,
+                    "want {w} outside its run"
+                );
+            }
+            let lo = r.wants.iter().map(|&w| wants[w].0).min().unwrap();
+            let hi = r
+                .wants
+                .iter()
+                .map(|&w| wants[w].0 + u64::from(wants[w].1))
+                .max()
+                .unwrap();
+            assert_eq!(lo, r.start, "run start not tight");
+            assert_eq!(hi, r.end, "run end not tight");
+        }
+        for (i, &(_, len)) in wants.iter().enumerate() {
+            assert_eq!(
+                seen[i],
+                usize::from(len > 0),
+                "want {i} dropped or double-counted"
+            );
+        }
+        for pair in runs.windows(2) {
+            assert!(
+                pair[0].end + gap < pair[1].start,
+                "mergeable runs left unmerged: {:?}",
+                (pair[0].end, pair[1].start)
+            );
+        }
+    }
+
+    /// Every fanned-out view equals a direct (unfused) coalesced read
+    /// of the same want — even when the fuser window was primed by a
+    /// different session with a different want-list, so reads are
+    /// served from retained extents by containment.
+    #[test]
+    fn fanned_out_views_equal_direct_reads(wants in wants_strategy(), split in 0usize..24) {
+        let be = MemBackend::new();
+        let data = test_file(&be);
+
+        let mut io = RankIo::new(&be);
+        let direct = coalesced_read(&mut io, "f", &wants, None).unwrap();
+
+        // Another session's wants (an arbitrary prefix) prime the
+        // window; then this session reads through the fuser.
+        let fu = ExtentFuser::with_window_mb(4);
+        let other = &wants[..split.min(wants.len())];
+        let mut io1 = RankIo::new(&be);
+        coalesced_read(&mut io1, "f", other, Some(&fu)).unwrap();
+        let mut io2 = RankIo::new(&be);
+        let fused = coalesced_read(&mut io2, "f", &wants, Some(&fu)).unwrap();
+
+        assert_eq!(direct.len(), fused.len());
+        assert_eq!(direct.len(), wants.len());
+        for (i, (d, f)) in direct.iter().zip(&fused).enumerate() {
+            let (off, len) = wants[i];
+            assert_eq!(&d[..], &f[..], "want {i}: fused bytes differ");
+            assert_eq!(
+                &d[..],
+                &data[off as usize..(off + u64::from(len)) as usize],
+                "want {i}: direct bytes wrong"
+            );
+        }
+    }
+
+    /// N threads reading the same want-list concurrently through one
+    /// fuser: exactly one physical read per planned run (single
+    /// flight), every other read fused, and all results byte-identical
+    /// to the direct read.
+    #[test]
+    fn concurrent_identical_want_lists_single_flight(wants in wants_strategy()) {
+        const SESSIONS: usize = 4;
+        let be = MemBackend::new();
+        test_file(&be);
+
+        let mut io = RankIo::new(&be);
+        let direct = coalesced_read(&mut io, "f", &wants, None).unwrap();
+
+        let fu = Arc::new(ExtentFuser::with_window_mb(4));
+        let results: Vec<_> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..SESSIONS)
+                .map(|_| {
+                    let fu = Arc::clone(&fu);
+                    let be = &be;
+                    let wants = &wants;
+                    s.spawn(move || {
+                        let mut io = RankIo::new(be);
+                        coalesced_read(&mut io, "f", wants, Some(&fu)).unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+
+        for (t, views) in results.iter().enumerate() {
+            assert_eq!(views.len(), direct.len());
+            for (i, (v, d)) in views.iter().zip(&direct).enumerate() {
+                assert_eq!(&v[..], &d[..], "thread {t} want {i}");
+            }
+        }
+        let runs = plan_runs(&wants, COALESCE_GAP).len() as u64;
+        let stats = fu.stats();
+        assert_eq!(stats.physical_reads, runs, "single flight violated");
+        assert_eq!(
+            stats.fused_reads,
+            runs * (SESSIONS as u64 - 1),
+            "every non-leading run read must fuse"
+        );
+        assert_eq!(stats.failed_reads, 0);
+    }
+}

@@ -1,0 +1,272 @@
+//! Concurrency differential for the session service: a mixed
+//! multi-tenant workload (VC, SC, combined, multi-resolution) must
+//! answer byte-identically whether its sessions run (1) serially one
+//! per window, (2) concurrently without fusion, or (3) concurrently
+//! with cross-session extent fusion — and fusion must only ever
+//! *reduce* the bytes read from the PFS, never change an answer.
+//!
+//! The invariant that makes the byte accounting checkable across all
+//! modes: per session, `bytes_read + bytes_saved + fused_bytes_saved`
+//! (the *logical* footprint) is plan-driven, so it is identical no
+//! matter how the bytes were physically obtained.
+
+use mloc::prelude::*;
+use mloc_datagen::{gts_like_2d, QueryGen};
+use mloc_pfs::MemBackend;
+use mloc_serve::{QueryServer, ServeConfig, SessionReport, SessionSpec};
+
+const SHAPE: [usize; 2] = [96, 96];
+const DS: &str = "sd";
+const VAR: &str = "v";
+const TENANTS: [&str; 2] = ["alice", "bob"];
+
+fn build(be: &MemBackend) -> Vec<f64> {
+    let field = gts_like_2d(SHAPE[0], SHAPE[1], 41);
+    let config = MlocConfig::builder(SHAPE.to_vec())
+        .chunk_shape(vec![24, 24])
+        .num_bins(10)
+        .build();
+    build_variable(be, DS, VAR, field.values(), &config).unwrap();
+    field.into_values()
+}
+
+/// 16 sessions over 8 distinct queries: each query is issued by both
+/// tenants back to back, so every admission window contains duplicate
+/// and overlapping want-lists — the situation fusion exists for. The
+/// queries mix value-constrained, spatial, combined, and reduced-PLoD
+/// value retrieval.
+fn workload(values: &[f64]) -> Vec<SessionSpec> {
+    let mut gen = QueryGen::new(values.to_vec(), SHAPE.to_vec(), 11);
+    let mut queries = Vec::new();
+    for i in 0..2 {
+        let (lo, hi) = gen.value_constraint(0.10 + 0.05 * i as f64);
+        let region = Region::new(gen.region(0.12));
+        queries.push(Query::region(lo, hi));
+        queries.push(Query::values_in(region.clone()));
+        queries.push(Query::values_where(lo, hi).with_region(region.clone()));
+        queries.push(Query::new(
+            Some((lo, hi)),
+            Some(region),
+            PlodLevel::new(3).unwrap(),
+            QueryOutput::Values,
+        ));
+    }
+    let mut specs = Vec::new();
+    for q in queries {
+        for t in TENANTS {
+            specs.push(SessionSpec::new(t, DS, VAR, q.clone()));
+        }
+    }
+    specs
+}
+
+fn config(workers: usize, window: usize, cache_mb: u64, fusion: bool) -> ServeConfig {
+    ServeConfig {
+        workers,
+        window,
+        cache_mb,
+        fusion,
+        ..ServeConfig::default()
+    }
+}
+
+fn assert_byte_identical(reports: &[SessionReport], reference: &[QueryResult], mode: &str) {
+    assert_eq!(reports.len(), reference.len());
+    for (r, want) in reports.iter().zip(reference) {
+        let got = r
+            .outcome
+            .as_ref()
+            .unwrap_or_else(|e| panic!("{mode}: session {} failed: {e}", r.index));
+        assert_eq!(
+            got.positions(),
+            want.positions(),
+            "{mode}: session {} positions",
+            r.index
+        );
+        match (got.values(), want.values()) {
+            (None, None) => {}
+            (Some(gv), Some(wv)) => {
+                assert_eq!(gv.len(), wv.len(), "{mode}: session {} values", r.index);
+                for (x, y) in gv.iter().zip(wv) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{mode}: session {} bits", r.index);
+                }
+            }
+            _ => panic!("{mode}: session {} value presence differs", r.index),
+        }
+    }
+}
+
+fn logical(r: &SessionReport) -> u64 {
+    let m = r.metrics.as_ref().expect("completed session has metrics");
+    m.bytes_read + m.bytes_saved + m.fused_bytes_saved
+}
+
+fn sum_read(reports: &[SessionReport]) -> u64 {
+    reports
+        .iter()
+        .map(|r| r.metrics.as_ref().expect("metrics").bytes_read)
+        .sum()
+}
+
+#[test]
+fn fused_concurrent_matches_serial_replay_and_reads_less() {
+    let be = MemBackend::new();
+    let values = build(&be);
+    let specs = workload(&values);
+    let store = MlocStore::open(&be, DS, VAR).unwrap();
+    let reference: Vec<QueryResult> = specs
+        .iter()
+        .map(|s| store.query_serial(&s.query).unwrap())
+        .collect();
+
+    // (1) serial replay: one session per window, nothing shared.
+    let serial = QueryServer::new(&be, config(1, 1, 0, false));
+    let serial_reports = serial.run(&specs);
+    assert_byte_identical(&serial_reports, &reference, "serial");
+
+    // (2) concurrent, fusion off.
+    let unfused = QueryServer::new(&be, config(4, 8, 0, false));
+    let unfused_reports = unfused.run(&specs);
+    assert_byte_identical(&unfused_reports, &reference, "concurrent unfused");
+
+    // (3) concurrent, fusion on.
+    let fused = QueryServer::new(&be, config(4, 8, 0, true));
+    let fused_reports = fused.run(&specs);
+    assert_byte_identical(&fused_reports, &reference, "concurrent fused");
+
+    // Without cache or fusion, concurrency must not change what each
+    // session reads at all.
+    for (s, u) in serial_reports.iter().zip(&unfused_reports) {
+        assert_eq!(
+            s.metrics.as_ref().unwrap().bytes_read,
+            u.metrics.as_ref().unwrap().bytes_read,
+            "session {}: concurrency changed unfused bytes_read",
+            s.index
+        );
+    }
+
+    // The logical footprint of every session is mode-invariant.
+    for ((s, u), f) in serial_reports
+        .iter()
+        .zip(&unfused_reports)
+        .zip(&fused_reports)
+    {
+        assert_eq!(logical(s), logical(u), "session {} logical", s.index);
+        assert_eq!(logical(s), logical(f), "session {} logical", s.index);
+    }
+
+    // Fusion strictly reduces PFS traffic on this workload: every
+    // query is issued twice within one window, so the duplicate's
+    // extents are fanned out from the first read deterministically.
+    let unfused_bytes = sum_read(&unfused_reports);
+    let fused_bytes = sum_read(&fused_reports);
+    assert!(
+        fused_bytes < unfused_bytes,
+        "fusion did not reduce bytes read: fused {fused_bytes} vs unfused {unfused_bytes}"
+    );
+    let saved: u64 = fused_reports
+        .iter()
+        .map(|r| r.metrics.as_ref().unwrap().fused_bytes_saved)
+        .sum();
+    assert_eq!(
+        fused_bytes + saved,
+        unfused_bytes,
+        "fused savings must exactly account for the traffic difference"
+    );
+
+    let stats = fused.fusion_stats().expect("fusion enabled");
+    assert!(stats.fused_reads > 0, "no reads were fused: {stats:?}");
+    assert!(stats.physical_reads > 0);
+    assert_eq!(stats.failed_reads, 0);
+
+    // Per-tenant usage reconciles with the summed per-session metrics.
+    let usage = fused.usage();
+    for tenant in TENANTS {
+        let from_reports: u64 = fused_reports
+            .iter()
+            .filter(|r| r.tenant == tenant)
+            .map(logical)
+            .sum();
+        assert_eq!(usage[tenant].logical_bytes, from_reports, "{tenant}");
+        assert_eq!(usage[tenant].completed, (specs.len() / 2) as u64);
+        assert_eq!(usage[tenant].rejected + usage[tenant].failed, 0);
+    }
+}
+
+#[test]
+fn fused_concurrency_is_byte_identical_across_exec_shapes() {
+    let be = MemBackend::new();
+    let values = build(&be);
+    let specs = workload(&values);
+    let store = MlocStore::open(&be, DS, VAR).unwrap();
+    let reference: Vec<QueryResult> = specs
+        .iter()
+        .map(|s| store.query_serial(&s.query).unwrap())
+        .collect();
+
+    // serial ranks / threaded ranks / block cache on — fused
+    // concurrency must be invisible in the answers under all of them.
+    let shapes: Vec<(&str, ServeConfig)> = vec![
+        ("serial-exec", config(4, 8, 0, true)),
+        (
+            "threaded-exec",
+            ServeConfig {
+                nranks: 4,
+                threaded: true,
+                ..config(4, 8, 0, true)
+            },
+        ),
+        ("cached-exec", config(4, 8, 64, true)),
+    ];
+    for (mode, cfg) in shapes {
+        let fused = QueryServer::new(&be, cfg.clone());
+        let fused_reports = fused.run(&specs);
+        assert_byte_identical(&fused_reports, &reference, mode);
+        // Same shape with fusion off: the logical footprint per session
+        // must be untouched by fusion (it is plan-driven per exec
+        // shape — rank count changes how many footer reads happen, so
+        // the comparison must hold the shape fixed).
+        let plain = QueryServer::new(
+            &be,
+            ServeConfig {
+                fusion: false,
+                ..cfg
+            },
+        );
+        let plain_reports = plain.run(&specs);
+        assert_byte_identical(&plain_reports, &reference, mode);
+        for (f, p) in fused_reports.iter().zip(&plain_reports) {
+            assert_eq!(
+                logical(f),
+                logical(p),
+                "{mode}: session {} logical footprint drifted under fusion",
+                f.index
+            );
+        }
+    }
+}
+
+#[test]
+fn repeated_batches_keep_fusing_across_run_calls() {
+    let be = MemBackend::new();
+    let values = build(&be);
+    let specs = workload(&values);
+    let store = MlocStore::open(&be, DS, VAR).unwrap();
+    let reference: Vec<QueryResult> = specs
+        .iter()
+        .map(|s| store.query_serial(&s.query).unwrap())
+        .collect();
+
+    let server = QueryServer::new(&be, config(4, 8, 0, true));
+    let first = server.run(&specs);
+    let again = server.run(&specs);
+    assert_byte_identical(&first, &reference, "batch 1");
+    assert_byte_identical(&again, &reference, "batch 2");
+    let stats = server.fusion_stats().unwrap();
+    assert!(stats.fused_reads > 0);
+    let usage = server.usage();
+    assert_eq!(
+        usage.values().map(|u| u.completed).sum::<u64>(),
+        2 * specs.len() as u64
+    );
+}

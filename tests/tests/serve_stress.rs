@@ -1,0 +1,217 @@
+//! Scheduler stress: a seeded storm of short sessions across several
+//! tenants and variables, with tiny per-tenant budgets, fusion and the
+//! shared cache on. The storm must (a) terminate (no deadlocks in the
+//! single-flight rendezvous), (b) produce *identical per-session
+//! outcomes when replayed* — budget rejections included, because
+//! budgets are charged in plan-driven logical bytes — and (c) leave
+//! counters that reconcile: per-tenant usage equals the summed
+//! per-session metrics, and the shared cache's own hit counter equals
+//! the sum reported by the sessions.
+
+use mloc::prelude::*;
+use mloc::QueryMetrics;
+use mloc_datagen::{gts_like_2d, QueryGen};
+use mloc_pfs::MemBackend;
+use mloc_serve::{QueryServer, ServeConfig, SessionSpec, TenantBudget};
+
+const DS: &str = "storm";
+const SHAPE: [usize; 2] = [48, 48];
+const TENANTS: [&str; 6] = ["t0", "t1", "t2", "t3", "t4", "t5"];
+
+fn build(be: &MemBackend) -> Vec<Vec<f64>> {
+    let mut all = Vec::new();
+    for (var, seed) in [("v", 5u64), ("w", 9)] {
+        let field = gts_like_2d(SHAPE[0], SHAPE[1], seed);
+        let config = MlocConfig::builder(SHAPE.to_vec())
+            .chunk_shape(vec![12, 12])
+            .num_bins(6)
+            .build();
+        build_variable(be, DS, var, field.values(), &config).unwrap();
+        all.push(field.into_values());
+    }
+    all
+}
+
+/// A deterministic storm: `n` sessions whose tenant, variable, and
+/// query are drawn from a seeded xorshift stream.
+fn storm(values: &[Vec<f64>], n: usize, seed: u64) -> Vec<SessionSpec> {
+    // A pool of candidate queries per variable, from the seeded
+    // generator the differential suites use.
+    let vars = ["v", "w"];
+    let pools: Vec<Vec<Query>> = values
+        .iter()
+        .map(|vals| {
+            let mut gen = QueryGen::new(vals.clone(), SHAPE.to_vec(), seed ^ 0x9e37);
+            let mut pool = Vec::new();
+            for i in 0..4 {
+                let (lo, hi) = gen.value_constraint(0.08 + 0.04 * i as f64);
+                let region = Region::new(gen.region(0.15));
+                pool.push(Query::region(lo, hi));
+                pool.push(Query::values_where(lo, hi));
+                pool.push(Query::values_in(region.clone()));
+                pool.push(Query::values_where(lo, hi).with_region(region));
+            }
+            pool
+        })
+        .collect();
+
+    let mut x = seed | 1;
+    let mut next = move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    (0..n)
+        .map(|_| {
+            let t = TENANTS[(next() % TENANTS.len() as u64) as usize];
+            let vi = (next() % vars.len() as u64) as usize;
+            let q = &pools[vi][(next() % pools[vi].len() as u64) as usize];
+            SessionSpec::new(t, DS, vars[vi], q.clone())
+        })
+        .collect()
+}
+
+/// One comparable outcome line per session.
+fn outcome_key(r: &mloc_serve::SessionReport) -> String {
+    match &r.outcome {
+        Ok(res) => {
+            let m = r.metrics.as_ref().unwrap();
+            format!(
+                "{} {} ok {} logical={}",
+                r.index,
+                r.tenant,
+                res.len(),
+                m.bytes_read + m.bytes_saved + m.fused_bytes_saved
+            )
+        }
+        Err(e) if e.is_budget() => format!("{} {} rejected", r.index, r.tenant),
+        Err(e) => format!("{} {} failed {e}", r.index, r.tenant),
+    }
+}
+
+fn run_storm(be: &MemBackend, specs: &[SessionSpec]) -> (Vec<String>, u64) {
+    let config = ServeConfig {
+        workers: 8,
+        window: 16,
+        cache_mb: 32,
+        fusion: true,
+        ..ServeConfig::default()
+    };
+    let mut server = QueryServer::new(be, config);
+    // Three tenants on tight byte budgets; the rest unlimited.
+    for t in &TENANTS[..3] {
+        server.set_budget(t, TenantBudget::bytes(60_000));
+    }
+    let reports = server.run(specs);
+    assert_eq!(reports.len(), specs.len());
+
+    // Reconciliation: per-tenant usage vs summed per-session metrics.
+    let usage = server.usage();
+    for t in TENANTS {
+        let mine: Vec<_> = reports.iter().filter(|r| r.tenant == t).collect();
+        let u = &usage[t];
+        assert_eq!(u.sessions, mine.len() as u64, "{t}: session count");
+        assert_eq!(
+            u.completed,
+            mine.iter().filter(|r| r.outcome.is_ok()).count() as u64,
+            "{t}: completed count"
+        );
+        assert_eq!(
+            u.rejected,
+            mine.iter()
+                .filter(|r| r.outcome.as_ref().err().is_some_and(|e| e.is_budget()))
+                .count() as u64,
+            "{t}: rejected count"
+        );
+        assert_eq!(u.failed, 0, "{t}: unexpected failures");
+        let metrics = |f: fn(&QueryMetrics) -> u64| -> u64 {
+            mine.iter().filter_map(|r| r.metrics.as_ref()).map(f).sum()
+        };
+        assert_eq!(u.bytes_read, metrics(|m| m.bytes_read), "{t}: bytes_read");
+        assert_eq!(
+            u.bytes_saved,
+            metrics(|m| m.bytes_saved),
+            "{t}: bytes_saved"
+        );
+        assert_eq!(
+            u.fused_bytes_saved,
+            metrics(|m| m.fused_bytes_saved),
+            "{t}: fused_bytes_saved"
+        );
+        assert_eq!(
+            u.logical_bytes,
+            metrics(|m| m.bytes_read + m.bytes_saved + m.fused_bytes_saved),
+            "{t}: logical bytes"
+        );
+        assert_eq!(u.cache_hits, metrics(|m| m.cache_hits), "{t}: cache hits");
+        assert_eq!(
+            u.fused_reads,
+            metrics(|m| m.fused_reads),
+            "{t}: fused reads"
+        );
+    }
+
+    // The budgeted tenants must actually trip, and unlimited tenants
+    // must never be rejected.
+    let rejected: u64 = TENANTS[..3].iter().map(|t| usage[*t].rejected).sum();
+    assert!(rejected > 0, "tight budgets never tripped");
+    for t in &TENANTS[3..] {
+        assert_eq!(usage[*t].rejected, 0, "{t}: rejected without a budget");
+    }
+
+    // The shared cache's own ledger equals what the sessions reported.
+    let cache = server.cache_stats().expect("cache enabled");
+    let session_hits: u64 = reports
+        .iter()
+        .filter_map(|r| r.metrics.as_ref())
+        .map(|m| m.cache_hits)
+        .sum();
+    assert_eq!(cache.hits, session_hits, "cache ledger drifted");
+
+    let fused_total: u64 = reports
+        .iter()
+        .filter_map(|r| r.metrics.as_ref())
+        .map(|m| m.fused_reads)
+        .sum();
+    (reports.iter().map(outcome_key).collect(), fused_total)
+}
+
+#[test]
+fn seeded_storm_is_deterministic_and_reconciles() {
+    let be = MemBackend::new();
+    let values = build(&be);
+    let specs = storm(&values, 300, 2024);
+
+    let (first, _) = run_storm(&be, &specs);
+    for round in 0..2 {
+        let (again, _) = run_storm(&be, &specs);
+        for (a, b) in first.iter().zip(&again) {
+            assert_eq!(a, b, "round {round}: per-session outcome drifted");
+        }
+    }
+}
+
+#[test]
+fn storm_under_tiny_windows_still_terminates_and_fuses() {
+    // Degenerate scheduling shapes: more workers than tenant groups,
+    // window smaller than the tenant count, single worker.
+    let be = MemBackend::new();
+    let values = build(&be);
+    let specs = storm(&values, 120, 7);
+    for (workers, window) in [(16, 3), (1, 16), (4, 1)] {
+        let config = ServeConfig {
+            workers,
+            window,
+            cache_mb: 0,
+            fusion: true,
+            ..ServeConfig::default()
+        };
+        let server = QueryServer::new(&be, config);
+        let reports = server.run(&specs);
+        assert!(
+            reports.iter().all(|r| r.outcome.is_ok()),
+            "workers={workers} window={window}: session failed"
+        );
+    }
+}
