@@ -29,4 +29,4 @@ pub mod ops;
 pub mod wah;
 
 pub use ops::{and, andnot, or, or_many};
-pub use wah::{WahBitmap, WahBuilder, WahRef};
+pub use wah::{RankSelectDir, WahBitmap, WahBuilder, WahRef, RANK_SAMPLE_WORDS};

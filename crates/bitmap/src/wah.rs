@@ -558,6 +558,281 @@ impl<'a> WahRef<'a> {
     }
 }
 
+/// Words per sampled checkpoint in a [`RankSelectDir`].
+///
+/// 64 words = 256 bitmap bytes per 8-byte sample, so a directory costs
+/// ~3.1% of the compressed bitmap it describes.
+pub const RANK_SAMPLE_WORDS: usize = 64;
+
+/// Sampled rank/select directory over an encoded WAH word stream.
+///
+/// `samples[j]` holds the cumulative `(bits, ones)` totals of the first
+/// `(j + 1) * RANK_SAMPLE_WORDS` encoded words (padded group bits for
+/// `bits`; exact for `ones` because canonical encodings keep padding
+/// bits clear). [`WahRef::rank_with`] / [`WahRef::select_with`] binary
+/// search the samples and then peel at most one sample stride of words,
+/// turning the linear walks of [`WahBitmap::rank`] / `select` into
+/// O(log samples + S) probes.
+///
+/// Bitmaps of at most `RANK_SAMPLE_WORDS` words get an *empty*
+/// directory (zero serialized bytes, `rank_with` degrades to a bounded
+/// linear walk), so short bitmaps pay no overhead at all. Directories
+/// are also left empty when cumulative totals would overflow the `u32`
+/// samples (bitmaps beyond 4 Gbit).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RankSelectDir {
+    sample_every: u32,
+    samples: Vec<(u32, u32)>,
+}
+
+impl RankSelectDir {
+    /// A directory with no samples: every query walks from word 0.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Build a directory for `b` in one pass over its encoded words.
+    pub fn build(b: WahRef<'_>) -> Self {
+        let every = RANK_SAMPLE_WORDS;
+        let nwords = b.words.len();
+        if nwords <= every {
+            return Self::empty();
+        }
+        let mut samples = Vec::with_capacity(nwords / every);
+        let mut bits = 0u64;
+        let mut ones = 0u64;
+        for (i, &w) in b.words.iter().enumerate() {
+            if w & FILL_FLAG != 0 {
+                let nbits = u64::from(w & FILL_COUNT_MASK) * GROUP_BITS;
+                bits += nbits;
+                if w & FILL_BIT != 0 {
+                    ones += nbits;
+                }
+            } else {
+                bits += GROUP_BITS;
+                ones += u64::from(w.count_ones());
+            }
+            if (i + 1) % every == 0 && i + 1 < nwords {
+                if bits > u64::from(u32::MAX) || ones > u64::from(u32::MAX) {
+                    return Self::empty();
+                }
+                samples.push((bits as u32, ones as u32));
+            }
+        }
+        RankSelectDir {
+            sample_every: every as u32,
+            samples,
+        }
+    }
+
+    /// True when no samples were taken (short bitmap or overflow guard).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Serialized size in bytes (zero when empty).
+    pub fn size_in_bytes(&self) -> usize {
+        if self.samples.is_empty() {
+            0
+        } else {
+            8 + self.samples.len() * 8
+        }
+    }
+
+    /// Serialize; an empty directory serializes to zero bytes so short
+    /// bitmaps carry no trailer at all.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        if self.samples.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(self.size_in_bytes());
+        out.extend_from_slice(&(self.samples.len() as u32).to_le_bytes());
+        out.extend_from_slice(&self.sample_every.to_le_bytes());
+        for &(bits, ones) in &self.samples {
+            out.extend_from_slice(&bits.to_le_bytes());
+            out.extend_from_slice(&ones.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize [`Self::to_bytes`] output; the empty slice decodes
+    /// to the empty directory. Returns the directory and bytes consumed.
+    pub fn from_bytes(data: &[u8]) -> Result<(Self, usize), BitmapError> {
+        if data.is_empty() {
+            return Ok((Self::empty(), 0));
+        }
+        if data.len() < 8 {
+            return Err(BitmapError::Truncated);
+        }
+        let n = u32::from_le_bytes(data[0..4].try_into().unwrap()) as usize;
+        let sample_every = u32::from_le_bytes(data[4..8].try_into().unwrap());
+        if sample_every == 0 || n == 0 {
+            return Err(BitmapError::Truncated);
+        }
+        let need = 8 + n.saturating_mul(8);
+        if data.len() < need {
+            return Err(BitmapError::Truncated);
+        }
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let off = 8 + i * 8;
+            let bits = u32::from_le_bytes(data[off..off + 4].try_into().unwrap());
+            let ones = u32::from_le_bytes(data[off + 4..off + 8].try_into().unwrap());
+            samples.push((bits, ones));
+        }
+        Ok((
+            RankSelectDir {
+                sample_every,
+                samples,
+            },
+            need,
+        ))
+    }
+
+    /// Start state `(word_idx, bits, ones)` for a walk that must reach
+    /// bit position `pos`: the last checkpoint with `bits <= pos`.
+    fn seek_bits(&self, pos: u64) -> (usize, u64, u64) {
+        let idx = self.samples.partition_point(|s| u64::from(s.0) <= pos);
+        if idx == 0 {
+            (0, 0, 0)
+        } else {
+            let (bits, ones) = self.samples[idx - 1];
+            (
+                idx * self.sample_every as usize,
+                u64::from(bits),
+                u64::from(ones),
+            )
+        }
+    }
+
+    /// Start state for a walk that must reach the `k`-th set bit: the
+    /// last checkpoint with `ones <= k`.
+    fn seek_ones(&self, k: u64) -> (usize, u64, u64) {
+        let idx = self.samples.partition_point(|s| u64::from(s.1) <= k);
+        if idx == 0 {
+            (0, 0, 0)
+        } else {
+            let (bits, ones) = self.samples[idx - 1];
+            (
+                idx * self.sample_every as usize,
+                u64::from(bits),
+                u64::from(ones),
+            )
+        }
+    }
+}
+
+impl WahRef<'_> {
+    /// Number of set bits in `[0, pos)` via the sampled directory:
+    /// binary search to the nearest checkpoint, then walk at most one
+    /// sample stride of words (fills resolved arithmetically, literals
+    /// by masked popcount).
+    ///
+    /// # Panics
+    /// Panics if `pos` exceeds the bitmap length.
+    pub fn rank_with(&self, dir: &RankSelectDir, pos: u64) -> u64 {
+        assert!(pos <= self.num_bits, "rank position {pos} out of range");
+        let (start, mut bits, mut ones) = dir.seek_bits(pos);
+        for &w in &self.words[start.min(self.words.len())..] {
+            if w & FILL_FLAG != 0 {
+                let nbits = u64::from(w & FILL_COUNT_MASK) * GROUP_BITS;
+                if pos < bits + nbits {
+                    if w & FILL_BIT != 0 {
+                        ones += pos - bits;
+                    }
+                    return ones;
+                }
+                bits += nbits;
+                if w & FILL_BIT != 0 {
+                    ones += nbits;
+                }
+            } else {
+                if pos < bits + GROUP_BITS {
+                    let mask = (1u32 << (pos - bits)) - 1;
+                    return ones + u64::from((w & LITERAL_MASK & mask).count_ones());
+                }
+                bits += GROUP_BITS;
+                // Canonical padding bits are clear, so the whole-word
+                // popcount is exact even for the trailing group.
+                ones += u64::from((w & LITERAL_MASK).count_ones());
+            }
+        }
+        ones
+    }
+
+    /// Rank of `pos` together with the bit stored at `pos`, in one
+    /// directory-guided walk — the membership-probe primitive: the rank
+    /// indexes the chunk's packed value block, the bit says whether the
+    /// position is present at all.
+    ///
+    /// # Panics
+    /// Panics if `pos` is not strictly inside the bitmap.
+    pub fn rank_bit_with(&self, dir: &RankSelectDir, pos: u64) -> (u64, bool) {
+        assert!(pos < self.num_bits, "bit {pos} out of range");
+        let (start, mut bits, mut ones) = dir.seek_bits(pos);
+        for &w in &self.words[start.min(self.words.len())..] {
+            if w & FILL_FLAG != 0 {
+                let nbits = u64::from(w & FILL_COUNT_MASK) * GROUP_BITS;
+                let set = w & FILL_BIT != 0;
+                if pos < bits + nbits {
+                    if set {
+                        ones += pos - bits;
+                    }
+                    return (ones, set);
+                }
+                bits += nbits;
+                if set {
+                    ones += nbits;
+                }
+            } else {
+                if pos < bits + GROUP_BITS {
+                    let lit = w & LITERAL_MASK;
+                    let mask = (1u32 << (pos - bits)) - 1;
+                    return (
+                        ones + u64::from((lit & mask).count_ones()),
+                        (lit >> (pos - bits)) & 1 == 1,
+                    );
+                }
+                bits += GROUP_BITS;
+                ones += u64::from((w & LITERAL_MASK).count_ones());
+            }
+        }
+        unreachable!("pos checked against num_bits");
+    }
+
+    /// Position of the `k`-th set bit (0-indexed) via the sampled
+    /// directory, or `None` when fewer than `k + 1` bits are set.
+    pub fn select_with(&self, dir: &RankSelectDir, k: u64) -> Option<u64> {
+        let (start, mut bits, mut ones) = dir.seek_ones(k);
+        for &w in &self.words[start.min(self.words.len())..] {
+            if w & FILL_FLAG != 0 {
+                let nbits = u64::from(w & FILL_COUNT_MASK) * GROUP_BITS;
+                if w & FILL_BIT != 0 {
+                    if k < ones + nbits {
+                        return Some(bits + (k - ones));
+                    }
+                    ones += nbits;
+                }
+                bits += nbits;
+            } else {
+                let lit = w & LITERAL_MASK;
+                let c = u64::from(lit.count_ones());
+                if k < ones + c {
+                    // Peel down to the (k - ones)-th set bit.
+                    let mut m = lit;
+                    for _ in 0..(k - ones) {
+                        m &= m - 1;
+                    }
+                    return Some(bits + u64::from(m.trailing_zeros()));
+                }
+                ones += c;
+                bits += GROUP_BITS;
+            }
+        }
+        None
+    }
+}
+
 /// Iterator over set-bit positions.
 pub struct OnesIter<'a> {
     words: &'a [u32],
@@ -913,6 +1188,99 @@ mod tests {
         assert_eq!(b.select(pos.len() as u64), None);
         assert_eq!(b.rank(0), 0);
         assert_eq!(b.rank(b.len()), b.count_ones());
+    }
+
+    #[test]
+    fn dir_small_bitmap_is_empty_and_costless() {
+        let b = WahBitmap::from_sorted_positions(1_000, &[1, 500, 999]);
+        assert!(b.words().len() <= RANK_SAMPLE_WORDS);
+        let dir = RankSelectDir::build(b.as_ref());
+        assert!(dir.is_empty());
+        assert_eq!(dir.size_in_bytes(), 0);
+        assert!(dir.to_bytes().is_empty());
+        // Queries still work through the empty directory.
+        assert_eq!(b.as_ref().rank_with(&dir, 501), 2);
+        assert_eq!(b.as_ref().select_with(&dir, 2), Some(999));
+        assert_eq!(b.as_ref().rank_bit_with(&dir, 500), (1, true));
+        assert_eq!(b.as_ref().rank_bit_with(&dir, 501), (2, false));
+    }
+
+    /// A bitmap long enough to carry samples: alternating literal noise
+    /// and multi-group fills of both polarities.
+    fn sampled_case() -> WahBitmap {
+        let mut bld = WahBuilder::new();
+        for i in 0..200u64 {
+            match i % 4 {
+                0 => {
+                    for j in 0..31 {
+                        bld.push((i + j) % 3 == 0);
+                    }
+                }
+                1 => bld.append_run(false, 31 * (1 + i % 5)),
+                2 => bld.append_run(true, 31 * (1 + i % 7)),
+                _ => {
+                    for j in 0..17 {
+                        bld.push((i + j) % 2 == 0);
+                    }
+                }
+            }
+        }
+        bld.finish()
+    }
+
+    #[test]
+    fn dir_rank_select_match_linear() {
+        let b = sampled_case();
+        assert!(b.words().len() > RANK_SAMPLE_WORDS, "case too small");
+        let dir = RankSelectDir::build(b.as_ref());
+        assert!(!dir.is_empty());
+        let r = b.as_ref();
+        for pos in (0..b.len()).step_by(13) {
+            assert_eq!(r.rank_with(&dir, pos), b.rank(pos), "rank at {pos}");
+            let (rank, bit) = r.rank_bit_with(&dir, pos);
+            assert_eq!(rank, b.rank(pos));
+            assert_eq!(bit, b.get(pos), "bit at {pos}");
+        }
+        assert_eq!(r.rank_with(&dir, b.len()), b.count_ones());
+        let total = b.count_ones();
+        for k in (0..total).step_by(11) {
+            assert_eq!(r.select_with(&dir, k), b.select(k), "select {k}");
+            let p = r.select_with(&dir, k).unwrap();
+            assert_eq!(r.rank_with(&dir, p), k, "rank(select({k}))");
+        }
+        assert_eq!(r.select_with(&dir, total), None);
+    }
+
+    #[test]
+    fn dir_serde_roundtrip() {
+        let b = sampled_case();
+        let dir = RankSelectDir::build(b.as_ref());
+        let bytes = dir.to_bytes();
+        assert_eq!(bytes.len(), dir.size_in_bytes());
+        let (dir2, consumed) = RankSelectDir::from_bytes(&bytes).unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(dir, dir2);
+        // Empty roundtrip.
+        let (e, c) = RankSelectDir::from_bytes(&[]).unwrap();
+        assert!(e.is_empty());
+        assert_eq!(c, 0);
+        // Truncation is rejected.
+        assert_eq!(
+            RankSelectDir::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(BitmapError::Truncated)
+        );
+        assert_eq!(
+            RankSelectDir::from_bytes(&bytes[..4]),
+            Err(BitmapError::Truncated)
+        );
+    }
+
+    #[test]
+    fn dir_overhead_is_bounded() {
+        let b = sampled_case();
+        let dir = RankSelectDir::build(b.as_ref());
+        let frac = dir.size_in_bytes() as f64 / b.size_in_bytes() as f64;
+        assert!(frac <= 0.05, "directory overhead {frac:.3} > 5%");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests: WAH bitmaps behave exactly like plain bit
 //! vectors under construction, query, serialization, and logical ops.
 
-use mloc_bitmap::{and, andnot, or, or_many, WahBitmap};
+use mloc_bitmap::{and, andnot, or, or_many, RankSelectDir, WahBitmap};
 use proptest::prelude::*;
 
 fn positions(bits: &[bool]) -> Vec<u64> {
@@ -168,6 +168,66 @@ proptest! {
             let want = bits[..pos].iter().filter(|&&b| b).count() as u64;
             prop_assert_eq!(bm.rank(pos as u64), want);
         }
+    }
+
+    #[test]
+    fn dir_rank_select_match_naive(bits in proptest::collection::vec(any::<bool>(), 1..400)) {
+        let bm = WahBitmap::from_bools(&bits);
+        let dir = RankSelectDir::build(bm.as_ref());
+        let r = bm.as_ref();
+        let ones = positions(&bits);
+        for (k, &p) in ones.iter().enumerate() {
+            prop_assert_eq!(r.select_with(&dir, k as u64), Some(p));
+            prop_assert_eq!(r.rank_with(&dir, r.select_with(&dir, k as u64).unwrap()), k as u64);
+        }
+        prop_assert_eq!(r.select_with(&dir, ones.len() as u64), None);
+        for pos in 0..=bits.len() {
+            let want = bits[..pos].iter().filter(|&&b| b).count() as u64;
+            prop_assert_eq!(r.rank_with(&dir, pos as u64), want);
+            if pos < bits.len() {
+                prop_assert_eq!(r.rank_bit_with(&dir, pos as u64), (want, bits[pos]));
+            }
+        }
+    }
+
+    #[test]
+    fn dir_rank_select_with_long_fills(
+        segments in proptest::collection::vec((any::<bool>(), 1u64..9_000), 1..16)
+    ) {
+        // Multi-group fills and trailing partial groups: bitmaps long
+        // enough here to carry real (non-empty) sampled directories.
+        let mut b = mloc_bitmap::WahBuilder::new();
+        for &(bit, n) in &segments {
+            b.append_run(bit, n);
+        }
+        let bm = b.finish();
+        let dir = RankSelectDir::build(bm.as_ref());
+        let r = bm.as_ref();
+        let total = bm.count_ones();
+        let step = (bm.len() / 97).max(1);
+        let mut pos = 0;
+        while pos <= bm.len() {
+            prop_assert_eq!(r.rank_with(&dir, pos), bm.rank(pos));
+            if pos < bm.len() {
+                prop_assert_eq!(r.rank_bit_with(&dir, pos), (bm.rank(pos), bm.get(pos)));
+            }
+            pos += step;
+        }
+        let kstep = (total / 97).max(1);
+        let mut k = 0;
+        while k < total {
+            let p = r.select_with(&dir, k);
+            prop_assert_eq!(p, bm.select(k));
+            prop_assert_eq!(r.rank_with(&dir, p.unwrap()), k, "rank(select(k)) roundtrip");
+            k += kstep;
+        }
+        prop_assert_eq!(r.select_with(&dir, total), None);
+        // Serialized directory survives a roundtrip and stays bounded.
+        let bytes = dir.to_bytes();
+        let (back, n) = RankSelectDir::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(n, bytes.len());
+        prop_assert_eq!(&back, &dir);
+        prop_assert!(dir.size_in_bytes() == 0 || dir.size_in_bytes() * 20 <= bm.size_in_bytes() + 160);
     }
 
     #[test]

@@ -232,24 +232,36 @@ fn stats(args: &Args) -> Result<(), String> {
         let store = ds.store(var).map_err(|e| e.to_string())?;
         let num_bins = store.config().num_bins;
         let bounds = store.bins().bounds().to_vec();
+        let num_chunks = store.grid().num_chunks();
         let mut rows = Vec::new();
         let mut data_total = 0u64;
         let mut index_total = 0u64;
+        let mut summary_total = 0u64;
         for bin in 0..num_bins {
+            let idx_file = store.index_file(bin);
             let data = be.len(&store.data_file(bin)).map_err(|e| e.to_string())?;
-            let index = be.len(&store.index_file(bin)).map_err(|e| e.to_string())?;
+            let index = be.len(&idx_file).map_err(|e| e.to_string())?;
+            // The v2 chunk-summary section is fixed-size given the
+            // chunk count; v1 files (version byte 1) carry none.
+            let version = be.read(&idx_file, 4, 1).map_err(|e| e.to_string())?[0];
+            let summary = if version >= 2 {
+                mloc::index::summary_size(num_chunks)
+            } else {
+                0
+            };
             data_total += data;
             index_total += index;
-            rows.push((bin, data, index));
+            summary_total += summary;
+            rows.push((bin, data, index, summary));
         }
         let raw = store.total_points() * 8;
         if json {
             let bins: Vec<String> = rows
                 .iter()
-                .map(|(bin, data, index)| {
+                .map(|(bin, data, index, summary)| {
                     format!(
                         "{{\"bin\":{bin},\"lo\":{:?},\"hi\":{:?},\"data_bytes\":{data},\
-                         \"index_bytes\":{index}}}",
+                         \"index_bytes\":{index},\"summary_bytes\":{summary}}}",
                         bounds[*bin],
                         bounds[bin + 1]
                     )
@@ -257,24 +269,26 @@ fn stats(args: &Args) -> Result<(), String> {
                 .collect();
             json_vars.push(format!(
                 "{{\"var\":{var:?},\"raw_bytes\":{raw},\"data_bytes\":{data_total},\
-                 \"index_bytes\":{index_total},\"bins\":[{}]}}",
+                 \"index_bytes\":{index_total},\"summary_bytes\":{summary_total},\
+                 \"bins\":[{}]}}",
                 bins.join(",")
             ));
         } else {
             println!(
-                "{var}: {} points, {} data + {} index bytes ({:.1}% of raw)",
+                "{var}: {} points, {} data + {} index bytes ({:.1}% of raw, {} summary)",
                 store.total_points(),
                 data_total,
                 index_total,
-                (data_total + index_total) as f64 / raw as f64 * 100.0
+                (data_total + index_total) as f64 / raw as f64 * 100.0,
+                summary_total
             );
             println!(
-                "  {:>4}  {:>22}  {:>12}  {:>12}",
-                "bin", "values", "data", "index"
+                "  {:>4}  {:>22}  {:>12}  {:>12}  {:>9}",
+                "bin", "values", "data", "index", "summary"
             );
-            for (bin, data, index) in rows {
+            for (bin, data, index, summary) in rows {
                 println!(
-                    "  {bin:>4}  [{:>9.3}, {:>9.3})  {data:>12}  {index:>12}",
+                    "  {bin:>4}  [{:>9.3}, {:>9.3})  {data:>12}  {index:>12}  {summary:>9}",
                     bounds[bin],
                     bounds[bin + 1]
                 );

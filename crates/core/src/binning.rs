@@ -113,25 +113,17 @@ impl BinSpec {
         if v >= self.bounds[nbins] {
             return nbins - 1;
         }
-        // Rightmost k with bounds[k] <= v.
-        let mut lo = 0usize;
-        let mut hi = nbins;
-        while lo + 1 < hi {
-            let mid = (lo + hi) / 2;
-            if self.bounds[mid] <= v {
-                lo = mid;
-            } else {
-                hi = mid;
-            }
-        }
-        lo
+        // Rightmost k with bounds[k] <= v: partition_point counts the
+        // bounds <= v, and the guards above keep the count in 1..=nbins.
+        self.bounds[..nbins].partition_point(|&b| b <= v) - 1
     }
 
     /// Bins overlapping a value constraint `[lo, hi)`: the candidate
-    /// set a query must consider.
-    pub fn candidate_bins(&self, lo: f64, hi: f64) -> Vec<usize> {
+    /// set a query must consider. The set is always contiguous, so it
+    /// is returned as a range (empty when `hi <= lo`).
+    pub fn candidate_bins(&self, lo: f64, hi: f64) -> std::ops::Range<usize> {
         if hi <= lo {
-            return Vec::new();
+            return 0..0;
         }
         let nbins = self.num_bins();
         let first = self.bin_of(lo);
@@ -144,7 +136,7 @@ impl BinSpec {
             last -= 1;
         }
         // Out-of-range constraints still clamp to valid bins.
-        (first..=last.min(nbins - 1)).collect()
+        first..last.min(nbins - 1) + 1
     }
 
     /// Whether bin `k` is *aligned* with `[lo, hi)`: its value range is
@@ -245,9 +237,9 @@ mod tests {
     fn exclusive_upper_bound() {
         let spec = BinSpec::from_bounds(vec![0.0, 10.0, 20.0, 30.0]).unwrap();
         // hi exactly at a bin's lower bound excludes that bin.
-        assert_eq!(spec.candidate_bins(0.0, 10.0), vec![0]);
-        assert_eq!(spec.candidate_bins(0.0, 10.5), vec![0, 1]);
-        assert_eq!(spec.candidate_bins(5.0, 5.0), Vec::<usize>::new());
+        assert_eq!(spec.candidate_bins(0.0, 10.0), 0..1);
+        assert_eq!(spec.candidate_bins(0.0, 10.5), 0..2);
+        assert!(spec.candidate_bins(5.0, 5.0).is_empty());
     }
 
     #[test]

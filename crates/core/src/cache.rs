@@ -46,6 +46,8 @@ pub const NUM_SHARDS: usize = 16;
 pub enum BlockPart {
     /// The bin index header + chunk directory (chunk rank is 0).
     IndexHeader,
+    /// The v2 chunk-summary section of one bin (chunk rank is 0).
+    Summary,
     /// The positional WAH bitmap of one chunk in one bin.
     Bitmap,
     /// A whole-value decompressed float block (non-PLoD layouts).

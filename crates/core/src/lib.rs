@@ -81,13 +81,14 @@ pub use exec::ParallelExecutor;
 pub use fusion::{ExtentFuser, FusionStats};
 pub use integrity::ExtentFooter;
 pub use metrics::QueryMetrics;
-pub use query::{Query, QueryOutput, QueryResult};
+pub use query::{Query, QueryKind, QueryOutput, QueryResult};
 pub use store::MlocStore;
 pub use verify::{verify_dataset, verify_variable, ExtentDamage, VerifyReport};
 
 /// Observability re-export: span/counter/histogram profiles
 /// ([`obs::Profile`]) returned by the `*_profiled` query entry points
 /// and embedded in [`build::BuildReport`].
+pub use mloc_bitmap as bitmap;
 pub use mloc_obs as obs;
 
 /// Convenient glob import for typical users.

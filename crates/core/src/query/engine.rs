@@ -12,14 +12,14 @@ use crate::cache::{BlockCache, BlockKey, BlockPart, ByteView, CachedBlock};
 use crate::config::{PlodLevel, NUM_PARTS};
 use crate::degrade::{DegradationEvent, DegradationReport};
 use crate::fusion::coalesced_read_results;
-use crate::index::{header_size, BinIndex};
+use crate::index::{decode_summary, header_size, BinIndex, ChunkSummary};
 use crate::integrity::{ExtentFooter, TRAILER_LEN};
 use crate::plod;
 use crate::query::plan::{parts_used, WorkUnit};
 use crate::query::Query;
 use crate::store::MlocStore;
 use crate::{MlocError, Result};
-use mloc_bitmap::WahRef;
+use mloc_bitmap::{RankSelectDir, WahBitmap, WahRef};
 use mloc_obs::{Collector, Label};
 use mloc_pfs::RankIo;
 use std::sync::Arc;
@@ -429,6 +429,13 @@ pub fn process_units(
         position_filter.is_none_or(|f| f.windows(2).all(|w| w[0] < w[1])),
         "position filter must be sorted and duplicate-free"
     );
+    // A membership query routes its sorted point set through the same
+    // position-filter machinery as multi-variable retrieval, so every
+    // execution mode inherits that path's correctness; an explicit
+    // caller filter wins (multivar pre-intersects the point set
+    // itself and keeps the streaming gallop route).
+    let membership = position_filter.is_none() && query.points.is_some();
+    let position_filter = position_filter.or(query.points.as_deref());
 
     let cache = store.cache().map(Arc::as_ref);
     let fuser = store.fuser().map(Arc::as_ref);
@@ -453,6 +460,12 @@ pub fn process_units(
     let mut scatter: std::collections::BTreeMap<usize, ChunkScatter> =
         std::collections::BTreeMap::new();
     let mut cache_rejected = 0u64;
+    // Two-level-index accounting: chunks whose bitmap read the v2
+    // summary made unnecessary (full chunks), chunks that still needed
+    // their bitmap, and sampled-directory rank/select probes.
+    let mut summary_hits = 0u64;
+    let mut summary_skips = 0u64;
+    let mut rank_calls = 0u64;
     // Allocation proxy: bytes materialized into fresh or scratch
     // buffers on this rank's hot path (decompress outputs + PLoD
     // assembly). Coalesced reads and cache inserts copy nothing.
@@ -517,17 +530,68 @@ pub fn process_units(
         };
         let index = BinIndex::decode_header(&hdr)?;
 
+        // v2 chunk summaries: one extent right after the header, read
+        // whenever the file carries one. The read is version-driven —
+        // never cache- or plan-state-driven — so cold and warm runs of
+        // the same query access identical extents, and the header →
+        // summary → first-bitmap reads stay physically contiguous.
+        let summaries: Option<Vec<ChunkSummary>> = if index.summary_bytes > 0 {
+            let sum_key = key(bin, 0, BlockPart::Summary);
+            let s_off = index.summary_file_offset();
+            let s_len = index.summary_bytes;
+            let cached = cache
+                .and_then(|c| c.get(&sum_key))
+                .and_then(|b| b.as_bytes().cloned());
+            let raw: ByteView = match cached {
+                Some(b) => {
+                    io.record_cached(&idx_file, s_off, s_len);
+                    out.cache_hits += 1;
+                    out.bytes_saved += s_len;
+                    b
+                }
+                None => {
+                    if cache.is_some() {
+                        out.cache_misses += 1;
+                    }
+                    let raw = ByteView::new(Arc::new(io.read(&idx_file, s_off, s_len)?));
+                    idx_footer.verify(&idx_file, s_off, &raw)?;
+                    out.index_bytes += s_len;
+                    if let Some(c) = cache {
+                        if !c.insert(sum_key, CachedBlock::Bytes(raw.clone())) {
+                            cache_rejected += 1;
+                        }
+                    }
+                    raw
+                }
+            };
+            Some(decode_summary(&raw, index.chunks.len())?)
+        } else {
+            None
+        };
+
         // Positional bitmaps for this rank's chunks. Cache hits are
         // recorded in the trace (zero cost); misses are coalesced into
         // as few physical reads as before, and every want becomes a
         // view into the merged extent — no per-bitmap copy.
         let mut bitmap_of: Vec<Option<ByteView>> = vec![None; group.len()];
+        let mut full_of: Vec<bool> = vec![false; group.len()];
         let mut bitmap_wants: Vec<(u64, u32)> = Vec::new();
         let mut bitmap_slot: Vec<usize> = Vec::new(); // unit idx in group
         for (gi, u) in group.iter().enumerate() {
             let blen = index.chunks[u.chunk_rank].bitmap_len;
             if blen == 0 {
                 continue;
+            }
+            // Summary classification (v2): a full chunk's bitmap is
+            // all ones, so it is synthesized at reconstruction instead
+            // of read; partial chunks still fetch their bitmap.
+            if let Some(sums) = &summaries {
+                if sums[u.chunk_rank].all_of_chunk {
+                    full_of[gi] = true;
+                    summary_skips += 1;
+                    continue;
+                }
+                summary_hits += 1;
             }
             let off = index.bitmap_file_offset(u.chunk_rank);
             if let Some(c) = cache {
@@ -772,12 +836,27 @@ pub fn process_units(
             if entry.count == 0 {
                 continue;
             }
-            let bm_bytes: &[u8] = bitmap_of[gi].as_ref().map(|b| b.as_slice()).unwrap_or(&[]);
-            let (bitmap, _) = WahRef::decode_into(bm_bytes, &mut word_scratch)?;
             let chunk_id = order.cell_at(u.chunk_rank);
             grid.chunk_ranges_into(chunk_id, &mut range_scratch);
             let ranges: &[(usize, usize)] = &range_scratch;
             let chunk_points: u64 = ranges.iter().map(|&(s, e)| (e - s) as u64).product();
+            // Bytes past the self-delimiting WAH stream are the chunk's
+            // rank/select directory (empty in v1 files).
+            let mut dir_bytes: &[u8] = &[];
+            let ones_holder;
+            let bitmap: WahRef<'_> = if full_of[gi] {
+                // The summary said "all of chunk", so the bitmap was
+                // never read; synthesize the all-ones bitmap. The
+                // invariant check below still cross-checks the flag
+                // against the directory's count.
+                ones_holder = WahBitmap::ones(chunk_points);
+                ones_holder.as_ref()
+            } else {
+                let bm_bytes: &[u8] = bitmap_of[gi].as_ref().map(|b| b.as_slice()).unwrap_or(&[]);
+                let (bm, used) = WahRef::decode_into(bm_bytes, &mut word_scratch)?;
+                dir_bytes = &bm_bytes[used..];
+                bm
+            };
             // A corrupted bitmap must not index past the decoded
             // values or outside the chunk.
             if bitmap.len() != chunk_points || bitmap.count_ones() != u64::from(entry.count) {
@@ -832,6 +911,78 @@ pub fn process_units(
                 None
             };
             let mut gallop = position_filter.map(Gallop::new);
+
+            // Membership probe path: a point-set query answers only a
+            // handful of probes per chunk, so instead of streaming the
+            // whole bitmap it rank/selects straight into it through
+            // the sampled directory (a bounded word walk for v1 files
+            // with no directory). The general path stays available as
+            // the differential oracle.
+            if membership && !use_general_path() && !u.spatial_filter {
+                let filter = position_filter.unwrap_or(&[]);
+                let (dir, _) = RankSelectDir::from_bytes(dir_bytes)
+                    .map_err(|_| MlocError::Corrupt("bad rank/select directory"))?;
+                let sum = summaries.as_ref().map(|s| s[u.chunk_rank]);
+                // Points that can fall in this chunk lie between the
+                // chunk corners' global linear positions.
+                for (d, r) in ranges.iter().enumerate() {
+                    coords[d] = r.0;
+                }
+                let g_lo = grid.linearize(&coords);
+                for (d, r) in ranges.iter().enumerate() {
+                    coords[d] = r.1 - 1;
+                }
+                let g_hi = grid.linearize(&coords);
+                let lo_i = filter.partition_point(|&p| p < g_lo);
+                let hi_i = filter.partition_point(|&p| p <= g_hi);
+                let (vc_lo, vc_hi) = query.vc.unwrap_or((f64::MIN, f64::MAX));
+                let shape = grid.shape();
+                'probe: for &p in &filter[lo_i..hi_i] {
+                    // Global position → coordinates → chunk-local
+                    // offset. The corner window is a superset of the
+                    // chunk's box, so out-of-box points still occur.
+                    let mut rem = p;
+                    for d in (0..shape.len()).rev() {
+                        coords[d] = (rem % shape[d] as u64) as usize;
+                        rem /= shape[d] as u64;
+                    }
+                    let mut local = 0u64;
+                    for (d, r) in ranges.iter().enumerate() {
+                        let c = coords[d];
+                        if c < r.0 || c >= r.1 {
+                            continue 'probe;
+                        }
+                        local = local * (r.1 - r.0) as u64 + (c - r.0) as u64;
+                    }
+                    // Level-1 cull: the summary bounds the set span.
+                    if let Some(s) = sum {
+                        if local < u64::from(s.min_pos) || local > u64::from(s.max_pos) {
+                            continue;
+                        }
+                    }
+                    let (vi, present) = if full_of[gi] {
+                        (local, true)
+                    } else {
+                        rank_calls += 1;
+                        bitmap.rank_bit_with(&dir, local)
+                    };
+                    if !present {
+                        continue;
+                    }
+                    let vi = vi as usize;
+                    if u.value_filter {
+                        let v = vals.ok_or(MlocError::Corrupt("value filter without values"))?[vi];
+                        if !(v >= vc_lo && v < vc_hi) {
+                            continue;
+                        }
+                    }
+                    out.positions.push(p);
+                    if let Some(v) = out_vals {
+                        out.values.push(v[vi]);
+                    }
+                }
+                continue;
+            }
 
             if !use_general_path() && gallop.is_none() {
                 // Defer this unit to the per-chunk scatter: survivors
@@ -1108,6 +1259,9 @@ pub fn process_units(
         out.reconstruct_s += emit_dt;
         obs.record("reconstruct", emit_dt);
     }
+    obs.count("index.summary_hits", summary_hits);
+    obs.count("index.summary_skips", summary_skips);
+    obs.count("index.rank_calls", rank_calls);
     obs.count("cache.hits", out.cache_hits);
     obs.count("cache.misses", out.cache_misses);
     obs.count("cache.bytes_saved", out.bytes_saved);

@@ -19,6 +19,15 @@ use crate::array::Region;
 use crate::config::PlodLevel;
 use mloc_bitmap::WahBitmap;
 
+/// The shape of a query's constraint set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Scan-style: value and/or spatial range constraints.
+    Scan,
+    /// Membership: a sorted point set probed against the index.
+    Membership,
+}
+
 /// What a query returns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum QueryOutput {
@@ -39,6 +48,11 @@ pub struct Query {
     pub plod: PlodLevel,
     /// Output kind.
     pub output: QueryOutput,
+    /// Membership point set: sorted, duplicate-free global positions.
+    /// When set, the query answers "which of these points match" via
+    /// per-bin rank/select probes instead of a scan; combining with a
+    /// spatial constraint is rejected at planning.
+    pub points: Option<Vec<u64>>,
 }
 
 impl Query {
@@ -54,6 +68,45 @@ impl Query {
             sc,
             plod,
             output,
+            points: None,
+        }
+    }
+
+    /// Membership query: which of these global positions exist (all of
+    /// them, unless further constrained) — positions out, index-only
+    /// for aligned bins. Points are sorted and deduplicated here.
+    pub fn membership(mut points: Vec<u64>) -> Self {
+        points.sort_unstable();
+        points.dedup();
+        Query {
+            vc: None,
+            sc: None,
+            plod: PlodLevel::FULL,
+            output: QueryOutput::Positions,
+            points: Some(points),
+        }
+    }
+
+    /// Membership query restricted to values in `[lo, hi)`: which of
+    /// these points hold a matching value.
+    pub fn membership_where(lo: f64, hi: f64, points: Vec<u64>) -> Self {
+        let mut q = Query::membership(points);
+        q.vc = Some((lo, hi));
+        q
+    }
+
+    /// Request reconstructed values in the output.
+    pub fn with_values(mut self) -> Self {
+        self.output = QueryOutput::Values;
+        self
+    }
+
+    /// Scan vs membership classification.
+    pub fn kind(&self) -> QueryKind {
+        if self.points.is_some() {
+            QueryKind::Membership
+        } else {
+            QueryKind::Scan
         }
     }
 
@@ -64,6 +117,7 @@ impl Query {
             sc: None,
             plod: PlodLevel::FULL,
             output: QueryOutput::Positions,
+            points: None,
         }
     }
 
@@ -74,6 +128,7 @@ impl Query {
             sc: Some(region),
             plod: PlodLevel::FULL,
             output: QueryOutput::Values,
+            points: None,
         }
     }
 
@@ -84,6 +139,7 @@ impl Query {
             sc: None,
             plod: PlodLevel::FULL,
             output: QueryOutput::Values,
+            points: None,
         }
     }
 
@@ -184,6 +240,18 @@ mod tests {
             .with_plod(PlodLevel::new(2).unwrap());
         assert!(q.vc.is_some() && q.sc.is_some());
         assert_eq!(q.plod.num_bytes(), 3);
+    }
+
+    #[test]
+    fn membership_constructor_sorts_and_dedups() {
+        let q = Query::membership(vec![9, 2, 2, 5, 9]);
+        assert_eq!(q.points.as_deref(), Some(&[2, 5, 9][..]));
+        assert_eq!(q.kind(), QueryKind::Membership);
+        assert_eq!(q.output, QueryOutput::Positions);
+        assert_eq!(Query::region(0.0, 1.0).kind(), QueryKind::Scan);
+        let q = Query::membership_where(1.0, 2.0, vec![3]).with_values();
+        assert_eq!(q.vc, Some((1.0, 2.0)));
+        assert!(q.wants_values());
     }
 
     #[test]

@@ -79,6 +79,7 @@ pub fn subset_value_query(
         sc: None,
         plod: PlodLevel::FULL,
         output: QueryOutput::Values,
+        points: None,
     };
     exec.execute_plan(store, &query, &plan, None)
 }

@@ -63,6 +63,7 @@ pub fn select_then_fetch(
         sc: sc.clone(),
         plod: PlodLevel::FULL,
         output: QueryOutput::Positions,
+        points: None,
     };
     let (selected, select_metrics) = exec.execute(selector, &select_query)?;
 
@@ -78,6 +79,7 @@ pub fn select_then_fetch(
         sc: None,
         plod,
         output: QueryOutput::Values,
+        points: None,
     };
     let (result, fetch_metrics) = exec.execute_plan(fetch, &fetch_query, &plan, Some(filter))?;
 

@@ -72,13 +72,35 @@ pub fn make_plan(store: &MlocStore<'_>, query: &Query) -> Result<Plan> {
             return Err(MlocError::Invalid("region exceeds the domain".into()));
         }
     }
-
-    // Candidate chunks (curve ranks, ascending = on-disk order), with
-    // their partial-overlap flags.
     let grid = store.grid();
     let order = store.order();
-    let chunk_info: Vec<(usize, bool)> = match &query.sc {
-        Some(region) => {
+    if let Some(points) = &query.points {
+        if query.sc.is_some() {
+            return Err(MlocError::Invalid(
+                "membership query cannot combine a spatial constraint".into(),
+            ));
+        }
+        if points.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(MlocError::Invalid(
+                "membership points must be strictly increasing".into(),
+            ));
+        }
+        if points
+            .last()
+            .is_some_and(|&p| p >= grid.num_points() as u64)
+        {
+            return Err(MlocError::Invalid(
+                "membership point outside the domain".into(),
+            ));
+        }
+    }
+
+    // Candidate chunks (curve ranks, ascending = on-disk order), with
+    // their partial-overlap flags. A membership query touches exactly
+    // the chunks containing its points; spatial filtering never
+    // applies (the point set *is* the spatial constraint).
+    let chunk_info: Vec<(usize, bool)> = match (&query.sc, &query.points) {
+        (Some(region), _) => {
             let mut ranks: Vec<(usize, bool)> = grid
                 .chunks_intersecting(region)
                 .into_iter()
@@ -90,18 +112,32 @@ pub fn make_plan(store: &MlocStore<'_>, query: &Query) -> Result<Plan> {
             ranks.sort_unstable();
             ranks
         }
-        None => (0..grid.num_chunks()).map(|rank| (rank, false)).collect(),
+        (None, Some(points)) => {
+            let mut ranks: Vec<usize> = points
+                .iter()
+                .map(|&p| {
+                    let coords = grid.delinearize(p);
+                    let (chunk, _) = grid.coords_to_local(&coords);
+                    order.rank_of(chunk)
+                })
+                .collect();
+            ranks.sort_unstable();
+            ranks.dedup();
+            ranks.into_iter().map(|rank| (rank, false)).collect()
+        }
+        (None, None) => (0..grid.num_chunks()).map(|rank| (rank, false)).collect(),
     };
 
-    // Candidate bins and their alignment.
+    // Candidate bins and their alignment. `candidate_bins` is a
+    // contiguous range; alignment flags follow it positionally.
     let spec = store.bins();
-    let (bins, aligned_flags): (Vec<usize>, Vec<bool>) = match query.vc {
+    let (bins, aligned_flags): (std::ops::Range<usize>, Vec<bool>) = match query.vc {
         Some((lo, hi)) => {
             let cands = spec.candidate_bins(lo, hi);
-            let flags = cands.iter().map(|&k| spec.is_aligned(k, lo, hi)).collect();
+            let flags = cands.clone().map(|k| spec.is_aligned(k, lo, hi)).collect();
             (cands, flags)
         }
-        None => ((0..config.num_bins).collect(), vec![true; config.num_bins]),
+        None => (0..config.num_bins, vec![true; config.num_bins]),
     };
     // With no VC every bin is trivially "aligned" (no value filter),
     // but for reporting we only count bins aligned against a real VC.
@@ -112,8 +148,9 @@ pub fn make_plan(store: &MlocStore<'_>, query: &Query) -> Result<Plan> {
     };
 
     let wants_values = query.output == QueryOutput::Values;
+    let bins_touched = bins.len();
     let mut units = Vec::with_capacity(bins.len() * chunk_info.len());
-    for (&bin, &aligned) in bins.iter().zip(&aligned_flags) {
+    for (bin, &aligned) in bins.zip(&aligned_flags) {
         // Aligned bins in region-only queries are index-only — the
         // paper's fast path (§III-D.1).
         let needs_data = wants_values || !aligned;
@@ -130,7 +167,7 @@ pub fn make_plan(store: &MlocStore<'_>, query: &Query) -> Result<Plan> {
     }
 
     Ok(Plan {
-        bins_touched: bins.len(),
+        bins_touched,
         aligned_bins: aligned_count,
         chunks_touched: chunk_info.len(),
         units,
@@ -207,6 +244,42 @@ mod tests {
         assert!(make_plan(&store, &q).is_err());
         // NaN constraint.
         let q = Query::region(f64::NAN, 1.0);
+        assert!(make_plan(&store, &q).is_err());
+    }
+
+    #[test]
+    fn membership_plan_touches_only_point_chunks() {
+        let be = MemBackend::new();
+        let store = store_fixture(&be);
+        // Two points in chunk 0, one in the last chunk.
+        let q = Query::membership(vec![0, 5, 4095]);
+        let plan = make_plan(&store, &q).unwrap();
+        assert_eq!(plan.chunks_touched, 2);
+        assert_eq!(plan.bins_touched, 8);
+        // The point set *is* the spatial constraint: never filtered.
+        assert!(plan.units.iter().all(|u| !u.spatial_filter));
+
+        // With a value constraint, aligned bins stay index-only.
+        let q = Query::membership_where(600.0, 3000.0, vec![0, 4095]);
+        let plan = make_plan(&store, &q).unwrap();
+        assert!(plan.aligned_bins >= 2, "aligned {}", plan.aligned_bins);
+        assert!(plan.units.iter().any(|u| !u.needs_data));
+    }
+
+    #[test]
+    fn membership_plan_rejects_bad_inputs() {
+        let be = MemBackend::new();
+        let store = store_fixture(&be);
+        // Spatial constraint + point set is ambiguous.
+        let mut q = Query::membership(vec![1]);
+        q.sc = Some(Region::new(vec![(0, 16), (0, 16)]));
+        assert!(make_plan(&store, &q).is_err());
+        // Point outside the domain.
+        assert!(make_plan(&store, &Query::membership(vec![4096])).is_err());
+        // Unsorted points (constructor sorts; hand-built queries must
+        // still be validated).
+        let mut q = Query::membership(vec![1, 2]);
+        q.points = Some(vec![2, 1]);
         assert!(make_plan(&store, &q).is_err());
     }
 

@@ -228,6 +228,9 @@ pub fn verify_variable(
                 if off == 0 {
                     return Some("index header".to_string());
                 }
+                if idx.summary_bytes > 0 && off == idx.summary_file_offset() {
+                    return Some("chunk summary".to_string());
+                }
                 (0..idx.chunks.len())
                     .find(|&r| idx.chunks[r].bitmap_len > 0 && idx.bitmap_file_offset(r) == off)
                     .map(|r| format!("bitmap of chunk rank {r}"))
@@ -344,6 +347,50 @@ mod tests {
         let r = verify_variable(&meta, "ds", "v").unwrap();
         assert_eq!(r.damage.len(), 1, "{r}");
         assert!(r.damage[0].what.starts_with("meta"), "{}", r.damage[0].what);
+    }
+
+    #[test]
+    fn flipped_summary_byte_is_pinpointed() {
+        let be = build();
+        let victim = "ds/v/bin0000.idx";
+        let len = be.len(victim).unwrap();
+        let raw = be.read(victim, 0, len).unwrap();
+        let idx = BinIndex::decode_header(&raw).unwrap();
+        assert!(idx.summary_bytes > 0, "fixture should build v2 indexes");
+        let bad = corrupt_copy(&be, victim, idx.summary_file_offset() + 5);
+        let report = verify_variable(&bad, "ds", "v").unwrap();
+        assert_eq!(report.damage.len(), 1, "{report}");
+        let d = &report.damage[0];
+        assert!(d.what.starts_with("chunk summary"), "{}", d.what);
+        assert_eq!(d.offset, idx.summary_file_offset());
+        assert_eq!(d.len, idx.summary_bytes);
+    }
+
+    #[test]
+    fn downgraded_v1_files_verify_clean() {
+        let be = build();
+        let n = crate::index::downgrade_variable_to_v1(&be, "ds", "v").unwrap();
+        assert_eq!(n, 4);
+        let report = verify_variable(&be, "ds", "v").unwrap();
+        assert!(report.is_clean(), "{report}");
+        // v1 bitmap damage still gets a chunk label.
+        let raw = be
+            .read("ds/v/bin0000.idx", 0, be.len("ds/v/bin0000.idx").unwrap())
+            .unwrap();
+        let idx = BinIndex::decode_header(&raw).unwrap();
+        assert_eq!(idx.version, 1);
+        assert_eq!(idx.summary_bytes, 0);
+        let rank = (0..idx.chunks.len())
+            .find(|&r| idx.chunks[r].bitmap_len > 0)
+            .unwrap();
+        let bad = corrupt_copy(&be, "ds/v/bin0000.idx", idx.bitmap_file_offset(rank) + 1);
+        let r = verify_variable(&bad, "ds", "v").unwrap();
+        assert_eq!(r.damage.len(), 1, "{r}");
+        assert!(
+            r.damage[0].what.starts_with("bitmap of chunk rank"),
+            "{}",
+            r.damage[0].what
+        );
     }
 
     #[test]

@@ -229,11 +229,9 @@ proptest! {
         }
         let candidates = spec.candidate_bins(lo, hi);
         prop_assert!(!candidates.is_empty(), "non-empty [lo,hi) must touch a bin");
-        // The candidate set is a contiguous, in-range run of bins.
-        for w in candidates.windows(2) {
-            prop_assert_eq!(w[1], w[0] + 1);
-        }
-        prop_assert!(*candidates.last().unwrap() < num_bins);
+        // The candidate set is a range, contiguous by construction and
+        // fully in-range.
+        prop_assert!(candidates.end <= num_bins);
         // Every value in [lo, hi) lands in a candidate bin — whether the
         // constraint is inside the sample range, fully below it (bin_of
         // clamps to bin 0), or fully above it (clamps to the last bin).
@@ -327,6 +325,89 @@ proptest! {
                 (a, b) => prop_assert!(false, "value presence differs: {:?} vs {:?}", a.map(<[f64]>::len), b.map(<[f64]>::len)),
             }
         }
+    }
+
+    #[test]
+    fn summary_classification_matches_bitmap_truth(case in case_strategy()) {
+        use mloc::bitmap::WahBitmap;
+        use mloc::index::{decode_summary, BinIndex, ChunkSummary};
+        use mloc_pfs::StorageBackend;
+        let be = MemBackend::new();
+        let _store = build_case(&be, &case);
+        for bin in 0..case.num_bins {
+            let name = mloc::fileorg::index_file("p", "v", bin);
+            let raw = be.read(&name, 0, be.len(&name).unwrap()).unwrap();
+            let idx = BinIndex::decode_header(&raw).unwrap();
+            prop_assert_eq!(idx.version, 2);
+            let s0 = idx.summary_file_offset() as usize;
+            let summaries = decode_summary(
+                &raw[s0..s0 + idx.summary_bytes as usize],
+                idx.chunks.len(),
+            ).unwrap();
+            for (r, e) in idx.chunks.iter().enumerate() {
+                if e.count == 0 {
+                    prop_assert_eq!(summaries[r], ChunkSummary::EMPTY);
+                    continue;
+                }
+                let off = idx.bitmap_file_offset(r) as usize;
+                let (bm, _) =
+                    WahBitmap::from_bytes(&raw[off..off + e.bitmap_len as usize]).unwrap();
+                let pos = bm.to_positions();
+                prop_assert_eq!(u64::from(summaries[r].min_pos), pos[0]);
+                prop_assert_eq!(u64::from(summaries[r].max_pos), *pos.last().unwrap());
+                prop_assert_eq!(summaries[r].all_of_chunk, pos.len() as u64 == bm.len());
+            }
+        }
+    }
+
+    #[test]
+    fn membership_queries_match_naive(case in case_strategy(), pick in any::<u64>()) {
+        let be = MemBackend::new();
+        let store = build_case(&be, &case);
+        let n = case.values.len() as u64;
+        let mut x = pick | 1;
+        let mut points: Vec<u64> = (0..n).filter(|_| {
+            x ^= x << 13; x ^= x >> 7; x ^= x << 17;
+            x % 3 == 0
+        }).collect();
+        if points.is_empty() {
+            points.push(n / 2);
+        }
+
+        // Unconstrained membership: every probed point exists.
+        let res = store.query_serial(&Query::membership(points.clone())).unwrap();
+        prop_assert_eq!(res.positions(), &points[..]);
+
+        // Value-constrained membership vs the naive filter, with and
+        // without value output, plus general-path parity.
+        let mut sorted = case.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let lo = sorted[sorted.len() / 4];
+        let hi = sorted[sorted.len() * 3 / 4];
+        let want: Vec<u64> = points.iter().copied().filter(|&p| {
+            let v = case.values[p as usize];
+            v >= lo && v < hi
+        }).collect();
+        let q = Query::membership_where(lo, hi, points.clone());
+        let res = store.query_serial(&q).unwrap();
+        prop_assert_eq!(res.positions(), &want[..]);
+
+        let qv = q.clone().with_values();
+        let resv = store.query_serial(&qv).unwrap();
+        prop_assert_eq!(resv.positions(), &want[..]);
+        for (&p, &v) in resv.positions().iter().zip(resv.values().unwrap()) {
+            prop_assert_eq!(v.to_bits(), case.values[p as usize].to_bits());
+        }
+
+        mloc::query::engine::force_general_reconstruct(true);
+        let general = store.query_serial(&qv);
+        mloc::query::engine::force_general_reconstruct(false);
+        let general = general.unwrap();
+        prop_assert_eq!(general.positions(), resv.positions());
+        prop_assert_eq!(
+            general.values().unwrap().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            resv.values().unwrap().iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 
     #[test]

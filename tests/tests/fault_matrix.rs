@@ -232,6 +232,57 @@ fn verify_pinpoints_injected_flips() {
 }
 
 #[test]
+fn flipped_summary_extent_is_detected_and_pinpointed() {
+    // The v2 chunk-summary section steers which bitmaps a query even
+    // reads, so damage to it must fail queries loudly and be mapped by
+    // offline verification — never silently drop or add chunks.
+    let clean = MemBackend::new();
+    build_into(&clean);
+    let file = "fm/v/bin0002.idx".to_string();
+    let raw = clean.read(&file, 0, clean.len(&file).unwrap()).unwrap();
+    let idx = mloc::index::BinIndex::decode_header(&raw).unwrap();
+    assert!(idx.summary_bytes > 0, "build should produce v2 indexes");
+    let offset = idx.summary_file_offset() + idx.summary_bytes / 2;
+
+    let mut plan = FaultPlan::none();
+    plan.flips.push(mloc_pfs::BitFlip {
+        file: file.clone(),
+        offset,
+        mask: 0x10,
+    });
+    let fb = FaultBackend::new(MemBackend::new(), plan);
+    build_into(&fb);
+
+    // Every query through that bin fails with the extent named.
+    let store = MlocStore::open(&fb, DS, VAR).unwrap();
+    let err = store
+        .query_serial(&Query::region(f64::MIN, f64::MAX))
+        .unwrap_err();
+    assert!(err.is_corruption(), "wrong error class: {err}");
+    if let MlocError::CorruptExtent {
+        file: f,
+        offset: o,
+        len,
+        ..
+    } = &err
+    {
+        assert_eq!(f, &file);
+        assert!(
+            *o <= offset && offset < o + len,
+            "extent misses flip: {err}"
+        );
+    }
+
+    // Offline verification pinpoints and labels the summary extent.
+    let report = verify_variable(&fb, DS, VAR).unwrap();
+    assert_eq!(report.damage.len(), 1, "{report}");
+    let d = &report.damage[0];
+    assert_eq!(d.file, file);
+    assert_eq!(d.offset, idx.summary_file_offset());
+    assert!(d.what.starts_with("chunk summary"), "{}", d.what);
+}
+
+#[test]
 fn lost_files_fail_loudly_but_index_queries_survive_data_loss() {
     let clean = MemBackend::new();
     let values = build_into(&clean);

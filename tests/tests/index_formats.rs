@@ -1,0 +1,177 @@
+//! Differential tests for the two index formats: a v1 dataset
+//! (produced by downgrading a v2 build in place) must answer every
+//! query byte-identically to the v2 dataset it came from, in every
+//! execution mode — serial, threaded, cached cold/warm, and fused.
+//! Membership queries are part of the workload, and are additionally
+//! checked against the general reconstruction path and the naive scan.
+
+use mloc::exec::ParallelExecutor;
+use mloc::index::downgrade_variable_to_v1;
+use mloc::prelude::*;
+use mloc_compress::CodecKind;
+use mloc_datagen::{gts_like_2d, QueryGen};
+use mloc_pfs::{CostModel, MemBackend, StorageBackend};
+use std::sync::Arc;
+
+const SHAPE: [usize; 2] = [96, 96];
+const DS: &str = "fmt";
+const VAR: &str = "v";
+
+fn build(be: &MemBackend) -> Vec<f64> {
+    let field = gts_like_2d(SHAPE[0], SHAPE[1], 41);
+    let config = MlocConfig::builder(SHAPE.to_vec())
+        .chunk_shape(vec![24, 24])
+        .num_bins(10)
+        .codec(CodecKind::Deflate)
+        .build();
+    build_variable(be, DS, VAR, field.values(), &config).unwrap();
+    field.into_values()
+}
+
+/// Scans plus membership probes, with overlap so cached modes see both
+/// cold and warm blocks.
+fn workload(values: &[f64]) -> Vec<Query> {
+    let mut gen = QueryGen::new(values.to_vec(), SHAPE.to_vec(), 11);
+    let n = values.len() as u64;
+    let mut queries = Vec::new();
+    for i in 0..3 {
+        let (lo, hi) = gen.value_constraint(0.08 + 0.04 * i as f64);
+        queries.push(Query::region(lo, hi));
+        queries.push(Query::values_where(lo, hi));
+        queries.push(Query::values_in(Region::new(gen.region(0.1))));
+        queries.push(Query::membership((0..n).step_by(7 + i).collect()));
+        queries.push(Query::membership_where(lo, hi, (0..n).step_by(5).collect()));
+        queries.push(Query::membership_where(lo, hi, (0..n).step_by(3).collect()).with_values());
+    }
+    queries
+}
+
+fn bitwise_eq(a: &QueryResult, b: &QueryResult, ctx: &str) {
+    assert_eq!(a.positions(), b.positions(), "{ctx}: positions");
+    match (a.values(), b.values()) {
+        (None, None) => {}
+        (Some(av), Some(bv)) => {
+            assert_eq!(av.len(), bv.len(), "{ctx}: value count");
+            for (x, y) in av.iter().zip(bv) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{ctx}: value bits");
+            }
+        }
+        _ => panic!("{ctx}: one side has values, the other does not"),
+    }
+}
+
+/// Two backends with the same logical data: a v2 build and its
+/// in-place v1 downgrade. The build is deterministic, so any observable
+/// difference between the two is the index format's doing.
+fn v2_and_v1() -> (MemBackend, MemBackend, Vec<f64>) {
+    let v2 = MemBackend::new();
+    let values = build(&v2);
+    let v1 = MemBackend::new();
+    build(&v1);
+    let rewritten = downgrade_variable_to_v1(&v1, DS, VAR).unwrap();
+    assert_eq!(rewritten, 10);
+    // Sanity: the two formats really differ on disk (version byte).
+    let name = format!("{DS}/{VAR}/bin0000.idx");
+    assert_eq!(v1.read(&name, 0, 5).unwrap()[4], 1);
+    assert_eq!(v2.read(&name, 0, 5).unwrap()[4], 2);
+    (v2, v1, values)
+}
+
+#[test]
+fn v1_and_v2_reads_are_byte_identical_in_every_mode() {
+    let (v2, v1, values) = v2_and_v1();
+    let queries = workload(&values);
+
+    let plain2 = MlocStore::open(&v2, DS, VAR).unwrap();
+    let plain1 = MlocStore::open(&v1, DS, VAR).unwrap();
+    let cached2 = MlocStore::open(&v2, DS, VAR)
+        .unwrap()
+        .with_cache(Arc::new(BlockCache::with_budget_mb(64)));
+    let cached1 = MlocStore::open(&v1, DS, VAR)
+        .unwrap()
+        .with_cache(Arc::new(BlockCache::with_budget_mb(64)));
+    let fuser2 = Arc::new(ExtentFuser::with_window_mb(4));
+    let fuser1 = Arc::new(ExtentFuser::with_window_mb(4));
+    let fused2 = MlocStore::open(&v2, DS, VAR)
+        .unwrap()
+        .with_fusion(Arc::clone(&fuser2));
+    let fused1 = MlocStore::open(&v1, DS, VAR)
+        .unwrap()
+        .with_fusion(Arc::clone(&fuser1));
+    let threaded = ParallelExecutor::new(4, CostModel::default()).threaded(true);
+
+    for (i, q) in queries.iter().enumerate() {
+        let reference = plain2.query_serial(q).unwrap();
+        let r1 = plain1.query_serial(q).unwrap();
+        bitwise_eq(&r1, &reference, &format!("query {i}: serial v1 vs v2"));
+
+        let (t2, _) = threaded.execute(&plain2, q).unwrap();
+        let (t1, _) = threaded.execute(&plain1, q).unwrap();
+        bitwise_eq(&t2, &reference, &format!("query {i}: threaded v2"));
+        bitwise_eq(&t1, &reference, &format!("query {i}: threaded v1"));
+
+        for (tag, store) in [("v2", &cached2), ("v1", &cached1)] {
+            let (cold, _) = store.query_with_metrics(q).unwrap();
+            bitwise_eq(&cold, &reference, &format!("query {i}: cached cold {tag}"));
+            let (warm, m) = store.query_with_metrics(q).unwrap();
+            bitwise_eq(&warm, &reference, &format!("query {i}: cached warm {tag}"));
+            assert!(m.cache_hits > 0, "query {i}: warm {tag} pass had no hits");
+        }
+
+        for (tag, store, fuser) in [("v2", &fused2, &fuser2), ("v1", &fused1, &fuser1)] {
+            fuser.begin_window();
+            let r = store.query_serial(q).unwrap();
+            bitwise_eq(&r, &reference, &format!("query {i}: fused {tag}"));
+        }
+    }
+}
+
+#[test]
+fn membership_matches_scan_and_general_path_on_both_formats() {
+    let (v2, v1, values) = v2_and_v1();
+    let n = values.len() as u64;
+    let points: Vec<u64> = (0..n).step_by(11).collect();
+    let mut gen = QueryGen::new(values.clone(), SHAPE.to_vec(), 23);
+    let (lo, hi) = gen.value_constraint(0.3);
+
+    let want: Vec<u64> = points
+        .iter()
+        .copied()
+        .filter(|&p| {
+            let v = values[p as usize];
+            v >= lo && v < hi
+        })
+        .collect();
+    let q = Query::membership_where(lo, hi, points.clone()).with_values();
+
+    for (tag, be) in [("v2", &v2), ("v1", &v1)] {
+        let store = MlocStore::open(be, DS, VAR).unwrap();
+        let fast = store.query_serial(&q).unwrap();
+        assert_eq!(fast.positions(), &want[..], "{tag}: naive mismatch");
+        for (&p, &v) in fast.positions().iter().zip(fast.values().unwrap()) {
+            assert_eq!(v.to_bits(), values[p as usize].to_bits(), "{tag}: value");
+        }
+        mloc::query::engine::force_general_reconstruct(true);
+        let general = store.query_serial(&q);
+        mloc::query::engine::force_general_reconstruct(false);
+        bitwise_eq(
+            &general.unwrap(),
+            &fast,
+            &format!("{tag}: general vs probe path"),
+        );
+    }
+}
+
+#[test]
+fn plain_membership_is_answered_from_the_index_alone() {
+    let (v2, v1, values) = v2_and_v1();
+    let points: Vec<u64> = (0..values.len() as u64).step_by(13).collect();
+    let q = Query::membership(points.clone());
+    for (tag, be) in [("v2", &v2), ("v1", &v1)] {
+        let store = MlocStore::open(be, DS, VAR).unwrap();
+        let (res, m) = store.query_with_metrics(&q).unwrap();
+        assert_eq!(res.positions(), &points[..], "{tag}: membership positions");
+        assert_eq!(m.data_bytes, 0, "{tag}: membership touched data");
+        assert!(m.index_bytes > 0, "{tag}: no index reads recorded");
+    }
+}
