@@ -55,7 +55,7 @@ fn bench_fill_ablation(c: &mut Criterion) {
     });
     g.bench_function("zero_fill", |b| {
         b.iter(|| {
-            let approx = plod::assemble_zero_fill(&refs[..2], lvl);
+            let approx = plod::assemble_zero_fill(&refs[..2], lvl).unwrap();
             let err: f64 = values
                 .iter()
                 .zip(&approx)

@@ -115,6 +115,13 @@ USAGE:
   mloc query     --dir DIR --name DS --var NAME [--vc LO:HI]
                  [--sc A:B,C:D[,E:F]] [--plod 1..7] [--values true]
                  [--ranks R] [--limit K] [--cache-mb MB] [--repeat N]
+                 [--progressive true] (serve a base-precision answer
+                                       first, then pull byte-group
+                                       refinements; prints per-step
+                                       bytes and error bounds)
+                 [--target-error EPS] (stop refining at this worst-case
+                                       relative error bound; implies
+                                       --progressive true)
                  [--retry N]          (attempts per read, incl. the
                                        first; backoff is simulated)
                  [--no-degrade true]  (fail instead of answering at
@@ -135,6 +142,7 @@ USAGE:
                     budget TENANT bytes=N [io_s=SECONDS]
                     session TENANT VAR [vc=LO:HI] [sc=A:B,C:D]
                                        [plod=1..7] [values]
+                                       [progressive] [target_error=EPS]
                   sessions are admitted in FIFO windows; overlapping
                   extent reads within a window are fused and read
                   from the PFS once)

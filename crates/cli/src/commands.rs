@@ -409,6 +409,9 @@ fn query(args: &Args) -> Result<(), String> {
     if args.optional("no-degrade").is_some_and(|v| v == "true") {
         exec = exec.allow_degraded(false);
     }
+    let target_error = args.optional_parsed::<f64>("target-error")?;
+    let progressive =
+        args.optional("progressive").is_some_and(|v| v == "true") || target_error.is_some();
     let profile_mode = parse_profile(args)?;
     // --repeat replays the query; with --cache-mb the later passes are
     // warm and show the cache's effect on io/decompress time.
@@ -416,7 +419,45 @@ fn query(args: &Args) -> Result<(), String> {
     let mut last = None;
     let mut last_profile = None;
     for pass in 0..repeat {
-        let (res, m) = if profile_mode == ProfileMode::Off {
+        let (res, m) = if progressive {
+            // Progressive ladder: serve a base-precision answer, then
+            // pull byte-group refinements (to the target error bound,
+            // or all the way) and print what each step cost.
+            let mut pq = if profile_mode == ProfileMode::Off {
+                exec.progressive(&store, &q)
+            } else {
+                exec.progressive_profiled(&store, &q)
+            }
+            .map_err(|e| e.to_string())?;
+            match target_error {
+                Some(eps) => pq.run_to_target_error(eps),
+                None => pq.run_to_completion(),
+            }
+            .map_err(|e| e.to_string())?;
+            for s in pq.steps() {
+                println!(
+                    "  step {}: level {} (bound {:.3e}) | {} bytes read, {} cache-saved | \
+                     sim io {:.3}s{}{}",
+                    s.step,
+                    s.level.level(),
+                    s.error_bound,
+                    s.bytes_read,
+                    s.bytes_saved,
+                    s.io_s,
+                    if s.capped_units > 0 {
+                        format!(" | {} unit(s) capped by damage", s.capped_units)
+                    } else {
+                        String::new()
+                    },
+                    if s.done { " | done" } else { "" }
+                );
+            }
+            let (res, m, _steps, profile) = pq.into_outcome();
+            if profile_mode != ProfileMode::Off {
+                last_profile = Some(profile);
+            }
+            (res, m)
+        } else if profile_mode == ProfileMode::Off {
             exec.execute(&store, &q).map_err(|e| e.to_string())?
         } else {
             let (res, m, profile) = exec
@@ -536,6 +577,8 @@ fn parse_workload(text: &str, dataset: &str) -> Result<Workload, String> {
                 let mut sc = None;
                 let mut plod = PlodLevel::FULL;
                 let mut output = QueryOutput::Positions;
+                let mut progressive = false;
+                let mut target_error = None;
                 for w in words {
                     if let Some(v) = w.strip_prefix("vc=") {
                         vc = Some(parse_vc(v).map_err(at)?);
@@ -546,6 +589,13 @@ fn parse_workload(text: &str, dataset: &str) -> Result<Workload, String> {
                         plod = PlodLevel::new(level).map_err(|e| at(e.to_string()))?;
                     } else if w == "values" {
                         output = QueryOutput::Values;
+                    } else if w == "progressive" {
+                        progressive = true;
+                    } else if let Some(v) = w.strip_prefix("target_error=") {
+                        target_error = Some(
+                            v.parse()
+                                .map_err(|_| at(format!("bad target_error {v:?}")))?,
+                        );
                     } else {
                         return Err(at(format!("unknown session field {w:?}")));
                     }
@@ -553,12 +603,15 @@ fn parse_workload(text: &str, dataset: &str) -> Result<Workload, String> {
                 if vc.is_none() && sc.is_none() {
                     return Err(at("session needs vc= and/or sc=".into()));
                 }
-                sessions.push(SessionSpec::new(
-                    tenant,
-                    dataset,
-                    var,
-                    Query::new(vc, sc, plod, output),
-                ));
+                let mut spec =
+                    SessionSpec::new(tenant, dataset, var, Query::new(vc, sc, plod, output));
+                if progressive {
+                    spec = spec.progressive();
+                }
+                if let Some(eps) = target_error {
+                    spec = spec.with_target_error(eps);
+                }
+                sessions.push(spec);
             }
             Some(other) => return Err(at(format!("unknown directive {other:?}"))),
             None => unreachable!("blank lines are skipped"),
@@ -610,9 +663,17 @@ fn serve(args: &Args) -> Result<(), String> {
         match &r.outcome {
             Ok(res) => {
                 let m = r.metrics.as_ref().expect("metrics on success");
+                let ladder_note = match &r.steps {
+                    Some(steps) => format!(
+                        " | progressive: {} step(s), final bound {:.3e}",
+                        steps.len(),
+                        steps.last().map_or(0.0, |s| s.error_bound)
+                    ),
+                    None => String::new(),
+                };
                 println!(
                     "session {:>3} [{}] w{}: {} matches | {} bytes read, {} cache-saved, \
-                     {} fusion-saved | sim io {:.3}s",
+                     {} fusion-saved | sim io {:.3}s{ladder_note}",
                     r.index,
                     r.tenant,
                     r.window,
@@ -734,6 +795,46 @@ mod tests {
             "64",
             "--repeat",
             "3",
+        ])
+        .unwrap();
+        // Progressive ladder: full, with a target error bound, and a
+        // warm cached repeat (refinements hit the cache).
+        run(&[
+            "query",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--var",
+            "t",
+            "--sc",
+            "0:16,0:16",
+            "--values",
+            "true",
+            "--progressive",
+            "true",
+        ])
+        .unwrap();
+        run(&[
+            "query",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--var",
+            "t",
+            "--sc",
+            "0:16,0:16",
+            "--values",
+            "true",
+            "--target-error",
+            "1e-3",
+            "--cache-mb",
+            "64",
+            "--repeat",
+            "2",
+            "--profile",
+            "table",
         ])
         .unwrap();
         std::fs::remove_dir_all(&dir).unwrap();
@@ -992,7 +1093,9 @@ mod tests {
              session alice t vc=0:1000\n\
              session bob t sc=0:16,0:16 values\n\
              session alice t vc=0:1000\n\
-             session bob t vc=0:1000 plod=3\n",
+             session bob t vc=0:1000 plod=3\n\
+             session bob t sc=0:16,0:16 values progressive\n\
+             session alice t sc=0:8,0:8 values target_error=1e-4\n",
         )
         .unwrap();
         run(&[
@@ -1055,6 +1158,12 @@ mod tests {
         assert!(parse_workload("session a v vc=9:1\n", "ds").is_err());
         assert!(parse_workload("warp a v vc=0:1\n", "ds").is_err());
         assert!(parse_workload("budget a pages=3\n", "ds").is_err());
+        let (_, s) = parse_workload("session a v sc=0:4,0:4 values progressive\n", "ds").unwrap();
+        assert!(s[0].progressive && s[0].target_error.is_none());
+        let (_, s) =
+            parse_workload("session a v sc=0:4,0:4 values target_error=0.01\n", "ds").unwrap();
+        assert!(s[0].progressive && s[0].target_error == Some(0.01));
+        assert!(parse_workload("session a v sc=0:4,0:4 target_error=x\n", "ds").is_err());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! reconstruction are measured.
 
 use crate::metrics::QueryMetrics;
-use crate::query::engine::{process_units, RankOutput};
+use crate::query::engine::{process_units, RankOutput, RefineUnit};
 use crate::query::plan::{make_plan, Plan, WorkUnit};
 use crate::query::{Query, QueryResult};
 use crate::store::MlocStore;
@@ -96,6 +96,17 @@ impl ParallelExecutor {
         &self.cost_model
     }
 
+    /// The retry policy applied to every rank's reads.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Whether degraded completion is allowed (see
+    /// [`ParallelExecutor::allow_degraded`]).
+    pub fn degradation_allowed(&self) -> bool {
+        self.allow_degraded
+    }
+
     /// Plan and execute a query.
     pub fn execute(
         &self,
@@ -122,7 +133,8 @@ impl ParallelExecutor {
         let t = Instant::now();
         let plan = make_plan(store, query)?;
         let plan_s = t.elapsed().as_secs_f64();
-        self.run_plan(store, query, &plan, None, true, Some(plan_s))
+        self.run_plan(store, query, &plan, None, true, Some(plan_s), false)
+            .map(|(result, metrics, profile, _)| (result, metrics, profile))
     }
 
     /// Execute a pre-built plan, optionally restricting output to a
@@ -137,8 +149,8 @@ impl ParallelExecutor {
         plan: &Plan,
         position_filter: Option<&[u64]>,
     ) -> Result<(QueryResult, QueryMetrics)> {
-        self.run_plan(store, query, plan, position_filter, false, None)
-            .map(|(result, metrics, _)| (result, metrics))
+        self.run_plan(store, query, plan, position_filter, false, None, false)
+            .map(|(result, metrics, _, _)| (result, metrics))
     }
 
     /// [`ParallelExecutor::execute_plan`] with profiling on.
@@ -149,9 +161,25 @@ impl ParallelExecutor {
         plan: &Plan,
         position_filter: Option<&[u64]>,
     ) -> Result<(QueryResult, QueryMetrics, Profile)> {
-        self.run_plan(store, query, plan, position_filter, true, None)
+        self.run_plan(store, query, plan, position_filter, true, None, false)
+            .map(|(result, metrics, profile, _)| (result, metrics, profile))
     }
 
+    /// Execute a pre-built plan while capturing per-unit refinement
+    /// state for a progressive query (see
+    /// [`crate::progressive::ProgressiveQuery`]). Captured units are
+    /// returned in deterministic rank-merge order.
+    pub(crate) fn execute_plan_capturing(
+        &self,
+        store: &MlocStore<'_>,
+        query: &Query,
+        plan: &Plan,
+        profiled: bool,
+    ) -> Result<(QueryResult, QueryMetrics, Profile, Vec<RefineUnit>)> {
+        self.run_plan(store, query, plan, None, profiled, None, true)
+    }
+
+    #[allow(clippy::too_many_arguments)] // private dispatcher behind the typed entry points
     fn run_plan(
         &self,
         store: &MlocStore<'_>,
@@ -160,7 +188,8 @@ impl ParallelExecutor {
         position_filter: Option<&[u64]>,
         profiled: bool,
         plan_s: Option<f64>,
-    ) -> Result<(QueryResult, QueryMetrics, Profile)> {
+        capture: bool,
+    ) -> Result<(QueryResult, QueryMetrics, Profile, Vec<RefineUnit>)> {
         let unit_bins: Vec<usize> = plan.units.iter().map(|u| u.bin).collect();
         let assignment = column_order(&unit_bins, self.nranks);
         let cache_stats_before = profiled.then(|| store.cache().map(|c| c.stats()));
@@ -180,6 +209,7 @@ impl ParallelExecutor {
                 &mut io,
                 position_filter,
                 self.allow_degraded,
+                capture,
                 &mut obs,
             )?;
             obs.end();
@@ -224,6 +254,7 @@ impl ParallelExecutor {
         gather.begin("gather");
         let mut positions = Vec::new();
         let mut values = Vec::new();
+        let mut refine_units = Vec::new();
         for (rank, out) in outputs.into_iter().enumerate() {
             let cpu = out.decompress_s + out.reconstruct_s;
             let io = sim.per_rank_seconds[rank];
@@ -245,6 +276,7 @@ impl ParallelExecutor {
             metrics.degradation.merge(&out.degradation);
             positions.extend(out.positions);
             values.extend(out.values);
+            refine_units.extend(out.refine_units);
         }
         metrics.bytes_read = metrics.index_bytes + metrics.data_bytes;
         gather.end();
@@ -300,7 +332,7 @@ impl ParallelExecutor {
         }
 
         let result = QueryResult::from_parts(positions, query.wants_values().then_some(values));
-        Ok((result, metrics, profile))
+        Ok((result, metrics, profile, refine_units))
     }
 }
 

@@ -65,6 +65,7 @@ pub mod index;
 pub mod integrity;
 pub mod metrics;
 pub mod plod;
+pub mod progressive;
 pub mod query;
 pub mod store;
 pub mod verify;
@@ -81,6 +82,7 @@ pub use exec::ParallelExecutor;
 pub use fusion::{ExtentFuser, FusionStats};
 pub use integrity::ExtentFooter;
 pub use metrics::QueryMetrics;
+pub use progressive::{ProgressiveQuery, ProgressiveStep};
 pub use query::{Query, QueryKind, QueryOutput, QueryResult};
 pub use store::MlocStore;
 pub use verify::{verify_dataset, verify_variable, ExtentDamage, VerifyReport};
@@ -100,6 +102,7 @@ pub mod prelude {
     pub use crate::degrade::{DegradationEvent, DegradationReport};
     pub use crate::exec::ParallelExecutor;
     pub use crate::fusion::{ExtentFuser, FusionStats};
+    pub use crate::progressive::{ProgressiveQuery, ProgressiveStep};
     pub use crate::query::{Query, QueryOutput, QueryResult};
     pub use crate::store::MlocStore;
     pub use crate::verify::{verify_dataset, verify_variable, VerifyReport};

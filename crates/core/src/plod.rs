@@ -12,6 +12,7 @@
 //! expected error.
 
 use crate::config::{PlodLevel, NUM_PARTS};
+use crate::{MlocError, Result};
 
 /// Byte width of each PLoD part (most significant first).
 pub const PART_BYTES: [usize; NUM_PARTS] = [2, 1, 1, 1, 1, 1, 1];
@@ -118,10 +119,26 @@ pub fn assemble_into(parts: &[&[u8]], level: PlodLevel, out: &mut Vec<f64>) {
 
 /// Reassemble with zero fill instead of midpoint fill — kept only for
 /// the design-choice ablation (the paper explicitly rejects zero fill).
-pub fn assemble_zero_fill(parts: &[&[u8]], level: PlodLevel) -> Vec<f64> {
+///
+/// Unlike the hot-path [`assemble_into`] (whose inputs come from
+/// length-checked decompression and may assert), this takes arbitrary
+/// caller slices and validates them: too few parts, a ragged base
+/// part, or a tail part disagreeing with the base part's value count
+/// is [`MlocError::Corrupt`], never a panic or silently dropped tail.
+pub fn assemble_zero_fill(parts: &[&[u8]], level: PlodLevel) -> Result<Vec<f64>> {
     let used = level.num_parts();
-    assert!(parts.len() >= used);
+    if parts.len() < used {
+        return Err(MlocError::Corrupt("too few PLoD parts"));
+    }
+    if !parts[0].len().is_multiple_of(PART_BYTES[0]) {
+        return Err(MlocError::Corrupt("ragged PLoD base part"));
+    }
     let n = parts[0].len() / PART_BYTES[0];
+    for (p, part) in parts.iter().enumerate().take(used) {
+        if part.len() != n * PART_BYTES[p] {
+            return Err(MlocError::Corrupt("PLoD part length mismatch"));
+        }
+    }
     let mut out = Vec::with_capacity(n);
     for i in 0..n {
         let mut be = [0u8; 8];
@@ -131,20 +148,85 @@ pub fn assemble_zero_fill(parts: &[&[u8]], level: PlodLevel) -> Vec<f64> {
         }
         out.push(f64::from_be_bytes(be));
     }
-    out
+    Ok(out)
+}
+
+/// Refine already-assembled values in place from `part_idx` parts to
+/// `part_idx + 1` parts: each affected value gets its true byte at the
+/// part's offset (replacing the `0x7F` fill seed) and the fill pattern
+/// re-seeded one byte further down — one byte merged per value, no
+/// access to earlier parts, no full reassembly.
+///
+/// `out_idx[i]` addresses the value in `values` and `val_idx[i]` its
+/// byte in `part` (tail parts are one byte per value): a progressive
+/// query's sorted result interleaves many units, so refinement routes
+/// each unit's part bytes through the mapping captured at step 0.
+/// After refining parts `1..L` in order, a value is bit-identical to
+/// [`assemble`] at level `L`.
+pub fn refine_into(
+    values: &mut [f64],
+    out_idx: &[u32],
+    val_idx: &[u32],
+    part: &[u8],
+    part_idx: usize,
+) -> Result<()> {
+    if part_idx == 0 || part_idx >= NUM_PARTS {
+        return Err(MlocError::Corrupt("refined part index out of range"));
+    }
+    if out_idx.len() != val_idx.len() {
+        return Err(MlocError::Corrupt("refinement index lists disagree"));
+    }
+    debug_assert_eq!(PART_BYTES[part_idx], 1);
+    let off = PART_OFFSETS[part_idx];
+    let shift = (8 * (7 - off)) as u32;
+    for (&oi, &vi) in out_idx.iter().zip(val_idx) {
+        let b = *part
+            .get(vi as usize)
+            .ok_or(MlocError::Corrupt("refinement byte index out of range"))?;
+        let v = values
+            .get_mut(oi as usize)
+            .ok_or(MlocError::Corrupt("refinement value index out of range"))?;
+        let mut bits = v.to_bits();
+        bits = (bits & !(0xFFu64 << shift)) | (u64::from(b) << shift);
+        if off + 1 < 8 {
+            // The next byte down flips from all-ones padding to the
+            // new level's 0x7F fill seed.
+            let s2 = (8 * (7 - (off + 1))) as u32;
+            bits = (bits & !(0xFFu64 << s2)) | (0x7Fu64 << s2);
+        }
+        *v = f64::from_bits(bits);
+    }
+    Ok(())
 }
 
 /// Upper bound on the relative reconstruction error of a PLoD level
-/// for normal doubles: half the weight of the first missing mantissa
-/// bit (midpoint fill).
+/// for normal doubles.
+///
+/// A level keeps `k = 4 + 8·(level − 1)` mantissa bits. The midpoint
+/// fill replaces the dropped low field with (just below) its midpoint,
+/// so the absolute significand error is at most half the weight of the
+/// first missing mantissa bit — `2^(52−k−1)` ulps — and the relative
+/// error at most `2^-(k+1)` against the implicit leading one. The
+/// bound is tight: a value whose kept mantissa bits are zero and whose
+/// dropped bits are all ones reaches within a factor `1/(1 + 2^-k)`
+/// of it (asserted under randomized test below).
 pub fn relative_error_bound(level: PlodLevel) -> f64 {
     if level.is_full() {
         return 0.0;
     }
     // Bytes kept: 2 + (level-1) ⇒ mantissa bits kept: 4 + 8*(level-1).
     let mantissa_bits = 4 + 8 * (level.level() as i32 - 1);
-    // Midpoint fill keeps the error within half of the truncated range,
-    // relative to the implicit leading 1.
+    2f64.powi(-(mantissa_bits + 1))
+}
+
+/// Error bound of the rejected zero-fill strategy at the same level:
+/// the full weight of the dropped field, `2^-k` — twice the midpoint
+/// bound. Kept alongside [`assemble_zero_fill`] for the ablation.
+pub fn zero_fill_error_bound(level: PlodLevel) -> f64 {
+    if level.is_full() {
+        return 0.0;
+    }
+    let mantissa_bits = 4 + 8 * (level.level() as i32 - 1);
     2f64.powi(-mantissa_bits)
 }
 
@@ -242,7 +324,7 @@ mod tests {
         let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
         let lvl = PlodLevel::new(2).unwrap();
         let mid = assemble(&refs[..2], lvl);
-        let zero = assemble_zero_fill(&refs[..2], lvl);
+        let zero = assemble_zero_fill(&refs[..2], lvl).unwrap();
         let err = |approx: &[f64]| {
             values
                 .iter()
@@ -255,8 +337,162 @@ mod tests {
             e_mid < e_zero / 1.5,
             "midpoint {e_mid} not clearly better than zero {e_zero}"
         );
-        // Zero fill always underestimates the magnitude.
+        // Zero fill always underestimates the magnitude, and stays
+        // within its own (doubled) bound.
         assert!(values.iter().zip(&zero).all(|(a, b)| b.abs() <= a.abs()));
+        let max_zero = values
+            .iter()
+            .zip(&zero)
+            .map(|(a, b)| ((a - b) / a).abs())
+            .fold(0.0f64, f64::max);
+        assert!(max_zero <= zero_fill_error_bound(lvl));
+        assert_eq!(zero_fill_error_bound(lvl), 2.0 * relative_error_bound(lvl));
+        assert_eq!(zero_fill_error_bound(PlodLevel::FULL), 0.0);
+    }
+
+    #[test]
+    fn zero_fill_validates_part_lengths() {
+        let values: Vec<f64> = (0..16).map(|i| i as f64 + 0.5).collect();
+        let parts = split(&values);
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        let lvl = PlodLevel::new(3).unwrap();
+        assert_eq!(
+            assemble_zero_fill(&refs[..3], lvl).unwrap().len(),
+            values.len()
+        );
+        // Too few parts for the level.
+        assert!(assemble_zero_fill(&refs[..2], lvl).is_err());
+        // Ragged base part (odd byte count).
+        let bad0 = &parts[0][..parts[0].len() - 1];
+        assert!(assemble_zero_fill(&[bad0, &parts[1], &parts[2]], lvl).is_err());
+        // Tail part shorter than the base part implies: before the fix
+        // this indexed out of bounds (panic), now it is a Corrupt error.
+        let short1 = &parts[1][..values.len() - 1];
+        assert!(assemble_zero_fill(&[&parts[0], short1, &parts[2]], lvl).is_err());
+        // Tail part longer than the base part implies: before the fix
+        // the extra bytes were silently ignored.
+        let mut long2 = parts[2].clone();
+        long2.push(0xAB);
+        assert!(assemble_zero_fill(&[&parts[0], &parts[1], &long2], lvl).is_err());
+    }
+
+    /// Deterministic xorshift64* generator for the randomized tests.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    #[test]
+    fn error_bound_is_tight_but_safe() {
+        // Safe: no normal double, over a wide range of exponents and
+        // random mantissas, ever exceeds the bound. Tight: adversarial
+        // mantissas (kept bits zero, dropped bits all ones) get within
+        // 10% of it. Exhaustive over every non-full level.
+        let mut state = 0x1234_5678_9ABC_DEF0u64;
+        let mut values: Vec<f64> = Vec::new();
+        for _ in 0..20_000 {
+            let r = xorshift(&mut state);
+            // Random sign/mantissa, exponent clamped to normal range.
+            let exp = 1 + (r >> 52) % 2046;
+            let bits = (r & 0x800F_FFFF_FFFF_FFFF) | (exp << 52);
+            values.push(f64::from_bits(bits));
+        }
+        for level in 1..7u8 {
+            let lvl = PlodLevel::new(level).unwrap();
+            let bound = relative_error_bound(lvl);
+            let kept = 4 + 8 * (i32::from(level) - 1);
+            // Adversarial values for this level: kept mantissa bits
+            // zero, dropped bits all ones (both signs, varied exponent).
+            let dropped_ones = (1u64 << (52 - kept)) - 1;
+            let mut adversarial = Vec::new();
+            for exp in [1u64, 512, 1023, 1536, 2046] {
+                adversarial.push(f64::from_bits((exp << 52) | dropped_ones));
+                adversarial.push(f64::from_bits((1u64 << 63) | (exp << 52) | dropped_ones));
+            }
+            let all: Vec<f64> = values.iter().chain(&adversarial).copied().collect();
+            let parts = split(&all);
+            let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+            let approx = assemble(&refs[..lvl.num_parts()], lvl);
+            let max_rel = all
+                .iter()
+                .zip(&approx)
+                .map(|(a, b)| ((a - b) / a).abs())
+                .fold(0.0f64, f64::max);
+            assert!(
+                max_rel <= bound,
+                "level {level}: err {max_rel:e} exceeds bound {bound:e}"
+            );
+            assert!(
+                max_rel >= 0.9 * bound,
+                "level {level}: bound {bound:e} not tight (max err {max_rel:e})"
+            );
+        }
+        assert_eq!(relative_error_bound(PlodLevel::FULL), 0.0);
+    }
+
+    #[test]
+    fn refine_matches_assemble_at_each_level() {
+        let mut state = 0xDEAD_BEEF_CAFE_F00Du64;
+        let mut values: Vec<f64> = Vec::new();
+        for _ in 0..997 {
+            let r = xorshift(&mut state);
+            let exp = 1 + (r >> 52) % 2046;
+            values.push(f64::from_bits((r & 0x800F_FFFF_FFFF_FFFF) | (exp << 52)));
+        }
+        let parts = split(&values);
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        let idx: Vec<u32> = (0..values.len() as u32).collect();
+        let mut current = assemble(&refs[..1], PlodLevel::new(1).unwrap());
+        for (p, part) in parts.iter().enumerate().skip(1) {
+            refine_into(&mut current, &idx, &idx, part, p).unwrap();
+            let lvl = PlodLevel::new((p + 1) as u8).unwrap();
+            let direct = assemble(&refs[..lvl.num_parts()], lvl);
+            for (i, (a, b)) in current.iter().zip(&direct).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "part {p}, value {i}");
+            }
+        }
+        // Full ladder ends bit-identical to the originals.
+        for (a, b) in current.iter().zip(&values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn refine_addresses_scattered_values() {
+        // Refinement through a (result index, byte index) mapping:
+        // refine only the odd values of an interleaved result.
+        let values: Vec<f64> = (1..=8).map(|i| (i as f64) * 3.7 + 0.123).collect();
+        let parts = split(&values);
+        let refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        let coarse = assemble(&refs[..1], PlodLevel::new(1).unwrap());
+        // Result holds the unit's values reversed.
+        let mut result: Vec<f64> = coarse.iter().rev().copied().collect();
+        let out_idx: Vec<u32> = (0..8).map(|i| 7 - i).collect();
+        let val_idx: Vec<u32> = (0..8).collect();
+        refine_into(&mut result, &out_idx, &val_idx, &parts[1], 1).unwrap();
+        let direct = assemble(&refs[..2], PlodLevel::new(2).unwrap());
+        for (i, d) in direct.iter().enumerate() {
+            assert_eq!(result[7 - i].to_bits(), d.to_bits());
+        }
+    }
+
+    #[test]
+    fn refine_validates_inputs() {
+        let mut vals = vec![1.0f64; 4];
+        let part = vec![0u8; 4];
+        // Part 0 is never refined; out-of-range parts rejected.
+        assert!(refine_into(&mut vals, &[0], &[0], &part, 0).is_err());
+        assert!(refine_into(&mut vals, &[0], &[0], &part, NUM_PARTS).is_err());
+        // Mismatched index lists.
+        assert!(refine_into(&mut vals, &[0, 1], &[0], &part, 1).is_err());
+        // Out-of-range byte / value indices.
+        assert!(refine_into(&mut vals, &[0], &[9], &part, 1).is_err());
+        assert!(refine_into(&mut vals, &[9], &[0], &part, 1).is_err());
+        assert!(refine_into(&mut vals, &[3], &[3], &part, 1).is_ok());
     }
 
     #[test]

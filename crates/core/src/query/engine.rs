@@ -12,7 +12,7 @@ use crate::cache::{BlockCache, BlockKey, BlockPart, ByteView, CachedBlock};
 use crate::config::{PlodLevel, NUM_PARTS};
 use crate::degrade::{DegradationEvent, DegradationReport};
 use crate::fusion::coalesced_read_results;
-use crate::index::{decode_summary, header_size, BinIndex, ChunkSummary};
+use crate::index::{decode_summary, header_size, BinIndex, ChunkSummary, UnitLoc};
 use crate::integrity::{ExtentFooter, TRAILER_LEN};
 use crate::plod;
 use crate::query::plan::{parts_used, WorkUnit};
@@ -60,6 +60,33 @@ pub struct RankOutput {
     /// Extent losses this rank worked around by reducing PLoD
     /// precision (empty = full fidelity).
     pub degradation: DegradationReport,
+    /// Refinement state captured for a progressive query (empty unless
+    /// the executor asked for capture).
+    pub refine_units: Vec<RefineUnit>,
+}
+
+/// What a progressive query remembers about one refinable work unit
+/// after its step-0 pass, so later refinement pulls read only the next
+/// byte-group extents — index headers, bitmaps, positions, and footers
+/// are planned once here and never re-read.
+#[derive(Debug, Clone)]
+pub struct RefineUnit {
+    /// Value bin (names the data file).
+    pub bin: usize,
+    /// Chunk rank within the bin.
+    pub chunk_rank: usize,
+    /// Points stored in the unit — the byte length of each one-byte
+    /// tail part.
+    pub count: u32,
+    /// Extent location of every PLoD part, from the bin index header.
+    pub part_locs: Vec<UnitLoc>,
+    /// The data file's checksum footer, shared with step 0's reads.
+    pub footer: Arc<ExtentFooter>,
+    /// Per emitted point: its rank within the unit's value array (the
+    /// byte index inside each tail part).
+    pub val_idx: Vec<u32>,
+    /// Per emitted point: its global position (ascending).
+    pub positions: Vec<u64>,
 }
 
 /// Load (or probe the cache for) a file's per-extent checksum footer.
@@ -406,6 +433,15 @@ fn use_general_path() -> bool {
 /// [`RankOutput::degradation`]. Index headers, bitmaps, base parts,
 /// value-filtered units, and the footers themselves always fail loudly
 /// — degrading any of those could silently change *which* points match.
+///
+/// With `capture_refine` set (progressive queries only), every
+/// refinable unit — PLoD data-bearing, values wanted, no value filter,
+/// no position filter — additionally records a [`RefineUnit`] in
+/// [`RankOutput::refine_units`]: its part extent locations, footer,
+/// and the per-point (value rank, global position) mapping the
+/// emission below established. Emitted positions and values are
+/// identical with and without capture.
+#[allow(clippy::too_many_arguments)] // rank-internal entry point, called from the executor only
 pub fn process_units(
     store: &MlocStore<'_>,
     query: &Query,
@@ -413,6 +449,7 @@ pub fn process_units(
     io: &mut RankIo<'_>,
     position_filter: Option<&[u64]>,
     allow_degraded: bool,
+    capture_refine: bool,
     obs: &mut Collector,
 ) -> Result<RankOutput> {
     let mut out = RankOutput::default();
@@ -981,6 +1018,85 @@ pub fn process_units(
                         out.values.push(v[vi]);
                     }
                 }
+                continue;
+            }
+
+            // Progressive capture path: emit this unit directly — the
+            // deferred scatter cannot attribute a point to a unit, and
+            // refinement needs the per-unit (value rank, position)
+            // mapping — recording that mapping as it goes. The final
+            // QueryResult sorts by position, so bypassing the scatter
+            // never changes observable output.
+            if capture_refine
+                && config.plod
+                && wants_values
+                && u.needs_data
+                && !u.value_filter
+                && gallop.is_none()
+                && !membership
+            {
+                let v = match out_vals {
+                    Some(v) => v,
+                    None => return Err(MlocError::Corrupt("capture requires values")),
+                };
+                let mut ru = RefineUnit {
+                    bin,
+                    chunk_rank: u.chunk_rank,
+                    count: entry.count,
+                    part_locs: index.chunks[u.chunk_rank].units.clone(),
+                    footer: Arc::clone(
+                        dat_footer
+                            .as_ref()
+                            .ok_or(MlocError::Corrupt("data unit without footer"))?,
+                    ),
+                    val_idx: Vec::new(),
+                    positions: Vec::new(),
+                };
+                let sc_ranges: Option<&[(usize, usize)]> = if u.spatial_filter {
+                    query.sc.as_ref().map(|r| r.ranges())
+                } else {
+                    None
+                };
+                let positions = &mut out.positions;
+                let values = &mut out.values;
+                let val_idx = &mut ru.val_idx;
+                let cap_pos = &mut ru.positions;
+                emitter.set_chunk(ranges);
+                let mut sc_row = u64::MAX;
+                let mut sc_row_ok = false;
+                bitmap.for_each_one_run(|gap, ones_before, len| {
+                    emitter.advance(gap);
+                    emitter.walk_run(len, ones_before, |c, mut g0, mut vi, mut take| {
+                        if let Some(sc) = sc_ranges {
+                            let last = c.len() - 1;
+                            let row_base = g0 - c[last];
+                            if row_base != sc_row {
+                                sc_row = row_base;
+                                sc_row_ok = (0..last).all(|d| {
+                                    let gc = ranges[d].0 + c[d] as usize;
+                                    gc >= sc[d].0 && gc < sc[d].1
+                                });
+                            }
+                            if !sc_row_ok {
+                                return;
+                            }
+                            let col0 = ranges[last].0 as u64 + c[last];
+                            let lo = (sc[last].0 as u64).max(col0);
+                            let hi = (sc[last].1 as u64).min(col0 + take);
+                            if lo >= hi {
+                                return;
+                            }
+                            g0 += lo - col0;
+                            vi += (lo - col0) as usize;
+                            take = hi - lo;
+                        }
+                        positions.extend(g0..g0 + take);
+                        values.extend_from_slice(&v[vi..vi + take as usize]);
+                        val_idx.extend(vi as u32..(vi + take as usize) as u32);
+                        cap_pos.extend(g0..g0 + take);
+                    });
+                });
+                out.refine_units.push(ru);
                 continue;
             }
 

@@ -205,6 +205,19 @@ impl QueryResult {
         self.values.as_deref()
     }
 
+    /// In-place mutable view of the values, for progressive refinement
+    /// (positions stay fixed across refinement steps; only value
+    /// precision improves).
+    pub(crate) fn values_mut(&mut self) -> Option<&mut [f64]> {
+        self.values.as_deref_mut()
+    }
+
+    /// Decompose into `(positions, values)` without copying (used when
+    /// merging sub-results).
+    pub(crate) fn into_parts(self) -> (Vec<u64>, Option<Vec<f64>>) {
+        (self.positions, self.values)
+    }
+
     /// Number of matches.
     pub fn len(&self) -> usize {
         self.positions.len()

@@ -53,8 +53,8 @@
 
 use mloc::fusion::FusionStats;
 use mloc::{
-    BlockCache, CacheStats, ExtentFuser, MlocError, MlocStore, ParallelExecutor, Query,
-    QueryMetrics, QueryResult,
+    BlockCache, CacheStats, ExtentFuser, MlocError, MlocStore, ParallelExecutor, ProgressiveStep,
+    Query, QueryMetrics, QueryResult,
 };
 use mloc_obs::{Label, Profile, Registry};
 use mloc_pfs::{CostModel, RetryPolicy, StorageBackend};
@@ -200,6 +200,16 @@ pub struct SessionSpec {
     pub var: String,
     /// The query to run.
     pub query: Query,
+    /// Run as a progressive ladder instead of one shot: the session
+    /// serves a base-precision step and pulls byte-group refinements
+    /// (through the shared cache and fuser) until done or until
+    /// `target_error` is met. Budgets are charged on the cumulative
+    /// metrics over all steps taken.
+    pub progressive: bool,
+    /// Stop refining once the worst-case relative error bound is at or
+    /// below this (progressive sessions only; `None` refines to the
+    /// query's full target level).
+    pub target_error: Option<f64>,
 }
 
 impl SessionSpec {
@@ -210,7 +220,23 @@ impl SessionSpec {
             dataset: dataset.to_string(),
             var: var.to_string(),
             query,
+            progressive: false,
+            target_error: None,
         }
+    }
+
+    /// Run this session as a progressive ladder.
+    pub fn progressive(mut self) -> Self {
+        self.progressive = true;
+        self
+    }
+
+    /// Progressive ladder that stops once the error bound reaches
+    /// `eps` (implies [`SessionSpec::progressive`]).
+    pub fn with_target_error(mut self, eps: f64) -> Self {
+        self.progressive = true;
+        self.target_error = Some(eps);
+        self
     }
 }
 
@@ -286,8 +312,11 @@ pub struct SessionReport {
     /// The result, or why there is none.
     pub outcome: Result<QueryResult, ServeError>,
     /// Per-session metrics (present iff the query executed and
-    /// succeeded).
+    /// succeeded). For progressive sessions these are cumulative over
+    /// every step taken.
     pub metrics: Option<QueryMetrics>,
+    /// The progressive ladder's step log (progressive sessions only).
+    pub steps: Option<Vec<ProgressiveStep>>,
     /// Wall-clock seconds from admission to completion (informational;
     /// use `metrics.response_s` for deterministic latency).
     pub wall_s: f64,
@@ -478,6 +507,7 @@ impl<'a> QueryServer<'a> {
                         limit,
                     }),
                     metrics: None,
+                    steps: None,
                     wall_s: t0.elapsed().as_secs_f64(),
                 };
             }
@@ -504,13 +534,30 @@ impl<'a> QueryServer<'a> {
                         error: e.clone(),
                     }),
                     metrics: None,
+                    steps: None,
                     wall_s: t0.elapsed().as_secs_f64(),
                 };
             }
         };
 
-        match exec.execute(store, &spec.query) {
-            Ok((res, m)) => {
+        let executed: Result<(QueryResult, QueryMetrics, Option<Vec<ProgressiveStep>>), MlocError> =
+            if spec.progressive {
+                // Progressive ladder: refinement pulls re-enter the
+                // shared cache and fuser, so a warm step reads only
+                // byte groups no session has fetched yet.
+                exec.progressive(store, &spec.query).and_then(|mut pq| {
+                    match spec.target_error {
+                        Some(eps) => pq.run_to_target_error(eps)?,
+                        None => pq.run_to_completion()?,
+                    }
+                    let (res, m, steps, _) = pq.into_outcome();
+                    Ok((res, m, Some(steps)))
+                })
+            } else {
+                exec.execute(store, &spec.query).map(|(r, m)| (r, m, None))
+            };
+        match executed {
+            Ok((res, m, steps)) => {
                 let logical = m.bytes_read + m.bytes_saved + m.fused_bytes_saved;
                 {
                     let mut usage = lock(&self.usage);
@@ -532,12 +579,22 @@ impl<'a> QueryServer<'a> {
                 self.registry
                     .count("serve.fused_bytes_saved", m.fused_bytes_saved);
                 self.registry.record("serve.io", m.io_s);
+                if let Some(steps) = &steps {
+                    self.registry.count("serve.progressive.sessions", 1);
+                    self.registry
+                        .count("serve.progressive.steps", steps.len() as u64);
+                    self.registry.count(
+                        "serve.progressive.refine_bytes",
+                        steps.iter().skip(1).map(|s| s.bytes_read).sum::<u64>(),
+                    );
+                }
                 SessionReport {
                     index,
                     tenant: tenant.to_string(),
                     window,
                     outcome: Ok(res),
                     metrics: Some(m),
+                    steps,
                     wall_s: t0.elapsed().as_secs_f64(),
                 }
             }
@@ -553,6 +610,7 @@ impl<'a> QueryServer<'a> {
                     window,
                     outcome: Err(ServeError::Query(e)),
                     metrics: None,
+                    steps: None,
                     wall_s: t0.elapsed().as_secs_f64(),
                 }
             }
@@ -641,6 +699,47 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(run_once(), first, "budget outcomes must be deterministic");
         }
+    }
+
+    #[test]
+    fn progressive_sessions_share_cache_and_match_one_shot() {
+        let be = MemBackend::new();
+        build(&be);
+        let server = QueryServer::new(&be, ServeConfig::default());
+        // Spatial value query: no value constraint, so every touched
+        // bin is refinable by the ladder.
+        let q = Query::values_in(Region::new(vec![(4, 28), (0, 32)]));
+        let sessions = vec![
+            SessionSpec::new("a", "ds", "v", q.clone()).progressive(),
+            // Same tenant, same query, after the first: the warm
+            // ladder should be answered largely from the shared cache.
+            SessionSpec::new("a", "ds", "v", q.clone()).progressive(),
+            SessionSpec::new("b", "ds", "v", q.clone()).with_target_error(1e-3),
+        ];
+        let reports = server.run(&sessions);
+        let store = MlocStore::open(&be, "ds", "v").unwrap();
+        let direct = store.query_serial(&q).unwrap();
+
+        let full = reports[0].outcome.as_ref().unwrap();
+        assert_eq!(full.positions(), direct.positions());
+        for (a, b) in full.values().unwrap().iter().zip(direct.values().unwrap()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let steps = reports[0].steps.as_ref().unwrap();
+        assert!(steps.len() > 1);
+        assert!(steps.last().unwrap().done);
+        // Warm repeat: every refinement byte was already cached.
+        let warm = reports[1].steps.as_ref().unwrap();
+        assert_eq!(warm.iter().skip(1).map(|s| s.bytes_read).sum::<u64>(), 0);
+        assert!(warm.iter().skip(1).map(|s| s.bytes_saved).sum::<u64>() > 0);
+        // Early stop honors the target error bound.
+        let capped = reports[2].steps.as_ref().unwrap();
+        assert!(capped.last().unwrap().error_bound <= 1e-3);
+        assert!(capped.len() < steps.len());
+        // Budgets metered the cumulative ladder, in logical bytes.
+        let m0 = reports[0].metrics.as_ref().unwrap();
+        let usage = server.usage();
+        assert!(usage["a"].logical_bytes >= m0.bytes_read + m0.bytes_saved);
     }
 
     #[test]

@@ -1,0 +1,266 @@
+//! Property-based and fault-injection tests for the progressive
+//! byte-group ladder:
+//!
+//! * the per-step error bound is monotonically non-increasing;
+//! * a cold ladder's per-step `bytes_read` sum to exactly the one-shot
+//!   query's `bytes_read` (same extents, different order);
+//! * the final step is byte-identical to the one-shot answer in every
+//!   execution mode (serial, threaded, cached, fused);
+//! * a damaged non-base part extent caps the ladder through the
+//!   degradation path, matching the one-shot degraded query's report
+//!   and result bit for bit.
+
+use mloc::prelude::*;
+use mloc::{MlocStore, QueryResult};
+use mloc_pfs::{BitFlip, CostModel, FaultBackend, FaultPlan, MemBackend, StorageBackend};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const DS: &str = "pg";
+const VAR: &str = "v";
+
+/// Deterministic field with enough value spread to fill every bin.
+fn field(seed: u64, n: usize) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            // Mixed magnitudes and signs, no zeros or subnormals.
+            let m = 1.0 + (state % 1_000_000) as f64 / 1_000_000.0;
+            let e = ((state >> 20) % 13) as i32 - 6;
+            let s = if state & (1 << 40) != 0 { -1.0 } else { 1.0 };
+            s * m * 2f64.powi(e)
+        })
+        .collect()
+}
+
+fn build_into(be: &impl StorageBackend, seed: u64) -> Vec<f64> {
+    let values = field(seed, 32 * 32);
+    let config = MlocConfig::builder(vec![32, 32])
+        .chunk_shape(vec![8, 8])
+        .num_bins(4)
+        .build();
+    build_variable(be, DS, VAR, &values, &config).unwrap();
+    values
+}
+
+fn bits(res: &QueryResult) -> (Vec<u64>, Vec<u64>) {
+    (
+        res.positions().to_vec(),
+        res.values()
+            .map(|vs| vs.iter().map(|v| v.to_bits()).collect())
+            .unwrap_or_default(),
+    )
+}
+
+/// A family of value-bearing queries with varied constraint shapes.
+fn query_strategy() -> impl Strategy<Value = Query> {
+    let regions = (0usize..16, 1usize..17, 0usize..16, 1usize..17).prop_map(|(a, la, b, lb)| {
+        Region::new(vec![
+            (a * 2, (a * 2 + la * 2).min(32)),
+            (b * 2, (b * 2 + lb * 2).min(32)),
+        ])
+    });
+    let levels = 1u8..=7;
+    (0u8..3, regions, 0.0f64..32.0, levels).prop_map(|(kind, region, pivot, lvl)| {
+        let plod = PlodLevel::new(lvl).unwrap();
+        let lo = -pivot - 0.5;
+        let hi = pivot + 0.25;
+        match kind {
+            0 => Query::values_in(region).with_plod(plod),
+            1 => Query::values_where(lo, hi).with_plod(plod),
+            _ => Query::values_where(lo, hi)
+                .with_region(region)
+                .with_plod(plod),
+        }
+    })
+}
+
+/// Run the ladder to completion, checking monotonicity along the way.
+/// Returns the total bytes read and the final result.
+fn drain(pq: &mut mloc::ProgressiveQuery<'_, '_>) -> u64 {
+    let mut total = pq.steps()[0].bytes_read;
+    let mut prev = f64::INFINITY;
+    for s in pq.steps() {
+        assert!(s.error_bound <= prev, "bound grew at step {}", s.step);
+        prev = s.error_bound;
+    }
+    while let Some(s) = pq.next_refinement().unwrap() {
+        assert!(
+            s.error_bound <= prev,
+            "bound grew at step {}: {} > {}",
+            s.step,
+            s.error_bound,
+            prev
+        );
+        prev = s.error_bound;
+        total += s.bytes_read;
+    }
+    total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Cold serial ladder: byte-sum parity with the one-shot query and
+    /// bit parity of the final answer; warm cached ladder: refinements
+    /// read nothing the one-shot warm-up didn't already cache.
+    #[test]
+    fn ladder_matches_one_shot(seed in 1u64..5_000, q in query_strategy()) {
+        let be = MemBackend::new();
+        build_into(&be, seed);
+        let store = MlocStore::open(&be, DS, VAR).unwrap();
+        let (oneshot, om) = store.query_with_metrics(&q).unwrap();
+        let want = bits(&oneshot);
+
+        let mut pq = store.query_progressive(&q).unwrap();
+        let total = drain(&mut pq);
+        prop_assert!(pq.is_done());
+        prop_assert_eq!(total, om.bytes_read, "cold ladder byte-sum parity");
+        prop_assert_eq!(pq.metrics().bytes_read, om.bytes_read);
+        prop_assert_eq!(bits(pq.result()), want.clone());
+        // The bound lands exactly on the query's target level.
+        let target_bound = if q.wants_values() {
+            mloc::plod::relative_error_bound(q.plod)
+        } else {
+            0.0
+        };
+        prop_assert_eq!(pq.current_error_bound(), target_bound);
+
+        // Warm ladder behind a shared cache: after a one-shot warm-up,
+        // refinement steps are served from the cache (data extents are
+        // cached per part, so only never-fetched bytes would be read).
+        let mut warm_store = MlocStore::open(&be, DS, VAR).unwrap();
+        warm_store.set_cache(Some(Arc::new(BlockCache::with_budget_mb(64))));
+        warm_store.query_serial(&q).unwrap();
+        let mut warm = warm_store.query_progressive(&q).unwrap();
+        drain(&mut warm);
+        prop_assert_eq!(bits(warm.result()), want);
+        let refine_read: u64 = warm.steps().iter().skip(1).map(|s| s.bytes_read).sum();
+        prop_assert_eq!(refine_read, 0, "warm refinements must be cache-served");
+    }
+
+    /// The final result is byte-identical across every execution mode.
+    #[test]
+    fn final_step_is_identical_in_every_exec_mode(seed in 1u64..5_000, q in query_strategy()) {
+        let be = MemBackend::new();
+        build_into(&be, seed);
+        let store = MlocStore::open(&be, DS, VAR).unwrap();
+        let want = bits(&store.query_serial(&q).unwrap());
+
+        // Serial, threaded(4), cached, fused — one ladder each.
+        let run = |store: &MlocStore<'_>, exec: &ParallelExecutor| {
+            let mut pq = exec.progressive(store, &q).unwrap();
+            pq.run_to_completion().unwrap();
+            bits(pq.result())
+        };
+        prop_assert_eq!(run(&store, &ParallelExecutor::serial()), want.clone());
+        let threaded = ParallelExecutor::new(4, CostModel::default()).threaded(true);
+        prop_assert_eq!(run(&store, &threaded), want.clone());
+        let mut cached = MlocStore::open(&be, DS, VAR).unwrap();
+        cached.set_cache(Some(Arc::new(BlockCache::with_budget_mb(64))));
+        prop_assert_eq!(run(&cached, &ParallelExecutor::serial()), want.clone());
+        // Run the cached ladder again: now every refinement is warm.
+        prop_assert_eq!(run(&cached, &ParallelExecutor::serial()), want.clone());
+        let mut fused = MlocStore::open(&be, DS, VAR).unwrap();
+        fused.set_fusion(Some(Arc::new(ExtentFuser::with_window_mb(16))));
+        prop_assert_eq!(run(&fused, &ParallelExecutor::serial()), want);
+    }
+}
+
+/// Locate the on-disk extent of one non-base PLoD part unit.
+fn part_extent(be: &impl StorageBackend, bin: usize, part: usize) -> (String, u64, u32) {
+    let idx_file = format!("{DS}/{VAR}/bin{bin:04}.idx");
+    let raw = be.read(&idx_file, 0, be.len(&idx_file).unwrap()).unwrap();
+    let idx = mloc::index::BinIndex::decode_header(&raw).unwrap();
+    let chunk = idx
+        .chunks
+        .iter()
+        .find(|c| c.count > 0)
+        .expect("bin has a populated chunk");
+    let loc = chunk.units[part];
+    assert!(loc.clen > 0, "part unit is empty");
+    (format!("{DS}/{VAR}/bin{bin:04}.dat"), loc.offset, loc.clen)
+}
+
+/// A damaged non-base part extent caps the ladder instead of failing
+/// it, and the capped ladder matches the one-shot degraded query:
+/// same events, same (nonzero) error bound, bit-identical values.
+#[test]
+fn faulted_extent_caps_ladder_matching_one_shot_degradation() {
+    let clean = MemBackend::new();
+    build_into(&clean, 77);
+    const PART: usize = 4;
+    let (dat, off, clen) = part_extent(&clean, 1, PART);
+
+    let mut plan = FaultPlan::none();
+    plan.flips.push(BitFlip {
+        file: dat,
+        // Mid-extent: inside the checksummed payload.
+        offset: off + u64::from(clen) / 2,
+        mask: 0x20,
+    });
+    let fb = FaultBackend::new(MemBackend::new(), plan);
+    build_into(&fb, 77);
+
+    let store = MlocStore::open(&fb, DS, VAR).unwrap();
+    let q = Query::values_where(f64::MIN, f64::MAX);
+    let (oneshot, om) = store.query_with_metrics(&q).unwrap();
+    assert!(om.degradation.is_degraded(), "flip missed the read path");
+    assert!(om.degradation.error_bound() > 0.0);
+
+    let mut pq = store.query_progressive(&q).unwrap();
+    pq.run_to_completion().unwrap();
+    let m = pq.metrics();
+    assert!(m.degradation.is_degraded());
+    // The ladder reports the same loss with the same bound...
+    assert_eq!(m.degradation.error_bound(), om.degradation.error_bound());
+    assert_eq!(
+        m.degradation.affected_points(),
+        om.degradation.affected_points()
+    );
+    let key = |e: &mloc::DegradationEvent| (e.bin, e.chunk_rank, e.lost_part);
+    let mut got: Vec<_> = m.degradation.events.iter().map(key).collect();
+    let mut want: Vec<_> = om.degradation.events.iter().map(key).collect();
+    got.sort_unstable();
+    want.sort_unstable();
+    assert_eq!(got, want);
+    // ...the final bound is frozen at the capped level, not 0...
+    assert_eq!(pq.current_error_bound(), om.degradation.error_bound());
+    assert!(pq.steps().last().unwrap().capped_units > 0);
+    // ...and the degraded values are bit-identical to the one-shot
+    // degraded assembly.
+    assert_eq!(bits(pq.result()), bits(&oneshot));
+}
+
+/// With degradation disallowed, the ladder fails on the damaged
+/// refinement exactly like the one-shot query does.
+#[test]
+fn faulted_extent_fails_ladder_when_degradation_disallowed() {
+    let clean = MemBackend::new();
+    build_into(&clean, 78);
+    let (dat, off, clen) = part_extent(&clean, 0, 3);
+    let mut plan = FaultPlan::none();
+    plan.flips.push(BitFlip {
+        file: dat,
+        offset: off + u64::from(clen) / 2,
+        mask: 0x02,
+    });
+    let fb = FaultBackend::new(MemBackend::new(), plan);
+    build_into(&fb, 78);
+
+    let store = MlocStore::open(&fb, DS, VAR).unwrap();
+    let q = Query::values_where(f64::MIN, f64::MAX);
+    let exec = ParallelExecutor::serial().allow_degraded(false);
+    assert!(exec.execute(&store, &q).is_err());
+    // The ladder surfaces the same corruption — at step 0 if the
+    // damaged extent falls inside a coalesced base read, otherwise on
+    // the refinement pull that needs it.
+    let err = match exec.progressive(&store, &q) {
+        Err(e) => e,
+        Ok(mut pq) => pq.run_to_completion().unwrap_err(),
+    };
+    assert!(err.is_corruption(), "wrong error class: {err}");
+}
