@@ -150,6 +150,16 @@ USAGE:
                  (recompute every extent checksum; exits nonzero and
                   pinpoints file/offset/extent of any damage)
   mloc variables --dir DIR --name DS
+
+STORAGE (all commands):
+  --shards N      spread the dataset over DIR/shard0..N-1 behind a
+                  name-hash router; every command (create, import,
+                  query, verify, ...) must use the same --shards the
+                  dataset was created with. Default 1 keeps the flat
+                  single-directory layout.
+  --pool-depth D  service read batches with D concurrent workers per
+                  directory (io_uring-style submission pool) instead
+                  of the sequential cached backend.
 "
     .to_string()
 }

@@ -5,7 +5,10 @@ use mloc::dataset::Dataset;
 use mloc::exec::ParallelExecutor;
 use mloc::prelude::*;
 use mloc_compress::CodecKind;
-use mloc_pfs::{CostModel, DirBackend, FaultBackend, FaultPlan, RetryPolicy, StorageBackend};
+use mloc_pfs::{
+    CostModel, DirBackend, FaultBackend, FaultPlan, PoolDirBackend, RetryPolicy, ShardRouter,
+    StorageBackend,
+};
 use mloc_serve::{QueryServer, ServeConfig, SessionSpec, TenantBudget};
 
 /// Dispatch a parsed invocation.
@@ -27,9 +30,44 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
     }
 }
 
-fn backend(args: &Args) -> Result<DirBackend, String> {
+/// Open the storage backend selected by the flags.
+///
+/// Default is a flat [`DirBackend`] rooted at `--dir` (files live
+/// directly in that directory, as every prior release laid them out).
+/// `--pool-depth D` swaps in a [`PoolDirBackend`] that services read
+/// batches with D concurrent workers over a shared handle cache.
+/// `--shards N` (N > 1) spreads the namespace over `DIR/shard0..N-1`
+/// behind a [`ShardRouter`]; a dataset must be read back with the same
+/// `--shards` it was created with.
+fn backend(args: &Args) -> Result<Box<dyn StorageBackend>, String> {
     let dir = args.required("dir")?;
-    DirBackend::new(dir).map_err(|e| format!("cannot open {dir}: {e}"))
+    let shards = args.optional_parsed::<usize>("shards")?.unwrap_or(1);
+    if shards == 0 {
+        return Err("--shards must be at least 1".into());
+    }
+    let depth = args.optional_parsed::<usize>("pool-depth")?;
+    if depth == Some(0) {
+        return Err("--pool-depth must be at least 1".into());
+    }
+    let open = |root: String| -> Result<Box<dyn StorageBackend>, String> {
+        Ok(match depth {
+            Some(d) => Box::new(
+                PoolDirBackend::new(&root, d).map_err(|e| format!("cannot open {root}: {e}"))?,
+            ),
+            None => {
+                Box::new(DirBackend::new(&root).map_err(|e| format!("cannot open {root}: {e}"))?)
+            }
+        })
+    };
+    if shards == 1 {
+        return open(dir.to_string());
+    }
+    let shard_backends = (0..shards)
+        .map(|s| open(format!("{dir}/shard{s}")))
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(Box::new(
+        ShardRouter::new(shard_backends).map_err(|e| e.to_string())?,
+    ))
 }
 
 fn parse_codec(s: &str) -> Result<CodecKind, String> {
@@ -221,13 +259,15 @@ fn variables(args: &Args) -> Result<(), String> {
 /// Per-variable, per-bin storage breakdown from the on-disk file sizes.
 fn stats(args: &Args) -> Result<(), String> {
     let be = backend(args)?;
-    let ds = Dataset::open(&be, args.required("name")?).map_err(|e| e.to_string())?;
+    let name = args.required("name")?;
+    let ds = Dataset::open(&be, name).map_err(|e| e.to_string())?;
     let vars = match args.optional("var") {
         Some(v) => vec![v.to_string()],
         None => ds.variables().map_err(|e| e.to_string())?,
     };
     let json = args.optional("json").is_some_and(|v| v == "true");
     let mut json_vars = Vec::new();
+    let nshards = be.shard_count();
     for var in &vars {
         let store = ds.store(var).map_err(|e| e.to_string())?;
         let num_bins = store.config().num_bins;
@@ -295,8 +335,40 @@ fn stats(args: &Args) -> Result<(), String> {
             }
         }
     }
+    // Per-shard breakdown: where this dataset's bytes physically live.
+    // Only meaningful (and only printed) under --shards N > 1.
+    let mut json_shards = String::new();
+    if nshards > 1 {
+        let prefix = format!("{name}/");
+        let mut files = vec![0u64; nshards];
+        let mut bytes = vec![0u64; nshards];
+        for f in be.list() {
+            if !f.starts_with(&prefix) {
+                continue;
+            }
+            let s = be.shard_of(&f);
+            files[s] += 1;
+            bytes[s] += be.len(&f).map_err(|e| e.to_string())?;
+        }
+        if json {
+            let rows: Vec<String> = (0..nshards)
+                .map(|s| {
+                    format!(
+                        "{{\"shard\":{s},\"files\":{},\"bytes\":{}}}",
+                        files[s], bytes[s]
+                    )
+                })
+                .collect();
+            json_shards = format!(",\"shards\":[{}]", rows.join(","));
+        } else {
+            println!("shards ({nshards}):");
+            for s in 0..nshards {
+                println!("  shard {s}: {} file(s), {} bytes", files[s], bytes[s]);
+            }
+        }
+    }
     if json {
-        println!("{{\"variables\":[{}]}}", json_vars.join(","));
+        println!("{{\"variables\":[{}]{json_shards}}}", json_vars.join(","));
     }
     Ok(())
 }
@@ -367,7 +439,7 @@ fn query(args: &Args) -> Result<(), String> {
             let plan = FaultPlan::parse(&text).map_err(|e| format!("{path}: {e}"))?;
             Box::new(FaultBackend::new(backend(args)?, plan))
         }
-        None => Box::new(backend(args)?),
+        None => backend(args)?,
     };
     let be = be.as_ref();
     let retry = args
@@ -1137,6 +1209,55 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("vc= and/or sc="), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sharded_and_pooled_lifecycle() {
+        let dir = tmpdir("shard");
+        // Same lifecycle as the flat layout, spread over 2 shard
+        // directories with a 2-deep submission pool per shard.
+        let base = [
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--shards",
+            "2",
+            "--pool-depth",
+            "2",
+        ];
+        let with = |head: &[&str], tail: &[&str]| -> Vec<String> {
+            head.iter()
+                .chain(base.iter())
+                .chain(tail.iter())
+                .map(|s| s.to_string())
+                .collect()
+        };
+        let runv = |v: Vec<String>| dispatch(&Args::parse(v.into_iter()).unwrap());
+        runv(with(
+            &["create"],
+            &["--shape", "32,32", "--chunk", "8,8", "--bins", "4"],
+        ))
+        .unwrap();
+        runv(with(&["import"], &["--var", "t", "--synthetic", "gts"])).unwrap();
+        runv(with(&["query"], &["--var", "t", "--vc", "0:1000"])).unwrap();
+        runv(with(&["verify"], &[])).unwrap();
+        runv(with(&["stats"], &[])).unwrap();
+        runv(with(&["stats"], &["--json", "true"])).unwrap();
+        // Files live under shard subdirectories, not the root.
+        let shard_files = |s: usize| {
+            std::fs::read_dir(format!("{dir}/shard{s}"))
+                .map(|d| d.count())
+                .unwrap_or(0)
+        };
+        assert!(shard_files(0) > 0 && shard_files(1) > 0);
+        // Opening without --shards must fail: the flat root holds no
+        // catalog, exactly as if the files were lost.
+        assert!(run(&["info", "--dir", &dir, "--name", "ds"]).is_err());
+        // Bad knob values are rejected up front.
+        assert!(run(&["info", "--dir", &dir, "--name", "ds", "--shards", "0"]).is_err());
+        assert!(run(&["info", "--dir", &dir, "--name", "ds", "--pool-depth", "0"]).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

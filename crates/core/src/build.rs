@@ -451,12 +451,21 @@ impl<'a> StreamingBuilder<'a> {
                     crate::integrity::ExtentFooter::compute(&data, &data_extents).encode();
                 let index_footer =
                     crate::integrity::ExtentFooter::compute(&index_data, &index_extents).encode();
+                // Each payload is made durable before its footer is
+                // appended: the trailer doubles as the file's commit
+                // marker, so it must never reach the device ahead of
+                // the bytes it vouches for. A second sync pins the
+                // footer itself before the build's meta commit.
                 backend.create(&data_name)?;
                 backend.append(&data_name, &data)?;
+                backend.sync(&data_name)?;
                 backend.append(&data_name, &data_footer)?;
+                backend.sync(&data_name)?;
                 backend.create(&index_name)?;
                 backend.append(&index_name, &index_data)?;
+                backend.sync(&index_name)?;
                 backend.append(&index_name, &index_footer)?;
+                backend.sync(&index_name)?;
                 Ok((
                     (data.len() + data_footer.len()) as u64,
                     (index_data.len() + index_footer.len()) as u64,
@@ -490,6 +499,10 @@ impl<'a> StreamingBuilder<'a> {
         let meta_name = fileorg::meta_file(&self.dataset, &self.var);
         self.backend.create(&meta_name)?;
         self.backend.append(&meta_name, &meta_data)?;
+        // Meta is fsynced last — after every bin file above has been
+        // synced — so a crash can never leave a durable commit marker
+        // pointing at non-durable extents.
+        self.backend.sync(&meta_name)?;
 
         let build_seconds = self.start.elapsed().as_secs_f64();
         // The registry holds the encode workers' per-unit histogram

@@ -194,7 +194,7 @@ impl ParallelExecutor {
         let assignment = column_order(&unit_bins, self.nranks);
         let cache_stats_before = profiled.then(|| store.cache().map(|c| c.stats()));
 
-        let run_rank = |rank: usize| -> Result<(RankOutput, Vec<ReadOp>, Profile)> {
+        let run_rank = |rank: usize| -> Result<(RankOutput, Vec<ReadOp>, Vec<u64>, Profile)> {
             let my_units: Vec<WorkUnit> = assignment.per_rank[rank]
                 .iter()
                 .map(|&i| plan.units[i])
@@ -215,9 +215,10 @@ impl ParallelExecutor {
             obs.end();
             out.retries = io.retries();
             out.retry_wait_s = io.retry_wait_s();
-            Ok((out, io.into_trace(), obs.finish()))
+            let depths = io.batch_depths().to_vec();
+            Ok((out, io.into_trace(), depths, obs.finish()))
         };
-        type RankRes = Result<(RankOutput, Vec<ReadOp>, Profile)>;
+        type RankRes = Result<(RankOutput, Vec<ReadOp>, Vec<u64>, Profile)>;
         let rank_results: Vec<RankRes> = if self.threaded {
             spmd(self.nranks, |comm| run_rank(comm.rank()))
         } else {
@@ -226,6 +227,7 @@ impl ParallelExecutor {
 
         let mut outputs = Vec::with_capacity(self.nranks);
         let mut traces = Vec::with_capacity(self.nranks);
+        let mut batch_depths = Vec::new();
         let mut profile = Profile::default();
         if let Some(s) = plan_s {
             profile.record_path(&["plan"], s);
@@ -233,9 +235,10 @@ impl ParallelExecutor {
         // Rank order is the merge order in both executor modes — this
         // is what makes replay and threaded profiles identical.
         for r in rank_results {
-            let (out, trace, rank_profile) = r?;
+            let (out, trace, depths, rank_profile) = r?;
             outputs.push(out);
             traces.push(trace);
+            batch_depths.extend(depths);
             profile.merge_from(rank_profile);
         }
 
@@ -304,6 +307,25 @@ impl ParallelExecutor {
             profile.add_counter("plan.chunks", Label::None, plan.chunks_touched as u64);
             if metrics.retries > 0 {
                 profile.add_counter("pfs.retries", Label::None, metrics.retries);
+            }
+            // Submission-queue shape: how many batches went down and
+            // how deep each one was.
+            if !batch_depths.is_empty() {
+                profile.add_counter("io.batches", Label::None, batch_depths.len() as u64);
+                let h = profile.histogram_mut("io.batch_depth", Label::None);
+                for &d in &batch_depths {
+                    h.observe(d as f64);
+                }
+            }
+            // Per-shard PFS breakdown: attribute every traced op to the
+            // shard that owns its file (sharded backends only).
+            let backend = store.backend();
+            if backend.shard_count() > 1 {
+                for op in traces.iter().flatten().filter(|op| !op.cached) {
+                    let shard = backend.shard_of(&op.file) as u32;
+                    profile.add_counter("pfs.shard.reads", Label::Index(shard), 1);
+                    profile.add_counter("pfs.shard.bytes", Label::Index(shard), op.len);
+                }
             }
             if metrics.fused_reads > 0 {
                 profile.add_counter("fusion.reads", Label::None, metrics.fused_reads);

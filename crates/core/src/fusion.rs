@@ -37,7 +37,7 @@
 use crate::cache::ByteView;
 use crate::integrity::ExtentFooter;
 use crate::{MlocError, Result};
-use mloc_pfs::RankIo;
+use mloc_pfs::{RankIo, ReadRequest};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
@@ -185,6 +185,14 @@ enum SlotState {
     Failed,
 }
 
+/// Outcome of [`ExtentFuser::acquire`]: resolved from the window, wait
+/// on another session's flight, or lead the physical read yourself.
+enum Acquire {
+    Ready(FusedExtent),
+    Wait(Arc<Flight>, u64),
+    Lead(Arc<Flight>),
+}
+
 struct Extent {
     start: u64,
     end: u64,
@@ -306,6 +314,94 @@ impl ExtentFuser {
         self.verify_skips.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// First phase of a fused read: under one table lock, either
+    /// resolve `[start, end)` from the window (done/failed), pick up
+    /// the flight to wait on, or register this session as the leader.
+    /// Splitting acquisition from the physical read lets a session
+    /// acquire a whole window of runs, service every run it leads in
+    /// **one** submitted batch, publish, and only then wait on other
+    /// sessions' flights — leaders never wait before publishing, so
+    /// two sessions leading each other's runs cannot deadlock.
+    fn acquire(&self, file: &str, start: u64, end: u64) -> Acquire {
+        let mut st = lock(&self.state);
+        let found = st
+            .extents
+            .get(file)
+            .and_then(|v| v.iter().find(|e| e.start <= start && end <= e.end));
+        match found {
+            Some(e) => match &e.state {
+                SlotState::Done(buf) => {
+                    self.fused_reads.fetch_add(1, Ordering::Relaxed);
+                    self.fused_bytes.fetch_add(end - start, Ordering::Relaxed);
+                    Acquire::Ready(FusedExtent {
+                        buf: Some(Arc::clone(buf)),
+                        base: e.start,
+                        fused: true,
+                    })
+                }
+                SlotState::Failed => Acquire::Ready(FusedExtent {
+                    buf: None,
+                    base: start,
+                    fused: true,
+                }),
+                SlotState::InFlight(f) => Acquire::Wait(Arc::clone(f), e.start),
+            },
+            None => {
+                let flight = Flight::new();
+                let seq = st.seq;
+                st.seq += 1;
+                st.extents
+                    .entry(file.to_string())
+                    .or_default()
+                    .push(Extent {
+                        start,
+                        end,
+                        seq,
+                        state: SlotState::InFlight(Arc::clone(&flight)),
+                    });
+                Acquire::Lead(flight)
+            }
+        }
+    }
+
+    /// Leader's second phase: publish the read's outcome to waiters,
+    /// settle the table slot, and account the physical read.
+    fn finish_lead(
+        &self,
+        file: &str,
+        start: u64,
+        end: u64,
+        flight: &Arc<Flight>,
+        buf: &Option<Arc<Vec<u8>>>,
+    ) {
+        flight.publish(match buf {
+            Some(b) => FlightResult::Ready(Arc::clone(b)),
+            None => FlightResult::Failed,
+        });
+        self.settle(file, start, end, flight, buf);
+        match buf {
+            Some(b) => {
+                self.physical_reads.fetch_add(1, Ordering::Relaxed);
+                self.physical_bytes
+                    .fetch_add(b.len() as u64, Ordering::Relaxed);
+            }
+            None => {
+                self.failed_reads.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Waiter's second phase: block on the leader's flight and account
+    /// the fusion when it delivered bytes.
+    fn finish_wait(&self, flight: &Flight, start: u64, end: u64) -> Option<Arc<Vec<u8>>> {
+        let buf = flight.wait();
+        if buf.is_some() {
+            self.fused_reads.fetch_add(1, Ordering::Relaxed);
+            self.fused_bytes.fetch_add(end - start, Ordering::Relaxed);
+        }
+        buf
+    }
+
     /// Acquire `[start, end)` of `file`: fuse with an in-flight or
     /// completed read that contains the range, or become the leader
     /// and perform `read` (which should return `None` on failure after
@@ -315,67 +411,14 @@ impl ExtentFuser {
     where
         F: FnOnce() -> Option<Arc<Vec<u8>>>,
     {
-        enum Action {
-            Wait(Arc<Flight>, u64),
-            Lead(Arc<Flight>),
-        }
-        let action = {
-            let mut st = lock(&self.state);
-            let found = st
-                .extents
-                .get(file)
-                .and_then(|v| v.iter().find(|e| e.start <= start && end <= e.end));
-            match found {
-                Some(e) => match &e.state {
-                    SlotState::Done(buf) => {
-                        self.fused_reads.fetch_add(1, Ordering::Relaxed);
-                        self.fused_bytes.fetch_add(end - start, Ordering::Relaxed);
-                        return FusedExtent {
-                            buf: Some(Arc::clone(buf)),
-                            base: e.start,
-                            fused: true,
-                        };
-                    }
-                    SlotState::Failed => {
-                        return FusedExtent {
-                            buf: None,
-                            base: start,
-                            fused: true,
-                        };
-                    }
-                    SlotState::InFlight(f) => Action::Wait(Arc::clone(f), e.start),
-                },
-                None => {
-                    let flight = Flight::new();
-                    let seq = st.seq;
-                    st.seq += 1;
-                    st.extents
-                        .entry(file.to_string())
-                        .or_default()
-                        .push(Extent {
-                            start,
-                            end,
-                            seq,
-                            state: SlotState::InFlight(Arc::clone(&flight)),
-                        });
-                    Action::Lead(flight)
-                }
-            }
-        };
-        match action {
-            Action::Wait(flight, base) => {
-                let buf = flight.wait();
-                if buf.is_some() {
-                    self.fused_reads.fetch_add(1, Ordering::Relaxed);
-                    self.fused_bytes.fetch_add(end - start, Ordering::Relaxed);
-                }
-                FusedExtent {
-                    buf,
-                    base,
-                    fused: true,
-                }
-            }
-            Action::Lead(flight) => {
+        match self.acquire(file, start, end) {
+            Acquire::Ready(r) => r,
+            Acquire::Wait(flight, base) => FusedExtent {
+                buf: self.finish_wait(&flight, start, end),
+                base,
+                fused: true,
+            },
+            Acquire::Lead(flight) => {
                 let mut guard = FlightGuard {
                     flight: &flight,
                     armed: true,
@@ -383,21 +426,7 @@ impl ExtentFuser {
                 let buf = read();
                 guard.armed = false;
                 drop(guard);
-                flight.publish(match &buf {
-                    Some(b) => FlightResult::Ready(Arc::clone(b)),
-                    None => FlightResult::Failed,
-                });
-                self.settle(file, start, end, &flight, &buf);
-                match &buf {
-                    Some(b) => {
-                        self.physical_reads.fetch_add(1, Ordering::Relaxed);
-                        self.physical_bytes
-                            .fetch_add(b.len() as u64, Ordering::Relaxed);
-                    }
-                    None => {
-                        self.failed_reads.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
+                self.finish_lead(file, start, end, &flight, &buf);
                 FusedExtent {
                     buf,
                     base: start,
@@ -517,6 +546,11 @@ fn verify_run_want(
 /// skips the re-check, while a *failed* check is never shared — every
 /// session that touches a damaged extent fails on it. Callers decide
 /// per want whether a failure is fatal or degradable.
+/// A resolved run: its backing buffer (None if the read failed), the
+/// file offset the buffer starts at, and whether another session's
+/// in-flight read supplied it.
+type ResolvedRun = (Option<Arc<Vec<u8>>>, u64, bool);
+
 pub fn coalesced_read_results(
     io: &mut RankIo<'_>,
     file: &str,
@@ -531,27 +565,102 @@ pub fn coalesced_read_results(
             fused: false,
         })
         .collect();
-    for run in plan_runs(wants, COALESCE_GAP) {
-        let (buf, base, fused) = match fuser {
-            Some(fu) => {
-                let r = fu.read_extent(file, run.start, run.end, || {
-                    io.read(file, run.start, run.end - run.start)
-                        .ok()
-                        .map(Arc::new)
-                });
-                if r.fused && r.buf.is_some() {
-                    io.record_cached(file, run.start, run.end - run.start);
-                }
-                (r.buf, r.base, r.fused)
+    let runs = plan_runs(wants, COALESCE_GAP);
+    if runs.is_empty() {
+        return out;
+    }
+    // Resolve every run to (buffer, buffer base offset, fused): all
+    // physical reads of this window go down as submitted batches, not
+    // one blocking read per run.
+    let resolved: Vec<ResolvedRun> = match fuser {
+        None => {
+            let reqs: Vec<ReadRequest> = runs
+                .iter()
+                .map(|r| ReadRequest::new(file, r.start, r.end - r.start))
+                .collect();
+            runs.iter()
+                .zip(io.read_batch(&reqs))
+                .map(|(r, res)| (res.ok().map(Arc::new), r.start, false))
+                .collect()
+        }
+        Some(fu) => {
+            // Phase 1 — acquire every run: resolve from the window,
+            // note a flight to wait on, or become its leader.
+            enum Slot {
+                Ready(Option<Arc<Vec<u8>>>, u64, bool),
+                Wait(Arc<Flight>, u64),
             }
-            None => (
-                io.read(file, run.start, run.end - run.start)
-                    .ok()
-                    .map(Arc::new),
-                run.start,
-                false,
-            ),
-        };
+            let mut slots: Vec<Slot> = Vec::with_capacity(runs.len());
+            let mut led: Vec<(usize, Arc<Flight>)> = Vec::new();
+            for (k, run) in runs.iter().enumerate() {
+                match fu.acquire(file, run.start, run.end) {
+                    Acquire::Ready(r) => {
+                        if r.buf.is_some() {
+                            io.record_cached(file, run.start, run.end - run.start);
+                        }
+                        slots.push(Slot::Ready(r.buf, r.base, r.fused));
+                    }
+                    Acquire::Wait(flight, base) => slots.push(Slot::Wait(flight, base)),
+                    Acquire::Lead(flight) => {
+                        led.push((k, Arc::clone(&flight)));
+                        // Placeholder; overwritten in phase 2.
+                        slots.push(Slot::Ready(None, run.start, false));
+                    }
+                }
+            }
+            // Phase 2 — one submitted batch services every run this
+            // session leads; publish each outcome to its waiters. The
+            // guards publish Failed should the batch read unwind.
+            if !led.is_empty() {
+                let mut guards: Vec<FlightGuard> = led
+                    .iter()
+                    .map(|(_, f)| FlightGuard {
+                        flight: f,
+                        armed: true,
+                    })
+                    .collect();
+                let reqs: Vec<ReadRequest> = led
+                    .iter()
+                    .map(|&(k, _)| {
+                        ReadRequest::new(file, runs[k].start, runs[k].end - runs[k].start)
+                    })
+                    .collect();
+                let results = io.read_batch(&reqs);
+                for g in &mut guards {
+                    g.armed = false;
+                }
+                drop(guards);
+                for ((k, flight), res) in led.iter().zip(results) {
+                    let run = &runs[*k];
+                    let buf = res.ok().map(Arc::new);
+                    fu.finish_lead(file, run.start, run.end, flight, &buf);
+                    slots[*k] = Slot::Ready(buf, run.start, false);
+                }
+            }
+            // Phase 3 — only now block on other sessions' flights.
+            // Everything we lead is already published, so waiting
+            // cannot participate in a cycle.
+            slots
+                .into_iter()
+                .enumerate()
+                .map(|(k, slot)| match slot {
+                    Slot::Ready(buf, base, fused) => (buf, base, fused),
+                    Slot::Wait(flight, base) => {
+                        let run = &runs[k];
+                        let buf = fu.finish_wait(&flight, run.start, run.end);
+                        if buf.is_some() {
+                            io.record_cached(file, run.start, run.end - run.start);
+                        }
+                        (buf, base, true)
+                    }
+                })
+                .collect()
+        }
+    };
+    // Slice successful runs into per-want views; collect the wants of
+    // failed runs for one batched per-want fallback.
+    let mut fallback: Vec<usize> = Vec::new();
+    for (run, (buf, base, fused)) in runs.iter().zip(resolved) {
         match buf {
             Some(buf) => {
                 for &i in &run.wants {
@@ -569,23 +678,30 @@ pub fn coalesced_read_results(
                 // (retries exhausted): fall back to per-want reads so
                 // only the wants overlapping the damage fail — and so
                 // every fused session reaches the same per-want verdict.
-                for &i in &run.wants {
-                    let (off, len) = wants[i];
-                    out[i] = WantRead {
-                        res: match io.read(file, off, u64::from(len)) {
-                            Ok(b) => match footer {
-                                Some(f) => {
-                                    let view = ByteView::from(b);
-                                    f.verify(file, off, view.as_slice()).map(|()| view)
-                                }
-                                None => Ok(ByteView::from(b)),
-                            },
-                            Err(e) => Err(MlocError::from(e)),
-                        },
-                        fused: false,
-                    };
-                }
+                fallback.extend(run.wants.iter().copied());
             }
+        }
+    }
+    if !fallback.is_empty() {
+        let reqs: Vec<ReadRequest> = fallback
+            .iter()
+            .map(|&i| ReadRequest::new(file, wants[i].0, u64::from(wants[i].1)))
+            .collect();
+        for (&i, res) in fallback.iter().zip(io.read_batch(&reqs)) {
+            let (off, _len) = wants[i];
+            out[i] = WantRead {
+                res: match res {
+                    Ok(b) => match footer {
+                        Some(f) => {
+                            let view = ByteView::from(b);
+                            f.verify(file, off, view.as_slice()).map(|()| view)
+                        }
+                        None => Ok(ByteView::from(b)),
+                    },
+                    Err(e) => Err(MlocError::from(e)),
+                },
+                fused: false,
+            };
         }
     }
     out

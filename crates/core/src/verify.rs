@@ -12,8 +12,8 @@ use crate::fileorg;
 use crate::index::BinIndex;
 use crate::integrity::{ExtentFooter, TRAILER_LEN};
 use crate::{MlocError, Result};
-use mloc_pfs::StorageBackend;
-use std::collections::BTreeSet;
+use mloc_pfs::{PfsError, ReadRequest, StorageBackend};
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// One damaged (or unreadable) extent found by verification.
@@ -111,16 +111,49 @@ fn damage_from_error(file: &str, e: &MlocError) -> ExtentDamage {
     }
 }
 
-/// Read a whole file and check every footer extent, recording damage
+/// Batched whole-file fetch: size every file, then pull all readable
+/// ones down in **one** submitted batch, so a concurrent backend (pool
+/// or shard router) verifies a variable's files in parallel instead of
+/// draining them one blocking read at a time.
+struct FileBytes {
+    bytes: HashMap<String, std::result::Result<Vec<u8>, PfsError>>,
+}
+
+impl FileBytes {
+    fn fetch(backend: &dyn StorageBackend, files: &[String]) -> FileBytes {
+        let mut bytes = HashMap::new();
+        let mut reqs = Vec::new();
+        for f in files {
+            match backend.len(f) {
+                Ok(n) => reqs.push(ReadRequest::new(f.clone(), 0, n)),
+                Err(e) => {
+                    bytes.insert(f.clone(), Err(e));
+                }
+            }
+        }
+        for (req, res) in reqs.iter().zip(backend.read_batch(&reqs)) {
+            bytes.insert(req.file.clone(), res);
+        }
+        FileBytes { bytes }
+    }
+
+    fn take(&mut self, file: &str) -> std::result::Result<Vec<u8>, PfsError> {
+        self.bytes
+            .remove(file)
+            .unwrap_or_else(|| Err(PfsError::NotFound(file.to_string())))
+    }
+}
+
+/// Check every footer extent of one pre-fetched file, recording damage
 /// instead of stopping. Returns the raw bytes and parsed footer when
 /// the footer itself is intact (payload extents may still be bad).
 fn check_file(
-    backend: &dyn StorageBackend,
+    raw: std::result::Result<Vec<u8>, PfsError>,
     file: &str,
     report: &mut VerifyReport,
 ) -> Option<(Vec<u8>, ExtentFooter)> {
     report.files_checked += 1;
-    let raw = match backend.len(file).and_then(|n| backend.read(file, 0, n)) {
+    let raw = match raw {
         Ok(raw) => raw,
         Err(e) => {
             report.damage.push(ExtentDamage {
@@ -189,10 +222,6 @@ pub fn verify_variable(
 ) -> Result<VerifyReport> {
     let mut report = VerifyReport::default();
 
-    let meta_name = fileorg::meta_file(dataset, var);
-    check_file(backend, &meta_name, &mut report);
-    relabel(&mut report, &meta_name, |_| Some("meta".to_string()));
-
     // Enumerate bins from the directory listing rather than the meta
     // file, so a destroyed meta does not hide bin damage.
     let prefix = format!("{dataset}/{var}/bin");
@@ -210,12 +239,25 @@ pub fn verify_variable(
         }
     }
 
+    // Fetch every file of the variable in one submitted batch …
+    let meta_name = fileorg::meta_file(dataset, var);
+    let mut files = vec![meta_name.clone()];
+    for &bin in &bins {
+        files.push(fileorg::index_file(dataset, var, bin));
+        files.push(fileorg::data_file(dataset, var, bin));
+    }
+    let mut fetched = FileBytes::fetch(backend, &files);
+
+    // … then verify extents from the buffers.
+    check_file(fetched.take(&meta_name), &meta_name, &mut report);
+    relabel(&mut report, &meta_name, |_| Some("meta".to_string()));
+
     for bin in bins {
         let idx_file = fileorg::index_file(dataset, var, bin);
         let dat_file = fileorg::data_file(dataset, var, bin);
 
         let mut index: Option<BinIndex> = None;
-        if let Some((raw, footer)) = check_file(backend, &idx_file, &mut report) {
+        if let Some((raw, footer)) = check_file(fetched.take(&idx_file), &idx_file, &mut report) {
             // Best-effort header parse for location labels; extent 0 is
             // the header. Verification above already checked its CRC.
             if footer.num_extents() > 0 {
@@ -241,7 +283,7 @@ pub fn verify_variable(
             });
         }
 
-        check_file(backend, &dat_file, &mut report);
+        check_file(fetched.take(&dat_file), &dat_file, &mut report);
         if let Some(idx) = &index {
             relabel(&mut report, &dat_file, |off| {
                 for (r, e) in idx.chunks.iter().enumerate() {

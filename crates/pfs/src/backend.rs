@@ -3,6 +3,30 @@
 use crate::retry::RetryPolicy;
 use crate::PfsError;
 
+/// One entry of a submission batch: read `len` bytes of `file` at
+/// `offset`. Requests in a batch are independent — they may overlap,
+/// repeat, or target different files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadRequest {
+    /// File name.
+    pub file: String,
+    /// Byte offset of the read.
+    pub offset: u64,
+    /// Length of the read in bytes.
+    pub len: u64,
+}
+
+impl ReadRequest {
+    /// Build a request.
+    pub fn new(file: impl Into<String>, offset: u64, len: u64) -> Self {
+        ReadRequest {
+            file: file.into(),
+            offset,
+            len,
+        }
+    }
+}
+
 /// A flat namespace of byte files, shared by all ranks.
 ///
 /// MLOC only ever appends while building and reads while querying, so
@@ -18,6 +42,43 @@ pub trait StorageBackend: Send + Sync {
 
     /// Read `len` bytes at `offset`.
     fn read(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>, PfsError>;
+
+    /// Service a submission batch of reads, returning one result per
+    /// request **in submission order**. The default implementation is a
+    /// sequential loop over [`Self::read`], so simple and wrapping
+    /// backends (memory, simulator, fault injection) behave exactly as
+    /// if the caller had issued the reads one by one — same bytes, same
+    /// per-request error identity. Concurrent backends override this to
+    /// service the whole batch at once.
+    fn read_batch(&self, requests: &[ReadRequest]) -> Vec<Result<Vec<u8>, PfsError>> {
+        requests
+            .iter()
+            .map(|r| self.read(&r.file, r.offset, r.len))
+            .collect()
+    }
+
+    /// Flush a file's bytes to durable storage. Backends without a
+    /// durability boundary (memory, simulator) treat this as a no-op;
+    /// the directory backends fsync the handle. The build path calls
+    /// this to order extent data before its footer and the meta file
+    /// after everything else, extending the commit-marker discipline
+    /// down to the device.
+    fn sync(&self, _name: &str) -> Result<(), PfsError> {
+        Ok(())
+    }
+
+    /// How many independent shards this backend spreads files over.
+    /// Non-sharded backends report 1.
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    /// Which shard owns `name`. Always 0 for non-sharded backends;
+    /// a [`crate::ShardRouter`] reports its routing decision so
+    /// observability can attribute traffic per shard.
+    fn shard_of(&self, _name: &str) -> usize {
+        0
+    }
 
     /// Size of a file in bytes.
     fn len(&self, name: &str) -> Result<u64, PfsError>;
@@ -49,6 +110,47 @@ pub trait StorageBackend: Send + Sync {
     /// detect that case.
     fn total_bytes(&self) -> u64 {
         self.total_bytes_checked().0
+    }
+}
+
+/// Boxed backends delegate every method — including the ones with
+/// defaults — so a `Box<dyn StorageBackend>` behaves exactly like the
+/// backend it holds (batched reads stay batched, shard routing stays
+/// visible). This lets callers pick a backend at runtime and still
+/// wrap it in [`crate::FaultBackend`] or hand it to generic code.
+impl<T: StorageBackend + ?Sized> StorageBackend for Box<T> {
+    fn create(&self, name: &str) -> Result<(), PfsError> {
+        (**self).create(name)
+    }
+    fn append(&self, name: &str, data: &[u8]) -> Result<u64, PfsError> {
+        (**self).append(name, data)
+    }
+    fn read(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>, PfsError> {
+        (**self).read(name, offset, len)
+    }
+    fn read_batch(&self, requests: &[ReadRequest]) -> Vec<Result<Vec<u8>, PfsError>> {
+        (**self).read_batch(requests)
+    }
+    fn sync(&self, name: &str) -> Result<(), PfsError> {
+        (**self).sync(name)
+    }
+    fn shard_count(&self) -> usize {
+        (**self).shard_count()
+    }
+    fn shard_of(&self, name: &str) -> usize {
+        (**self).shard_of(name)
+    }
+    fn len(&self, name: &str) -> Result<u64, PfsError> {
+        (**self).len(name)
+    }
+    fn exists(&self, name: &str) -> bool {
+        (**self).exists(name)
+    }
+    fn list(&self) -> Vec<String> {
+        (**self).list()
+    }
+    fn total_bytes_checked(&self) -> (u64, usize) {
+        (**self).total_bytes_checked()
     }
 }
 
@@ -88,6 +190,7 @@ pub struct RankIo<'a> {
     retry: RetryPolicy,
     retries: u64,
     retry_wait_s: f64,
+    batch_depths: Vec<u64>,
 }
 
 impl<'a> RankIo<'a> {
@@ -104,6 +207,7 @@ impl<'a> RankIo<'a> {
             retry: policy,
             retries: 0,
             retry_wait_s: 0.0,
+            batch_depths: Vec::new(),
         }
     }
 
@@ -127,6 +231,48 @@ impl<'a> RankIo<'a> {
                 Err(e) => return Err(e),
             }
         }
+    }
+
+    /// Submit a batch of reads and return one result per request in
+    /// submission order. Each logical read is traced once (exactly as
+    /// [`Self::read`] would trace it); transient failures are retried
+    /// per the handle's [`RetryPolicy`] by re-submitting only the
+    /// still-failing requests as a smaller batch, with the same retry
+    /// and simulated-backoff accounting the sequential path performs.
+    pub fn read_batch(&mut self, requests: &[ReadRequest]) -> Vec<Result<Vec<u8>, PfsError>> {
+        for r in requests {
+            self.trace
+                .push(ReadOp::new(r.file.clone(), r.offset, r.len));
+        }
+        self.batch_depths.push(requests.len() as u64);
+        let mut out: Vec<Option<Result<Vec<u8>, PfsError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..requests.len()).collect();
+        let mut attempt = 1u32;
+        while !pending.is_empty() {
+            let sub: Vec<ReadRequest> = pending.iter().map(|&i| requests[i].clone()).collect();
+            let results = self.backend.read_batch(&sub);
+            debug_assert_eq!(results.len(), sub.len());
+            let mut still = Vec::new();
+            for (&slot, res) in pending.iter().zip(results) {
+                match res {
+                    Err(e) if e.is_transient() && self.retry.should_retry(attempt) => {
+                        still.push(slot);
+                    }
+                    other => out[slot] = Some(other),
+                }
+            }
+            if still.is_empty() {
+                break;
+            }
+            attempt += 1;
+            self.retries += still.len() as u64;
+            self.retry_wait_s += self.retry.backoff_s(attempt) * still.len() as f64;
+            pending = still;
+        }
+        out.into_iter()
+            .map(|o| o.expect("every batch slot resolved"))
+            .collect()
     }
 
     /// Record an extent that a cache satisfied without touching the
@@ -173,6 +319,13 @@ impl<'a> RankIo<'a> {
     /// faulty runs of the same query stay byte- and cost-identical.
     pub fn retry_wait_s(&self) -> f64 {
         self.retry_wait_s
+    }
+
+    /// Depths (request counts) of the batches submitted so far, in
+    /// submission order. Feeds the `io.batches` / `io.batch_depth`
+    /// observability counters without coupling this crate to obs.
+    pub fn batch_depths(&self) -> &[u64] {
+        &self.batch_depths
     }
 
     /// Consume the handle and return the recorded trace.
@@ -288,6 +441,73 @@ mod tests {
         plan.lost_files.push("gone".into());
         let fb = FaultBackend::new(be, plan);
         assert_eq!(fb.total_bytes_checked(), (10, 0));
+    }
+
+    #[test]
+    fn batch_matches_sequential_and_traces_once_per_request() {
+        let be = MemBackend::new();
+        be.append("f", &(0u8..=255).collect::<Vec<_>>()).unwrap();
+        let reqs = vec![
+            ReadRequest::new("f", 0, 4),
+            ReadRequest::new("f", 250, 6),
+            ReadRequest::new("f", 0, 4),     // duplicate
+            ReadRequest::new("f", 2, 6),     // overlap
+            ReadRequest::new("f", 200, 100), // out of range
+            ReadRequest::new("ghost", 0, 1), // missing
+        ];
+        let mut io = RankIo::new(&be);
+        let batch = io.read_batch(&reqs);
+        assert_eq!(batch.len(), 6);
+        assert_eq!(batch[0].as_ref().unwrap(), &vec![0, 1, 2, 3]);
+        assert_eq!(batch[2].as_ref().unwrap(), &vec![0, 1, 2, 3]);
+        assert!(matches!(batch[4], Err(PfsError::OutOfBounds { .. })));
+        assert!(matches!(batch[5], Err(PfsError::NotFound(_))));
+        assert_eq!(io.trace().len(), 6, "one trace entry per request");
+        assert_eq!(io.batch_depths(), &[6]);
+    }
+
+    #[test]
+    fn batch_retries_only_failing_requests_with_sequential_accounting() {
+        use crate::fault::{FaultBackend, FaultPlan};
+        let be = MemBackend::new();
+        be.append("f", &[5u8; 8192]).unwrap();
+        let plan = FaultPlan::transient(11, 0.5, 2);
+        let reqs: Vec<ReadRequest> = (0..16)
+            .map(|i| ReadRequest::new("f", i * 512, 64))
+            .collect();
+
+        // Sequential reference run.
+        let fb = FaultBackend::new(be, plan);
+        let mut seq = RankIo::with_retry(&fb, RetryPolicy::with_attempts(4));
+        let seq_res: Vec<_> = reqs
+            .iter()
+            .map(|r| seq.read(&r.file, r.offset, r.len).unwrap())
+            .collect();
+        let (seq_retries, seq_wait) = (seq.retries(), seq.retry_wait_s());
+        assert!(seq_retries > 0, "plan injected nothing");
+
+        // Batched run over a fresh fault schedule.
+        fb.reset_attempts();
+        let mut bat = RankIo::with_retry(&fb, RetryPolicy::with_attempts(4));
+        let bat_res = bat.read_batch(&reqs);
+        for (a, b) in seq_res.iter().zip(&bat_res) {
+            assert_eq!(a, b.as_ref().unwrap());
+        }
+        assert_eq!(bat.retries(), seq_retries);
+        assert!((bat.retry_wait_s() - seq_wait).abs() < 1e-12);
+        assert_eq!(bat.trace().len(), seq.trace().len());
+    }
+
+    #[test]
+    fn batch_gives_up_like_sequential_when_retries_exhausted() {
+        use crate::fault::{FaultBackend, FaultPlan};
+        let be = MemBackend::new();
+        be.append("f", &[1u8; 4096]).unwrap();
+        let fb = FaultBackend::new(be, FaultPlan::transient(11, 1.0, 3));
+        let mut io = RankIo::with_retry(&fb, RetryPolicy::with_attempts(2));
+        let res = io.read_batch(&[ReadRequest::new("f", 0, 1024)]);
+        assert!(res[0].as_ref().unwrap_err().is_transient());
+        assert_eq!(io.retries(), 1, "attempt budget of 2 = one retry");
     }
 
     #[test]

@@ -345,6 +345,25 @@ impl<B: StorageBackend> StorageBackend for FaultBackend<B> {
         self.inner.len(name)
     }
 
+    // read_batch deliberately stays on the default sequential loop:
+    // each request must consult the fault schedule through this
+    // wrapper's read() so per-op fault identity is preserved.
+
+    // Like append, sync is a write-side op: "lost" files model a dead
+    // OST on the *read* path, so a build that wrote the bytes may
+    // still flush them.
+    fn sync(&self, name: &str) -> Result<(), PfsError> {
+        self.inner.sync(name)
+    }
+
+    fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    fn shard_of(&self, name: &str) -> usize {
+        self.inner.shard_of(name)
+    }
+
     fn exists(&self, name: &str) -> bool {
         !self.is_lost(name) && self.inner.exists(name)
     }

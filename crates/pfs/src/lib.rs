@@ -45,14 +45,16 @@ pub mod fault;
 pub mod localdir;
 pub mod mem;
 pub mod retry;
+pub mod shard;
 pub mod sim;
 
-pub use backend::{RankIo, ReadOp, StorageBackend};
+pub use backend::{RankIo, ReadOp, ReadRequest, StorageBackend};
 pub use cost::CostModel;
 pub use fault::{BitFlip, FaultBackend, FaultPlan, FaultStats, TornAppend};
-pub use localdir::DirBackend;
+pub use localdir::{DirBackend, PoolDirBackend};
 pub use mem::MemBackend;
 pub use retry::RetryPolicy;
+pub use shard::{stable_name_hash, ShardRouter};
 pub use sim::{simulate_reads, RankIoBreakdown, SimReport};
 
 /// Errors from storage backends.

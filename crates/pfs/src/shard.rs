@@ -1,0 +1,244 @@
+//! Dataset sharding: one logical namespace spread over N independent
+//! backends.
+//!
+//! A [`ShardRouter`] owns a fixed set of shard backends (typically one
+//! [`crate::DirBackend`] or [`crate::PoolDirBackend`] per shard
+//! directory) and routes every file to exactly one shard by a stable
+//! hash of its name. Batches fan out per shard — each shard services
+//! its slice concurrently — and results are merged back in submission
+//! order, so callers cannot tell a sharded store from a flat one
+//! except by throughput. A lost shard behaves exactly like losing the
+//! files it owns: reads and `len` return [`PfsError::NotFound`], and
+//! `list` simply omits them, which is precisely how a lost file
+//! degrades today.
+
+use crate::backend::{ReadRequest, StorageBackend};
+use crate::PfsError;
+
+/// One shard's slice of a batch: the submission slots it owns plus the
+/// per-slot results, merged back in submission order.
+type ShardSlice = (Vec<usize>, Vec<Result<Vec<u8>, PfsError>>);
+
+/// Routes a flat file namespace over `N` shard backends by a stable
+/// name hash, fanning read batches out per shard.
+pub struct ShardRouter {
+    shards: Vec<Box<dyn StorageBackend>>,
+}
+
+impl ShardRouter {
+    /// Build a router over the given shard backends (at least one).
+    pub fn new(shards: Vec<Box<dyn StorageBackend>>) -> Result<Self, PfsError> {
+        if shards.is_empty() {
+            return Err(PfsError::Io(std::io::Error::other(
+                "shard router needs at least one shard",
+            )));
+        }
+        Ok(ShardRouter { shards })
+    }
+
+    /// Which shard owns `name`. Deterministic and stable across runs
+    /// and platforms (FNV-1a), so a dataset written sharded is always
+    /// read back from the same layout.
+    pub fn shard_for(&self, name: &str) -> usize {
+        (stable_name_hash(name) % self.shards.len() as u64) as usize
+    }
+
+    /// Borrow one shard backend (for per-shard inspection in tests
+    /// and stats).
+    pub fn shard(&self, i: usize) -> &dyn StorageBackend {
+        self.shards[i].as_ref()
+    }
+
+    fn owner(&self, name: &str) -> &dyn StorageBackend {
+        self.shards[self.shard_for(name)].as_ref()
+    }
+}
+
+/// FNV-1a over the file name: zero-dep, platform-stable, and
+/// independent of the fault-injection hash so fault schedules and
+/// shard layout never correlate.
+pub fn stable_name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl StorageBackend for ShardRouter {
+    fn create(&self, name: &str) -> Result<(), PfsError> {
+        self.owner(name).create(name)
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> Result<u64, PfsError> {
+        self.owner(name).append(name, data)
+    }
+
+    fn read(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>, PfsError> {
+        self.owner(name).read(name, offset, len)
+    }
+
+    fn read_batch(&self, requests: &[ReadRequest]) -> Vec<Result<Vec<u8>, PfsError>> {
+        // Partition the batch by owning shard, remembering each
+        // request's submission slot.
+        let mut per_shard: Vec<(Vec<usize>, Vec<ReadRequest>)> =
+            (0..self.shards.len()).map(|_| Default::default()).collect();
+        for (slot, req) in requests.iter().enumerate() {
+            let s = self.shard_for(&req.file);
+            per_shard[s].0.push(slot);
+            per_shard[s].1.push(req.clone());
+        }
+        let mut out: Vec<Option<Result<Vec<u8>, PfsError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        // Fan out: one thread per shard with work, each draining its
+        // slice through that shard's own (possibly concurrent)
+        // read_batch. Results merge back by submission slot.
+        let mut merged: Vec<ShardSlice> = std::thread::scope(|scope| {
+            let handles: Vec<_> = per_shard
+                .into_iter()
+                .zip(self.shards.iter())
+                .filter(|((slots, _), _)| !slots.is_empty())
+                .map(|((slots, reqs), shard)| scope.spawn(move || (slots, shard.read_batch(&reqs))))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard read thread panicked"))
+                .collect()
+        });
+        for (slots, results) in merged.drain(..) {
+            debug_assert_eq!(slots.len(), results.len());
+            for (slot, res) in slots.into_iter().zip(results) {
+                out[slot] = Some(res);
+            }
+        }
+        out.into_iter()
+            .map(|o| o.expect("every request routed to a shard"))
+            .collect()
+    }
+
+    fn len(&self, name: &str) -> Result<u64, PfsError> {
+        self.owner(name).len(name)
+    }
+
+    fn sync(&self, name: &str) -> Result<(), PfsError> {
+        self.owner(name).sync(name)
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        self.owner(name).exists(name)
+    }
+
+    fn list(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.shards.iter().flat_map(|s| s.list()).collect();
+        names.sort();
+        names
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, name: &str) -> usize {
+        self.shard_for(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemBackend;
+
+    fn router(n: usize) -> ShardRouter {
+        ShardRouter::new((0..n).map(|_| Box::new(MemBackend::new()) as _).collect()).unwrap()
+    }
+
+    #[test]
+    fn routes_every_file_to_exactly_one_shard() {
+        let r = router(4);
+        for i in 0..64 {
+            let name = format!("ds/var/bin{i:04}.dat");
+            r.append(&name, &[i as u8; 16]).unwrap();
+            let owner = r.shard_for(&name);
+            assert_eq!(r.shard_of(&name), owner);
+            // Exactly the owner holds the bytes.
+            for s in 0..4 {
+                assert_eq!(r.shard(s).exists(&name), s == owner);
+            }
+            assert_eq!(r.read(&name, 0, 16).unwrap(), vec![i as u8; 16]);
+        }
+        assert_eq!(r.shard_count(), 4);
+        assert_eq!(r.list().len(), 64);
+        // All shards got some share (64 files over 4 shards).
+        for s in 0..4 {
+            assert!(!r.shard(s).list().is_empty(), "shard {s} owns nothing");
+        }
+    }
+
+    #[test]
+    fn batch_merges_in_submission_order() {
+        let r = router(3);
+        for i in 0..12 {
+            r.append(&format!("f{i}"), &[i as u8; 32]).unwrap();
+        }
+        let reqs: Vec<ReadRequest> = (0..12)
+            .rev()
+            .map(|i| ReadRequest::new(format!("f{i}"), 4, 8))
+            .collect();
+        let results = r.read_batch(&reqs);
+        for (req, res) in reqs.iter().zip(&results) {
+            let i: u8 = req.file[1..].parse().unwrap();
+            assert_eq!(res.as_ref().unwrap(), &vec![i; 8]);
+        }
+    }
+
+    #[test]
+    fn lost_shard_degrades_like_lost_files() {
+        use crate::fault::{FaultBackend, FaultPlan};
+        // Shard 1 of 2 "dies": every file it owns is lost.
+        let mut dead = FaultPlan::none();
+        dead.lost_files.push("".to_string()); // matches every name
+        let shards: Vec<Box<dyn StorageBackend>> = vec![
+            Box::new(MemBackend::new()),
+            Box::new(FaultBackend::new(MemBackend::new(), dead)),
+        ];
+        let r = ShardRouter::new(shards).unwrap();
+        let mut live = 0;
+        let mut lost = 0;
+        for i in 0..32 {
+            let name = format!("g{i}");
+            let on_dead = r.shard_for(&name) == 1;
+            // Writes to the dead shard still land (loss is a read-side
+            // fault here), but every read-side op sees NotFound.
+            r.append(&name, &[1, 2, 3, 4]).unwrap();
+            if on_dead {
+                lost += 1;
+                assert!(matches!(r.read(&name, 0, 4), Err(PfsError::NotFound(_))));
+                assert!(matches!(r.len(&name), Err(PfsError::NotFound(_))));
+                assert!(!r.exists(&name));
+            } else {
+                live += 1;
+                assert_eq!(r.read(&name, 0, 4).unwrap(), vec![1, 2, 3, 4]);
+            }
+        }
+        assert!(live > 0 && lost > 0);
+        assert_eq!(r.list().len(), live);
+        // Batches keep per-request identity: lost-shard slots fail,
+        // live slots return bytes.
+        let reqs: Vec<ReadRequest> = (0..32)
+            .map(|i| ReadRequest::new(format!("g{i}"), 0, 4))
+            .collect();
+        for (req, res) in reqs.iter().zip(r.read_batch(&reqs)) {
+            if r.shard_for(&req.file) == 1 {
+                assert!(matches!(res, Err(PfsError::NotFound(_))));
+            } else {
+                assert_eq!(res.unwrap(), vec![1, 2, 3, 4]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_router_rejected() {
+        assert!(ShardRouter::new(Vec::new()).is_err());
+    }
+}

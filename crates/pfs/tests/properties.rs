@@ -1,7 +1,14 @@
 //! Property-based tests for the PFS simulator: causality, monotonicity
-//! and conservation invariants that must hold for any trace.
+//! and conservation invariants that must hold for any trace — plus the
+//! batched-read and shard-routing contracts that must hold for any
+//! request list on any backend.
 
-use mloc_pfs::{simulate_reads, CostModel, ReadOp};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mloc_pfs::{
+    simulate_reads, CostModel, DirBackend, MemBackend, PfsError, PoolDirBackend, ReadOp,
+    ReadRequest, ShardRouter, StorageBackend,
+};
 use proptest::prelude::*;
 
 fn op_strategy() -> impl Strategy<Value = ReadOp> {
@@ -91,5 +98,183 @@ proptest! {
             .sum();
         prop_assert!(rep.total_seeks <= segments);
         prop_assert!(nonempty_ops == 0 || rep.total_seeks >= 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Batched reads and shard routing
+// ---------------------------------------------------------------------
+
+static PROP_DIR_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// A throwaway directory for one proptest case, removed on drop.
+struct TempRoot(std::path::PathBuf);
+
+impl TempRoot {
+    fn new() -> Self {
+        let p = std::env::temp_dir().join(format!(
+            "mloc-pfs-prop-{}-{}",
+            std::process::id(),
+            PROP_DIR_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&p);
+        TempRoot(p)
+    }
+}
+
+impl Drop for TempRoot {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// Arbitrary file contents over a small name pool (duplicates append).
+fn file_set_strategy() -> impl Strategy<Value = Vec<(String, Vec<u8>)>> {
+    proptest::collection::vec(
+        (0u8..4, proptest::collection::vec(any::<u8>(), 1..160)),
+        1..5,
+    )
+    .prop_map(|files| {
+        files
+            .into_iter()
+            .map(|(i, bytes)| (format!("p{i}"), bytes))
+            .collect()
+    })
+}
+
+/// Arbitrary request lists: overlapping, duplicate, zero-length,
+/// out-of-range offsets/lengths, and reads of files that don't exist.
+fn request_list_strategy() -> impl Strategy<Value = Vec<ReadRequest>> {
+    proptest::collection::vec(
+        (0u8..6, 0u64..260, 0u64..260)
+            .prop_map(|(f, offset, len)| ReadRequest::new(format!("p{f}"), offset, len)),
+        0..24,
+    )
+}
+
+/// Ok bytes must match exactly; errors must agree on identity (which
+/// variant, which file) even when the payloads aren't comparable.
+fn normalize(res: &Result<Vec<u8>, PfsError>) -> String {
+    match res {
+        Ok(bytes) => format!("ok:{bytes:?}"),
+        Err(e) => format!("err:{e}"),
+    }
+}
+
+/// Every backend world the suite guarantees batch/sequential parity
+/// for, populated with the same files.
+fn make_worlds(
+    root: &TempRoot,
+    files: &[(String, Vec<u8>)],
+) -> Vec<(&'static str, Box<dyn StorageBackend>)> {
+    let dir = root.0.join("d");
+    let worlds: Vec<(&'static str, Box<dyn StorageBackend>)> = vec![
+        ("mem", Box::new(MemBackend::new())),
+        ("dir", Box::new(DirBackend::new(root.0.join("c")).unwrap())),
+        (
+            "dir-uncached",
+            Box::new(DirBackend::uncached(root.0.join("u")).unwrap()),
+        ),
+        ("pool", Box::new(PoolDirBackend::new(&dir, 3).unwrap())),
+        (
+            "shard-mem",
+            Box::new(
+                ShardRouter::new((0..3).map(|_| Box::new(MemBackend::new()) as _).collect())
+                    .unwrap(),
+            ),
+        ),
+        (
+            "shard-dir",
+            Box::new(
+                ShardRouter::new(
+                    (0..2)
+                        .map(|s| {
+                            Box::new(DirBackend::new(root.0.join(format!("s{s}"))).unwrap()) as _
+                        })
+                        .collect(),
+                )
+                .unwrap(),
+            ),
+        ),
+    ];
+    for (_, be) in &worlds {
+        for (name, bytes) in files {
+            be.append(name, bytes).unwrap();
+        }
+    }
+    worlds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `read_batch` must be observationally identical to a sequential
+    /// loop of `read` on every backend, for any request list.
+    #[test]
+    fn read_batch_matches_sequential_loop(
+        files in file_set_strategy(),
+        reqs in request_list_strategy(),
+    ) {
+        let root = TempRoot::new();
+        for (tag, be) in make_worlds(&root, &files) {
+            let batch = be.read_batch(&reqs);
+            prop_assert_eq!(batch.len(), reqs.len(), "{}: wrong batch arity", tag);
+            for (i, (req, got)) in reqs.iter().zip(&batch).enumerate() {
+                let want = be.read(&req.file, req.offset, req.len);
+                prop_assert_eq!(
+                    normalize(got),
+                    normalize(&want),
+                    "{}: slot {} ({:?}@{}+{}) diverged",
+                    tag, i, &req.file, req.offset, req.len
+                );
+            }
+        }
+    }
+
+    /// Shard routing round-trips every file to exactly one owner, and
+    /// batches through the router preserve submission order.
+    #[test]
+    fn shard_routing_round_trips_every_file(
+        names in proptest::collection::vec(
+            proptest::collection::vec(0u8..26, 1..10)
+                .prop_map(|cs| cs.into_iter().map(|c| (b'a' + c) as char).collect::<String>()),
+            1..20,
+        ),
+        nshards in 1usize..5,
+    ) {
+        let router = ShardRouter::new(
+            (0..nshards).map(|_| Box::new(MemBackend::new()) as _).collect(),
+        ).unwrap();
+        let mut unique: Vec<String> = names;
+        unique.sort();
+        unique.dedup();
+        for name in &unique {
+            let payload = name.as_bytes();
+            router.append(name, payload).unwrap();
+            let owner = router.shard_of(name);
+            prop_assert!(owner < nshards);
+            for s in 0..nshards {
+                prop_assert_eq!(
+                    router.shard(s).exists(name),
+                    s == owner,
+                    "{} landed on the wrong shard", name
+                );
+            }
+            prop_assert_eq!(
+                router.read(name, 0, payload.len() as u64).unwrap(),
+                payload.to_vec()
+            );
+        }
+        // One batch over all files, reversed: slot order is submission
+        // order, not shard order.
+        let reqs: Vec<ReadRequest> = unique
+            .iter()
+            .rev()
+            .map(|n| ReadRequest::new(n.clone(), 0, n.len() as u64))
+            .collect();
+        for (req, res) in reqs.iter().zip(router.read_batch(&reqs)) {
+            prop_assert_eq!(res.unwrap(), req.file.as_bytes().to_vec());
+        }
+        prop_assert_eq!(router.list(), unique);
     }
 }

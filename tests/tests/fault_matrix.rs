@@ -8,15 +8,71 @@
 //!   the query fails with extent context, or completes gracefully
 //!   degraded with the loss reported. Never silently wrong.
 //! * `verify` pinpoints the damaged extents offline.
+//!
+//! Every scenario runs in **two worlds**: the in-memory backend and
+//! the real directory backend. The fault injector hashes logical file
+//! names, so the schedules are identical in both — any divergence is a
+//! real-backend bug, not a test artifact.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use mloc::prelude::*;
 use mloc::{verify_variable, MlocError, MlocStore, QueryMetrics, QueryResult};
 use mloc_datagen::gts_like_2d;
-use mloc_pfs::{CostModel, FaultBackend, FaultPlan, MemBackend, RetryPolicy, StorageBackend};
+use mloc_pfs::{
+    CostModel, DirBackend, FaultBackend, FaultPlan, MemBackend, RetryPolicy, StorageBackend,
+};
 use mloc_serve::{QueryServer, ServeConfig, ServeError, SessionSpec};
 
 const DS: &str = "fm";
 const VAR: &str = "v";
+
+/// A factory of fresh, empty backends for one scenario world.
+type Fresh<'a> = &'a dyn Fn() -> Box<dyn StorageBackend>;
+
+/// On-disk world: every `fresh()` is a new subdirectory so scenarios
+/// never see each other's files, exactly like a new `MemBackend`.
+struct DirWorld {
+    root: std::path::PathBuf,
+    next: AtomicUsize,
+}
+
+static WORLD_ID: AtomicUsize = AtomicUsize::new(0);
+
+impl DirWorld {
+    fn new() -> Self {
+        let root = std::env::temp_dir().join(format!(
+            "mloc-fault-matrix-{}-{}",
+            std::process::id(),
+            WORLD_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        DirWorld {
+            root,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    fn fresh(&self) -> Box<dyn StorageBackend> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        Box::new(DirBackend::new(self.root.join(format!("w{i}"))).unwrap())
+    }
+}
+
+impl Drop for DirWorld {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+/// Run one scenario body against the memory world and the real
+/// directory world.
+fn for_both_worlds(body: impl Fn(Fresh)) {
+    body(&|| Box::new(MemBackend::new()));
+    let world = DirWorld::new();
+    body(&|| world.fresh());
+}
 
 fn build_into(be: &impl StorageBackend) -> Vec<f64> {
     let field = gts_like_2d(64, 64, 17);
@@ -96,9 +152,8 @@ fn assert_not_silently_wrong(
     }
 }
 
-#[test]
-fn transient_faults_with_retry_are_byte_identical() {
-    let clean = MemBackend::new();
+fn transient_faults_with_retry_are_byte_identical_in(fresh: Fresh) {
+    let clean = fresh();
     build_into(&clean);
     let clean_store = MlocStore::open(&clean, DS, VAR).unwrap();
     let q = full_values_query();
@@ -107,7 +162,7 @@ fn transient_faults_with_retry_are_byte_identical() {
 
     let mut saw_retries = false;
     for seed in [1u64, 7, 23] {
-        let fb = FaultBackend::new(MemBackend::new(), FaultPlan::transient(seed, 0.4, 3));
+        let fb = FaultBackend::new(fresh(), FaultPlan::transient(seed, 0.4, 3));
         build_into(&fb); // builds only append; transient faults hit reads
         let store = open_retrying(&fb).unwrap();
         let exec = ParallelExecutor::serial().with_retry(RetryPolicy::with_attempts(5));
@@ -143,8 +198,12 @@ fn transient_faults_with_retry_are_byte_identical() {
 }
 
 #[test]
-fn bit_flip_matrix_is_detected_or_reported_never_silent() {
-    let clean = MemBackend::new();
+fn transient_faults_with_retry_are_byte_identical() {
+    for_both_worlds(transient_faults_with_retry_are_byte_identical_in);
+}
+
+fn bit_flip_matrix_is_detected_or_reported_never_silent_in(fresh: Fresh) {
+    let clean = fresh();
     build_into(&clean);
     let q = full_values_query();
     let baseline = MlocStore::open(&clean, DS, VAR)
@@ -168,7 +227,7 @@ fn bit_flip_matrix_is_detected_or_reported_never_silent() {
                 offset,
                 mask: 0x40,
             });
-            let fb = FaultBackend::new(MemBackend::new(), plan);
+            let fb = FaultBackend::new(fresh(), plan);
             build_into(&fb);
             let tag = format!("{file}@{offset}");
             let store = MlocStore::open(&fb, DS, VAR).unwrap();
@@ -200,8 +259,12 @@ fn bit_flip_matrix_is_detected_or_reported_never_silent() {
 }
 
 #[test]
-fn verify_pinpoints_injected_flips() {
-    let clean = MemBackend::new();
+fn bit_flip_matrix_is_detected_or_reported_never_silent() {
+    for_both_worlds(bit_flip_matrix_is_detected_or_reported_never_silent_in);
+}
+
+fn verify_pinpoints_injected_flips_in(fresh: Fresh) {
+    let clean = fresh();
     build_into(&clean);
     for file in clean.list() {
         if !(file.ends_with(".dat") || file.ends_with(".idx") || file.ends_with("meta")) {
@@ -216,7 +279,7 @@ fn verify_pinpoints_injected_flips() {
             offset,
             mask: 0x08,
         });
-        let fb = FaultBackend::new(MemBackend::new(), plan);
+        let fb = FaultBackend::new(fresh(), plan);
         build_into(&fb);
         let report = verify_variable(&fb, DS, VAR).unwrap();
         assert!(!report.is_clean(), "{file}: flip not detected");
@@ -232,11 +295,15 @@ fn verify_pinpoints_injected_flips() {
 }
 
 #[test]
-fn flipped_summary_extent_is_detected_and_pinpointed() {
+fn verify_pinpoints_injected_flips() {
+    for_both_worlds(verify_pinpoints_injected_flips_in);
+}
+
+fn flipped_summary_extent_is_detected_and_pinpointed_in(fresh: Fresh) {
     // The v2 chunk-summary section steers which bitmaps a query even
     // reads, so damage to it must fail queries loudly and be mapped by
     // offline verification — never silently drop or add chunks.
-    let clean = MemBackend::new();
+    let clean = fresh();
     build_into(&clean);
     let file = "fm/v/bin0002.idx".to_string();
     let raw = clean.read(&file, 0, clean.len(&file).unwrap()).unwrap();
@@ -250,7 +317,7 @@ fn flipped_summary_extent_is_detected_and_pinpointed() {
         offset,
         mask: 0x10,
     });
-    let fb = FaultBackend::new(MemBackend::new(), plan);
+    let fb = FaultBackend::new(fresh(), plan);
     build_into(&fb);
 
     // Every query through that bin fails with the extent named.
@@ -283,15 +350,19 @@ fn flipped_summary_extent_is_detected_and_pinpointed() {
 }
 
 #[test]
-fn lost_files_fail_loudly_but_index_queries_survive_data_loss() {
-    let clean = MemBackend::new();
+fn flipped_summary_extent_is_detected_and_pinpointed() {
+    for_both_worlds(flipped_summary_extent_is_detected_and_pinpointed_in);
+}
+
+fn lost_files_fail_loudly_but_index_queries_survive_data_loss_in(fresh: Fresh) {
+    let clean = fresh();
     let values = build_into(&clean);
 
     // Lose one bin's data file: a values query must fail (the base
     // byte group is gone — not degradable)...
     let mut plan = FaultPlan::none();
     plan.lost_files.push("bin0002.dat".to_string());
-    let fb = FaultBackend::new(MemBackend::new(), plan);
+    let fb = FaultBackend::new(fresh(), plan);
     build_into(&fb);
     let store = MlocStore::open(&fb, DS, VAR).unwrap();
     assert!(store.query_serial(&full_values_query()).is_err());
@@ -304,7 +375,7 @@ fn lost_files_fail_loudly_but_index_queries_survive_data_loss() {
     // Lose an index file: everything touching that bin fails.
     let mut plan = FaultPlan::none();
     plan.lost_files.push("bin0001.idx".to_string());
-    let fb = FaultBackend::new(MemBackend::new(), plan);
+    let fb = FaultBackend::new(fresh(), plan);
     build_into(&fb);
     let store = MlocStore::open(&fb, DS, VAR).unwrap();
     assert!(store.query_serial(&full_values_query()).is_err());
@@ -314,7 +385,11 @@ fn lost_files_fail_loudly_but_index_queries_survive_data_loss() {
 }
 
 #[test]
-fn torn_meta_write_is_an_incomplete_build() {
+fn lost_files_fail_loudly_but_index_queries_survive_data_loss() {
+    for_both_worlds(lost_files_fail_loudly_but_index_queries_survive_data_loss_in);
+}
+
+fn torn_meta_write_is_an_incomplete_build_in(fresh: Fresh) {
     // Crash mid-meta-write: the footer trailer (the commit marker,
     // written last) never lands, so the variable must refuse to open.
     let mut plan = FaultPlan::none();
@@ -322,7 +397,7 @@ fn torn_meta_write_is_an_incomplete_build() {
         file: "meta".to_string(),
         keep: 40,
     });
-    let fb = FaultBackend::new(MemBackend::new(), plan);
+    let fb = FaultBackend::new(fresh(), plan);
     let field = gts_like_2d(64, 64, 17);
     let config = MlocConfig::builder(vec![64, 64])
         .chunk_shape(vec![16, 16])
@@ -337,14 +412,18 @@ fn torn_meta_write_is_an_incomplete_build() {
     }
 }
 
+#[test]
+fn torn_meta_write_is_an_incomplete_build() {
+    for_both_worlds(torn_meta_write_is_an_incomplete_build_in);
+}
+
 /// A fused read that hits a transient fault is retried by the leading
 /// session *once on behalf of all waiters*: the summed retry count of
 /// K identical fused sessions equals the retry count of a single
 /// session running alone under the same fault schedule — and every
 /// session's answer is byte-identical to the fault-free baseline.
-#[test]
-fn fused_transient_retries_happen_once_for_all_waiters() {
-    let clean = MemBackend::new();
+fn fused_transient_retries_happen_once_for_all_waiters_in(fresh: Fresh) {
+    let clean = fresh();
     build_into(&clean);
     let q = full_values_query();
     let want = fingerprint(
@@ -354,7 +433,7 @@ fn fused_transient_retries_happen_once_for_all_waiters() {
             .unwrap(),
     );
 
-    let fb = FaultBackend::new(MemBackend::new(), FaultPlan::transient(7, 0.4, 3));
+    let fb = FaultBackend::new(fresh(), FaultPlan::transient(7, 0.4, 3));
     build_into(&fb);
 
     // Reference: one session alone. The open is burned in separately
@@ -403,18 +482,22 @@ fn fused_transient_retries_happen_once_for_all_waiters() {
     assert!(stats.fused_reads > 0, "sessions never fused: {stats:?}");
 }
 
+#[test]
+fn fused_transient_retries_happen_once_for_all_waiters() {
+    for_both_worlds(fused_transient_retries_happen_once_for_all_waiters_in);
+}
+
 /// A fused read that hits *permanent* corruption fails every waiting
 /// session with the corrupt-extent context — no session may see a
 /// silent success just because another session led the read.
-#[test]
-fn fused_corruption_fails_every_waiting_session() {
+fn fused_corruption_fails_every_waiting_session_in(fresh: Fresh) {
     let mut plan = FaultPlan::none();
     plan.flips.push(mloc_pfs::BitFlip {
         file: "bin0002.dat".to_string(),
         offset: 4,
         mask: 0x20,
     });
-    let fb = FaultBackend::new(MemBackend::new(), plan);
+    let fb = FaultBackend::new(fresh(), plan);
     build_into(&fb);
 
     let config = ServeConfig {
@@ -454,7 +537,11 @@ fn fused_corruption_fails_every_waiting_session() {
 }
 
 #[test]
-fn base_part_corruption_carries_context_in_all_modes() {
+fn fused_corruption_fails_every_waiting_session() {
+    for_both_worlds(fused_corruption_fails_every_waiting_session_in);
+}
+
+fn base_part_corruption_carries_context_in_all_modes_in(fresh: Fresh) {
     // Flip the first data extent (a base byte group): every execution
     // mode must fail with the file and offset, never panic or degrade.
     let mut plan = FaultPlan::none();
@@ -463,7 +550,7 @@ fn base_part_corruption_carries_context_in_all_modes() {
         offset: 4,
         mask: 0x20,
     });
-    let fb = FaultBackend::new(MemBackend::new(), plan);
+    let fb = FaultBackend::new(fresh(), plan);
     build_into(&fb);
     let q = full_values_query();
     let cache = std::sync::Arc::new(BlockCache::with_budget_mb(64));
@@ -496,4 +583,9 @@ fn base_part_corruption_carries_context_in_all_modes() {
             }
         }
     }
+}
+
+#[test]
+fn base_part_corruption_carries_context_in_all_modes() {
+    for_both_worlds(base_part_corruption_carries_context_in_all_modes_in);
 }
