@@ -14,16 +14,27 @@
 //!   positional reads, a bounded worker pool draining the whole batch.
 //! * **sharded** — a `ShardRouter` over two `PoolDirBackend` shard
 //!   directories, fanning the same batch out per shard.
+//! * **degraded** — the same router with replication factor 2 after
+//!   one shard directory is wiped: every read masked by the surviving
+//!   replica, read-repair refilling the lost shard inline.
+//! * **hedged** — the replicated router with a zero-threshold latency
+//!   hedge, racing both replicas on every batch.
 //!
 //! Checked, mirroring the acceptance bar:
 //!
-//! 1. **Byte identity** — all three backends return bit-identical
-//!    bytes for every request in the list.
+//! 1. **Byte identity** — every backend (including degraded and
+//!    hedged) returns bit-identical bytes for every request.
 //! 2. **Open accounting** — the sequential backend opens once per
 //!    read; the pool opens once per *file* (deterministic counters the
 //!    CI baseline pins).
 //! 3. **Throughput** — batched wall time is strictly below sequential
 //!    wall time on the cold multi-extent workload.
+//! 4. **Repair accounting** — with one shard of two wiped under R = 2,
+//!    `read_repairs` equals exactly the requests whose primary copy
+//!    died, write-back runs once per degraded file, and a second
+//!    drain needs zero masking (the shard was refilled). Deterministic
+//!    counters, pinned by the CI baseline; the degraded/hedged wall
+//!    times stay advisory.
 //!
 //! Run with: `cargo run --release -p mloc-bench --bin io_bench`
 //! (`--scale large` for a 512² field, `--queries N` for the pass
@@ -216,6 +227,84 @@ fn main() {
          on the multi-extent cold workload"
     );
 
+    // 4. Degraded group: the same dataset under replication factor 2,
+    // then one shard directory wiped. The first drain is served
+    // entirely (for dead-primary files) by the surviving replica —
+    // byte-identical, with `read_repairs` accounting for exactly the
+    // masked requests and write-back refilling the wiped shard so a
+    // second drain masks nothing.
+    let mk_replicated = || {
+        ShardRouter::replicated(
+            (0..SHARDS)
+                .map(|s| {
+                    Box::new(PoolDirBackend::new(root.join(format!("r2s{s}")), POOL_DEPTH).unwrap())
+                        as Box<dyn StorageBackend>
+                })
+                .collect(),
+            2,
+        )
+        .unwrap()
+    };
+    build_into(&mk_replicated(), side, args.seed);
+    std::fs::remove_dir_all(root.join("r2s0")).unwrap();
+    let degraded = mk_replicated();
+    let degraded_requests = reqs
+        .iter()
+        .filter(|r| degraded.shard_of(&r.file) == 0)
+        .count() as u64;
+    let degraded_files = files.iter().filter(|f| degraded.shard_of(f) == 0).count() as u64;
+    let t = Instant::now();
+    let first_drain = degraded.read_batch(&reqs);
+    let degraded_wall = t.elapsed().as_secs_f64();
+    assert_eq!(
+        fingerprint(&first_drain),
+        want,
+        "degraded bytes diverged from flat"
+    );
+    let read_repairs = degraded.read_repair_count();
+    let writebacks = degraded.writeback_count();
+    assert_eq!(
+        read_repairs, degraded_requests,
+        "read-repair must account for exactly the dead-primary requests"
+    );
+    assert_eq!(
+        writebacks, degraded_files,
+        "write-back must run once per degraded file"
+    );
+    let t = Instant::now();
+    assert_eq!(
+        fingerprint(&degraded.read_batch(&reqs)),
+        want,
+        "healed bytes diverged from flat"
+    );
+    let healed_wall = t.elapsed().as_secs_f64();
+    assert_eq!(
+        degraded.read_repair_count(),
+        read_repairs,
+        "second drain must need zero masking: the shard was refilled"
+    );
+    note(&format!(
+        "degraded R=2: {degraded_requests} masked requests over {degraded_files} files, \
+         {writebacks} write-backs; drain {degraded_wall:.4}s degraded, {healed_wall:.4}s healed"
+    ));
+
+    // 5. Hedged group: zero threshold fires the hedge on every batch;
+    // both replicas race and bytes must not change. Wall time is
+    // advisory (it measures thread scheduling, not layout).
+    let hedged = mk_replicated().with_hedge(0.0);
+    let hedged_wall = best_of(&mut || {
+        black_box(hedged.read_batch(&reqs));
+    });
+    assert_eq!(
+        fingerprint(&hedged.read_batch(&reqs)),
+        want,
+        "hedged bytes diverged from flat"
+    );
+    let hedged_batches = hedged.hedged_batch_count();
+    note(&format!(
+        "hedged R=2 (threshold 0): wall x{passes} {hedged_wall:.4}s, {hedged_batches} hedged batches"
+    ));
+
     let json = format!(
         "{{\n  \"bench\": \"io\",\n  \"shape\": [{side}, {side}],\n  \
          \"passes\": {passes},\n  \"pool_depth\": {POOL_DEPTH},\n  \
@@ -225,7 +314,15 @@ fn main() {
          \"sequential_wall_seconds\": {seq_wall:.6},\n  \
          \"batched_wall_seconds\": {batched_wall:.6},\n  \
          \"sharded_wall_seconds\": {sharded_wall:.6},\n  \
-         \"batched_speedup\": {speedup:.3}\n}}\n",
+         \"batched_speedup\": {speedup:.3},\n  \
+         \"degraded_requests\": {degraded_requests},\n  \
+         \"degraded_files\": {degraded_files},\n  \
+         \"read_repairs\": {read_repairs},\n  \
+         \"writebacks\": {writebacks},\n  \
+         \"degraded_wall_seconds\": {degraded_wall:.6},\n  \
+         \"healed_wall_seconds\": {healed_wall:.6},\n  \
+         \"hedged_wall_seconds\": {hedged_wall:.6},\n  \
+         \"hedged_batches\": {hedged_batches}\n}}\n",
         reqs.len(),
         files.len(),
     );

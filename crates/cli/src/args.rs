@@ -108,6 +108,14 @@ USAGE:
                  (--raw FILE | --synthetic gts|s3d [--seed S])
                  [--build-threads N]   (0 = one per core; output is
                                         byte-identical for any N)
+                 [--crash-plan FILE]  (deterministic write-path crash
+                                       injection; directives:
+                                       crash_at=N (die at write op N),
+                                       torn_keep=K (tear that op's
+                                       append after K bytes),
+                                       dropsync SUBSTR (matching
+                                       fsyncs lie); recover with
+                                       `mloc repair`)
                  [--profile table|json]
   mloc info      --dir DIR --name DS
   mloc stats     --dir DIR --name DS [--var NAME] [--json true]
@@ -149,6 +157,16 @@ USAGE:
   mloc verify    --dir DIR --name DS [--var NAME] [--json true]
                  (recompute every extent checksum; exits nonzero and
                   pinpoints file/offset/extent of any damage)
+  mloc fsck      --dir DIR --name DS [--json true]
+                 (classify every file after a crash — committed, torn,
+                  missing, orphaned — against the catalog and the
+                  footer commit markers; exits nonzero when repair is
+                  needed)
+  mloc repair    --dir DIR --name DS [--json true]
+                 (restore torn/missing files from replica copies, roll
+                  back uncommitted builds, reattach complete variables
+                  the crash left out of the catalog; exits nonzero
+                  only when damage is unrepairable)
   mloc variables --dir DIR --name DS
 
 STORAGE (all commands):
@@ -160,6 +178,18 @@ STORAGE (all commands):
   --pool-depth D  service read batches with D concurrent workers per
                   directory (io_uring-style submission pool) instead
                   of the sequential cached backend.
+  --replicas R    keep R copies of every file, on R distinct shards
+                  (requires --shards >= R). Reads fall through to the
+                  next replica on error and write the healthy copy
+                  back; `mloc repair` restores torn files from
+                  replicas. Use the same --replicas for every command
+                  on the dataset.
+  --hedge-ms T    hedge straggling read batches after T milliseconds:
+                  under --shards with --replicas >= 2 the unfinished
+                  shard slices are re-submitted to the next replica;
+                  under --pool-depth the unfinished chunks are
+                  re-queued on the pool. Results are byte-identical
+                  either way; only latency changes.
 "
     .to_string()
 }

@@ -6,8 +6,8 @@ use mloc::exec::ParallelExecutor;
 use mloc::prelude::*;
 use mloc_compress::CodecKind;
 use mloc_pfs::{
-    CostModel, DirBackend, FaultBackend, FaultPlan, PoolDirBackend, RetryPolicy, ShardRouter,
-    StorageBackend,
+    CostModel, CrashBackend, CrashPlan, DirBackend, FaultBackend, FaultPlan, PoolDirBackend,
+    RetryPolicy, ShardRouter, StorageBackend,
 };
 use mloc_serve::{QueryServer, ServeConfig, SessionSpec, TenantBudget};
 
@@ -22,6 +22,8 @@ pub fn dispatch(args: &Args) -> Result<(), String> {
         "query" => query(args),
         "serve" => serve(args),
         "verify" => verify(args),
+        "fsck" => fsck(args),
+        "repair" => repair(args),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -49,11 +51,39 @@ fn backend(args: &Args) -> Result<Box<dyn StorageBackend>, String> {
     if depth == Some(0) {
         return Err("--pool-depth must be at least 1".into());
     }
+    let replicas = args.optional_parsed::<usize>("replicas")?.unwrap_or(1);
+    if replicas == 0 {
+        return Err("--replicas must be at least 1".into());
+    }
+    if replicas > shards {
+        return Err(format!(
+            "--replicas {replicas} needs at least that many shards (--shards {shards})"
+        ));
+    }
+    let hedge_s = match args.optional_parsed::<f64>("hedge-ms")? {
+        Some(ms) if !(ms >= 0.0 && ms.is_finite()) => {
+            return Err("--hedge-ms must be a non-negative number".into())
+        }
+        Some(ms) => Some(ms / 1000.0),
+        None => None,
+    };
+    if hedge_s.is_some() && shards == 1 && depth.is_none() {
+        return Err("--hedge-ms needs --shards > 1 or --pool-depth".into());
+    }
+    // Under a shard router the hedge re-submits whole shard slices to
+    // the next replica, so it lives in the router; in a flat layout it
+    // lives in the pool backend.
+    let pool_hedge = if shards == 1 { hedge_s } else { None };
     let open = |root: String| -> Result<Box<dyn StorageBackend>, String> {
         Ok(match depth {
-            Some(d) => Box::new(
-                PoolDirBackend::new(&root, d).map_err(|e| format!("cannot open {root}: {e}"))?,
-            ),
+            Some(d) => {
+                let mut pool = PoolDirBackend::new(&root, d)
+                    .map_err(|e| format!("cannot open {root}: {e}"))?;
+                if let Some(t) = pool_hedge {
+                    pool = pool.with_hedge(t);
+                }
+                Box::new(pool)
+            }
             None => {
                 Box::new(DirBackend::new(&root).map_err(|e| format!("cannot open {root}: {e}"))?)
             }
@@ -65,9 +95,12 @@ fn backend(args: &Args) -> Result<Box<dyn StorageBackend>, String> {
     let shard_backends = (0..shards)
         .map(|s| open(format!("{dir}/shard{s}")))
         .collect::<Result<Vec<_>, String>>()?;
-    Ok(Box::new(
-        ShardRouter::new(shard_backends).map_err(|e| e.to_string())?,
-    ))
+    let mut router =
+        ShardRouter::replicated(shard_backends, replicas).map_err(|e| e.to_string())?;
+    if let Some(t) = hedge_s {
+        router = router.with_hedge(t);
+    }
+    Ok(Box::new(router))
 }
 
 fn parse_codec(s: &str) -> Result<CodecKind, String> {
@@ -190,8 +223,31 @@ fn load_values(args: &Args, shape: &[usize]) -> Result<Vec<f64>, String> {
 }
 
 fn import(args: &Args) -> Result<(), String> {
+    // An optional crash plan wraps the backend in the deterministic
+    // crash injector: writes buffer in a volatile overlay (the "page
+    // cache") until fsynced, and at write op N the process "dies" —
+    // unflushed state is discarded and the import fails. `mloc fsck`
+    // then classifies the debris and `mloc repair` rolls it back.
+    if let Some(path) = args.optional("crash-plan") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let plan = CrashPlan::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+        let be = CrashBackend::new(backend(args)?, plan);
+        let result = import_into(&be, args);
+        if be.crashed() {
+            return Err(format!(
+                "simulated crash after {} write op(s); durable state only — run \
+                 `mloc fsck` / `mloc repair` to recover",
+                be.write_ops()
+            ));
+        }
+        return result;
+    }
     let be = backend(args)?;
-    let mut ds = Dataset::open(&be, args.required("name")?).map_err(|e| e.to_string())?;
+    import_into(&be, args)
+}
+
+fn import_into(be: &dyn StorageBackend, args: &Args) -> Result<(), String> {
+    let mut ds = Dataset::open(be, args.required("name")?).map_err(|e| e.to_string())?;
     if let Some(threads) = args.optional_parsed::<usize>("build-threads")? {
         ds.set_build_threads(threads);
     }
@@ -350,20 +406,76 @@ fn stats(args: &Args) -> Result<(), String> {
             files[s] += 1;
             bytes[s] += be.len(&f).map_err(|e| e.to_string())?;
         }
+        // Replica health: for every file and replica slot, is the
+        // copy actually present on its shard? A shard that lost its
+        // disk shows missing copies here (until reads or `mloc
+        // repair` write them back).
+        let replicas = be.replica_count();
+        let mut expected = vec![0u64; nshards];
+        let mut present = vec![0u64; nshards];
+        if replicas > 1 {
+            for f in be.list() {
+                if !f.starts_with(&prefix) {
+                    continue;
+                }
+                for k in 0..replicas {
+                    let s = be.replica_shard_of(&f, k);
+                    expected[s] += 1;
+                    if be.len_replica(&f, k).is_ok() {
+                        present[s] += 1;
+                    }
+                }
+            }
+        }
         if json {
             let rows: Vec<String> = (0..nshards)
                 .map(|s| {
+                    let health = if replicas > 1 {
+                        format!(
+                            ",\"replica_copies_expected\":{},\"replica_copies_present\":{}",
+                            expected[s], present[s]
+                        )
+                    } else {
+                        String::new()
+                    };
                     format!(
-                        "{{\"shard\":{s},\"files\":{},\"bytes\":{}}}",
+                        "{{\"shard\":{s},\"files\":{},\"bytes\":{}{health}}}",
                         files[s], bytes[s]
                     )
                 })
                 .collect();
-            json_shards = format!(",\"shards\":[{}]", rows.join(","));
+            let repair_note = if replicas > 1 {
+                format!(
+                    ",\"replicas\":{replicas},\"read_repairs\":{}",
+                    be.read_repair_count()
+                )
+            } else {
+                String::new()
+            };
+            json_shards = format!(",\"shards\":[{}]{repair_note}", rows.join(","));
         } else {
             println!("shards ({nshards}):");
             for s in 0..nshards {
-                println!("  shard {s}: {} file(s), {} bytes", files[s], bytes[s]);
+                let health = if replicas > 1 {
+                    let state = if present[s] == expected[s] {
+                        "healthy".to_string()
+                    } else {
+                        format!("{} missing", expected[s] - present[s])
+                    };
+                    format!(" | replica copies {}/{} ({state})", present[s], expected[s])
+                } else {
+                    String::new()
+                };
+                println!(
+                    "  shard {s}: {} file(s), {} bytes{health}",
+                    files[s], bytes[s]
+                );
+            }
+            if replicas > 1 {
+                println!(
+                    "replication: {replicas} copies per file, {} read-repair(s) this session",
+                    be.read_repair_count()
+                );
             }
         }
     }
@@ -407,6 +519,89 @@ fn verify(args: &Args) -> Result<(), String> {
         Ok(())
     } else {
         Err(format!("{} damaged extent(s) found", report.damage.len()))
+    }
+}
+
+/// Classify every file of a dataset after a crash (read-only).
+fn fsck(args: &Args) -> Result<(), String> {
+    let be = backend(args)?;
+    let name = args.required("name")?;
+    let report = mloc::repair::fsck(&be, name).map_err(|e| e.to_string())?;
+    if args.optional("json").is_some_and(|v| v == "true") {
+        let findings: Vec<String> = report
+            .findings
+            .iter()
+            .map(|d| {
+                format!(
+                    "{{\"file\":{:?},\"class\":\"{}\",\"what\":{:?}}}",
+                    d.file, d.class, d.what
+                )
+            })
+            .collect();
+        let list = |v: &[String]| {
+            v.iter()
+                .map(|s| format!("{s:?}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        println!(
+            "{{\"clean\":{},\"catalog_ok\":{},\"files_checked\":{},\"committed\":[{}],\
+             \"unlisted\":[{}],\"uncommitted\":[{}],\"findings\":[{}]}}",
+            report.is_clean(),
+            report.catalog_ok,
+            report.files_checked,
+            list(&report.committed),
+            list(&report.unlisted),
+            list(&report.uncommitted),
+            findings.join(",")
+        );
+    } else {
+        println!("{}", report.to_string().trim_end());
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} finding(s); run `mloc repair` to recover",
+            report.findings.len() + report.unlisted.len()
+        ))
+    }
+}
+
+/// Repair a dataset in place: replica restore, rollback, catalog
+/// reconciliation. Fails only when damage is unrepairable.
+fn repair(args: &Args) -> Result<(), String> {
+    let be = backend(args)?;
+    let name = args.required("name")?;
+    let report = mloc::repair::repair(&be, name).map_err(|e| e.to_string())?;
+    if args.optional("json").is_some_and(|v| v == "true") {
+        let list = |v: &[String]| {
+            v.iter()
+                .map(|s| format!("{s:?}"))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        println!(
+            "{{\"healthy\":{},\"restored\":[{}],\"rolled_back\":[{}],\"removed_files\":{},\
+             \"reattached\":[{}],\"catalog_rewritten\":{},\"unrepairable\":[{}]}}",
+            report.is_healthy(),
+            list(&report.restored),
+            list(&report.rolled_back),
+            report.removed_files,
+            list(&report.reattached),
+            report.catalog_rewritten,
+            list(&report.unrepairable)
+        );
+    } else {
+        println!("{}", report.to_string().trim_end());
+    }
+    if report.is_healthy() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} file(s) unrepairable (no healthy replica)",
+            report.unrepairable.len()
+        ))
     }
 }
 
@@ -1258,6 +1453,122 @@ mod tests {
         // Bad knob values are rejected up front.
         assert!(run(&["info", "--dir", &dir, "--name", "ds", "--shards", "0"]).is_err());
         assert!(run(&["info", "--dir", &dir, "--name", "ds", "--pool-depth", "0"]).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_import_fsck_repair_cycle() {
+        let dir = tmpdir("crash");
+        run(&[
+            "create", "--dir", &dir, "--name", "ds", "--shape", "32,32", "--chunk", "8,8",
+            "--bins", "4",
+        ])
+        .unwrap();
+        // Count the write ops of a full import, then replay it with a
+        // crash in the middle of the bin files.
+        let plan = format!("{dir}/crash.txt");
+        std::fs::write(&plan, "crash_at = 7\n").unwrap();
+        let err = run(&[
+            "import",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--var",
+            "t",
+            "--synthetic",
+            "gts",
+            "--build-threads",
+            "1",
+            "--crash-plan",
+            &plan,
+        ])
+        .unwrap_err();
+        assert!(err.contains("simulated crash"), "{err}");
+
+        // fsck sees the debris and exits nonzero; repair rolls it
+        // back; the rerun import and fsck are then clean.
+        let err = run(&["fsck", "--dir", &dir, "--name", "ds"]).unwrap_err();
+        assert!(err.contains("repair"), "{err}");
+        run(&["repair", "--dir", &dir, "--name", "ds"]).unwrap();
+        run(&["fsck", "--dir", &dir, "--name", "ds", "--json", "true"]).unwrap();
+        run(&[
+            "import",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--var",
+            "t",
+            "--synthetic",
+            "gts",
+        ])
+        .unwrap();
+        run(&["verify", "--dir", &dir, "--name", "ds"]).unwrap();
+        run(&["repair", "--dir", &dir, "--name", "ds", "--json", "true"]).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn replicated_lifecycle_survives_a_lost_shard() {
+        let dir = tmpdir("replica");
+        let base = [
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--shards",
+            "2",
+            "--replicas",
+            "2",
+        ];
+        let with = |head: &[&str], tail: &[&str]| -> Vec<String> {
+            head.iter()
+                .chain(base.iter())
+                .chain(tail.iter())
+                .map(|s| s.to_string())
+                .collect()
+        };
+        let runv = |v: Vec<String>| dispatch(&Args::parse(v.into_iter()).unwrap());
+        runv(with(
+            &["create"],
+            &["--shape", "32,32", "--chunk", "8,8", "--bins", "4"],
+        ))
+        .unwrap();
+        runv(with(&["import"], &["--var", "t", "--synthetic", "gts"])).unwrap();
+        runv(with(&["stats"], &["--json", "true"])).unwrap();
+        runv(with(&["query"], &["--var", "t", "--vc", "0:1000"])).unwrap();
+
+        // Kill shard 0 entirely: every read must fall through to the
+        // replica, and repair heals the missing copies back.
+        std::fs::remove_dir_all(format!("{dir}/shard0")).unwrap();
+        runv(with(&["query"], &["--var", "t", "--vc", "0:1000"])).unwrap();
+        runv(with(&["stats"], &[])).unwrap();
+        runv(with(&["repair"], &[])).unwrap();
+        runv(with(&["fsck"], &[])).unwrap();
+        runv(with(&["verify"], &[])).unwrap();
+        // Hedged reads stay valid too.
+        runv(with(
+            &["query"],
+            &["--var", "t", "--vc", "0:1000", "--hedge-ms", "0"],
+        ))
+        .unwrap();
+
+        // Bad knob combinations are rejected.
+        assert!(run(&["info", "--dir", &dir, "--name", "ds", "--replicas", "0"]).is_err());
+        assert!(run(&[
+            "info",
+            "--dir",
+            &dir,
+            "--name",
+            "ds",
+            "--shards",
+            "2",
+            "--replicas",
+            "3"
+        ])
+        .is_err());
+        assert!(run(&["info", "--dir", &dir, "--name", "ds", "--hedge-ms", "5"]).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

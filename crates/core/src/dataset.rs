@@ -24,9 +24,9 @@ use mloc_compress::CodecKind;
 use mloc_hilbert::CurveKind;
 use mloc_pfs::StorageBackend;
 
-const CATALOG_MAGIC: &[u8] = b"MCAT1\n";
+pub(crate) const CATALOG_MAGIC: &[u8] = b"MCAT1\n";
 
-fn encode_config(config: &MlocConfig) -> Vec<u8> {
+pub(crate) fn encode_config(config: &MlocConfig) -> Vec<u8> {
     let mut w = Writer::new();
     w.usize_vec(&config.shape);
     w.usize_vec(&config.chunk_shape);
@@ -50,7 +50,7 @@ fn encode_config(config: &MlocConfig) -> Vec<u8> {
     out
 }
 
-fn decode_config(data: &[u8]) -> Result<(MlocConfig, usize)> {
+pub(crate) fn decode_config(data: &[u8]) -> Result<(MlocConfig, usize)> {
     if data.len() < 4 {
         return Err(MlocError::Corrupt("catalog truncated"));
     }
@@ -116,6 +116,7 @@ impl<'a> Dataset<'a> {
         backend.create(&catalog)?;
         backend.append(&catalog, CATALOG_MAGIC)?;
         backend.append(&catalog, &encode_config(&config))?;
+        backend.sync(&catalog)?;
         Ok(Dataset {
             backend,
             name: name.to_string(),
@@ -145,7 +146,7 @@ impl<'a> Dataset<'a> {
         Ok((config, CATALOG_MAGIC.len() + used))
     }
 
-    fn catalog_file(name: &str) -> String {
+    pub(crate) fn catalog_file(name: &str) -> String {
         format!("{name}/catalog")
     }
 
@@ -156,7 +157,11 @@ impl<'a> Dataset<'a> {
         let raw = backend.read(&file, 0, len)?;
         let body = std::str::from_utf8(&raw[header_len..])
             .map_err(|_| MlocError::Corrupt("catalog not utf-8"))?;
-        Ok(body
+        // A registration is committed only once its newline lands; a
+        // torn catalog append leaves an unterminated tail that must
+        // not read back as a variable (repair truncates it).
+        let committed = &body[..body.rfind('\n').map_or(0, |i| i + 1)];
+        Ok(committed
             .lines()
             .filter(|l| !l.is_empty())
             .map(str::to_string)
@@ -197,10 +202,14 @@ impl<'a> Dataset<'a> {
             return Err(MlocError::Invalid(format!("variable {var} already exists")));
         }
         let report = build_variable(self.backend, &self.name, var, values, &self.config)?;
-        self.backend.append(
-            &Self::catalog_file(&self.name),
-            format!("{var}\n").as_bytes(),
-        )?;
+        // The catalog line is the registration record; it is synced so
+        // the full durability chain is bins → meta → catalog. A crash
+        // between the meta sync and this one leaves a complete but
+        // unlisted variable, which `repair` reattaches.
+        let catalog = Self::catalog_file(&self.name);
+        self.backend
+            .append(&catalog, format!("{var}\n").as_bytes())?;
+        self.backend.sync(&catalog)?;
         Ok(report)
     }
 
@@ -358,6 +367,7 @@ impl DatasetStream<'_> {
         let report = self.builder.finish()?;
         self.backend
             .append(&self.catalog, format!("{}\n", self.var).as_bytes())?;
+        self.backend.sync(&self.catalog)?;
         Ok(report)
     }
 }

@@ -193,6 +193,10 @@ impl ParallelExecutor {
         let unit_bins: Vec<usize> = plan.units.iter().map(|u| u.bin).collect();
         let assignment = column_order(&unit_bins, self.nranks);
         let cache_stats_before = profiled.then(|| store.cache().map(|c| c.stats()));
+        // Replica-masked reads are counted by the backend itself (the
+        // router can't attribute them to ranks); take a delta so each
+        // query reports only its own masks.
+        let read_repairs_before = store.backend().read_repair_count();
 
         let run_rank = |rank: usize| -> Result<(RankOutput, Vec<ReadOp>, Vec<u64>, Profile)> {
             let my_units: Vec<WorkUnit> = assignment.per_rank[rank]
@@ -215,6 +219,7 @@ impl ParallelExecutor {
             obs.end();
             out.retries = io.retries();
             out.retry_wait_s = io.retry_wait_s();
+            out.retries_exhausted = io.retries_exhausted();
             let depths = io.batch_depths().to_vec();
             Ok((out, io.into_trace(), depths, obs.finish()))
         };
@@ -275,6 +280,7 @@ impl ParallelExecutor {
             metrics.fused_bytes_saved += out.fused_bytes;
             metrics.retries += out.retries;
             metrics.retry_wait_s = metrics.retry_wait_s.max(out.retry_wait_s);
+            metrics.retries_exhausted += out.retries_exhausted;
             metrics.degraded_units += out.degradation.events.len() as u64;
             metrics.degradation.merge(&out.degradation);
             positions.extend(out.positions);
@@ -282,6 +288,10 @@ impl ParallelExecutor {
             refine_units.extend(out.refine_units);
         }
         metrics.bytes_read = metrics.index_bytes + metrics.data_bytes;
+        metrics.read_repairs = store
+            .backend()
+            .read_repair_count()
+            .saturating_sub(read_repairs_before);
         gather.end();
 
         if profiled {
@@ -307,6 +317,16 @@ impl ParallelExecutor {
             profile.add_counter("plan.chunks", Label::None, plan.chunks_touched as u64);
             if metrics.retries > 0 {
                 profile.add_counter("pfs.retries", Label::None, metrics.retries);
+            }
+            if metrics.retries_exhausted > 0 {
+                profile.add_counter(
+                    "io.retries_exhausted",
+                    Label::None,
+                    metrics.retries_exhausted,
+                );
+            }
+            if metrics.read_repairs > 0 {
+                profile.add_counter("io.read_repair", Label::None, metrics.read_repairs);
             }
             // Submission-queue shape: how many batches went down and
             // how deep each one was.

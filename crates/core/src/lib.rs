@@ -67,6 +67,7 @@ pub mod metrics;
 pub mod plod;
 pub mod progressive;
 pub mod query;
+pub mod repair;
 pub mod store;
 pub mod verify;
 mod wire;

@@ -53,6 +53,12 @@ pub struct QueryMetrics {
     pub retries: u64,
     /// Simulated backoff seconds (max over ranks, like `io_s`).
     pub retry_wait_s: f64,
+    /// Reads abandoned because the per-query retry backoff budget ran
+    /// out, across all ranks.
+    pub retries_exhausted: u64,
+    /// Reads masked by falling through to a replica shard (0 without
+    /// replication).
+    pub read_repairs: u64,
     /// Compressed units answered at reduced PLoD precision because a
     /// non-base byte-group extent stayed unreadable after retries.
     pub degraded_units: u64,
@@ -93,6 +99,8 @@ impl QueryMetrics {
         self.fused_bytes_saved += other.fused_bytes_saved;
         self.retries += other.retries;
         self.retry_wait_s += other.retry_wait_s;
+        self.retries_exhausted += other.retries_exhausted;
+        self.read_repairs += other.read_repairs;
         self.degraded_units += other.degraded_units;
         self.degradation.merge(&other.degradation);
         // Element-wise accumulation keeps per-rank scalability data
@@ -125,6 +133,8 @@ impl QueryMetrics {
         self.fused_bytes_saved = avg(self.fused_bytes_saved);
         self.retries = avg(self.retries);
         self.retry_wait_s /= q;
+        self.retries_exhausted = avg(self.retries_exhausted);
+        self.read_repairs = avg(self.read_repairs);
         self.degraded_units = avg(self.degraded_units);
         for v in self
             .per_rank_io

@@ -57,6 +57,9 @@ pub struct RankOutput {
     pub retries: u64,
     /// Simulated backoff seconds accumulated by those retries.
     pub retry_wait_s: f64,
+    /// Reads this rank abandoned because the retry backoff budget ran
+    /// out (filled in by the executor from the rank's I/O handle).
+    pub retries_exhausted: u64,
     /// Extent losses this rank worked around by reducing PLoD
     /// precision (empty = full fidelity).
     pub degradation: DegradationReport,

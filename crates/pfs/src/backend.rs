@@ -1,6 +1,6 @@
 //! The storage backend trait and the per-rank tracing I/O handle.
 
-use crate::retry::RetryPolicy;
+use crate::retry::{op_token, RetryPolicy};
 use crate::PfsError;
 
 /// One entry of a submission batch: read `len` bytes of `file` at
@@ -80,6 +80,55 @@ pub trait StorageBackend: Send + Sync {
         0
     }
 
+    /// Delete a file. Only the repair path removes anything: builds
+    /// append, queries read. Backends that cannot delete report an
+    /// [`PfsError::Io`] error (the default) so `mloc repair` surfaces
+    /// the limitation instead of pretending to roll back.
+    fn remove(&self, name: &str) -> Result<(), PfsError> {
+        Err(PfsError::Io(std::io::Error::other(format!(
+            "backend does not support removing {name}"
+        ))))
+    }
+
+    /// How many replicas of each file this backend keeps. Non-replicated
+    /// backends report 1.
+    fn replica_count(&self) -> usize {
+        1
+    }
+
+    /// Which shard holds replica `replica` of `name`. Non-sharded
+    /// backends always answer 0; a replicated [`crate::ShardRouter`]
+    /// reports its placement so stats and repair can address one
+    /// physical copy.
+    fn replica_shard_of(&self, name: &str, _replica: usize) -> usize {
+        self.shard_of(name)
+    }
+
+    /// Read straight from one replica, bypassing any fall-through
+    /// masking, so repair can judge each physical copy on its own.
+    /// Non-replicated backends serve their only copy.
+    fn read_replica(
+        &self,
+        name: &str,
+        _replica: usize,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, PfsError> {
+        self.read(name, offset, len)
+    }
+
+    /// Size of one replica of a file (see [`Self::read_replica`]).
+    fn len_replica(&self, name: &str, _replica: usize) -> Result<u64, PfsError> {
+        self.len(name)
+    }
+
+    /// How many reads this backend has masked by falling through to a
+    /// replica after the preferred copy failed. 0 for backends without
+    /// replicas. Feeds the `io.read_repair` observability counter.
+    fn read_repair_count(&self) -> u64 {
+        0
+    }
+
     /// Size of a file in bytes.
     fn len(&self, name: &str) -> Result<u64, PfsError>;
 
@@ -140,6 +189,30 @@ impl<T: StorageBackend + ?Sized> StorageBackend for Box<T> {
     fn shard_of(&self, name: &str) -> usize {
         (**self).shard_of(name)
     }
+    fn remove(&self, name: &str) -> Result<(), PfsError> {
+        (**self).remove(name)
+    }
+    fn replica_count(&self) -> usize {
+        (**self).replica_count()
+    }
+    fn replica_shard_of(&self, name: &str, replica: usize) -> usize {
+        (**self).replica_shard_of(name, replica)
+    }
+    fn read_replica(
+        &self,
+        name: &str,
+        replica: usize,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, PfsError> {
+        (**self).read_replica(name, replica, offset, len)
+    }
+    fn len_replica(&self, name: &str, replica: usize) -> Result<u64, PfsError> {
+        (**self).len_replica(name, replica)
+    }
+    fn read_repair_count(&self) -> u64 {
+        (**self).read_repair_count()
+    }
     fn len(&self, name: &str) -> Result<u64, PfsError> {
         (**self).len(name)
     }
@@ -190,6 +263,7 @@ pub struct RankIo<'a> {
     retry: RetryPolicy,
     retries: u64,
     retry_wait_s: f64,
+    retries_exhausted: u64,
     batch_depths: Vec<u64>,
 }
 
@@ -207,6 +281,7 @@ impl<'a> RankIo<'a> {
             retry: policy,
             retries: 0,
             retry_wait_s: 0.0,
+            retries_exhausted: 0,
             batch_depths: Vec::new(),
         }
     }
@@ -219,14 +294,25 @@ impl<'a> RankIo<'a> {
     /// the cost simulator prices).
     pub fn read(&mut self, file: &str, offset: u64, len: u64) -> Result<Vec<u8>, PfsError> {
         self.trace.push(ReadOp::new(file, offset, len));
+        let token = op_token(file, offset, len);
         let mut attempt = 1u32;
         loop {
             match self.backend.read(file, offset, len) {
                 Ok(buf) => return Ok(buf),
                 Err(e) if e.is_transient() && self.retry.should_retry(attempt) => {
+                    let wait = self.retry.backoff_s_for(attempt + 1, token);
+                    if self.retry.budget_exceeded(self.retry_wait_s, wait) {
+                        self.retries_exhausted += 1;
+                        return Err(PfsError::RetriesExhausted {
+                            file: file.to_string(),
+                            offset,
+                            attempts: attempt,
+                            waited_s: self.retry_wait_s,
+                        });
+                    }
                     attempt += 1;
                     self.retries += 1;
-                    self.retry_wait_s += self.retry.backoff_s(attempt);
+                    self.retry_wait_s += wait;
                 }
                 Err(e) => return Err(e),
             }
@@ -265,10 +351,35 @@ impl<'a> RankIo<'a> {
             if still.is_empty() {
                 break;
             }
+            // Charge backoff per still-failing slot, in submission
+            // order, so the total matches what the sequential path
+            // would accumulate op by op. Slots whose next wait would
+            // bust the per-query budget stop here with a typed error.
+            let mut kept = Vec::new();
+            for &slot in &still {
+                let r = &requests[slot];
+                let wait = self
+                    .retry
+                    .backoff_s_for(attempt + 1, op_token(&r.file, r.offset, r.len));
+                if self.retry.budget_exceeded(self.retry_wait_s, wait) {
+                    self.retries_exhausted += 1;
+                    out[slot] = Some(Err(PfsError::RetriesExhausted {
+                        file: r.file.clone(),
+                        offset: r.offset,
+                        attempts: attempt,
+                        waited_s: self.retry_wait_s,
+                    }));
+                } else {
+                    self.retries += 1;
+                    self.retry_wait_s += wait;
+                    kept.push(slot);
+                }
+            }
+            if kept.is_empty() {
+                break;
+            }
             attempt += 1;
-            self.retries += still.len() as u64;
-            self.retry_wait_s += self.retry.backoff_s(attempt) * still.len() as f64;
-            pending = still;
+            pending = kept;
         }
         out.into_iter()
             .map(|o| o.expect("every batch slot resolved"))
@@ -312,6 +423,12 @@ impl<'a> RankIo<'a> {
     /// Transient-error retries performed so far.
     pub fn retries(&self) -> u64 {
         self.retries
+    }
+
+    /// Reads abandoned because the per-query retry budget ran out
+    /// (each surfaced a [`PfsError::RetriesExhausted`]).
+    pub fn retries_exhausted(&self) -> u64 {
+        self.retries_exhausted
     }
 
     /// Simulated backoff seconds accumulated by retries. Not part of
@@ -508,6 +625,68 @@ mod tests {
         let res = io.read_batch(&[ReadRequest::new("f", 0, 1024)]);
         assert!(res[0].as_ref().unwrap_err().is_transient());
         assert_eq!(io.retries(), 1, "attempt budget of 2 = one retry");
+    }
+
+    #[test]
+    fn jittered_batch_accounting_still_matches_sequential() {
+        use crate::fault::{FaultBackend, FaultPlan};
+        let be = MemBackend::new();
+        be.append("f", &[5u8; 8192]).unwrap();
+        let plan = FaultPlan::transient(11, 0.5, 2);
+        let policy = RetryPolicy::with_attempts(4).with_jitter(97);
+        let reqs: Vec<ReadRequest> = (0..16)
+            .map(|i| ReadRequest::new("f", i * 512, 64))
+            .collect();
+
+        let fb = FaultBackend::new(be, plan);
+        let mut seq = RankIo::with_retry(&fb, policy);
+        let seq_res: Vec<_> = reqs
+            .iter()
+            .map(|r| seq.read(&r.file, r.offset, r.len).unwrap())
+            .collect();
+        assert!(seq.retries() > 0, "plan injected nothing");
+
+        fb.reset_attempts();
+        let mut bat = RankIo::with_retry(&fb, policy);
+        let bat_res = bat.read_batch(&reqs);
+        for (a, b) in seq_res.iter().zip(&bat_res) {
+            assert_eq!(a, b.as_ref().unwrap());
+        }
+        assert_eq!(bat.retries(), seq.retries());
+        assert!(
+            (bat.retry_wait_s() - seq.retry_wait_s()).abs() < 1e-12,
+            "jittered per-op waits must sum identically across paths"
+        );
+    }
+
+    #[test]
+    fn exhausted_budget_surfaces_typed_error_in_both_paths() {
+        use crate::fault::{FaultBackend, FaultPlan};
+        let be = MemBackend::new();
+        be.append("f", &[1u8; 4096]).unwrap();
+        // Every read fails 3 times; the budget only covers the first
+        // retry's 1ms backoff, so the second wait busts it.
+        let fb = FaultBackend::new(be, FaultPlan::transient(11, 1.0, 3));
+        let policy = RetryPolicy::with_attempts(8).with_budget_s(0.0015);
+
+        let mut io = RankIo::with_retry(&fb, policy);
+        let err = io.read("f", 0, 1024).unwrap_err();
+        assert!(err.is_retries_exhausted(), "got {err}");
+        assert!(!err.is_transient(), "budget exhaustion must not re-retry");
+        assert_eq!(io.retries_exhausted(), 1);
+        assert_eq!(io.retries(), 1, "one retry fit in the budget");
+
+        fb.reset_attempts();
+        let mut io = RankIo::with_retry(&fb, policy);
+        let res = io.read_batch(&[ReadRequest::new("f", 0, 1024)]);
+        assert!(res[0].as_ref().unwrap_err().is_retries_exhausted());
+        assert_eq!(io.retries_exhausted(), 1);
+
+        // A generous budget recovers the same read fine.
+        fb.reset_attempts();
+        let mut io = RankIo::with_retry(&fb, RetryPolicy::with_attempts(8).with_budget_s(1.0));
+        assert_eq!(io.read("f", 0, 1024).unwrap(), vec![1u8; 1024]);
+        assert_eq!(io.retries_exhausted(), 0);
     }
 
     #[test]

@@ -18,6 +18,14 @@
 //! Everything is deterministic given the plan (seed included), which
 //! is what makes fault-matrix differential testing possible: replaying
 //! a query under the same plan injects the same faults.
+//!
+//! [`CrashBackend`] covers the *write* path the same way: it emulates
+//! a page cache over the wrapped backend, counts every ordered
+//! durability step (`create` / `append` / `sync`), and crashes at a
+//! scripted step — optionally tearing the crashing append at byte k,
+//! or silently dropping fsyncs first — so the build pipeline can be
+//! killed at every commit point and the recovery path exercised
+//! against exactly what a real crash would leave on disk.
 
 use crate::backend::StorageBackend;
 use crate::PfsError;
@@ -364,6 +372,39 @@ impl<B: StorageBackend> StorageBackend for FaultBackend<B> {
         self.inner.shard_of(name)
     }
 
+    // Replica-direct access models reaching past the faulty device
+    // layer (repair judging each physical copy), so faults are not
+    // re-applied here; `remove` is write-side like append/sync.
+    fn remove(&self, name: &str) -> Result<(), PfsError> {
+        self.inner.remove(name)
+    }
+
+    fn replica_count(&self) -> usize {
+        self.inner.replica_count()
+    }
+
+    fn replica_shard_of(&self, name: &str, replica: usize) -> usize {
+        self.inner.replica_shard_of(name, replica)
+    }
+
+    fn read_replica(
+        &self,
+        name: &str,
+        replica: usize,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, PfsError> {
+        self.inner.read_replica(name, replica, offset, len)
+    }
+
+    fn len_replica(&self, name: &str, replica: usize) -> Result<u64, PfsError> {
+        self.inner.len_replica(name, replica)
+    }
+
+    fn read_repair_count(&self) -> u64 {
+        self.inner.read_repair_count()
+    }
+
     fn exists(&self, name: &str) -> bool {
         !self.is_lost(name) && self.inner.exists(name)
     }
@@ -374,6 +415,396 @@ impl<B: StorageBackend> StorageBackend for FaultBackend<B> {
             .into_iter()
             .filter(|f| !self.is_lost(f))
             .collect()
+    }
+}
+
+/// A scripted write-path crash: at which ordered durability step to
+/// die, and how.
+///
+/// Write ops (`create`, `append`, `sync`, `remove`) are counted in
+/// submission order; the op whose 1-based index equals `crash_at`
+/// fails, and every write op after it fails too. Un-synced bytes are
+/// lost (the emulated page cache empties), files never synced since
+/// creation lose their directory entry — exactly the states the
+/// footer commit-marker discipline must recover from.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CrashPlan {
+    /// 1-based index of the write op that crashes (0 = never crash).
+    pub crash_at: u64,
+    /// If the crashing op is an append, persist this prefix of its
+    /// payload durably before dying — a torn write at byte k. `None`
+    /// loses the whole crashing append.
+    pub torn_keep: Option<u64>,
+    /// Name substrings whose `sync` *lies*: it reports success
+    /// without flushing, so a later crash (or [`CrashBackend::
+    /// power_cut`]) loses bytes the caller believed durable.
+    pub drop_syncs: Vec<String>,
+}
+
+impl CrashPlan {
+    /// A plan that never crashes.
+    pub fn none() -> Self {
+        CrashPlan::default()
+    }
+
+    /// Crash at write op `n` (1-based).
+    pub fn at(n: u64) -> Self {
+        CrashPlan {
+            crash_at: n,
+            ..CrashPlan::default()
+        }
+    }
+
+    /// Crash at write op `n`, tearing the append (if it is one) at
+    /// byte `keep`.
+    pub fn torn_at(n: u64, keep: u64) -> Self {
+        CrashPlan {
+            crash_at: n,
+            torn_keep: Some(keep),
+            ..CrashPlan::default()
+        }
+    }
+
+    /// Parse the line-based plan format used by the CLI:
+    ///
+    /// ```text
+    /// # crash during the third durability step
+    /// crash_at = 3
+    /// torn_keep = 512
+    /// dropsync bin0000.dat
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut plan = CrashPlan::none();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let err = |what: &str| format!("crash plan line {}: {what}: {line}", lineno + 1);
+            if let Some((key, value)) = line.split_once('=') {
+                let (key, value) = (key.trim(), value.trim());
+                match key {
+                    "crash_at" => plan.crash_at = value.parse().map_err(|_| err("bad index"))?,
+                    "torn_keep" => {
+                        plan.torn_keep = Some(value.parse().map_err(|_| err("bad byte count"))?)
+                    }
+                    _ => return Err(err("unknown key")),
+                }
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            match words.next() {
+                Some("dropsync") => {
+                    let pat = words.next().ok_or_else(|| err("missing file"))?;
+                    plan.drop_syncs.push(pat.to_string());
+                }
+                _ => return Err(err("unknown directive")),
+            }
+            if words.next().is_some() {
+                return Err(err("trailing tokens"));
+            }
+        }
+        Ok(plan)
+    }
+}
+
+/// Un-flushed state of one file in the emulated page cache: `tail`
+/// holds bytes appended since the last successful sync; `base_len` is
+/// how many durable bytes the wrapped backend already holds; `rebase`
+/// means the durable copy must be re-created (truncated) on flush
+/// because `create` ran but was never synced.
+#[derive(Debug, Default)]
+struct VolatileFile {
+    base_len: u64,
+    tail: Vec<u8>,
+    rebase: bool,
+}
+
+#[derive(Debug, Default)]
+struct CrashState {
+    ops: u64,
+    crashed: bool,
+    overlay: HashMap<String, VolatileFile>,
+    /// (op kind, file) per write op, for enumerating durability steps.
+    log: Vec<(&'static str, String)>,
+}
+
+/// Wraps a [`StorageBackend`] with an emulated page cache and a
+/// scripted [`CrashPlan`].
+///
+/// Before the crash, readers see the composite (durable + volatile)
+/// state a running process would; writes buffer until `sync` flushes
+/// them down. At the crash the volatile layer vanishes: the wrapped
+/// backend is left holding exactly the durable state — torn files,
+/// dropped entries and all — and every later write op fails. Recovery
+/// code then runs against the wrapped backend directly (see
+/// [`Self::inner`] / [`Self::into_inner`]), the same way `mloc
+/// repair` runs against a store after a real crash.
+pub struct CrashBackend<B: StorageBackend> {
+    inner: B,
+    plan: CrashPlan,
+    state: Mutex<CrashState>,
+}
+
+impl<B: StorageBackend> CrashBackend<B> {
+    /// Wrap `inner`, crashing per `plan`.
+    pub fn new(inner: B, plan: CrashPlan) -> Self {
+        CrashBackend {
+            inner,
+            plan,
+            state: Mutex::new(CrashState::default()),
+        }
+    }
+
+    /// Write ops counted so far — run a build with
+    /// [`CrashPlan::none`] to census the durability steps, then replay
+    /// with `crash_at` sweeping `1..=write_ops()`.
+    pub fn write_ops(&self) -> u64 {
+        self.state.lock().ops
+    }
+
+    /// The ordered (op kind, file) log of write ops.
+    pub fn op_log(&self) -> Vec<(&'static str, String)> {
+        self.state.lock().log.clone()
+    }
+
+    /// Whether the scripted crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    /// Pull the plug *now*: volatile state vanishes without an error
+    /// being returned to anyone. Models power loss after a build that
+    /// believed its (possibly dropped) syncs.
+    pub fn power_cut(&self) {
+        let mut st = self.state.lock();
+        st.overlay.clear();
+        st.crashed = true;
+    }
+
+    /// The wrapped backend — after a crash, exactly the durable state.
+    pub fn inner(&self) -> &B {
+        &self.inner
+    }
+
+    /// Unwrap to the durable store for recovery.
+    pub fn into_inner(self) -> B {
+        self.inner
+    }
+
+    /// Count one write op; `Err` if already crashed, `Ok(true)` if
+    /// this op is the one that crashes.
+    fn count_op(
+        &self,
+        st: &mut CrashState,
+        kind: &'static str,
+        name: &str,
+    ) -> Result<bool, PfsError> {
+        if st.crashed {
+            return Err(PfsError::Io(std::io::Error::other(format!(
+                "{kind} {name}: backend crashed (injected)"
+            ))));
+        }
+        st.ops += 1;
+        st.log.push((kind, name.to_string()));
+        Ok(self.plan.crash_at != 0 && st.ops == self.plan.crash_at)
+    }
+
+    fn crash_error(kind: &str, name: &str) -> PfsError {
+        PfsError::Io(std::io::Error::other(format!(
+            "injected crash during {kind} {name}"
+        )))
+    }
+
+    /// Flush one file's volatile bytes to the wrapped backend.
+    fn flush(&self, name: &str, vf: VolatileFile) -> Result<(), PfsError> {
+        if vf.rebase {
+            self.inner.create(name)?;
+        }
+        if !vf.tail.is_empty() {
+            self.inner.append(name, &vf.tail)?;
+        }
+        self.inner.sync(name)?;
+        Ok(())
+    }
+
+    fn logical_len(&self, st: &CrashState, name: &str) -> Option<u64> {
+        match st.overlay.get(name) {
+            Some(vf) => Some(vf.base_len + vf.tail.len() as u64),
+            None => self.inner.len(name).ok(),
+        }
+    }
+}
+
+impl<B: StorageBackend> StorageBackend for CrashBackend<B> {
+    fn create(&self, name: &str) -> Result<(), PfsError> {
+        let mut st = self.state.lock();
+        if self.count_op(&mut st, "create", name)? {
+            st.overlay.clear();
+            st.crashed = true;
+            return Err(Self::crash_error("create", name));
+        }
+        // Creation (and the truncation it implies) stays volatile
+        // until the first sync makes the entry durable.
+        st.overlay.insert(
+            name.to_string(),
+            VolatileFile {
+                base_len: 0,
+                tail: Vec::new(),
+                rebase: true,
+            },
+        );
+        Ok(())
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> Result<u64, PfsError> {
+        let mut st = self.state.lock();
+        let crashing = self.count_op(&mut st, "append", name)?;
+        if crashing {
+            // A torn write persists a prefix of the payload (plus any
+            // earlier un-synced tail, in write order) before dying.
+            if let Some(keep) = self.plan.torn_keep {
+                let keep = (keep as usize).min(data.len());
+                let mut vf = st.overlay.remove(name).unwrap_or_else(|| VolatileFile {
+                    base_len: self.inner.len(name).unwrap_or(0),
+                    ..VolatileFile::default()
+                });
+                vf.tail.extend_from_slice(&data[..keep]);
+                let _ = self.flush(name, vf);
+            }
+            st.overlay.clear();
+            st.crashed = true;
+            return Err(Self::crash_error("append", name));
+        }
+        if !st.overlay.contains_key(name) {
+            let base_len = self.inner.len(name).unwrap_or(0);
+            st.overlay.insert(
+                name.to_string(),
+                VolatileFile {
+                    base_len,
+                    ..VolatileFile::default()
+                },
+            );
+        }
+        let vf = st.overlay.get_mut(name).expect("just inserted");
+        let offset = vf.base_len + vf.tail.len() as u64;
+        vf.tail.extend_from_slice(data);
+        Ok(offset)
+    }
+
+    fn sync(&self, name: &str) -> Result<(), PfsError> {
+        let mut st = self.state.lock();
+        if self.count_op(&mut st, "sync", name)? {
+            st.overlay.clear();
+            st.crashed = true;
+            return Err(Self::crash_error("sync", name));
+        }
+        if self.plan.drop_syncs.iter().any(|pat| name.contains(pat)) {
+            // The lie at the heart of the dropped-fsync fault: report
+            // success, flush nothing.
+            return Ok(());
+        }
+        match st.overlay.remove(name) {
+            Some(vf) => self.flush(name, vf),
+            None => self.inner.sync(name),
+        }
+    }
+
+    fn remove(&self, name: &str) -> Result<(), PfsError> {
+        let mut st = self.state.lock();
+        if self.count_op(&mut st, "remove", name)? {
+            st.overlay.clear();
+            st.crashed = true;
+            return Err(Self::crash_error("remove", name));
+        }
+        let had_volatile = st.overlay.remove(name).is_some();
+        match self.inner.remove(name) {
+            Err(PfsError::NotFound(_)) if had_volatile => Ok(()),
+            other => other,
+        }
+    }
+
+    fn read(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>, PfsError> {
+        let st = self.state.lock();
+        let Some(vf) = st.overlay.get(name) else {
+            return self.inner.read(name, offset, len);
+        };
+        let total = vf.base_len + vf.tail.len() as u64;
+        let end = offset
+            .checked_add(len)
+            .filter(|&e| e <= total)
+            .ok_or_else(|| PfsError::OutOfBounds {
+                file: name.to_string(),
+                offset,
+                len,
+                size: total,
+            })?;
+        // Stitch the durable base and the volatile tail.
+        let mut buf = Vec::with_capacity(len as usize);
+        if offset < vf.base_len {
+            let base_end = end.min(vf.base_len);
+            buf.extend_from_slice(&self.inner.read(name, offset, base_end - offset)?);
+        }
+        if end > vf.base_len {
+            let t0 = offset.saturating_sub(vf.base_len) as usize;
+            let t1 = (end - vf.base_len) as usize;
+            buf.extend_from_slice(&vf.tail[t0..t1]);
+        }
+        Ok(buf)
+    }
+
+    fn len(&self, name: &str) -> Result<u64, PfsError> {
+        let st = self.state.lock();
+        self.logical_len(&st, name)
+            .ok_or_else(|| PfsError::NotFound(name.to_string()))
+    }
+
+    fn exists(&self, name: &str) -> bool {
+        let st = self.state.lock();
+        st.overlay.contains_key(name) || self.inner.exists(name)
+    }
+
+    fn list(&self) -> Vec<String> {
+        let st = self.state.lock();
+        let mut names = self.inner.list();
+        names.extend(st.overlay.keys().cloned());
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    fn shard_count(&self) -> usize {
+        self.inner.shard_count()
+    }
+
+    fn shard_of(&self, name: &str) -> usize {
+        self.inner.shard_of(name)
+    }
+
+    fn replica_count(&self) -> usize {
+        self.inner.replica_count()
+    }
+
+    fn replica_shard_of(&self, name: &str, replica: usize) -> usize {
+        self.inner.replica_shard_of(name, replica)
+    }
+
+    fn read_replica(
+        &self,
+        name: &str,
+        replica: usize,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, PfsError> {
+        self.inner.read_replica(name, replica, offset, len)
+    }
+
+    fn len_replica(&self, name: &str, replica: usize) -> Result<u64, PfsError> {
+        self.inner.len_replica(name, replica)
+    }
+
+    fn read_repair_count(&self) -> u64 {
+        self.inner.read_repair_count()
     }
 }
 
@@ -505,6 +936,112 @@ mod tests {
         fb.append("ds/meta", &[9, 9]).unwrap();
         assert_eq!(fb.len("ds/meta").unwrap(), 7);
         assert_eq!(fb.stats().torn_appends(), 1);
+    }
+
+    #[test]
+    fn crash_backend_buffers_until_sync() {
+        let cb = CrashBackend::new(MemBackend::new(), CrashPlan::none());
+        cb.create("f").unwrap();
+        assert_eq!(cb.append("f", &[1, 2, 3]).unwrap(), 0);
+        assert_eq!(cb.append("f", &[4]).unwrap(), 3);
+        // Readers through the backend see the composite state …
+        assert_eq!(cb.read("f", 1, 3).unwrap(), vec![2, 3, 4]);
+        assert_eq!(cb.len("f").unwrap(), 4);
+        assert!(cb.exists("f"));
+        assert_eq!(cb.list(), vec!["f".to_string()]);
+        // … but nothing is durable yet.
+        assert!(!cb.inner().exists("f"));
+        cb.sync("f").unwrap();
+        assert_eq!(cb.inner().read("f", 0, 4).unwrap(), vec![1, 2, 3, 4]);
+        // Reads after flush stitch correctly across the durable base.
+        cb.append("f", &[5, 6]).unwrap();
+        assert_eq!(cb.read("f", 2, 4).unwrap(), vec![3, 4, 5, 6]);
+        assert_eq!(cb.inner().len("f").unwrap(), 4);
+        assert_eq!(cb.write_ops(), 5);
+        assert_eq!(
+            cb.op_log().iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec!["create", "append", "append", "sync", "append"]
+        );
+    }
+
+    #[test]
+    fn crash_discards_volatile_and_fails_later_writes() {
+        // Ops: 1 create, 2 append, 3 sync, 4 append (crash), …
+        let cb = CrashBackend::new(MemBackend::new(), CrashPlan::at(4));
+        cb.create("f").unwrap();
+        cb.append("f", &[1, 2]).unwrap();
+        cb.sync("f").unwrap();
+        let err = cb.append("f", &[3, 4]).unwrap_err();
+        assert!(err.to_string().contains("injected crash"), "{err}");
+        assert!(cb.crashed());
+        // Durable state: the synced prefix only.
+        assert_eq!(cb.read("f", 0, 2).unwrap(), vec![1, 2]);
+        assert_eq!(cb.len("f").unwrap(), 2);
+        // Everything after the crash fails.
+        assert!(cb.append("f", &[9]).is_err());
+        assert!(cb.create("g").is_err());
+        assert!(cb.sync("f").is_err());
+    }
+
+    #[test]
+    fn crash_before_sync_loses_directory_entry() {
+        // The file is created and appended but never synced: at the
+        // crash its entry was never durable, so it vanishes.
+        let cb = CrashBackend::new(MemBackend::new(), CrashPlan::at(3));
+        cb.create("f").unwrap();
+        cb.append("f", &[1, 2, 3]).unwrap();
+        assert!(cb.create("g").is_err()); // op 3 crashes
+        assert!(!cb.exists("f"));
+        assert!(cb.list().is_empty());
+        assert!(!cb.inner().exists("f"));
+    }
+
+    #[test]
+    fn torn_crash_persists_prefix() {
+        // Ops: 1 create, 2 sync (entry durable), 3 append torn at 3.
+        let cb = CrashBackend::new(MemBackend::new(), CrashPlan::torn_at(3, 3));
+        cb.create("f").unwrap();
+        cb.sync("f").unwrap();
+        assert!(cb.append("f", &[1, 2, 3, 4, 5, 6, 7, 8]).is_err());
+        assert!(cb.crashed());
+        assert_eq!(cb.inner().read("f", 0, 3).unwrap(), vec![1, 2, 3]);
+        assert_eq!(cb.inner().len("f").unwrap(), 3);
+    }
+
+    #[test]
+    fn dropped_sync_lies_then_power_cut_loses_bytes() {
+        let mut plan = CrashPlan::none();
+        plan.drop_syncs.push("bin".to_string());
+        let cb = CrashBackend::new(MemBackend::new(), plan);
+        cb.create("bin0.dat").unwrap();
+        cb.append("bin0.dat", &[7u8; 64]).unwrap();
+        cb.sync("bin0.dat").unwrap(); // lies: nothing flushed
+        cb.create("meta").unwrap();
+        cb.append("meta", &[1u8; 8]).unwrap();
+        cb.sync("meta").unwrap(); // honest: flushed
+        assert_eq!(cb.len("bin0.dat").unwrap(), 64, "pre-crash view intact");
+        cb.power_cut();
+        assert!(!cb.inner().exists("bin0.dat"), "dropped sync lost the file");
+        assert_eq!(cb.inner().read("meta", 0, 8).unwrap(), vec![1u8; 8]);
+    }
+
+    #[test]
+    fn crash_plan_parser_round_trip() {
+        let plan = CrashPlan::parse(
+            "
+            # CI drill
+            crash_at = 7
+            torn_keep = 512
+            dropsync bin0000.dat
+            ",
+        )
+        .unwrap();
+        assert_eq!(plan.crash_at, 7);
+        assert_eq!(plan.torn_keep, Some(512));
+        assert_eq!(plan.drop_syncs, vec!["bin0000.dat".to_string()]);
+        assert!(CrashPlan::parse("crash_at = x").is_err());
+        assert!(CrashPlan::parse("bogus").is_err());
+        assert_eq!(CrashPlan::parse("").unwrap(), CrashPlan::none());
     }
 
     #[test]

@@ -82,12 +82,27 @@ struct DirInner {
     cache: HandleCache,
     // Serializes append/create/sync operations; reads are lock-free.
     write_lock: Mutex<()>,
+    // Handle on the root directory itself, fsynced after creating or
+    // removing entries on the durable path. Without it a crash can
+    // lose the *directory entry* of a file whose footer already
+    // claims the extent committed — the bytes survive, the name does
+    // not. `None` where directories cannot be opened as files.
+    dir_handle: Option<fs::File>,
 }
 
 impl DirInner {
     fn path_of(&self, name: &str) -> PathBuf {
         // Logical names may contain '/'; escape to keep a flat dir.
         self.root.join(name.replace('/', "__"))
+    }
+
+    /// Flush the directory entry table. Called with the write lock
+    /// held, after any operation that adds or removes an entry.
+    fn sync_dir(&self) -> Result<(), PfsError> {
+        if let Some(d) = &self.dir_handle {
+            d.sync_all()?;
+        }
+        Ok(())
     }
 
     fn create(&self, name: &str) -> Result<(), PfsError> {
@@ -97,6 +112,22 @@ impl DirInner {
         // cached handle's idea of "end", so drop it and reopen lazily.
         self.cache.invalidate(&path);
         fs::File::create(path)?;
+        self.sync_dir()?;
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> Result<(), PfsError> {
+        let _g = self.write_lock.lock();
+        let path = self.path_of(name);
+        self.cache.invalidate(&path);
+        fs::remove_file(&path).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::NotFound {
+                PfsError::NotFound(name.to_string())
+            } else {
+                PfsError::Io(e)
+            }
+        })?;
+        self.sync_dir()?;
         Ok(())
     }
 
@@ -159,6 +190,10 @@ impl DirInner {
         let path = self.path_of(name);
         let f = self.cache.get(&path, name, false)?;
         f.sync_all()?;
+        // An append may have created the file without going through
+        // create(); the entry must be durable before the caller takes
+        // the sync as a commit point.
+        self.sync_dir()?;
         Ok(())
     }
 
@@ -251,10 +286,14 @@ impl DirBackend {
     fn open_inner(root: impl AsRef<Path>) -> Result<Arc<DirInner>, PfsError> {
         let root = root.as_ref().to_path_buf();
         fs::create_dir_all(&root)?;
+        // Best effort: platforms that cannot open a directory as a
+        // file (non-unix) skip directory fsync rather than fail.
+        let dir_handle = fs::File::open(&root).ok();
         Ok(Arc::new(DirInner {
             root,
             cache: HandleCache::default(),
             write_lock: Mutex::new(()),
+            dir_handle,
         }))
     }
 
@@ -292,6 +331,10 @@ impl StorageBackend for DirBackend {
         self.inner.sync(name)
     }
 
+    fn remove(&self, name: &str) -> Result<(), PfsError> {
+        self.inner.remove(name)
+    }
+
     fn exists(&self, name: &str) -> bool {
         self.inner.exists(name)
     }
@@ -324,6 +367,11 @@ pub struct PoolDirBackend {
     depth: usize,
     queue: Mutex<Option<mpsc::Sender<Job>>>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Latency threshold after which a straggling batch is hedged:
+    /// its unfinished chunks are re-submitted to the pool and the
+    /// first completion per slot wins. `None` disables hedging.
+    hedge: Option<std::time::Duration>,
+    hedged_batches: AtomicU64,
 }
 
 impl std::fmt::Debug for PoolDirBackend {
@@ -379,7 +427,26 @@ impl PoolDirBackend {
             depth,
             queue: Mutex::new(Some(tx)),
             workers: Mutex::new(workers),
+            hedge: None,
+            hedged_batches: AtomicU64::new(0),
         }
+    }
+
+    /// Enable hedged reads: a batch chunk still unfinished after
+    /// `threshold_s` seconds is re-submitted to the pool, and the
+    /// first result per slot wins. Both submissions read the same
+    /// bytes through the same handle cache, so results stay
+    /// byte-identical whichever side finishes first — the hedge only
+    /// cuts tail latency when a worker stalls.
+    pub fn with_hedge(mut self, threshold_s: f64) -> Self {
+        self.hedge = Some(std::time::Duration::from_secs_f64(threshold_s.max(0.0)));
+        self
+    }
+
+    /// How many batches have had chunks re-submitted by the hedge.
+    /// Timing-dependent: advisory for stats, never pinned by tests.
+    pub fn hedged_batches(&self) -> u64 {
+        self.hedged_batches.load(Ordering::Relaxed)
     }
 
     /// The pool's queue depth (worker count).
@@ -437,25 +504,61 @@ impl StorageBackend for PoolDirBackend {
         // trips for the whole batch, each worker draining its chunk
         // through the shared handle cache.
         let chunk = requests.len().div_ceil(self.depth);
+        let chunks: Vec<(usize, &[ReadRequest])> = requests
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, reqs)| (i * chunk, reqs))
+            .collect();
         let (done_tx, done_rx) = mpsc::channel();
-        {
+        let submit = |batch: &[(usize, &[ReadRequest])]| {
             let queue = self.queue.lock();
             let tx = queue.as_ref().expect("pool alive while backend exists");
-            for (i, reqs) in requests.chunks(chunk).enumerate() {
+            for &(start, reqs) in batch {
                 tx.send(Job {
-                    start: i * chunk,
+                    start,
                     reqs: reqs.to_vec(),
                     done: done_tx.clone(),
                 })
                 .expect("workers alive while backend exists");
             }
-        }
-        drop(done_tx);
+        };
+        submit(&chunks);
         let mut out: Vec<Option<Result<Vec<u8>, PfsError>>> =
             (0..requests.len()).map(|_| None).collect();
-        for (start, results) in done_rx {
+        let mut finished: std::collections::HashSet<usize> = Default::default();
+        let mut remaining = requests.len();
+        let mut hedged = false;
+        while remaining > 0 {
+            let (start, results) = match self.hedge {
+                // Hedge once: if no chunk completes within the
+                // threshold, re-submit every unfinished chunk and let
+                // the first completion per chunk win.
+                Some(t) if !hedged => match done_rx.recv_timeout(t) {
+                    Ok(msg) => msg,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        hedged = true;
+                        self.hedged_batches.fetch_add(1, Ordering::Relaxed);
+                        let stragglers: Vec<_> = chunks
+                            .iter()
+                            .filter(|(s, _)| !finished.contains(s))
+                            .copied()
+                            .collect();
+                        submit(&stragglers);
+                        continue;
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                },
+                _ => match done_rx.recv() {
+                    Ok(msg) => msg,
+                    Err(_) => break,
+                },
+            };
+            if !finished.insert(start) {
+                continue; // the hedge twin already reported this chunk
+            }
             for (i, res) in results.into_iter().enumerate() {
                 out[start + i] = Some(res);
+                remaining -= 1;
             }
         }
         out.into_iter()
@@ -469,6 +572,10 @@ impl StorageBackend for PoolDirBackend {
 
     fn sync(&self, name: &str) -> Result<(), PfsError> {
         self.inner.sync(name)
+    }
+
+    fn remove(&self, name: &str) -> Result<(), PfsError> {
+        self.inner.remove(name)
     }
 
     fn exists(&self, name: &str) -> bool {
@@ -592,6 +699,52 @@ mod tests {
         assert!(matches!(batch[4], Err(PfsError::NotFound(_))));
         assert!(matches!(batch[5], Err(PfsError::OutOfBounds { .. })));
         assert_eq!(pool.depth(), 4);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn remove_deletes_on_disk_and_errors_on_missing() {
+        let root = tmpdir("remove");
+        let be = DirBackend::new(&root).unwrap();
+        be.append("ds/meta", &[1, 2, 3]).unwrap();
+        be.sync("ds/meta").unwrap();
+        be.remove("ds/meta").unwrap();
+        assert!(!be.exists("ds/meta"));
+        assert!(matches!(
+            be.read("ds/meta", 0, 1),
+            Err(PfsError::NotFound(_))
+        ));
+        assert!(matches!(be.remove("ds/meta"), Err(PfsError::NotFound(_))));
+        // Remove invalidates the cached handle: recreating the file
+        // starts from scratch.
+        be.append("ds/meta", &[9]).unwrap();
+        assert_eq!(be.len("ds/meta").unwrap(), 1);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn hedged_pool_batch_is_byte_identical() {
+        let root = tmpdir("hedge");
+        let plain = PoolDirBackend::new(&root, 3).unwrap();
+        for f in 0..4 {
+            plain
+                .append(&format!("f{f}.dat"), &vec![f as u8; 2048])
+                .unwrap();
+        }
+        let reqs: Vec<ReadRequest> = (0..64)
+            .map(|i| ReadRequest::new(format!("f{}.dat", i % 4), (i / 4) * 32, 32))
+            .collect();
+        let want = plain.read_batch(&reqs);
+        // Zero threshold: the hedge fires on essentially every batch,
+        // so duplicate submissions race — results must not change.
+        let hedged = PoolDirBackend::new(&root, 3).unwrap().with_hedge(0.0);
+        for _ in 0..5 {
+            let got = hedged.read_batch(&reqs);
+            for (a, b) in want.iter().zip(&got) {
+                assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+            }
+        }
+        assert!(hedged.hedged_batches() >= 1, "zero threshold never hedged");
         fs::remove_dir_all(&root).unwrap();
     }
 

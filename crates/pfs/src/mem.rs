@@ -59,6 +59,14 @@ impl StorageBackend for MemBackend {
             .ok_or_else(|| PfsError::NotFound(name.to_string()))
     }
 
+    fn remove(&self, name: &str) -> Result<(), PfsError> {
+        self.files
+            .write()
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| PfsError::NotFound(name.to_string()))
+    }
+
     fn exists(&self, name: &str) -> bool {
         self.files.read().contains_key(name)
     }
@@ -104,6 +112,15 @@ mod tests {
             Err(PfsError::OutOfBounds { .. })
         ));
         assert!(matches!(be.read("nope", 0, 1), Err(PfsError::NotFound(_))));
+    }
+
+    #[test]
+    fn remove_deletes_and_errors_on_missing() {
+        let be = MemBackend::new();
+        be.append("a", &[1, 2, 3]).unwrap();
+        be.remove("a").unwrap();
+        assert!(!be.exists("a"));
+        assert!(matches!(be.remove("a"), Err(PfsError::NotFound(_))));
     }
 
     #[test]

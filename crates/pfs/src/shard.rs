@@ -1,52 +1,233 @@
 //! Dataset sharding: one logical namespace spread over N independent
-//! backends.
+//! backends, optionally replicated.
 //!
 //! A [`ShardRouter`] owns a fixed set of shard backends (typically one
 //! [`crate::DirBackend`] or [`crate::PoolDirBackend`] per shard
-//! directory) and routes every file to exactly one shard by a stable
+//! directory) and routes every file to a *primary* shard by a stable
 //! hash of its name. Batches fan out per shard — each shard services
 //! its slice concurrently — and results are merged back in submission
 //! order, so callers cannot tell a sharded store from a flat one
-//! except by throughput. A lost shard behaves exactly like losing the
-//! files it owns: reads and `len` return [`PfsError::NotFound`], and
-//! `list` simply omits them, which is precisely how a lost file
-//! degrades today.
+//! except by throughput.
+//!
+//! With replication factor R ≥ 2 ([`ShardRouter::replicated`]) each
+//! file also lives on the R−1 successor shards (chained declustering:
+//! replica i sits at `(primary + i) mod N`, distinct while R ≤ N).
+//! Writes fan out to every replica; reads try replicas in placement
+//! order and fall through on error, so losing any single shard loses
+//! nothing. Every masked read bumps the read-repair counter and the
+//! first mask per file triggers an inline write-back of the healthy
+//! copy onto the failed replicas. Without replication a lost shard
+//! behaves exactly like losing the files it owns: reads and `len`
+//! return [`PfsError::NotFound`], and `list` simply omits them.
+//!
+//! [`ShardRouter::with_hedge`] adds a latency hedge to read batches:
+//! if no per-shard slice completes within the threshold, unfinished
+//! slices are re-submitted to their next replica and the first
+//! success wins. Tie-breaking is deterministic in *content* — both
+//! sides hold byte-identical replicas, and a hedge result only
+//! replaces waiting on the primary when it is fully successful — so
+//! differential suites stay byte-identical; only timing-dependent
+//! counters (hedged batches) vary.
 
 use crate::backend::{ReadRequest, StorageBackend};
 use crate::PfsError;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::time::Duration;
 
-/// One shard's slice of a batch: the submission slots it owns plus the
-/// per-slot results, merged back in submission order.
-type ShardSlice = (Vec<usize>, Vec<Result<Vec<u8>, PfsError>>);
+/// One shard's slice of a batch: the submission slots it owns, the
+/// requests, and the shard servicing it.
+struct Slice {
+    slots: Vec<usize>,
+    reqs: Vec<ReadRequest>,
+    shard: usize,
+}
+
+/// One shard's batch results, aligned with its slice's requests.
+type SliceResults = Vec<Result<Vec<u8>, PfsError>>;
 
 /// Routes a flat file namespace over `N` shard backends by a stable
 /// name hash, fanning read batches out per shard.
 pub struct ShardRouter {
     shards: Vec<Box<dyn StorageBackend>>,
+    replicas: usize,
+    hedge: Option<Duration>,
+    read_repairs: AtomicU64,
+    writebacks: AtomicU64,
+    hedged_batches: AtomicU64,
+    /// Files already written back this session, so one degraded file
+    /// costs one repair, not one per masked read.
+    repaired: Mutex<HashSet<String>>,
 }
 
 impl ShardRouter {
-    /// Build a router over the given shard backends (at least one).
+    /// Build an unreplicated router over the given shard backends
+    /// (at least one).
     pub fn new(shards: Vec<Box<dyn StorageBackend>>) -> Result<Self, PfsError> {
+        ShardRouter::replicated(shards, 1)
+    }
+
+    /// Build a router keeping `replicas` copies of every file on
+    /// distinct shards. Requires `1 <= replicas <= shards.len()`.
+    pub fn replicated(
+        shards: Vec<Box<dyn StorageBackend>>,
+        replicas: usize,
+    ) -> Result<Self, PfsError> {
         if shards.is_empty() {
             return Err(PfsError::Io(std::io::Error::other(
                 "shard router needs at least one shard",
             )));
         }
-        Ok(ShardRouter { shards })
+        if replicas == 0 || replicas > shards.len() {
+            return Err(PfsError::Io(std::io::Error::other(format!(
+                "replication factor {replicas} must be in 1..={} (shard count)",
+                shards.len()
+            ))));
+        }
+        Ok(ShardRouter {
+            shards,
+            replicas,
+            hedge: None,
+            read_repairs: AtomicU64::new(0),
+            writebacks: AtomicU64::new(0),
+            hedged_batches: AtomicU64::new(0),
+            repaired: Mutex::new(HashSet::new()),
+        })
     }
 
-    /// Which shard owns `name`. Deterministic and stable across runs
-    /// and platforms (FNV-1a), so a dataset written sharded is always
-    /// read back from the same layout.
+    /// Enable hedged read batches: a per-shard slice still unfinished
+    /// after `threshold_s` seconds is re-submitted to the next
+    /// replica. No-op while `replicas == 1` (there is nowhere to
+    /// hedge to).
+    pub fn with_hedge(mut self, threshold_s: f64) -> Self {
+        self.hedge = Some(Duration::from_secs_f64(threshold_s.max(0.0)));
+        self
+    }
+
+    /// Which shard holds the primary copy of `name`. Deterministic
+    /// and stable across runs and platforms (FNV-1a), so a dataset
+    /// written sharded is always read back from the same layout.
     pub fn shard_for(&self, name: &str) -> usize {
         (stable_name_hash(name) % self.shards.len() as u64) as usize
+    }
+
+    /// Which shard holds replica `k` of `name` (k = 0 is the
+    /// primary). Chained declustering: successive replicas on
+    /// successive shards, distinct while `replicas <= shards`.
+    pub fn replica_shard_for(&self, name: &str, k: usize) -> usize {
+        (self.shard_for(name) + (k % self.replicas)) % self.shards.len()
+    }
+
+    /// The configured replication factor.
+    pub fn replicas(&self) -> usize {
+        self.replicas
     }
 
     /// Borrow one shard backend (for per-shard inspection in tests
     /// and stats).
     pub fn shard(&self, i: usize) -> &dyn StorageBackend {
         self.shards[i].as_ref()
+    }
+
+    /// Files restored onto a failed replica by read-repair so far.
+    pub fn writeback_count(&self) -> u64 {
+        self.writebacks.load(Ordering::Relaxed)
+    }
+
+    /// Read batches that triggered the latency hedge. Timing
+    /// dependent: advisory for stats, never pinned by tests.
+    pub fn hedged_batch_count(&self) -> u64 {
+        self.hedged_batches.load(Ordering::Relaxed)
+    }
+
+    /// Write back the healthy copy of `name` (read from shard
+    /// `healthy`) onto the `failed` shards — once per file, best
+    /// effort: a write-back that fails leaves the read fall-through
+    /// to keep masking.
+    fn write_back(&self, name: &str, healthy: usize, failed: &[usize]) {
+        if failed.is_empty() || !self.repaired.lock().insert(name.to_string()) {
+            return;
+        }
+        let src = &self.shards[healthy];
+        let Ok(len) = src.len(name) else { return };
+        let Ok(bytes) = src.read(name, 0, len) else {
+            return;
+        };
+        for &s in failed {
+            let dst = &self.shards[s];
+            if dst.create(name).is_ok()
+                && dst.append(name, &bytes).is_ok()
+                && dst.sync(name).is_ok()
+            {
+                self.writebacks.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Fan a set of per-shard slices out on scoped threads, one per
+    /// slice, optionally hedging stragglers onto the next replica.
+    /// Returns per-slice results, aligned with `slices`.
+    fn fan_out(&self, slices: &[Slice], hedge: bool) -> Vec<SliceResults> {
+        let n = self.shards.len();
+        std::thread::scope(|scope| {
+            let (tx, rx) = mpsc::channel::<(usize, bool, SliceResults)>();
+            for (i, slice) in slices.iter().enumerate() {
+                let tx = tx.clone();
+                let shard = &self.shards[slice.shard];
+                let reqs = &slice.reqs;
+                scope.spawn(move || {
+                    let _ = tx.send((i, false, shard.read_batch(reqs)));
+                });
+            }
+            let mut done: Vec<Option<SliceResults>> = (0..slices.len()).map(|_| None).collect();
+            let mut undone = slices.len();
+            let mut hedged = false;
+            while undone > 0 {
+                let msg = match self.hedge {
+                    Some(t) if hedge && !hedged => match rx.recv_timeout(t) {
+                        Ok(m) => m,
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            hedged = true;
+                            self.hedged_batches.fetch_add(1, Ordering::Relaxed);
+                            for (i, slice) in slices.iter().enumerate() {
+                                if done[i].is_some() {
+                                    continue;
+                                }
+                                let tx = tx.clone();
+                                let shard = &self.shards[(slice.shard + 1) % n];
+                                let reqs = &slice.reqs;
+                                scope.spawn(move || {
+                                    let _ = tx.send((i, true, shard.read_batch(reqs)));
+                                });
+                            }
+                            continue;
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    },
+                    _ => match rx.recv() {
+                        Ok(m) => m,
+                        Err(_) => break,
+                    },
+                };
+                let (i, is_hedge, results) = msg;
+                if done[i].is_some() {
+                    continue;
+                }
+                // A hedge result only settles the slice when it is
+                // fully successful; otherwise keep waiting for the
+                // primary so error identity (and the replica
+                // fall-through it feeds) stays deterministic.
+                if !is_hedge || results.iter().all(|r| r.is_ok()) {
+                    done[i] = Some(results);
+                    undone -= 1;
+                }
+            }
+            done.into_iter()
+                .map(|res| res.expect("every slice resolved"))
+                .collect()
+        })
     }
 
     fn owner(&self, name: &str) -> &dyn StorageBackend {
@@ -68,49 +249,109 @@ pub fn stable_name_hash(name: &str) -> u64 {
 
 impl StorageBackend for ShardRouter {
     fn create(&self, name: &str) -> Result<(), PfsError> {
-        self.owner(name).create(name)
+        for k in 0..self.replicas {
+            self.shards[self.replica_shard_for(name, k)].create(name)?;
+        }
+        Ok(())
     }
 
     fn append(&self, name: &str, data: &[u8]) -> Result<u64, PfsError> {
-        self.owner(name).append(name, data)
+        let offset = self.owner(name).append(name, data)?;
+        for k in 1..self.replicas {
+            self.shards[self.replica_shard_for(name, k)].append(name, data)?;
+        }
+        Ok(offset)
     }
 
     fn read(&self, name: &str, offset: u64, len: u64) -> Result<Vec<u8>, PfsError> {
-        self.owner(name).read(name, offset, len)
+        let mut first_err = None;
+        let mut failed = Vec::new();
+        for k in 0..self.replicas {
+            let s = self.replica_shard_for(name, k);
+            match self.shards[s].read(name, offset, len) {
+                Ok(buf) => {
+                    if k > 0 {
+                        self.read_repairs.fetch_add(1, Ordering::Relaxed);
+                        self.write_back(name, s, &failed);
+                    }
+                    return Ok(buf);
+                }
+                Err(e) => {
+                    failed.push(s);
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        Err(first_err.expect("replicas >= 1"))
     }
 
     fn read_batch(&self, requests: &[ReadRequest]) -> Vec<Result<Vec<u8>, PfsError>> {
-        // Partition the batch by owning shard, remembering each
-        // request's submission slot.
-        let mut per_shard: Vec<(Vec<usize>, Vec<ReadRequest>)> =
-            (0..self.shards.len()).map(|_| Default::default()).collect();
-        for (slot, req) in requests.iter().enumerate() {
-            let s = self.shard_for(&req.file);
-            per_shard[s].0.push(slot);
-            per_shard[s].1.push(req.clone());
-        }
         let mut out: Vec<Option<Result<Vec<u8>, PfsError>>> =
             (0..requests.len()).map(|_| None).collect();
-        // Fan out: one thread per shard with work, each draining its
-        // slice through that shard's own (possibly concurrent)
-        // read_batch. Results merge back by submission slot.
-        let mut merged: Vec<ShardSlice> = std::thread::scope(|scope| {
-            let handles: Vec<_> = per_shard
-                .into_iter()
-                .zip(self.shards.iter())
-                .filter(|((slots, _), _)| !slots.is_empty())
-                .map(|((slots, reqs), shard)| scope.spawn(move || (slots, shard.read_batch(&reqs))))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard read thread panicked"))
-                .collect()
-        });
-        for (slots, results) in merged.drain(..) {
-            debug_assert_eq!(slots.len(), results.len());
-            for (slot, res) in slots.into_iter().zip(results) {
-                out[slot] = Some(res);
+        // Replica rounds: round k routes the still-failing slots to
+        // their k-th replica. Round 0 is the whole batch on primaries
+        // (optionally hedged); later rounds mask errors.
+        let mut pending: Vec<usize> = (0..requests.len()).collect();
+        let mut repair_jobs: Vec<(String, usize, Vec<usize>)> = Vec::new();
+        for k in 0..self.replicas {
+            if pending.is_empty() {
+                break;
             }
+            // Partition this round's slots by serving shard.
+            let mut per_shard: Vec<(Vec<usize>, Vec<ReadRequest>)> =
+                (0..self.shards.len()).map(|_| Default::default()).collect();
+            for &slot in &pending {
+                let s = self.replica_shard_for(&requests[slot].file, k);
+                per_shard[s].0.push(slot);
+                per_shard[s].1.push(requests[slot].clone());
+            }
+            let slices: Vec<Slice> = per_shard
+                .into_iter()
+                .enumerate()
+                .filter(|(_, (slots, _))| !slots.is_empty())
+                .map(|(shard, (slots, reqs))| Slice { slots, reqs, shard })
+                .collect();
+            let hedge = k == 0 && self.replicas > 1;
+            let mut still = Vec::new();
+            let fanned = self.fan_out(&slices, hedge);
+            for (slice, results) in slices.iter().zip(fanned) {
+                debug_assert_eq!(slice.slots.len(), results.len());
+                for (&slot, res) in slice.slots.iter().zip(results) {
+                    match res {
+                        Ok(buf) => {
+                            if k > 0 {
+                                // Round k only carries slots that
+                                // failed on earlier replicas, so
+                                // this read is masked.
+                                self.read_repairs.fetch_add(1, Ordering::Relaxed);
+                                let name = &requests[slot].file;
+                                let healthy = self.replica_shard_for(name, k);
+                                let failed: Vec<usize> =
+                                    (0..k).map(|j| self.replica_shard_for(name, j)).collect();
+                                repair_jobs.push((name.clone(), healthy, failed));
+                            }
+                            out[slot] = Some(Ok(buf));
+                        }
+                        Err(e) => {
+                            if k + 1 < self.replicas {
+                                still.push(slot);
+                            }
+                            // Keep the first (primary) error for
+                            // identity with the unreplicated router.
+                            if out[slot].is_none() {
+                                out[slot] = Some(Err(e));
+                            }
+                        }
+                    }
+                }
+            }
+            still.sort_unstable();
+            pending = still;
+        }
+        for (name, healthy, failed) in repair_jobs {
+            self.write_back(&name, healthy, &failed);
         }
         out.into_iter()
             .map(|o| o.expect("every request routed to a shard"))
@@ -118,20 +359,48 @@ impl StorageBackend for ShardRouter {
     }
 
     fn len(&self, name: &str) -> Result<u64, PfsError> {
-        self.owner(name).len(name)
+        let mut first_err = None;
+        for k in 0..self.replicas {
+            match self.shards[self.replica_shard_for(name, k)].len(name) {
+                Ok(n) => return Ok(n),
+                Err(e) => first_err = first_err.or(Some(e)),
+            }
+        }
+        Err(first_err.expect("replicas >= 1"))
     }
 
     fn sync(&self, name: &str) -> Result<(), PfsError> {
-        self.owner(name).sync(name)
+        for k in 0..self.replicas {
+            self.shards[self.replica_shard_for(name, k)].sync(name)?;
+        }
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> Result<(), PfsError> {
+        let mut removed = false;
+        let mut hard_err = None;
+        for k in 0..self.replicas {
+            match self.shards[self.replica_shard_for(name, k)].remove(name) {
+                Ok(()) => removed = true,
+                Err(PfsError::NotFound(_)) => {}
+                Err(e) => hard_err = hard_err.or(Some(e)),
+            }
+        }
+        match (hard_err, removed) {
+            (Some(e), _) => Err(e),
+            (None, true) => Ok(()),
+            (None, false) => Err(PfsError::NotFound(name.to_string())),
+        }
     }
 
     fn exists(&self, name: &str) -> bool {
-        self.owner(name).exists(name)
+        (0..self.replicas).any(|k| self.shards[self.replica_shard_for(name, k)].exists(name))
     }
 
     fn list(&self) -> Vec<String> {
         let mut names: Vec<String> = self.shards.iter().flat_map(|s| s.list()).collect();
         names.sort();
+        names.dedup();
         names
     }
 
@@ -142,15 +411,67 @@ impl StorageBackend for ShardRouter {
     fn shard_of(&self, name: &str) -> usize {
         self.shard_for(name)
     }
+
+    fn replica_count(&self) -> usize {
+        self.replicas
+    }
+
+    fn replica_shard_of(&self, name: &str, replica: usize) -> usize {
+        self.replica_shard_for(name, replica)
+    }
+
+    fn read_replica(
+        &self,
+        name: &str,
+        replica: usize,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<u8>, PfsError> {
+        self.shards[self.replica_shard_for(name, replica)].read(name, offset, len)
+    }
+
+    fn len_replica(&self, name: &str, replica: usize) -> Result<u64, PfsError> {
+        self.shards[self.replica_shard_for(name, replica)].len(name)
+    }
+
+    fn read_repair_count(&self) -> u64 {
+        self.read_repairs.load(Ordering::Relaxed)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultBackend, FaultPlan};
     use crate::mem::MemBackend;
 
     fn router(n: usize) -> ShardRouter {
         ShardRouter::new((0..n).map(|_| Box::new(MemBackend::new()) as _).collect()).unwrap()
+    }
+
+    fn replicated(n: usize, r: usize) -> ShardRouter {
+        ShardRouter::replicated(
+            (0..n).map(|_| Box::new(MemBackend::new()) as _).collect(),
+            r,
+        )
+        .unwrap()
+    }
+
+    /// A router over `n` mem shards where shard `dead` returns
+    /// NotFound for every read-side op (writes still land).
+    fn router_with_dead_shard(n: usize, r: usize, dead: usize) -> ShardRouter {
+        let mut all = FaultPlan::none();
+        all.lost_files.push(String::new()); // matches every name
+        let shards: Vec<Box<dyn StorageBackend>> = (0..n)
+            .map(|s| {
+                if s == dead {
+                    Box::new(FaultBackend::new(MemBackend::new(), all.clone())) as _
+                } else {
+                    Box::new(MemBackend::new()) as _
+                }
+            })
+            .collect();
+        ShardRouter::replicated(shards, r).unwrap()
     }
 
     #[test]
@@ -235,10 +556,159 @@ mod tests {
                 assert_eq!(res.unwrap(), vec![1, 2, 3, 4]);
             }
         }
+        assert_eq!(r.read_repair_count(), 0, "nothing to fall through to");
     }
 
     #[test]
     fn empty_router_rejected() {
         assert!(ShardRouter::new(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn bad_replication_factors_rejected() {
+        let shards = |n: usize| -> Vec<Box<dyn StorageBackend>> {
+            (0..n).map(|_| Box::new(MemBackend::new()) as _).collect()
+        };
+        assert!(ShardRouter::replicated(shards(2), 0).is_err());
+        assert!(ShardRouter::replicated(shards(2), 3).is_err());
+        assert!(ShardRouter::replicated(shards(2), 2).is_ok());
+    }
+
+    #[test]
+    fn replicated_writes_fan_out_to_distinct_shards() {
+        let r = replicated(3, 2);
+        for i in 0..24 {
+            let name = format!("f{i}");
+            r.append(&name, &[i as u8; 8]).unwrap();
+            r.sync(&name).unwrap();
+            let homes: Vec<usize> = (0..2).map(|k| r.replica_shard_for(&name, k)).collect();
+            assert_ne!(homes[0], homes[1], "replicas must sit on distinct shards");
+            for s in 0..3 {
+                let holds = r.shard(s).exists(&name);
+                assert_eq!(holds, homes.contains(&s), "shard {s} for {name}");
+                if holds {
+                    assert_eq!(r.shard(s).read(&name, 0, 8).unwrap(), vec![i as u8; 8]);
+                }
+            }
+        }
+        // The logical namespace counts each file once.
+        assert_eq!(r.list().len(), 24);
+        assert_eq!(r.replica_count(), 2);
+    }
+
+    #[test]
+    fn reads_fall_through_to_replica_and_write_back() {
+        // Shard 0 dead on the read side; every file whose primary is
+        // shard 0 must still read fine via its replica on shard 1.
+        let r = router_with_dead_shard(2, 2, 0);
+        let mut masked = 0u64;
+        for i in 0..32 {
+            let name = format!("f{i}");
+            r.append(&name, &[i as u8; 16]).unwrap();
+        }
+        for i in 0..32 {
+            let name = format!("f{i}");
+            assert_eq!(r.read(&name, 0, 16).unwrap(), vec![i as u8; 16]);
+            assert_eq!(r.len(&name).unwrap(), 16);
+            assert!(r.exists(&name));
+            if r.shard_for(&name) == 0 {
+                masked += 1;
+            }
+        }
+        assert!(masked > 0, "no file landed on the dead primary");
+        assert_eq!(
+            r.read_repair_count(),
+            masked,
+            "one masked read per dead-primary file"
+        );
+        // Write-back ran once per degraded file: the dead shard's
+        // *store* (below the fault layer) received the healthy copy.
+        assert_eq!(r.writeback_count(), masked);
+
+        // Re-reading keeps masking (the fault layer still denies) and
+        // keeps counting, but never re-repairs.
+        for i in 0..32 {
+            let name = format!("f{i}");
+            r.read(&name, 0, 16).unwrap();
+        }
+        assert_eq!(r.read_repair_count(), 2 * masked);
+        assert_eq!(r.writeback_count(), masked, "write-back is once per file");
+    }
+
+    #[test]
+    fn batch_falls_through_with_exact_accounting() {
+        let r = router_with_dead_shard(3, 2, 1);
+        for i in 0..48 {
+            r.append(&format!("f{i}"), &[i as u8; 32]).unwrap();
+        }
+        let reqs: Vec<ReadRequest> = (0..48)
+            .map(|i| ReadRequest::new(format!("f{i}"), 8, 16))
+            .collect();
+        let masked = reqs.iter().filter(|q| r.shard_for(&q.file) == 1).count() as u64;
+        assert!(masked > 0);
+        let results = r.read_batch(&reqs);
+        for (req, res) in reqs.iter().zip(&results) {
+            let i: u8 = req.file[1..].parse().unwrap();
+            assert_eq!(res.as_ref().unwrap(), &vec![i; 16], "slot for {}", req.file);
+        }
+        assert_eq!(r.read_repair_count(), masked);
+    }
+
+    #[test]
+    fn double_fault_returns_primary_error() {
+        // Both replicas dead: the error identity matches what the
+        // unreplicated router reports for a lost file.
+        let mut all = FaultPlan::none();
+        all.lost_files.push(String::new());
+        let shards: Vec<Box<dyn StorageBackend>> = (0..2)
+            .map(|_| Box::new(FaultBackend::new(MemBackend::new(), all.clone())) as _)
+            .collect();
+        let r = ShardRouter::replicated(shards, 2).unwrap();
+        r.append("f", &[1, 2, 3]).unwrap();
+        assert!(matches!(r.read("f", 0, 3), Err(PfsError::NotFound(_))));
+        let res = r.read_batch(&[ReadRequest::new("f", 0, 3)]);
+        assert!(matches!(&res[0], Err(PfsError::NotFound(_))));
+        assert_eq!(r.read_repair_count(), 0);
+    }
+
+    #[test]
+    fn hedged_replicated_batch_is_byte_identical() {
+        let plain = replicated(2, 2);
+        for i in 0..32 {
+            plain.append(&format!("f{i}"), &[i as u8; 64]).unwrap();
+        }
+        let reqs: Vec<ReadRequest> = (0..96)
+            .map(|i| ReadRequest::new(format!("f{}", i % 32), (i / 32) * 16, 16))
+            .collect();
+        let want = plain.read_batch(&reqs);
+
+        // Same contents, zero hedge threshold: the hedge fires
+        // aggressively and races the primary; bytes must not change.
+        let hedged = replicated(2, 2).with_hedge(0.0);
+        for i in 0..32 {
+            hedged.append(&format!("f{i}"), &[i as u8; 64]).unwrap();
+        }
+        for _ in 0..5 {
+            let got = hedged.read_batch(&reqs);
+            for (a, b) in want.iter().zip(&got) {
+                assert_eq!(a.as_ref().unwrap(), b.as_ref().unwrap());
+            }
+        }
+        assert!(
+            hedged.hedged_batch_count() >= 1,
+            "zero threshold never hedged"
+        );
+    }
+
+    #[test]
+    fn remove_deletes_every_replica() {
+        let r = replicated(3, 2);
+        r.append("f", &[1, 2]).unwrap();
+        r.remove("f").unwrap();
+        assert!(!r.exists("f"));
+        for s in 0..3 {
+            assert!(!r.shard(s).exists("f"));
+        }
+        assert!(matches!(r.remove("f"), Err(PfsError::NotFound(_))));
     }
 }

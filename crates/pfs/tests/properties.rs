@@ -6,10 +6,11 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use mloc_pfs::{
-    simulate_reads, CostModel, DirBackend, MemBackend, PfsError, PoolDirBackend, ReadOp,
-    ReadRequest, ShardRouter, StorageBackend,
+    simulate_reads, CostModel, DirBackend, FaultBackend, FaultPlan, MemBackend, PfsError,
+    PoolDirBackend, ReadOp, ReadRequest, ShardRouter, StorageBackend,
 };
 use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 fn op_strategy() -> impl Strategy<Value = ReadOp> {
     (0u8..4, 0u64..(1 << 26), 1u64..(1 << 22))
@@ -276,5 +277,148 @@ proptest! {
             prop_assert_eq!(res.unwrap(), req.file.as_bytes().to_vec());
         }
         prop_assert_eq!(router.list(), unique);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replication, shard loss and read-repair
+// ---------------------------------------------------------------------
+
+/// Lowercase file names, deduplicated.
+fn name_pool_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec(
+        proptest::collection::vec(0u8..26, 1..10).prop_map(|cs| {
+            cs.into_iter()
+                .map(|c| (b'a' + c) as char)
+                .collect::<String>()
+        }),
+        1..16,
+    )
+    .prop_map(|mut names| {
+        names.sort();
+        names.dedup();
+        names
+    })
+}
+
+/// A shard whose read path is permanently dead (every file "lost")
+/// while its write path still works, like a re-provisioned blank OST.
+fn dead_shard() -> Box<dyn StorageBackend> {
+    let mut plan = FaultPlan::none();
+    plan.lost_files.push(String::new()); // matches every name
+    Box::new(FaultBackend::new(MemBackend::new(), plan))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Replication places every file on exactly R *distinct* shards,
+    /// with byte-identical copies, for any name set and any (n, r).
+    #[test]
+    fn replicated_writes_land_on_r_distinct_shards(
+        names in name_pool_strategy(),
+        nshards in 2usize..5,
+        r in 2usize..4,
+    ) {
+        let r = r.min(nshards);
+        let router = ShardRouter::replicated(
+            (0..nshards).map(|_| Box::new(MemBackend::new()) as _).collect(),
+            r,
+        ).unwrap();
+        for name in &names {
+            router.append(name, name.as_bytes()).unwrap();
+            router.sync(name).unwrap();
+            let owners: BTreeSet<usize> =
+                (0..r).map(|k| router.replica_shard_of(name, k)).collect();
+            prop_assert_eq!(owners.len(), r, "{}: replica placement collided", name);
+            for s in 0..nshards {
+                let holds = router.shard(s).exists(name);
+                prop_assert_eq!(
+                    holds,
+                    owners.contains(&s),
+                    "{} on shard {}: expected the inverse", name, s
+                );
+                if holds {
+                    prop_assert_eq!(
+                        router.shard(s).read(name, 0, name.len() as u64).unwrap(),
+                        name.as_bytes().to_vec(),
+                        "{} copy on shard {} diverged", name, s
+                    );
+                }
+            }
+        }
+    }
+
+    /// With R = 2, killing ANY single shard's read path leaves every
+    /// file readable through the router, and `read_repair_count`
+    /// accounts for exactly the reads whose primary copy was masked.
+    #[test]
+    fn any_single_dead_shard_leaves_every_file_readable(
+        names in name_pool_strategy(),
+        nshards in 2usize..5,
+    ) {
+        for dead in 0..nshards {
+            let shards = (0..nshards)
+                .map(|s| {
+                    if s == dead {
+                        dead_shard()
+                    } else {
+                        Box::new(MemBackend::new()) as _
+                    }
+                })
+                .collect();
+            let router = ShardRouter::replicated(shards, 2).unwrap();
+            for name in &names {
+                router.append(name, name.as_bytes()).unwrap();
+            }
+            for name in &names {
+                prop_assert_eq!(
+                    router.read(name, 0, name.len() as u64).unwrap(),
+                    name.as_bytes().to_vec(),
+                    "{} unreadable with shard {} dead", name, dead
+                );
+            }
+            let masked = names
+                .iter()
+                .filter(|n| router.shard_of(n) == dead)
+                .count() as u64;
+            prop_assert_eq!(
+                router.read_repair_count(),
+                masked,
+                "shard {} dead: masked reads misaccounted", dead
+            );
+        }
+    }
+
+    /// A lost primary copy is healed by the first read through the
+    /// router: the copy reappears on its home shard, byte-identical,
+    /// and both the read-repair and write-back counters agree.
+    #[test]
+    fn read_repair_restores_byte_identical_replicas(
+        names in name_pool_strategy(),
+        nshards in 2usize..5,
+    ) {
+        let router = ShardRouter::replicated(
+            (0..nshards).map(|_| Box::new(MemBackend::new()) as _).collect(),
+            2,
+        ).unwrap();
+        for name in &names {
+            router.append(name, name.as_bytes()).unwrap();
+            router.shard(router.shard_of(name)).remove(name).unwrap();
+        }
+        for name in &names {
+            prop_assert_eq!(
+                router.read(name, 0, name.len() as u64).unwrap(),
+                name.as_bytes().to_vec()
+            );
+            let home = router.shard_of(name);
+            prop_assert_eq!(
+                router.shard(home).read(name, 0, name.len() as u64).unwrap(),
+                name.as_bytes().to_vec(),
+                "{}: primary copy not healed in place", name
+            );
+        }
+        prop_assert_eq!(router.read_repair_count(), names.len() as u64);
+        prop_assert_eq!(router.writeback_count(), names.len() as u64);
     }
 }

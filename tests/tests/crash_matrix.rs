@@ -1,0 +1,387 @@
+//! Crash-matrix suite: kill the build at **every** ordered durability
+//! step — not a sample of them — and prove the recovery contract end
+//! to end:
+//!
+//! * after `repair`, either the store is byte-identical to a clean
+//!   build (possibly after rerunning the interrupted build), or the
+//!   loss is reported loudly (`RepairReport::unrepairable`) — never a
+//!   silently corrupt store;
+//! * the same holds when the crashing append is *torn* at an arbitrary
+//!   byte, for every append in the chain;
+//! * dropped fsyncs (a device that lies) either lose only what repair
+//!   can reconstruct, or surface as reported loss.
+//!
+//! The write-op census is asserted against the documented durability
+//! grammar (catalog header → per-bin payload→sync→footer→sync → meta
+//! → catalog registration), so a new write in the build path that
+//! extends the chain shows up here as a failed census, forcing the
+//! matrix to grow with it.
+
+use mloc::prelude::*;
+use mloc::repair::{fsck, repair};
+use mloc::{Dataset, MlocStore};
+use mloc_pfs::{CrashBackend, CrashPlan, DirBackend, MemBackend, ShardRouter, StorageBackend};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+const DS: &str = "cm";
+const VAR: &str = "temp";
+const CATALOG: &str = "cm/catalog";
+const NUM_BINS: usize = 4;
+
+fn config() -> MlocConfig {
+    MlocConfig::builder(vec![16, 16])
+        .chunk_shape(vec![8, 8])
+        .num_bins(NUM_BINS)
+        .build()
+}
+
+fn values() -> Vec<f64> {
+    (0..256).map(|i| ((i * 37) % 101) as f64).collect()
+}
+
+/// The full build chain whose durability steps the matrix enumerates:
+/// dataset creation (catalog header) plus one variable build.
+/// `build_threads = 1` makes the write-op order deterministic, so op
+/// index `k` means the same durability step in every replay.
+fn build(be: &dyn StorageBackend) -> mloc::Result<()> {
+    let mut ds = Dataset::create(be, DS, config())?;
+    ds.set_build_threads(1);
+    ds.add_variable(VAR, &values())?;
+    Ok(())
+}
+
+/// Every physical copy of every file: replicated worlds compare per
+/// shard, unreplicated worlds degrade to the plain file list.
+fn snapshot(be: &dyn StorageBackend) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    for f in be.list() {
+        for r in 0..be.replica_count() {
+            let len = be.len_replica(&f, r).unwrap();
+            out.push((format!("{r}:{f}"), be.read_replica(&f, r, 0, len).unwrap()));
+        }
+    }
+    out
+}
+
+/// Tier-1 query fingerprints (positions + value bits) over the store.
+fn fingerprints(be: &dyn StorageBackend) -> Vec<(Vec<u64>, Vec<u64>)> {
+    let store = MlocStore::open(be, DS, VAR).unwrap();
+    [
+        Query::region(f64::MIN, f64::MAX),
+        Query::values_where(f64::MIN, f64::MAX),
+        Query::values_where(20.0, 80.0),
+    ]
+    .iter()
+    .map(|q| {
+        let res = store.query_serial(q).unwrap();
+        (
+            res.positions().to_vec(),
+            res.values()
+                .map(|vs| vs.iter().map(|v| v.to_bits()).collect())
+                .unwrap_or_default(),
+        )
+    })
+    .collect()
+}
+
+/// Assert the census matches the documented durability grammar, and
+/// return the 1-based indices of all append ops (the torn-write
+/// sweep targets).
+fn assert_census(log: &[(&'static str, String)]) -> Vec<u64> {
+    // Catalog header: create, magic append, config append, sync.
+    let expected_header = ["create", "append", "append", "sync"];
+    for (i, kind) in expected_header.iter().enumerate() {
+        assert_eq!(log[i], (*kind, CATALOG.to_string()), "header op {i}");
+    }
+    // Per bin: payload made durable before the footer commit marker,
+    // for the data file then the index file.
+    let mut i = expected_header.len();
+    for bin in 0..NUM_BINS {
+        for ext in ["dat", "idx"] {
+            let file = format!("{DS}/{VAR}/bin{bin:04}.{ext}");
+            for kind in ["create", "append", "sync", "append", "sync"] {
+                assert_eq!(log[i], (kind, file.clone()), "bin {bin} {ext} op {i}");
+                i += 1;
+            }
+        }
+    }
+    // Meta (the variable's commit marker), then the catalog
+    // registration line, each synced.
+    let meta = format!("{DS}/{VAR}/meta");
+    for (kind, file) in [
+        ("create", meta.clone()),
+        ("append", meta.clone()),
+        ("sync", meta),
+        ("append", CATALOG.to_string()),
+        ("sync", CATALOG.to_string()),
+    ] {
+        assert_eq!(log[i], (kind, file), "tail op {i}");
+        i += 1;
+    }
+    assert_eq!(i, log.len(), "census has unexpected extra write ops");
+    log.iter()
+        .enumerate()
+        .filter(|(_, (kind, _))| *kind == "append")
+        .map(|(i, _)| i as u64 + 1)
+        .collect()
+}
+
+/// The per-crash-point contract: repair either fully heals (then a
+/// rerun of any rolled-back build converges to the clean bytes), or
+/// reports the loss — which in a single-copy world can only be the
+/// catalog header, before any data was durable.
+fn heal_and_compare(
+    durable: &dyn StorageBackend,
+    tag: &str,
+    want_files: &[(String, Vec<u8>)],
+    want_results: &[(Vec<u64>, Vec<u64>)],
+) {
+    let report = repair(durable, DS).unwrap();
+    if report.is_healthy() {
+        let post = fsck(durable, DS).unwrap();
+        assert!(post.is_clean(), "{tag}: post-repair fsck dirty: {post}");
+        let ds = Dataset::open(durable, DS).unwrap_or_else(|e| panic!("{tag}: open: {e}"));
+        if !ds.has_variable(VAR) {
+            // The crash predated the variable's commit point and
+            // repair rolled the debris back: the build reruns cleanly.
+            let mut ds = Dataset::open(durable, DS).unwrap();
+            ds.set_build_threads(1);
+            ds.add_variable(VAR, &values())
+                .unwrap_or_else(|e| panic!("{tag}: rebuild: {e}"));
+        }
+    } else {
+        // Reported loss: only legal before anything was committed —
+        // the catalog header itself is unreconstructable without a
+        // committed meta. Never a committed variable.
+        assert!(
+            report.unrepairable.iter().all(|f| f == CATALOG),
+            "{tag}: unexpected unrepairable set: {report}"
+        );
+        assert!(
+            report.fsck.committed.is_empty() && report.fsck.unlisted.is_empty(),
+            "{tag}: committed data reported unrepairable: {report}"
+        );
+        for f in durable.list() {
+            durable.remove(&f).unwrap();
+        }
+        build(durable).unwrap_or_else(|e| panic!("{tag}: recreate: {e}"));
+    }
+    assert_eq!(
+        snapshot(durable),
+        want_files,
+        "{tag}: recovered store bytes diverged from the clean build"
+    );
+    assert_eq!(
+        fingerprints(durable),
+        want_results,
+        "{tag}: query results diverged from the clean build"
+    );
+}
+
+/// A factory of fresh, empty backends for one scenario world.
+type Fresh<'a> = &'a dyn Fn() -> Box<dyn StorageBackend>;
+
+static WORLD_ID: AtomicUsize = AtomicUsize::new(0);
+
+struct DirWorld {
+    root: std::path::PathBuf,
+    next: AtomicUsize,
+}
+
+impl DirWorld {
+    fn new() -> Self {
+        let root = std::env::temp_dir().join(format!(
+            "mloc-crash-matrix-{}-{}",
+            std::process::id(),
+            WORLD_ID.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        DirWorld {
+            root,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    fn fresh(&self) -> Box<dyn StorageBackend> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        Box::new(DirBackend::new(self.root.join(format!("w{i}"))).unwrap())
+    }
+}
+
+impl Drop for DirWorld {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+/// Census the chain, then crash at every op index `1..=N`.
+fn sweep_every_crash_point(fresh: Fresh) {
+    let clean = fresh();
+    build(&*clean).unwrap();
+    let want_files = snapshot(&*clean);
+    let want_results = fingerprints(&*clean);
+
+    let cb = CrashBackend::new(fresh(), CrashPlan::none());
+    build(&cb).unwrap();
+    assert!(!cb.crashed());
+    let log = cb.op_log();
+    assert_census(&log);
+    let total = cb.write_ops();
+
+    for k in 1..=total {
+        let cb = CrashBackend::new(fresh(), CrashPlan::at(k));
+        let (kind, file) = &log[k as usize - 1];
+        let tag = format!("crash at op {k}/{total} ({kind} {file})");
+        assert!(build(&cb).is_err(), "{tag}: build survived its crash");
+        assert!(cb.crashed(), "{tag}: crash never fired");
+        heal_and_compare(&*cb.into_inner(), &tag, &want_files, &want_results);
+    }
+}
+
+#[test]
+fn every_crash_point_repairs_to_byte_identical_state() {
+    sweep_every_crash_point(&|| Box::new(MemBackend::new()));
+}
+
+#[test]
+fn crash_matrix_holds_on_the_real_directory_backend() {
+    let world = DirWorld::new();
+    sweep_every_crash_point(&|| world.fresh());
+}
+
+#[test]
+fn crash_matrix_holds_through_a_replicated_shard_router() {
+    // The crash overlay sits above the router, so both copies take the
+    // same damage — what this adds is repair running its rollback,
+    // reattach and catalog paths through replica-aware fan-out.
+    sweep_every_crash_point(&|| {
+        Box::new(
+            ShardRouter::replicated(
+                (0..3).map(|_| Box::new(MemBackend::new()) as _).collect(),
+                2,
+            )
+            .unwrap(),
+        )
+    });
+}
+
+/// Every append in the chain, torn at byte 0 (append fully lost but
+/// earlier volatile bytes flush), 1, and 9 (mid-payload / mid-footer).
+#[test]
+fn every_torn_append_repairs_to_byte_identical_state() {
+    let clean = MemBackend::new();
+    build(&clean).unwrap();
+    let want_files = snapshot(&clean);
+    let want_results = fingerprints(&clean);
+
+    let cb = CrashBackend::new(MemBackend::new(), CrashPlan::none());
+    build(&cb).unwrap();
+    let log = cb.op_log();
+    let appends = assert_census(&log);
+    assert!(!appends.is_empty());
+
+    for &k in &appends {
+        for keep in [0u64, 1, 9] {
+            let cb = CrashBackend::new(MemBackend::new(), CrashPlan::torn_at(k, keep));
+            let (_, file) = &log[k as usize - 1];
+            let tag = format!("torn append op {k} ({file}) keep {keep}");
+            assert!(build(&cb).is_err(), "{tag}: build survived its crash");
+            heal_and_compare(&cb.into_inner(), &tag, &want_files, &want_results);
+        }
+    }
+}
+
+/// A device that acknowledges the catalog's fsyncs without flushing:
+/// power loss erases the catalog, but every variable's meta embeds the
+/// build config, so repair reconstructs the registration from the
+/// committed metas alone.
+#[test]
+fn dropped_catalog_sync_is_reconstructed_from_meta() {
+    let mut plan = CrashPlan::none();
+    plan.drop_syncs.push("catalog".to_string());
+    let cb = CrashBackend::new(MemBackend::new(), plan);
+    build(&cb).unwrap();
+    cb.power_cut();
+    let durable = cb.into_inner();
+    assert!(!durable.exists(CATALOG), "dropped syncs still flushed");
+
+    let f = fsck(&durable, DS).unwrap();
+    assert!(!f.catalog_ok, "{f}");
+    let r = repair(&durable, DS).unwrap();
+    assert!(r.is_healthy(), "{r}");
+    assert!(r.catalog_rewritten);
+    let ds = Dataset::open(&durable, DS).unwrap();
+    assert_eq!(ds.variables().unwrap(), vec![VAR.to_string()]);
+    assert!(fsck(&durable, DS).unwrap().is_clean());
+
+    // The reconstructed store answers byte-identically to a clean one.
+    let clean = MemBackend::new();
+    build(&clean).unwrap();
+    assert_eq!(fingerprints(&durable), fingerprints(&clean));
+}
+
+/// A device that drops one bin's data-file fsyncs: after power loss
+/// the file is simply gone on a single-copy store. The loss must be
+/// loud at every layer — fsck finding, unrepairable report, failing
+/// values query — never a silently shrunken answer.
+#[test]
+fn dropped_data_sync_is_loud_loss_on_a_single_copy() {
+    let lost = format!("{DS}/{VAR}/bin0002.dat");
+    let mut plan = CrashPlan::none();
+    plan.drop_syncs.push("bin0002.dat".to_string());
+    let cb = CrashBackend::new(MemBackend::new(), plan);
+    build(&cb).unwrap();
+    cb.power_cut();
+    let durable = cb.into_inner();
+    assert!(!durable.exists(&lost));
+
+    let f = fsck(&durable, DS).unwrap();
+    assert!(!f.is_clean());
+    assert!(
+        f.findings.iter().any(|d| d.file == lost),
+        "missing file not reported: {f}"
+    );
+    let r = repair(&durable, DS).unwrap();
+    assert!(!r.is_healthy(), "loss vanished: {r}");
+    assert_eq!(r.unrepairable, vec![lost]);
+
+    // The variable stays committed (never rolled back), the values
+    // query fails loudly, and the index-only query still works.
+    let store = MlocStore::open(&durable, DS, VAR).unwrap();
+    assert!(store
+        .query_serial(&Query::values_where(f64::MIN, f64::MAX))
+        .is_err());
+    assert_eq!(
+        store
+            .query_serial(&Query::region(f64::MIN, f64::MAX))
+            .unwrap()
+            .len(),
+        256
+    );
+}
+
+/// The same lying device under replication: the copies live behind the
+/// router and the overlay drops the file before the fan-out, so even
+/// R = 2 cannot save it — but repair still reports rather than hides
+/// it. (Replica copies help when damage hits one shard, which the
+/// repair unit tests and the shard-kill differential cover.)
+#[test]
+fn dropped_meta_sync_rolls_back_cleanly() {
+    // Meta never durable + catalog line durable would break the chain;
+    // but the catalog registration happens *after* the meta sync, so a
+    // lying meta sync plus power cut leaves a listed variable with no
+    // meta — repair must reattach nothing and report the meta as the
+    // casualty of a committed variable.
+    let mut plan = CrashPlan::none();
+    plan.drop_syncs.push("meta".to_string());
+    let cb = CrashBackend::new(MemBackend::new(), plan);
+    build(&cb).unwrap();
+    cb.power_cut();
+    let durable = cb.into_inner();
+    assert!(!durable.exists(&format!("{DS}/{VAR}/meta")));
+
+    let r = repair(&durable, DS).unwrap();
+    assert!(!r.is_healthy(), "lost meta vanished: {r}");
+    assert_eq!(r.unrepairable, vec![format!("{DS}/{VAR}/meta")]);
+}

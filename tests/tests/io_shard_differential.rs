@@ -80,6 +80,30 @@ fn worlds(root: &TempRoot) -> Vec<(String, Box<dyn StorageBackend>)> {
             Box::new(ShardRouter::new(shards).unwrap()),
         ));
     }
+    // Replicated layouts (R = 2) and a hedged variant: replication and
+    // hedging change which copy serves the bytes, never the bytes.
+    for n in [2usize, 4] {
+        let shards = (0..n)
+            .map(|s| {
+                Box::new(PoolDirBackend::new(root.0.join(format!("n{n}r2s{s}")), 2).unwrap())
+                    as Box<dyn StorageBackend>
+            })
+            .collect();
+        out.push((
+            format!("shard-{n}-r2"),
+            Box::new(ShardRouter::replicated(shards, 2).unwrap()),
+        ));
+    }
+    let hedged = (0..2)
+        .map(|s| {
+            Box::new(PoolDirBackend::new(root.0.join(format!("hedge-s{s}")), 2).unwrap())
+                as Box<dyn StorageBackend>
+        })
+        .collect();
+    out.push((
+        "shard-2-r2-hedged".into(),
+        Box::new(ShardRouter::replicated(hedged, 2).unwrap().with_hedge(0.0)),
+    ));
     out
 }
 
@@ -195,5 +219,109 @@ fn sharded_layouts_preserve_io_accounting() {
             m.chunks_touched, m_seq.chunks_touched,
             "{n} shards: chunks drifted"
         );
+    }
+}
+
+/// With R = 2 over two shards, wiping EITHER shard directory leaves
+/// every query byte-identical: reads fall through to the surviving
+/// replica, `io.read_repair` accounts for exactly the masked reads,
+/// and the write-back refills the wiped shard so a follow-up pass
+/// needs no masking at all.
+#[test]
+fn replicated_world_survives_single_shard_loss_byte_identically() {
+    let root = TempRoot::new();
+    let mk = |root: &TempRoot| {
+        let shards = (0..2)
+            .map(|s| {
+                Box::new(PoolDirBackend::new(root.0.join(format!("k{s}")), 2).unwrap())
+                    as Box<dyn StorageBackend>
+            })
+            .collect();
+        ShardRouter::replicated(shards, 2).unwrap()
+    };
+    let be = mk(&root);
+    // Build through the Dataset layer so fsck/repair apply (they
+    // classify against the catalog).
+    let field = mloc_datagen::gts_like_2d(SHAPE[0], SHAPE[1], 41);
+    let config = MlocConfig::builder(SHAPE.to_vec())
+        .chunk_shape(vec![24, 24])
+        .num_bins(10)
+        .codec(CodecKind::Deflate)
+        .build();
+    let ds = mloc::Dataset::create(&be, DS, config).unwrap();
+    ds.add_variable(VAR, field.values()).unwrap();
+    drop(ds);
+    let values = field.into_values();
+    let queries = workload(&values);
+    let store = MlocStore::open(&be, DS, VAR).unwrap();
+    let baselines: Vec<QueryResult> = queries
+        .iter()
+        .map(|q| store.query_serial(q).unwrap())
+        .collect();
+    let all_files = {
+        let mut fs = be.list();
+        fs.sort();
+        fs
+    };
+    drop(store);
+    drop(be);
+
+    for dead in 0..2usize {
+        std::fs::remove_dir_all(root.0.join(format!("k{dead}"))).unwrap();
+        let router = mk(&root);
+
+        // Heal pass: one full read per file. Every file whose primary
+        // copy lived on the wiped shard is a masked read — the counter
+        // must account for each one, no more, no fewer.
+        let mut masked = 0u64;
+        for f in router.list() {
+            let len = router.len(&f).unwrap();
+            router.read(&f, 0, len).unwrap();
+            if router.shard_of(&f) == dead {
+                masked += 1;
+            }
+        }
+        assert!(masked > 0, "shard {dead} held no primary copies");
+        assert_eq!(
+            router.read_repair_count(),
+            masked,
+            "shard {dead} wiped: masked reads misaccounted"
+        );
+
+        // Reads healed the primary copies; fsck sees a logically
+        // healthy store, and `repair` restores the secondary copies
+        // the read path cannot reach, refilling the wiped shard
+        // completely.
+        assert!(
+            mloc::repair::fsck(&router, DS).unwrap().is_clean(),
+            "shard {dead} wiped: reads did not heal the primaries"
+        );
+        let rep = mloc::repair::repair(&router, DS).unwrap();
+        assert!(rep.is_healthy(), "shard {dead} wiped: {rep}");
+        assert_eq!(
+            rep.restored.len(),
+            all_files.len() - masked as usize,
+            "shard {dead} wiped: secondary copies misaccounted"
+        );
+        for s in 0..2 {
+            let mut fs = router.shard(s).list();
+            fs.sort();
+            assert_eq!(fs, all_files, "shard {s} not fully refilled");
+        }
+
+        // Queries are byte-identical with zero further masking.
+        let store = MlocStore::open(&router, DS, VAR).unwrap();
+        for (i, q) in queries.iter().enumerate() {
+            let (res, m) = store.query_with_metrics(q).unwrap();
+            bitwise_eq(
+                &res,
+                &baselines[i],
+                &format!("shard {dead} wiped, query {i}"),
+            );
+            assert_eq!(
+                m.read_repairs, 0,
+                "shard {dead} wiped, query {i}: heal pass left masked reads"
+            );
+        }
     }
 }
